@@ -1,0 +1,68 @@
+"""Shared method registry and cached index builders for the benchmarks."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.bench import BEST_GRANULARITY, synthetic_dataset, tiger_dataset
+from repro.block import BlockIndex
+from repro.datasets import RectDataset
+from repro.grid import OneLayerGrid
+from repro.core import TwoLayerGrid, TwoLayerPlusGrid
+from repro.quadtree import MXCIFQuadTree, QuadTree, TwoLayerQuadTree
+from repro.rtree import RStarTree, RTree
+
+__all__ = ["build_index", "get_index", "resolve_dataset", "KEY_METHODS", "ALL_METHODS"]
+
+#: the five methods carried through Figs. 8-9 after the Table V cut.
+KEY_METHODS = ("R-tree", "quad-tree", "1-layer", "2-layer", "2-layer+")
+
+#: every Table V competitor.
+ALL_METHODS = (
+    "2-layer",
+    "2-layer+",
+    "1-layer",
+    "quad-tree",
+    "quad-tree-2layer",
+    "R-tree",
+    "R*-tree",
+    "BLOCK",
+    "MXCIF",
+)
+
+
+def build_index(method: str, data: RectDataset, granularity: int = BEST_GRANULARITY):
+    """Construct a fresh index of the named method over ``data``."""
+    if method == "1-layer":
+        return OneLayerGrid.build(data, partitions_per_dim=granularity)
+    if method == "2-layer":
+        return TwoLayerGrid.build(data, partitions_per_dim=granularity)
+    if method == "2-layer+":
+        return TwoLayerPlusGrid.build(data, partitions_per_dim=granularity)
+    if method == "quad-tree":
+        return QuadTree.build(data)
+    if method == "quad-tree-2layer":
+        return TwoLayerQuadTree.build(data)
+    if method == "R-tree":
+        return RTree.build(data)
+    if method == "R*-tree":
+        return RStarTree.build(data)
+    if method == "BLOCK":
+        return BlockIndex.build(data)
+    if method == "MXCIF":
+        return MXCIFQuadTree.build(data)
+    raise KeyError(f"unknown method {method!r}")
+
+
+def resolve_dataset(dataset_key: str) -> RectDataset:
+    """Dataset lookup shared with :mod:`repro.bench.workloads`."""
+    if dataset_key in ("ROADS", "EDGES", "TIGER"):
+        return tiger_dataset(dataset_key)
+    _, n, area, distribution = dataset_key.split(":")
+    return synthetic_dataset(int(n), float(area), distribution)
+
+
+@lru_cache(maxsize=None)
+def get_index(method: str, dataset_key: str, granularity: int = BEST_GRANULARITY):
+    """Cached index: built once per process, shared across benchmarks."""
+    return build_index(method, resolve_dataset(dataset_key), granularity)

@@ -1,0 +1,76 @@
+"""Fig. 10 — batch window-query processing: queries-based vs tiles-based.
+
+Paper: batches of 10K window queries over ROADS and EDGES, total batch
+time as a function of query relative extent.  Expected shape:
+tiles-based wins when per-tile work is substantial (large/denser
+batches, larger queries); queries-based wins when the per-tile subtask
+accounting does not pay off (tiny queries / sparse tiles).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import bench_query_count, print_series, window_workload
+from repro.core import evaluate_queries_based, evaluate_tiles_based
+
+from _shared import get_index
+from conftest import report
+
+_EXTENTS = (0.01, 0.05, 0.1, 0.5, 1.0)
+_RESULTS: dict[tuple, float] = {}
+
+
+@pytest.mark.parametrize("dataset", ["ROADS", "EDGES"])
+@pytest.mark.parametrize("strategy", ["queries", "tiles"])
+def test_fig10_batch_total_time(benchmark, dataset, strategy):
+    index = get_index("2-layer", dataset)
+    evaluator = (
+        evaluate_queries_based if strategy == "queries" else evaluate_tiles_based
+    )
+    n = bench_query_count()
+
+    def run():
+        for extent in _EXTENTS:
+            batch = list(window_workload(dataset, extent)[:n])
+            t0 = time.perf_counter()
+            evaluator(index, batch)
+            _RESULTS[(dataset, strategy, extent)] = time.perf_counter() - t0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig10_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def render():
+        for dataset in ("ROADS", "EDGES"):
+            print_series(
+                f"Fig. 10 ({dataset}) — total batch time [sec] vs query extent [%]"
+                f" ({bench_query_count()} queries/batch)",
+                "extent%",
+                _EXTENTS,
+                {
+                    s: [_RESULTS[(dataset, s, e)] for e in _EXTENTS]
+                    for s in ("queries", "tiles")
+                },
+            )
+
+    report(render)
+    # Shape: tiles-based becomes competitive/better as the extent grows
+    # (denser per-tile work), per the paper's observation.  Only checked
+    # above noise level — sub-100ms batches are dominated by jitter.
+    for dataset in ("ROADS", "EDGES"):
+        if _RESULTS[(dataset, "queries", 1.0)] < 0.1:
+            continue
+        ratio_small = (
+            _RESULTS[(dataset, "tiles", 0.01)] / _RESULTS[(dataset, "queries", 0.01)]
+        )
+        ratio_large = (
+            _RESULTS[(dataset, "tiles", 1.0)] / _RESULTS[(dataset, "queries", 1.0)]
+        )
+        assert ratio_large < ratio_small * 2.0, (
+            "tiles-based must gain ground as batches get denser"
+        )

@@ -1,0 +1,74 @@
+"""Fig. 11 — parallel batch processing speedup vs worker count.
+
+Paper: 10K-query batches on ROADS and EDGES, speedup over 1 thread as a
+function of thread count (OpenMP, up to 40 hyperthreads).  This port
+uses forked worker processes (GIL; DESIGN.md substitution 5) behind a
+*persistent* pool — the process analogue of OpenMP's pre-existing thread
+team — warmed up before the timed region.  Expected shape on a
+multi-core machine: tiles-based scales more gracefully with workers than
+queries-based.  On a single-core machine (CI containers) the speedup
+curve physically degenerates to <= 1; the report records the machine's
+core count so the numbers are interpretable.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import bench_query_count, print_series, window_workload
+from repro.core import ParallelBatchEvaluator, available_workers
+
+from _shared import get_index
+from conftest import report
+
+_WORKER_COUNTS = (1, 2, 4)
+_RESULTS: dict[tuple, float] = {}
+
+
+@pytest.mark.parametrize("dataset", ["ROADS", "EDGES"])
+@pytest.mark.parametrize("strategy", ["queries", "tiles"])
+def test_fig11_parallel_speedup(benchmark, dataset, strategy):
+    index = get_index("2-layer", dataset)
+    batch = list(window_workload(dataset, 1.0)[: bench_query_count()])
+
+    def run():
+        for workers in _WORKER_COUNTS:
+            with ParallelBatchEvaluator(index, workers) as pool:
+                pool.run(batch[:50], method=strategy)  # warm the workers
+                t0 = time.perf_counter()
+                pool.run(batch, method=strategy)
+                _RESULTS[(dataset, strategy, workers)] = time.perf_counter() - t0
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig11_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    cores = available_workers()
+
+    def render():
+        for dataset in ("ROADS", "EDGES"):
+            print_series(
+                f"Fig. 11 ({dataset}) — speedup over 1 worker vs #workers "
+                f"(machine has {cores} core(s))",
+                "#workers",
+                _WORKER_COUNTS,
+                {
+                    s: [
+                        _RESULTS[(dataset, s, 1)] / _RESULTS[(dataset, s, w)]
+                        for w in _WORKER_COUNTS
+                    ]
+                    for s in ("queries", "tiles")
+                },
+            )
+
+    report(render)
+    if cores > 1:
+        top = max(w for w in _WORKER_COUNTS if w <= cores)
+        for dataset in ("ROADS", "EDGES"):
+            speedup_tiles = _RESULTS[(dataset, "tiles", 1)] / _RESULTS[
+                (dataset, "tiles", top)
+            ]
+            assert speedup_tiles > 1.0, "tiles-based must profit from workers"

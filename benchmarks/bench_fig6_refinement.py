@@ -1,0 +1,97 @@
+"""Fig. 6 — time breakdown of refined queries (Simple / RefAvoid / RefAvoid⁺).
+
+Paper: 10K window and disk queries over ROADS and EDGES *with exact
+geometries*; average per-query time split into filtering, secondary
+filtering and refinement.  Expected shape: the Lemma 5 secondary filter
+certifies >90% of candidates, collapsing the refinement bar; with
+RefAvoid(+) the bottleneck of window queries moves to the filtering step.
+RefAvoid⁺ is window-only.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import pytest
+
+from repro.bench import print_table, tiger_dataset
+from repro.datasets import generate_disk_queries, generate_window_queries
+from repro.core import RefinementBreakdown, RefinementEngine, TwoLayerGrid
+
+from conftest import report
+
+_WINDOW_MODES = ("simple", "refavoid", "refavoid_plus")
+_DISK_MODES = ("simple", "refavoid")
+_N_QUERIES = 300
+_RESULTS: dict[tuple[str, str, str], RefinementBreakdown] = {}
+
+
+@lru_cache(maxsize=None)
+def _engine(dataset: str) -> RefinementEngine:
+    data = tiger_dataset(dataset, with_geometries=True)
+    index = TwoLayerGrid.build(data, partitions_per_dim=32)
+    return RefinementEngine(index, data)
+
+
+@pytest.mark.parametrize("dataset", ["ROADS", "EDGES"])
+@pytest.mark.parametrize("mode", _WINDOW_MODES)
+def test_fig6_window_breakdown(benchmark, dataset, mode):
+    engine = _engine(dataset)
+    queries = generate_window_queries(engine.data, _N_QUERIES, 0.1, seed=7)
+
+    def run():
+        breakdown = RefinementBreakdown()
+        for w in queries:
+            engine.window(w, mode, breakdown=breakdown)
+        return breakdown
+
+    breakdown = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[("window", dataset, mode)] = breakdown
+
+
+@pytest.mark.parametrize("dataset", ["ROADS", "EDGES"])
+@pytest.mark.parametrize("mode", _DISK_MODES)
+def test_fig6_disk_breakdown(benchmark, dataset, mode):
+    engine = _engine(dataset)
+    queries = generate_disk_queries(engine.data, _N_QUERIES, 0.1, seed=7)
+
+    def run():
+        breakdown = RefinementBreakdown()
+        for q in queries:
+            engine.disk(q, mode, breakdown=breakdown)
+        return breakdown
+
+    breakdown = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[("disk", dataset, mode)] = breakdown
+
+
+def test_fig6_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for (kind, dataset, mode), b in sorted(_RESULTS.items()):
+        us = 1e6 / max(b.queries, 1)
+        rows.append(
+            [
+                kind,
+                dataset,
+                {"simple": "Simple", "refavoid": "RefAvoid", "refavoid_plus": "RefAvoid+"}[mode],
+                b.filtering_time * us,
+                b.secondary_filter_time * us,
+                b.refinement_time * us,
+                b.avoided_fraction * 100.0,
+            ]
+        )
+    report(
+        lambda: print_table(
+            "Fig. 6 — per-query time breakdown [microsec] and avoided candidates [%]",
+            ["query", "dataset", "variant", "filtering", "sec.filter", "refinement", "avoided%"],
+            rows,
+        )
+    )
+    for dataset in ("ROADS", "EDGES"):
+        simple = _RESULTS[("window", dataset, "simple")]
+        avoid = _RESULTS[("window", dataset, "refavoid")]
+        assert avoid.avoided_fraction > 0.9, "Lemma 5 must certify >90%"
+        assert avoid.refinement_time < simple.refinement_time, (
+            "RefAvoid must collapse the refinement bar"
+        )

@@ -1,0 +1,145 @@
+"""Fig. 8 — query throughput on the real-data stand-ins.
+
+Paper: for ROADS, EDGES and TIGER, window and disk query throughput of
+R-tree, quad-tree, 1-layer, 2-layer (and 2-layer⁺ for windows only) as a
+function of (a) query relative area in {0.01, 0.05, 0.1, 0.5, 1}% and
+(b) query selectivity buckets.  Expected shape: 2-layer(⁺) on top for
+every area/selectivity, 1-layer ≈ quad-tree next, R-tree last; the gap
+is stable across datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench import (
+    bench_query_count,
+    print_series,
+    print_table,
+    tiger_dataset,
+    window_workload,
+    disk_workload,
+)
+from repro.datasets import RELATIVE_AREAS_PERCENT
+
+from _shared import KEY_METHODS, get_index
+from conftest import report
+
+_DATASETS = ("ROADS", "EDGES", "TIGER")
+_DISK_METHODS = tuple(m for m in KEY_METHODS if m != "2-layer+")
+#: (kind, dataset, method, area) -> qps; per-query (selectivity, time).
+_RESULTS: dict[tuple, float] = {}
+_PER_QUERY: dict[tuple, list[tuple[int, float]]] = {}
+
+
+def _run_workload(index, queries, key):
+    import time
+
+    per_query = []
+    t_total = 0.0
+    for q in queries:
+        t0 = time.perf_counter()
+        if hasattr(q, "radius"):
+            n = index.disk_query(q).shape[0]
+        else:
+            n = index.window_query(q).shape[0]
+        dt = time.perf_counter() - t0
+        t_total += dt
+        per_query.append((n, dt))
+    _RESULTS[key] = len(queries) / t_total
+    _PER_QUERY.setdefault(key[:3], []).extend(per_query)
+
+
+@pytest.mark.parametrize("dataset", _DATASETS)
+@pytest.mark.parametrize("method", KEY_METHODS)
+def test_fig8_window_area_sweep(benchmark, dataset, method):
+    index = get_index(method, dataset)
+    n = max(100, bench_query_count() // 4)
+
+    def run():
+        for area in RELATIVE_AREAS_PERCENT:
+            queries = window_workload(dataset, area)[:n]
+            _run_workload(index, queries, ("window", dataset, method, area))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("dataset", _DATASETS)
+@pytest.mark.parametrize("method", _DISK_METHODS)
+def test_fig8_disk_area_sweep(benchmark, dataset, method):
+    index = get_index(method, dataset)
+    n = max(100, bench_query_count() // 8)
+
+    def run():
+        for area in RELATIVE_AREAS_PERCENT:
+            queries = disk_workload(dataset, area)[:n]
+            _run_workload(index, queries, ("disk", dataset, method, area))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def _selectivity_buckets(kind: str, dataset: str, methods, n_objects: int):
+    """Group per-query runtimes into the paper's selectivity buckets."""
+    edges = [0.0001, 0.001, 0.01, 1.01]  # fractions: 0.01%, 0.1%, 1%, 100%
+    labels = ["[0,0.01]", "(0.01,0.1]", "(0.1,1]", "(1,100]"]
+    table = {}
+    for method in methods:
+        rows = _PER_QUERY.get((kind, dataset, method), [])
+        sums = [0.0] * len(labels)
+        counts = [0] * len(labels)
+        for n_results, dt in rows:
+            sel = n_results / max(n_objects, 1)
+            bucket = next(
+                (i for i, e in enumerate(edges) if sel <= e), len(labels) - 1
+            )
+            sums[bucket] += dt
+            counts[bucket] += 1
+        table[method] = [
+            (counts[i] / sums[i]) if sums[i] > 0 else float("nan")
+            for i in range(len(labels))
+        ]
+    return labels, table
+
+
+def test_fig8_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def render():
+        for kind, methods in (("window", KEY_METHODS), ("disk", _DISK_METHODS)):
+            for dataset in _DATASETS:
+                print_series(
+                    f"Fig. 8 ({dataset}) — {kind}-query throughput [q/s] vs relative area [%]",
+                    "area%",
+                    RELATIVE_AREAS_PERCENT,
+                    {
+                        m: [
+                            _RESULTS.get((kind, dataset, m, a), float("nan"))
+                            for a in RELATIVE_AREAS_PERCENT
+                        ]
+                        for m in methods
+                    },
+                )
+                labels, table = _selectivity_buckets(
+                    kind, dataset, methods, len(tiger_dataset(dataset))
+                )
+                print_table(
+                    f"Fig. 8 ({dataset}) — {kind}-query throughput [q/s] vs selectivity [%]",
+                    ["selectivity"] + list(methods),
+                    [
+                        [labels[i]] + [table[m][i] for m in methods]
+                        for i in range(len(labels))
+                    ],
+                )
+
+    report(render)
+    # Shape: 2-layer dominates 1-layer and R-tree at every area, and
+    # throughput decreases with query area.
+    for dataset in _DATASETS:
+        for area in RELATIVE_AREAS_PERCENT:
+            two = _RESULTS[("window", dataset, "2-layer", area)]
+            assert two > _RESULTS[("window", dataset, "1-layer", area)]
+            assert two > _RESULTS[("window", dataset, "R-tree", area)]
+        small = _RESULTS[("window", dataset, "2-layer", 0.01)]
+        large = _RESULTS[("window", dataset, "2-layer", 1.0)]
+        assert small > large

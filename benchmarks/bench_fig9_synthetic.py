@@ -1,0 +1,148 @@
+"""Fig. 9 — synthetic data sweeps (uniform and zipfian).
+
+Paper panels per distribution: window-query throughput vs (a) query
+relative extent, (b) dataset cardinality {1,5,10,50,100}M (scaled), and
+(c) data rectangle area {10^-inf, 1e-14, 1e-12, 1e-10, 1e-8, 1e-6}.
+Expected shape: ordering stable under all three sweeps; the 2-layer gap
+grows with the data rectangle area (more replication means more
+duplicates for 1-layer to generate and kill) yet persists at point-like
+10^-inf data, where 1-layer still pays the reference-point test.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    bench_query_count,
+    bench_scale,
+    print_series,
+    throughput,
+    window_workload,
+)
+from repro.datasets import TABLE4_AREAS
+
+from _shared import KEY_METHODS, get_index
+from conftest import report
+
+_DISTRIBUTIONS = ("uniform", "zipf")
+#: scaled Table IV cardinalities (paper: 1M..100M; same 1:100 spread).
+def _cardinalities() -> tuple[int, ...]:
+    scale = bench_scale()
+    return tuple(int(c * scale) for c in (1e6, 5e6, 10e6, 50e6, 100e6))
+
+
+_DEFAULT_AREA = 1e-10
+_EXTENTS = (0.01, 0.05, 0.1, 0.5, 1.0)
+_RESULTS: dict[tuple, float] = {}
+
+
+def _key(n: int, area: float, distribution: str) -> str:
+    return f"synthetic:{n}:{area}:{distribution}"
+
+
+def _measure(method: str, dataset_key: str, area_percent: float, n_queries: int):
+    index = get_index(method, dataset_key)
+    queries = window_workload(dataset_key, area_percent)[:n_queries]
+    return throughput(index.window_query, queries).qps
+
+
+@pytest.mark.parametrize("distribution", _DISTRIBUTIONS)
+@pytest.mark.parametrize("method", KEY_METHODS)
+def test_fig9_query_extent_sweep(benchmark, distribution, method):
+    n = _cardinalities()[2]  # the 10M-scaled default cardinality
+    key = _key(n, _DEFAULT_AREA, distribution)
+    n_q = max(100, bench_query_count() // 4)
+
+    def run():
+        for extent in _EXTENTS:
+            _RESULTS[("extent", distribution, method, extent)] = _measure(
+                method, key, extent, n_q
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("distribution", _DISTRIBUTIONS)
+@pytest.mark.parametrize("method", KEY_METHODS)
+def test_fig9_cardinality_sweep(benchmark, distribution, method):
+    n_q = max(100, bench_query_count() // 8)
+
+    def run():
+        for n in _cardinalities():
+            key = _key(n, _DEFAULT_AREA, distribution)
+            _RESULTS[("card", distribution, method, n)] = _measure(
+                method, key, 0.1, n_q
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+@pytest.mark.parametrize("distribution", _DISTRIBUTIONS)
+@pytest.mark.parametrize("method", KEY_METHODS)
+def test_fig9_data_area_sweep(benchmark, distribution, method):
+    n = _cardinalities()[2]
+    n_q = max(100, bench_query_count() // 8)
+
+    def run():
+        for area in TABLE4_AREAS:
+            key = _key(n, area, distribution)
+            _RESULTS[("area", distribution, method, area)] = _measure(
+                method, key, 0.1, n_q
+            )
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+
+def test_fig9_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+
+    def render():
+        for distribution in _DISTRIBUTIONS:
+            print_series(
+                f"Fig. 9 ({distribution}) — throughput [q/s] vs query relative extent [%]",
+                "extent%",
+                _EXTENTS,
+                {
+                    m: [
+                        _RESULTS[("extent", distribution, m, e)] for e in _EXTENTS
+                    ]
+                    for m in KEY_METHODS
+                },
+            )
+            cards = _cardinalities()
+            print_series(
+                f"Fig. 9 ({distribution}) — throughput [q/s] vs data cardinality (scaled from 1M-100M)",
+                "cardinality",
+                cards,
+                {
+                    m: [_RESULTS[("card", distribution, m, n)] for n in cards]
+                    for m in KEY_METHODS
+                },
+            )
+            print_series(
+                f"Fig. 9 ({distribution}) — throughput [q/s] vs data rectangle area (0 = 10^-inf)",
+                "rect area",
+                TABLE4_AREAS,
+                {
+                    m: [
+                        _RESULTS[("area", distribution, m, a)] for a in TABLE4_AREAS
+                    ]
+                    for m in KEY_METHODS
+                },
+            )
+
+    report(render)
+    for distribution in _DISTRIBUTIONS:
+        # Ordering holds at every data rectangle area, including 10^-inf.
+        for area in TABLE4_AREAS:
+            assert (
+                _RESULTS[("area", distribution, "2-layer", area)]
+                > _RESULTS[("area", distribution, "1-layer", area)]
+            )
+        # Cardinality does not change the relative ordering (paper quote).
+        for n in _cardinalities():
+            assert (
+                _RESULTS[("card", distribution, "2-layer", n)]
+                > _RESULTS[("card", distribution, "R-tree", n)]
+            )

@@ -1,0 +1,68 @@
+"""Table VI — total update cost.
+
+Paper: build each index by bulk-loading 90% of the data, then measure the
+total cost of inserting the remaining 10% one object at a time.
+Expected: 1-layer fastest, 2-layer marginally slower, quad-tree clearly
+slower, R-tree about two orders of magnitude slower than the grids.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import print_table, tiger_dataset
+
+from _shared import build_index
+from conftest import report
+
+_METHODS = ("R-tree", "quad-tree", "1-layer", "2-layer")
+_DATASETS = ("ROADS", "EDGES", "TIGER")
+_RESULTS: dict[tuple[str, str], float] = {}
+
+
+def _update_workload(dataset: str, method: str):
+    data = tiger_dataset(dataset)
+    split = int(len(data) * 0.9)
+    index = build_index(method, data.slice(0, split))
+    tail = [(data.rect(i), i) for i in range(split, len(data))]
+    return index, tail
+
+
+@pytest.mark.parametrize("dataset", _DATASETS)
+@pytest.mark.parametrize("method", _METHODS)
+def test_table6_update_cost(benchmark, dataset, method):
+    index, tail = _update_workload(dataset, method)
+
+    def run():
+        t0 = time.perf_counter()
+        for rect, oid in tail:
+            index.insert(rect, oid)
+        return time.perf_counter() - t0
+
+    seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    _RESULTS[(method, dataset)] = seconds
+
+
+def test_table6_report(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = [
+        [d]
+        + [_RESULTS.get((m, d), float("nan")) for m in _METHODS]
+        for d in _DATASETS
+    ]
+    report(
+        lambda: print_table(
+            "Table VI — total update cost [sec] (insert last 10%)",
+            ["dataset"] + list(_METHODS),
+            rows,
+        )
+    )
+    for d in _DATASETS:
+        assert _RESULTS[("1-layer", d)] <= _RESULTS[("2-layer", d)] * 1.5, (
+            "2-layer updates must stay close to 1-layer"
+        )
+        assert _RESULTS[("R-tree", d)] > _RESULTS[("2-layer", d)], (
+            "R-tree updates must be slower than grid updates"
+        )

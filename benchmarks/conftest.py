@@ -1,0 +1,32 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark registers the paper-style table/series it produced via
+:func:`report`; a terminal-summary hook prints everything after the
+pytest-benchmark statistics, so ``pytest benchmarks/ --benchmark-only``
+emits both machine stats and the rows/series to compare against the
+paper (recorded in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import io
+from contextlib import redirect_stdout
+
+_REPORTS: list[str] = []
+
+
+def report(render) -> None:
+    """Capture the output of ``render()`` (a printing thunk) for the
+    end-of-run summary."""
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        render()
+    _REPORTS.append(buffer.getvalue())
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.section("paper-style experiment reports")
+    for text in _REPORTS:
+        terminalreporter.write(text)

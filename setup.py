@@ -1,0 +1,11 @@
+"""Legacy installer shim.
+
+`pip install -e .` with PEP 517 needs the `wheel` package for editable
+metadata on some older toolchains; in fully offline environments without
+it, `python setup.py develop` installs this package using only
+setuptools.  All real metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

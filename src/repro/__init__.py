@@ -1,0 +1,83 @@
+"""repro — reproduction of "A Two-layer Partitioning for Non-point Spatial Data".
+
+Tsitsigkos, Lampropoulos, Bouros, Mamoulis, Terrovitis — ICDE 2021.
+
+The library centres on an in-memory regular-grid spatial index whose tiles
+are *secondarily partitioned* into four object classes (A, B, C, D).  Range
+queries over the two-layer index avoid generating duplicate results
+entirely, instead of generating and then eliminating them, and need at most
+one comparison per dimension per candidate.
+
+Quick start::
+
+    from repro import Rect, TwoLayerGrid
+    from repro.datasets import generate_uniform_rects
+
+    data = generate_uniform_rects(10_000, area=1e-6, seed=7)
+    index = TwoLayerGrid.build(data, partitions_per_dim=64)
+    results = index.window_query(Rect(0.2, 0.2, 0.3, 0.3))
+
+See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.errors import (
+    DatasetError,
+    IndexStateError,
+    InvalidGeometryError,
+    InvalidGridError,
+    InvalidQueryError,
+    InvalidRectError,
+    ReproError,
+)
+from repro.geometry import LineString, Point, Polygon, Rect, Segment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "InvalidGeometryError",
+    "InvalidRectError",
+    "InvalidQueryError",
+    "InvalidGridError",
+    "DatasetError",
+    "IndexStateError",
+    # geometry
+    "Rect",
+    "Point",
+    "Segment",
+    "LineString",
+    "Polygon",
+    # indexes (populated below)
+    "OneLayerGrid",
+    "TwoLayerGrid",
+    "TwoLayerPlusGrid",
+    "QuadTree",
+    "TwoLayerQuadTree",
+    "MXCIFQuadTree",
+    "RTree",
+    "RStarTree",
+    "BlockIndex",
+    "KDTree",
+    "TwoLayerKDTree",
+    # facade
+    "SpatialCollection",
+    # datasets
+    "RectDataset",
+]
+
+# Index classes are imported at the bottom so that the geometry and dataset
+# layers never depend on index modules (no import cycles).
+from repro.datasets.dataset import RectDataset  # noqa: E402
+from repro.grid.one_layer import OneLayerGrid  # noqa: E402
+from repro.core.two_layer import TwoLayerGrid  # noqa: E402
+from repro.core.two_layer_plus import TwoLayerPlusGrid  # noqa: E402
+from repro.quadtree.quadtree import QuadTree  # noqa: E402
+from repro.quadtree.two_layer_quadtree import TwoLayerQuadTree  # noqa: E402
+from repro.quadtree.mxcif import MXCIFQuadTree  # noqa: E402
+from repro.rtree.rtree import RStarTree, RTree  # noqa: E402
+from repro.block.block import BlockIndex  # noqa: E402
+from repro.kdtree.kdtree import KDTree, TwoLayerKDTree  # noqa: E402
+from repro.api import SpatialCollection  # noqa: E402

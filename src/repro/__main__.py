@@ -1,0 +1,97 @@
+"""Command-line self-check and demo: ``python -m repro``.
+
+Runs a miniature end-to-end exercise of the library — build every index
+over one synthetic dataset, cross-validate their answers, and print a
+small throughput table — so users can verify an installation in seconds.
+
+Options::
+
+    python -m repro                 # default demo (50K rectangles)
+    python -m repro --n 200000      # bigger dataset
+    python -m repro --seed 3        # different data
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro import (
+    BlockIndex,
+    KDTree,
+    MXCIFQuadTree,
+    OneLayerGrid,
+    QuadTree,
+    RStarTree,
+    RTree,
+    TwoLayerGrid,
+    TwoLayerKDTree,
+    TwoLayerPlusGrid,
+    TwoLayerQuadTree,
+    __version__,
+)
+from repro.datasets import generate_uniform_rects, generate_window_queries
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Self-check for the two-layer partitioning library.",
+    )
+    parser.add_argument("--n", type=int, default=50_000, help="dataset size")
+    parser.add_argument("--seed", type=int, default=7, help="random seed")
+    parser.add_argument(
+        "--queries", type=int, default=300, help="window queries to time"
+    )
+    parser.add_argument(
+        "--skip-slow",
+        action="store_true",
+        help="skip the insertion-built R*-tree and MXCIF (slow to build)",
+    )
+    args = parser.parse_args(argv)
+
+    print(f"repro {__version__} self-check: n={args.n:,}, seed={args.seed}")
+    data = generate_uniform_rects(args.n, area=1e-8, seed=args.seed)
+    queries = generate_window_queries(data, args.queries, 0.1, seed=args.seed)
+
+    methods = [
+        ("2-layer", lambda: TwoLayerGrid.build(data, partitions_per_dim=64)),
+        ("2-layer+", lambda: TwoLayerPlusGrid.build(data, partitions_per_dim=64)),
+        ("1-layer", lambda: OneLayerGrid.build(data, partitions_per_dim=64)),
+        ("quad-tree", lambda: QuadTree.build(data)),
+        ("quad-tree 2L", lambda: TwoLayerQuadTree.build(data)),
+        ("kd-tree", lambda: KDTree.build(data)),
+        ("kd-tree 2L", lambda: TwoLayerKDTree.build(data)),
+        ("R-tree", lambda: RTree.build(data)),
+        ("BLOCK", lambda: BlockIndex.build(data)),
+    ]
+    if not args.skip_slow:
+        methods.append(("R*-tree", lambda: RStarTree.build(data)))
+        methods.append(("MXCIF", lambda: MXCIFQuadTree.build(data)))
+
+    reference = None
+    print(f"\n{'method':<14} {'build[s]':>9} {'throughput[q/s]':>16}")
+    print("-" * 42)
+    for name, build in methods:
+        t0 = time.perf_counter()
+        index = build()
+        build_s = time.perf_counter() - t0
+        got = set(index.window_query(queries[0]).tolist())
+        if reference is None:
+            reference = got
+        if got != reference:
+            print(f"{name:<14} FAILED cross-validation!", file=sys.stderr)
+            return 1
+        t0 = time.perf_counter()
+        for w in queries:
+            index.window_query(w)
+        qps = len(queries) / (time.perf_counter() - t0)
+        print(f"{name:<14} {build_s:>9.2f} {qps:>16,.0f}")
+
+    print("\nall indexes agree — installation OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

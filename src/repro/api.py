@@ -1,0 +1,262 @@
+"""High-level facade: one object that does everything the library offers.
+
+:class:`SpatialCollection` wraps a dataset (MBRs, optionally exact
+geometries) together with a two-layer grid index and exposes every query
+the repo implements through one coherent interface — the entry point a
+downstream application would actually use:
+
+* window / disk / convex-polygon range queries (MBR-level or exact);
+* k-nearest neighbours;
+* spatial joins against another collection;
+* inserts and deletes;
+* selectivity estimates, granularity auto-tuning, persistence.
+
+Example::
+
+    from repro.api import SpatialCollection
+    from repro.datasets import generate_uniform_rects
+
+    col = SpatialCollection.from_dataset(generate_uniform_rects(100_000))
+    hits = col.window(0.2, 0.2, 0.3, 0.3)
+    near = col.knn(0.5, 0.5, k=10)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import DiskQuery
+from repro.errors import InvalidQueryError
+from repro.geometry.mbr import Rect
+from repro.geometry.predicates import Geometry
+from repro.core.estimate import SelectivityEstimator
+from repro.core.join import two_layer_spatial_join
+from repro.core.knn import knn_query
+from repro.core.ranges import ConvexPolygonRange, convex_range_query
+from repro.core.refinement import RefinementEngine
+from repro.core.tuning import suggest_partitions
+from repro.core.two_layer import TwoLayerGrid
+from repro.core.two_layer_plus import TwoLayerPlusGrid
+from repro.stats import QueryStats
+
+__all__ = ["SpatialCollection"]
+
+
+class SpatialCollection:
+    """A queryable collection of spatial objects over a two-layer grid."""
+
+    def __init__(
+        self,
+        data: RectDataset,
+        partitions_per_dim: "int | None" = None,
+        decomposed: bool = False,
+        domain: "Rect | None" = None,
+    ):
+        self.data = data
+        if domain is None:
+            domain = self._auto_domain(data)
+        if partitions_per_dim is None:
+            if len(data):
+                partitions_per_dim = suggest_partitions(
+                    data, domain_extent=max(domain.width, domain.height)
+                )
+            else:
+                partitions_per_dim = 16
+        index_cls = TwoLayerPlusGrid if decomposed else TwoLayerGrid
+        self.index = index_cls.build(
+            data, partitions_per_dim=partitions_per_dim, domain=domain
+        )
+        self._refiner = RefinementEngine(self.index, data)
+        self._estimator: "SelectivityEstimator | None" = None
+
+    @staticmethod
+    def _auto_domain(data: RectDataset) -> Rect:
+        """The grid domain for arbitrary (non-normalised) coordinates.
+
+        Real datasets arrive in metres, degrees or pixels; clamping them
+        into a unit grid would pile everything into edge tiles (correct
+        but slow).  The domain is the data's MBR padded by 1% per side —
+        the padding keeps later inserts near the boundary in play.
+        """
+        if len(data) == 0:
+            return Rect(0.0, 0.0, 1.0, 1.0)
+        mbr = data.mbr()
+        pad_x = max(mbr.width, 1e-9) * 0.01
+        pad_y = max(mbr.height, 1e-9) * 0.01
+        return Rect(
+            mbr.xl - pad_x, mbr.yl - pad_y, mbr.xu + pad_x, mbr.yu + pad_y
+        )
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_dataset(cls, data: RectDataset, **kwargs) -> "SpatialCollection":
+        """Wrap an existing :class:`RectDataset`."""
+        return cls(data, **kwargs)
+
+    @classmethod
+    def from_geometries(
+        cls, geometries: Iterable[Geometry], **kwargs
+    ) -> "SpatialCollection":
+        """Index exact geometries (their MBRs drive the filtering step)."""
+        return cls(RectDataset.from_geometries(geometries), **kwargs)
+
+    @classmethod
+    def from_rects(cls, rects: Sequence[Rect], **kwargs) -> "SpatialCollection":
+        return cls(RectDataset.from_rects(rects), **kwargs)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpatialCollection(n={len(self)}, "
+            f"grid={self.index.grid.nx}x{self.index.grid.ny}, "
+            f"exact_geometries={self.data.geometries is not None})"
+        )
+
+    def describe(self) -> dict:
+        """Summary statistics of the collection and its index."""
+        avg_w, avg_h = (
+            self.data.average_extents() if len(self.data) else (0.0, 0.0)
+        )
+        return {
+            "objects": len(self.data),
+            "partitions_per_dim": self.index.grid.nx,
+            "replicas": self.index.replica_count,
+            "replication_ratio": self.index.replica_count / max(len(self.data), 1),
+            "class_counts": self.index.class_counts(),
+            "avg_extent": (avg_w, avg_h),
+            "index_bytes": self.index.nbytes,
+        }
+
+    # -- queries -----------------------------------------------------------------
+
+    def window(
+        self,
+        xl: float,
+        yl: float,
+        xu: float,
+        yu: float,
+        exact: bool = False,
+        predicate: str = "intersects",
+        stats: "QueryStats | None" = None,
+    ) -> np.ndarray:
+        """Objects matching the window.
+
+        ``predicate="intersects"`` (default) or ``"within"`` (objects
+        fully contained in the window).  ``exact=True`` runs the full
+        filter + Lemma 5 secondary filter + refinement pipeline
+        (intersects only — an MBR within the window implies the geometry
+        is within it, so ``within`` needs no refinement).
+        """
+        window = Rect(xl, yl, xu, yu)
+        if predicate == "within":
+            if exact:
+                raise InvalidQueryError(
+                    "'within' is already exact at the MBR level"
+                )
+            return self.index.window_query_within(window, stats)
+        if predicate != "intersects":
+            raise InvalidQueryError(
+                f"unknown predicate {predicate!r}; expected 'intersects' or 'within'"
+            )
+        if exact:
+            return self._refiner.window(window, mode="refavoid_plus", stats=stats)
+        return self.index.window_query(window, stats)
+
+    def disk(
+        self,
+        cx: float,
+        cy: float,
+        radius: float,
+        exact: bool = False,
+        stats: "QueryStats | None" = None,
+    ) -> np.ndarray:
+        """Objects within ``radius`` of the centre (exact or MBR-level)."""
+        query = DiskQuery(cx, cy, radius)
+        if exact:
+            return self._refiner.disk(query, mode="refavoid", stats=stats)
+        return self.index.disk_query(query, stats)
+
+    def polygon(
+        self, vertices: Sequence[tuple[float, float]], stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Objects whose MBR intersects a convex polygon range (§IV-E)."""
+        return convex_range_query(self.index, ConvexPolygonRange(vertices), stats)
+
+    def knn(self, cx: float, cy: float, k: int, exact: bool = False) -> np.ndarray:
+        """The ``k`` objects nearest to a point.
+
+        ``exact=False`` ranks by MBR minimum distance (the filtering-step
+        metric); ``exact=True`` refines with true geometry distances
+        (filter-and-refine kNN).
+        """
+        if exact:
+            return self._refiner.knn(cx, cy, k)
+        return knn_query(self.index, self.data, cx, cy, k)
+
+    def join(
+        self, other: "SpatialCollection", partitions_per_dim: "int | None" = None
+    ) -> np.ndarray:
+        """All intersecting (self, other) id pairs, duplicate-free."""
+        if partitions_per_dim is None:
+            partitions_per_dim = self.index.grid.nx
+        return two_layer_spatial_join(
+            self.data, other.data, partitions_per_dim=partitions_per_dim
+        )
+
+    def count(self, xl: float, yl: float, xu: float, yu: float) -> int:
+        """Exact result count of a window query (no id materialisation)."""
+        return self.index.count_window(Rect(xl, yl, xu, yu))
+
+    def estimate(self, xl: float, yl: float, xu: float, yu: float) -> float:
+        """Histogram-based estimate of a window query's result count."""
+        if self._estimator is None:
+            avg = self.data.average_extents() if len(self.data) else (0.0, 0.0)
+            self._estimator = SelectivityEstimator(self.index, avg_extent=avg)
+        return self._estimator.estimate_window(Rect(xl, yl, xu, yu))
+
+    # -- maintenance ---------------------------------------------------------------
+
+    def insert(self, rect: Rect, geometry: "Geometry | None" = None) -> int:
+        """Insert a new object; returns its id.
+
+        Collections carrying exact geometries require one for the new
+        object (refined queries would otherwise silently degrade).
+        """
+        if self.data.geometries is not None and geometry is None:
+            raise InvalidQueryError(
+                "this collection stores exact geometries; provide one"
+            )
+        new_id = self.index.insert(rect)
+        self.data = RectDataset(
+            np.append(self.data.xl, rect.xl),
+            np.append(self.data.yl, rect.yl),
+            np.append(self.data.xu, rect.xu),
+            np.append(self.data.yu, rect.yu),
+            None
+            if self.data.geometries is None
+            else self.data.geometries + [geometry],
+        )
+        self._refiner = RefinementEngine(self.index, self.data)
+        self._estimator = None
+        return new_id
+
+    def delete(self, obj_id: int) -> bool:
+        """Remove an object by id (its MBR is looked up internally).
+
+        The dataset row is kept (ids are positional) but the index entry
+        disappears, so the object stops matching any query.
+        """
+        if not 0 <= obj_id < len(self.data):
+            return False
+        found = self.index.delete(self.data.rect(obj_id), obj_id)
+        if found:
+            self._estimator = None
+        return found

@@ -1,0 +1,30 @@
+"""Benchmark harness: measurement, reporting and shared workloads."""
+
+from repro.bench.reporting import fmt, print_series, print_table
+from repro.bench.runner import Timed, throughput, time_call, total_time
+from repro.bench.workloads import (
+    BEST_GRANULARITY,
+    bench_query_count,
+    bench_scale,
+    disk_workload,
+    synthetic_dataset,
+    tiger_dataset,
+    window_workload,
+)
+
+__all__ = [
+    "Timed",
+    "throughput",
+    "time_call",
+    "total_time",
+    "print_table",
+    "print_series",
+    "fmt",
+    "tiger_dataset",
+    "synthetic_dataset",
+    "window_workload",
+    "disk_workload",
+    "bench_scale",
+    "bench_query_count",
+    "BEST_GRANULARITY",
+]

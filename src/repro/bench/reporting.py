@@ -1,0 +1,61 @@
+"""Paper-style table/series printers for the benchmark harness.
+
+Every benchmark prints, next to pytest-benchmark's own statistics, the
+rows or series the corresponding paper table/figure reports, so the
+output can be compared against the paper side by side (EXPERIMENTS.md
+records that comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["print_table", "print_series", "fmt"]
+
+
+def fmt(value) -> str:
+    """Human-ready cell formatting for mixed numeric/text values."""
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> None:
+    """Print an aligned monospace table under a title banner."""
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(headers[i]), *(len(r[i]) for r in str_rows)) if str_rows else len(headers[i])
+        for i in range(len(headers))
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(f"=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in str_rows:
+        print("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    print()
+
+
+def print_series(
+    title: str,
+    x_label: str,
+    xs: Sequence,
+    series: dict[str, Sequence],
+) -> None:
+    """Print one figure panel: x values in the first column, one series
+    per further column (what the paper plots as lines)."""
+    headers = [x_label] + list(series.keys())
+    rows = [
+        [x] + [series[name][i] for name in series]
+        for i, x in enumerate(xs)
+    ]
+    print_table(title, headers, rows)

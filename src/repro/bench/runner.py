@@ -1,0 +1,52 @@
+"""Measurement utilities for the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence, TypeVar
+
+__all__ = ["Timed", "time_call", "throughput", "total_time"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class Timed:
+    """A measured workload run."""
+
+    seconds: float
+    queries: int
+
+    @property
+    def qps(self) -> float:
+        """Throughput in queries per second (the paper's headline metric)."""
+        return self.queries / self.seconds if self.seconds > 0 else float("inf")
+
+    @property
+    def avg_ms(self) -> float:
+        """Average per-query latency in milliseconds."""
+        return self.seconds / self.queries * 1e3 if self.queries else 0.0
+
+
+def time_call(fn: Callable[[], T]) -> tuple[T, float]:
+    """Run ``fn`` once; returns ``(result, seconds)``."""
+    t0 = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - t0
+
+
+def throughput(run_one: Callable[[T], object], items: Sequence[T]) -> Timed:
+    """Run ``run_one`` over every item; returns the measured workload."""
+    t0 = time.perf_counter()
+    for item in items:
+        run_one(item)
+    return Timed(time.perf_counter() - t0, len(items))
+
+
+def total_time(fns: Iterable[Callable[[], object]]) -> float:
+    """Total wall time of running every thunk once."""
+    t0 = time.perf_counter()
+    for fn in fns:
+        fn()
+    return time.perf_counter() - t0

@@ -1,0 +1,112 @@
+"""Shared, cached datasets and query workloads for the benchmarks.
+
+Benchmarks run at a configurable fraction of the paper's data scale
+(Python being 1-3 orders slower than the C++ original, DESIGN.md):
+
+* ``REPRO_BENCH_SCALE``   — fraction of each TIGER dataset's paper
+  cardinality to generate (default ``1/200`` → ROADS 100K, EDGES 350K,
+  TIGER 490K objects).
+* ``REPRO_BENCH_QUERIES`` — queries per workload (default 2000; the
+  paper uses 10K).
+
+Datasets and workloads are memoised so the many benchmarks sharing them
+pay generation cost once per process.
+"""
+
+from __future__ import annotations
+
+import os
+from functools import lru_cache
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import (
+    DiskQuery,
+    generate_disk_queries,
+    generate_window_queries,
+)
+from repro.datasets.synthetic import generate_synthetic
+from repro.datasets.tiger import generate_tiger_standin
+from repro.geometry.mbr import Rect
+
+__all__ = [
+    "bench_scale",
+    "bench_query_count",
+    "tiger_dataset",
+    "synthetic_dataset",
+    "window_workload",
+    "disk_workload",
+    "BEST_GRANULARITY",
+]
+
+#: granularity found best for the Python port (coarser than the paper's
+#: thousands-per-dimension optimum because per-tile overhead is higher;
+#: Fig. 7's sweep demonstrates the plateau either way).
+BEST_GRANULARITY = 64
+
+
+def bench_scale() -> float:
+    """Dataset scale factor (fraction of paper cardinality)."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", 1.0 / 200.0))
+
+
+def bench_query_count() -> int:
+    """Number of queries per benchmark workload."""
+    return int(os.environ.get("REPRO_BENCH_QUERIES", 2000))
+
+
+@lru_cache(maxsize=None)
+def tiger_dataset(name: str, with_geometries: bool = False) -> RectDataset:
+    """The cached Table III stand-in dataset (ROADS / EDGES / TIGER)."""
+    scale = bench_scale()
+    if with_geometries:
+        # Exact geometries are only needed by the refinement experiment;
+        # cap the object count so geometry construction stays tractable.
+        scale = min(scale, 1.0 / 1000.0)
+    return generate_tiger_standin(
+        name, scale=scale, with_geometries=with_geometries, seed=2015
+    )
+
+
+@lru_cache(maxsize=None)
+def synthetic_dataset(
+    n: int, area: float, distribution: str = "uniform"
+) -> RectDataset:
+    """Cached Table IV synthetic dataset."""
+    return generate_synthetic(n, area=area, distribution=distribution, seed=42)
+
+
+@lru_cache(maxsize=None)
+def window_workload(
+    dataset_key: str, relative_area_percent: float, n: "int | None" = None
+) -> tuple[Rect, ...]:
+    """Cached window-query workload over a named dataset.
+
+    ``dataset_key`` is ``"ROADS"``/``"EDGES"``/``"TIGER"`` or
+    ``"synthetic:<n>:<area>:<distribution>"``.
+    """
+    data = _resolve(dataset_key)
+    count = n if n is not None else bench_query_count()
+    return tuple(
+        generate_window_queries(data, count, relative_area_percent, seed=7)
+    )
+
+
+@lru_cache(maxsize=None)
+def disk_workload(
+    dataset_key: str, relative_area_percent: float, n: "int | None" = None
+) -> tuple[DiskQuery, ...]:
+    """Cached disk-query workload over a named dataset."""
+    data = _resolve(dataset_key)
+    count = n if n is not None else bench_query_count()
+    return tuple(
+        generate_disk_queries(data, count, relative_area_percent, seed=7)
+    )
+
+
+def _resolve(dataset_key: str) -> RectDataset:
+    if dataset_key in ("ROADS", "EDGES", "TIGER"):
+        return tiger_dataset(dataset_key)
+    if dataset_key.startswith("synthetic:"):
+        _, n, area, distribution = dataset_key.split(":")
+        return synthetic_dataset(int(n), float(area), distribution)
+    raise KeyError(f"unknown dataset key {dataset_key!r}")

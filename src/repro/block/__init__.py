@@ -1,0 +1,5 @@
+"""BLOCK-style hierarchy-of-grids DOP competitor."""
+
+from repro.block.block import BlockIndex
+
+__all__ = ["BlockIndex"]

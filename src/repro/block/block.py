@@ -1,0 +1,199 @@
+"""BLOCK-style hierarchy-of-grids index (Olma et al. [23]; Table V).
+
+BLOCK organises objects in a hierarchy of uniform grids: level ``l`` is a
+``2**l x 2**l`` grid and every object is stored **exactly once** — at the
+deepest level whose cell extent still covers the object's own extent, in
+the cell containing the object's lower corner.  Placement is unique, so
+BLOCK is data-oriented in the paper's taxonomy (partition contents are
+disjoint) and queries need no deduplication.
+
+A window query must probe *every* level: at level ``l`` an object
+intersecting the window may have its lower corner up to one cell to the
+low side of it, so the probed cell range is the window's, extended by one
+cell at the low end per axis.  The per-level probing (and the pile-up of
+large objects near the root levels) is exactly the structural overhead
+that made BLOCK uncompetitive in the paper's measurements; the original
+system was also built for 3D data, which this simplified reimplementation
+notes but does not replicate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import DiskQuery
+from repro.errors import InvalidGridError
+from repro.geometry.mbr import Rect
+from repro.grid.storage import TileTable
+from repro.stats import QueryStats
+
+__all__ = ["BlockIndex"]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+DEFAULT_LEVELS = 9
+
+
+class BlockIndex:
+    """Hierarchy of uniform grids with unique (DOP) object placement."""
+
+    def __init__(self, levels: int = DEFAULT_LEVELS, domain: "Rect | None" = None):
+        if levels < 1:
+            raise InvalidGridError(f"levels must be >= 1, got {levels}")
+        self.levels = levels
+        self.domain = domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0)
+        # one dict of cells per level: cell id -> TileTable
+        self._grids: list[dict[int, TileTable]] = [dict() for _ in range(levels)]
+        self._n_objects = 0
+
+    # -- placement ---------------------------------------------------------
+
+    def _level_for(self, width: float, height: float) -> int:
+        """Deepest level whose cell extent covers (width, height)."""
+        level = self.levels - 1
+        while level > 0:
+            k = 1 << level
+            if self.domain.width / k >= width and self.domain.height / k >= height:
+                return level
+            level -= 1
+        return 0
+
+    def _cell_id(self, level: int, x: float, y: float) -> int:
+        k = 1 << level
+        ix = min(max(int((x - self.domain.xl) / (self.domain.width / k)), 0), k - 1)
+        iy = min(max(int((y - self.domain.yl) / (self.domain.height / k)), 0), k - 1)
+        return iy * k + ix
+
+    # -- construction ----------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: RectDataset,
+        levels: int = DEFAULT_LEVELS,
+        domain: "Rect | None" = None,
+    ) -> "BlockIndex":
+        index = cls(levels, domain)
+        for i in range(len(data)):
+            index._insert_entry(
+                float(data.xl[i]),
+                float(data.yl[i]),
+                float(data.xu[i]),
+                float(data.yu[i]),
+                i,
+            )
+        index._n_objects = len(data)
+        return index
+
+    def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
+        if obj_id is None:
+            obj_id = self._n_objects
+        self._n_objects = max(self._n_objects, obj_id + 1)
+        self._insert_entry(rect.xl, rect.yl, rect.xu, rect.yu, obj_id)
+        return obj_id
+
+    def _insert_entry(
+        self, xl: float, yl: float, xu: float, yu: float, obj_id: int
+    ) -> None:
+        level = self._level_for(xu - xl, yu - yl)
+        cell = self._cell_id(level, xl, yl)
+        table = self._grids[level].get(cell)
+        if table is None:
+            table = TileTable()
+            self._grids[level][cell] = table
+        table.append(xl, yl, xu, yu, obj_id)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_objects
+
+    @property
+    def replica_count(self) -> int:
+        """Stored entries; equals the object count (unique placement)."""
+        return sum(
+            len(t) for grid in self._grids for t in grid.values()
+        )
+
+    def __repr__(self) -> str:
+        return f"BlockIndex(objects={self._n_objects}, levels={self.levels})"
+
+    # -- queries -------------------------------------------------------------------
+
+    def window_query(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Window query probing every level of the hierarchy."""
+        pieces: list[np.ndarray] = []
+        for level, grid in enumerate(self._grids):
+            if not grid:
+                continue
+            k = 1 << level
+            cw = self.domain.width / k
+            ch = self.domain.height / k
+            ix0 = min(max(int((window.xl - cw - self.domain.xl) / cw), 0), k - 1)
+            ix1 = min(max(int((window.xu - self.domain.xl) / cw), 0), k - 1)
+            iy0 = min(max(int((window.yl - ch - self.domain.yl) / ch), 0), k - 1)
+            iy1 = min(max(int((window.yu - self.domain.yl) / ch), 0), k - 1)
+            for iy in range(iy0, iy1 + 1):
+                base = iy * k
+                for ix in range(ix0, ix1 + 1):
+                    table = grid.get(base + ix)
+                    if table is None:
+                        continue
+                    xl, yl, xu, yu, ids = table.columns()
+                    if stats is not None:
+                        stats.partitions_visited += 1
+                        stats.rects_scanned += ids.shape[0]
+                        stats.comparisons += 4 * ids.shape[0]
+                    mask = (
+                        (xu >= window.xl)
+                        & (xl <= window.xu)
+                        & (yu >= window.yl)
+                        & (yl <= window.yu)
+                    )
+                    hit = ids[mask]
+                    if hit.shape[0]:
+                        pieces.append(hit)
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def disk_query(
+        self, query: DiskQuery, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Disk query: per-level probe over the disk's MBR + distance test."""
+        window = query.mbr()
+        r2 = query.radius * query.radius
+        cx, cy = query.cx, query.cy
+        pieces: list[np.ndarray] = []
+        for level, grid in enumerate(self._grids):
+            if not grid:
+                continue
+            k = 1 << level
+            cw = self.domain.width / k
+            ch = self.domain.height / k
+            ix0 = min(max(int((window.xl - cw - self.domain.xl) / cw), 0), k - 1)
+            ix1 = min(max(int((window.xu - self.domain.xl) / cw), 0), k - 1)
+            iy0 = min(max(int((window.yl - ch - self.domain.yl) / ch), 0), k - 1)
+            iy1 = min(max(int((window.yu - self.domain.yl) / ch), 0), k - 1)
+            for iy in range(iy0, iy1 + 1):
+                base = iy * k
+                for ix in range(ix0, ix1 + 1):
+                    table = grid.get(base + ix)
+                    if table is None:
+                        continue
+                    xl, yl, xu, yu, ids = table.columns()
+                    if stats is not None:
+                        stats.partitions_visited += 1
+                        stats.rects_scanned += ids.shape[0]
+                        stats.comparisons += 2 * ids.shape[0]
+                    dx = np.maximum(np.maximum(xl - cx, 0.0), cx - xu)
+                    dy = np.maximum(np.maximum(yl - cy, 0.0), cy - yu)
+                    hit = ids[dx * dx + dy * dy <= r2]
+                    if hit.shape[0]:
+                        pieces.append(hit)
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)

@@ -1,0 +1,107 @@
+"""Decomposition storage model (DSM) tables — Section IV-C.
+
+For 2-layer⁺, every secondary partition ``T^X`` additionally stores its
+rectangles column-decomposed: sorted tables ``L_xl, L_xu, L_yl, L_yu`` of
+``(coordinate, id)`` pairs.  A tile needing a single comparison per
+Lemma 3/4 is then answered with one binary search — the qualifying prefix
+or suffix of the sorted table is reported *without any per-rectangle
+comparison*.
+
+Not every class needs all four tables (Table II): class D rectangles, for
+example, can only ever face the comparisons ``r.xu >= W.xl`` and
+``r.yu >= W.yl``, so only ``L_xu`` and ``L_yu`` are kept:
+
+=========  =========================
+partition  required decomposed tables
+=========  =========================
+``T^A``    ``L_xl, L_xu, L_yl, L_yu``
+``T^B``    ``L_xl, L_xu, L_yu``
+``T^C``    ``L_xu, L_yl, L_yu``
+``T^D``    ``L_xu, L_yu``
+=========  =========================
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.base import CLASS_A, CLASS_B, CLASS_C, CLASS_D
+
+__all__ = [
+    "COMP_XU_GE",
+    "COMP_XL_LE",
+    "COMP_YU_GE",
+    "COMP_YL_LE",
+    "REQUIRED_TABLES",
+    "DecomposedTables",
+]
+
+#: comparison identifiers; each names the coordinate it binds.
+COMP_XU_GE = "xu_ge"  # r.xu >= W.xl  -> suffix of L_xu
+COMP_XL_LE = "xl_le"  # r.xl <= W.xu  -> prefix of L_xl
+COMP_YU_GE = "yu_ge"  # r.yu >= W.yl  -> suffix of L_yu
+COMP_YL_LE = "yl_le"  # r.yl <= W.yu  -> prefix of L_yl
+
+#: Table II — which decomposed tables each class stores.
+REQUIRED_TABLES: dict[int, tuple[str, ...]] = {
+    CLASS_A: (COMP_XL_LE, COMP_XU_GE, COMP_YL_LE, COMP_YU_GE),
+    CLASS_B: (COMP_XL_LE, COMP_XU_GE, COMP_YU_GE),
+    CLASS_C: (COMP_XU_GE, COMP_YL_LE, COMP_YU_GE),
+    CLASS_D: (COMP_XU_GE, COMP_YU_GE),
+}
+
+#: maps a comparison to (source column index, sort ascending prefix?).
+#: columns() order is (xl, yl, xu, yu, ids).
+_SOURCE_COLUMN = {
+    COMP_XL_LE: 0,
+    COMP_YL_LE: 1,
+    COMP_XU_GE: 2,
+    COMP_YU_GE: 3,
+}
+
+
+class DecomposedTables:
+    """The DSM tables of one secondary partition (one tile, one class)."""
+
+    __slots__ = ("_vals", "_ids", "n")
+
+    def __init__(
+        self,
+        xl: np.ndarray,
+        yl: np.ndarray,
+        xu: np.ndarray,
+        yu: np.ndarray,
+        ids: np.ndarray,
+        code: int,
+    ):
+        columns = (xl, yl, xu, yu)
+        self.n = int(ids.shape[0])
+        self._vals: dict[str, np.ndarray] = {}
+        self._ids: dict[str, np.ndarray] = {}
+        for comp in REQUIRED_TABLES[code]:
+            source = columns[_SOURCE_COLUMN[comp]]
+            order = np.argsort(source, kind="stable")
+            self._vals[comp] = source[order]
+            self._ids[comp] = ids[order]
+
+    @property
+    def nbytes(self) -> int:
+        return sum(v.nbytes for v in self._vals.values()) + sum(
+            i.nbytes for i in self._ids.values()
+        )
+
+    def has_table(self, comp: str) -> bool:
+        return comp in self._vals
+
+    def search(self, comp: str, bound: float) -> np.ndarray:
+        """Ids satisfying one comparison, via a single binary search.
+
+        For ``*_le`` comparisons the qualifying rows are the prefix of the
+        ascending table with value <= bound; for ``*_ge`` comparisons, the
+        suffix with value >= bound.  No per-row comparison is executed.
+        """
+        vals = self._vals[comp]
+        ids = self._ids[comp]
+        if comp in (COMP_XL_LE, COMP_YL_LE):
+            return ids[: vals.searchsorted(bound, side="right")]
+        return ids[vals.searchsorted(bound, side="left") :]

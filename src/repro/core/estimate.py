@@ -1,0 +1,78 @@
+"""Selectivity estimation over the two-layer grid.
+
+The grid doubles as a spatial histogram: the class-A table of each tile
+counts the *distinct* objects starting there (every object has exactly
+one class-A replica), so summing class-A counts weighted by how much of
+each tile a window covers gives an unbiased-under-uniformity estimate of
+the result cardinality — the quantity a query optimiser needs to choose
+between, say, an index scan and a full scan, or to order a join.
+
+The estimator adds a boundary correction for objects starting left/above
+the window (classes B/C/D mass near the window's low edges) by expanding
+the window by the dataset's average object extent, the standard
+technique for rectangle (rather than point) histograms.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.mbr import Rect
+from repro.grid.base import CLASS_A
+from repro.core.two_layer import TwoLayerGrid
+
+__all__ = ["SelectivityEstimator"]
+
+
+class SelectivityEstimator:
+    """Result-cardinality estimates for window queries on a 2-layer grid."""
+
+    def __init__(self, index: TwoLayerGrid, avg_extent: "tuple[float, float] | None" = None):
+        self.index = index
+        #: per-tile distinct-object (class A) counts: the histogram.
+        self._a_counts: dict[int, int] = {}
+        for tile_id, tables in index._tiles.items():
+            table = tables[CLASS_A]
+            if table is not None and len(table):
+                self._a_counts[tile_id] = len(table)
+        self.avg_extent = avg_extent if avg_extent is not None else (0.0, 0.0)
+
+    @property
+    def total_objects(self) -> int:
+        return sum(self._a_counts.values())
+
+    def estimate_window(self, window: Rect) -> float:
+        """Estimated number of objects intersecting ``window``.
+
+        Uniformity-within-tile assumption: a tile's class-A count spreads
+        evenly over the tile, so the tile contributes
+        ``count * covered_fraction``.  The window is pre-expanded by the
+        average object extent on its low sides, accounting for objects
+        that *start* before the window but still reach into it.
+        """
+        grid = self.index.grid
+        expanded = Rect(
+            window.xl - self.avg_extent[0],
+            window.yl - self.avg_extent[1],
+            window.xu,
+            window.yu,
+        )
+        ix0, ix1, iy0, iy1 = grid.tile_range_for_window(expanded)
+        total = 0.0
+        tile_area = grid.tile_w * grid.tile_h
+        for iy in range(iy0, iy1 + 1):
+            base = iy * grid.nx
+            for ix in range(ix0, ix1 + 1):
+                count = self._a_counts.get(base + ix)
+                if not count:
+                    continue
+                tile = grid.tile_rect(ix, iy)
+                overlap = tile.overlap_area(expanded)
+                if overlap > 0.0:
+                    total += count * (overlap / tile_area)
+        return total
+
+    def estimate_selectivity(self, window: Rect) -> float:
+        """Estimated fraction of the dataset a window query returns."""
+        n = self.total_objects
+        if n == 0:
+            return 0.0
+        return min(self.estimate_window(window) / n, 1.0)

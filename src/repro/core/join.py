@@ -1,0 +1,351 @@
+"""Spatial intersection joins over two-layer grids (paper future work).
+
+The paper's conclusions name spatial joins over SOP indices with
+secondary partitioning as future work; this module implements them with
+the same duplicate-*avoidance* reasoning as window queries.
+
+Replicate both inputs R and S onto the same grid.  A pair ``(r, s)`` of
+intersecting MBRs is conventionally found in *every* tile both overlap,
+so classic partition-based joins deduplicate with the reference-point
+test on ``r ∩ s`` [9].  With classes, deduplication disappears: report
+the pair only where its class combination is *allowed*.
+
+Derivation.  Let ``p = (max(r.xl, s.xl), max(r.yl, s.yl))`` — the lower
+corner of ``r ∩ s``, which lies in exactly one (half-open) tile, and in
+both rectangles.  In that tile and per dimension, the rectangle whose
+start realises the max starts *inside* the tile; the other starts inside
+or before.  Hence a combination ``(class_r, class_s)`` is allowed iff in
+neither dimension do *both* rectangles start before the tile:
+
+    (A,A) (A,B) (A,C) (A,D) (B,A) (B,C) (C,A) (C,B) (D,A)
+
+and conversely, if a pair matches an allowed combination in a tile, that
+tile *is* the tile of ``p`` (per dimension, the max of two starts that
+are inside-or-before, at least one inside, falls inside).  Every
+intersecting pair is therefore produced exactly once, with zero
+deduplication work — the join-shaped analogue of Lemmas 1-2.
+
+A reference-point baseline (:func:`one_layer_spatial_join`) is provided
+for comparison, mirroring the 1-layer situation for window queries.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.errors import InvalidGridError
+from repro.geometry.mbr import Rect
+from repro.grid.base import (
+    CLASS_A,
+    CLASS_B,
+    CLASS_C,
+    CLASS_D,
+    GridPartitioner,
+    replicate,
+)
+from repro.grid.storage import group_rows
+from repro.stats import QueryStats
+
+__all__ = [
+    "ALLOWED_CLASS_COMBOS",
+    "JOIN_ALGORITHMS",
+    "two_layer_spatial_join",
+    "one_layer_spatial_join",
+    "refine_join_pairs",
+    "brute_force_join",
+]
+
+#: class combinations (class of r, class of s) that report a pair —
+#: exactly those where no dimension has both rectangles starting before
+#: the tile.
+ALLOWED_CLASS_COMBOS: tuple[tuple[int, int], ...] = (
+    (CLASS_A, CLASS_A),
+    (CLASS_A, CLASS_B),
+    (CLASS_A, CLASS_C),
+    (CLASS_A, CLASS_D),
+    (CLASS_B, CLASS_A),
+    (CLASS_B, CLASS_C),
+    (CLASS_C, CLASS_A),
+    (CLASS_C, CLASS_B),
+    (CLASS_D, CLASS_A),
+)
+
+
+def _tile_class_tables(data: RectDataset, grid: GridPartitioner):
+    """tile id -> class code -> (xl, yl, xu, yu, ids) column tuples."""
+    rep = replicate(data, grid)
+    keys = rep.tile_ids * 4 + rep.class_codes
+    tiles: dict[int, dict[int, tuple]] = {}
+    for key, rows in group_rows(keys):
+        tile_id, code = divmod(key, 4)
+        obj = rep.obj_ids[rows]
+        tiles.setdefault(tile_id, {})[code] = (
+            data.xl[obj],
+            data.yl[obj],
+            data.xu[obj],
+            data.yu[obj],
+            obj,
+        )
+    return tiles
+
+
+def _pairs_in_tables(table_r, table_s, stats: "QueryStats | None"):
+    """All intersecting (id_r, id_s) pairs between two column tables."""
+    rxl, ryl, rxu, ryu, rids = table_r
+    sxl, syl, sxu, syu, sids = table_s
+    out_r = []
+    out_s = []
+    # Loop the smaller side, test vectorised against the larger.
+    if rids.shape[0] <= sids.shape[0]:
+        for k in range(rids.shape[0]):
+            mask = (
+                (sxu >= rxl[k])
+                & (sxl <= rxu[k])
+                & (syu >= ryl[k])
+                & (syl <= ryu[k])
+            )
+            hit = sids[mask]
+            if hit.shape[0]:
+                out_r.append(np.full(hit.shape[0], rids[k], dtype=np.int64))
+                out_s.append(hit)
+        if stats is not None:
+            stats.comparisons += 4 * rids.shape[0] * sids.shape[0]
+    else:
+        for k in range(sids.shape[0]):
+            mask = (
+                (rxu >= sxl[k])
+                & (rxl <= sxu[k])
+                & (ryu >= syl[k])
+                & (ryl <= syu[k])
+            )
+            hit = rids[mask]
+            if hit.shape[0]:
+                out_r.append(hit)
+                out_s.append(np.full(hit.shape[0], sids[k], dtype=np.int64))
+        if stats is not None:
+            stats.comparisons += 4 * rids.shape[0] * sids.shape[0]
+    return out_r, out_s
+
+
+def _pairs_sweep(table_r, table_s, stats: "QueryStats | None"):
+    """Intersecting pairs via a forward plane-sweep on the x axis.
+
+    Both sides are sorted by ``xl``; for each rectangle the candidates of
+    the other side are the contiguous run whose ``xl`` does not exceed
+    its ``xu`` (found by binary search), on which only the y-overlap and
+    x-lower test remain.  Beats the nested loop on dense tiles where
+    x-sortedness prunes most candidate pairs.
+    """
+    rxl, ryl, rxu, ryu, rids = table_r
+    sxl, syl, sxu, syu, sids = table_s
+    order_r = np.argsort(rxl, kind="stable")
+    order_s = np.argsort(sxl, kind="stable")
+    rxl_s, ryl_s, rxu_s, ryu_s, rids_s = (
+        rxl[order_r], ryl[order_r], rxu[order_r], ryu[order_r], rids[order_r],
+    )
+    sxl_s, syl_s, sxu_s, syu_s, sids_s = (
+        sxl[order_s], syl[order_s], sxu[order_s], syu[order_s], sids[order_s],
+    )
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    # For every r: S-candidates start where s.xu >= r.xl could hold and
+    # end where s.xl > r.xu.  The upper cut is exact via searchsorted on
+    # the sorted s.xl; the remaining comparisons are vectorised.
+    uppers = np.searchsorted(sxl_s, rxu_s, side="right")
+    for k in range(rids_s.shape[0]):
+        hi = uppers[k]
+        if hi == 0:
+            continue
+        mask = (
+            (sxu_s[:hi] >= rxl_s[k])
+            & (syu_s[:hi] >= ryl_s[k])
+            & (syl_s[:hi] <= ryu_s[k])
+        )
+        if stats is not None:
+            stats.comparisons += 3 * int(hi)
+        hit = sids_s[:hi][mask]
+        if hit.shape[0]:
+            out_r.append(np.full(hit.shape[0], rids_s[k], dtype=np.int64))
+            out_s.append(hit)
+    return out_r, out_s
+
+
+JOIN_ALGORITHMS = ("nested", "sweep")
+
+
+def two_layer_spatial_join(
+    data_r: RectDataset,
+    data_s: RectDataset,
+    partitions_per_dim: int = 64,
+    domain: "Rect | None" = None,
+    stats: "QueryStats | None" = None,
+    algorithm: str = "nested",
+) -> np.ndarray:
+    """All intersecting (r, s) id pairs — duplicate-free by construction.
+
+    Returns an ``(n, 2)`` int array of ``[id_in_R, id_in_S]`` rows.  Only
+    the nine allowed class combinations are evaluated per tile; no
+    deduplication of any kind runs.  ``algorithm`` selects the per-tile
+    pair enumeration: ``"nested"`` (vectorised loop over the smaller
+    side) or ``"sweep"`` (x-axis plane sweep, better for dense tiles).
+    """
+    if partitions_per_dim < 1:
+        raise InvalidGridError(
+            f"partitions_per_dim must be >= 1, got {partitions_per_dim}"
+        )
+    if algorithm not in JOIN_ALGORITHMS:
+        raise InvalidGridError(
+            f"unknown join algorithm {algorithm!r}; expected one of "
+            f"{JOIN_ALGORITHMS}"
+        )
+    grid = GridPartitioner(
+        partitions_per_dim,
+        partitions_per_dim,
+        domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0),
+    )
+    tiles_r = _tile_class_tables(data_r, grid)
+    tiles_s = _tile_class_tables(data_s, grid)
+
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    for tile_id, classes_r in tiles_r.items():
+        classes_s = tiles_s.get(tile_id)
+        if classes_s is None:
+            continue
+        if stats is not None:
+            stats.partitions_visited += 1
+        for code_r, code_s in ALLOWED_CLASS_COMBOS:
+            table_r = classes_r.get(code_r)
+            if table_r is None:
+                continue
+            table_s = classes_s.get(code_s)
+            if table_s is None:
+                continue
+            if algorithm == "sweep":
+                pr, ps = _pairs_sweep(table_r, table_s, stats)
+            else:
+                pr, ps = _pairs_in_tables(table_r, table_s, stats)
+            out_r.extend(pr)
+            out_s.extend(ps)
+    if not out_r:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.stack([np.concatenate(out_r), np.concatenate(out_s)], axis=1)
+
+
+def one_layer_spatial_join(
+    data_r: RectDataset,
+    data_s: RectDataset,
+    partitions_per_dim: int = 64,
+    domain: "Rect | None" = None,
+    stats: "QueryStats | None" = None,
+) -> np.ndarray:
+    """Partition-based join baseline with reference-point dedup [9].
+
+    Every common tile joins *all* its R entries against *all* its S
+    entries; a pair is kept only in the tile containing the lower corner
+    of ``r ∩ s`` — duplicates are generated and then eliminated, like the
+    1-layer grid does for window queries.
+    """
+    if partitions_per_dim < 1:
+        raise InvalidGridError(
+            f"partitions_per_dim must be >= 1, got {partitions_per_dim}"
+        )
+    grid = GridPartitioner(
+        partitions_per_dim,
+        partitions_per_dim,
+        domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0),
+    )
+
+    def tile_tables(data):
+        rep = replicate(data, grid)
+        tiles = {}
+        for tile_id, rows in group_rows(rep.tile_ids):
+            obj = rep.obj_ids[rows]
+            tiles[tile_id] = (
+                data.xl[obj], data.yl[obj], data.xu[obj], data.yu[obj], obj,
+            )
+        return tiles
+
+    tiles_r = tile_tables(data_r)
+    tiles_s = tile_tables(data_s)
+    out_r: list[np.ndarray] = []
+    out_s: list[np.ndarray] = []
+    for tile_id, table_r in tiles_r.items():
+        table_s = tiles_s.get(tile_id)
+        if table_s is None:
+            continue
+        if stats is not None:
+            stats.partitions_visited += 1
+        ix, iy = grid.tile_coords(tile_id)
+        rxl, ryl, rxu, ryu, rids = table_r
+        sxl, syl, sxu, syu, sids = table_s
+        for k in range(rids.shape[0]):
+            mask = (
+                (sxu >= rxl[k])
+                & (sxl <= rxu[k])
+                & (syu >= ryl[k])
+                & (syl <= ryu[k])
+            )
+            hit = np.flatnonzero(mask)
+            if hit.shape[0] == 0:
+                continue
+            # Reference point of each pair's intersection.
+            px = np.maximum(sxl[hit], rxl[k])
+            py = np.maximum(syl[hit], ryl[k])
+            keep = (grid.tile_ix_array(px) == ix) & (grid.tile_iy_array(py) == iy)
+            if stats is not None:
+                stats.dedup_checks += hit.shape[0]
+                stats.duplicates_generated += int(hit.shape[0] - keep.sum())
+            hit = hit[keep]
+            if hit.shape[0]:
+                out_r.append(np.full(hit.shape[0], rids[k], dtype=np.int64))
+                out_s.append(sids[hit])
+        if stats is not None:
+            stats.comparisons += 4 * rids.shape[0] * sids.shape[0]
+    if not out_r:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.stack([np.concatenate(out_r), np.concatenate(out_s)], axis=1)
+
+
+def refine_join_pairs(
+    data_r: RectDataset, data_s: RectDataset, pairs: np.ndarray
+) -> np.ndarray:
+    """Refinement step for a spatial join: keep pairs whose *exact*
+    geometries intersect (Section V applied to joins).
+
+    ``pairs`` is the MBR-level output of a join function.  Datasets
+    without exact geometries pass through unchanged (MBR == geometry).
+    """
+    from repro.geometry.predicates import geometry_intersects_geometry
+
+    if data_r.geometries is None and data_s.geometries is None:
+        return pairs
+    keep = [
+        k
+        for k in range(pairs.shape[0])
+        if geometry_intersects_geometry(
+            data_r.geometry(int(pairs[k, 0])), data_s.geometry(int(pairs[k, 1]))
+        )
+    ]
+    return pairs[keep] if keep else np.empty((0, 2), dtype=np.int64)
+
+
+def brute_force_join(data_r: RectDataset, data_s: RectDataset) -> np.ndarray:
+    """Ground-truth O(|R| * |S|) join (testing / verification)."""
+    out_r = []
+    out_s = []
+    for k in range(len(data_r)):
+        mask = (
+            (data_s.xu >= data_r.xl[k])
+            & (data_s.xl <= data_r.xu[k])
+            & (data_s.yu >= data_r.yl[k])
+            & (data_s.yl <= data_r.yu[k])
+        )
+        hit = np.flatnonzero(mask)
+        if hit.shape[0]:
+            out_r.append(np.full(hit.shape[0], k, dtype=np.int64))
+            out_s.append(hit.astype(np.int64))
+    if not out_r:
+        return np.empty((0, 2), dtype=np.int64)
+    return np.stack([np.concatenate(out_r), np.concatenate(out_s)], axis=1)

@@ -1,0 +1,211 @@
+"""m-dimensional generalisation of the two-layer scheme (Section IV-D).
+
+The paper indexes 2D MBRs, but the secondary partitioning generalises
+directly to minimum bounding boxes (MBBs) of arbitrary dimensionality
+``m``: a tile is re-partitioned into ``2**m`` classes, one per subset of
+dimensions in which a box starts *before* the tile.  The class code is a
+bitmask: bit ``d`` set means the box starts before the tile in dimension
+``d`` (so code 0 is the 2D class A, and in 2D bit 0 = y / bit 1 = x
+reproduces the A/B/C/D codes of :mod:`repro.grid.base`).
+
+Lemmas 1-2 generalise to: *if the query starts before tile T in dimension
+d, skip every class whose bit d is set.*  Lemmas 3-4 apply per dimension
+unchanged, giving at most one comparison per dimension for queries
+spanning more than one tile per dimension.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import numpy as np
+
+from repro.errors import DatasetError, InvalidGridError, InvalidQueryError
+from repro.stats import QueryStats
+
+__all__ = ["NDimTwoLayerGrid"]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class NDimTwoLayerGrid:
+    """Two-layer regular grid over m-dimensional boxes.
+
+    Parameters
+    ----------
+    lows, highs:
+        arrays of shape ``(n, m)``: per-object lower / upper corners.
+    partitions_per_dim:
+        number of grid partitions along every dimension.
+    domain:
+        optional ``(m, 2)`` array of per-dimension ``[lo, hi]`` bounds;
+        defaults to the unit hypercube.
+    """
+
+    def __init__(
+        self,
+        lows: np.ndarray,
+        highs: np.ndarray,
+        partitions_per_dim: int = 16,
+        domain: "np.ndarray | None" = None,
+    ):
+        lows = np.ascontiguousarray(lows, dtype=np.float64)
+        highs = np.ascontiguousarray(highs, dtype=np.float64)
+        if lows.ndim != 2 or lows.shape != highs.shape:
+            raise DatasetError("lows/highs must be (n, m) arrays of equal shape")
+        if np.any(lows > highs):
+            raise DatasetError("boxes contain inverted intervals (low > high)")
+        if partitions_per_dim < 1:
+            raise InvalidGridError(
+                f"partitions_per_dim must be >= 1, got {partitions_per_dim}"
+            )
+        self.n, self.m = lows.shape
+        if self.m < 1:
+            raise DatasetError("boxes need at least one dimension")
+        self.k = partitions_per_dim
+        if domain is None:
+            domain = np.stack(
+                [np.zeros(self.m), np.ones(self.m)], axis=1
+            )
+        domain = np.asarray(domain, dtype=np.float64)
+        if domain.shape != (self.m, 2) or np.any(domain[:, 0] >= domain[:, 1]):
+            raise InvalidGridError("domain must be (m, 2) with lo < hi per dim")
+        self.domain = domain
+        self.tile_width = (domain[:, 1] - domain[:, 0]) / self.k
+        self.lows = lows
+        self.highs = highs
+        # tile key (tuple of m indices) -> {class_code: row-index array}
+        self._tiles: dict[tuple[int, ...], dict[int, np.ndarray]] = {}
+        self._bulk_load()
+
+    # -- tile arithmetic ---------------------------------------------------
+
+    def _cell_of(self, values: np.ndarray) -> np.ndarray:
+        """Per-dimension tile index of coordinates ``values`` (n, m)."""
+        cells = ((values - self.domain[:, 0]) / self.tile_width).astype(np.int64)
+        return np.clip(cells, 0, self.k - 1)
+
+    # -- construction ---------------------------------------------------------
+
+    def _bulk_load(self) -> None:
+        if self.n == 0:
+            return
+        lo_cells = self._cell_of(self.lows)   # (n, m)
+        hi_cells = self._cell_of(self.highs)  # (n, m)
+        buckets: dict[tuple[int, ...], dict[int, list[int]]] = {}
+        for i in range(self.n):
+            ranges = [
+                range(int(lo_cells[i, d]), int(hi_cells[i, d]) + 1)
+                for d in range(self.m)
+            ]
+            for cell in itertools.product(*ranges):
+                code = 0
+                for d in range(self.m):
+                    if cell[d] > lo_cells[i, d]:
+                        code |= 1 << d
+                buckets.setdefault(cell, {}).setdefault(code, []).append(i)
+        self._tiles = {
+            cell: {
+                code: np.asarray(rows, dtype=np.int64)
+                for code, rows in classes.items()
+            }
+            for cell, classes in buckets.items()
+        }
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def replica_count(self) -> int:
+        return sum(
+            rows.shape[0]
+            for classes in self._tiles.values()
+            for rows in classes.values()
+        )
+
+    def class_histogram(self) -> dict[int, int]:
+        """Stored entries per class code (code 0 == one entry per object)."""
+        hist: dict[int, int] = {}
+        for classes in self._tiles.values():
+            for code, rows in classes.items():
+                hist[code] = hist.get(code, 0) + rows.shape[0]
+        return hist
+
+    def __repr__(self) -> str:
+        return (
+            f"NDimTwoLayerGrid(n={self.n}, m={self.m}, k={self.k}, "
+            f"replicas={self.replica_count})"
+        )
+
+    # -- window (box) queries ----------------------------------------------------
+
+    def box_query(
+        self,
+        q_low: np.ndarray,
+        q_high: np.ndarray,
+        stats: "QueryStats | None" = None,
+    ) -> np.ndarray:
+        """Ids of all boxes intersecting the query box — duplicate-free.
+
+        The generalised Lemmas 1-2 select classes, the generalised Lemmas
+        3-4 select at most one comparison per dimension on boundary tiles.
+        """
+        q_low = np.asarray(q_low, dtype=np.float64)
+        q_high = np.asarray(q_high, dtype=np.float64)
+        if q_low.shape != (self.m,) or q_high.shape != (self.m,):
+            raise InvalidQueryError(
+                f"query corners must have shape ({self.m},)"
+            )
+        if np.any(q_low > q_high):
+            raise InvalidQueryError("query box has inverted intervals")
+        if self.n == 0:
+            return _EMPTY_IDS
+
+        first = self._cell_of(q_low[None, :])[0]
+        last = self._cell_of(q_high[None, :])[0]
+        pieces: list[np.ndarray] = []
+        for cell in itertools.product(
+            *[range(int(first[d]), int(last[d]) + 1) for d in range(self.m)]
+        ):
+            classes = self._tiles.get(cell)
+            if classes is None:
+                continue
+            if stats is not None:
+                stats.partitions_visited += 1
+            at_first = [cell[d] == first[d] for d in range(self.m)]
+            at_last = [cell[d] == last[d] for d in range(self.m)]
+            # Classes allowed here: bit d may be set only where at_first[d].
+            allowed_bits = [
+                (0, 1 << d) if at_first[d] else (0,) for d in range(self.m)
+            ]
+            for bits in itertools.product(*allowed_bits):
+                code = sum(bits)
+                rows = classes.get(code)
+                if rows is None:
+                    continue
+                if stats is not None:
+                    stats.rects_scanned += rows.shape[0]
+                mask: "np.ndarray | None" = None
+                for d in range(self.m):
+                    starts_inside = not (code & (1 << d))
+                    if at_first[d]:
+                        m_ = self.highs[rows, d] >= q_low[d]
+                        mask = m_ if mask is None else mask & m_
+                        if stats is not None:
+                            stats.comparisons += rows.shape[0]
+                    if at_last[d] and starts_inside:
+                        m_ = self.lows[rows, d] <= q_high[d]
+                        mask = m_ if mask is None else mask & m_
+                        if stats is not None:
+                            stats.comparisons += rows.shape[0]
+                pieces.append(rows if mask is None else rows[mask])
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def brute_force(self, q_low: np.ndarray, q_high: np.ndarray) -> np.ndarray:
+        """Ground-truth box intersection scan (testing / verification)."""
+        mask = np.all(
+            (self.highs >= np.asarray(q_low)) & (self.lows <= np.asarray(q_high)),
+            axis=1,
+        )
+        return np.flatnonzero(mask).astype(np.int64)

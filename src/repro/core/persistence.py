@@ -1,0 +1,166 @@
+"""Persistence for built grid indexes (save/load to ``.npz``).
+
+A production library must not force users to re-replicate and re-sort a
+static collection on every process start.  This module flattens a built
+:class:`OneLayerGrid` / :class:`TwoLayerGrid` / :class:`TwoLayerPlusGrid`
+into columnar arrays — one row per stored replica, carrying its tile id
+and class code — and restores the per-tile dictionaries with the same
+grouped pass the bulk loader uses.  2-layer⁺ rebuilds its decomposed
+tables lazily per partition on first use, so loading stays cheap.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.geometry.mbr import Rect
+from repro.grid.base import GridPartitioner
+from repro.grid.one_layer import OneLayerGrid
+from repro.grid.storage import TileTable, group_rows
+from repro.core.two_layer import TwoLayerGrid
+from repro.core.two_layer_plus import TwoLayerPlusGrid
+
+__all__ = ["save_index", "load_index"]
+
+_FORMAT_VERSION = 1
+_KINDS = {
+    "OneLayerGrid": OneLayerGrid,
+    "TwoLayerGrid": TwoLayerGrid,
+    "TwoLayerPlusGrid": TwoLayerPlusGrid,
+}
+
+
+def _flatten(index) -> dict[str, np.ndarray]:
+    tile_ids: list[np.ndarray] = []
+    codes: list[np.ndarray] = []
+    cols: list[list[np.ndarray]] = [[], [], [], [], []]
+
+    def emit(tile_id: int, code: int, table: TileTable) -> None:
+        columns = table.columns()
+        n = columns[4].shape[0]
+        if n == 0:
+            return
+        tile_ids.append(np.full(n, tile_id, dtype=np.int64))
+        codes.append(np.full(n, code, dtype=np.int64))
+        for slot, col in zip(cols, columns):
+            slot.append(col)
+
+    if isinstance(index, TwoLayerGrid):
+        for tile_id, tables in index._tiles.items():
+            for code, table in enumerate(tables):
+                if table is not None:
+                    emit(tile_id, code, table)
+    else:
+        for tile_id, table in index._tiles.items():
+            emit(tile_id, 0, table)
+
+    def cat(parts, dtype):
+        if not parts:
+            return np.empty(0, dtype=dtype)
+        return np.concatenate(parts)
+
+    return {
+        "tile_ids": cat(tile_ids, np.int64),
+        "codes": cat(codes, np.int64),
+        "xl": cat(cols[0], np.float64),
+        "yl": cat(cols[1], np.float64),
+        "xu": cat(cols[2], np.float64),
+        "yu": cat(cols[3], np.float64),
+        "ids": cat(cols[4], np.int64),
+    }
+
+
+def save_index(index, path: "str | os.PathLike[str]") -> None:
+    """Persist a built grid index to ``path`` (npz archive)."""
+    kind = type(index).__name__
+    if kind not in _KINDS:
+        raise DatasetError(
+            f"save_index supports {sorted(_KINDS)}, got {kind}"
+        )
+    flat = _flatten(index)
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        kind=np.array(kind),
+        nx=np.int64(index.grid.nx),
+        ny=np.int64(index.grid.ny),
+        domain=np.asarray(index.grid.domain.as_tuple()),
+        n_objects=np.int64(len(index)),
+        **flat,
+    )
+
+
+def load_index(path: "str | os.PathLike[str]"):
+    """Restore an index previously written by :func:`save_index`."""
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            version = int(archive["version"])
+            kind = str(archive["kind"])
+            nx = int(archive["nx"])
+            ny = int(archive["ny"])
+            domain = Rect(*archive["domain"].tolist())
+            n_objects = int(archive["n_objects"])
+            tile_ids = archive["tile_ids"]
+            codes = archive["codes"]
+            xl = archive["xl"]
+            yl = archive["yl"]
+            xu = archive["xu"]
+            yu = archive["yu"]
+            ids = archive["ids"]
+        except KeyError as exc:
+            raise DatasetError(f"{path}: not a repro index archive") from exc
+    if version != _FORMAT_VERSION:
+        raise DatasetError(f"{path}: unsupported index format version {version}")
+    cls = _KINDS.get(kind)
+    if cls is None:
+        raise DatasetError(f"{path}: unknown index kind {kind!r}")
+
+    grid = GridPartitioner(nx, ny, domain)
+    index = cls(grid)
+    index._n_objects = n_objects
+
+    if issubclass(cls, TwoLayerGrid):
+        keys = tile_ids * 4 + codes
+        for key, rows in group_rows(keys):
+            tile_id, code = divmod(int(key), 4)
+            tables = index._tiles.get(tile_id)
+            if tables is None:
+                tables = [None, None, None, None]
+                index._tiles[tile_id] = tables
+            tables[code] = TileTable(
+                xl[rows].copy(), yl[rows].copy(), xu[rows].copy(),
+                yu[rows].copy(), ids[rows].copy(),
+            )
+        if isinstance(index, TwoLayerPlusGrid):
+            # Restore the global MBR columns from the class-A replicas
+            # (each object has exactly one) and mark every partition
+            # stale so decomposed tables rebuild lazily.
+            g_xl = np.empty(n_objects)
+            g_yl = np.empty(n_objects)
+            g_xu = np.empty(n_objects)
+            g_yu = np.empty(n_objects)
+            a_rows = codes == 0
+            g_xl[ids[a_rows]] = xl[a_rows]
+            g_yl[ids[a_rows]] = yl[a_rows]
+            g_xu[ids[a_rows]] = xu[a_rows]
+            g_yu[ids[a_rows]] = yu[a_rows]
+            index._g_xl = g_xl
+            index._g_yl = g_yl
+            index._g_xu = g_xu
+            index._g_yu = g_yu
+            index._stale = {
+                (tile_id, code)
+                for tile_id, tables in index._tiles.items()
+                for code, t in enumerate(tables)
+                if t is not None
+            }
+    else:
+        for tile_id, rows in group_rows(tile_ids):
+            index._tiles[int(tile_id)] = TileTable(
+                xl[rows].copy(), yl[rows].copy(), xu[rows].copy(),
+                yu[rows].copy(), ids[rows].copy(),
+            )
+    return index

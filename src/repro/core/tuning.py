@@ -1,0 +1,64 @@
+"""Grid granularity auto-tuning.
+
+Fig. 7 shows throughput is flat over a wide range of granularities, so
+tuning "is not crucial to query performance" — but a library still needs
+a sensible default.  Two forces bound the choice:
+
+* **occupancy** — tiles should hold enough entries that per-tile fixed
+  costs amortise: ``partitions <= sqrt(n / target_per_tile)``;
+* **replication** — tiles much smaller than the objects replicate every
+  object into many tiles: tile extent should stay a few times the
+  average object extent.
+
+:func:`suggest_partitions` takes the minimum of the two bounds, clamped
+to a sane range; datasets produced by this repo's generators land inside
+Fig. 7's plateau.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.datasets.dataset import RectDataset
+from repro.errors import DatasetError
+
+__all__ = ["suggest_partitions", "TARGET_ENTRIES_PER_TILE"]
+
+#: aim for roughly this many entries per non-empty tile.
+TARGET_ENTRIES_PER_TILE = 48
+
+#: keep tiles at least this many times the average object extent.
+_MIN_TILE_TO_OBJECT_RATIO = 4.0
+
+_MIN_PARTITIONS = 1
+_MAX_PARTITIONS = 4096
+
+
+def suggest_partitions(
+    data: RectDataset,
+    target_per_tile: int = TARGET_ENTRIES_PER_TILE,
+    domain_extent: float = 1.0,
+) -> int:
+    """A good default ``partitions_per_dim`` for a square grid over ``data``.
+
+    Raises :class:`DatasetError` on an empty dataset (there is nothing to
+    size the grid for — any granularity works, so the caller should pick
+    explicitly).
+    """
+    n = len(data)
+    if n == 0:
+        raise DatasetError("cannot suggest a granularity for an empty dataset")
+    if target_per_tile < 1:
+        raise DatasetError(f"target_per_tile must be >= 1, got {target_per_tile}")
+
+    occupancy_bound = math.sqrt(n / target_per_tile)
+
+    avg_w, avg_h = data.average_extents()
+    avg_extent = max(avg_w, avg_h)
+    if avg_extent > 0:
+        replication_bound = domain_extent / (avg_extent * _MIN_TILE_TO_OBJECT_RATIO)
+    else:
+        replication_bound = float("inf")  # point data never replicates
+
+    suggestion = int(max(min(occupancy_bound, replication_bound), 1.0))
+    return min(max(suggestion, _MIN_PARTITIONS), _MAX_PARTITIONS)

@@ -1,0 +1,512 @@
+"""The 2-layer grid index — the paper's primary contribution (Section III).
+
+Each grid tile's (MBR, id) pairs are physically divided into four
+secondary partitions by *class* (A/B/C/D, see :mod:`repro.grid.base`).
+Window queries then scan, per tile, only the classes that cannot produce
+duplicate results (Lemmas 1-2) with only the comparisons that are not
+already guaranteed (Lemmas 3-4, Section IV-B) — duplicates are *avoided*,
+never generated, so no deduplication step exists at all (Algorithm 1).
+
+Disk queries (Section IV-E) skip classes based on whether the previous
+tile per dimension also intersects the disk, report fully-covered tiles
+without distance tests, and resolve the residual boundary-arc duplicates
+of classes B/D with a constant-time canonical-tile test.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import DiskQuery
+from repro.errors import IndexStateError
+from repro.geometry.mbr import Rect, max_dist_point_rect, min_dist_point_rect
+from repro.grid.base import (
+    CLASS_A,
+    CLASS_B,
+    CLASS_C,
+    CLASS_D,
+    GridPartitioner,
+    replicate,
+)
+from repro.grid.storage import TileTable, group_rows
+from repro.core.selection import ClassPlan, TilePlan, plan_tile
+from repro.stats import QueryStats
+
+__all__ = ["TwoLayerGrid"]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class TwoLayerGrid:
+    """In-memory regular grid with secondary (class) partitioning."""
+
+    def __init__(self, grid: GridPartitioner):
+        self.grid = grid
+        # tile id -> [table or None] indexed by class code.
+        self._tiles: dict[int, list["TileTable | None"]] = {}
+        self._n_objects = 0
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: RectDataset,
+        partitions_per_dim: int = 128,
+        domain: "Rect | None" = None,
+    ) -> "TwoLayerGrid":
+        """Bulk-load from a dataset (square N x N grid, like the paper)."""
+        grid = GridPartitioner(
+            partitions_per_dim,
+            partitions_per_dim,
+            domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0),
+        )
+        index = cls(grid)
+        index._bulk_load(data)
+        return index
+
+    def _bulk_load(self, data: RectDataset) -> None:
+        rep = replicate(data, self.grid)
+        # Fuse tile id and class code into one sort key; group once.
+        keys = rep.tile_ids * 4 + rep.class_codes
+        for key, rows in group_rows(keys):
+            tile_id, code = divmod(key, 4)
+            obj = rep.obj_ids[rows]
+            tables = self._tiles.get(tile_id)
+            if tables is None:
+                tables = [None, None, None, None]
+                self._tiles[tile_id] = tables
+            tables[code] = TileTable(
+                data.xl[obj].copy(),
+                data.yl[obj].copy(),
+                data.xu[obj].copy(),
+                data.yu[obj].copy(),
+                obj.copy(),
+            )
+        self._n_objects = len(data)
+
+    def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
+        """Insert one object; its class is determined per overlapped tile."""
+        if obj_id is None:
+            obj_id = self._n_objects
+        self._n_objects = max(self._n_objects, obj_id + 1)
+        ix0 = self.grid.tile_ix(rect.xl)
+        ix1 = self.grid.tile_ix(rect.xu)
+        iy0 = self.grid.tile_iy(rect.yl)
+        iy1 = self.grid.tile_iy(rect.yu)
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                code = 2 * (ix > ix0) + (iy > iy0)
+                tables = self._tiles.get(base + ix)
+                if tables is None:
+                    tables = [None, None, None, None]
+                    self._tiles[base + ix] = tables
+                table = tables[code]
+                if table is None:
+                    table = TileTable()
+                    tables[code] = table
+                table.append(rect.xl, rect.yl, rect.xu, rect.yu, obj_id)
+        return obj_id
+
+    def delete(self, rect: Rect, obj_id: int) -> bool:
+        """Remove object ``obj_id`` whose MBR is ``rect``; True if found.
+
+        The replica class per tile is recomputed from the MBR, so only
+        the exact secondary partitions holding the object are touched.
+        """
+        ix0 = self.grid.tile_ix(rect.xl)
+        ix1 = self.grid.tile_ix(rect.xu)
+        iy0 = self.grid.tile_iy(rect.yl)
+        iy1 = self.grid.tile_iy(rect.yu)
+        removed = 0
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                tables = self._tiles.get(base + ix)
+                if tables is None:
+                    continue
+                code = 2 * (ix > ix0) + (iy > iy0)
+                table = tables[code]
+                if table is not None:
+                    removed += table.delete(obj_id)
+                    if len(table) == 0:
+                        tables[code] = None
+                if all(t is None for t in tables):
+                    del self._tiles[base + ix]
+        return removed > 0
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_objects
+
+    @property
+    def replica_count(self) -> int:
+        """Total stored entries — identical to the 1-layer grid's by design."""
+        return sum(
+            len(t) for tables in self._tiles.values() for t in tables if t is not None
+        )
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            t.nbytes for tables in self._tiles.values() for t in tables if t is not None
+        )
+
+    @property
+    def nonempty_tiles(self) -> int:
+        return len(self._tiles)
+
+    def class_counts(self) -> dict[str, int]:
+        """Stored entries per class — A holds exactly one entry per object."""
+        names = ("A", "B", "C", "D")
+        counts = dict.fromkeys(names, 0)
+        for tables in self._tiles.values():
+            for code, t in enumerate(tables):
+                if t is not None:
+                    counts[names[code]] += len(t)
+        return counts
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoLayerGrid(grid={self.grid.nx}x{self.grid.ny}, "
+            f"objects={self._n_objects}, replicas={self.replica_count})"
+        )
+
+    def tile_class_table(self, ix: int, iy: int, code: int) -> "TileTable | None":
+        """Raw secondary-partition storage (testing / inspection only)."""
+        if not (0 <= ix < self.grid.nx and 0 <= iy < self.grid.ny):
+            raise IndexStateError(f"tile ({ix}, {iy}) outside the grid")
+        if code not in (CLASS_A, CLASS_B, CLASS_C, CLASS_D):
+            raise IndexStateError(f"invalid class code {code}")
+        tables = self._tiles.get(self.grid.tile_id(ix, iy))
+        return None if tables is None else tables[code]
+
+    # -- window queries ---------------------------------------------------------
+
+    def window_query(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Ids of all indexed MBRs intersecting ``window``.
+
+        Duplicate-free by construction: each result is produced exactly
+        once, in the tile where its reporting class survives Lemmas 1-2.
+        No deduplication of any kind is performed (Algorithm 1).
+        """
+        if self._n_objects == 0:
+            return _EMPTY_IDS
+        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        pieces: list[np.ndarray] = []
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                tables = self._tiles.get(base + ix)
+                if tables is None:
+                    continue
+                plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
+                self._scan_tile_window(tables, window, plan, pieces, stats)
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def _scan_tile_window(
+        self,
+        tables: list["TileTable | None"],
+        window: Rect,
+        plan: TilePlan,
+        pieces: list[np.ndarray],
+        stats: "QueryStats | None" = None,
+    ) -> None:
+        """Scan one tile's relevant secondary partitions for one window.
+
+        Appends the qualifying id arrays to ``pieces``.  Shared by
+        :meth:`window_query` and the tiles-based batch evaluator
+        (:mod:`repro.core.batch`), whose subtasks are exactly calls of
+        this method.
+        """
+        if stats is not None:
+            stats.partitions_visited += 1
+        for cp in plan.classes:
+            table = tables[cp.code]
+            if table is None:
+                continue
+            xl, yl, xu, yu, ids = table.columns()
+            if ids.shape[0] == 0:
+                continue
+            if stats is not None:
+                stats.rects_scanned += ids.shape[0]
+                stats.comparisons += cp.n_comparisons * ids.shape[0]
+            mask: "np.ndarray | None" = None
+            if cp.xu_ge:
+                mask = xu >= window.xl
+            if cp.xl_le:
+                m = xl <= window.xu
+                mask = m if mask is None else mask & m
+            if cp.yu_ge:
+                m = yu >= window.yl
+                mask = m if mask is None else mask & m
+            if cp.yl_le:
+                m = yl <= window.yu
+                mask = m if mask is None else mask & m
+            pieces.append(ids if mask is None else ids[mask])
+
+    def _window_chunks(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> Iterator[
+        tuple[TilePlan, ClassPlan, tuple[np.ndarray, ...], "np.ndarray | None", np.ndarray]
+    ]:
+        """Yield per-(tile, class) candidate chunks of a window query.
+
+        Each item is ``(tile_plan, class_plan, columns, mask, ids)`` where
+        ``mask`` is the boolean qualification mask over the class table
+        (``None`` means *all* rectangles qualify — the covered-tile case).
+        The refinement machinery consumes the full tuples; plain filtering
+        only uses ``mask``/``ids``.
+        """
+        if self._n_objects == 0:
+            return
+        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                tables = self._tiles.get(base + ix)
+                if tables is None:
+                    continue
+                plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
+                if stats is not None:
+                    stats.partitions_visited += 1
+                for cp in plan.classes:
+                    table = tables[cp.code]
+                    if table is None:
+                        continue
+                    cols = table.columns()
+                    xl, yl, xu, yu, ids = cols
+                    if ids.shape[0] == 0:
+                        continue
+                    if stats is not None:
+                        stats.rects_scanned += ids.shape[0]
+                        stats.comparisons += cp.n_comparisons * ids.shape[0]
+                    mask: "np.ndarray | None" = None
+                    if cp.xu_ge:
+                        mask = xu >= window.xl
+                    if cp.xl_le:
+                        m = xl <= window.xu
+                        mask = m if mask is None else mask & m
+                    if cp.yu_ge:
+                        m = yu >= window.yl
+                        mask = m if mask is None else mask & m
+                    if cp.yl_le:
+                        m = yl <= window.yu
+                        mask = m if mask is None else mask & m
+                    yield plan, cp, cols, mask, ids
+
+    def window_query_within(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Ids of all MBRs **fully contained** in ``window`` (a "within"
+        predicate, the other standard range semantics).
+
+        Duplicate avoidance is even cheaper than for intersection: an
+        object inside ``W`` has its start point inside ``W``, so its
+        (unique) class-A replica lives in a tile of the query range —
+        scanning *only* class A everywhere yields each candidate exactly
+        once.  Comparisons: the start-side tests are automatic except in
+        the query's first tile per dimension; the end-side tests are
+        always required (an object may leave its start tile).
+        """
+        if self._n_objects == 0:
+            return _EMPTY_IDS
+        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        pieces: list[np.ndarray] = []
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                tables = self._tiles.get(base + ix)
+                if tables is None:
+                    continue
+                table = tables[CLASS_A]
+                if table is None:
+                    continue
+                xl, yl, xu, yu, ids = table.columns()
+                if ids.shape[0] == 0:
+                    continue
+                if stats is not None:
+                    stats.partitions_visited += 1
+                    stats.rects_scanned += ids.shape[0]
+                mask = (xu <= window.xu) & (yu <= window.yu)
+                n_comparisons = 2
+                if ix == ix0:
+                    mask &= xl >= window.xl
+                    n_comparisons += 1
+                if iy == iy0:
+                    mask &= yl >= window.yl
+                    n_comparisons += 1
+                if stats is not None:
+                    stats.comparisons += n_comparisons * ids.shape[0]
+                pieces.append(ids[mask])
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def count_window(self, window: Rect) -> int:
+        """Number of results of a window query (no id materialisation)."""
+        total = 0
+        for _plan, _cp, _cols, mask, ids in self._window_chunks(window):
+            total += ids.shape[0] if mask is None else int(np.count_nonzero(mask))
+        return total
+
+    # -- disk queries -------------------------------------------------------------
+
+    def disk_query(
+        self, query: DiskQuery, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Ids of all indexed MBRs whose distance to the centre is <= radius.
+
+        Section IV-E: only tiles intersecting the disk are visited; a class
+        is skipped when the previous tile in its "starts before" dimension
+        also intersects the disk (the result would be a duplicate of that
+        tile's).  Tiles fully covered by the disk are reported without
+        distance computations.  Classes B and D additionally pass a
+        canonical-tile test that removes the duplicates arising along the
+        disk's boundary arc (the paper's diagonal rule; see Fig. 5).
+        """
+        if self._n_objects == 0:
+            return _EMPTY_IDS
+        row_span, tile_jobs = self._disk_plan(query)
+        pieces: list[np.ndarray] = []
+        for tile_id, codes, covered, iy in tile_jobs:
+            tables = self._tiles.get(tile_id)
+            if tables is None:
+                continue
+            self._scan_tile_disk(
+                tables, query, codes, covered, iy, row_span, pieces, stats
+            )
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def _disk_plan(
+        self, query: DiskQuery
+    ) -> tuple[
+        dict[int, tuple[int, int]],
+        list[tuple[int, tuple[int, ...], bool, int]],
+    ]:
+        """The §IV-E evaluation plan for one disk query.
+
+        Returns the per-row contiguous tile spans (disk convexity) and a
+        flat job list ``(tile_id, scanned class codes, fully_covered,
+        row)`` — everything a per-tile scan needs, so the tiles-based
+        batch evaluator (:mod:`repro.core.batch`) can group jobs by tile.
+        """
+        window = query.mbr()
+        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        radius = query.radius
+        cx, cy = query.cx, query.cy
+
+        row_span: dict[int, tuple[int, int]] = {}
+        for iy in range(iy0, iy1 + 1):
+            lo = None
+            hi = None
+            for ix in range(ix0, ix1 + 1):
+                if min_dist_point_rect(cx, cy, self.grid.tile_rect(ix, iy)) <= radius:
+                    if lo is None:
+                        lo = ix
+                    hi = ix
+            if lo is not None:
+                row_span[iy] = (lo, hi)  # type: ignore[assignment]
+
+        jobs: list[tuple[int, tuple[int, ...], bool, int]] = []
+        for iy, (lx, rx) in row_span.items():
+            base = iy * self.grid.nx
+            prev_row = row_span.get(iy - 1)
+            for ix in range(lx, rx + 1):
+                prev_x_in = ix > lx
+                prev_y_in = prev_row is not None and prev_row[0] <= ix <= prev_row[1]
+                codes = [CLASS_A]
+                if not prev_y_in:
+                    codes.append(CLASS_B)
+                if not prev_x_in:
+                    codes.append(CLASS_C)
+                if not prev_x_in and not prev_y_in:
+                    codes.append(CLASS_D)
+                covered = (
+                    max_dist_point_rect(cx, cy, self.grid.tile_rect(ix, iy)) <= radius
+                )
+                jobs.append((base + ix, tuple(codes), covered, iy))
+        return row_span, jobs
+
+    def _scan_tile_disk(
+        self,
+        tables: list["TileTable | None"],
+        query: DiskQuery,
+        codes: tuple[int, ...],
+        covered: bool,
+        iy: int,
+        row_span: dict[int, tuple[int, int]],
+        pieces: list[np.ndarray],
+        stats: "QueryStats | None" = None,
+    ) -> None:
+        """Scan one tile's relevant classes for one disk query."""
+        radius = query.radius
+        cx, cy = query.cx, query.cy
+        if stats is not None:
+            stats.partitions_visited += 1
+        for code in codes:
+            table = tables[code]
+            if table is None:
+                continue
+            xl, yl, xu, yu, ids = table.columns()
+            if ids.shape[0] == 0:
+                continue
+            if stats is not None:
+                stats.rects_scanned += ids.shape[0]
+            if covered:
+                qual = np.ones(ids.shape[0], dtype=bool)
+            else:
+                dx = np.maximum(np.maximum(xl - cx, 0.0), cx - xu)
+                dy = np.maximum(np.maximum(yl - cy, 0.0), cy - yu)
+                qual = dx * dx + dy * dy <= radius * radius
+                if stats is not None:
+                    stats.comparisons += 2 * ids.shape[0]
+            if code in (CLASS_B, CLASS_D):
+                qual &= self._canonical_keep(xl, yl, xu, iy, row_span, stats)
+            pieces.append(ids[qual])
+
+    def _canonical_keep(
+        self,
+        xl: np.ndarray,
+        yl: np.ndarray,
+        xu: np.ndarray,
+        iy: int,
+        row_span: dict[int, tuple[int, int]],
+        stats: "QueryStats | None",
+    ) -> np.ndarray:
+        """Keep mask for class-B/D rectangles: is this their canonical tile?
+
+        A rectangle's canonical reporting tile is the first tile (in
+        row-major order) among the disk-intersecting tiles its MBR covers.
+        Class-B/D rectangles start above the current row, so the test scans
+        the rows between the rectangle's start row and the current row for
+        an overlap with the rectangle's column span; any overlap means the
+        rectangle was already reported there.
+        """
+        n = xl.shape[0]
+        keep = np.ones(n, dtype=bool)
+        start_rows = self.grid.tile_iy_array(yl)
+        start_cols = self.grid.tile_ix_array(xl)
+        end_cols = self.grid.tile_ix_array(xu)
+        for k in range(n):
+            for j in range(int(start_rows[k]), iy):
+                span = row_span.get(j)
+                if span is None:
+                    continue
+                if max(int(start_cols[k]), span[0]) <= min(int(end_cols[k]), span[1]):
+                    keep[k] = False
+                    break
+            if stats is not None:
+                stats.dedup_checks += 1
+        return keep

@@ -1,0 +1,68 @@
+"""Datasets: the container type, synthetic generators and query workloads.
+
+* :class:`RectDataset` — column-oriented MBR collection all indexes consume.
+* :mod:`repro.datasets.synthetic` — Table IV uniform / zipfian rectangles.
+* :mod:`repro.datasets.tiger` — scaled stand-ins for the Table III TIGER
+  datasets (ROADS / EDGES / TIGER), optionally with exact geometries.
+* :mod:`repro.datasets.queries` — window and disk query workloads.
+"""
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.io import (
+    load_csv,
+    load_dataset,
+    load_wkt,
+    save_csv,
+    save_dataset,
+    save_wkt,
+)
+from repro.datasets.queries import (
+    DEFAULT_RELATIVE_AREA_PERCENT,
+    RELATIVE_AREAS_PERCENT,
+    DiskQuery,
+    generate_disk_queries,
+    generate_window_queries,
+)
+from repro.datasets.synthetic import (
+    ASPECT_RATIO_RANGE,
+    TABLE4_AREAS,
+    TABLE4_CARDINALITIES,
+    generate_synthetic,
+    generate_uniform_rects,
+    generate_zipf_rects,
+)
+from repro.datasets.tiger import (
+    TIGER_SPECS,
+    TigerSpec,
+    generate_tiger_standin,
+    load_edges,
+    load_roads,
+    load_tiger,
+)
+
+__all__ = [
+    "RectDataset",
+    "save_dataset",
+    "load_dataset",
+    "save_csv",
+    "load_csv",
+    "save_wkt",
+    "load_wkt",
+    "DiskQuery",
+    "generate_window_queries",
+    "generate_disk_queries",
+    "RELATIVE_AREAS_PERCENT",
+    "DEFAULT_RELATIVE_AREA_PERCENT",
+    "generate_uniform_rects",
+    "generate_zipf_rects",
+    "generate_synthetic",
+    "ASPECT_RATIO_RANGE",
+    "TABLE4_AREAS",
+    "TABLE4_CARDINALITIES",
+    "TigerSpec",
+    "TIGER_SPECS",
+    "generate_tiger_standin",
+    "load_roads",
+    "load_edges",
+    "load_tiger",
+]

@@ -1,0 +1,179 @@
+"""Column-oriented container for a collection of object MBRs.
+
+Every index in this library consumes a :class:`RectDataset`: four parallel
+NumPy arrays holding the MBR coordinates, with the object id equal to the
+row position.  Exact geometries (for the refinement step, Section V) are
+stored *once*, in a separate list addressed by id, exactly as the paper
+prescribes ("the actual geometry of each object is stored only once in an
+array ... and retrieved on-demand, given the object's id", Section III).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.geometry.mbr import Rect
+from repro.geometry.predicates import Geometry, geometry_mbr
+
+__all__ = ["RectDataset"]
+
+
+class RectDataset:
+    """An immutable set of ``n`` object MBRs in structure-of-arrays layout.
+
+    Attributes
+    ----------
+    xl, yl, xu, yu:
+        ``float64`` arrays of shape ``(n,)``; row ``i`` is object ``i``.
+    geometries:
+        optional list of exact geometries (``None`` for pure-MBR datasets),
+        used by the refinement step.
+    """
+
+    __slots__ = ("xl", "yl", "xu", "yu", "geometries", "_mbr")
+
+    def __init__(
+        self,
+        xl: np.ndarray,
+        yl: np.ndarray,
+        xu: np.ndarray,
+        yu: np.ndarray,
+        geometries: "list[Geometry] | None" = None,
+    ):
+        arrays = [np.ascontiguousarray(a, dtype=np.float64) for a in (xl, yl, xu, yu)]
+        n = arrays[0].shape[0]
+        for a in arrays:
+            if a.ndim != 1 or a.shape[0] != n:
+                raise DatasetError("coordinate arrays must be 1-D and equally long")
+        if not all(np.isfinite(a).all() for a in arrays):
+            raise DatasetError("dataset contains non-finite coordinates")
+        if np.any(arrays[0] > arrays[2]) or np.any(arrays[1] > arrays[3]):
+            raise DatasetError("dataset contains inverted rectangles (l > u)")
+        if geometries is not None and len(geometries) != n:
+            raise DatasetError(
+                f"got {len(geometries)} geometries for {n} rectangles"
+            )
+        self.xl, self.yl, self.xu, self.yu = arrays
+        self.geometries = geometries
+        self._mbr: Rect | None = None
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_rects(
+        cls, rects: Sequence[Rect], geometries: "list[Geometry] | None" = None
+    ) -> "RectDataset":
+        """Build a dataset from :class:`Rect` objects (ids = positions)."""
+        n = len(rects)
+        xl = np.empty(n)
+        yl = np.empty(n)
+        xu = np.empty(n)
+        yu = np.empty(n)
+        for i, r in enumerate(rects):
+            xl[i] = r.xl
+            yl[i] = r.yl
+            xu[i] = r.xu
+            yu[i] = r.yu
+        return cls(xl, yl, xu, yu, geometries)
+
+    @classmethod
+    def from_geometries(cls, geometries: Iterable[Geometry]) -> "RectDataset":
+        """Build a dataset whose MBRs are derived from exact geometries."""
+        geoms = list(geometries)
+        mbrs = [geometry_mbr(g) for g in geoms]
+        return cls.from_rects(mbrs, geometries=geoms)
+
+    # -- basic protocol -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.xl.shape[0]
+
+    def __iter__(self) -> Iterator[Rect]:
+        for i in range(len(self)):
+            yield self.rect(i)
+
+    def __repr__(self) -> str:
+        return f"RectDataset(n={len(self)}, geometries={self.geometries is not None})"
+
+    def rect(self, i: int) -> Rect:
+        """Materialise the MBR of object ``i`` as a :class:`Rect`."""
+        return Rect(
+            float(self.xl[i]), float(self.yl[i]), float(self.xu[i]), float(self.yu[i])
+        )
+
+    def geometry(self, i: int) -> Geometry:
+        """Exact geometry of object ``i`` (its MBR when none was stored)."""
+        if self.geometries is None:
+            return self.rect(i)
+        return self.geometries[i]
+
+    # -- dataset-level measures -----------------------------------------------
+
+    def mbr(self) -> Rect:
+        """MBR of the whole dataset (cached)."""
+        if self._mbr is None:
+            if len(self) == 0:
+                raise DatasetError("empty dataset has no MBR")
+            self._mbr = Rect(
+                float(self.xl.min()),
+                float(self.yl.min()),
+                float(self.xu.max()),
+                float(self.yu.max()),
+            )
+        return self._mbr
+
+    def average_extents(self) -> tuple[float, float]:
+        """Average MBR width and height (the Table III statistics)."""
+        if len(self) == 0:
+            raise DatasetError("empty dataset has no average extents")
+        return (
+            float(np.mean(self.xu - self.xl)),
+            float(np.mean(self.yu - self.yl)),
+        )
+
+    # -- manipulation --------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "RectDataset":
+        """A dataset view of rows ``[start, stop)`` (ids renumbered from 0)."""
+        geoms = None if self.geometries is None else self.geometries[start:stop]
+        return RectDataset(
+            self.xl[start:stop],
+            self.yl[start:stop],
+            self.xu[start:stop],
+            self.yu[start:stop],
+            geoms,
+        )
+
+    def take(self, ids: np.ndarray) -> "RectDataset":
+        """A dataset of the given rows (ids renumbered from 0)."""
+        ids = np.asarray(ids, dtype=np.int64)
+        geoms = (
+            None
+            if self.geometries is None
+            else [self.geometries[int(i)] for i in ids]
+        )
+        return RectDataset(
+            self.xl[ids], self.yl[ids], self.xu[ids], self.yu[ids], geoms
+        )
+
+    # -- brute-force oracles (ground truth for tests and benches) -------------
+
+    def brute_force_window(self, window: Rect) -> np.ndarray:
+        """Ids of all MBRs intersecting ``window`` (sorted)."""
+        mask = (
+            (self.xu >= window.xl)
+            & (self.xl <= window.xu)
+            & (self.yu >= window.yl)
+            & (self.yl <= window.yu)
+        )
+        return np.flatnonzero(mask).astype(np.int64)
+
+    def brute_force_disk(self, cx: float, cy: float, radius: float) -> np.ndarray:
+        """Ids of all MBRs within ``radius`` of ``(cx, cy)`` (sorted)."""
+        dx = np.maximum(np.maximum(self.xl - cx, 0.0), cx - self.xu)
+        dy = np.maximum(np.maximum(self.yl - cy, 0.0), cy - self.yu)
+        mask = dx * dx + dy * dy <= radius * radius
+        return np.flatnonzero(mask).astype(np.int64)

@@ -1,0 +1,125 @@
+"""Dataset persistence and interop.
+
+* ``.npz`` archives (:func:`save_dataset` / :func:`load_dataset`) — fast
+  binary storage of the MBR columns; exact geometries are not persisted
+  (they are cheap to regenerate with a fixed seed).
+* CSV (:func:`save_csv` / :func:`load_csv`) — plain ``xl,yl,xu,yu`` rows
+  for interop with spreadsheets and other tools.
+* WKT (:func:`save_wkt` / :func:`load_wkt`) — one geometry per line, the
+  format real TIGER extracts ship in; loading derives the MBR columns
+  and keeps the exact geometries for the refinement step.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.errors import DatasetError
+from repro.geometry.wkt import geometry_from_wkt, geometry_to_wkt
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_csv",
+    "load_csv",
+    "save_wkt",
+    "load_wkt",
+]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(data: RectDataset, path: "str | os.PathLike[str]") -> None:
+    """Write the MBR columns of ``data`` to ``path`` (npz format)."""
+    np.savez_compressed(
+        path,
+        version=np.int64(_FORMAT_VERSION),
+        xl=data.xl,
+        yl=data.yl,
+        xu=data.xu,
+        yu=data.yu,
+    )
+
+
+def load_dataset(path: "str | os.PathLike[str]") -> RectDataset:
+    """Read a dataset previously written by :func:`save_dataset`."""
+    with np.load(path) as archive:
+        try:
+            version = int(archive["version"])
+            columns = tuple(archive[k] for k in ("xl", "yl", "xu", "yu"))
+        except KeyError as exc:
+            raise DatasetError(f"{path}: not a repro dataset archive") from exc
+    if version != _FORMAT_VERSION:
+        raise DatasetError(
+            f"{path}: unsupported dataset format version {version}"
+        )
+    return RectDataset(*columns)
+
+
+def save_csv(data: RectDataset, path: "str | os.PathLike[str]") -> None:
+    """Write ``xl,yl,xu,yu`` rows (with a header) to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["xl", "yl", "xu", "yu"])
+        for i in range(len(data)):
+            writer.writerow(
+                [
+                    repr(float(data.xl[i])),
+                    repr(float(data.yl[i])),
+                    repr(float(data.xu[i])),
+                    repr(float(data.yu[i])),
+                ]
+            )
+
+
+def load_csv(path: "str | os.PathLike[str]") -> RectDataset:
+    """Read a CSV of ``xl,yl,xu,yu`` rows (header optional)."""
+    columns: list[list[float]] = [[], [], [], []]
+    with open(path, newline="") as handle:
+        for row_no, row in enumerate(csv.reader(handle)):
+            if not row or (row_no == 0 and row[0].strip().lower() == "xl"):
+                continue
+            if len(row) < 4:
+                raise DatasetError(
+                    f"{path}:{row_no + 1}: expected 4 columns, got {len(row)}"
+                )
+            try:
+                values = [float(v) for v in row[:4]]
+            except ValueError as exc:
+                raise DatasetError(
+                    f"{path}:{row_no + 1}: non-numeric coordinate"
+                ) from exc
+            for col, value in zip(columns, values):
+                col.append(value)
+    return RectDataset(*(np.asarray(c) for c in columns))
+
+
+def save_wkt(data: RectDataset, path: "str | os.PathLike[str]") -> None:
+    """Write one WKT geometry per line (exact geometries, or MBR rings)."""
+    with open(path, "w") as handle:
+        for i in range(len(data)):
+            handle.write(geometry_to_wkt(data.geometry(i)))
+            handle.write("\n")
+
+
+def load_wkt(path: "str | os.PathLike[str]") -> RectDataset:
+    """Read one WKT geometry per line; MBRs are derived, geometries kept."""
+    geometries = []
+    with open(path) as handle:
+        for line_no, line in enumerate(handle):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                geometries.append(geometry_from_wkt(line))
+            except DatasetError:
+                raise
+            except Exception as exc:
+                raise DatasetError(f"{path}:{line_no + 1}: {exc}") from exc
+    if not geometries:
+        raise DatasetError(f"{path}: no geometries found")
+    return RectDataset.from_geometries(geometries)

@@ -1,0 +1,222 @@
+"""Synthetic stand-ins for the paper's TIGER 2015 datasets (Table III).
+
+The paper evaluates on three real datasets that we cannot redistribute:
+
+=======  ===========  =====  ============  ============
+dataset  type         card.  avg x-extent  avg y-extent
+=======  ===========  =====  ============  ============
+ROADS    linestrings  20M    0.00001173    0.00000915
+EDGES    polygons     70M    0.00000491    0.00000383
+TIGER    mixed        98M    0.00000740    0.00000576
+=======  ===========  =====  ============  ============
+
+This module generates *scaled-down synthetic stand-ins* that preserve the
+properties the evaluated algorithms are sensitive to:
+
+* the published average MBR extent per axis (Table III, last two columns),
+  with log-normal variability around the mean;
+* a heavily clustered, non-uniform spatial distribution (objects follow
+  population-like cluster centres, as real road networks do);
+* the per-dataset geometry type (linestrings / polygons / mixed), so the
+  refinement-step experiments (Fig. 6) exercise real exact-geometry tests;
+* the relative cardinalities 20 : 70 : 98, scaled by a user-chosen factor.
+
+See DESIGN.md ("Substitutions") for why this preserves the experiments'
+behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.errors import DatasetError
+from repro.geometry.linestring import LineString
+from repro.geometry.polygon import Polygon
+
+__all__ = ["TigerSpec", "TIGER_SPECS", "generate_tiger_standin", "load_roads", "load_edges", "load_tiger"]
+
+
+@dataclass(frozen=True)
+class TigerSpec:
+    """Published statistics of one Table III dataset."""
+
+    name: str
+    kind: str  # "linestring", "polygon" or "mixed"
+    paper_cardinality: int
+    avg_x_extent: float
+    avg_y_extent: float
+
+
+TIGER_SPECS: dict[str, TigerSpec] = {
+    "ROADS": TigerSpec("ROADS", "linestring", 20_000_000, 0.00001173, 0.00000915),
+    "EDGES": TigerSpec("EDGES", "polygon", 70_000_000, 0.00000491, 0.00000383),
+    "TIGER": TigerSpec("TIGER", "mixed", 98_000_000, 0.00000740, 0.00000576),
+}
+
+#: default scale: paper cardinality / 200 (20M -> 100K objects).
+DEFAULT_SCALE = 1.0 / 200.0
+
+
+def _cluster_centres(
+    n: int, rng: np.random.Generator
+) -> tuple[np.ndarray, np.ndarray]:
+    """Clustered object centres mimicking a road-network density map.
+
+    A two-level Gaussian-mixture: a few hundred metro areas, each with
+    power-law weight, plus a 10% uniform rural background.
+    """
+    n_clusters = max(8, int(math.sqrt(n)))
+    centres_x = rng.random(n_clusters)
+    centres_y = rng.random(n_clusters)
+    # Power-law cluster popularity (Zipf-ish, like city sizes).
+    weights = 1.0 / np.arange(1, n_clusters + 1, dtype=np.float64)
+    weights /= weights.sum()
+    sigma = rng.uniform(0.002, 0.03, size=n_clusters)
+
+    n_rural = n // 10
+    n_urban = n - n_rural
+    choice = rng.choice(n_clusters, size=n_urban, p=weights)
+    cx = np.concatenate(
+        [centres_x[choice] + rng.normal(0.0, sigma[choice]), rng.random(n_rural)]
+    )
+    cy = np.concatenate(
+        [centres_y[choice] + rng.normal(0.0, sigma[choice]), rng.random(n_rural)]
+    )
+    return np.clip(cx, 0.0, 1.0), np.clip(cy, 0.0, 1.0)
+
+
+def _extent_samples(
+    n: int, mean: float, rng: np.random.Generator
+) -> np.ndarray:
+    """Log-normal extents with the requested mean (real extents are skewed)."""
+    sigma = 0.75
+    mu = math.log(mean) - sigma * sigma / 2.0
+    return rng.lognormal(mean=mu, sigma=sigma, size=n)
+
+
+def _mbrs_only(
+    n: int, spec: TigerSpec, rng: np.random.Generator
+) -> RectDataset:
+    cx, cy = _cluster_centres(n, rng)
+    w = _extent_samples(n, spec.avg_x_extent, rng)
+    h = _extent_samples(n, spec.avg_y_extent, rng)
+    half_w = w / 2.0
+    half_h = h / 2.0
+    cx = np.clip(cx, half_w, 1.0 - half_w)
+    cy = np.clip(cy, half_h, 1.0 - half_h)
+    return RectDataset(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
+
+
+def _linestring_in_box(
+    xl: float, yl: float, xu: float, yu: float, rng: np.random.Generator
+) -> LineString:
+    """A road-segment-like polyline spanning the given MBR exactly."""
+    n_vertices = int(rng.integers(2, 7))
+    ts = np.sort(rng.random(n_vertices))
+    ts[0], ts[-1] = 0.0, 1.0  # span the box in x
+    ys = rng.random(n_vertices)
+    # Force the y-extremes so the MBR is exactly the requested box.
+    lo = int(rng.integers(0, n_vertices))
+    hi = int(rng.integers(0, n_vertices))
+    if lo == hi:
+        hi = (hi + 1) % n_vertices
+    ys[lo], ys[hi] = 0.0, 1.0
+    verts = [(xl + t * (xu - xl), yl + y * (yu - yl)) for t, y in zip(ts, ys)]
+    return LineString(verts)
+
+
+def _polygon_in_box(
+    xl: float, yl: float, xu: float, yu: float, rng: np.random.Generator
+) -> Polygon:
+    """A convex parcel-like polygon inscribed in the given MBR."""
+    n_vertices = int(rng.integers(4, 9))
+    angles = np.sort(rng.uniform(0.0, 2.0 * math.pi, size=n_vertices))
+    # Convex polygon on an ellipse inscribed in the box: its MBR is the box.
+    cx = (xl + xu) / 2.0
+    cy = (yl + yu) / 2.0
+    rx = (xu - xl) / 2.0
+    ry = (yu - yl) / 2.0
+    # Guarantee MBR tightness by pinning four extreme angles.
+    angles[0] = 0.0
+    angles[n_vertices // 4] = math.pi / 2.0
+    angles[n_vertices // 2] = math.pi
+    angles[3 * n_vertices // 4] = 3.0 * math.pi / 2.0
+    angles = np.sort(angles)
+    verts = [
+        (cx + rx * math.cos(a), cy + ry * math.sin(a)) for a in angles
+    ]
+    return Polygon(verts)
+
+
+def generate_tiger_standin(
+    name: str,
+    scale: float = DEFAULT_SCALE,
+    with_geometries: bool = False,
+    seed: "int | None" = None,
+) -> RectDataset:
+    """Generate the stand-in for Table III dataset ``name``.
+
+    Parameters
+    ----------
+    name:
+        ``"ROADS"``, ``"EDGES"`` or ``"TIGER"``.
+    scale:
+        fraction of the paper's cardinality to generate (default 1/200).
+    with_geometries:
+        when true, attach exact geometries (linestrings / polygons per the
+        dataset type) whose MBRs equal the generated rectangles; required
+        by the refinement experiments, slower to build.
+    """
+    spec = TIGER_SPECS.get(name.upper())
+    if spec is None:
+        raise DatasetError(
+            f"unknown TIGER dataset {name!r}; expected one of {sorted(TIGER_SPECS)}"
+        )
+    if scale <= 0:
+        raise DatasetError(f"scale must be > 0, got {scale}")
+    n = max(1, int(round(spec.paper_cardinality * scale)))
+    rng = np.random.default_rng(seed)
+    data = _mbrs_only(n, spec, rng)
+    if not with_geometries:
+        return data
+
+    geometries = []
+    degenerate_eps = 1e-12
+    for i in range(n):
+        xl = float(data.xl[i])
+        yl = float(data.yl[i])
+        xu = max(float(data.xu[i]), xl + degenerate_eps)
+        yu = max(float(data.yu[i]), yl + degenerate_eps)
+        if spec.kind == "linestring":
+            make_line = True
+        elif spec.kind == "polygon":
+            make_line = False
+        else:  # mixed: 20M/98M linestrings, rest polygons (paper's merge)
+            make_line = rng.random() < (20.0 / 98.0)
+        if make_line:
+            geometries.append(_linestring_in_box(xl, yl, xu, yu, rng))
+        else:
+            geometries.append(_polygon_in_box(xl, yl, xu, yu, rng))
+    return RectDataset(data.xl, data.yl, data.xu, data.yu, geometries)
+
+
+def load_roads(scale: float = DEFAULT_SCALE, with_geometries: bool = False,
+               seed: "int | None" = 20150) -> RectDataset:
+    """ROADS stand-in (linestrings), deterministic by default."""
+    return generate_tiger_standin("ROADS", scale, with_geometries, seed)
+
+
+def load_edges(scale: float = DEFAULT_SCALE, with_geometries: bool = False,
+               seed: "int | None" = 20151) -> RectDataset:
+    """EDGES stand-in (polygons), deterministic by default."""
+    return generate_tiger_standin("EDGES", scale, with_geometries, seed)
+
+
+def load_tiger(scale: float = DEFAULT_SCALE, with_geometries: bool = False,
+               seed: "int | None" = 20152) -> RectDataset:
+    """TIGER stand-in (mixed linestrings + polygons), deterministic."""
+    return generate_tiger_standin("TIGER", scale, with_geometries, seed)

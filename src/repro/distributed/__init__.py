@@ -1,0 +1,15 @@
+"""Simulated distributed spatial engine (GeoSpark stand-in, Fig. 12)."""
+
+from repro.distributed.cluster import (
+    DEFAULT_JOB_OVERHEAD_S,
+    DEFAULT_TASK_OVERHEAD_S,
+    QueryOutcome,
+    SimulatedSpatialCluster,
+)
+
+__all__ = [
+    "SimulatedSpatialCluster",
+    "QueryOutcome",
+    "DEFAULT_JOB_OVERHEAD_S",
+    "DEFAULT_TASK_OVERHEAD_S",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError`, so callers can
+catch one base class.  Invalid user input (bad coordinates, malformed
+geometries, out-of-range parameters) raises subclasses of
+:class:`ReproError` rather than bare ``ValueError`` where the context is
+spatial, but we still subclass ``ValueError`` so generic handling works.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class InvalidGeometryError(ReproError, ValueError):
+    """A geometry is malformed (e.g. a polygon with fewer than 3 vertices)."""
+
+
+class InvalidRectError(ReproError, ValueError):
+    """A rectangle has inverted or non-finite coordinates."""
+
+
+class InvalidQueryError(ReproError, ValueError):
+    """A query object is malformed (e.g. negative disk radius)."""
+
+
+class InvalidGridError(ReproError, ValueError):
+    """Grid construction parameters are invalid (e.g. zero partitions)."""
+
+
+class DatasetError(ReproError, ValueError):
+    """A dataset is malformed or generation parameters are invalid."""
+
+
+class IndexStateError(ReproError, RuntimeError):
+    """An index was used before being built, or mutated when immutable."""

@@ -1,0 +1,59 @@
+"""Geometry substrate: MBRs, exact geometries and query predicates.
+
+Spatial indices in this library operate on MBRs (:class:`Rect`) during the
+*filtering* step and on exact geometries (:class:`Point`,
+:class:`Segment`, :class:`LineString`, :class:`Polygon`) during the
+*refinement* step, following the classic two-step framework the paper
+builds on (Section II-A).
+"""
+
+from repro.geometry.linestring import LineString
+from repro.geometry.mbr import (
+    Rect,
+    max_dist_point_rect,
+    min_dist_point_rect,
+    reference_point,
+)
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import (
+    Geometry,
+    geometry_distance_to_point,
+    geometry_intersects_disk,
+    geometry_intersects_geometry,
+    geometry_intersects_window,
+    geometry_mbr,
+    mbr_side_inside_disk,
+    mbr_side_inside_window,
+)
+from repro.geometry.wkt import geometry_from_wkt, geometry_to_wkt
+from repro.geometry.segment import (
+    Segment,
+    point_segment_distance,
+    segment_intersects_rect,
+    segments_intersect,
+)
+
+__all__ = [
+    "Rect",
+    "Point",
+    "Segment",
+    "LineString",
+    "Polygon",
+    "Geometry",
+    "reference_point",
+    "min_dist_point_rect",
+    "max_dist_point_rect",
+    "segments_intersect",
+    "segment_intersects_rect",
+    "point_segment_distance",
+    "geometry_mbr",
+    "geometry_intersects_window",
+    "geometry_intersects_disk",
+    "geometry_intersects_geometry",
+    "geometry_distance_to_point",
+    "geometry_from_wkt",
+    "geometry_to_wkt",
+    "mbr_side_inside_window",
+    "mbr_side_inside_disk",
+]

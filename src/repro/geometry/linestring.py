@@ -1,0 +1,98 @@
+"""Linestring geometry (polyline of two or more vertices).
+
+ROADS-style objects in the paper are linestrings; the refinement step of a
+range query must test the *exact* polyline against the query window or disk
+(Section V), not just the MBR.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import InvalidGeometryError
+from repro.geometry.mbr import Rect
+from repro.geometry.segment import point_segment_distance, segment_intersects_rect
+
+__all__ = ["LineString"]
+
+
+class LineString:
+    """An immutable open polyline defined by >= 2 vertices."""
+
+    __slots__ = ("_xs", "_ys", "_mbr")
+
+    def __init__(self, vertices: Sequence[tuple[float, float]]):
+        if len(vertices) < 2:
+            raise InvalidGeometryError(
+                f"a linestring needs at least 2 vertices, got {len(vertices)}"
+            )
+        xs: list[float] = []
+        ys: list[float] = []
+        for x, y in vertices:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                raise InvalidGeometryError(f"non-finite vertex: ({x}, {y})")
+            xs.append(float(x))
+            ys.append(float(y))
+        self._xs = tuple(xs)
+        self._ys = tuple(ys)
+        self._mbr = Rect(min(xs), min(ys), max(xs), max(ys))
+
+    # -- accessors --------------------------------------------------------
+
+    @property
+    def vertices(self) -> list[tuple[float, float]]:
+        return list(zip(self._xs, self._ys))
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LineString):
+            return NotImplemented
+        return self._xs == other._xs and self._ys == other._ys
+
+    def __hash__(self) -> int:
+        return hash((self._xs, self._ys))
+
+    def __repr__(self) -> str:
+        return f"LineString({len(self)} vertices, mbr={self._mbr.as_tuple()})"
+
+    def mbr(self) -> Rect:
+        return self._mbr
+
+    @property
+    def length(self) -> float:
+        total = 0.0
+        for i in range(len(self._xs) - 1):
+            total += math.hypot(
+                self._xs[i + 1] - self._xs[i], self._ys[i + 1] - self._ys[i]
+            )
+        return total
+
+    # -- predicates ---------------------------------------------------------
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Exact test: does any segment of the polyline touch ``rect``?"""
+        if not self._mbr.intersects(rect):
+            return False
+        xs, ys = self._xs, self._ys
+        for i in range(len(xs) - 1):
+            if segment_intersects_rect(xs[i], ys[i], xs[i + 1], ys[i + 1], rect):
+                return True
+        return False
+
+    def distance_to_point(self, px: float, py: float) -> float:
+        """Minimum distance from the polyline to a point."""
+        xs, ys = self._xs, self._ys
+        best = math.inf
+        for i in range(len(xs) - 1):
+            d = point_segment_distance(px, py, xs[i], ys[i], xs[i + 1], ys[i + 1])
+            if d < best:
+                best = d
+                if best == 0.0:
+                    break
+        return best
+
+    def intersects_disk(self, cx: float, cy: float, radius: float) -> bool:
+        return self.distance_to_point(cx, cy) <= radius

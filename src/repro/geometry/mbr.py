@@ -1,0 +1,204 @@
+"""Axis-aligned minimum bounding rectangles (MBRs).
+
+The paper (Section III) represents every object by its MBR during the
+filtering step.  An MBR ``r`` is the pair of projections
+``r.x = [r.xl, r.xu]`` and ``r.y = [r.yl, r.yu]``.  This module provides
+
+* :class:`Rect` — an immutable rectangle with the intersection/containment
+  predicates used throughout the paper,
+* the *reference point* of Dittrich & Seeger [9], used by the 1-layer
+  baseline for duplicate elimination, and
+* helpers for the min/max distance between a point and a rectangle, used by
+  disk (distance) range queries (Section IV-E).
+
+Coordinate convention follows the paper: ``x`` grows left to right and
+``y`` grows top to bottom (footnote 2); nothing in the code depends on the
+visual orientation, only on ``l <= u`` per dimension.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import InvalidRectError
+
+__all__ = ["Rect", "reference_point", "min_dist_point_rect", "max_dist_point_rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """An immutable axis-aligned rectangle ``[xl, xu] x [yl, yu]``.
+
+    Degenerate rectangles (zero width and/or height) are allowed: they model
+    point or axis-parallel-segment MBRs, which the paper explicitly covers
+    with its ``10**-inf`` synthetic datasets (Fig. 9).
+    """
+
+    xl: float
+    yl: float
+    xu: float
+    yu: float
+
+    def __post_init__(self) -> None:
+        if not (
+            math.isfinite(self.xl)
+            and math.isfinite(self.yl)
+            and math.isfinite(self.xu)
+            and math.isfinite(self.yu)
+        ):
+            raise InvalidRectError(f"non-finite rectangle coordinates: {self}")
+        if self.xl > self.xu or self.yl > self.yu:
+            raise InvalidRectError(
+                f"inverted rectangle: xl={self.xl} xu={self.xu} yl={self.yl} yu={self.yu}"
+            )
+
+    # -- basic measures -------------------------------------------------
+
+    @property
+    def width(self) -> float:
+        return self.xu - self.xl
+
+    @property
+    def height(self) -> float:
+        return self.yu - self.yl
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree 'margin' measure."""
+        return self.width + self.height
+
+    def center(self) -> tuple[float, float]:
+        return ((self.xl + self.xu) / 2.0, (self.yl + self.yu) / 2.0)
+
+    def corners(self) -> Iterator[tuple[float, float]]:
+        """Yield the four corners (degenerate rects repeat coordinates)."""
+        yield (self.xl, self.yl)
+        yield (self.xu, self.yl)
+        yield (self.xu, self.yu)
+        yield (self.xl, self.yu)
+
+    # -- predicates ------------------------------------------------------
+
+    def intersects(self, other: "Rect") -> bool:
+        """Closed-interval intersection test (4 comparisons, Section IV-B)."""
+        return not (
+            self.xu < other.xl
+            or self.xl > other.xu
+            or self.yu < other.yl
+            or self.yl > other.yu
+        )
+
+    def contains(self, other: "Rect") -> bool:
+        """True iff ``other`` lies entirely inside ``self`` (closed)."""
+        return (
+            self.xl <= other.xl
+            and other.xu <= self.xu
+            and self.yl <= other.yl
+            and other.yu <= self.yu
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.xl <= x <= self.xu and self.yl <= y <= self.yu
+
+    def covers_in_dim(self, other: "Rect", dim: str) -> bool:
+        """True iff ``self`` covers ``other``'s projection in dimension ``dim``.
+
+        Used by the secondary-filtering test of Lemma 5: if a window covers a
+        candidate MBR in either dimension, one side of the MBR lies inside
+        the window and refinement can be skipped.
+        """
+        if dim == "x":
+            return self.xl <= other.xl and other.xu <= self.xu
+        if dim == "y":
+            return self.yl <= other.yl and other.yu <= self.yu
+        raise ValueError(f"dim must be 'x' or 'y', got {dim!r}")
+
+    # -- constructive ops -------------------------------------------------
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """The overlap rectangle, or ``None`` when disjoint."""
+        xl = max(self.xl, other.xl)
+        yl = max(self.yl, other.yl)
+        xu = min(self.xu, other.xu)
+        yu = min(self.yu, other.yu)
+        if xl > xu or yl > yu:
+            return None
+        return Rect(xl, yl, xu, yu)
+
+    def union(self, other: "Rect") -> "Rect":
+        """The MBR of the two rectangles (R-tree node enlargement)."""
+        return Rect(
+            min(self.xl, other.xl),
+            min(self.yl, other.yl),
+            max(self.xu, other.xu),
+            max(self.yu, other.yu),
+        )
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area increase if ``other`` is merged into ``self`` (R-tree)."""
+        return self.union(other).area - self.area
+
+    def overlap_area(self, other: "Rect") -> float:
+        inter = self.intersection(other)
+        return 0.0 if inter is None else inter.area
+
+    # -- conversions -------------------------------------------------------
+
+    def as_tuple(self) -> tuple[float, float, float, float]:
+        return (self.xl, self.yl, self.xu, self.yu)
+
+    @classmethod
+    def from_points(cls, points: "list[tuple[float, float]]") -> "Rect":
+        """MBR of a non-empty point sequence."""
+        if not points:
+            raise InvalidRectError("cannot build an MBR from zero points")
+        xs = [p[0] for p in points]
+        ys = [p[1] for p in points]
+        return cls(min(xs), min(ys), max(xs), max(ys))
+
+
+def reference_point(result: Rect, window: Rect) -> tuple[float, float]:
+    """Reference point of Dittrich & Seeger [9] for duplicate elimination.
+
+    The reference point of a query result is the lower-left corner
+    (minimum x, minimum y) of the intersection between the result MBR and
+    the query window.  It lies in exactly one tile of any space-oriented
+    partitioning, so reporting a result only from the tile containing its
+    reference point eliminates duplicates without hashing.
+
+    Raises :class:`InvalidRectError` if the arguments do not intersect
+    (there is no intersection area to take a corner of).
+    """
+    inter = result.intersection(window)
+    if inter is None:
+        raise InvalidRectError("reference point of non-intersecting rectangles")
+    return (inter.xl, inter.yl)
+
+
+def min_dist_point_rect(x: float, y: float, rect: Rect) -> float:
+    """Minimum Euclidean distance from point ``(x, y)`` to ``rect``.
+
+    Zero when the point lies inside the rectangle.  Used to decide whether a
+    tile / MBR intersects a disk query range.
+    """
+    dx = max(rect.xl - x, 0.0, x - rect.xu)
+    dy = max(rect.yl - y, 0.0, y - rect.yu)
+    return math.hypot(dx, dy)
+
+
+def max_dist_point_rect(x: float, y: float, rect: Rect) -> float:
+    """Maximum Euclidean distance from point ``(x, y)`` to ``rect``.
+
+    Used to detect tiles *totally covered* by a disk range (Section IV-E):
+    if the farthest corner is within the radius the whole tile is inside the
+    disk and no per-object distance verification is needed.
+    """
+    dx = max(abs(x - rect.xl), abs(x - rect.xu))
+    dy = max(abs(y - rect.yl), abs(y - rect.yu))
+    return math.hypot(dx, dy)

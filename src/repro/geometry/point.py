@@ -1,0 +1,40 @@
+"""Point geometry."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidGeometryError
+from repro.geometry.mbr import Rect
+
+__all__ = ["Point"]
+
+
+@dataclass(frozen=True, slots=True)
+class Point:
+    """A 2D point; the degenerate non-point geometry.
+
+    Points appear in the TIGER-derived mixed dataset and as the limit case
+    of the paper's ``10**-inf``-area synthetic rectangles.
+    """
+
+    x: float
+    y: float
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.x) and math.isfinite(self.y)):
+            raise InvalidGeometryError(f"non-finite point: ({self.x}, {self.y})")
+
+    def mbr(self) -> Rect:
+        """Degenerate (zero-area) MBR of the point."""
+        return Rect(self.x, self.y, self.x, self.y)
+
+    def distance_to(self, other: "Point") -> float:
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        return rect.contains_point(self.x, self.y)
+
+    def intersects_disk(self, cx: float, cy: float, radius: float) -> bool:
+        return math.hypot(self.x - cx, self.y - cy) <= radius

@@ -1,0 +1,159 @@
+"""Simple-polygon geometry.
+
+EDGES-style objects in the paper are polygons.  The refinement step needs
+exact polygon-vs-window and polygon-vs-disk intersection tests.  We support
+simple (non-self-intersecting, no holes) polygons, which covers the TIGER
+stand-in data this repo generates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import InvalidGeometryError
+from repro.geometry.mbr import Rect
+from repro.geometry.segment import (
+    point_segment_distance,
+    segment_intersects_rect,
+    segments_intersect,
+)
+
+__all__ = ["Polygon"]
+
+
+class Polygon:
+    """An immutable simple polygon given by its boundary ring.
+
+    The ring is stored without a repeated closing vertex; the closing edge
+    from the last vertex back to the first is implicit.
+    """
+
+    __slots__ = ("_xs", "_ys", "_mbr")
+
+    def __init__(self, vertices: Sequence[tuple[float, float]]):
+        verts = list(vertices)
+        # Accept (and strip) an explicitly closed ring.
+        if len(verts) >= 2 and verts[0] == verts[-1]:
+            verts = verts[:-1]
+        if len(verts) < 3:
+            raise InvalidGeometryError(
+                f"a polygon needs at least 3 distinct vertices, got {len(verts)}"
+            )
+        xs: list[float] = []
+        ys: list[float] = []
+        for x, y in verts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                raise InvalidGeometryError(f"non-finite vertex: ({x}, {y})")
+            xs.append(float(x))
+            ys.append(float(y))
+        self._xs = tuple(xs)
+        self._ys = tuple(ys)
+        self._mbr = Rect(min(xs), min(ys), max(xs), max(ys))
+
+    # -- accessors ----------------------------------------------------------
+
+    @property
+    def vertices(self) -> list[tuple[float, float]]:
+        return list(zip(self._xs, self._ys))
+
+    def __len__(self) -> int:
+        return len(self._xs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Polygon):
+            return NotImplemented
+        return self._xs == other._xs and self._ys == other._ys
+
+    def __hash__(self) -> int:
+        return hash((self._xs, self._ys))
+
+    def __repr__(self) -> str:
+        return f"Polygon({len(self)} vertices, mbr={self._mbr.as_tuple()})"
+
+    def mbr(self) -> Rect:
+        return self._mbr
+
+    @property
+    def area(self) -> float:
+        """Unsigned area by the shoelace formula."""
+        xs, ys = self._xs, self._ys
+        n = len(xs)
+        acc = 0.0
+        for i in range(n):
+            j = (i + 1) % n
+            acc += xs[i] * ys[j] - xs[j] * ys[i]
+        return abs(acc) / 2.0
+
+    def _edges(self):
+        xs, ys = self._xs, self._ys
+        n = len(xs)
+        for i in range(n):
+            j = (i + 1) % n
+            yield xs[i], ys[i], xs[j], ys[j]
+
+    # -- predicates ------------------------------------------------------
+
+    def contains_point(self, px: float, py: float) -> bool:
+        """Point-in-polygon by ray casting; boundary points count as inside."""
+        if not self._mbr.contains_point(px, py):
+            return False
+        xs, ys = self._xs, self._ys
+        n = len(xs)
+        inside = False
+        j = n - 1
+        for i in range(n):
+            xi, yi = xs[i], ys[i]
+            xj, yj = xs[j], ys[j]
+            # Boundary check: point on edge i-j.
+            if point_segment_distance(px, py, xi, yi, xj, yj) <= 1e-12:
+                return True
+            if (yi > py) != (yj > py):
+                x_cross = (xj - xi) * (py - yi) / (yj - yi) + xi
+                if px < x_cross:
+                    inside = not inside
+            j = i
+        return inside
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        """Exact polygon-vs-rectangle intersection (boundary or interior)."""
+        if not self._mbr.intersects(rect):
+            return False
+        # Any boundary edge crossing the rectangle?
+        for ax, ay, bx, by in self._edges():
+            if segment_intersects_rect(ax, ay, bx, by, rect):
+                return True
+        # Rectangle entirely inside the polygon?
+        if self.contains_point(rect.xl, rect.yl):
+            return True
+        # Polygon entirely inside the rectangle? (then its MBR is too, and
+        # some vertex is inside — but the edge test above already caught
+        # every vertex-inside case, so only full containment remains)
+        return rect.contains(self._mbr)
+
+    def distance_to_point(self, px: float, py: float) -> float:
+        """Distance from a point to the polygon (0 when inside)."""
+        if self.contains_point(px, py):
+            return 0.0
+        best = math.inf
+        for ax, ay, bx, by in self._edges():
+            d = point_segment_distance(px, py, ax, ay, bx, by)
+            if d < best:
+                best = d
+        return best
+
+    def intersects_disk(self, cx: float, cy: float, radius: float) -> bool:
+        return self.distance_to_point(cx, cy) <= radius
+
+    def intersects_polygon(self, other: "Polygon") -> bool:
+        """Exact polygon-vs-polygon intersection (used by spatial joins)."""
+        if not self._mbr.intersects(other._mbr):
+            return False
+        for ax, ay, bx, by in self._edges():
+            for cx_, cy_, dx_, dy_ in other._edges():
+                if segments_intersect(ax, ay, bx, by, cx_, cy_, dx_, dy_):
+                    return True
+        # No boundary crossing: one may contain the other.
+        return self.contains_point(other._xs[0], other._ys[0]) or other.contains_point(
+            self._xs[0], self._ys[0]
+        )

@@ -1,0 +1,203 @@
+"""Query predicates over exact geometries and the Lemma 5 post-filter.
+
+The refinement step of a range query (Section V) tests the *exact* geometry
+of each candidate against the query range.  This module provides
+
+* generic dispatch of ``geometry intersects window`` and
+  ``geometry intersects disk`` over every geometry type in
+  :mod:`repro.geometry`, and
+* the two *secondary filtering* tests of Lemma 5, which certify a candidate
+  as a true result from its MBR alone so the exact-geometry test can be
+  skipped for the vast majority of candidates.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from repro.geometry.linestring import LineString
+from repro.geometry.mbr import Rect
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.segment import Segment
+
+__all__ = [
+    "Geometry",
+    "geometry_mbr",
+    "geometry_intersects_window",
+    "geometry_intersects_disk",
+    "geometry_intersects_geometry",
+    "geometry_distance_to_point",
+    "mbr_side_inside_window",
+    "mbr_side_inside_disk",
+]
+
+Geometry = Union[Point, Segment, LineString, Polygon, Rect]
+
+
+def geometry_mbr(geom: Geometry) -> Rect:
+    """MBR of any supported geometry (a Rect is its own MBR)."""
+    if isinstance(geom, Rect):
+        return geom
+    return geom.mbr()
+
+
+def geometry_intersects_window(geom: Geometry, window: Rect) -> bool:
+    """Exact test: does the geometry intersect the rectangular window?"""
+    if isinstance(geom, Rect):
+        return geom.intersects(window)
+    if isinstance(geom, Point):
+        return geom.intersects_rect(window)
+    if isinstance(geom, (Segment, LineString, Polygon)):
+        return geom.intersects_rect(window)
+    raise TypeError(f"unsupported geometry type: {type(geom).__name__}")
+
+
+def _rect_intersects_disk(rect: Rect, cx: float, cy: float, radius: float) -> bool:
+    dx = max(rect.xl - cx, 0.0, cx - rect.xu)
+    dy = max(rect.yl - cy, 0.0, cy - rect.yu)
+    return dx * dx + dy * dy <= radius * radius
+
+
+def geometry_intersects_disk(
+    geom: Geometry, cx: float, cy: float, radius: float
+) -> bool:
+    """Exact test: is the geometry's min distance to (cx, cy) <= radius?"""
+    if isinstance(geom, Rect):
+        return _rect_intersects_disk(geom, cx, cy, radius)
+    if isinstance(geom, Point):
+        return geom.intersects_disk(cx, cy, radius)
+    if isinstance(geom, Segment):
+        return geom.distance_to_point(cx, cy) <= radius
+    if isinstance(geom, (LineString, Polygon)):
+        return geom.intersects_disk(cx, cy, radius)
+    raise TypeError(f"unsupported geometry type: {type(geom).__name__}")
+
+
+def _segments_of(geom: Geometry):
+    """Yield the segments of a 1D/2D boundary geometry."""
+    if isinstance(geom, Segment):
+        yield (geom.ax, geom.ay, geom.bx, geom.by)
+        return
+    if isinstance(geom, LineString):
+        verts = geom.vertices
+        for i in range(len(verts) - 1):
+            yield (*verts[i], *verts[i + 1])
+        return
+    if isinstance(geom, Polygon):
+        verts = geom.vertices
+        n = len(verts)
+        for i in range(n):
+            yield (*verts[i], *verts[(i + 1) % n])
+        return
+    raise TypeError(f"no segments for {type(geom).__name__}")
+
+
+def _point_on_geometry(geom: Geometry, x: float, y: float) -> bool:
+    """Is the point on/inside the geometry (closed semantics)?"""
+    from repro.geometry.segment import point_segment_distance
+
+    if isinstance(geom, Rect):
+        return geom.contains_point(x, y)
+    if isinstance(geom, Point):
+        return geom.x == x and geom.y == y
+    if isinstance(geom, Polygon):
+        return geom.contains_point(x, y)
+    return any(
+        point_segment_distance(x, y, ax, ay, bx, by) <= 1e-12
+        for ax, ay, bx, by in _segments_of(geom)
+    )
+
+
+def geometry_intersects_geometry(a: Geometry, b: Geometry) -> bool:
+    """Exact intersection test between any two supported geometries.
+
+    The refinement step of a *spatial join* (each candidate pair's exact
+    geometries must be verified, mirroring Section V for range queries).
+    Closed semantics: touching boundaries intersect.
+    """
+    from repro.geometry.segment import segments_intersect
+
+    # Cheap MBR reject first.
+    if not geometry_mbr(a).intersects(geometry_mbr(b)):
+        return False
+    # Rects delegate to the window predicates (already exact).
+    if isinstance(a, Rect):
+        return geometry_intersects_window(b, a)
+    if isinstance(b, Rect):
+        return geometry_intersects_window(a, b)
+    # Points reduce to on-geometry tests.
+    if isinstance(a, Point):
+        return _point_on_geometry(b, a.x, a.y)
+    if isinstance(b, Point):
+        return _point_on_geometry(a, b.x, b.y)
+    # Boundary-vs-boundary: any segment pair crossing.
+    for sa in _segments_of(a):
+        for sb in _segments_of(b):
+            if segments_intersect(*sa, *sb):
+                return True
+    # No boundary crossing: one may contain the other (polygons only).
+    if isinstance(a, Polygon):
+        x, y = next(_segments_of(b))[:2]
+        if a.contains_point(x, y):
+            return True
+    if isinstance(b, Polygon):
+        x, y = next(_segments_of(a))[:2]
+        if b.contains_point(x, y):
+            return True
+    return False
+
+
+def geometry_distance_to_point(geom: Geometry, cx: float, cy: float) -> float:
+    """Exact minimum distance from the geometry to a point.
+
+    Zero when the point lies on/inside the geometry.  Used by the exact
+    (refined) k-nearest-neighbour search.
+    """
+    if isinstance(geom, Rect):
+        dx = max(geom.xl - cx, 0.0, cx - geom.xu)
+        dy = max(geom.yl - cy, 0.0, cy - geom.yu)
+        return math.hypot(dx, dy)
+    if isinstance(geom, Point):
+        return math.hypot(geom.x - cx, geom.y - cy)
+    if isinstance(geom, Segment):
+        return geom.distance_to_point(cx, cy)
+    if isinstance(geom, (LineString, Polygon)):
+        return geom.distance_to_point(cx, cy)
+    raise TypeError(f"unsupported geometry type: {type(geom).__name__}")
+
+
+def mbr_side_inside_window(r: Rect, window: Rect) -> bool:
+    """Lemma 5 test for window queries (at most four comparisons).
+
+    If at least one projection of ``r`` is covered by the corresponding
+    projection of the window, then at least one full side of the MBR is
+    inside the window.  Every side of an MBR touches the object, so the
+    object is guaranteed to intersect the window and the refinement step can
+    be skipped.  The caller must already know that ``r`` intersects
+    ``window``.
+    """
+    return (window.xl <= r.xl and r.xu <= window.xu) or (
+        window.yl <= r.yl and r.yu <= window.yu
+    )
+
+
+def mbr_side_inside_disk(r: Rect, cx: float, cy: float, radius: float) -> bool:
+    """Lemma 5 test for disk queries (at most four distance computations).
+
+    If at least two corners of the MBR lie within the disk then at least one
+    side of the MBR is inside the disk (disks are convex), hence the object
+    intersects the disk.  The caller must already know that the MBR
+    intersects the disk.
+    """
+    r2 = radius * radius
+    inside = 0
+    for px, py in r.corners():
+        dx = px - cx
+        dy = py - cy
+        if dx * dx + dy * dy <= r2:
+            inside += 1
+            if inside >= 2:
+                return True
+    return False

@@ -1,0 +1,173 @@
+"""Line-segment primitives and the low-level predicates built on them.
+
+These are the computational-geometry workhorses behind the refinement step
+(Section V): exact linestring/polygon vs window and vs disk tests all reduce
+to segment-segment intersection, point-segment distance and clipping a
+segment against a rectangle.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import InvalidGeometryError
+from repro.geometry.mbr import Rect
+
+__all__ = [
+    "Segment",
+    "orientation",
+    "on_segment",
+    "segments_intersect",
+    "point_segment_distance",
+    "segment_intersects_rect",
+]
+
+_EPS = 1e-12
+
+
+def orientation(ax: float, ay: float, bx: float, by: float, cx: float, cy: float) -> int:
+    """Orientation of the ordered triple (a, b, c).
+
+    Returns ``1`` for counter-clockwise, ``-1`` for clockwise and ``0`` for
+    collinear (within a small epsilon to absorb floating-point noise).
+    """
+    cross = (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+    if cross > _EPS:
+        return 1
+    if cross < -_EPS:
+        return -1
+    return 0
+
+
+def on_segment(px: float, py: float, ax: float, ay: float, bx: float, by: float) -> bool:
+    """True iff point p lies on segment a-b, assuming p is collinear with it."""
+    return (
+        min(ax, bx) - _EPS <= px <= max(ax, bx) + _EPS
+        and min(ay, by) - _EPS <= py <= max(ay, by) + _EPS
+    )
+
+
+def segments_intersect(
+    ax: float, ay: float, bx: float, by: float,
+    cx: float, cy: float, dx: float, dy: float,
+) -> bool:
+    """Closed intersection test between segments a-b and c-d.
+
+    Handles all degenerate cases: shared endpoints, collinear overlap and
+    zero-length segments.
+    """
+    o1 = orientation(ax, ay, bx, by, cx, cy)
+    o2 = orientation(ax, ay, bx, by, dx, dy)
+    o3 = orientation(cx, cy, dx, dy, ax, ay)
+    o4 = orientation(cx, cy, dx, dy, bx, by)
+
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(cx, cy, ax, ay, bx, by):
+        return True
+    if o2 == 0 and on_segment(dx, dy, ax, ay, bx, by):
+        return True
+    if o3 == 0 and on_segment(ax, ay, cx, cy, dx, dy):
+        return True
+    if o4 == 0 and on_segment(bx, by, cx, cy, dx, dy):
+        return True
+    return False
+
+
+def point_segment_distance(
+    px: float, py: float, ax: float, ay: float, bx: float, by: float
+) -> float:
+    """Minimum Euclidean distance from point p to segment a-b."""
+    abx = bx - ax
+    aby = by - ay
+    denom = abx * abx + aby * aby
+    if denom <= _EPS:
+        return math.hypot(px - ax, py - ay)
+    t = ((px - ax) * abx + (py - ay) * aby) / denom
+    t = max(0.0, min(1.0, t))
+    return math.hypot(px - (ax + t * abx), py - (ay + t * aby))
+
+
+def segment_intersects_rect(
+    ax: float, ay: float, bx: float, by: float, rect: Rect
+) -> bool:
+    """Closed intersection test between segment a-b and a rectangle.
+
+    Uses the Cohen-Sutherland style trivial accept/reject followed by the
+    Liang-Barsky parametric clip.
+    """
+    # Trivial accept: either endpoint inside.
+    if rect.contains_point(ax, ay) or rect.contains_point(bx, by):
+        return True
+    # Trivial reject: segment MBR disjoint from rect.
+    if (
+        max(ax, bx) < rect.xl
+        or min(ax, bx) > rect.xu
+        or max(ay, by) < rect.yl
+        or min(ay, by) > rect.yu
+    ):
+        return False
+    # Liang-Barsky clip of the parametric segment against the four slabs.
+    dx = bx - ax
+    dy = by - ay
+    t0, t1 = 0.0, 1.0
+    for p, q in (
+        (-dx, ax - rect.xl),
+        (dx, rect.xu - ax),
+        (-dy, ay - rect.yl),
+        (dy, rect.yu - ay),
+    ):
+        if abs(p) <= _EPS:
+            if q < 0:
+                return False
+            continue
+        t = q / p
+        if p < 0:
+            if t > t1:
+                return False
+            t0 = max(t0, t)
+        else:
+            if t < t0:
+                return False
+            t1 = min(t1, t)
+    return t0 <= t1
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """A 2D line segment with convenience predicate methods."""
+
+    ax: float
+    ay: float
+    bx: float
+    by: float
+
+    def __post_init__(self) -> None:
+        for v in (self.ax, self.ay, self.bx, self.by):
+            if not math.isfinite(v):
+                raise InvalidGeometryError(f"non-finite segment coordinate: {v}")
+
+    @property
+    def length(self) -> float:
+        return math.hypot(self.bx - self.ax, self.by - self.ay)
+
+    def mbr(self) -> Rect:
+        return Rect(
+            min(self.ax, self.bx),
+            min(self.ay, self.by),
+            max(self.ax, self.bx),
+            max(self.ay, self.by),
+        )
+
+    def intersects(self, other: "Segment") -> bool:
+        return segments_intersect(
+            self.ax, self.ay, self.bx, self.by,
+            other.ax, other.ay, other.bx, other.by,
+        )
+
+    def intersects_rect(self, rect: Rect) -> bool:
+        return segment_intersects_rect(self.ax, self.ay, self.bx, self.by, rect)
+
+    def distance_to_point(self, px: float, py: float) -> float:
+        return point_segment_distance(px, py, self.ax, self.ay, self.bx, self.by)

@@ -1,0 +1,96 @@
+"""WKT (Well-Known Text) interop for the geometry types.
+
+Real spatial datasets arrive as WKT (the TIGER extracts the paper uses
+are distributed that way), so the library reads and writes it:
+``POINT``, ``LINESTRING`` and ``POLYGON`` (single outer ring), the three
+geometry kinds the paper's datasets contain.  The parser is strict about
+structure but forgiving about whitespace.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import InvalidGeometryError
+from repro.geometry.linestring import LineString
+from repro.geometry.point import Point
+from repro.geometry.polygon import Polygon
+from repro.geometry.predicates import Geometry
+
+__all__ = ["geometry_to_wkt", "geometry_from_wkt"]
+
+_NUMBER = r"[-+]?(?:\d+\.?\d*|\.\d+)(?:[eE][-+]?\d+)?"
+_POINT_RE = re.compile(
+    rf"^\s*POINT\s*\(\s*({_NUMBER})\s+({_NUMBER})\s*\)\s*$", re.IGNORECASE
+)
+_LINESTRING_RE = re.compile(
+    r"^\s*LINESTRING\s*\(\s*(.*?)\s*\)\s*$", re.IGNORECASE | re.DOTALL
+)
+_POLYGON_RE = re.compile(
+    r"^\s*POLYGON\s*\(\s*\(\s*(.*?)\s*\)\s*\)\s*$", re.IGNORECASE | re.DOTALL
+)
+
+
+def _parse_coords(body: str) -> list[tuple[float, float]]:
+    coords: list[tuple[float, float]] = []
+    for token in body.split(","):
+        parts = token.split()
+        if len(parts) != 2:
+            raise InvalidGeometryError(
+                f"malformed WKT coordinate {token.strip()!r} (expected 'x y')"
+            )
+        coords.append((float(parts[0]), float(parts[1])))
+    return coords
+
+
+def geometry_from_wkt(text: str) -> Geometry:
+    """Parse ``POINT`` / ``LINESTRING`` / ``POLYGON`` WKT."""
+    match = _POINT_RE.match(text)
+    if match:
+        return Point(float(match.group(1)), float(match.group(2)))
+    match = _LINESTRING_RE.match(text)
+    if match:
+        return LineString(_parse_coords(match.group(1)))
+    match = _POLYGON_RE.match(text)
+    if match:
+        if ")" in match.group(1):
+            raise InvalidGeometryError(
+                "polygons with interior rings (holes) are not supported"
+            )
+        return Polygon(_parse_coords(match.group(1)))
+    raise InvalidGeometryError(
+        f"unsupported or malformed WKT: {text[:60]!r}"
+    )
+
+
+def _format_coords(coords) -> str:
+    return ", ".join(f"{x:.17g} {y:.17g}" for x, y in coords)
+
+
+def geometry_to_wkt(geom: Geometry) -> str:
+    """Serialise a geometry to WKT (Rect becomes its POLYGON ring)."""
+    if isinstance(geom, Point):
+        return f"POINT ({geom.x:.17g} {geom.y:.17g})"
+    if isinstance(geom, LineString):
+        return f"LINESTRING ({_format_coords(geom.vertices)})"
+    if isinstance(geom, Polygon):
+        ring = geom.vertices + geom.vertices[:1]  # close the ring
+        return f"POLYGON (({_format_coords(ring)}))"
+    # Rect and Segment round-trip via their natural WKT analogues.
+    from repro.geometry.mbr import Rect
+    from repro.geometry.segment import Segment
+
+    if isinstance(geom, Rect):
+        ring = [
+            (geom.xl, geom.yl),
+            (geom.xu, geom.yl),
+            (geom.xu, geom.yu),
+            (geom.xl, geom.yu),
+            (geom.xl, geom.yl),
+        ]
+        return f"POLYGON (({_format_coords(ring)}))"
+    if isinstance(geom, Segment):
+        return (
+            f"LINESTRING ({_format_coords([(geom.ax, geom.ay), (geom.bx, geom.by)])})"
+        )
+    raise InvalidGeometryError(f"cannot serialise {type(geom).__name__} to WKT")

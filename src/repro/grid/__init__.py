@@ -1,0 +1,38 @@
+"""Space-oriented partitioning substrate: regular grid + 1-layer baseline.
+
+* :class:`GridPartitioner` — tile arithmetic for a regular grid.
+* :func:`replicate` — vectorised object-to-tile assignment with class codes.
+* :class:`OneLayerGrid` — the paper's 1-layer competitor (grid + duplicate
+  elimination via reference point / hashing / active border).
+"""
+
+from repro.grid.base import (
+    CLASS_A,
+    CLASS_B,
+    CLASS_C,
+    CLASS_D,
+    CLASS_NAMES,
+    GridPartitioner,
+    Replication,
+    replicate,
+)
+from repro.grid.dedup import ActiveBorder, reference_point_keep_mask
+from repro.grid.one_layer import DEDUP_METHODS, OneLayerGrid
+from repro.grid.storage import TileTable, group_rows
+
+__all__ = [
+    "GridPartitioner",
+    "Replication",
+    "replicate",
+    "CLASS_A",
+    "CLASS_B",
+    "CLASS_C",
+    "CLASS_D",
+    "CLASS_NAMES",
+    "OneLayerGrid",
+    "DEDUP_METHODS",
+    "ActiveBorder",
+    "reference_point_keep_mask",
+    "TileTable",
+    "group_rows",
+]

@@ -1,0 +1,94 @@
+"""Duplicate-elimination techniques for space-oriented partitioning.
+
+Because SOP indices replicate objects into every tile they intersect, a
+range query can produce the same result from several tiles.  The paper's
+baselines *eliminate* duplicates after generating them:
+
+* **Reference point** (Dittrich & Seeger [9]) — the state of the art: a
+  result is reported only from the tile containing the lower-left corner
+  of its intersection with the query window.  No hash table, but every
+  duplicate copy is still fetched, compared and reference-point-tested.
+* **Naive hashing** — collect all results, dedup through a hash set.
+* **Active border** (Aref & Samet [2]) — process tiles in row-major order
+  and keep a hash table of only the results that can reappear in a later
+  tile (those crossing the current tile's right or bottom edge); entries
+  are evicted once the sweep passes the last row they can occur in.
+
+The two-layer scheme of the paper (package :mod:`repro.core`) makes all
+of these unnecessary by never generating a duplicate in the first place.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.base import GridPartitioner
+from repro.geometry.mbr import Rect
+
+__all__ = ["reference_point_keep_mask", "ActiveBorder"]
+
+
+def reference_point_keep_mask(
+    xl: np.ndarray,
+    yl: np.ndarray,
+    window: Rect,
+    grid: GridPartitioner,
+    ix: int,
+    iy: int,
+) -> np.ndarray:
+    """Vectorised reference-point test for candidates found in one tile.
+
+    ``xl``/``yl`` are the lower coordinates of candidate MBRs already known
+    to intersect ``window``.  The reference point of a candidate is
+    ``(max(r.xl, W.xl), max(r.yl, W.yl))`` — the lower corner of the
+    intersection — and the candidate is kept iff that point falls in the
+    current tile ``(ix, iy)``.
+    """
+    px = np.maximum(xl, window.xl)
+    py = np.maximum(yl, window.yl)
+    return (grid.tile_ix_array(px) == ix) & (grid.tile_iy_array(py) == iy)
+
+
+class ActiveBorder:
+    """Aref & Samet's bounded-size hash deduplication [2].
+
+    Tiles must be fed in row-major order (all columns of row 0, then row 1,
+    ...).  The table only ever holds results that can still reappear, i.e.
+    the *active border* of the sweep; :attr:`max_size` records the high-water
+    mark, the quantity [2] set out to bound.
+    """
+
+    def __init__(self) -> None:
+        self._last_row: dict[int, int] = {}
+        self._current_row = -1
+        self.max_size = 0
+
+    def start_row(self, iy: int) -> None:
+        """Advance the sweep to row ``iy``, evicting expired entries."""
+        if iy == self._current_row:
+            return
+        self._current_row = iy
+        expired = [oid for oid, row in self._last_row.items() if row < iy]
+        for oid in expired:
+            del self._last_row[oid]
+
+    def report(self, obj_id: int, last_row: int, extends_later: bool) -> bool:
+        """Try to report ``obj_id``; returns False when it is a duplicate.
+
+        ``last_row`` is the last grid row in which this result can appear
+        (the row of its MBR's upper-y, clamped to the query's tile range)
+        and ``extends_later`` says whether the result can reappear in any
+        tile after the current one in row-major order (a later column of
+        this row or a later row).  Results that cannot reappear never
+        enter the table — that is what keeps it border-sized.
+        """
+        if obj_id in self._last_row:
+            return False
+        if extends_later:
+            self._last_row[obj_id] = max(last_row, self._current_row)
+            if len(self._last_row) > self.max_size:
+                self.max_size = len(self._last_row)
+        return True
+
+    def __len__(self) -> int:
+        return len(self._last_row)

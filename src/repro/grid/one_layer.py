@@ -1,0 +1,353 @@
+"""The 1-layer grid baseline: SOP grid + duplicate *elimination*.
+
+This is the paper's ``1-layer`` competitor (Table V): a regular grid with
+the identical primary partitioning as the two-layer index, evaluating
+window queries with the comparison-reduction optimisation of Section IV-B
+(only the boundary tiles of a query need coordinate comparisons) and
+eliminating duplicate results with the reference-point technique of
+Dittrich & Seeger [9] — or, for ablation, naive hashing or the
+active-border method of Aref & Samet [2].
+
+Comparing this index against :class:`repro.core.two_layer.TwoLayerGrid`
+isolates exactly the contribution of the paper's secondary partitioning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import DiskQuery
+from repro.errors import IndexStateError, InvalidGridError
+from repro.geometry.mbr import Rect, max_dist_point_rect, min_dist_point_rect
+from repro.grid.base import GridPartitioner, replicate
+from repro.grid.dedup import ActiveBorder, reference_point_keep_mask
+from repro.grid.storage import TileTable, group_rows
+from repro.stats import QueryStats
+
+__all__ = ["OneLayerGrid", "DEDUP_METHODS"]
+
+DEDUP_METHODS = ("refpoint", "hash", "active_border")
+
+
+class OneLayerGrid:
+    """In-memory regular grid with duplicate elimination (the baseline)."""
+
+    def __init__(self, grid: GridPartitioner, dedup: str = "refpoint"):
+        if dedup not in DEDUP_METHODS:
+            raise InvalidGridError(
+                f"unknown dedup method {dedup!r}; expected one of {DEDUP_METHODS}"
+            )
+        self.grid = grid
+        self.dedup = dedup
+        self._tiles: dict[int, TileTable] = {}
+        self._n_objects = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: RectDataset,
+        partitions_per_dim: int = 128,
+        domain: "Rect | None" = None,
+        dedup: str = "refpoint",
+    ) -> "OneLayerGrid":
+        """Bulk-load the grid from a dataset.
+
+        ``partitions_per_dim`` is the paper's grid granularity knob
+        (Fig. 7); the grid is square (N x N) like the paper's.
+        """
+        grid = GridPartitioner(
+            partitions_per_dim,
+            partitions_per_dim,
+            domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0),
+        )
+        index = cls(grid, dedup=dedup)
+        index._bulk_load(data)
+        return index
+
+    def _bulk_load(self, data: RectDataset) -> None:
+        rep = replicate(data, self.grid)
+        for tile_id, rows in group_rows(rep.tile_ids):
+            obj = rep.obj_ids[rows]
+            self._tiles[tile_id] = TileTable(
+                data.xl[obj].copy(),
+                data.yl[obj].copy(),
+                data.xu[obj].copy(),
+                data.yu[obj].copy(),
+                obj.copy(),
+            )
+        self._n_objects = len(data)
+
+    def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
+        """Insert one object; returns its id.  O(tiles overlapped)."""
+        if obj_id is None:
+            obj_id = self._n_objects
+        self._n_objects = max(self._n_objects, obj_id + 1)
+        ix0 = self.grid.tile_ix(rect.xl)
+        ix1 = self.grid.tile_ix(rect.xu)
+        iy0 = self.grid.tile_iy(rect.yl)
+        iy1 = self.grid.tile_iy(rect.yu)
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                table = self._tiles.get(base + ix)
+                if table is None:
+                    table = TileTable()
+                    self._tiles[base + ix] = table
+                table.append(rect.xl, rect.yl, rect.xu, rect.yu, obj_id)
+        return obj_id
+
+    def delete(self, rect: Rect, obj_id: int) -> bool:
+        """Remove object ``obj_id`` whose MBR is ``rect``; True if found.
+
+        The caller supplies the MBR (the paper's storage scheme keeps
+        exact object data outside the tiles, addressed by id), which
+        pinpoints the tiles holding the replicas.
+        """
+        ix0 = self.grid.tile_ix(rect.xl)
+        ix1 = self.grid.tile_ix(rect.xu)
+        iy0 = self.grid.tile_iy(rect.yl)
+        iy1 = self.grid.tile_iy(rect.yu)
+        removed = 0
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                table = self._tiles.get(base + ix)
+                if table is not None:
+                    removed += table.delete(obj_id)
+                    if len(table) == 0:
+                        del self._tiles[base + ix]
+        return removed > 0
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_objects
+
+    @property
+    def replica_count(self) -> int:
+        """Total stored entries (object replicas) — the Fig. 7 size metric."""
+        return sum(len(t) for t in self._tiles.values())
+
+    @property
+    def nbytes(self) -> int:
+        return sum(t.nbytes for t in self._tiles.values())
+
+    @property
+    def nonempty_tiles(self) -> int:
+        return len(self._tiles)
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(grid={self.grid.nx}x{self.grid.ny}, "
+            f"objects={self._n_objects}, replicas={self.replica_count}, "
+            f"dedup={self.dedup!r})"
+        )
+
+    # -- window queries -----------------------------------------------------
+
+    def window_query(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Ids of all indexed MBRs intersecting ``window`` (no duplicates).
+
+        Every candidate in every overlapped tile is compared against the
+        window (with the Section IV-B reduction: no comparisons in covered
+        dimensions) and duplicates are then eliminated with the configured
+        technique — this is exactly the generate-then-eliminate paradigm
+        the two-layer index avoids.
+        """
+        if self._n_objects == 0:
+            return np.empty(0, dtype=np.int64)
+        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+
+        pieces: list[np.ndarray] = []
+        border = ActiveBorder() if self.dedup == "active_border" else None
+        for iy in range(iy0, iy1 + 1):
+            if border is not None:
+                border.start_row(iy)
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                table = self._tiles.get(base + ix)
+                if table is None:
+                    continue
+                xl, yl, xu, yu, ids = table.columns()
+                if stats is not None:
+                    stats.partitions_visited += 1
+                    stats.rects_scanned += ids.shape[0]
+                mask = self._window_mask(
+                    xl, yl, xu, yu, window, ix, ix0, ix1, iy, iy0, iy1, stats
+                )
+                if mask is None:
+                    cand = slice(None)
+                    cand_xl, cand_yl, cand_ids = xl, yl, ids
+                else:
+                    cand = mask
+                    cand_xl = xl[cand]
+                    cand_yl = yl[cand]
+                    cand_ids = ids[cand]
+                if cand_ids.shape[0] == 0:
+                    continue
+                if self.dedup == "refpoint":
+                    keep = reference_point_keep_mask(
+                        cand_xl, cand_yl, window, self.grid, ix, iy
+                    )
+                    if stats is not None:
+                        stats.dedup_checks += cand_ids.shape[0]
+                        stats.duplicates_generated += int(
+                            cand_ids.shape[0] - keep.sum()
+                        )
+                    pieces.append(cand_ids[keep])
+                elif self.dedup == "hash":
+                    pieces.append(cand_ids)
+                else:  # active_border
+                    assert border is not None
+                    cand_yu = yu[cand]
+                    cand_xu = xu[cand]
+                    last_rows = np.minimum(self.grid.tile_iy_array(cand_yu), iy1)
+                    last_cols = np.minimum(self.grid.tile_ix_array(cand_xu), ix1)
+                    kept = []
+                    for k in range(cand_ids.shape[0]):
+                        extends = last_rows[k] > iy or last_cols[k] > ix
+                        if stats is not None:
+                            stats.dedup_checks += 1
+                        if border.report(int(cand_ids[k]), int(last_rows[k]), extends):
+                            kept.append(cand_ids[k])
+                        elif stats is not None:
+                            stats.duplicates_generated += 1
+                    pieces.append(np.asarray(kept, dtype=np.int64))
+
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        out = np.concatenate(pieces)
+        if self.dedup == "hash":
+            deduped = np.unique(out)
+            if stats is not None:
+                stats.dedup_checks += out.shape[0]
+                stats.duplicates_generated += int(out.shape[0] - deduped.shape[0])
+            return deduped
+        return out
+
+    @staticmethod
+    def _window_mask(
+        xl: np.ndarray,
+        yl: np.ndarray,
+        xu: np.ndarray,
+        yu: np.ndarray,
+        window: Rect,
+        ix: int,
+        ix0: int,
+        ix1: int,
+        iy: int,
+        iy0: int,
+        iy1: int,
+        stats: "QueryStats | None",
+    ) -> "np.ndarray | None":
+        """Intersection mask with only the comparisons Section IV-B requires.
+
+        A tile strictly between the query's first and last tile in a
+        dimension is covered by the window there, so no comparison is
+        needed in that dimension.  Returns ``None`` when the tile is
+        covered in both dimensions (every rectangle qualifies).
+        """
+        mask: "np.ndarray | None" = None
+        n_comparisons = 0
+        if ix == ix0:
+            mask = xu >= window.xl
+            n_comparisons += 1
+        if ix == ix1:
+            m = xl <= window.xu
+            mask = m if mask is None else mask & m
+            n_comparisons += 1
+        if iy == iy0:
+            m = yu >= window.yl
+            mask = m if mask is None else mask & m
+            n_comparisons += 1
+        if iy == iy1:
+            m = yl <= window.yu
+            mask = m if mask is None else mask & m
+            n_comparisons += 1
+        if stats is not None:
+            stats.comparisons += n_comparisons * xl.shape[0]
+        return mask
+
+    # -- disk queries ---------------------------------------------------------
+
+    def disk_query(
+        self, query: DiskQuery, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Ids of all indexed MBRs within ``query.radius`` of the centre.
+
+        Implemented as the paper prescribes for the 1-layer baseline: run a
+        window query with the disk's MBR (reference-point deduplication
+        against that window), report results in fully-covered tiles
+        directly and distance-verify the rest (Section VII, "Disk range
+        queries").
+        """
+        if self._n_objects == 0:
+            return np.empty(0, dtype=np.int64)
+        window = query.mbr()
+        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        radius = query.radius
+        pieces: list[np.ndarray] = []
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                # NOTE: tiles of the MBR that do not intersect the disk are
+                # still visited — a candidate's reference point may fall in
+                # them, and this extra work is precisely the 1-layer
+                # baseline's handicap on disk queries.
+                table = self._tiles.get(base + ix)
+                if table is None:
+                    continue
+                xl, yl, xu, yu, ids = table.columns()
+                if stats is not None:
+                    stats.partitions_visited += 1
+                    stats.rects_scanned += ids.shape[0]
+                mask = self._window_mask(
+                    xl, yl, xu, yu, window, ix, ix0, ix1, iy, iy0, iy1, stats
+                )
+                if mask is None:
+                    cand_xl, cand_yl, cand_xu, cand_yu, cand_ids = xl, yl, xu, yu, ids
+                else:
+                    cand_xl = xl[mask]
+                    cand_yl = yl[mask]
+                    cand_xu = xu[mask]
+                    cand_yu = yu[mask]
+                    cand_ids = ids[mask]
+                if cand_ids.shape[0] == 0:
+                    continue
+                keep = reference_point_keep_mask(
+                    cand_xl, cand_yl, window, self.grid, ix, iy
+                )
+                if stats is not None:
+                    stats.dedup_checks += cand_ids.shape[0]
+                    stats.duplicates_generated += int(cand_ids.shape[0] - keep.sum())
+                tile_rect = self.grid.tile_rect(ix, iy)
+                covered = max_dist_point_rect(query.cx, query.cy, tile_rect) <= radius
+                if covered:
+                    pieces.append(cand_ids[keep])
+                    continue
+                dx = np.maximum(
+                    np.maximum(cand_xl[keep] - query.cx, 0.0),
+                    query.cx - cand_xu[keep],
+                )
+                dy = np.maximum(
+                    np.maximum(cand_yl[keep] - query.cy, 0.0),
+                    query.cy - cand_yu[keep],
+                )
+                within = dx * dx + dy * dy <= radius * radius
+                pieces.append(cand_ids[keep][within])
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(pieces)
+
+    # -- helpers for tests ------------------------------------------------------
+
+    def tile_table(self, ix: int, iy: int) -> "TileTable | None":
+        """The raw tile storage (testing / inspection only)."""
+        if not (0 <= ix < self.grid.nx and 0 <= iy < self.grid.ny):
+            raise IndexStateError(f"tile ({ix}, {iy}) outside the grid")
+        return self._tiles.get(self.grid.tile_id(ix, iy))

@@ -1,0 +1,109 @@
+"""Per-tile column storage shared by the grid indices.
+
+Each tile (or each secondary partition of a tile, for the two-layer index)
+stores its assigned (MBR, id) pairs as five parallel NumPy arrays — a
+column layout that keeps per-tile query evaluation vectorised.  Updates
+append to a small Python-list tail that is folded into the arrays lazily,
+so inserts stay O(1) (the property Table VI measures) while queries always
+see compacted columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TileTable", "group_rows"]
+
+_EMPTY_F = np.empty(0, dtype=np.float64)
+_EMPTY_I = np.empty(0, dtype=np.int64)
+
+
+class TileTable:
+    """A dynamic column store of (MBR, id) pairs."""
+
+    __slots__ = ("_xl", "_yl", "_xu", "_yu", "_ids", "_pending")
+
+    def __init__(
+        self,
+        xl: np.ndarray = _EMPTY_F,
+        yl: np.ndarray = _EMPTY_F,
+        xu: np.ndarray = _EMPTY_F,
+        yu: np.ndarray = _EMPTY_F,
+        ids: np.ndarray = _EMPTY_I,
+    ):
+        self._xl = xl
+        self._yl = yl
+        self._xu = xu
+        self._yu = yu
+        self._ids = ids
+        self._pending: list[tuple[float, float, float, float, int]] = []
+
+    def __len__(self) -> int:
+        return self._xl.shape[0] + len(self._pending)
+
+    def append(
+        self, xl: float, yl: float, xu: float, yu: float, obj_id: int
+    ) -> None:
+        """O(1) insert of one (MBR, id) pair."""
+        self._pending.append((xl, yl, xu, yu, obj_id))
+
+    def _compact(self) -> None:
+        if not self._pending:
+            return
+        tail = np.asarray(self._pending, dtype=np.float64)
+        self._pending.clear()
+        self._xl = np.concatenate([self._xl, tail[:, 0]])
+        self._yl = np.concatenate([self._yl, tail[:, 1]])
+        self._xu = np.concatenate([self._xu, tail[:, 2]])
+        self._yu = np.concatenate([self._yu, tail[:, 3]])
+        self._ids = np.concatenate([self._ids, tail[:, 4].astype(np.int64)])
+
+    def columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(xl, yl, xu, yu, ids)`` with any pending inserts folded in."""
+        self._compact()
+        return self._xl, self._yl, self._xu, self._yu, self._ids
+
+    def delete(self, obj_id: int) -> int:
+        """Remove every entry with the given id; returns how many."""
+        self._compact()
+        keep = self._ids != obj_id
+        removed = int(self._ids.shape[0] - keep.sum())
+        if removed:
+            self._xl = self._xl[keep]
+            self._yl = self._yl[keep]
+            self._xu = self._xu[keep]
+            self._yu = self._yu[keep]
+            self._ids = self._ids[keep]
+        return removed
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the stored entries."""
+        self._compact()
+        return (
+            self._xl.nbytes
+            + self._yl.nbytes
+            + self._xu.nbytes
+            + self._yu.nbytes
+            + self._ids.nbytes
+        )
+
+
+def group_rows(keys: np.ndarray, order: "np.ndarray | None" = None):
+    """Group row indices by key; yields ``(key, row_indices)`` pairs.
+
+    ``keys`` is an int array (e.g. tile ids, or tile ids fused with class
+    codes).  Sorting is the only O(n log n) step of index construction.
+    """
+    if keys.shape[0] == 0:
+        return
+    if order is None:
+        order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(sorted_keys[1:] != sorted_keys[:-1]) + 1
+    starts = np.concatenate([[0], boundaries])
+    ends = np.concatenate([boundaries, [sorted_keys.shape[0]]])
+    for s, e in zip(starts, ends):
+        yield int(sorted_keys[s]), order[s:e]

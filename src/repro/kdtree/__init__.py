@@ -1,0 +1,10 @@
+"""kd-tree SOP indexes: plain (reference-point dedup) and two-layer."""
+
+from repro.kdtree.kdtree import (
+    DEFAULT_LEAF_CAPACITY,
+    DEFAULT_MAX_DEPTH,
+    KDTree,
+    TwoLayerKDTree,
+)
+
+__all__ = ["KDTree", "TwoLayerKDTree", "DEFAULT_LEAF_CAPACITY", "DEFAULT_MAX_DEPTH"]

@@ -1,0 +1,428 @@
+"""kd-tree over non-point data — the third SOP family of §II-A.
+
+The paper lists the kd-tree [4] among the hierarchical space-oriented
+partitioning indices (with the quad-tree).  Like every SOP structure it
+partitions *space* — here by alternating median splits — so non-point
+objects replicate into every leaf region they intersect, and queries
+must deduplicate.  This module provides
+
+* :class:`KDTree` — replicating kd-tree with reference-point dedup [9];
+* :class:`TwoLayerKDTree` — the same tree with each leaf's entries
+  divided into the four classes of Section III and queries planned via
+  :func:`repro.core.selection.plan_for_region`, demonstrating once more
+  that the paper's secondary partitioning applies to *any* SOP index.
+
+Splits are median-of-extent: a leaf over capacity splits its region at
+the median start coordinate of its entries, alternating x and y by
+depth, which adapts to skew better than the quad-tree's rigid quarters.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.errors import InvalidGridError
+from repro.geometry.mbr import Rect
+from repro.grid.storage import TileTable
+from repro.core.selection import plan_for_region
+from repro.stats import QueryStats
+
+__all__ = ["KDTree", "TwoLayerKDTree", "DEFAULT_LEAF_CAPACITY", "DEFAULT_MAX_DEPTH"]
+
+DEFAULT_LEAF_CAPACITY = 256
+DEFAULT_MAX_DEPTH = 24
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class _Node:
+    """A kd-tree node: a leaf with entries or a single split."""
+
+    __slots__ = (
+        "xl", "yl", "xu", "yu", "depth", "axis", "split",
+        "low", "high", "table", "tables", "size",
+    )
+
+    def __init__(self, xl: float, yl: float, xu: float, yu: float, depth: int):
+        self.xl = xl
+        self.yl = yl
+        self.xu = xu
+        self.yu = yu
+        self.depth = depth
+        self.axis = -1          # -1 while leaf; 0 = x split, 1 = y split
+        self.split = 0.0
+        self.low: "_Node | None" = None
+        self.high: "_Node | None" = None
+        self.table: "TileTable | None" = TileTable()      # plain variant
+        self.tables: "list[TileTable | None] | None" = None  # 2-layer variant
+        self.size = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.axis < 0
+
+
+class _BaseKDTree:
+    """Shared construction/traversal for the plain and two-layer trees."""
+
+    #: set by subclasses: whether leaves carry class-partitioned tables.
+    _two_layer = False
+
+    def __init__(
+        self,
+        domain: "Rect | None" = None,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ):
+        if leaf_capacity < 1:
+            raise InvalidGridError(f"leaf_capacity must be >= 1, got {leaf_capacity}")
+        if max_depth < 0:
+            raise InvalidGridError(f"max_depth must be >= 0, got {max_depth}")
+        self.domain = domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0)
+        self.leaf_capacity = leaf_capacity
+        self.max_depth = max_depth
+        self._root = _Node(
+            self.domain.xl, self.domain.yl, self.domain.xu, self.domain.yu, 0
+        )
+        if self._two_layer:
+            self._root.table = None
+            self._root.tables = [None, None, None, None]
+        self._n_objects = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: RectDataset,
+        leaf_capacity: int = DEFAULT_LEAF_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        domain: "Rect | None" = None,
+    ):
+        tree = cls(domain, leaf_capacity, max_depth)
+        for i in range(len(data)):
+            tree._insert_entry(
+                float(data.xl[i]),
+                float(data.yl[i]),
+                float(data.xu[i]),
+                float(data.yu[i]),
+                i,
+            )
+        tree._n_objects = len(data)
+        return tree
+
+    def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
+        if obj_id is None:
+            obj_id = self._n_objects
+        self._n_objects = max(self._n_objects, obj_id + 1)
+        self._insert_entry(rect.xl, rect.yl, rect.xu, rect.yu, obj_id)
+        return obj_id
+
+    def _region_admits(
+        self, node: _Node, xl: float, yl: float, xu: float, yu: float
+    ) -> bool:
+        """Half-open region membership, closed at the domain's far edges."""
+        if xu < node.xl or yu < node.yl:
+            return False
+        ok_x = xl < node.xu or (xl <= node.xu and node.xu >= self.domain.xu)
+        ok_y = yl < node.yu or (yl <= node.yu and node.yu >= self.domain.yu)
+        return ok_x and ok_y
+
+    def _leaf_append(
+        self, node: _Node, xl: float, yl: float, xu: float, yu: float, oid: int
+    ) -> None:
+        if self._two_layer:
+            code = 2 * (xl < node.xl) + (yl < node.yl)
+            assert node.tables is not None
+            table = node.tables[code]
+            if table is None:
+                table = TileTable()
+                node.tables[code] = table
+            table.append(xl, yl, xu, yu, oid)
+        else:
+            assert node.table is not None
+            node.table.append(xl, yl, xu, yu, oid)
+        node.size += 1
+
+    def _insert_entry(
+        self, xl: float, yl: float, xu: float, yu: float, obj_id: int
+    ) -> None:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not self._region_admits(node, xl, yl, xu, yu):
+                continue
+            if node.is_leaf:
+                self._leaf_append(node, xl, yl, xu, yu, obj_id)
+                if node.size > self.leaf_capacity and node.depth < self.max_depth:
+                    self._split(node)
+                continue
+            stack.append(node.low)   # type: ignore[arg-type]
+            stack.append(node.high)  # type: ignore[arg-type]
+
+    def _leaf_entries(self, node: _Node):
+        """Yield the (xl, yl, xu, yu, ids) columns of a leaf's tables."""
+        if self._two_layer:
+            assert node.tables is not None
+            for table in node.tables:
+                if table is not None:
+                    yield table.columns()
+        else:
+            assert node.table is not None
+            yield node.table.columns()
+
+    def _split(self, node: _Node) -> None:
+        """Median split on the alternating axis; re-distribute entries."""
+        axis = node.depth % 2
+        starts: list[float] = []
+        for xl, yl, xu, yu, ids in self._leaf_entries(node):
+            starts.extend((xl if axis == 0 else yl).tolist())
+        split = float(np.median(starts))
+        # Degenerate medians (all starts equal, or median on the region
+        # border) cannot divide the entries — keep the leaf fat.
+        lo_bound = node.xl if axis == 0 else node.yl
+        hi_bound = node.xu if axis == 0 else node.yu
+        if not (lo_bound < split < hi_bound):
+            return
+        d = node.depth + 1
+        if axis == 0:
+            low = _Node(node.xl, node.yl, split, node.yu, d)
+            high = _Node(split, node.yl, node.xu, node.yu, d)
+        else:
+            low = _Node(node.xl, node.yl, node.xu, split, d)
+            high = _Node(node.xl, split, node.xu, node.yu, d)
+        if self._two_layer:
+            for child in (low, high):
+                child.table = None
+                child.tables = [None, None, None, None]
+        entries = [cols for cols in self._leaf_entries(node)]
+        node.axis = axis
+        node.split = split
+        node.low = low
+        node.high = high
+        node.table = None
+        node.tables = None
+        node.size = 0
+        for xl, yl, xu, yu, ids in entries:
+            for k in range(ids.shape[0]):
+                exl = float(xl[k])
+                eyl = float(yl[k])
+                exu = float(xu[k])
+                eyu = float(yu[k])
+                oid = int(ids[k])
+                for child in (low, high):
+                    if self._region_admits(child, exl, eyl, exu, eyu):
+                        self._leaf_append(child, exl, eyl, exu, eyu, oid)
+        for child in (low, high):
+            if child.size > self.leaf_capacity and child.depth < self.max_depth:
+                self._split(child)
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_objects
+
+    @property
+    def leaf_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.append(node.low)   # type: ignore[arg-type]
+                stack.append(node.high)  # type: ignore[arg-type]
+        return count
+
+    @property
+    def replica_count(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                total += node.size
+            else:
+                stack.append(node.low)   # type: ignore[arg-type]
+                stack.append(node.high)  # type: ignore[arg-type]
+        return total
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(objects={self._n_objects}, "
+            f"leaves={self.leaf_count}, replicas={self.replica_count})"
+        )
+
+    def _visible_leaves(self, window: Rect):
+        """Leaves whose half-open region is visible to the window."""
+        domain = self.domain
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            visible_x = node.xu > window.xl or (
+                node.xu >= domain.xu and node.xu >= window.xl
+            )
+            visible_y = node.yu > window.yl or (
+                node.yu >= domain.yu and node.yu >= window.yl
+            )
+            if (
+                not visible_x
+                or not visible_y
+                or node.xl > window.xu
+                or node.yl > window.yu
+            ):
+                continue
+            if node.is_leaf:
+                yield node
+            else:
+                stack.append(node.low)   # type: ignore[arg-type]
+                stack.append(node.high)  # type: ignore[arg-type]
+
+
+class KDTree(_BaseKDTree):
+    """Replicating kd-tree with reference-point duplicate elimination."""
+
+    _two_layer = False
+
+    def window_query(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        pieces: list[np.ndarray] = []
+        for node in self._visible_leaves(window):
+            assert node.table is not None
+            xl, yl, xu, yu, ids = node.table.columns()
+            if ids.shape[0] == 0:
+                continue
+            if stats is not None:
+                stats.partitions_visited += 1
+                stats.rects_scanned += ids.shape[0]
+                stats.comparisons += 4 * ids.shape[0]
+            mask = (
+                (xu >= window.xl)
+                & (xl <= window.xu)
+                & (yu >= window.yl)
+                & (yl <= window.yu)
+            )
+            cand = np.flatnonzero(mask)
+            if cand.shape[0] == 0:
+                continue
+            px = np.maximum(xl[cand], window.xl)
+            py = np.maximum(yl[cand], window.yl)
+            at_domain_x = node.xu >= self.domain.xu
+            at_domain_y = node.yu >= self.domain.yu
+            keep = (
+                (px >= node.xl)
+                & ((px < node.xu) | at_domain_x)
+                & (py >= node.yl)
+                & ((py < node.yu) | at_domain_y)
+            )
+            if stats is not None:
+                stats.dedup_checks += cand.shape[0]
+                stats.duplicates_generated += int(cand.shape[0] - keep.sum())
+            pieces.append(ids[cand[keep]])
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+
+class TwoLayerKDTree(_BaseKDTree):
+    """kd-tree + the paper's secondary partitioning: duplicate avoidance."""
+
+    _two_layer = True
+
+    def disk_query(self, query, stats: "QueryStats | None" = None) -> np.ndarray:
+        """Disk query: class-planned window over the disk's MBR + distance.
+
+        Same construction as :meth:`TwoLayerQuadTree.disk_query`: class
+        selection relative to the disk's bounding window makes each
+        candidate unique, and the distance test subsets the candidates.
+        Leaves fully inside the disk skip the distance computations.
+        """
+        from repro.geometry.mbr import max_dist_point_rect
+
+        window = query.mbr()
+        radius = query.radius
+        cx, cy = query.cx, query.cy
+        r2 = radius * radius
+        pieces: list[np.ndarray] = []
+        for node in self._visible_leaves(window):
+            assert node.tables is not None
+            if stats is not None:
+                stats.partitions_visited += 1
+            region = Rect(node.xl, node.yl, node.xu, node.yu)
+            covered = max_dist_point_rect(cx, cy, region) <= radius
+            plan = plan_for_region(
+                window.xl, window.yl, window.xu, window.yu,
+                node.xl, node.yl, node.xu, node.yu,
+            )
+            for cp in plan.classes:
+                table = node.tables[cp.code]
+                if table is None:
+                    continue
+                xl, yl, xu, yu, ids = table.columns()
+                if ids.shape[0] == 0:
+                    continue
+                if stats is not None:
+                    stats.rects_scanned += ids.shape[0]
+                mask: "np.ndarray | None" = None
+                if cp.xu_ge:
+                    mask = xu >= window.xl
+                if cp.xl_le:
+                    m = xl <= window.xu
+                    mask = m if mask is None else mask & m
+                if cp.yu_ge:
+                    m = yu >= window.yl
+                    mask = m if mask is None else mask & m
+                if cp.yl_le:
+                    m = yl <= window.yu
+                    mask = m if mask is None else mask & m
+                if not covered:
+                    dx = np.maximum(np.maximum(xl - cx, 0.0), cx - xu)
+                    dy = np.maximum(np.maximum(yl - cy, 0.0), cy - yu)
+                    m = dx * dx + dy * dy <= r2
+                    mask = m if mask is None else mask & m
+                pieces.append(ids if mask is None else ids[mask])
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def window_query(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        pieces: list[np.ndarray] = []
+        for node in self._visible_leaves(window):
+            assert node.tables is not None
+            if stats is not None:
+                stats.partitions_visited += 1
+            plan = plan_for_region(
+                window.xl, window.yl, window.xu, window.yu,
+                node.xl, node.yl, node.xu, node.yu,
+            )
+            for cp in plan.classes:
+                table = node.tables[cp.code]
+                if table is None:
+                    continue
+                xl, yl, xu, yu, ids = table.columns()
+                if ids.shape[0] == 0:
+                    continue
+                if stats is not None:
+                    stats.rects_scanned += ids.shape[0]
+                    stats.comparisons += cp.n_comparisons * ids.shape[0]
+                mask: "np.ndarray | None" = None
+                if cp.xu_ge:
+                    mask = xu >= window.xl
+                if cp.xl_le:
+                    m = xl <= window.xu
+                    mask = m if mask is None else mask & m
+                if cp.yu_ge:
+                    m = yu >= window.yl
+                    mask = m if mask is None else mask & m
+                if cp.yl_le:
+                    m = yl <= window.yu
+                    mask = m if mask is None else mask & m
+                pieces.append(ids if mask is None else ids[mask])
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)

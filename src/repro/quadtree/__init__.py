@@ -1,0 +1,18 @@
+"""Quad-tree family: replicating quad-tree, its two-layer variant, MXCIF.
+
+All three are Table V competitors; :class:`TwoLayerQuadTree` demonstrates
+that the paper's secondary partitioning boosts any SOP index, not just
+grids.
+"""
+
+from repro.quadtree.mxcif import MXCIFQuadTree
+from repro.quadtree.quadtree import DEFAULT_CAPACITY, DEFAULT_MAX_DEPTH, QuadTree
+from repro.quadtree.two_layer_quadtree import TwoLayerQuadTree
+
+__all__ = [
+    "QuadTree",
+    "TwoLayerQuadTree",
+    "MXCIFQuadTree",
+    "DEFAULT_CAPACITY",
+    "DEFAULT_MAX_DEPTH",
+]

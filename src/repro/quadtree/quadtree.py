@@ -1,0 +1,323 @@
+"""Replicating quad-tree with reference-point deduplication (Table V).
+
+The paper's quad-tree competitor [11]: every object MBR is assigned to all
+leaf quadrants it intersects.  When a quadrant's contents exceed a maximum
+capacity (paper-tuned to 1000) it splits into four children — objects are
+redistributed and replicated across the division borders — unless a
+maximum depth (12) has been reached, which caps splitting under extreme
+skew.  Window queries use the reference-point technique [9] to eliminate
+the duplicates replication causes.
+
+Quadrants are half-open like grid tiles (:mod:`repro.grid.base`), so the
+reference point of a result lies in exactly one leaf.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import DiskQuery
+from repro.errors import InvalidGridError
+from repro.geometry.mbr import Rect, max_dist_point_rect, min_dist_point_rect
+from repro.grid.storage import TileTable
+from repro.stats import QueryStats
+
+__all__ = ["QuadTree", "DEFAULT_CAPACITY", "DEFAULT_MAX_DEPTH"]
+
+DEFAULT_CAPACITY = 1000
+DEFAULT_MAX_DEPTH = 12
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class _Node:
+    """One quadrant: a leaf with a column table, or four children."""
+
+    __slots__ = ("xl", "yl", "xu", "yu", "depth", "table", "children")
+
+    def __init__(self, xl: float, yl: float, xu: float, yu: float, depth: int):
+        self.xl = xl
+        self.yl = yl
+        self.xu = xu
+        self.yu = yu
+        self.depth = depth
+        self.table: "TileTable | None" = TileTable()
+        self.children: "list[_Node] | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+    def intersects_window(self, w: Rect) -> bool:
+        return not (
+            self.xu < w.xl or self.xl > w.xu or self.yu < w.yl or self.yl > w.yu
+        )
+
+
+class QuadTree:
+    """Space-oriented quad-tree over object MBRs (the paper's SOP rival)."""
+
+    def __init__(
+        self,
+        domain: "Rect | None" = None,
+        capacity: int = DEFAULT_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ):
+        if capacity < 1:
+            raise InvalidGridError(f"capacity must be >= 1, got {capacity}")
+        if max_depth < 0:
+            raise InvalidGridError(f"max_depth must be >= 0, got {max_depth}")
+        self.domain = domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0)
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _Node(
+            self.domain.xl, self.domain.yl, self.domain.xu, self.domain.yu, 0
+        )
+        self._n_objects = 0
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: RectDataset,
+        capacity: int = DEFAULT_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        domain: "Rect | None" = None,
+    ) -> "QuadTree":
+        tree = cls(domain, capacity, max_depth)
+        for i in range(len(data)):
+            tree._insert_entry(
+                float(data.xl[i]),
+                float(data.yl[i]),
+                float(data.xu[i]),
+                float(data.yu[i]),
+                i,
+            )
+        tree._n_objects = len(data)
+        return tree
+
+    def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
+        if obj_id is None:
+            obj_id = self._n_objects
+        self._n_objects = max(self._n_objects, obj_id + 1)
+        self._insert_entry(rect.xl, rect.yl, rect.xu, rect.yu, obj_id)
+        return obj_id
+
+    def _entry_in_node(
+        self, node: _Node, xl: float, yl: float, xu: float, yu: float
+    ) -> bool:
+        """Half-open quadrant membership test.
+
+        Quadrants are ``[xl, xu) x [yl, yu)`` — closed at the domain's far
+        edges — so an entry touching only a quadrant's right/bottom border
+        belongs to the neighbour, keeping leaf regions disjoint exactly
+        like grid tiles.
+        """
+        if xu < node.xl or yu < node.yl:
+            return False
+        ok_x = xl < node.xu or (xl <= node.xu and node.xu >= self.domain.xu)
+        ok_y = yl < node.yu or (yl <= node.yu and node.yu >= self.domain.yu)
+        return ok_x and ok_y
+
+    def _insert_entry(
+        self, xl: float, yl: float, xu: float, yu: float, obj_id: int
+    ) -> None:
+        """Replicate the entry into every intersecting leaf, splitting."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not self._entry_in_node(node, xl, yl, xu, yu):
+                continue
+            if node.is_leaf:
+                assert node.table is not None
+                node.table.append(xl, yl, xu, yu, obj_id)
+                if len(node.table) > self.capacity and node.depth < self.max_depth:
+                    self._split(node)
+                continue
+            stack.extend(node.children)  # type: ignore[arg-type]
+
+    def _split(self, node: _Node) -> None:
+        """Split a leaf into four children and redistribute its entries."""
+        mx = (node.xl + node.xu) / 2.0
+        my = (node.yl + node.yu) / 2.0
+        d = node.depth + 1
+        children = [
+            _Node(node.xl, node.yl, mx, my, d),
+            _Node(mx, node.yl, node.xu, my, d),
+            _Node(node.xl, my, mx, node.yu, d),
+            _Node(mx, my, node.xu, node.yu, d),
+        ]
+        assert node.table is not None
+        xl, yl, xu, yu, ids = node.table.columns()
+        node.table = None
+        node.children = children
+        for k in range(ids.shape[0]):
+            exl = float(xl[k])
+            eyl = float(yl[k])
+            exu = float(xu[k])
+            eyu = float(yu[k])
+            oid = int(ids[k])
+            for child in children:
+                if self._entry_in_node(child, exl, eyl, exu, eyu):
+                    self._leaf_append(child, exl, eyl, exu, eyu, oid)
+        for child in children:
+            assert child.table is not None
+            if len(child.table) > self.capacity and child.depth < self.max_depth:
+                self._split(child)
+
+    @staticmethod
+    def _leaf_append(
+        node: _Node, xl: float, yl: float, xu: float, yu: float, oid: int
+    ) -> None:
+        assert node.table is not None
+        node.table.append(xl, yl, xu, yu, oid)
+
+    # -- introspection ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_objects
+
+    @property
+    def replica_count(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                total += len(node.table)  # type: ignore[arg-type]
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return total
+
+    @property
+    def leaf_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(objects={self._n_objects}, "
+            f"leaves={self.leaf_count}, replicas={self.replica_count})"
+        )
+
+    # -- queries ----------------------------------------------------------------
+
+    def _leaves_for_window(self, window: Rect):
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not node.intersects_window(window):
+                continue
+            if node.is_leaf:
+                yield node
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+
+    def window_query(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Window query with reference-point duplicate elimination [9]."""
+        pieces: list[np.ndarray] = []
+        for node in self._leaves_for_window(window):
+            piece = self._scan_leaf(node, window, stats)
+            if piece is not None:
+                pieces.append(piece)
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def _scan_leaf(
+        self, node: _Node, window: Rect, stats: "QueryStats | None"
+    ) -> "np.ndarray | None":
+        assert node.table is not None
+        xl, yl, xu, yu, ids = node.table.columns()
+        if ids.shape[0] == 0:
+            return None
+        if stats is not None:
+            stats.partitions_visited += 1
+            stats.rects_scanned += ids.shape[0]
+            stats.comparisons += 4 * ids.shape[0]
+        mask = (
+            (xu >= window.xl)
+            & (xl <= window.xu)
+            & (yu >= window.yl)
+            & (yl <= window.yu)
+        )
+        cand = np.flatnonzero(mask)
+        if cand.shape[0] == 0:
+            return None
+        # Reference-point test: keep a result only in the leaf containing
+        # the lower corner of its intersection with the window.
+        px = np.maximum(xl[cand], window.xl)
+        py = np.maximum(yl[cand], window.yl)
+        at_domain_x = node.xu >= self.domain.xu
+        at_domain_y = node.yu >= self.domain.yu
+        keep = (
+            (px >= node.xl)
+            & ((px < node.xu) | at_domain_x)
+            & (py >= node.yl)
+            & ((py < node.yu) | at_domain_y)
+        )
+        if stats is not None:
+            stats.dedup_checks += cand.shape[0]
+            stats.duplicates_generated += int(cand.shape[0] - keep.sum())
+        return ids[cand[keep]]
+
+    def disk_query(
+        self, query: DiskQuery, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Disk query via a window query over the disk's MBR (Section VII).
+
+        Results in leaves fully covered by the disk are reported directly;
+        the rest are distance-verified.
+        """
+        window = query.mbr()
+        radius = query.radius
+        pieces: list[np.ndarray] = []
+        for node in self._leaves_for_window(window):
+            assert node.table is not None
+            xl, yl, xu, yu, ids = node.table.columns()
+            if ids.shape[0] == 0:
+                continue
+            if stats is not None:
+                stats.partitions_visited += 1
+                stats.rects_scanned += ids.shape[0]
+            mask = (
+                (xu >= window.xl)
+                & (xl <= window.xu)
+                & (yu >= window.yl)
+                & (yl <= window.yu)
+            )
+            px = np.maximum(xl, window.xl)
+            py = np.maximum(yl, window.yl)
+            at_domain_x = node.xu >= self.domain.xu
+            at_domain_y = node.yu >= self.domain.yu
+            mask &= (
+                (px >= node.xl)
+                & ((px < node.xu) | at_domain_x)
+                & (py >= node.yl)
+                & ((py < node.yu) | at_domain_y)
+            )
+            cand = np.flatnonzero(mask)
+            if cand.shape[0] == 0:
+                continue
+            region = Rect(node.xl, node.yl, node.xu, node.yu)
+            if max_dist_point_rect(query.cx, query.cy, region) <= radius:
+                pieces.append(ids[cand])
+                continue
+            dx = np.maximum(np.maximum(xl[cand] - query.cx, 0.0), query.cx - xu[cand])
+            dy = np.maximum(np.maximum(yl[cand] - query.cy, 0.0), query.cy - yu[cand])
+            within = dx * dx + dy * dy <= radius * radius
+            pieces.append(ids[cand[within]])
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)

@@ -1,0 +1,350 @@
+"""Quad-tree + the paper's secondary partitioning (Table V, footnote 1).
+
+The secondary partitioning applies to *any* space-oriented partitioning.
+Here every quad-tree leaf's entries are divided into the four classes
+A/B/C/D relative to the leaf's region; window queries skip classes per
+Lemmas 1-2 (generalised to arbitrary partitions via
+:func:`repro.core.selection.plan_for_region`) and run only the comparisons
+of Lemmas 3-4 — no duplicate is ever generated and no reference-point test
+is needed.  This is the ``quad-tree, 2-layer`` row of Table V, which the
+paper includes to show the technique's generality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.errors import InvalidGridError
+from repro.geometry.mbr import Rect
+from repro.grid.storage import TileTable
+from repro.core.selection import plan_for_region
+from repro.quadtree.quadtree import DEFAULT_CAPACITY, DEFAULT_MAX_DEPTH
+from repro.stats import QueryStats
+
+__all__ = ["TwoLayerQuadTree"]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+
+class _Node:
+    """A quadrant whose leaf storage is split into the four classes."""
+
+    __slots__ = ("xl", "yl", "xu", "yu", "depth", "tables", "size", "children")
+
+    def __init__(self, xl: float, yl: float, xu: float, yu: float, depth: int):
+        self.xl = xl
+        self.yl = yl
+        self.xu = xu
+        self.yu = yu
+        self.depth = depth
+        self.tables: "list[TileTable | None] | None" = [None, None, None, None]
+        self.size = 0
+        self.children: "list[_Node] | None" = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.children is None
+
+
+class TwoLayerQuadTree:
+    """Replicating quad-tree whose leaves carry secondary partitions."""
+
+    def __init__(
+        self,
+        domain: "Rect | None" = None,
+        capacity: int = DEFAULT_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+    ):
+        if capacity < 1:
+            raise InvalidGridError(f"capacity must be >= 1, got {capacity}")
+        if max_depth < 0:
+            raise InvalidGridError(f"max_depth must be >= 0, got {max_depth}")
+        self.domain = domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0)
+        self.capacity = capacity
+        self.max_depth = max_depth
+        self._root = _Node(
+            self.domain.xl, self.domain.yl, self.domain.xu, self.domain.yu, 0
+        )
+        self._n_objects = 0
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: RectDataset,
+        capacity: int = DEFAULT_CAPACITY,
+        max_depth: int = DEFAULT_MAX_DEPTH,
+        domain: "Rect | None" = None,
+    ) -> "TwoLayerQuadTree":
+        tree = cls(domain, capacity, max_depth)
+        for i in range(len(data)):
+            tree._insert_entry(
+                float(data.xl[i]),
+                float(data.yl[i]),
+                float(data.xu[i]),
+                float(data.yu[i]),
+                i,
+            )
+        tree._n_objects = len(data)
+        return tree
+
+    def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
+        if obj_id is None:
+            obj_id = self._n_objects
+        self._n_objects = max(self._n_objects, obj_id + 1)
+        self._insert_entry(rect.xl, rect.yl, rect.xu, rect.yu, obj_id)
+        return obj_id
+
+    def _entry_in_node(
+        self, node: _Node, xl: float, yl: float, xu: float, yu: float
+    ) -> bool:
+        """Half-open membership, closed at the domain's far edges."""
+        if xu < node.xl or yu < node.yl:
+            return False
+        ok_x = xl < node.xu or (xl <= node.xu and node.xu >= self.domain.xu)
+        ok_y = yl < node.yu or (yl <= node.yu and node.yu >= self.domain.yu)
+        return ok_x and ok_y
+
+    def _leaf_append(
+        self, node: _Node, xl: float, yl: float, xu: float, yu: float, oid: int
+    ) -> None:
+        """Append the entry to the leaf's class table (A/B/C/D by region)."""
+        code = 2 * (xl < node.xl) + (yl < node.yl)
+        assert node.tables is not None
+        table = node.tables[code]
+        if table is None:
+            table = TileTable()
+            node.tables[code] = table
+        table.append(xl, yl, xu, yu, oid)
+        node.size += 1
+
+    def _insert_entry(
+        self, xl: float, yl: float, xu: float, yu: float, obj_id: int
+    ) -> None:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if not self._entry_in_node(node, xl, yl, xu, yu):
+                continue
+            if node.is_leaf:
+                self._leaf_append(node, xl, yl, xu, yu, obj_id)
+                if node.size > self.capacity and node.depth < self.max_depth:
+                    self._split(node)
+                continue
+            stack.extend(node.children)  # type: ignore[arg-type]
+
+    def _split(self, node: _Node) -> None:
+        mx = (node.xl + node.xu) / 2.0
+        my = (node.yl + node.yu) / 2.0
+        d = node.depth + 1
+        children = [
+            _Node(node.xl, node.yl, mx, my, d),
+            _Node(mx, node.yl, node.xu, my, d),
+            _Node(node.xl, my, mx, node.yu, d),
+            _Node(mx, my, node.xu, node.yu, d),
+        ]
+        tables = node.tables
+        node.tables = None
+        node.children = children
+        assert tables is not None
+        for table in tables:
+            if table is None:
+                continue
+            xl, yl, xu, yu, ids = table.columns()
+            for k in range(ids.shape[0]):
+                exl = float(xl[k])
+                eyl = float(yl[k])
+                exu = float(xu[k])
+                eyu = float(yu[k])
+                oid = int(ids[k])
+                for child in children:
+                    if self._entry_in_node(child, exl, eyl, exu, eyu):
+                        self._leaf_append(child, exl, eyl, exu, eyu, oid)
+        for child in children:
+            if child.size > self.capacity and child.depth < self.max_depth:
+                self._split(child)
+
+    # -- introspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_objects
+
+    @property
+    def replica_count(self) -> int:
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                total += node.size
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return total
+
+    @property
+    def leaf_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                count += 1
+            else:
+                stack.extend(node.children)  # type: ignore[arg-type]
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"TwoLayerQuadTree(objects={self._n_objects}, "
+            f"leaves={self.leaf_count}, replicas={self.replica_count})"
+        )
+
+    # -- queries -----------------------------------------------------------------
+
+    def disk_query(self, query, stats: "QueryStats | None" = None) -> np.ndarray:
+        """Disk query: class-planned window over the disk's MBR + distance.
+
+        Class selection relative to the disk's bounding window already
+        guarantees each candidate is produced exactly once (same argument
+        as :meth:`window_query`); the distance test then subsets the
+        candidates, so results stay duplicate-free.  Leaves fully inside
+        the disk skip the distance computations (Section IV-E).
+        """
+        from repro.geometry.mbr import max_dist_point_rect
+
+        window = query.mbr()
+        radius = query.radius
+        cx, cy = query.cx, query.cy
+        r2 = radius * radius
+        pieces: list[np.ndarray] = []
+        domain = self.domain
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            visible_x = node.xu > window.xl or (
+                node.xu >= domain.xu and node.xu >= window.xl
+            )
+            visible_y = node.yu > window.yl or (
+                node.yu >= domain.yu and node.yu >= window.yl
+            )
+            if (
+                not visible_x
+                or not visible_y
+                or node.xl > window.xu
+                or node.yl > window.yu
+            ):
+                continue
+            if not node.is_leaf:
+                stack.extend(node.children)  # type: ignore[arg-type]
+                continue
+            assert node.tables is not None
+            if stats is not None:
+                stats.partitions_visited += 1
+            region = Rect(node.xl, node.yl, node.xu, node.yu)
+            covered = max_dist_point_rect(cx, cy, region) <= radius
+            plan = plan_for_region(
+                window.xl, window.yl, window.xu, window.yu,
+                node.xl, node.yl, node.xu, node.yu,
+            )
+            for cp in plan.classes:
+                table = node.tables[cp.code]
+                if table is None:
+                    continue
+                xl, yl, xu, yu, ids = table.columns()
+                if ids.shape[0] == 0:
+                    continue
+                if stats is not None:
+                    stats.rects_scanned += ids.shape[0]
+                mask: "np.ndarray | None" = None
+                if cp.xu_ge:
+                    mask = xu >= window.xl
+                if cp.xl_le:
+                    m = xl <= window.xu
+                    mask = m if mask is None else mask & m
+                if cp.yu_ge:
+                    m = yu >= window.yl
+                    mask = m if mask is None else mask & m
+                if cp.yl_le:
+                    m = yl <= window.yu
+                    mask = m if mask is None else mask & m
+                if not covered:
+                    dx = np.maximum(np.maximum(xl - cx, 0.0), cx - xu)
+                    dy = np.maximum(np.maximum(yl - cy, 0.0), cy - yu)
+                    m = dx * dx + dy * dy <= r2
+                    mask = m if mask is None else mask & m
+                pieces.append(ids if mask is None else ids[mask])
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def window_query(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Duplicate-free window query via per-leaf class selection."""
+        pieces: list[np.ndarray] = []
+        domain = self.domain
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            # Half-open region visibility, mirroring the grid's floor-based
+            # tile range: a window starting exactly on a quadrant's right
+            # border belongs to the right neighbour (results touching the
+            # border are stored there too), otherwise classes C/D would be
+            # scanned on both sides and produce duplicates.
+            visible_x = node.xu > window.xl or (
+                node.xu >= domain.xu and node.xu >= window.xl
+            )
+            visible_y = node.yu > window.yl or (
+                node.yu >= domain.yu and node.yu >= window.yl
+            )
+            if (
+                not visible_x
+                or not visible_y
+                or node.xl > window.xu
+                or node.yl > window.yu
+            ):
+                continue
+            if not node.is_leaf:
+                stack.extend(node.children)  # type: ignore[arg-type]
+                continue
+            assert node.tables is not None
+            if stats is not None:
+                stats.partitions_visited += 1
+            plan = plan_for_region(
+                window.xl,
+                window.yl,
+                window.xu,
+                window.yu,
+                node.xl,
+                node.yl,
+                node.xu,
+                node.yu,
+            )
+            for cp in plan.classes:
+                table = node.tables[cp.code]
+                if table is None:
+                    continue
+                xl, yl, xu, yu, ids = table.columns()
+                if ids.shape[0] == 0:
+                    continue
+                if stats is not None:
+                    stats.rects_scanned += ids.shape[0]
+                    stats.comparisons += cp.n_comparisons * ids.shape[0]
+                mask: "np.ndarray | None" = None
+                if cp.xu_ge:
+                    mask = xu >= window.xl
+                if cp.xl_le:
+                    m = xl <= window.xu
+                    mask = m if mask is None else mask & m
+                if cp.yu_ge:
+                    m = yu >= window.yl
+                    mask = m if mask is None else mask & m
+                if cp.yl_le:
+                    m = yl <= window.yu
+                    mask = m if mask is None else mask & m
+                pieces.append(ids if mask is None else ids[mask])
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)

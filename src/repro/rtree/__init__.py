@@ -1,0 +1,19 @@
+"""Data-oriented partitioning competitors: R-tree (STR) and R*-tree."""
+
+from repro.rtree.hilbert import hilbert_index, hilbert_pack
+from repro.rtree.node import DEFAULT_FANOUT, Node
+from repro.rtree.rtree import RStarTree, RTree
+from repro.rtree.split import quadratic_split, rstar_split
+from repro.rtree.str_packing import str_pack
+
+__all__ = [
+    "RTree",
+    "RStarTree",
+    "Node",
+    "DEFAULT_FANOUT",
+    "str_pack",
+    "hilbert_pack",
+    "hilbert_index",
+    "quadratic_split",
+    "rstar_split",
+]

@@ -1,0 +1,105 @@
+"""R-tree node structure.
+
+Nodes keep their entry bounds both as Python lists (cheap single-entry
+updates during inserts — the Table VI workload) and as a lazily rebuilt
+NumPy ``(k, 4)`` matrix used for vectorised intersection tests during
+queries.  A leaf entry's payload is an object id; an internal entry's
+payload is a child node.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["Node", "DEFAULT_FANOUT"]
+
+#: paper configuration: fanout 16 for inner and leaf nodes.
+DEFAULT_FANOUT = 16
+
+
+class Node:
+    """One R-tree node (leaf or internal)."""
+
+    __slots__ = ("leaf", "level", "bounds", "payloads", "_matrix", "_ids")
+
+    def __init__(self, leaf: bool, level: int):
+        self.leaf = leaf
+        #: leaf nodes are level 0; each parent is one level higher.
+        self.level = level
+        #: per-entry (xl, yl, xu, yu) tuples.
+        self.bounds: list[tuple[float, float, float, float]] = []
+        #: per-entry payload: object id (leaf) or child Node (internal).
+        self.payloads: list = []
+        self._matrix: "np.ndarray | None" = None
+        self._ids: "np.ndarray | None" = None
+
+    def __len__(self) -> int:
+        return len(self.bounds)
+
+    def add(self, bound: tuple[float, float, float, float], payload) -> None:
+        self.bounds.append(bound)
+        self.payloads.append(payload)
+        self._matrix = None
+        self._ids = None
+
+    def replace_entries(self, bounds: list, payloads: list) -> None:
+        self.bounds = bounds
+        self.payloads = payloads
+        self._matrix = None
+        self._ids = None
+
+    def update_bound(self, i: int, bound: tuple[float, float, float, float]) -> None:
+        self.bounds[i] = bound
+        self._matrix = None
+
+    def matrix(self) -> np.ndarray:
+        """Entry bounds as a ``(k, 4)`` float matrix (cached)."""
+        if self._matrix is None:
+            self._matrix = np.asarray(self.bounds, dtype=np.float64).reshape(-1, 4)
+        return self._matrix
+
+    def id_array(self) -> np.ndarray:
+        """Leaf payloads as an int64 array (cached)."""
+        if self._ids is None:
+            self._ids = np.asarray(self.payloads, dtype=np.int64)
+        return self._ids
+
+    def mbr(self) -> tuple[float, float, float, float]:
+        """The tight MBR of all entries."""
+        m = self.matrix()
+        return (
+            float(m[:, 0].min()),
+            float(m[:, 1].min()),
+            float(m[:, 2].max()),
+            float(m[:, 3].max()),
+        )
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.leaf else f"inner(level={self.level})"
+        return f"Node({kind}, entries={len(self)})"
+
+
+def union_bounds(
+    a: tuple[float, float, float, float], b: tuple[float, float, float, float]
+) -> tuple[float, float, float, float]:
+    return (min(a[0], b[0]), min(a[1], b[1]), max(a[2], b[2]), max(a[3], b[3]))
+
+
+def area(b: tuple[float, float, float, float]) -> float:
+    return (b[2] - b[0]) * (b[3] - b[1])
+
+
+def margin(b: tuple[float, float, float, float]) -> float:
+    return (b[2] - b[0]) + (b[3] - b[1])
+
+
+def overlap(
+    a: tuple[float, float, float, float], b: tuple[float, float, float, float]
+) -> float:
+    w = min(a[2], b[2]) - max(a[0], b[0])
+    if w <= 0.0:
+        return 0.0
+    h = min(a[3], b[3]) - max(a[1], b[1])
+    if h <= 0.0:
+        return 0.0
+    return w * h

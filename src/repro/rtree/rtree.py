@@ -1,0 +1,385 @@
+"""In-memory R-tree and R*-tree — the paper's DOP competitors (Table V).
+
+* :class:`RTree` — STR-bulk-loaded [17] with Guttman-quadratic dynamic
+  inserts [12]; stands in for Boost.Geometry's packed R-tree.
+* :class:`RStarTree` — built by one-at-a-time R* insertion [3]: overlap-
+  minimising subtree choice, forced reinsertion, margin-based splits.
+
+Both use fanout 16 for inner and leaf nodes (the paper's best-performing
+configuration).  Data-oriented partitioning keeps object placement unique,
+so queries never deduplicate; the cost is tree traversal and overlapping
+node regions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import DiskQuery
+from repro.errors import InvalidGridError, InvalidQueryError
+from repro.geometry.mbr import Rect
+from repro.rtree.node import (
+    DEFAULT_FANOUT,
+    Node,
+    area,
+    overlap,
+    union_bounds,
+)
+from repro.rtree.split import quadratic_split, rstar_split
+from repro.rtree.str_packing import str_pack
+from repro.stats import QueryStats
+
+__all__ = ["RTree", "RStarTree"]
+
+_EMPTY_IDS = np.empty(0, dtype=np.int64)
+
+#: R* forced-reinsert fraction of a node's entries (30% of M, per [3]).
+_REINSERT_FRACTION = 0.3
+
+Bound = tuple[float, float, float, float]
+
+
+class RTree:
+    """Height-balanced R-tree with STR bulk loading and quadratic splits."""
+
+    #: split algorithm used on node overflow (overridden by RStarTree).
+    _split_algorithm = staticmethod(quadratic_split)
+
+    def __init__(self, fanout: int = DEFAULT_FANOUT):
+        if fanout < 4:
+            raise InvalidGridError(f"fanout must be >= 4, got {fanout}")
+        self.fanout = fanout
+        self.min_fill = max(2, (fanout * 4) // 10)
+        self._root = Node(leaf=True, level=0)
+        self._n_objects = 0
+        self._reinserted_levels: set[int] = set()
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        data: RectDataset,
+        fanout: int = DEFAULT_FANOUT,
+        packing: str = "str",
+    ) -> "RTree":
+        """Bulk load: ``"str"`` [17] (the paper's configuration) or
+        ``"hilbert"`` (Kamel & Faloutsos curve packing)."""
+        tree = cls(fanout)
+        if packing == "str":
+            tree._root = str_pack(data, fanout)
+        elif packing == "hilbert":
+            from repro.rtree.hilbert import hilbert_pack
+
+            tree._root = hilbert_pack(data, fanout)
+        else:
+            raise InvalidGridError(
+                f"unknown packing {packing!r}; expected 'str' or 'hilbert'"
+            )
+        tree._n_objects = len(data)
+        return tree
+
+    def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
+        """Dynamic insert (Table VI's update workload)."""
+        if obj_id is None:
+            obj_id = self._n_objects
+        self._n_objects = max(self._n_objects, obj_id + 1)
+        self._reinserted_levels = set()
+        self._insert_at_level((rect.xl, rect.yl, rect.xu, rect.yu), obj_id, 0)
+        return obj_id
+
+    def _insert_at_level(self, bound: Bound, payload, target_level: int) -> None:
+        node = self._root
+        path: list[tuple[Node, int]] = []
+        while node.level > target_level:
+            i = self._choose_subtree(node, bound)
+            path.append((node, i))
+            node.update_bound(i, union_bounds(node.bounds[i], bound))
+            node = node.payloads[i]
+        node.add(bound, payload)
+        self._handle_overflow(node, path)
+
+    def _handle_overflow(self, node: Node, path: list[tuple[Node, int]]) -> None:
+        while len(node) > self.fanout:
+            sibling = self._overflow_treatment(node, path)
+            if sibling is None:
+                return  # forced reinsertion resolved the overflow
+            if path:
+                parent, i = path.pop()
+                parent.update_bound(i, node.mbr())
+                parent.add(sibling.mbr(), sibling)
+                node = parent
+            else:
+                new_root = Node(leaf=False, level=node.level + 1)
+                new_root.add(node.mbr(), node)
+                new_root.add(sibling.mbr(), sibling)
+                self._root = new_root
+                return
+
+    def _overflow_treatment(
+        self, node: Node, path: list[tuple[Node, int]]
+    ) -> "Node | None":
+        """Split the node (R* may reinsert instead; see subclass)."""
+        return self._split(node)
+
+    def _split(self, node: Node) -> Node:
+        group_a, group_b = type(self)._split_algorithm(
+            node.bounds, node.payloads, self.min_fill
+        )
+        bounds = node.bounds
+        payloads = node.payloads
+        sibling = Node(leaf=node.leaf, level=node.level)
+        sibling.replace_entries(
+            [bounds[k] for k in group_b], [payloads[k] for k in group_b]
+        )
+        node.replace_entries(
+            [bounds[k] for k in group_a], [payloads[k] for k in group_a]
+        )
+        return sibling
+
+    def _choose_subtree(self, node: Node, bound: Bound) -> int:
+        """Guttman: least area enlargement, ties by smallest area."""
+        best = 0
+        best_key = (math.inf, math.inf)
+        for i, entry in enumerate(node.bounds):
+            ar = area(entry)
+            grow = area(union_bounds(entry, bound)) - ar
+            key = (grow, ar)
+            if key < best_key:
+                best_key = key
+                best = i
+        return best
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._n_objects
+
+    @property
+    def height(self) -> int:
+        return self._root.level + 1
+
+    @property
+    def node_count(self) -> int:
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.leaf:
+                stack.extend(node.payloads)
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"{type(self).__name__}(objects={self._n_objects}, "
+            f"height={self.height}, nodes={self.node_count}, fanout={self.fanout})"
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def window_query(
+        self, window: Rect, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Ids of all indexed MBRs intersecting ``window``."""
+        if self._n_objects == 0 or len(self._root) == 0:
+            return _EMPTY_IDS
+        pieces: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            m = node.matrix()
+            if stats is not None:
+                stats.partitions_visited += 1
+                stats.comparisons += 4 * m.shape[0]
+            mask = (
+                (m[:, 2] >= window.xl)
+                & (m[:, 0] <= window.xu)
+                & (m[:, 3] >= window.yl)
+                & (m[:, 1] <= window.yu)
+            )
+            if node.leaf:
+                if stats is not None:
+                    stats.rects_scanned += m.shape[0]
+                hit = node.id_array()[mask]
+                if hit.shape[0]:
+                    pieces.append(hit)
+            else:
+                payloads = node.payloads
+                stack.extend(payloads[int(k)] for k in np.flatnonzero(mask))
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def knn_query(
+        self, cx: float, cy: float, k: int, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Ids of the ``k`` MBRs nearest to ``(cx, cy)`` (best-first search).
+
+        Classic branch-and-bound kNN (Hjaltason & Samet): a priority queue
+        over nodes and entries ordered by minimum distance; nodes are
+        expanded lazily, so only the neighbourhood of the query point is
+        visited.  Distances are MBR minimum distances; ties break by id.
+        """
+        import heapq
+
+        if k < 1:
+            raise InvalidQueryError(f"k must be >= 1, got {k}")
+        if self._n_objects == 0 or len(self._root) == 0:
+            return _EMPTY_IDS
+
+        def node_dists(node: Node) -> np.ndarray:
+            m = node.matrix()
+            dx = np.maximum(np.maximum(m[:, 0] - cx, 0.0), cx - m[:, 2])
+            dy = np.maximum(np.maximum(m[:, 1] - cy, 0.0), cy - m[:, 3])
+            return np.hypot(dx, dy)
+
+        # Heap key: (distance, kind, tie) with kind 0 = node, 1 = object.
+        # Nodes expand before equal-distance objects (they can only add
+        # objects at >= that distance), and equal-distance objects pop in
+        # id order — fully deterministic results.
+        counter = 0
+        heap: list[tuple[float, int, int, object]] = [(0.0, 0, counter, self._root)]
+        results: list[int] = []
+        while heap and len(results) < k:
+            dist, kind, tie, item = heapq.heappop(heap)
+            if kind == 1:
+                results.append(tie)
+                continue
+            node: Node = item  # type: ignore[assignment]
+            if stats is not None:
+                stats.partitions_visited += 1
+            dists = node_dists(node)
+            if node.leaf:
+                ids = node.id_array()
+                if stats is not None:
+                    stats.rects_scanned += ids.shape[0]
+                for j in range(ids.shape[0]):
+                    heapq.heappush(heap, (float(dists[j]), 1, int(ids[j]), None))
+            else:
+                for j, child in enumerate(node.payloads):
+                    counter += 1
+                    heapq.heappush(heap, (float(dists[j]), 0, counter, child))
+        return np.asarray(results, dtype=np.int64)
+
+    def disk_query(
+        self, query: DiskQuery, stats: "QueryStats | None" = None
+    ) -> np.ndarray:
+        """Ids of all indexed MBRs within ``query.radius`` of the centre."""
+        if self._n_objects == 0 or len(self._root) == 0:
+            return _EMPTY_IDS
+        r2 = query.radius * query.radius
+        cx, cy = query.cx, query.cy
+        pieces: list[np.ndarray] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            m = node.matrix()
+            if stats is not None:
+                stats.partitions_visited += 1
+                stats.comparisons += 2 * m.shape[0]
+            dx = np.maximum(np.maximum(m[:, 0] - cx, 0.0), cx - m[:, 2])
+            dy = np.maximum(np.maximum(m[:, 1] - cy, 0.0), cy - m[:, 3])
+            mask = dx * dx + dy * dy <= r2
+            if node.leaf:
+                if stats is not None:
+                    stats.rects_scanned += m.shape[0]
+                hit = node.id_array()[mask]
+                if hit.shape[0]:
+                    pieces.append(hit)
+            else:
+                payloads = node.payloads
+                stack.extend(payloads[int(k)] for k in np.flatnonzero(mask))
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+
+class RStarTree(RTree):
+    """R*-tree [3]: overlap-aware insertion with forced reinsertion."""
+
+    _split_algorithm = staticmethod(rstar_split)
+
+    @classmethod
+    def build(cls, data: RectDataset, fanout: int = DEFAULT_FANOUT) -> "RStarTree":
+        """Insertion build — R*-trees are defined by their insert path."""
+        tree = cls(fanout)
+        for i in range(len(data)):
+            tree.insert(
+                Rect(
+                    float(data.xl[i]),
+                    float(data.yl[i]),
+                    float(data.xu[i]),
+                    float(data.yu[i]),
+                ),
+                i,
+            )
+        tree._n_objects = len(data)
+        return tree
+
+    def _choose_subtree(self, node: Node, bound: Bound) -> int:
+        """R* choice: overlap enlargement for leaf-parents, else area."""
+        if node.level != 1:
+            return super()._choose_subtree(node, bound)
+        bounds = node.bounds
+        n = len(bounds)
+        best = 0
+        best_key = (math.inf, math.inf, math.inf)
+        for i in range(n):
+            enlarged = union_bounds(bounds[i], bound)
+            before = 0.0
+            after = 0.0
+            for j in range(n):
+                if j == i:
+                    continue
+                before += overlap(bounds[i], bounds[j])
+                after += overlap(enlarged, bounds[j])
+            grow = area(enlarged) - area(bounds[i])
+            key = (after - before, grow, area(bounds[i]))
+            if key < best_key:
+                best_key = key
+                best = i
+        return best
+
+    def _overflow_treatment(
+        self, node: Node, path: list[tuple[Node, int]]
+    ) -> "Node | None":
+        """First overflow per level per insert: reinsert 30%; else split."""
+        if path and node.level not in self._reinserted_levels:
+            self._reinserted_levels.add(node.level)
+            self._reinsert(node, path)
+            return None
+        return self._split(node)
+
+    def _reinsert(self, node: Node, path: list[tuple[Node, int]]) -> None:
+        """Remove the entries farthest from the node centre and re-add them."""
+        n = len(node)
+        p = max(1, int(round(n * _REINSERT_FRACTION)))
+        node_mbr = node.mbr()
+        ncx = (node_mbr[0] + node_mbr[2]) / 2.0
+        ncy = (node_mbr[1] + node_mbr[3]) / 2.0
+
+        def centre_dist(bound: Bound) -> float:
+            ecx = (bound[0] + bound[2]) / 2.0
+            ecy = (bound[1] + bound[3]) / 2.0
+            return (ecx - ncx) ** 2 + (ecy - ncy) ** 2
+
+        order = sorted(range(n), key=lambda k: centre_dist(node.bounds[k]))
+        keep = order[: n - p]
+        eject = order[n - p :]
+        removed = [(node.bounds[k], node.payloads[k]) for k in eject]
+        node.replace_entries(
+            [node.bounds[k] for k in keep], [node.payloads[k] for k in keep]
+        )
+        # Tighten ancestor bounds after the removal.
+        child = node
+        for parent, i in reversed(path):
+            parent.update_bound(i, child.mbr())
+            child = parent
+        # Re-add at the same level (close reinsert, [3]).
+        level = node.level
+        for bound, payload in removed:
+            self._insert_at_level(bound, payload, level)

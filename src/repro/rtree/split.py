@@ -1,0 +1,123 @@
+"""Node-split algorithms: Guttman quadratic [12] and R* split [3].
+
+Both take the (overflowing) entry set of a node and return the two entry
+groups.  The classic R-tree uses the quadratic split; the R*-tree chooses
+a split axis by margin minimisation and a distribution by overlap/area.
+"""
+
+from __future__ import annotations
+
+from repro.rtree.node import area, margin, overlap, union_bounds
+
+__all__ = ["quadratic_split", "rstar_split"]
+
+Bound = tuple[float, float, float, float]
+
+
+def quadratic_split(
+    bounds: list[Bound], payloads: list, min_fill: int
+) -> tuple[list[int], list[int]]:
+    """Guttman's quadratic split; returns the two groups as index lists.
+
+    Seeds are the pair wasting the most area if grouped together; the
+    remaining entries are assigned one at a time to the group whose MBR
+    needs the least enlargement, with a fill guarantee of ``min_fill``.
+    """
+    n = len(bounds)
+    # Pick seeds: maximise dead area of the pair's union.
+    worst = -1.0
+    seed_a, seed_b = 0, 1
+    for i in range(n):
+        for j in range(i + 1, n):
+            waste = area(union_bounds(bounds[i], bounds[j])) - area(
+                bounds[i]
+            ) - area(bounds[j])
+            if waste > worst:
+                worst = waste
+                seed_a, seed_b = i, j
+
+    group_a = [seed_a]
+    group_b = [seed_b]
+    mbr_a = bounds[seed_a]
+    mbr_b = bounds[seed_b]
+    remaining = [k for k in range(n) if k != seed_a and k != seed_b]
+
+    while remaining:
+        # Fill guarantee: if one group must take everything left, do it.
+        if len(group_a) + len(remaining) == min_fill:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_fill:
+            group_b.extend(remaining)
+            break
+        # Pick the entry with the strongest preference for one group.
+        best_k = -1
+        best_diff = -1.0
+        best_pick = 0
+        for pos, k in enumerate(remaining):
+            grow_a = area(union_bounds(mbr_a, bounds[k])) - area(mbr_a)
+            grow_b = area(union_bounds(mbr_b, bounds[k])) - area(mbr_b)
+            diff = abs(grow_a - grow_b)
+            if diff > best_diff:
+                best_diff = diff
+                best_k = pos
+                best_pick = 0 if grow_a < grow_b else 1
+        k = remaining.pop(best_k)
+        if best_pick == 0:
+            group_a.append(k)
+            mbr_a = union_bounds(mbr_a, bounds[k])
+        else:
+            group_b.append(k)
+            mbr_b = union_bounds(mbr_b, bounds[k])
+    return group_a, group_b
+
+
+def _distribution_stats(bounds: list[Bound], order: list[int], min_fill: int):
+    """Yield (split_point, mbr_left, mbr_right) for each legal distribution."""
+    n = len(order)
+    prefix: list[Bound] = [bounds[order[0]]]
+    for k in range(1, n):
+        prefix.append(union_bounds(prefix[-1], bounds[order[k]]))
+    suffix: list[Bound] = [None] * n  # type: ignore[list-item]
+    suffix[n - 1] = bounds[order[n - 1]]
+    for k in range(n - 2, -1, -1):
+        suffix[k] = union_bounds(suffix[k + 1], bounds[order[k]])
+    for split in range(min_fill, n - min_fill + 1):
+        yield split, prefix[split - 1], suffix[split]
+
+
+def rstar_split(
+    bounds: list[Bound], payloads: list, min_fill: int
+) -> tuple[list[int], list[int]]:
+    """R*-tree split: margin-minimal axis, then overlap-minimal distribution."""
+    n = len(bounds)
+    orders_by_axis: list[list[list[int]]] = []
+    # Axis 0 = x (sort by xl then by xu), axis 1 = y.
+    for lo, hi in ((0, 2), (1, 3)):
+        order_low = sorted(range(n), key=lambda k: (bounds[k][lo], bounds[k][hi]))
+        order_high = sorted(range(n), key=lambda k: (bounds[k][hi], bounds[k][lo]))
+        orders_by_axis.append([order_low, order_high])
+
+    # Choose axis: minimal sum of margins over all distributions.
+    best_axis = 0
+    best_margin_sum = float("inf")
+    for axis, orders in enumerate(orders_by_axis):
+        margin_sum = 0.0
+        for order in orders:
+            for _, left, right in _distribution_stats(bounds, order, min_fill):
+                margin_sum += margin(left) + margin(right)
+        if margin_sum < best_margin_sum:
+            best_margin_sum = margin_sum
+            best_axis = axis
+
+    # Choose distribution on that axis: minimal overlap, ties by area.
+    best: "tuple[float, float, list[int], int] | None" = None
+    for order in orders_by_axis[best_axis]:
+        for split, left, right in _distribution_stats(bounds, order, min_fill):
+            ov = overlap(left, right)
+            ar = area(left) + area(right)
+            if best is None or (ov, ar) < (best[0], best[1]):
+                best = (ov, ar, order, split)
+    assert best is not None
+    _, _, order, split = best
+    return order[:split], order[split:]

@@ -1,0 +1,292 @@
+"""Tests for the high-level facade, auto-tuning, Hilbert packing and the
+selectivity estimator."""
+
+import numpy as np
+import pytest
+
+from repro.api import SpatialCollection
+from repro.datasets import (
+    RectDataset,
+    generate_uniform_rects,
+    generate_window_queries,
+    generate_zipf_rects,
+)
+from repro.errors import DatasetError, InvalidGridError, InvalidQueryError
+from repro.geometry import LineString, Rect
+from repro.core import SelectivityEstimator, TwoLayerGrid, suggest_partitions
+from repro.rtree import RTree, hilbert_index
+
+from conftest import ids_set
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_uniform_rects(20_000, area=1e-6, seed=151)
+
+
+@pytest.fixture(scope="module")
+def collection(data):
+    return SpatialCollection.from_dataset(data)
+
+
+class TestTuning:
+    def test_reasonable_for_sizes(self):
+        for n in (100, 10_000, 1_000_000):
+            data = generate_uniform_rects(n, area=1e-8, seed=1)
+            p = suggest_partitions(data)
+            assert 1 <= p <= 4096
+            # More data -> never fewer partitions.
+        small = suggest_partitions(generate_uniform_rects(1000, area=1e-8, seed=1))
+        big = suggest_partitions(generate_uniform_rects(100_000, area=1e-8, seed=1))
+        assert big > small
+
+    def test_big_objects_coarsen_grid(self):
+        tiny = suggest_partitions(generate_uniform_rects(50_000, area=1e-10, seed=2))
+        huge = suggest_partitions(generate_uniform_rects(50_000, area=1e-2, seed=2))
+        assert huge < tiny  # avoid replication blow-up
+
+    def test_point_data_unbounded_by_replication(self):
+        points = generate_uniform_rects(50_000, area=0.0, seed=3)
+        assert suggest_partitions(points) == int(np.sqrt(50_000 / 48))
+
+    def test_empty_dataset_rejected(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        with pytest.raises(DatasetError):
+            suggest_partitions(empty)
+
+    def test_suggested_granularity_in_plateau(self, data):
+        # Throughput at the suggestion must be within 3x of a swept best.
+        import time
+
+        queries = generate_window_queries(data, 150, 0.1, seed=152)
+
+        def qps(p):
+            index = TwoLayerGrid.build(data, partitions_per_dim=p)
+            t0 = time.perf_counter()
+            for w in queries:
+                index.window_query(w)
+            return len(queries) / (time.perf_counter() - t0)
+
+        suggested = qps(suggest_partitions(data))
+        best = max(qps(p) for p in (8, 16, 32, 64, 128))
+        # Generous factor: this is a timing test and CI machines are noisy
+        # (Fig. 7's plateau claim is what it guards, not exact ratios).
+        assert suggested > best / 5.0
+
+
+class TestSelectivityEstimator:
+    def test_uniform_data_accuracy(self, data):
+        index = TwoLayerGrid.build(data, partitions_per_dim=32)
+        est = SelectivityEstimator(index, avg_extent=data.average_extents())
+        for w in generate_window_queries(data, 25, 0.5, seed=153):
+            truth = len(data.brute_force_window(w))
+            guess = est.estimate_window(w)
+            assert truth / 3 <= guess <= truth * 3, (truth, guess)
+
+    def test_total_objects(self, data):
+        index = TwoLayerGrid.build(data, partitions_per_dim=32)
+        est = SelectivityEstimator(index)
+        assert est.total_objects == len(data)
+
+    def test_selectivity_bounded(self, data):
+        index = TwoLayerGrid.build(data, partitions_per_dim=32)
+        est = SelectivityEstimator(index)
+        assert est.estimate_selectivity(Rect(-1, -1, 2, 2)) <= 1.0
+        assert est.estimate_selectivity(Rect(0.0001, 0.0001, 0.0002, 0.0002)) < 0.01
+
+    def test_empty_region_estimates_zero(self, data):
+        index = TwoLayerGrid.build(data, partitions_per_dim=32)
+        est = SelectivityEstimator(index)
+        # Far outside the domain: no overlapping tiles.
+        w = Rect(5.0, 5.0, 6.0, 6.0)
+        assert est.estimate_window(w) == 0.0
+
+    def test_zipf_data_keeps_order_of_magnitude(self):
+        data = generate_zipf_rects(20_000, area=1e-8, seed=154)
+        index = TwoLayerGrid.build(data, partitions_per_dim=64)
+        est = SelectivityEstimator(index, avg_extent=data.average_extents())
+        for w in generate_window_queries(data, 20, 1.0, seed=154):
+            truth = len(data.brute_force_window(w))
+            guess = est.estimate_window(w)
+            assert truth / 10 <= max(guess, 1) <= truth * 10
+
+
+class TestHilbert:
+    def test_bijective_on_grid(self):
+        order = 5
+        n = 1 << order
+        gx, gy = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        ranks = hilbert_index((gx.ravel() + 0.5) / n, (gy.ravel() + 0.5) / n, order)
+        assert sorted(ranks.tolist()) == list(range(n * n))
+
+    def test_curve_is_continuous(self):
+        order = 4
+        n = 1 << order
+        gx, gy = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+        ranks = hilbert_index((gx.ravel() + 0.5) / n, (gy.ravel() + 0.5) / n, order)
+        pos = {
+            int(r): (int(x), int(y))
+            for r, x, y in zip(ranks, gx.ravel(), gy.ravel())
+        }
+        for k in range(n * n - 1):
+            (x1, y1), (x2, y2) = pos[k], pos[k + 1]
+            assert abs(x1 - x2) + abs(y1 - y2) == 1
+
+    def test_order_validation(self):
+        with pytest.raises(InvalidGridError):
+            hilbert_index(np.array([0.5]), np.array([0.5]), order=0)
+
+    def test_hilbert_packed_tree_correct(self):
+        data = generate_zipf_rects(3000, area=1e-5, seed=155)
+        tree = RTree.build(data, packing="hilbert")
+        for w in generate_window_queries(data, 20, 1.0, seed=155):
+            assert ids_set(tree.window_query(w)) == ids_set(
+                data.brute_force_window(w)
+            )
+
+    def test_unknown_packing_rejected(self, data):
+        with pytest.raises(InvalidGridError):
+            RTree.build(data, packing="morton")
+
+    def test_hilbert_leaves_are_compact(self):
+        # Hilbert locality must produce leaves of the same order of
+        # compactness as STR's (total leaf margin within a small factor),
+        # i.e. the curve ordering really groups spatial neighbours.
+        data = generate_zipf_rects(5000, area=0.0, seed=156)
+
+        def total_leaf_margin(tree):
+            from repro.rtree.node import margin
+
+            total = 0.0
+            stack = [tree._root]
+            while stack:
+                node = stack.pop()
+                if node.leaf:
+                    total += margin(node.mbr())
+                else:
+                    stack.extend(node.payloads)
+            return total
+
+        hil = total_leaf_margin(RTree.build(data, packing="hilbert"))
+        st = total_leaf_margin(RTree.build(data, packing="str"))
+        assert st / 3.0 <= hil <= st * 3.0
+
+
+class TestSpatialCollection:
+    def test_auto_tuned_build(self, collection):
+        assert collection.describe()["partitions_per_dim"] >= 1
+
+    def test_window_and_count(self, collection, data):
+        got = collection.window(0.3, 0.3, 0.4, 0.4)
+        truth = ids_set(data.brute_force_window(Rect(0.3, 0.3, 0.4, 0.4)))
+        assert ids_set(got) == truth
+        assert collection.count(0.3, 0.3, 0.4, 0.4) == len(truth)
+
+    def test_estimate_close_to_count(self, collection):
+        count = collection.count(0.2, 0.2, 0.5, 0.5)
+        est = collection.estimate(0.2, 0.2, 0.5, 0.5)
+        assert count / 3 <= est <= count * 3
+
+    def test_disk(self, collection, data):
+        got = collection.disk(0.5, 0.5, 0.05)
+        assert ids_set(got) == ids_set(data.brute_force_disk(0.5, 0.5, 0.05))
+
+    def test_polygon(self, collection, data):
+        got = collection.polygon([(0.1, 0.1), (0.5, 0.1), (0.3, 0.5)])
+        assert len(got) > 0
+
+    def test_knn(self, collection):
+        got = collection.knn(0.5, 0.5, 7)
+        assert got.shape[0] == 7
+
+    def test_join(self, collection):
+        other = SpatialCollection.from_dataset(
+            generate_uniform_rects(2000, area=1e-4, seed=157)
+        )
+        pairs = collection.join(other)
+        assert pairs.ndim == 2 and pairs.shape[1] == 2
+
+    def test_insert_delete_cycle(self, data):
+        col = SpatialCollection.from_dataset(data.slice(0, 1000))
+        nid = col.insert(Rect(0.42, 0.42, 0.43, 0.43))
+        assert nid in col.window(0.41, 0.41, 0.44, 0.44).tolist()
+        assert col.delete(nid)
+        assert nid not in col.window(0.41, 0.41, 0.44, 0.44).tolist()
+        assert not col.delete(10_000_000)
+
+    def test_exact_pipeline_with_geometries(self):
+        geoms = [
+            LineString([(0.1, 0.1), (0.2, 0.15)]),
+            LineString([(0.15, 0.3), (0.18, 0.45), (0.3, 0.5)]),
+            LineString([(0.8, 0.8), (0.9, 0.9)]),
+        ]
+        col = SpatialCollection.from_geometries(geoms, partitions_per_dim=8)
+        exact = col.window(0.0, 0.0, 0.5, 0.5, exact=True)
+        assert ids_set(exact) == {0, 1}
+        near = col.disk(0.15, 0.12, 0.05, exact=True)
+        assert 0 in ids_set(near)
+
+    def test_insert_requires_geometry_when_exact(self):
+        col = SpatialCollection.from_geometries(
+            [LineString([(0.1, 0.1), (0.2, 0.2)])], partitions_per_dim=4
+        )
+        with pytest.raises(InvalidQueryError):
+            col.insert(Rect(0.5, 0.5, 0.6, 0.6))
+        nid = col.insert(
+            Rect(0.5, 0.5, 0.6, 0.6), LineString([(0.5, 0.5), (0.6, 0.6)])
+        )
+        assert nid == 1
+
+    def test_from_rects(self):
+        col = SpatialCollection.from_rects(
+            [Rect(0, 0, 0.1, 0.1), Rect(0.5, 0.5, 0.6, 0.6)], partitions_per_dim=4
+        )
+        assert len(col) == 2
+
+
+class TestNonUnitDomains:
+    """Real data arrives in metres/degrees, not the unit square."""
+
+    @pytest.fixture(scope="class")
+    def metric_data(self):
+        base = generate_uniform_rects(5000, area=1e-6, seed=158)
+        # Scale into a 50km x 20km metric extent with offsets.
+        return RectDataset(
+            base.xl * 50_000 + 300_000,
+            base.yl * 20_000 + 4_000_000,
+            base.xu * 50_000 + 300_000,
+            base.yu * 20_000 + 4_000_000,
+        )
+
+    def test_auto_domain_covers_data(self, metric_data):
+        col = SpatialCollection.from_dataset(metric_data)
+        domain = col.index.grid.domain
+        mbr = metric_data.mbr()
+        assert domain.contains(mbr)
+
+    def test_queries_correct_in_metric_space(self, metric_data):
+        col = SpatialCollection.from_dataset(metric_data)
+        w = (320_000.0, 4_005_000.0, 330_000.0, 4_010_000.0)
+        got = col.window(*w)
+        truth = ids_set(metric_data.brute_force_window(Rect(*w)))
+        assert ids_set(got) == truth
+
+    def test_objects_spread_across_tiles(self, metric_data):
+        # The point of auto-domain: data must not pile into edge tiles.
+        col = SpatialCollection.from_dataset(metric_data)
+        assert col.index.nonempty_tiles > col.index.grid.nx
+
+    def test_disk_and_knn_in_metric_space(self, metric_data):
+        col = SpatialCollection.from_dataset(metric_data)
+        got = col.disk(325_000.0, 4_010_000.0, 2_000.0)
+        truth = ids_set(
+            metric_data.brute_force_disk(325_000.0, 4_010_000.0, 2_000.0)
+        )
+        assert ids_set(got) == truth
+        near = col.knn(325_000.0, 4_010_000.0, 5)
+        assert near.shape[0] == 5
+
+    def test_empty_collection_defaults_to_unit_domain(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        col = SpatialCollection.from_dataset(empty)
+        assert col.index.grid.domain == Rect(0.0, 0.0, 1.0, 1.0)

@@ -1,0 +1,162 @@
+"""Tests for the bench harness utilities and the ``python -m repro`` CLI."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench import (
+    Timed,
+    fmt,
+    print_series,
+    print_table,
+    throughput,
+    time_call,
+    total_time,
+)
+from repro.bench.workloads import (
+    bench_query_count,
+    bench_scale,
+    disk_workload,
+    synthetic_dataset,
+    tiger_dataset,
+    window_workload,
+)
+from repro.geometry import Point, LineString, Polygon, geometry_from_wkt, geometry_to_wkt
+
+
+class TestRunner:
+    def test_timed_qps(self):
+        t = Timed(seconds=2.0, queries=100)
+        assert t.qps == 50.0
+        assert t.avg_ms == 20.0
+
+    def test_timed_zero_guard(self):
+        assert Timed(seconds=0.0, queries=10).qps == float("inf")
+        assert Timed(seconds=1.0, queries=0).avg_ms == 0.0
+
+    def test_time_call(self):
+        result, seconds = time_call(lambda: 41 + 1)
+        assert result == 42 and seconds >= 0.0
+
+    def test_throughput_runs_everything(self):
+        seen = []
+        timed = throughput(seen.append, [1, 2, 3])
+        assert seen == [1, 2, 3]
+        assert timed.queries == 3
+
+    def test_total_time(self):
+        calls = []
+        assert total_time([lambda: calls.append(1), lambda: calls.append(2)]) >= 0
+        assert calls == [1, 2]
+
+
+class TestReporting:
+    def test_fmt_variants(self):
+        assert fmt(12345.6) == "12,346"
+        assert fmt(3.14159) == "3.14"
+        assert fmt(0.00012345) == "0.0001234"
+        assert fmt(0.0) == "0"
+        assert fmt("text") == "text"
+
+    def test_print_table(self, capsys):
+        print_table("T", ["a", "b"], [[1, 2.5], ["x", 40000.0]])
+        out = capsys.readouterr().out
+        assert "=== T ===" in out
+        assert "40,000" in out
+
+    def test_print_series(self, capsys):
+        print_series("S", "x", [1, 2], {"m1": [10, 20], "m2": [30, 40]})
+        out = capsys.readouterr().out
+        assert "m1" in out and "m2" in out and "=== S ===" in out
+
+    def test_print_table_empty_rows(self, capsys):
+        print_table("E", ["only"], [])
+        assert "=== E ===" in capsys.readouterr().out
+
+
+class TestWorkloads:
+    def test_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.001")
+        monkeypatch.setenv("REPRO_BENCH_QUERIES", "123")
+        assert bench_scale() == 0.001
+        assert bench_query_count() == 123
+
+    def test_datasets_cached(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.00005")
+        tiger_dataset.cache_clear()
+        a = tiger_dataset("ROADS")
+        b = tiger_dataset("ROADS")
+        assert a is b
+        tiger_dataset.cache_clear()
+
+    def test_workload_keys(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.00005")
+        tiger_dataset.cache_clear()
+        window_workload.cache_clear()
+        disk_workload.cache_clear()
+        ws = window_workload("ROADS", 0.1, 10)
+        assert len(ws) == 10
+        ds = disk_workload("synthetic:500:1e-8:uniform", 0.1, 5)
+        assert len(ds) == 5
+        with pytest.raises(KeyError):
+            window_workload("MARS", 0.1, 5)
+        tiger_dataset.cache_clear()
+        window_workload.cache_clear()
+        disk_workload.cache_clear()
+
+    def test_synthetic_dataset_cache(self):
+        a = synthetic_dataset(100, 1e-8, "uniform")
+        assert len(a) == 100
+
+
+class TestCli:
+    def test_self_check_passes(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["--n", "2000", "--queries", "20", "--skip-slow"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "all indexes agree" in out
+
+    def test_cli_reports_methods(self, capsys):
+        from repro.__main__ import main
+
+        main(["--n", "1000", "--queries", "10", "--skip-slow"])
+        out = capsys.readouterr().out
+        for name in ("2-layer", "1-layer", "quad-tree", "R-tree", "BLOCK"):
+            assert name in out
+
+
+# -- WKT property tests ------------------------------------------------------
+
+coord = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+@settings(max_examples=150, deadline=None)
+@given(x=coord, y=coord)
+def test_point_wkt_roundtrip_property(x, y):
+    p = Point(x, y)
+    assert geometry_from_wkt(geometry_to_wkt(p)) == p
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pts=st.lists(st.tuples(coord, coord), min_size=2, max_size=12),
+)
+def test_linestring_wkt_roundtrip_property(pts):
+    ls = LineString(pts)
+    assert geometry_from_wkt(geometry_to_wkt(ls)) == ls
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    pts=st.lists(st.tuples(coord, coord), min_size=3, max_size=10).filter(
+        lambda ps: len(set(ps)) >= 3 and ps[0] != ps[-1]
+    ),
+)
+def test_polygon_wkt_roundtrip_property(pts):
+    poly = Polygon(pts)
+    got = geometry_from_wkt(geometry_to_wkt(poly))
+    assert got == poly

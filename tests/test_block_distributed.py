@@ -1,0 +1,117 @@
+"""Tests for BLOCK and the simulated distributed engine."""
+
+import numpy as np
+import pytest
+
+from repro.block import BlockIndex
+from repro.datasets import (
+    RectDataset,
+    generate_disk_queries,
+    generate_uniform_rects,
+    generate_window_queries,
+)
+from repro.distributed import SimulatedSpatialCluster
+from repro.errors import InvalidGridError, InvalidQueryError
+from repro.geometry import Rect
+
+from conftest import ids_set
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_uniform_rects(3000, area=1e-4, seed=81)
+
+
+@pytest.fixture(scope="module")
+def block(data):
+    return BlockIndex.build(data, levels=7)
+
+
+@pytest.fixture(scope="module")
+def cluster(data):
+    return SimulatedSpatialCluster(data, partitions_per_dim=4)
+
+
+class TestBlockPlacement:
+    def test_levels_validation(self):
+        with pytest.raises(InvalidGridError):
+            BlockIndex(levels=0)
+
+    def test_unique_placement(self, block, data):
+        assert block.replica_count == len(data)
+
+    def test_level_assignment_by_size(self):
+        index = BlockIndex(levels=5)
+        index.insert(Rect(0.0, 0.0, 0.6, 0.6), 0)   # bigger than level-1 cells
+        index.insert(Rect(0.0, 0.0, 0.01, 0.01), 1)  # tiny -> deepest level
+        assert len(index._grids[0]) + len(index._grids[1]) >= 1
+        assert any(len(t) for t in index._grids[4].values())
+
+    def test_big_object_lands_at_root_level(self):
+        index = BlockIndex(levels=5)
+        index.insert(Rect(0.0, 0.0, 1.0, 1.0), 0)
+        assert sum(len(t) for t in index._grids[0].values()) == 1
+
+
+class TestBlockQueries:
+    def test_window_matches_brute_force(self, block, data):
+        for w in generate_window_queries(data, 30, 1.0, seed=82):
+            got = block.window_query(w)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(data.brute_force_window(w))
+
+    def test_disk_matches_brute_force(self, block, data):
+        for q in generate_disk_queries(data, 20, 1.0, seed=83):
+            got = block.disk_query(q)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(data.brute_force_disk(q.cx, q.cy, q.radius))
+
+    def test_boundary_objects_found(self):
+        # Object whose lower corner is one cell left of the window.
+        index = BlockIndex(levels=4)
+        index.insert(Rect(0.49, 0.49, 0.52, 0.52), 0)
+        got = index.window_query(Rect(0.51, 0.51, 0.6, 0.6))
+        assert ids_set(got) == {0}
+
+    def test_empty_index(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        index = BlockIndex.build(empty)
+        assert index.window_query(Rect(0, 0, 1, 1)).shape[0] == 0
+
+
+class TestSimulatedCluster:
+    def test_results_match_brute_force(self, cluster, data):
+        for w in generate_window_queries(data, 15, 1.0, seed=84):
+            out = cluster.window_query(w)
+            assert ids_set(out.ids) == ids_set(data.brute_force_window(w))
+
+    def test_latency_includes_job_overhead(self, cluster, data):
+        (w,) = generate_window_queries(data, 1, 0.1, seed=85)
+        out = cluster.window_query(w)
+        assert out.latency_s >= cluster.job_overhead_s
+        assert out.tasks >= 1
+        assert out.compute_s >= 0.0
+
+    def test_threads_reduce_latency_but_not_below_overhead(self, cluster, data):
+        (w,) = generate_window_queries(data, 1, 1.0, seed=86)
+        lat1 = cluster.window_query(w, threads=1).latency_s
+        lat8 = cluster.window_query(w, threads=8).latency_s
+        assert lat8 <= lat1
+        assert lat8 >= cluster.job_overhead_s
+
+    def test_rejects_bad_threads(self, cluster, data):
+        (w,) = generate_window_queries(data, 1, 0.1, seed=87)
+        with pytest.raises(InvalidQueryError):
+            cluster.window_query(w, threads=0)
+
+    def test_throughput_consistent_with_published_envelope(self, cluster, data):
+        # [24]: at most several hundred range queries per minute.
+        ws = generate_window_queries(data, 10, 0.1, seed=88)
+        qps = cluster.throughput(list(ws), threads=1)
+        assert qps < 10  # i.e. < 600 queries/minute
+
+    def test_validation(self, data):
+        with pytest.raises(InvalidGridError):
+            SimulatedSpatialCluster(data, partitions_per_dim=0)
+        with pytest.raises(InvalidGridError):
+            SimulatedSpatialCluster(data, job_overhead_s=-1.0)

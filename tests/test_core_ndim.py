@@ -1,0 +1,119 @@
+"""Tests for the m-dimensional two-layer generalisation (Section IV-D)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DatasetError, InvalidGridError, InvalidQueryError
+from repro.core import NDimTwoLayerGrid
+from repro.stats import QueryStats
+
+
+def make_boxes(n, m, seed, extent=0.1):
+    rng = np.random.default_rng(seed)
+    lows = rng.random((n, m))
+    highs = lows + rng.random((n, m)) * extent
+    return lows, highs
+
+
+class TestConstruction:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DatasetError):
+            NDimTwoLayerGrid(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_rejects_inverted_boxes(self):
+        lows = np.array([[0.5, 0.5]])
+        highs = np.array([[0.4, 0.6]])
+        with pytest.raises(DatasetError):
+            NDimTwoLayerGrid(lows, highs)
+
+    def test_rejects_zero_partitions(self):
+        lows, highs = make_boxes(5, 2, 0)
+        with pytest.raises(InvalidGridError):
+            NDimTwoLayerGrid(lows, highs, partitions_per_dim=0)
+
+    def test_rejects_zero_dims(self):
+        with pytest.raises(DatasetError):
+            NDimTwoLayerGrid(np.zeros((3, 0)), np.zeros((3, 0)))
+
+    def test_rejects_bad_domain(self):
+        lows, highs = make_boxes(5, 2, 0)
+        with pytest.raises(InvalidGridError):
+            NDimTwoLayerGrid(lows, highs, domain=np.array([[0, 0], [1, 1]]))
+
+    def test_2d_class_histogram_has_four_classes(self):
+        lows, highs = make_boxes(2000, 2, 1, extent=0.3)
+        idx = NDimTwoLayerGrid(lows, highs, partitions_per_dim=5)
+        hist = idx.class_histogram()
+        assert set(hist) == {0, 1, 2, 3}
+        assert hist[0] == 2000  # class "A" (code 0): one entry per object
+
+    def test_3d_has_up_to_eight_classes(self):
+        lows, highs = make_boxes(3000, 3, 2, extent=0.4)
+        idx = NDimTwoLayerGrid(lows, highs, partitions_per_dim=4)
+        hist = idx.class_histogram()
+        assert set(hist) <= set(range(8))
+        assert hist[0] == 3000
+        assert len(hist) == 8  # with boxes this large every class appears
+
+
+class TestQueries:
+    @pytest.mark.parametrize("m", [1, 2, 3, 4])
+    def test_matches_brute_force(self, m):
+        lows, highs = make_boxes(1500, m, m, extent=0.15)
+        idx = NDimTwoLayerGrid(lows, highs, partitions_per_dim=5)
+        rng = np.random.default_rng(100 + m)
+        for _ in range(30):
+            ql = rng.random(m) * 0.6
+            qh = ql + rng.random(m) * 0.4
+            got = idx.box_query(ql, qh)
+            assert len(got) == len(set(got.tolist())), f"duplicates at m={m}"
+            assert set(got.tolist()) == set(idx.brute_force(ql, qh).tolist())
+
+    def test_query_beyond_domain(self):
+        lows, highs = make_boxes(500, 2, 7)
+        idx = NDimTwoLayerGrid(lows, highs, partitions_per_dim=4)
+        got = idx.box_query(np.array([-1.0, -1.0]), np.array([2.0, 2.0]))
+        assert set(got.tolist()) == set(range(500))
+
+    def test_degenerate_point_query(self):
+        lows, highs = make_boxes(500, 2, 8, extent=0.2)
+        idx = NDimTwoLayerGrid(lows, highs, partitions_per_dim=4)
+        q = np.array([0.5, 0.5])
+        got = idx.box_query(q, q)
+        assert set(got.tolist()) == set(idx.brute_force(q, q).tolist())
+
+    def test_rejects_bad_query_shape(self):
+        lows, highs = make_boxes(10, 2, 9)
+        idx = NDimTwoLayerGrid(lows, highs)
+        with pytest.raises(InvalidQueryError):
+            idx.box_query(np.zeros(3), np.ones(3))
+
+    def test_rejects_inverted_query(self):
+        lows, highs = make_boxes(10, 2, 9)
+        idx = NDimTwoLayerGrid(lows, highs)
+        with pytest.raises(InvalidQueryError):
+            idx.box_query(np.array([0.5, 0.5]), np.array([0.4, 0.6]))
+
+    def test_empty_index(self):
+        idx = NDimTwoLayerGrid(np.zeros((0, 2)), np.zeros((0, 2)))
+        assert idx.box_query(np.zeros(2), np.ones(2)).shape[0] == 0
+
+    def test_generalised_lemma_skips_classes(self):
+        # For a query spanning several tiles, scanned entry count must be
+        # below total replicas (classes were skipped), yet results exact.
+        lows, highs = make_boxes(2000, 2, 10, extent=0.3)
+        idx = NDimTwoLayerGrid(lows, highs, partitions_per_dim=5)
+        stats = QueryStats()
+        ql = np.array([0.2, 0.2])
+        qh = np.array([0.9, 0.9])
+        got = idx.box_query(ql, qh, stats)
+        assert stats.rects_scanned < idx.replica_count
+        assert set(got.tolist()) == set(idx.brute_force(ql, qh).tolist())
+
+    def test_comparisons_at_most_one_per_dim_for_wide_queries(self):
+        lows, highs = make_boxes(1000, 3, 11, extent=0.05)
+        idx = NDimTwoLayerGrid(lows, highs, partitions_per_dim=4)
+        stats = QueryStats()
+        idx.box_query(np.array([0.1, 0.1, 0.1]), np.array([0.9, 0.9, 0.9]), stats)
+        # Multi-tile span per dim -> <= m comparisons per scanned box.
+        assert stats.comparisons <= 3 * stats.rects_scanned

@@ -1,0 +1,125 @@
+"""Tests for the Lemma 1-4 machinery in :mod:`repro.core.selection`."""
+
+import pytest
+
+from repro.core import ClassPlan, plan_tile
+from repro.core.selection import plan_for_region
+from repro.grid import CLASS_A, CLASS_B, CLASS_C, CLASS_D
+
+
+def codes(plan) -> set[int]:
+    return {cp.code for cp in plan.classes}
+
+
+def by_code(plan) -> dict[int, ClassPlan]:
+    return {cp.code: cp for cp in plan.classes}
+
+
+class TestClassSelection:
+    """Lemmas 1 and 2: which classes survive in which tile."""
+
+    def test_start_corner_tile_scans_all(self):
+        plan = plan_tile(2, 3, 2, 5, 3, 6)
+        assert codes(plan) == {CLASS_A, CLASS_B, CLASS_C, CLASS_D}
+
+    def test_first_row_not_first_column(self):
+        # W starts before T in x only -> drop C and D (Lemma 1).
+        plan = plan_tile(3, 3, 2, 5, 3, 6)
+        assert codes(plan) == {CLASS_A, CLASS_B}
+
+    def test_first_column_not_first_row(self):
+        # W starts before T in y only -> drop B and D (Lemma 2).
+        plan = plan_tile(2, 4, 2, 5, 3, 6)
+        assert codes(plan) == {CLASS_A, CLASS_C}
+
+    def test_interior_tile_scans_only_a(self):
+        plan = plan_tile(3, 4, 2, 5, 3, 6)
+        assert codes(plan) == {CLASS_A}
+
+    def test_single_tile_query_scans_all(self):
+        plan = plan_tile(2, 2, 2, 2, 2, 2)
+        assert codes(plan) == {CLASS_A, CLASS_B, CLASS_C, CLASS_D}
+
+
+class TestComparisonMinimisation:
+    """Lemmas 3-4 and the Table II-style per-class comparison plans."""
+
+    def test_interior_tile_needs_no_comparisons(self):
+        plan = plan_tile(3, 4, 2, 5, 3, 6)
+        (a,) = plan.classes
+        assert a.n_comparisons == 0
+
+    def test_first_tile_single_comparison_per_dim(self):
+        # Corner start tile of a multi-tile query: one comparison per dim.
+        plan = plan_tile(2, 3, 2, 5, 3, 6)
+        for cp in plan.classes:
+            assert cp.xu_ge and cp.yu_ge
+            assert not cp.xl_le and not cp.yl_le
+            assert cp.n_comparisons == 2
+
+    def test_last_column_comparison_only_for_inside_starters(self):
+        # W ends in this column; classes starting inside x need xl<=W.xu.
+        plan = plan_tile(5, 4, 2, 5, 3, 6)
+        plans = by_code(plan)
+        assert plans[CLASS_A].xl_le
+        assert plans[CLASS_A].n_comparisons == 1
+
+    def test_single_column_query_class_c_saves_comparison(self):
+        # ix0 == ix1: classes C/D never need xl <= W.xu (automatic).
+        plan = plan_tile(2, 3, 2, 2, 3, 6)
+        plans = by_code(plan)
+        assert plans[CLASS_A].xl_le and plans[CLASS_A].xu_ge
+        assert plans[CLASS_C].xu_ge and not plans[CLASS_C].xl_le
+        assert plans[CLASS_D].xu_ge and not plans[CLASS_D].xl_le
+
+    def test_corollary_1_at_most_two_comparisons(self):
+        # For queries spanning >= 2 tiles per dimension, every plan needs
+        # at most one comparison per dimension (Corollary 1).
+        for ix in range(2, 6):
+            for iy in range(3, 7):
+                plan = plan_tile(ix, iy, 2, 5, 3, 6)
+                for cp in plan.classes:
+                    assert cp.n_comparisons <= 2
+                    x_comps = int(cp.xu_ge) + int(cp.xl_le)
+                    y_comps = int(cp.yu_ge) + int(cp.yl_le)
+                    assert x_comps <= 1 and y_comps <= 1
+
+    def test_single_tile_query_at_most_four(self):
+        plan = plan_tile(0, 0, 0, 0, 0, 0)
+        for cp in plan.classes:
+            assert cp.n_comparisons <= 4
+
+    def test_plans_are_memoised(self):
+        assert plan_tile(3, 4, 2, 5, 3, 6) is plan_tile(9, 9, 1, 20, 1, 20)
+
+
+class TestPlanForRegion:
+    def test_matches_grid_plan_semantics(self):
+        # A region identical to a grid tile must produce the same plan.
+        from repro.grid import GridPartitioner
+        from repro.geometry import Rect
+
+        g = GridPartitioner(4, 4)
+        w = Rect(0.3, 0.3, 0.8, 0.9)
+        ix0, ix1, iy0, iy1 = g.tile_range_for_window(w)
+        for iy in range(iy0, iy1 + 1):
+            for ix in range(ix0, ix1 + 1):
+                tile = g.tile_rect(ix, iy)
+                grid_plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
+                region_plan = plan_for_region(
+                    w.xl, w.yl, w.xu, w.yu, tile.xl, tile.yl, tile.xu, tile.yu
+                )
+                assert codes(grid_plan) == codes(region_plan)
+
+    def test_window_covering_region(self):
+        plan = plan_for_region(0.0, 0.0, 1.0, 1.0, 0.4, 0.4, 0.6, 0.6)
+        assert codes(plan) == {CLASS_A}
+        (a,) = plan.classes
+        assert a.n_comparisons == 0
+
+    def test_window_inside_region(self):
+        plan = plan_for_region(0.45, 0.45, 0.55, 0.55, 0.4, 0.4, 0.6, 0.6)
+        assert codes(plan) == {CLASS_A, CLASS_B, CLASS_C, CLASS_D}
+        plans = by_code(plan)
+        assert plans[CLASS_A].n_comparisons == 4
+        assert plans[CLASS_D].n_comparisons == 2  # only the >= tests

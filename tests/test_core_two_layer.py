@@ -1,0 +1,286 @@
+"""Tests for the 2-layer grid index (the paper's primary contribution)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DiskQuery,
+    RectDataset,
+    generate_disk_queries,
+    generate_uniform_rects,
+    generate_window_queries,
+)
+from repro.geometry import Rect
+from repro.grid import CLASS_A, CLASS_B, CLASS_C, CLASS_D, OneLayerGrid
+from repro.core import TwoLayerGrid
+from repro.stats import QueryStats
+
+from conftest import ids_set
+
+
+@pytest.fixture(scope="module")
+def uniform_index(uniform_data):
+    return TwoLayerGrid.build(uniform_data, partitions_per_dim=16)
+
+
+class TestConstruction:
+    def test_replica_count_equals_one_layer(self, uniform_data):
+        # Section VII-B: 1-layer and 2-layer store exactly the same entries.
+        one = OneLayerGrid.build(uniform_data, partitions_per_dim=16)
+        two = TwoLayerGrid.build(uniform_data, partitions_per_dim=16)
+        assert one.replica_count == two.replica_count
+
+    def test_class_a_count_equals_objects(self, uniform_data, uniform_index):
+        counts = uniform_index.class_counts()
+        assert counts["A"] == len(uniform_data)
+
+    def test_class_counts_sum_to_replicas(self, uniform_index):
+        counts = uniform_index.class_counts()
+        assert sum(counts.values()) == uniform_index.replica_count
+
+    def test_secondary_partitions_disjoint(self, uniform_data):
+        # No (tile, object) pair may appear in two classes.
+        index = TwoLayerGrid.build(uniform_data, partitions_per_dim=8)
+        for iy in range(8):
+            for ix in range(8):
+                seen: set[int] = set()
+                for code in (CLASS_A, CLASS_B, CLASS_C, CLASS_D):
+                    table = index.tile_class_table(ix, iy, code)
+                    if table is None:
+                        continue
+                    ids = set(table.columns()[4].tolist())
+                    assert not (seen & ids)
+                    seen |= ids
+
+    def test_class_membership_definition(self, uniform_data):
+        # Spot-check Section III's class definitions on real tables.
+        index = TwoLayerGrid.build(uniform_data, partitions_per_dim=8)
+        g = index.grid
+        for (ix, iy, code) in [(2, 2, CLASS_A), (2, 2, CLASS_B), (2, 2, CLASS_C), (2, 2, CLASS_D)]:
+            table = index.tile_class_table(ix, iy, code)
+            if table is None:
+                continue
+            tile = g.tile_rect(ix, iy)
+            xl, yl, xu, yu, ids = table.columns()
+            before_x = xl < tile.xl
+            before_y = yl < tile.yl
+            if code == CLASS_A:
+                assert not before_x.any() and not before_y.any()
+            elif code == CLASS_B:
+                assert not before_x.any() and before_y.all()
+            elif code == CLASS_C:
+                assert before_x.all() and not before_y.any()
+            else:
+                assert before_x.all() and before_y.all()
+
+
+class TestWindowQueries:
+    def test_matches_brute_force(self, uniform_data, uniform_index):
+        for w in generate_window_queries(uniform_data, 40, 1.0, seed=11):
+            got = uniform_index.window_query(w)
+            assert len(got) == len(ids_set(got)), "two-layer produced a duplicate"
+            assert ids_set(got) == ids_set(uniform_data.brute_force_window(w))
+
+    def test_matches_brute_force_zipf(self, zipf_data):
+        index = TwoLayerGrid.build(zipf_data, partitions_per_dim=16)
+        for w in generate_window_queries(zipf_data, 40, 0.5, seed=12):
+            got = index.window_query(w)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(zipf_data.brute_force_window(w))
+
+    def test_boundary_aligned_window(self, tiny_data):
+        index = TwoLayerGrid.build(tiny_data, partitions_per_dim=4)
+        for w in [
+            Rect(0.25, 0.25, 0.5, 0.5),
+            Rect(0.0, 0.0, 0.25, 0.25),
+            Rect(0.25, 0.0, 0.75, 1.0),
+            Rect(0.5, 0.5, 0.5, 0.5),
+        ]:
+            got = index.window_query(w)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(tiny_data.brute_force_window(w))
+
+    def test_window_beyond_domain(self, tiny_data):
+        index = TwoLayerGrid.build(tiny_data, partitions_per_dim=4)
+        assert ids_set(index.window_query(Rect(-2, -2, 3, 3))) == set(
+            range(len(tiny_data))
+        )
+
+    def test_count_window(self, uniform_data, uniform_index):
+        for w in generate_window_queries(uniform_data, 10, 1.0, seed=13):
+            assert uniform_index.count_window(w) == len(
+                uniform_data.brute_force_window(w)
+            )
+
+    def test_empty_index(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        index = TwoLayerGrid.build(empty, partitions_per_dim=4)
+        assert index.window_query(Rect(0, 0, 1, 1)).shape[0] == 0
+
+
+class TestNoDuplicateGeneration:
+    def test_zero_dedup_work(self, uniform_data, uniform_index):
+        # The headline claim: no duplicate is ever generated, hence no
+        # dedup checks happen at all (contrast with OneLayerGrid).
+        stats = QueryStats()
+        for w in generate_window_queries(uniform_data, 30, 1.0, seed=14):
+            uniform_index.window_query(w, stats)
+        assert stats.dedup_checks == 0
+        assert stats.duplicates_generated == 0
+
+    def test_scans_fewer_rects_than_one_layer(self, uniform_data):
+        one = OneLayerGrid.build(uniform_data, partitions_per_dim=16)
+        two = TwoLayerGrid.build(uniform_data, partitions_per_dim=16)
+        s1, s2 = QueryStats(), QueryStats()
+        for w in generate_window_queries(uniform_data, 30, 1.0, seed=15):
+            one.window_query(w, s1)
+            two.window_query(w, s2)
+        assert s2.rects_scanned < s1.rects_scanned
+        assert s2.comparisons < s1.comparisons
+
+    def test_corollary_1_comparisons_bound(self, uniform_data):
+        # For multi-tile queries: at most 2 comparisons per scanned rect.
+        index = TwoLayerGrid.build(uniform_data, partitions_per_dim=32)
+        for w in generate_window_queries(uniform_data, 20, 1.0, seed=16):
+            ix0, ix1, iy0, iy1 = index.grid.tile_range_for_window(w)
+            if ix1 - ix0 < 1 or iy1 - iy0 < 1:
+                continue
+            stats = QueryStats()
+            index.window_query(w, stats)
+            assert stats.comparisons <= 2 * stats.rects_scanned
+
+
+class TestDiskQueries:
+    def test_matches_brute_force(self, uniform_data, uniform_index):
+        for q in generate_disk_queries(uniform_data, 40, 1.0, seed=17):
+            got = uniform_index.disk_query(q)
+            assert len(got) == len(ids_set(got)), "disk query duplicate"
+            assert ids_set(got) == ids_set(
+                uniform_data.brute_force_disk(q.cx, q.cy, q.radius)
+            )
+
+    def test_matches_brute_force_various_radii(self, zipf_data):
+        index = TwoLayerGrid.build(zipf_data, partitions_per_dim=16)
+        for area in (0.01, 0.1, 1.0, 5.0):
+            for q in generate_disk_queries(zipf_data, 10, area, seed=18):
+                got = index.disk_query(q)
+                assert len(got) == len(ids_set(got))
+                assert ids_set(got) == ids_set(
+                    zipf_data.brute_force_disk(q.cx, q.cy, q.radius)
+                )
+
+    def test_disk_centered_on_tile_corner(self, uniform_data, uniform_index):
+        q = DiskQuery(0.25, 0.25, 0.2)  # centre on a tile corner
+        got = uniform_index.disk_query(q)
+        assert len(got) == len(ids_set(got))
+        assert ids_set(got) == ids_set(uniform_data.brute_force_disk(0.25, 0.25, 0.2))
+
+    def test_disk_covering_domain(self, tiny_data):
+        index = TwoLayerGrid.build(tiny_data, partitions_per_dim=4)
+        got = index.disk_query(DiskQuery(0.5, 0.5, 3.0))
+        assert ids_set(got) == set(range(len(tiny_data)))
+
+    def test_zero_radius_disk(self, tiny_data):
+        index = TwoLayerGrid.build(tiny_data, partitions_per_dim=4)
+        got = index.disk_query(DiskQuery(0.5, 0.5, 0.0))
+        assert ids_set(got) == ids_set(tiny_data.brute_force_disk(0.5, 0.5, 0.0))
+
+    def test_big_objects_on_disk_boundary(self):
+        # Large rectangles maximise the class-B/D boundary-arc duplicates
+        # the canonical-tile rule must suppress.
+        data = generate_uniform_rects(800, area=5e-2, seed=19)
+        index = TwoLayerGrid.build(data, partitions_per_dim=12)
+        for q in generate_disk_queries(data, 40, 2.0, seed=19):
+            got = index.disk_query(q)
+            assert len(got) == len(ids_set(got)), "boundary-arc duplicate leaked"
+            assert ids_set(got) == ids_set(data.brute_force_disk(q.cx, q.cy, q.radius))
+
+
+class TestInserts:
+    def test_insert_into_correct_classes(self):
+        index = TwoLayerGrid.build(
+            RectDataset.from_rects([Rect(0.9, 0.9, 0.95, 0.95)]), partitions_per_dim=4
+        )
+        new_id = index.insert(Rect(0.2, 0.2, 0.3, 0.3))  # spans 2x2 tiles
+        assert new_id == 1
+        found_codes = []
+        for iy in range(4):
+            for ix in range(4):
+                for code in (CLASS_A, CLASS_B, CLASS_C, CLASS_D):
+                    t = index.tile_class_table(ix, iy, code)
+                    if t is not None and new_id in t.columns()[4].tolist():
+                        found_codes.append(code)
+        assert sorted(found_codes) == [CLASS_A, CLASS_B, CLASS_C, CLASS_D]
+
+    def test_insert_then_query_no_duplicates(self, tiny_data):
+        index = TwoLayerGrid.build(tiny_data, partitions_per_dim=4)
+        new_id = index.insert(Rect(0.1, 0.1, 0.9, 0.9))
+        got = index.window_query(Rect(0, 0, 1, 1))
+        assert got.tolist().count(new_id) == 1
+
+    def test_update_cost_accumulates(self, uniform_data):
+        # Inserting the last 10% after loading 90% (Table VI's workload).
+        n = len(uniform_data)
+        split = int(n * 0.9)
+        index = TwoLayerGrid.build(uniform_data.slice(0, split), partitions_per_dim=16)
+        for i in range(split, n):
+            index.insert(uniform_data.rect(i), i)
+        assert len(index) == n
+        w = Rect(0.3, 0.3, 0.7, 0.7)
+        assert ids_set(index.window_query(w)) == ids_set(
+            uniform_data.brute_force_window(w)
+        )
+
+
+class TestWithinPredicate:
+    def test_matches_brute_force(self, uniform_data, uniform_index):
+        for w in generate_window_queries(uniform_data, 25, 1.0, seed=181):
+            got = uniform_index.window_query_within(w)
+            mask = (
+                (uniform_data.xl >= w.xl)
+                & (uniform_data.xu <= w.xu)
+                & (uniform_data.yl >= w.yl)
+                & (uniform_data.yu <= w.yu)
+            )
+            truth = set(np.flatnonzero(mask).tolist())
+            assert len(got) == len(ids_set(got)), "within duplicates"
+            assert ids_set(got) == truth
+
+    def test_within_subset_of_intersects(self, uniform_data, uniform_index):
+        for w in generate_window_queries(uniform_data, 10, 1.0, seed=182):
+            within = ids_set(uniform_index.window_query_within(w))
+            intersects = ids_set(uniform_index.window_query(w))
+            assert within <= intersects
+
+    def test_boundary_aligned(self, tiny_data):
+        index = TwoLayerGrid.build(tiny_data, partitions_per_dim=4)
+        w = Rect(0.25, 0.25, 0.75, 0.75)
+        got = index.window_query_within(w)
+        mask = (
+            (tiny_data.xl >= w.xl)
+            & (tiny_data.xu <= w.xu)
+            & (tiny_data.yl >= w.yl)
+            & (tiny_data.yu <= w.yu)
+        )
+        assert ids_set(got) == set(np.flatnonzero(mask).tolist())
+
+    def test_scans_only_class_a(self, uniform_data, uniform_index):
+        # Exactly one scanned entry per object at most: scanned count is
+        # bounded by the object count, never by the replica count.
+        stats = QueryStats()
+        uniform_index.window_query_within(Rect(0, 0, 1, 1), stats)
+        assert stats.rects_scanned == len(uniform_data)
+
+    def test_facade_within(self, uniform_data):
+        from repro.api import SpatialCollection
+        from repro.errors import InvalidQueryError as IQE
+
+        col = SpatialCollection.from_dataset(uniform_data, partitions_per_dim=16)
+        got = col.window(0.2, 0.2, 0.8, 0.8, predicate="within")
+        assert ids_set(got) <= ids_set(col.window(0.2, 0.2, 0.8, 0.8))
+        import pytest as _pytest
+
+        with _pytest.raises(IQE):
+            col.window(0, 0, 1, 1, predicate="touches")
+        with _pytest.raises(IQE):
+            col.window(0, 0, 1, 1, predicate="within", exact=True)

@@ -1,0 +1,158 @@
+"""Tests for 2-layer⁺ (decomposed storage, Section IV-C)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_window_queries
+from repro.geometry import Rect
+from repro.grid import CLASS_A, CLASS_B, CLASS_C, CLASS_D
+from repro.core import REQUIRED_TABLES, DecomposedTables, TwoLayerGrid, TwoLayerPlusGrid
+from repro.core.decomposed import COMP_XL_LE, COMP_XU_GE, COMP_YL_LE, COMP_YU_GE
+from repro.stats import QueryStats
+
+from conftest import ids_set
+
+
+@pytest.fixture(scope="module", params=["scan", "search_verify"])
+def strategy(request):
+    return request.param
+
+
+class TestDecomposedTables:
+    def _make(self, code):
+        rng = np.random.default_rng(3)
+        n = 50
+        xl = rng.random(n)
+        yl = rng.random(n)
+        return DecomposedTables(xl, yl, xl + 0.1, yl + 0.1, np.arange(n), code), xl, yl
+
+    def test_table_ii_required_tables(self):
+        assert set(REQUIRED_TABLES[CLASS_A]) == {
+            COMP_XL_LE, COMP_XU_GE, COMP_YL_LE, COMP_YU_GE,
+        }
+        assert set(REQUIRED_TABLES[CLASS_B]) == {COMP_XL_LE, COMP_XU_GE, COMP_YU_GE}
+        assert set(REQUIRED_TABLES[CLASS_C]) == {COMP_XU_GE, COMP_YL_LE, COMP_YU_GE}
+        assert set(REQUIRED_TABLES[CLASS_D]) == {COMP_XU_GE, COMP_YU_GE}
+
+    def test_class_d_stores_only_two_tables(self):
+        tables, _, _ = self._make(CLASS_D)
+        assert tables.has_table(COMP_XU_GE) and tables.has_table(COMP_YU_GE)
+        assert not tables.has_table(COMP_XL_LE) and not tables.has_table(COMP_YL_LE)
+
+    def test_prefix_search_le(self):
+        tables, xl, _ = self._make(CLASS_A)
+        bound = 0.5
+        got = set(tables.search(COMP_XL_LE, bound).tolist())
+        assert got == set(np.flatnonzero(xl <= bound).tolist())
+
+    def test_suffix_search_ge(self):
+        tables, xl, _ = self._make(CLASS_A)
+        bound = 0.5
+        got = set(tables.search(COMP_XU_GE, bound).tolist())
+        assert got == set(np.flatnonzero(xl + 0.1 >= bound).tolist())
+
+    def test_search_bounds_below_and_above(self):
+        tables, _, _ = self._make(CLASS_A)
+        assert tables.search(COMP_XL_LE, -1.0).shape[0] == 0
+        assert tables.search(COMP_XL_LE, 2.0).shape[0] == 50
+        assert tables.search(COMP_XU_GE, 2.0).shape[0] == 0
+        assert tables.search(COMP_XU_GE, -1.0).shape[0] == 50
+
+    def test_nbytes_grows_with_tables(self):
+        a, _, _ = self._make(CLASS_A)
+        d, _, _ = self._make(CLASS_D)
+        assert a.nbytes > d.nbytes
+
+
+class TestTwoLayerPlusQueries:
+    def test_matches_two_layer_exactly(self, uniform_data, strategy):
+        two = TwoLayerGrid.build(uniform_data, partitions_per_dim=16)
+        plus = TwoLayerPlusGrid.build(
+            uniform_data, partitions_per_dim=16, multi_comparison_strategy=strategy
+        )
+        for w in generate_window_queries(uniform_data, 40, 1.0, seed=21):
+            assert ids_set(plus.window_query(w)) == ids_set(two.window_query(w))
+
+    def test_matches_brute_force_zipf(self, zipf_data, strategy):
+        plus = TwoLayerPlusGrid.build(
+            zipf_data, partitions_per_dim=16, multi_comparison_strategy=strategy
+        )
+        for w in generate_window_queries(zipf_data, 30, 0.5, seed=22):
+            got = plus.window_query(w)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(zipf_data.brute_force_window(w))
+
+    def test_disk_query_inherited(self, uniform_data):
+        from repro.datasets import generate_disk_queries
+
+        plus = TwoLayerPlusGrid.build(uniform_data, partitions_per_dim=16)
+        for q in generate_disk_queries(uniform_data, 15, 1.0, seed=23):
+            got = plus.disk_query(q)
+            assert ids_set(got) == ids_set(
+                uniform_data.brute_force_disk(q.cx, q.cy, q.radius)
+            )
+
+    def test_rejects_unknown_strategy(self, uniform_data):
+        with pytest.raises(ValueError):
+            TwoLayerPlusGrid.build(
+                uniform_data, partitions_per_dim=8, multi_comparison_strategy="magic"
+            )
+
+    def test_boundary_aligned_window(self, tiny_data, strategy):
+        plus = TwoLayerPlusGrid.build(
+            tiny_data, partitions_per_dim=4, multi_comparison_strategy=strategy
+        )
+        w = Rect(0.25, 0.25, 0.5, 0.5)
+        got = plus.window_query(w)
+        assert ids_set(got) == ids_set(tiny_data.brute_force_window(w))
+
+
+class TestStorageCosts:
+    def test_plus_uses_more_memory(self, uniform_data):
+        # Fig. 7: 2-layer+ stores a second decomposed copy per tile.
+        two = TwoLayerGrid.build(uniform_data, partitions_per_dim=16)
+        plus = TwoLayerPlusGrid.build(uniform_data, partitions_per_dim=16)
+        assert plus.nbytes > two.nbytes
+
+    def test_replica_count_unchanged(self, uniform_data):
+        two = TwoLayerGrid.build(uniform_data, partitions_per_dim=16)
+        plus = TwoLayerPlusGrid.build(uniform_data, partitions_per_dim=16)
+        assert plus.replica_count == two.replica_count
+
+
+class TestInsertsInvalidateDecomposition:
+    def test_insert_then_query_sees_new_object(self, tiny_data):
+        plus = TwoLayerPlusGrid.build(tiny_data, partitions_per_dim=4)
+        new_id = plus.insert(Rect(0.6, 0.6, 0.62, 0.62))
+        got = plus.window_query(Rect(0.55, 0.55, 0.65, 0.65))
+        assert new_id in ids_set(got)
+
+    def test_insert_spanning_many_tiles(self, tiny_data):
+        plus = TwoLayerPlusGrid.build(tiny_data, partitions_per_dim=4)
+        new_id = plus.insert(Rect(0.05, 0.05, 0.95, 0.95))
+        got = plus.window_query(Rect(0, 0, 1, 1))
+        assert got.tolist().count(new_id) == 1
+
+    def test_insert_matches_brute_force_afterwards(self, uniform_data):
+        n = len(uniform_data)
+        split = n - 100
+        plus = TwoLayerPlusGrid.build(uniform_data.slice(0, split), partitions_per_dim=8)
+        for i in range(split, n):
+            plus.insert(uniform_data.rect(i), i)
+        for w in generate_window_queries(uniform_data, 10, 1.0, seed=24):
+            assert ids_set(plus.window_query(w)) == ids_set(
+                uniform_data.brute_force_window(w)
+            )
+
+
+class TestSearchStats:
+    def test_single_comparison_tiles_use_binary_search(self, uniform_data):
+        # For a wide query, edge tiles need one comparison; the plus index
+        # answers them in O(log n) comparisons instead of O(n).
+        two = TwoLayerGrid.build(uniform_data, partitions_per_dim=16)
+        plus = TwoLayerPlusGrid.build(uniform_data, partitions_per_dim=16)
+        w = Rect(0.1, 0.1, 0.9, 0.9)
+        s_two, s_plus = QueryStats(), QueryStats()
+        two.window_query(w, s_two)
+        plus.window_query(w, s_plus)
+        assert s_plus.comparisons < s_two.comparisons

@@ -1,0 +1,275 @@
+"""Unit tests for the datasets package: container, generators, workloads, IO."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ASPECT_RATIO_RANGE,
+    RectDataset,
+    TIGER_SPECS,
+    DiskQuery,
+    generate_disk_queries,
+    generate_synthetic,
+    generate_tiger_standin,
+    generate_uniform_rects,
+    generate_window_queries,
+    generate_zipf_rects,
+    load_dataset,
+    load_roads,
+    save_dataset,
+)
+from repro.errors import DatasetError, InvalidQueryError
+from repro.geometry import LineString, Polygon, Rect
+
+
+class TestRectDataset:
+    def test_from_rects_roundtrip(self):
+        rects = [Rect(0, 0, 1, 1), Rect(0.2, 0.3, 0.4, 0.5)]
+        data = RectDataset.from_rects(rects)
+        assert len(data) == 2
+        assert data.rect(1) == rects[1]
+
+    def test_iteration(self):
+        rects = [Rect(0, 0, 1, 1), Rect(0.1, 0.1, 0.2, 0.2)]
+        assert list(RectDataset.from_rects(rects)) == rects
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(DatasetError):
+            RectDataset(np.zeros(3), np.zeros(2), np.ones(3), np.ones(3))
+
+    def test_inverted_rect_rejected(self):
+        with pytest.raises(DatasetError):
+            RectDataset(np.array([0.5]), np.array([0.0]), np.array([0.1]), np.array([1.0]))
+
+    def test_nan_rejected(self):
+        with pytest.raises(DatasetError):
+            RectDataset(
+                np.array([np.nan]), np.array([0.0]), np.array([1.0]), np.array([1.0])
+            )
+
+    def test_geometry_count_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            RectDataset.from_rects([Rect(0, 0, 1, 1)], geometries=[])
+
+    def test_from_geometries_mbrs_match(self):
+        geoms = [
+            LineString([(0.1, 0.2), (0.5, 0.8)]),
+            Polygon([(0, 0), (0.3, 0), (0.3, 0.4)]),
+        ]
+        data = RectDataset.from_geometries(geoms)
+        for i, g in enumerate(geoms):
+            assert data.rect(i) == g.mbr()
+        assert data.geometry(0) is geoms[0]
+
+    def test_geometry_defaults_to_rect(self):
+        data = RectDataset.from_rects([Rect(0, 0, 1, 1)])
+        assert data.geometry(0) == Rect(0, 0, 1, 1)
+
+    def test_dataset_mbr(self):
+        data = RectDataset.from_rects([Rect(0.1, 0.2, 0.3, 0.4), Rect(0.5, 0.0, 0.9, 0.1)])
+        assert data.mbr() == Rect(0.1, 0.0, 0.9, 0.4)
+
+    def test_empty_mbr_raises(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        with pytest.raises(DatasetError):
+            empty.mbr()
+
+    def test_average_extents(self):
+        data = RectDataset.from_rects([Rect(0, 0, 0.2, 0.4), Rect(0, 0, 0.4, 0.2)])
+        assert data.average_extents() == (pytest.approx(0.3), pytest.approx(0.3))
+
+    def test_slice_and_take(self):
+        data = generate_uniform_rects(100, seed=1)
+        part = data.slice(10, 20)
+        assert len(part) == 10
+        assert part.rect(0) == data.rect(10)
+        picked = data.take(np.array([5, 50, 99]))
+        assert picked.rect(1) == data.rect(50)
+
+    def test_brute_force_window_matches_naive(self):
+        data = generate_uniform_rects(500, area=1e-3, seed=3)
+        w = Rect(0.4, 0.4, 0.6, 0.6)
+        expected = {i for i in range(len(data)) if data.rect(i).intersects(w)}
+        assert set(data.brute_force_window(w).tolist()) == expected
+
+    def test_brute_force_disk_matches_naive(self):
+        from repro.geometry import min_dist_point_rect
+
+        data = generate_uniform_rects(500, area=1e-3, seed=3)
+        expected = {
+            i
+            for i in range(len(data))
+            if min_dist_point_rect(0.5, 0.5, data.rect(i)) <= 0.2
+        }
+        assert set(data.brute_force_disk(0.5, 0.5, 0.2).tolist()) == expected
+
+
+class TestSyntheticGenerators:
+    def test_cardinality(self):
+        assert len(generate_uniform_rects(1234, seed=0)) == 1234
+
+    def test_deterministic_by_seed(self):
+        a = generate_uniform_rects(100, seed=5)
+        b = generate_uniform_rects(100, seed=5)
+        assert np.array_equal(a.xl, b.xl)
+
+    def test_equal_area_property(self):
+        area = 1e-6
+        data = generate_uniform_rects(200, area=area, seed=2)
+        got = (data.xu - data.xl) * (data.yu - data.yl)
+        assert np.allclose(got, area, rtol=1e-9)
+
+    def test_aspect_ratio_range(self):
+        data = generate_uniform_rects(500, area=1e-6, seed=2)
+        ratio = (data.xu - data.xl) / (data.yu - data.yl)
+        lo, hi = ASPECT_RATIO_RANGE
+        assert np.all(ratio >= lo * 0.999) and np.all(ratio <= hi * 1.001)
+
+    def test_zero_area_gives_points(self):
+        data = generate_uniform_rects(50, area=0.0, seed=2)
+        assert np.all(data.xl == data.xu) and np.all(data.yl == data.yu)
+
+    def test_inside_unit_square(self):
+        for gen in (generate_uniform_rects, generate_zipf_rects):
+            data = gen(300, area=1e-4, seed=9)
+            assert data.xl.min() >= 0 and data.yu.max() <= 1
+
+    def test_zipf_is_skewed_towards_origin(self):
+        uniform = generate_uniform_rects(5000, area=0, seed=1)
+        zipf = generate_zipf_rects(5000, area=0, seed=1)
+        assert zipf.xl.mean() < uniform.xl.mean() / 2
+
+    def test_negative_cardinality_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_uniform_rects(-1)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_uniform_rects(10, area=-1e-6)
+
+    def test_bad_zipf_parameter_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_zipf_rects(10, a=0.0)
+
+    def test_dispatch(self):
+        assert len(generate_synthetic(10, distribution="uniform", seed=0)) == 10
+        assert len(generate_synthetic(10, distribution="zipf", seed=0)) == 10
+        with pytest.raises(DatasetError):
+            generate_synthetic(10, distribution="gaussian")
+
+
+class TestTigerStandins:
+    def test_cardinality_scaling(self):
+        data = generate_tiger_standin("ROADS", scale=1e-4, seed=1)
+        assert len(data) == round(TIGER_SPECS["ROADS"].paper_cardinality * 1e-4)
+
+    def test_average_extents_near_published(self):
+        data = generate_tiger_standin("EDGES", scale=2e-4, seed=1)
+        spec = TIGER_SPECS["EDGES"]
+        wx, wy = data.average_extents()
+        assert wx == pytest.approx(spec.avg_x_extent, rel=0.25)
+        assert wy == pytest.approx(spec.avg_y_extent, rel=0.25)
+
+    def test_roads_geometries_are_linestrings(self):
+        data = generate_tiger_standin("ROADS", scale=2e-5, with_geometries=True, seed=1)
+        assert all(isinstance(g, LineString) for g in data.geometries)
+
+    def test_edges_geometries_are_polygons(self):
+        data = generate_tiger_standin("EDGES", scale=1e-5, with_geometries=True, seed=1)
+        assert all(isinstance(g, Polygon) for g in data.geometries)
+
+    def test_tiger_geometries_are_mixed(self):
+        data = generate_tiger_standin("TIGER", scale=1e-5, with_geometries=True, seed=1)
+        kinds = {type(g) for g in data.geometries}
+        assert kinds == {LineString, Polygon}
+
+    def test_geometry_mbrs_match_dataset(self):
+        data = generate_tiger_standin("ROADS", scale=2e-5, with_geometries=True, seed=1)
+        for i in range(len(data)):
+            mbr = data.geometries[i].mbr()
+            assert mbr.xl == pytest.approx(data.xl[i], abs=1e-9)
+            assert mbr.yu == pytest.approx(data.yu[i], abs=1e-9)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_tiger_standin("PARCELS")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            generate_tiger_standin("ROADS", scale=0)
+
+    def test_load_roads_deterministic(self):
+        a = load_roads(scale=1e-4)
+        b = load_roads(scale=1e-4)
+        assert np.array_equal(a.xl, b.xl)
+
+
+class TestQueryWorkloads:
+    def test_window_count_and_area(self):
+        data = generate_uniform_rects(100, seed=0)
+        qs = generate_window_queries(data, 25, relative_area_percent=0.5, seed=1)
+        assert len(qs) == 25
+        for q in qs:
+            assert q.area == pytest.approx(0.005, rel=1e-6)
+
+    def test_windows_always_return_results(self):
+        data = generate_uniform_rects(200, area=1e-6, seed=4)
+        for q in generate_window_queries(data, 50, 0.1, seed=2):
+            assert data.brute_force_window(q).shape[0] > 0
+
+    def test_disks_always_return_results(self):
+        data = generate_uniform_rects(200, area=1e-6, seed=4)
+        for q in generate_disk_queries(data, 50, 0.1, seed=2):
+            assert data.brute_force_disk(q.cx, q.cy, q.radius).shape[0] > 0
+
+    def test_disk_radius_matches_relative_area(self):
+        data = generate_uniform_rects(50, seed=0)
+        (q,) = generate_disk_queries(data, 1, relative_area_percent=1.0, seed=0)
+        assert math.pi * q.radius**2 == pytest.approx(0.01)
+
+    def test_disk_query_mbr(self):
+        q = DiskQuery(0.5, 0.5, 0.1)
+        assert q.mbr() == Rect(0.4, 0.4, 0.6, 0.6)
+        assert q.relative_area == pytest.approx(math.pi * 0.01)
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(InvalidQueryError):
+            DiskQuery(0.5, 0.5, -0.1)
+
+    def test_bad_relative_area_rejected(self):
+        data = generate_uniform_rects(10, seed=0)
+        with pytest.raises(InvalidQueryError):
+            generate_window_queries(data, 5, relative_area_percent=0.0)
+        with pytest.raises(InvalidQueryError):
+            generate_disk_queries(data, 5, relative_area_percent=150.0)
+
+    def test_empty_dataset_rejected(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        with pytest.raises(InvalidQueryError):
+            generate_window_queries(empty, 5)
+
+    def test_queries_follow_data_distribution(self):
+        # Queries over zipf data should concentrate where the data does.
+        data = generate_zipf_rects(2000, area=0, seed=3)
+        qs = generate_window_queries(data, 200, 0.01, seed=3)
+        mean_x = float(np.mean([q.center()[0] for q in qs]))
+        assert mean_x < 0.35
+
+
+class TestDatasetIO:
+    def test_roundtrip(self, tmp_path):
+        data = generate_uniform_rects(77, area=1e-5, seed=6)
+        path = tmp_path / "data.npz"
+        save_dataset(data, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == 77
+        assert np.array_equal(loaded.xl, data.xl)
+        assert np.array_equal(loaded.yu, data.yu)
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "other.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_dataset(path)

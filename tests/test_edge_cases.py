@@ -1,0 +1,195 @@
+"""Edge-case and failure-injection tests across the whole library.
+
+The happy paths are covered elsewhere; this module hammers degenerate
+inputs (zero-extent objects, single-tile grids, boundary-only overlaps,
+domain-edge placement) and misuse (wrong argument ranges, mismatched
+sizes), the places replication/off-by-one bugs live.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DiskQuery, RectDataset, generate_uniform_rects
+from repro.errors import InvalidGridError
+from repro.geometry import Rect
+from repro.grid import GridPartitioner, OneLayerGrid, replicate
+from repro.core import TwoLayerGrid, TwoLayerPlusGrid, evaluate_tiles_based
+from repro.quadtree import QuadTree, TwoLayerQuadTree
+from repro.rtree import RTree
+
+from conftest import ids_set
+
+ALL_GRIDS = (OneLayerGrid, TwoLayerGrid, TwoLayerPlusGrid)
+
+
+class TestDegenerateObjects:
+    @pytest.fixture(scope="class")
+    def point_like(self):
+        # Zero-extent rectangles exactly on tile boundaries of a 4x4 grid.
+        coords = [0.0, 0.25, 0.5, 0.75, 1.0]
+        rects = [Rect(x, y, x, y) for x in coords for y in coords]
+        return RectDataset.from_rects(rects)
+
+    @pytest.mark.parametrize("cls", ALL_GRIDS)
+    def test_boundary_points_found_once(self, point_like, cls):
+        index = cls.build(point_like, partitions_per_dim=4)
+        got = index.window_query(Rect(0, 0, 1, 1))
+        assert len(got) == len(ids_set(got))
+        assert ids_set(got) == set(range(len(point_like)))
+
+    @pytest.mark.parametrize("cls", ALL_GRIDS)
+    def test_window_hitting_single_boundary_point(self, point_like, cls):
+        index = cls.build(point_like, partitions_per_dim=4)
+        got = index.window_query(Rect(0.5, 0.5, 0.5, 0.5))
+        expected = ids_set(point_like.brute_force_window(Rect(0.5, 0.5, 0.5, 0.5)))
+        assert ids_set(got) == expected
+
+    def test_replication_of_boundary_points(self, point_like):
+        rep = replicate(point_like, GridPartitioner(4, 4))
+        # A point exactly on an interior boundary lands in one tile only
+        # (half-open tiles): no replication for degenerate points.
+        assert rep.total == len(point_like)
+
+    @pytest.mark.parametrize("cls", ALL_GRIDS)
+    def test_full_domain_object(self, cls):
+        # One object covering everything + some normal ones.
+        rects = [Rect(0, 0, 1, 1)] + [
+            Rect(0.1 * i, 0.1 * i, 0.1 * i + 0.01, 0.1 * i + 0.01) for i in range(9)
+        ]
+        data = RectDataset.from_rects(rects)
+        index = cls.build(data, partitions_per_dim=8)
+        for w in (Rect(0.5, 0.5, 0.6, 0.6), Rect(0.0, 0.0, 0.01, 0.01)):
+            got = index.window_query(w)
+            assert got.tolist().count(0) == 1  # the big object, exactly once
+            assert ids_set(got) == ids_set(data.brute_force_window(w))
+
+
+class TestSingleTileGrid:
+    @pytest.mark.parametrize("cls", ALL_GRIDS)
+    def test_1x1_grid_equals_scan(self, uniform_data, cls):
+        index = cls.build(uniform_data, partitions_per_dim=1)
+        w = Rect(0.2, 0.3, 0.6, 0.7)
+        assert ids_set(index.window_query(w)) == ids_set(
+            uniform_data.brute_force_window(w)
+        )
+
+    def test_1x1_disk(self, uniform_data):
+        index = TwoLayerGrid.build(uniform_data, partitions_per_dim=1)
+        q = DiskQuery(0.5, 0.5, 0.3)
+        got = index.disk_query(q)
+        assert len(got) == len(ids_set(got))
+        assert ids_set(got) == ids_set(
+            uniform_data.brute_force_disk(0.5, 0.5, 0.3)
+        )
+
+    def test_everything_is_class_a_in_1x1(self, uniform_data):
+        index = TwoLayerGrid.build(uniform_data, partitions_per_dim=1)
+        counts = index.class_counts()
+        assert counts["A"] == len(uniform_data)
+        assert counts["B"] == counts["C"] == counts["D"] == 0
+
+
+class TestDomainEdges:
+    @pytest.mark.parametrize("cls", ALL_GRIDS + (QuadTree, TwoLayerQuadTree, RTree))
+    def test_objects_on_far_corner(self, cls):
+        rects = [
+            Rect(0.999, 0.999, 1.0, 1.0),
+            Rect(1.0, 1.0, 1.0, 1.0),     # degenerate at the far corner
+            Rect(0.0, 0.0, 0.0, 0.0),     # degenerate at the origin
+            Rect(0.0, 0.999, 0.001, 1.0),
+        ]
+        data = RectDataset.from_rects(rects)
+        index = cls.build(data)
+        got = index.window_query(Rect(0, 0, 1, 1))
+        assert ids_set(got) == {0, 1, 2, 3}
+        got = index.window_query(Rect(1.0, 1.0, 1.0, 1.0))
+        assert ids_set(got) == ids_set(
+            data.brute_force_window(Rect(1.0, 1.0, 1.0, 1.0))
+        )
+
+    @pytest.mark.parametrize("cls", ALL_GRIDS)
+    def test_query_window_outside_domain(self, cls, tiny_data):
+        index = cls.build(tiny_data, partitions_per_dim=4)
+        got = index.window_query(Rect(1.5, 1.5, 2.0, 2.0))
+        assert got.shape[0] == 0
+
+    def test_disk_centred_outside_domain(self, tiny_data):
+        index = TwoLayerGrid.build(tiny_data, partitions_per_dim=4)
+        q = DiskQuery(1.5, 0.5, 0.6)
+        got = index.disk_query(q)
+        assert len(got) == len(ids_set(got))
+        assert ids_set(got) == ids_set(
+            tiny_data.brute_force_disk(1.5, 0.5, 0.6)
+        )
+
+
+class TestExtremeAspectRatios:
+    @pytest.mark.parametrize("cls", ALL_GRIDS)
+    def test_full_width_slivers(self, cls):
+        # Horizontal/vertical slivers crossing the whole domain.
+        rects = [Rect(0.0, 0.1 * i, 1.0, 0.1 * i + 1e-6) for i in range(10)]
+        rects += [Rect(0.1 * i, 0.0, 0.1 * i + 1e-6, 1.0) for i in range(10)]
+        data = RectDataset.from_rects(rects)
+        index = cls.build(data, partitions_per_dim=8)
+        for w in (Rect(0.45, 0.45, 0.55, 0.55), Rect(0, 0, 1, 1)):
+            got = index.window_query(w)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(data.brute_force_window(w))
+
+    def test_sliver_replication_is_linear(self):
+        data = RectDataset.from_rects([Rect(0.0, 0.5, 1.0, 0.5)])
+        rep = replicate(data, GridPartitioner(8, 8))
+        assert rep.total == 8  # one entry per crossed column
+
+
+class TestMisuse:
+    def test_negative_partitions(self, uniform_data):
+        with pytest.raises(InvalidGridError):
+            TwoLayerGrid.build(uniform_data, partitions_per_dim=-3)
+
+    def test_tiles_based_with_foreign_windows_is_safe(self, uniform_data):
+        index = TwoLayerGrid.build(uniform_data, partitions_per_dim=8)
+        # Windows far outside the domain produce empty results, not errors.
+        results = evaluate_tiles_based(index, [Rect(5, 5, 6, 6)])
+        assert results[0].shape[0] == 0
+
+    def test_stats_object_reusable_across_indexes(self, uniform_data):
+        from repro.stats import QueryStats
+
+        stats = QueryStats()
+        w = Rect(0.4, 0.4, 0.6, 0.6)
+        TwoLayerGrid.build(uniform_data, partitions_per_dim=8).window_query(w, stats)
+        first = stats.rects_scanned
+        OneLayerGrid.build(uniform_data, partitions_per_dim=8).window_query(w, stats)
+        assert stats.rects_scanned > first  # accumulates, does not reset
+
+
+class TestInsertHeavyWorkloads:
+    @pytest.mark.parametrize("cls", ALL_GRIDS)
+    def test_build_entirely_by_inserts(self, cls):
+        data = generate_uniform_rects(800, area=1e-3, seed=171)
+        bulk = cls.build(data, partitions_per_dim=8)
+        incremental = cls.build(data.slice(0, 0), partitions_per_dim=8)
+        for i in range(len(data)):
+            incremental.insert(data.rect(i), i)
+        w = Rect(0.2, 0.2, 0.7, 0.7)
+        assert ids_set(incremental.window_query(w)) == ids_set(
+            bulk.window_query(w)
+        )
+        assert incremental.replica_count == bulk.replica_count
+
+    def test_interleaved_insert_delete_query(self):
+        data = generate_uniform_rects(500, area=1e-3, seed=172)
+        index = TwoLayerGrid.build(data, partitions_per_dim=8)
+        alive = set(range(len(data)))
+        rng = np.random.default_rng(173)
+        for step in range(200):
+            if step % 3 == 0 and alive:
+                victim = int(rng.choice(sorted(alive)))
+                assert index.delete(data.rect(victim), victim)
+                alive.discard(victim)
+            else:
+                w = Rect(0.3, 0.3, 0.6, 0.6)
+                got = ids_set(index.window_query(w))
+                expected = ids_set(data.brute_force_window(w)) & alive
+                assert got == expected

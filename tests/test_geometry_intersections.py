@@ -1,0 +1,127 @@
+"""Tests for exact geometry-geometry intersection (join refinement)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry import (
+    LineString,
+    Point,
+    Polygon,
+    Rect,
+    Segment,
+    geometry_intersects_geometry as gig,
+)
+
+SQUARE = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+
+class TestPolygonPolygon:
+    def test_crossing(self):
+        other = Polygon([(0.5, 0.5), (2, 0.5), (2, 2), (0.5, 2)])
+        assert gig(SQUARE, other) and gig(other, SQUARE)
+
+    def test_containment_both_directions(self):
+        inner = Polygon([(0.4, 0.4), (0.6, 0.4), (0.5, 0.6)])
+        assert gig(SQUARE, inner) and gig(inner, SQUARE)
+
+    def test_disjoint(self):
+        far = Polygon([(2, 2), (3, 2), (3, 3)])
+        assert not gig(SQUARE, far)
+
+    def test_touching_corner(self):
+        corner = Polygon([(1, 1), (2, 1), (2, 2)])
+        assert gig(SQUARE, corner)
+
+    def test_mbr_overlap_geometry_miss(self):
+        # Two triangles whose MBRs overlap but whose geometries are
+        # separated by a diagonal gap: the case join refinement exists for.
+        lower = Polygon([(0, 0), (0.45, 0), (0, 0.45)])     # below x+y=0.45
+        upper = Polygon([(0.45, 0.45), (0.1, 0.45), (0.45, 0.1)])  # above x+y=0.55
+        assert lower.mbr().intersects(upper.mbr())
+        assert not gig(lower, upper)
+
+    def test_triangles_touching_along_shared_hypotenuse(self):
+        lower = Polygon([(0, 0), (0.45, 0), (0, 0.45)])
+        touching = Polygon([(0.45, 0), (0, 0.45), (0.45, 0.45)])
+        assert gig(lower, touching)  # closed semantics: shared edge counts
+
+
+class TestLineStringCombos:
+    def test_crossing_linestrings(self):
+        assert gig(LineString([(0, 0), (1, 1)]), LineString([(0, 1), (1, 0)]))
+
+    def test_parallel_disjoint(self):
+        assert not gig(
+            LineString([(0, 0), (1, 0)]), LineString([(0, 0.1), (1, 0.1)])
+        )
+
+    def test_linestring_inside_polygon(self):
+        inside = LineString([(0.2, 0.2), (0.3, 0.3)])
+        assert gig(inside, SQUARE) and gig(SQUARE, inside)
+
+    def test_linestring_crossing_polygon_edge(self):
+        crossing = LineString([(-0.5, 0.5), (0.5, 0.5)])
+        assert gig(crossing, SQUARE)
+
+    def test_linestring_outside_polygon(self):
+        outside = LineString([(2, 2), (3, 3)])
+        assert not gig(outside, SQUARE)
+
+    def test_segment_vs_linestring(self):
+        assert gig(Segment(0, 1, 1, 0), LineString([(0, 0), (1, 1)]))
+        assert not gig(Segment(5, 5, 6, 6), LineString([(0, 0), (1, 1)]))
+
+
+class TestPointCombos:
+    def test_point_in_polygon(self):
+        assert gig(Point(0.5, 0.5), SQUARE)
+        assert not gig(Point(1.5, 0.5), SQUARE)
+
+    def test_point_on_linestring(self):
+        assert gig(Point(0.5, 0.5), LineString([(0, 0), (1, 1)]))
+        assert not gig(Point(0.5, 0.6), LineString([(0, 0), (1, 1)]))
+
+    def test_point_point(self):
+        assert gig(Point(0.3, 0.3), Point(0.3, 0.3))
+        assert not gig(Point(0.3, 0.3), Point(0.3, 0.30001))
+
+    def test_point_in_rect(self):
+        assert gig(Point(0.5, 0.5), Rect(0, 0, 1, 1))
+
+
+class TestRectCombos:
+    def test_rect_rect(self):
+        assert gig(Rect(0, 0, 1, 1), Rect(0.5, 0.5, 2, 2))
+        assert not gig(Rect(0, 0, 1, 1), Rect(2, 2, 3, 3))
+
+    def test_rect_polygon(self):
+        assert gig(Rect(0.4, 0.4, 0.6, 0.6), SQUARE)
+        assert gig(SQUARE, Rect(-1, -1, 2, 2))  # rect contains polygon
+
+    def test_rect_linestring(self):
+        assert gig(Rect(0, 0, 1, 1), LineString([(-1, 0.5), (2, 0.5)]))
+        assert not gig(Rect(0, 0, 1, 1), LineString([(2, 2), (3, 3)]))
+
+
+class TestSymmetryProperty:
+    geom = st.sampled_from(
+        [
+            Point(0.5, 0.5),
+            Segment(0.2, 0.2, 0.8, 0.8),
+            LineString([(0.1, 0.9), (0.5, 0.5), (0.9, 0.9)]),
+            Polygon([(0.3, 0.3), (0.7, 0.3), (0.5, 0.7)]),
+            Rect(0.25, 0.25, 0.75, 0.75),
+            Polygon([(0.8, 0.1), (0.95, 0.1), (0.9, 0.25)]),
+            Point(0.05, 0.05),
+        ]
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(a=geom, b=geom)
+    def test_symmetric(self, a, b):
+        assert gig(a, b) == gig(b, a)
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=geom)
+    def test_reflexive(self, a):
+        assert gig(a, a)

@@ -1,0 +1,199 @@
+"""Unit tests for :mod:`repro.geometry.mbr`."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidRectError
+from repro.geometry import (
+    Rect,
+    max_dist_point_rect,
+    min_dist_point_rect,
+    reference_point,
+)
+
+
+class TestRectConstruction:
+    def test_basic_fields(self):
+        r = Rect(0.1, 0.2, 0.3, 0.5)
+        assert (r.xl, r.yl, r.xu, r.yu) == (0.1, 0.2, 0.3, 0.5)
+
+    def test_degenerate_point_allowed(self):
+        r = Rect(0.5, 0.5, 0.5, 0.5)
+        assert r.area == 0.0
+        assert r.width == 0.0
+
+    def test_degenerate_line_allowed(self):
+        r = Rect(0.1, 0.5, 0.9, 0.5)
+        assert r.height == 0.0
+        assert r.width == pytest.approx(0.8)
+
+    def test_inverted_x_rejected(self):
+        with pytest.raises(InvalidRectError):
+            Rect(0.5, 0.0, 0.4, 1.0)
+
+    def test_inverted_y_rejected(self):
+        with pytest.raises(InvalidRectError):
+            Rect(0.0, 0.5, 1.0, 0.4)
+
+    def test_nan_rejected(self):
+        with pytest.raises(InvalidRectError):
+            Rect(float("nan"), 0.0, 1.0, 1.0)
+
+    def test_inf_rejected(self):
+        with pytest.raises(InvalidRectError):
+            Rect(0.0, 0.0, float("inf"), 1.0)
+
+    def test_from_points(self):
+        r = Rect.from_points([(0.3, 0.9), (0.1, 0.2), (0.5, 0.4)])
+        assert r == Rect(0.1, 0.2, 0.5, 0.9)
+
+    def test_from_points_empty_rejected(self):
+        with pytest.raises(InvalidRectError):
+            Rect.from_points([])
+
+    def test_frozen(self):
+        r = Rect(0, 0, 1, 1)
+        with pytest.raises(AttributeError):
+            r.xl = 5.0  # type: ignore[misc]
+
+
+class TestRectMeasures:
+    def test_area(self):
+        assert Rect(0, 0, 2, 3).area == 6
+
+    def test_margin_is_half_perimeter(self):
+        assert Rect(0, 0, 2, 3).margin == 5
+
+    def test_center(self):
+        assert Rect(0, 0, 2, 4).center() == (1.0, 2.0)
+
+    def test_corners_count_and_membership(self):
+        corners = list(Rect(0, 0, 1, 2).corners())
+        assert len(corners) == 4
+        assert (0.0, 0.0) in corners and (1.0, 2.0) in corners
+
+
+class TestRectPredicates:
+    def test_intersects_overlapping(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(0.5, 0.5, 2, 2))
+
+    def test_intersects_touching_edge(self):
+        # Closed-interval semantics: a shared edge counts.
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 0, 2, 1))
+
+    def test_intersects_touching_corner(self):
+        assert Rect(0, 0, 1, 1).intersects(Rect(1, 1, 2, 2))
+
+    def test_disjoint_x(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(1.01, 0, 2, 1))
+
+    def test_disjoint_y(self):
+        assert not Rect(0, 0, 1, 1).intersects(Rect(0, 1.01, 1, 2))
+
+    def test_contains_inner(self):
+        assert Rect(0, 0, 1, 1).contains(Rect(0.2, 0.2, 0.8, 0.8))
+
+    def test_contains_itself(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains(r)
+
+    def test_not_contains_overlapping(self):
+        assert not Rect(0, 0, 1, 1).contains(Rect(0.5, 0.5, 1.5, 0.8))
+
+    def test_contains_point_inside_and_boundary(self):
+        r = Rect(0, 0, 1, 1)
+        assert r.contains_point(0.5, 0.5)
+        assert r.contains_point(0.0, 1.0)
+        assert not r.contains_point(1.0001, 0.5)
+
+    def test_covers_in_dim(self):
+        w = Rect(0, 0, 1, 1)
+        r = Rect(0.2, -0.5, 0.8, 1.5)
+        assert w.covers_in_dim(r, "x")
+        assert not w.covers_in_dim(r, "y")
+
+    def test_covers_in_dim_bad_dim(self):
+        with pytest.raises(ValueError):
+            Rect(0, 0, 1, 1).covers_in_dim(Rect(0, 0, 1, 1), "z")
+
+
+class TestRectOps:
+    def test_intersection(self):
+        got = Rect(0, 0, 1, 1).intersection(Rect(0.5, 0.5, 2, 2))
+        assert got == Rect(0.5, 0.5, 1, 1)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(2, 2, 3, 3)) is None
+
+    def test_intersection_touching_is_degenerate(self):
+        got = Rect(0, 0, 1, 1).intersection(Rect(1, 0, 2, 1))
+        assert got is not None and got.width == 0.0
+
+    def test_union(self):
+        assert Rect(0, 0, 1, 1).union(Rect(2, 2, 3, 3)) == Rect(0, 0, 3, 3)
+
+    def test_enlargement_zero_when_contained(self):
+        assert Rect(0, 0, 2, 2).enlargement(Rect(0.5, 0.5, 1, 1)) == 0.0
+
+    def test_enlargement_positive(self):
+        assert Rect(0, 0, 1, 1).enlargement(Rect(2, 0, 3, 1)) == pytest.approx(2.0)
+
+    def test_overlap_area(self):
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(0.5, 0.5, 2, 2)) == pytest.approx(0.25)
+
+    def test_overlap_area_disjoint(self):
+        assert Rect(0, 0, 1, 1).overlap_area(Rect(3, 3, 4, 4)) == 0.0
+
+    def test_as_tuple_roundtrip(self):
+        r = Rect(0.1, 0.2, 0.3, 0.4)
+        assert Rect(*[r.as_tuple()[i] for i in (0, 1, 2, 3)]) == r
+
+
+class TestReferencePoint:
+    def test_result_inside_intersection(self):
+        r = Rect(0.2, 0.2, 0.8, 0.8)
+        w = Rect(0.5, 0.1, 1.0, 0.6)
+        px, py = reference_point(r, w)
+        assert (px, py) == (0.5, 0.2)
+
+    def test_window_inside_rect(self):
+        r = Rect(0, 0, 1, 1)
+        w = Rect(0.3, 0.4, 0.5, 0.6)
+        assert reference_point(r, w) == (0.3, 0.4)
+
+    def test_disjoint_raises(self):
+        with pytest.raises(InvalidRectError):
+            reference_point(Rect(0, 0, 0.1, 0.1), Rect(0.5, 0.5, 1, 1))
+
+    def test_reference_point_is_point_of_both(self):
+        r = Rect(0.2, 0.3, 0.9, 0.7)
+        w = Rect(0.4, 0.1, 0.6, 0.5)
+        px, py = reference_point(r, w)
+        assert r.contains_point(px, py) and w.contains_point(px, py)
+
+
+class TestPointRectDistances:
+    def test_min_dist_inside_is_zero(self):
+        assert min_dist_point_rect(0.5, 0.5, Rect(0, 0, 1, 1)) == 0.0
+
+    def test_min_dist_left(self):
+        assert min_dist_point_rect(-1.0, 0.5, Rect(0, 0, 1, 1)) == pytest.approx(1.0)
+
+    def test_min_dist_corner(self):
+        assert min_dist_point_rect(2, 2, Rect(0, 0, 1, 1)) == pytest.approx(math.sqrt(2))
+
+    def test_max_dist_from_center(self):
+        assert max_dist_point_rect(0.5, 0.5, Rect(0, 0, 1, 1)) == pytest.approx(
+            math.hypot(0.5, 0.5)
+        )
+
+    def test_max_dist_outside(self):
+        assert max_dist_point_rect(-1, 0, Rect(0, 0, 1, 1)) == pytest.approx(
+            math.hypot(2, 1)
+        )
+
+    def test_min_le_max(self):
+        r = Rect(0.2, 0.3, 0.6, 0.9)
+        for p in [(-1, -1), (0.5, 0.5), (2, 0.1)]:
+            assert min_dist_point_rect(*p, r) <= max_dist_point_rect(*p, r)

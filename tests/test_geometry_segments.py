@@ -1,0 +1,144 @@
+"""Unit tests for :mod:`repro.geometry.segment` and :mod:`repro.geometry.point`."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidGeometryError
+from repro.geometry import (
+    Point,
+    Rect,
+    Segment,
+    point_segment_distance,
+    segment_intersects_rect,
+    segments_intersect,
+)
+from repro.geometry.segment import on_segment, orientation
+
+
+class TestOrientation:
+    def test_counter_clockwise(self):
+        assert orientation(0, 0, 1, 0, 1, 1) == 1
+
+    def test_clockwise(self):
+        assert orientation(0, 0, 1, 0, 1, -1) == -1
+
+    def test_collinear(self):
+        assert orientation(0, 0, 1, 1, 2, 2) == 0
+
+    def test_on_segment_inside(self):
+        assert on_segment(0.5, 0.5, 0, 0, 1, 1)
+
+    def test_on_segment_outside(self):
+        assert not on_segment(2, 2, 0, 0, 1, 1)
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect(0, 0, 1, 1, 0, 1, 1, 0)
+
+    def test_parallel_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 0, 1, 1, 1)
+
+    def test_shared_endpoint(self):
+        assert segments_intersect(0, 0, 1, 1, 1, 1, 2, 0)
+
+    def test_t_junction(self):
+        assert segments_intersect(0, 0, 2, 0, 1, -1, 1, 0)
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect(0, 0, 2, 0, 1, 0, 3, 0)
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect(0, 0, 1, 0, 2, 0, 3, 0)
+
+    def test_near_miss(self):
+        assert not segments_intersect(0, 0, 1, 1, 0, 0.001, -1, 1)
+
+    def test_degenerate_point_on_segment(self):
+        assert segments_intersect(0.5, 0.5, 0.5, 0.5, 0, 0, 1, 1)
+
+    def test_degenerate_point_off_segment(self):
+        assert not segments_intersect(0.5, 0.6, 0.5, 0.6, 0, 0, 1, 1)
+
+    def test_symmetric(self):
+        args = (0.1, 0.2, 0.9, 0.8, 0.1, 0.8, 0.9, 0.2)
+        assert segments_intersect(*args) == segments_intersect(*args[4:], *args[:4])
+
+
+class TestPointSegmentDistance:
+    def test_projection_inside(self):
+        assert point_segment_distance(0.5, 1.0, 0, 0, 1, 0) == pytest.approx(1.0)
+
+    def test_projection_clamped_to_endpoint(self):
+        assert point_segment_distance(2, 1, 0, 0, 1, 0) == pytest.approx(math.sqrt(2))
+
+    def test_on_segment_is_zero(self):
+        assert point_segment_distance(0.5, 0.5, 0, 0, 1, 1) == pytest.approx(0.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance(1, 1, 0.5, 0.5, 0.5, 0.5) == pytest.approx(
+            math.hypot(0.5, 0.5)
+        )
+
+
+class TestSegmentRect:
+    def test_endpoint_inside(self):
+        assert segment_intersects_rect(0.5, 0.5, 5, 5, Rect(0, 0, 1, 1))
+
+    def test_passes_through(self):
+        assert segment_intersects_rect(-1, 0.5, 2, 0.5, Rect(0, 0, 1, 1))
+
+    def test_diagonal_through_corner_region(self):
+        assert segment_intersects_rect(-0.5, 0.5, 0.5, 1.5, Rect(0, 0, 1, 1))
+
+    def test_misses(self):
+        assert not segment_intersects_rect(-1, -1, -0.5, 2, Rect(0, 0, 1, 1))
+
+    def test_misses_diagonal(self):
+        assert not segment_intersects_rect(1.5, 0, 3, 1.5, Rect(0, 0, 1, 1))
+
+    def test_touches_edge(self):
+        assert segment_intersects_rect(1, -1, 1, 2, Rect(0, 0, 1, 1))
+
+    def test_axis_parallel_outside(self):
+        assert not segment_intersects_rect(0, 1.1, 1, 1.1, Rect(0, 0, 1, 1))
+
+
+class TestSegmentClass:
+    def test_length(self):
+        assert Segment(0, 0, 3, 4).length == pytest.approx(5.0)
+
+    def test_mbr(self):
+        assert Segment(1, 0, 0, 2).mbr() == Rect(0, 0, 1, 2)
+
+    def test_intersects(self):
+        assert Segment(0, 0, 1, 1).intersects(Segment(0, 1, 1, 0))
+
+    def test_rejects_nan(self):
+        with pytest.raises(InvalidGeometryError):
+            Segment(float("nan"), 0, 1, 1)
+
+    def test_distance_to_point(self):
+        assert Segment(0, 0, 1, 0).distance_to_point(0.5, 2) == pytest.approx(2.0)
+
+
+class TestPoint:
+    def test_mbr_degenerate(self):
+        p = Point(0.3, 0.7)
+        assert p.mbr() == Rect(0.3, 0.7, 0.3, 0.7)
+
+    def test_distance(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_intersects_rect(self):
+        assert Point(0.5, 0.5).intersects_rect(Rect(0, 0, 1, 1))
+        assert not Point(1.5, 0.5).intersects_rect(Rect(0, 0, 1, 1))
+
+    def test_intersects_disk_boundary(self):
+        assert Point(1, 0).intersects_disk(0, 0, 1.0)
+        assert not Point(1.001, 0).intersects_disk(0, 0, 1.0)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(InvalidGeometryError):
+            Point(float("inf"), 0)

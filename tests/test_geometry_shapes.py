@@ -1,0 +1,211 @@
+"""Unit tests for linestrings, polygons and the refinement predicates."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidGeometryError
+from repro.geometry import (
+    LineString,
+    Point,
+    Polygon,
+    Rect,
+    Segment,
+    geometry_intersects_disk,
+    geometry_intersects_window,
+    geometry_mbr,
+    mbr_side_inside_disk,
+    mbr_side_inside_window,
+)
+
+UNIT_SQUARE_POLY = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+
+class TestLineString:
+    def test_needs_two_vertices(self):
+        with pytest.raises(InvalidGeometryError):
+            LineString([(0, 0)])
+
+    def test_rejects_nan_vertex(self):
+        with pytest.raises(InvalidGeometryError):
+            LineString([(0, 0), (float("nan"), 1)])
+
+    def test_mbr(self):
+        ls = LineString([(0.1, 0.9), (0.5, 0.2), (0.3, 0.4)])
+        assert ls.mbr() == Rect(0.1, 0.2, 0.5, 0.9)
+
+    def test_length(self):
+        assert LineString([(0, 0), (3, 4), (3, 5)]).length == pytest.approx(6.0)
+
+    def test_vertices_roundtrip(self):
+        pts = [(0.0, 0.0), (0.5, 0.7), (1.0, 0.1)]
+        assert LineString(pts).vertices == pts
+
+    def test_equality_and_hash(self):
+        a = LineString([(0, 0), (1, 1)])
+        b = LineString([(0, 0), (1, 1)])
+        assert a == b and hash(a) == hash(b)
+
+    def test_intersects_rect_crossing(self):
+        ls = LineString([(-1, 0.5), (2, 0.5)])
+        assert ls.intersects_rect(Rect(0, 0, 1, 1))
+
+    def test_intersects_rect_mbr_hit_geometry_miss(self):
+        # The polyline's MBR overlaps the window, the polyline does not:
+        # exactly the case the refinement step exists for.
+        ls = LineString([(0, 0), (1, 0), (1, 1)])
+        window = Rect(0.1, 0.4, 0.5, 0.9)
+        assert ls.mbr().intersects(window)
+        assert not ls.intersects_rect(window)
+
+    def test_distance_to_point(self):
+        ls = LineString([(0, 0), (1, 0), (1, 1)])
+        assert ls.distance_to_point(0.5, 0.5) == pytest.approx(0.5)
+
+    def test_intersects_disk(self):
+        ls = LineString([(0, 0), (1, 0)])
+        assert ls.intersects_disk(0.5, 0.3, 0.3)
+        assert not ls.intersects_disk(0.5, 0.3, 0.29)
+
+
+class TestPolygon:
+    def test_needs_three_vertices(self):
+        with pytest.raises(InvalidGeometryError):
+            Polygon([(0, 0), (1, 1)])
+
+    def test_closed_ring_stripped(self):
+        p = Polygon([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(p) == 3
+
+    def test_area_unit_square(self):
+        assert UNIT_SQUARE_POLY.area == pytest.approx(1.0)
+
+    def test_area_triangle(self):
+        assert Polygon([(0, 0), (1, 0), (0, 1)]).area == pytest.approx(0.5)
+
+    def test_mbr(self):
+        assert UNIT_SQUARE_POLY.mbr() == Rect(0, 0, 1, 1)
+
+    def test_contains_point_inside(self):
+        assert UNIT_SQUARE_POLY.contains_point(0.5, 0.5)
+
+    def test_contains_point_outside(self):
+        assert not UNIT_SQUARE_POLY.contains_point(1.5, 0.5)
+
+    def test_contains_point_on_boundary(self):
+        assert UNIT_SQUARE_POLY.contains_point(0.0, 0.5)
+
+    def test_contains_point_concave(self):
+        # A "C" shaped polygon: the notch is outside.
+        c_shape = Polygon(
+            [(0, 0), (3, 0), (3, 1), (1, 1), (1, 2), (3, 2), (3, 3), (0, 3)]
+        )
+        assert c_shape.contains_point(0.5, 1.5)
+        assert not c_shape.contains_point(2.0, 1.5)
+
+    def test_intersects_rect_edge_crossing(self):
+        assert UNIT_SQUARE_POLY.intersects_rect(Rect(0.5, 0.5, 2, 2))
+
+    def test_intersects_rect_rect_inside_polygon(self):
+        assert UNIT_SQUARE_POLY.intersects_rect(Rect(0.4, 0.4, 0.6, 0.6))
+
+    def test_intersects_rect_polygon_inside_rect(self):
+        assert UNIT_SQUARE_POLY.intersects_rect(Rect(-1, -1, 2, 2))
+
+    def test_intersects_rect_miss_in_concavity(self):
+        c_shape = Polygon(
+            [(0, 0), (3, 0), (3, 1), (1, 1), (1, 2), (3, 2), (3, 3), (0, 3)]
+        )
+        window = Rect(1.8, 1.2, 2.8, 1.8)  # inside the notch
+        assert c_shape.mbr().intersects(window)
+        assert not c_shape.intersects_rect(window)
+
+    def test_distance_to_point_inside_zero(self):
+        assert UNIT_SQUARE_POLY.distance_to_point(0.5, 0.5) == 0.0
+
+    def test_distance_to_point_outside(self):
+        assert UNIT_SQUARE_POLY.distance_to_point(2, 0.5) == pytest.approx(1.0)
+
+    def test_intersects_polygon(self):
+        other = Polygon([(0.5, 0.5), (1.5, 0.5), (1.5, 1.5), (0.5, 1.5)])
+        assert UNIT_SQUARE_POLY.intersects_polygon(other)
+
+    def test_intersects_polygon_nested(self):
+        inner = Polygon([(0.4, 0.4), (0.6, 0.4), (0.5, 0.6)])
+        assert UNIT_SQUARE_POLY.intersects_polygon(inner)
+        assert inner.intersects_polygon(UNIT_SQUARE_POLY)
+
+    def test_intersects_polygon_disjoint(self):
+        other = Polygon([(2, 2), (3, 2), (3, 3)])
+        assert not UNIT_SQUARE_POLY.intersects_polygon(other)
+
+
+class TestGenericPredicates:
+    def test_geometry_mbr_dispatch(self):
+        assert geometry_mbr(Rect(0, 0, 1, 1)) == Rect(0, 0, 1, 1)
+        assert geometry_mbr(Point(0.5, 0.5)) == Rect(0.5, 0.5, 0.5, 0.5)
+        assert geometry_mbr(Segment(0, 1, 1, 0)) == Rect(0, 0, 1, 1)
+
+    def test_window_dispatch_each_type(self):
+        w = Rect(0, 0, 1, 1)
+        assert geometry_intersects_window(Point(0.5, 0.5), w)
+        assert geometry_intersects_window(Segment(-1, 0.5, 2, 0.5), w)
+        assert geometry_intersects_window(LineString([(-1, 0.5), (2, 0.5)]), w)
+        assert geometry_intersects_window(UNIT_SQUARE_POLY, w)
+        assert geometry_intersects_window(Rect(0.5, 0.5, 2, 2), w)
+
+    def test_window_dispatch_rejects_unknown(self):
+        with pytest.raises(TypeError):
+            geometry_intersects_window("not a geometry", Rect(0, 0, 1, 1))  # type: ignore
+
+    def test_disk_dispatch_each_type(self):
+        assert geometry_intersects_disk(Point(1, 0), 0, 0, 1.0)
+        assert geometry_intersects_disk(Segment(0.5, -5, 0.5, 5), 0, 0, 1.0)
+        assert geometry_intersects_disk(LineString([(0.5, -5), (0.5, 5)]), 0, 0, 1.0)
+        assert geometry_intersects_disk(UNIT_SQUARE_POLY, -0.5, 0.5, 0.6)
+        assert not geometry_intersects_disk(Rect(2, 2, 3, 3), 0, 0, 1.0)
+
+
+class TestLemma5Window:
+    def test_x_projection_covered(self):
+        r = Rect(0.3, -1, 0.6, 2)
+        assert mbr_side_inside_window(r, Rect(0, 0, 1, 1))
+
+    def test_y_projection_covered(self):
+        r = Rect(-1, 0.3, 2, 0.6)
+        assert mbr_side_inside_window(r, Rect(0, 0, 1, 1))
+
+    def test_neither_covered(self):
+        r = Rect(-0.5, -0.5, 1.5, 1.5)
+        assert not mbr_side_inside_window(r, Rect(0, 0, 1, 1))
+
+    def test_fully_inside(self):
+        assert mbr_side_inside_window(Rect(0.2, 0.2, 0.4, 0.4), Rect(0, 0, 1, 1))
+
+    def test_certificate_is_sound_for_exact_geometries(self):
+        # If the Lemma 5 test passes, the exact geometry must intersect.
+        w = Rect(0.0, 0.0, 1.0, 1.0)
+        ls = LineString([(0.2, -0.5), (0.4, 1.5)])
+        if mbr_side_inside_window(ls.mbr(), w):
+            assert ls.intersects_rect(w)
+
+
+class TestLemma5Disk:
+    def test_two_adjacent_corners_inside(self):
+        r = Rect(-0.1, -0.1, 0.1, 0.1)
+        assert mbr_side_inside_disk(r, 0.0, 0.0, 0.2)
+
+    def test_one_corner_inside_is_not_enough(self):
+        r = Rect(0.9, 0.9, 3.0, 3.0)
+        assert not mbr_side_inside_disk(r, 0.0, 0.0, math.hypot(0.9, 0.9) + 0.01)
+
+    def test_no_corner_inside(self):
+        assert not mbr_side_inside_disk(Rect(2, 2, 3, 3), 0, 0, 1.0)
+
+    def test_certificate_soundness(self):
+        # Passing the test implies the MBR's owner intersects the disk:
+        # check with the MBR itself as the geometry.
+        r = Rect(0.5, -0.2, 1.5, 0.2)
+        cx, cy, radius = 0.0, 0.0, 0.7
+        if mbr_side_inside_disk(r, cx, cy, radius):
+            assert geometry_intersects_disk(r, cx, cy, radius)

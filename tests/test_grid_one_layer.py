@@ -1,0 +1,211 @@
+"""Tests for the 1-layer baseline grid and its deduplication techniques."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_disk_queries, generate_window_queries
+from repro.errors import InvalidGridError
+from repro.geometry import Rect
+from repro.grid import ActiveBorder, OneLayerGrid
+from repro.stats import QueryStats
+
+from conftest import ids_set
+
+
+@pytest.fixture(scope="module", params=["refpoint", "hash", "active_border"])
+def dedup_mode(request):
+    return request.param
+
+
+class TestBuildAndIntrospection:
+    def test_replica_count_matches_replication(self, uniform_data):
+        index = OneLayerGrid.build(uniform_data, partitions_per_dim=16)
+        assert index.replica_count >= len(uniform_data)
+        assert len(index) == len(uniform_data)
+
+    def test_rejects_unknown_dedup(self, uniform_data):
+        with pytest.raises(InvalidGridError):
+            OneLayerGrid.build(uniform_data, dedup="bloom")
+
+    def test_repr_mentions_grid(self, uniform_data):
+        index = OneLayerGrid.build(uniform_data, partitions_per_dim=8)
+        assert "8x8" in repr(index)
+
+    def test_nonempty_tiles_bounded(self, uniform_data):
+        index = OneLayerGrid.build(uniform_data, partitions_per_dim=8)
+        assert 0 < index.nonempty_tiles <= 64
+
+    def test_nbytes_positive(self, uniform_data):
+        assert OneLayerGrid.build(uniform_data, partitions_per_dim=8).nbytes > 0
+
+    def test_tile_table_access(self, tiny_data):
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        table = index.tile_table(0, 0)
+        assert table is not None and len(table) > 0
+
+    def test_tile_table_out_of_range(self, tiny_data):
+        from repro.errors import IndexStateError
+
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        with pytest.raises(IndexStateError):
+            index.tile_table(4, 0)
+
+
+class TestWindowQueries:
+    def test_matches_brute_force_all_dedups(self, uniform_data, dedup_mode):
+        index = OneLayerGrid.build(uniform_data, partitions_per_dim=16, dedup=dedup_mode)
+        for w in generate_window_queries(uniform_data, 30, 1.0, seed=1):
+            got = index.window_query(w)
+            assert len(got) == len(ids_set(got)), "duplicates leaked"
+            assert ids_set(got) == ids_set(uniform_data.brute_force_window(w))
+
+    def test_matches_brute_force_zipf(self, zipf_data, dedup_mode):
+        index = OneLayerGrid.build(zipf_data, partitions_per_dim=16, dedup=dedup_mode)
+        for w in generate_window_queries(zipf_data, 30, 0.5, seed=2):
+            got = index.window_query(w)
+            assert ids_set(got) == ids_set(zipf_data.brute_force_window(w))
+
+    def test_window_on_tile_boundary(self, tiny_data, dedup_mode):
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4, dedup=dedup_mode)
+        w = Rect(0.25, 0.25, 0.5, 0.5)  # aligned with tile borders
+        got = index.window_query(w)
+        assert len(got) == len(ids_set(got))
+        assert ids_set(got) == ids_set(tiny_data.brute_force_window(w))
+
+    def test_degenerate_window(self, tiny_data):
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        got = index.window_query(Rect(0.5, 0.5, 0.5, 0.5))
+        assert ids_set(got) == ids_set(
+            tiny_data.brute_force_window(Rect(0.5, 0.5, 0.5, 0.5))
+        )
+
+    def test_window_beyond_domain(self, tiny_data):
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        w = Rect(-1.0, -1.0, 2.0, 2.0)
+        assert ids_set(index.window_query(w)) == set(range(len(tiny_data)))
+
+    def test_empty_result(self, tiny_data):
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        # A thin sliver that avoids every rectangle except the full-cover one.
+        got = index.window_query(Rect(0.6, 0.05, 0.65, 0.06))
+        assert ids_set(got) == {4}
+
+    def test_empty_index(self):
+        from repro.datasets import RectDataset
+
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        index = OneLayerGrid.build(empty, partitions_per_dim=4)
+        assert index.window_query(Rect(0, 0, 1, 1)).shape[0] == 0
+
+
+class TestDuplicateAccounting:
+    def test_duplicates_are_generated_then_eliminated(self, uniform_data):
+        # The baseline *does* generate duplicates (unlike the 2-layer index).
+        index = OneLayerGrid.build(uniform_data, partitions_per_dim=16)
+        stats = QueryStats()
+        for w in generate_window_queries(uniform_data, 20, 1.0, seed=3):
+            index.window_query(w, stats)
+        assert stats.duplicates_generated > 0
+        assert stats.dedup_checks > 0
+
+    def test_hash_mode_counts_duplicates(self, uniform_data):
+        index = OneLayerGrid.build(uniform_data, partitions_per_dim=16, dedup="hash")
+        stats = QueryStats()
+        for w in generate_window_queries(uniform_data, 20, 1.0, seed=3):
+            index.window_query(w, stats)
+        assert stats.duplicates_generated > 0
+
+    def test_covered_tiles_need_no_comparisons(self, uniform_data):
+        # Interior (covered) tiles contribute zero comparisons (IV-B), so
+        # a large window averages well under the naive 4 per rectangle —
+        # only the query's boundary tiles compare at all.
+        index = OneLayerGrid.build(uniform_data, partitions_per_dim=16)
+        stats = QueryStats()
+        index.window_query(Rect(0.05, 0.05, 0.95, 0.95), stats)
+        assert 0 < stats.comparisons < stats.rects_scanned
+
+    def test_active_border_stays_small(self, uniform_data):
+        border = ActiveBorder()
+        index = OneLayerGrid.build(
+            uniform_data, partitions_per_dim=16, dedup="active_border"
+        )
+        # Smoke: big query exercises row eviction without growing unbounded.
+        index.window_query(Rect(0.1, 0.1, 0.9, 0.9))
+        assert border.max_size == 0  # fresh instance unused, sanity only
+
+
+class TestActiveBorderUnit:
+    def test_duplicate_suppressed(self):
+        border = ActiveBorder()
+        border.start_row(0)
+        assert border.report(7, last_row=1, extends_later=True)
+        assert not border.report(7, last_row=1, extends_later=True)
+
+    def test_same_row_extension_tracked(self):
+        border = ActiveBorder()
+        border.start_row(0)
+        assert border.report(1, last_row=0, extends_later=True)
+        assert not border.report(1, last_row=0, extends_later=True)
+
+    def test_eviction_after_row_advance(self):
+        border = ActiveBorder()
+        border.start_row(0)
+        border.report(1, last_row=0, extends_later=True)
+        border.report(2, last_row=5, extends_later=True)
+        border.start_row(1)
+        assert len(border) == 1  # id 1 evicted, id 2 retained
+
+    def test_non_extending_never_stored(self):
+        border = ActiveBorder()
+        border.start_row(0)
+        assert border.report(3, last_row=0, extends_later=False)
+        assert len(border) == 0
+
+
+class TestDiskQueries:
+    def test_matches_brute_force(self, uniform_data):
+        index = OneLayerGrid.build(uniform_data, partitions_per_dim=16)
+        for q in generate_disk_queries(uniform_data, 30, 1.0, seed=4):
+            got = index.disk_query(q)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(
+                uniform_data.brute_force_disk(q.cx, q.cy, q.radius)
+            )
+
+    def test_small_disk(self, tiny_data):
+        from repro.datasets import DiskQuery
+
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        q = DiskQuery(0.5, 0.5, 0.01)
+        assert ids_set(index.disk_query(q)) == ids_set(
+            tiny_data.brute_force_disk(0.5, 0.5, 0.01)
+        )
+
+    def test_disk_covering_everything(self, tiny_data):
+        from repro.datasets import DiskQuery
+
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        q = DiskQuery(0.5, 0.5, 2.0)
+        assert ids_set(index.disk_query(q)) == set(range(len(tiny_data)))
+
+
+class TestInserts:
+    def test_insert_then_query(self, tiny_data):
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        new_id = index.insert(Rect(0.6, 0.6, 0.65, 0.65))
+        assert new_id == len(tiny_data)
+        got = index.window_query(Rect(0.59, 0.59, 0.66, 0.66))
+        assert new_id in ids_set(got)
+
+    def test_insert_spanning_rect_no_duplicates(self, tiny_data):
+        index = OneLayerGrid.build(tiny_data, partitions_per_dim=4)
+        new_id = index.insert(Rect(0.2, 0.2, 0.8, 0.8))
+        got = index.window_query(Rect(0.0, 0.0, 1.0, 1.0))
+        assert sorted(got.tolist()).count(new_id) == 1
+
+    def test_insert_into_empty_grid(self):
+        from repro.grid import GridPartitioner
+
+        index = OneLayerGrid(GridPartitioner(4, 4))
+        index.insert(Rect(0.1, 0.1, 0.2, 0.2))
+        assert ids_set(index.window_query(Rect(0, 0, 1, 1))) == {0}

@@ -1,0 +1,181 @@
+"""Tests for the kd-tree SOP family (plain and two-layer)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    RectDataset,
+    generate_uniform_rects,
+    generate_window_queries,
+    generate_zipf_rects,
+)
+from repro.errors import InvalidGridError
+from repro.geometry import Rect
+from repro.kdtree import KDTree, TwoLayerKDTree
+from repro.stats import QueryStats
+
+from conftest import ids_set
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_uniform_rects(4000, area=1e-4, seed=141)
+
+
+@pytest.fixture(scope="module")
+def trees(data):
+    return {
+        "kd": KDTree.build(data, leaf_capacity=100, max_depth=12),
+        "two_layer_kd": TwoLayerKDTree.build(data, leaf_capacity=100, max_depth=12),
+    }
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(InvalidGridError):
+            KDTree(leaf_capacity=0)
+        with pytest.raises(InvalidGridError):
+            TwoLayerKDTree(max_depth=-1)
+
+    def test_splitting_happened(self, trees):
+        assert trees["kd"].leaf_count > 1
+        assert trees["two_layer_kd"].leaf_count > 1
+
+    def test_median_splits_adapt_to_skew(self):
+        # Zipf data: leaf regions near the hot corner must be smaller.
+        data = generate_zipf_rects(4000, area=0, seed=142)
+        tree = KDTree.build(data, leaf_capacity=64)
+        sizes = []
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                sizes.append((node.xu - node.xl) * (node.yu - node.yl))
+            else:
+                stack.extend([node.low, node.high])
+        assert max(sizes) > 16 * min(sizes)  # strongly non-uniform regions
+
+    def test_replication_counts(self, trees, data):
+        assert trees["kd"].replica_count >= len(data)
+        assert trees["two_layer_kd"].replica_count >= len(data)
+
+    def test_degenerate_identical_rects_stop_splitting(self):
+        rects = [Rect(0.5, 0.5, 0.50001, 0.50001)] * 100
+        tree = KDTree.build(RectDataset.from_rects(rects), leaf_capacity=5)
+        got = tree.window_query(Rect(0, 0, 1, 1))
+        assert ids_set(got) == set(range(100))
+
+
+class TestWindowQueries:
+    @pytest.mark.parametrize("name", ["kd", "two_layer_kd"])
+    def test_matches_brute_force(self, data, trees, name):
+        tree = trees[name]
+        for w in generate_window_queries(data, 30, 1.0, seed=143):
+            got = tree.window_query(w)
+            assert len(got) == len(ids_set(got)), f"{name}: duplicates"
+            assert ids_set(got) == ids_set(data.brute_force_window(w))
+
+    @pytest.mark.parametrize("name", ["kd", "two_layer_kd"])
+    def test_window_on_split_lines(self, data, trees, name):
+        # Windows whose edges sit exactly on split coordinates: take the
+        # split values from the built tree itself.
+        tree = trees[name]
+        splits_x, splits_y = [], []
+        stack = [tree._root]
+        while stack:
+            node = stack.pop()
+            if not node.is_leaf:
+                (splits_x if node.axis == 0 else splits_y).append(node.split)
+                stack.extend([node.low, node.high])
+        sx = splits_x[0] if splits_x else 0.5
+        sy = splits_y[0] if splits_y else 0.5
+        w = Rect(sx, sy, min(sx + 0.2, 1.0), min(sy + 0.2, 1.0))
+        got = tree.window_query(w)
+        assert len(got) == len(ids_set(got)), f"{name}: split-line duplicates"
+        assert ids_set(got) == ids_set(data.brute_force_window(w))
+
+    def test_zipf_correctness(self):
+        data = generate_zipf_rects(3000, area=1e-4, seed=144)
+        kd = KDTree.build(data, leaf_capacity=64)
+        tkd = TwoLayerKDTree.build(data, leaf_capacity=64)
+        for w in generate_window_queries(data, 25, 0.5, seed=144):
+            truth = ids_set(data.brute_force_window(w))
+            assert ids_set(kd.window_query(w)) == truth
+            got = tkd.window_query(w)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == truth
+
+    def test_empty_tree(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        assert KDTree.build(empty).window_query(Rect(0, 0, 1, 1)).shape[0] == 0
+        assert TwoLayerKDTree.build(empty).window_query(Rect(0, 0, 1, 1)).shape[0] == 0
+
+
+class TestDuplicateAccounting:
+    def test_two_layer_never_checks_duplicates(self, data, trees):
+        stats = QueryStats()
+        for w in generate_window_queries(data, 20, 1.0, seed=145):
+            trees["two_layer_kd"].window_query(w, stats)
+        assert stats.dedup_checks == 0 and stats.duplicates_generated == 0
+
+    def test_plain_kd_generates_duplicates(self, trees):
+        big = generate_uniform_rects(3000, area=1e-3, seed=146)
+        tree = KDTree.build(big, leaf_capacity=64)
+        stats = QueryStats()
+        for w in generate_window_queries(big, 20, 1.0, seed=146):
+            tree.window_query(w, stats)
+        assert stats.duplicates_generated > 0
+
+    def test_two_layer_scans_fewer(self, trees, data):
+        s1, s2 = QueryStats(), QueryStats()
+        for w in generate_window_queries(data, 20, 1.0, seed=147):
+            trees["kd"].window_query(w, s1)
+            trees["two_layer_kd"].window_query(w, s2)
+        assert s2.rects_scanned <= s1.rects_scanned
+        assert s2.comparisons < s1.comparisons
+
+
+class TestDiskQueries:
+    def test_two_layer_kd_disk_matches_brute_force(self, data):
+        from repro.datasets import generate_disk_queries
+
+        tree = TwoLayerKDTree.build(data, leaf_capacity=100, max_depth=12)
+        for q in generate_disk_queries(data, 30, 1.0, seed=149):
+            got = tree.disk_query(q)
+            assert len(got) == len(ids_set(got)), "kd disk duplicates"
+            assert ids_set(got) == ids_set(
+                data.brute_force_disk(q.cx, q.cy, q.radius)
+            )
+
+    def test_disk_covering_everything(self, data):
+        from repro.datasets import DiskQuery
+
+        tree = TwoLayerKDTree.build(data, leaf_capacity=100)
+        got = tree.disk_query(DiskQuery(0.5, 0.5, 2.0))
+        assert ids_set(got) == set(range(len(data)))
+
+    def test_zero_radius(self, data):
+        from repro.datasets import DiskQuery
+
+        tree = TwoLayerKDTree.build(data, leaf_capacity=100)
+        got = tree.disk_query(DiskQuery(0.5, 0.5, 0.0))
+        assert ids_set(got) == ids_set(data.brute_force_disk(0.5, 0.5, 0.0))
+
+
+class TestInserts:
+    @pytest.mark.parametrize("cls", [KDTree, TwoLayerKDTree])
+    def test_insert_and_split(self, cls):
+        tree = cls(leaf_capacity=4, max_depth=10)
+        rng = np.random.default_rng(148)
+        rects = []
+        for i in range(60):
+            x, y = rng.random(2) * 0.9
+            r = Rect(x, y, x + 0.02, y + 0.02)
+            rects.append(r)
+            tree.insert(r, i)
+        assert tree.leaf_count > 1
+        got = tree.window_query(Rect(0, 0, 1, 1))
+        assert ids_set(got) == set(range(60))
+        w = Rect(0.2, 0.2, 0.6, 0.6)
+        truth = {i for i, r in enumerate(rects) if r.intersects(w)}
+        assert ids_set(tree.window_query(w)) == truth

@@ -1,0 +1,165 @@
+"""Tests for index maintenance: deletions, persistence, R-tree kNN."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_uniform_rects, generate_window_queries
+from repro.errors import DatasetError, InvalidQueryError
+from repro.geometry import Rect
+from repro.grid import OneLayerGrid
+from repro.core import TwoLayerGrid, TwoLayerPlusGrid, load_index, save_index
+from repro.rtree import RStarTree, RTree
+
+from conftest import ids_set
+
+GRID_CLASSES = (OneLayerGrid, TwoLayerGrid, TwoLayerPlusGrid)
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_uniform_rects(2000, area=1e-3, seed=131)
+
+
+class TestDeletion:
+    @pytest.mark.parametrize("cls", GRID_CLASSES)
+    def test_delete_removes_from_all_results(self, data, cls):
+        index = cls.build(data, partitions_per_dim=8)
+        victims = {3, 700, 1999}
+        for v in victims:
+            assert index.delete(data.rect(v), v)
+        for w in generate_window_queries(data, 15, 1.0, seed=132):
+            got = ids_set(index.window_query(w))
+            truth = ids_set(data.brute_force_window(w)) - victims
+            assert got == truth
+
+    @pytest.mark.parametrize("cls", GRID_CLASSES)
+    def test_delete_missing_returns_false(self, data, cls):
+        index = cls.build(data, partitions_per_dim=8)
+        assert index.delete(data.rect(5), 5)
+        assert not index.delete(data.rect(5), 5)
+
+    @pytest.mark.parametrize("cls", GRID_CLASSES)
+    def test_delete_then_reinsert(self, data, cls):
+        index = cls.build(data, partitions_per_dim=8)
+        rect = data.rect(42)
+        index.delete(rect, 42)
+        index.insert(rect, 42)
+        w = Rect(rect.xl - 0.01, rect.yl - 0.01, rect.xu + 0.01, rect.yu + 0.01)
+        assert 42 in ids_set(index.window_query(w))
+
+    def test_delete_spanning_object_clears_all_classes(self, data):
+        index = TwoLayerGrid.build(data, partitions_per_dim=8)
+        big_id = index.insert(Rect(0.1, 0.1, 0.9, 0.9))
+        assert index.delete(Rect(0.1, 0.1, 0.9, 0.9), big_id)
+        got = index.window_query(Rect(0, 0, 1, 1))
+        assert big_id not in ids_set(got)
+
+    def test_replica_count_shrinks(self, data):
+        index = TwoLayerGrid.build(data, partitions_per_dim=8)
+        before = index.replica_count
+        index.delete(data.rect(0), 0)
+        assert index.replica_count < before
+
+
+class TestPersistence:
+    @pytest.mark.parametrize("cls", GRID_CLASSES)
+    def test_roundtrip_equivalence(self, data, cls, tmp_path):
+        index = cls.build(data, partitions_per_dim=16)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert type(loaded) is cls
+        assert len(loaded) == len(index)
+        assert loaded.replica_count == index.replica_count
+        for w in generate_window_queries(data, 10, 1.0, seed=133):
+            assert ids_set(loaded.window_query(w)) == ids_set(index.window_query(w))
+
+    def test_loaded_index_supports_updates(self, data, tmp_path):
+        index = TwoLayerGrid.build(data, partitions_per_dim=16)
+        path = tmp_path / "index.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        new_id = loaded.insert(Rect(0.5, 0.5, 0.51, 0.51))
+        assert new_id == len(data)
+        assert loaded.delete(data.rect(0), 0)
+
+    def test_loaded_plus_disk_query(self, data, tmp_path):
+        index = TwoLayerPlusGrid.build(data, partitions_per_dim=16)
+        path = tmp_path / "plus.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        from repro.datasets import DiskQuery
+
+        q = DiskQuery(0.5, 0.5, 0.2)
+        assert ids_set(loaded.disk_query(q)) == ids_set(
+            data.brute_force_disk(0.5, 0.5, 0.2)
+        )
+
+    def test_rejects_foreign_archive(self, tmp_path):
+        path = tmp_path / "foreign.npz"
+        np.savez(path, foo=np.arange(3))
+        with pytest.raises(DatasetError):
+            load_index(path)
+
+    def test_rejects_unsupported_index(self, data, tmp_path):
+        tree = RTree.build(data)
+        with pytest.raises(DatasetError):
+            save_index(tree, tmp_path / "tree.npz")
+
+    def test_empty_index_roundtrip(self, tmp_path):
+        from repro.datasets import RectDataset
+
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        index = TwoLayerGrid.build(empty, partitions_per_dim=4)
+        path = tmp_path / "empty.npz"
+        save_index(index, path)
+        loaded = load_index(path)
+        assert loaded.window_query(Rect(0, 0, 1, 1)).shape[0] == 0
+
+
+class TestRTreeKnn:
+    def _truth(self, data, cx, cy, k):
+        dx = np.maximum(np.maximum(data.xl - cx, 0.0), cx - data.xu)
+        dy = np.maximum(np.maximum(data.yl - cy, 0.0), cy - data.yu)
+        d = np.hypot(dx, dy)
+        return np.lexsort((np.arange(len(data)), d))[:k]
+
+    @pytest.mark.parametrize("cls", [RTree, RStarTree])
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_brute_force(self, data, cls, k):
+        tree = cls.build(data)
+        rng = np.random.default_rng(134)
+        for _ in range(10):
+            cx, cy = rng.random(2)
+            got = tree.knn_query(cx, cy, k)
+            assert got.tolist() == self._truth(data, cx, cy, k).tolist()
+
+    def test_k_larger_than_n(self, data):
+        tree = RTree.build(data.slice(0, 10))
+        got = tree.knn_query(0.5, 0.5, 50)
+        assert got.shape[0] == 10
+
+    def test_rejects_bad_k(self, data):
+        tree = RTree.build(data)
+        with pytest.raises(InvalidQueryError):
+            tree.knn_query(0.5, 0.5, 0)
+
+    def test_visits_fraction_of_tree(self, data):
+        from repro.stats import QueryStats
+
+        tree = RTree.build(data)
+        stats = QueryStats()
+        tree.knn_query(0.5, 0.5, 5, stats)
+        assert stats.partitions_visited < tree.node_count / 2
+
+    def test_agrees_with_grid_knn(self, data):
+        from repro.core import knn_query
+
+        tree = RTree.build(data)
+        grid = TwoLayerGrid.build(data, partitions_per_dim=16)
+        rng = np.random.default_rng(135)
+        for _ in range(10):
+            cx, cy = rng.random(2)
+            a = tree.knn_query(cx, cy, 8)
+            b = knn_query(grid, data, float(cx), float(cy), 8)
+            assert a.tolist() == b.tolist()

@@ -1,0 +1,144 @@
+"""Tests for the quad-tree family (plain, two-layer, MXCIF)."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    RectDataset,
+    generate_disk_queries,
+    generate_uniform_rects,
+    generate_window_queries,
+)
+from repro.errors import InvalidGridError
+from repro.geometry import Rect
+from repro.quadtree import MXCIFQuadTree, QuadTree, TwoLayerQuadTree
+from repro.stats import QueryStats
+
+from conftest import ids_set
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_uniform_rects(4000, area=1e-4, seed=61)
+
+
+@pytest.fixture(scope="module")
+def trees(data):
+    return {
+        "quad": QuadTree.build(data, capacity=100, max_depth=8),
+        "two_layer_quad": TwoLayerQuadTree.build(data, capacity=100, max_depth=8),
+        "mxcif": MXCIFQuadTree.build(data, max_depth=8),
+    }
+
+
+class TestConstruction:
+    def test_capacity_validation(self):
+        with pytest.raises(InvalidGridError):
+            QuadTree(capacity=0)
+        with pytest.raises(InvalidGridError):
+            TwoLayerQuadTree(capacity=0)
+        with pytest.raises(InvalidGridError):
+            MXCIFQuadTree(max_depth=-1)
+
+    def test_splitting_happened(self, trees, data):
+        assert trees["quad"].leaf_count > 1
+        assert trees["two_layer_quad"].leaf_count > 1
+
+    def test_replication_at_least_n(self, trees, data):
+        assert trees["quad"].replica_count >= len(data)
+        assert trees["two_layer_quad"].replica_count >= len(data)
+
+    def test_mxcif_no_replication(self, trees, data):
+        assert trees["mxcif"].replica_count == len(data)
+
+    def test_max_depth_caps_splitting(self):
+        # All data at the same spot: capacity can never be satisfied, so
+        # max_depth must stop the recursion.
+        rects = [Rect(0.5, 0.5, 0.500001, 0.500001)] * 50
+        tree = QuadTree.build(RectDataset.from_rects(rects), capacity=5, max_depth=3)
+        assert tree.leaf_count <= 4**3
+
+    def test_replicas_match_one_layer_semantics(self, data, trees):
+        # Every object appears in every leaf whose region it intersects.
+        tree = trees["quad"]
+        w = Rect(0, 0, 1, 1)
+        assert ids_set(tree.window_query(w)) == set(range(len(data)))
+
+
+class TestWindowQueries:
+    @pytest.mark.parametrize("name", ["quad", "two_layer_quad", "mxcif"])
+    def test_matches_brute_force(self, data, trees, name):
+        tree = trees[name]
+        for w in generate_window_queries(data, 30, 1.0, seed=62):
+            got = tree.window_query(w)
+            assert len(got) == len(ids_set(got)), f"{name}: duplicates"
+            assert ids_set(got) == ids_set(data.brute_force_window(w))
+
+    @pytest.mark.parametrize("name", ["quad", "two_layer_quad", "mxcif"])
+    def test_boundary_aligned_windows(self, data, trees, name):
+        tree = trees[name]
+        for w in [
+            Rect(0.5, 0.25, 0.75, 0.5),    # aligned to quadrant splits
+            Rect(0.0, 0.0, 0.5, 0.5),
+            Rect(0.5, 0.5, 1.0, 1.0),
+            Rect(0.25, 0.25, 0.25, 0.25),  # degenerate on a split corner
+        ]:
+            got = tree.window_query(w)
+            assert len(got) == len(ids_set(got)), f"{name}: boundary duplicates"
+            assert ids_set(got) == ids_set(data.brute_force_window(w))
+
+    def test_two_layer_quad_never_checks_duplicates(self, data, trees):
+        stats = QueryStats()
+        for w in generate_window_queries(data, 20, 1.0, seed=63):
+            trees["two_layer_quad"].window_query(w, stats)
+        assert stats.dedup_checks == 0 and stats.duplicates_generated == 0
+
+    def test_plain_quad_generates_duplicates(self, data, trees):
+        stats = QueryStats()
+        for w in generate_window_queries(data, 20, 1.0, seed=63):
+            trees["quad"].window_query(w, stats)
+        assert stats.duplicates_generated > 0
+
+    def test_two_layer_scans_fewer_rects(self, data, trees):
+        s_plain, s_two = QueryStats(), QueryStats()
+        for w in generate_window_queries(data, 20, 1.0, seed=64):
+            trees["quad"].window_query(w, s_plain)
+            trees["two_layer_quad"].window_query(w, s_two)
+        assert s_two.rects_scanned < s_plain.rects_scanned
+
+
+class TestDiskQueries:
+    def test_quad_disk_matches_brute_force(self, data, trees):
+        for q in generate_disk_queries(data, 20, 1.0, seed=65):
+            got = trees["quad"].disk_query(q)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(data.brute_force_disk(q.cx, q.cy, q.radius))
+
+
+class TestInserts:
+    def test_quad_insert_and_split(self):
+        tree = QuadTree(capacity=4, max_depth=6)
+        for i in range(20):
+            tree.insert(Rect(0.1 + i * 0.04, 0.1, 0.11 + i * 0.04, 0.11), i)
+        assert len(tree) == 20
+        assert tree.leaf_count > 1
+        got = tree.window_query(Rect(0, 0, 1, 1))
+        assert ids_set(got) == set(range(20))
+
+    def test_two_layer_quad_insert(self):
+        tree = TwoLayerQuadTree(capacity=4, max_depth=6)
+        for i in range(20):
+            tree.insert(Rect(0.1 + i * 0.04, 0.1, 0.11 + i * 0.04, 0.11), i)
+        got = tree.window_query(Rect(0, 0, 1, 1))
+        assert len(got) == len(ids_set(got))
+        assert ids_set(got) == set(range(20))
+
+    def test_mxcif_insert_at_covering_node(self):
+        tree = MXCIFQuadTree(max_depth=6)
+        # An object crossing the root split line stays at the root.
+        tree.insert(Rect(0.4, 0.4, 0.6, 0.6), 0)
+        # A small object nestles deep.
+        tree.insert(Rect(0.1, 0.1, 0.11, 0.11), 1)
+        assert len(tree._root.table) == 1
+        got = tree.window_query(Rect(0, 0, 1, 1))
+        assert ids_set(got) == {0, 1}

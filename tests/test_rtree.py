@@ -1,0 +1,207 @@
+"""Tests for the R-tree package: splits, STR packing, trees, queries."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    RectDataset,
+    generate_disk_queries,
+    generate_uniform_rects,
+    generate_window_queries,
+    generate_zipf_rects,
+)
+from repro.errors import InvalidGridError
+from repro.geometry import Rect
+from repro.rtree import RStarTree, RTree, quadratic_split, rstar_split, str_pack
+from repro.rtree.node import Node, area, margin, overlap, union_bounds
+
+from conftest import ids_set
+
+
+class TestNodeHelpers:
+    def test_union_bounds(self):
+        assert union_bounds((0, 0, 1, 1), (2, -1, 3, 0.5)) == (0, -1, 3, 1)
+
+    def test_area_margin(self):
+        assert area((0, 0, 2, 3)) == 6
+        assert margin((0, 0, 2, 3)) == 5
+
+    def test_overlap(self):
+        assert overlap((0, 0, 1, 1), (0.5, 0.5, 2, 2)) == pytest.approx(0.25)
+        assert overlap((0, 0, 1, 1), (2, 2, 3, 3)) == 0.0
+
+    def test_node_matrix_and_mbr(self):
+        node = Node(leaf=True, level=0)
+        node.add((0.1, 0.2, 0.3, 0.4), 0)
+        node.add((0.0, 0.5, 0.2, 0.9), 1)
+        assert node.matrix().shape == (2, 4)
+        assert node.mbr() == (0.0, 0.2, 0.3, 0.9)
+        assert node.id_array().tolist() == [0, 1]
+
+    def test_node_cache_invalidation(self):
+        node = Node(leaf=True, level=0)
+        node.add((0, 0, 1, 1), 0)
+        _ = node.matrix()
+        node.add((2, 2, 3, 3), 1)
+        assert node.matrix().shape == (2, 4)
+        assert node.id_array().tolist() == [0, 1]
+
+
+class TestSplitAlgorithms:
+    def _entries(self, seed, n=20):
+        rng = np.random.default_rng(seed)
+        xy = rng.random((n, 2))
+        return [
+            (float(x), float(y), float(x) + 0.05, float(y) + 0.05) for x, y in xy
+        ]
+
+    @pytest.mark.parametrize("split", [quadratic_split, rstar_split])
+    def test_partition_is_complete_and_disjoint(self, split):
+        bounds = self._entries(1)
+        a, b = split(bounds, list(range(len(bounds))), min_fill=6)
+        assert sorted(a + b) == list(range(len(bounds)))
+
+    @pytest.mark.parametrize("split", [quadratic_split, rstar_split])
+    def test_min_fill_respected(self, split):
+        bounds = self._entries(2, n=17)
+        a, b = split(bounds, list(range(17)), min_fill=6)
+        assert len(a) >= 6 and len(b) >= 6
+
+    def test_rstar_split_separates_clusters(self):
+        # Two spatially distinct clusters must end up in different groups.
+        left = [(0.0 + i * 0.01, 0.0, 0.01 + i * 0.01, 0.01) for i in range(9)]
+        right = [(0.9 + i * 0.01, 0.9, 0.91 + i * 0.01, 0.91) for i in range(8)]
+        bounds = left + right
+        a, b = rstar_split(bounds, list(range(17)), min_fill=6)
+        groups = [set(a), set(b)]
+        left_ids = set(range(9))
+        assert left_ids in groups or (set(range(9, 17)) in groups)
+
+
+class TestSTRPacking:
+    def test_root_covers_everything(self):
+        data = generate_uniform_rects(1000, area=1e-5, seed=71)
+        root = str_pack(data, fanout=16)
+        mbr = root.mbr()
+        assert mbr[0] <= data.xl.min() and mbr[2] >= data.xu.max()
+
+    def test_fanout_respected(self):
+        data = generate_uniform_rects(1000, area=1e-5, seed=71)
+        root = str_pack(data, fanout=16)
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            assert len(node) <= 16
+            if not node.leaf:
+                assert len(node) >= 1
+                stack.extend(node.payloads)
+
+    def test_all_ids_present_once(self):
+        data = generate_uniform_rects(500, area=1e-5, seed=72)
+        root = str_pack(data, fanout=8)
+        seen: list[int] = []
+        stack = [root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                seen.extend(int(i) for i in node.payloads)
+            else:
+                stack.extend(node.payloads)
+        assert sorted(seen) == list(range(500))
+
+    def test_empty_dataset(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        root = str_pack(empty, fanout=16)
+        assert root.leaf and len(root) == 0
+
+
+@pytest.fixture(scope="module")
+def data():
+    return generate_uniform_rects(3000, area=1e-4, seed=73)
+
+
+@pytest.fixture(scope="module")
+def rtree(data):
+    return RTree.build(data)
+
+
+@pytest.fixture(scope="module")
+def rstar(data):
+    return RStarTree.build(data)
+
+
+class TestQueries:
+    def test_fanout_validation(self):
+        with pytest.raises(InvalidGridError):
+            RTree(fanout=2)
+
+    @pytest.mark.parametrize("tree_name", ["rtree", "rstar"])
+    def test_window_matches_brute_force(self, data, tree_name, request):
+        tree = request.getfixturevalue(tree_name)
+        for w in generate_window_queries(data, 30, 1.0, seed=74):
+            got = tree.window_query(w)
+            assert len(got) == len(ids_set(got))
+            assert ids_set(got) == ids_set(data.brute_force_window(w))
+
+    @pytest.mark.parametrize("tree_name", ["rtree", "rstar"])
+    def test_disk_matches_brute_force(self, data, tree_name, request):
+        tree = request.getfixturevalue(tree_name)
+        for q in generate_disk_queries(data, 20, 1.0, seed=75):
+            got = tree.disk_query(q)
+            assert ids_set(got) == ids_set(data.brute_force_disk(q.cx, q.cy, q.radius))
+
+    def test_empty_tree(self):
+        empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
+        tree = RTree.build(empty)
+        assert tree.window_query(Rect(0, 0, 1, 1)).shape[0] == 0
+
+    def test_height_is_logarithmic(self, rtree, data):
+        import math
+
+        expected = max(1, math.ceil(math.log(len(data), 16)))
+        assert rtree.height <= expected + 1
+
+
+class TestDynamicInserts:
+    def test_insert_preserves_correctness(self):
+        data = generate_zipf_rects(1500, area=1e-4, seed=76)
+        tree = RTree.build(data.slice(0, 1000))
+        for i in range(1000, 1500):
+            tree.insert(data.rect(i), i)
+        for w in generate_window_queries(data, 20, 1.0, seed=77):
+            assert ids_set(tree.window_query(w)) == ids_set(
+                data.brute_force_window(w)
+            )
+
+    def test_insert_only_build_rstar(self):
+        data = generate_uniform_rects(800, area=1e-4, seed=78)
+        tree = RStarTree.build(data)
+        assert len(tree) == 800
+        for w in generate_window_queries(data, 15, 1.0, seed=79):
+            assert ids_set(tree.window_query(w)) == ids_set(
+                data.brute_force_window(w)
+            )
+
+    def test_root_split_grows_height(self):
+        tree = RTree(fanout=4)
+        for i in range(30):
+            tree.insert(Rect(i * 0.03, 0.0, i * 0.03 + 0.01, 0.01), i)
+        assert tree.height >= 2
+        assert ids_set(tree.window_query(Rect(0, 0, 1, 1))) == set(range(30))
+
+    def test_rstar_forced_reinsert_triggers(self):
+        # Small fanout + clustered inserts exercise the reinsert path.
+        tree = RStarTree(fanout=6)
+        rng = np.random.default_rng(80)
+        rects = []
+        for i in range(200):
+            x, y = rng.random(2) * 0.1
+            r = Rect(x, y, x + 0.01, y + 0.01)
+            rects.append(r)
+            tree.insert(r, i)
+        got = tree.window_query(Rect(0, 0, 1, 1))
+        assert ids_set(got) == set(range(200))
+
+    def test_node_counts_reported(self, rtree, rstar):
+        assert rtree.node_count > 1
+        assert rstar.node_count > 1

@@ -1,0 +1,77 @@
+"""Tests for QueryStats and the public package surface."""
+
+import pytest
+
+import repro
+from repro.stats import QueryStats
+
+
+class TestQueryStats:
+    def test_defaults_zero(self):
+        stats = QueryStats()
+        assert all(v == 0 for v in stats.as_dict().values())
+
+    def test_reset(self):
+        stats = QueryStats(comparisons=5, rects_scanned=10)
+        stats.reset()
+        assert stats.comparisons == 0 and stats.rects_scanned == 0
+
+    def test_merge(self):
+        a = QueryStats(comparisons=5, dedup_checks=1)
+        b = QueryStats(comparisons=2, refinement_tests=4)
+        a.merge(b)
+        assert a.comparisons == 7
+        assert a.dedup_checks == 1
+        assert a.refinement_tests == 4
+
+    def test_str_shows_nonzero_only(self):
+        stats = QueryStats(comparisons=3)
+        assert "comparisons=3" in str(stats)
+        assert "dedup_checks" not in str(stats)
+
+    def test_as_dict_keys_stable(self):
+        keys = set(QueryStats().as_dict())
+        assert {
+            "partitions_visited",
+            "rects_scanned",
+            "comparisons",
+            "duplicates_generated",
+            "dedup_checks",
+            "refinement_tests",
+            "refinements_avoided",
+            "secondary_filter_comparisons",
+        } == keys
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_index_classes_exported(self):
+        assert repro.TwoLayerGrid is not None
+        assert repro.TwoLayerPlusGrid is not None
+        assert repro.OneLayerGrid is not None
+        assert repro.QuadTree is not None
+        assert repro.RTree is not None
+        assert repro.RStarTree is not None
+        assert repro.BlockIndex is not None
+        assert repro.MXCIFQuadTree is not None
+
+    def test_error_hierarchy(self):
+        assert issubclass(repro.InvalidRectError, repro.ReproError)
+        assert issubclass(repro.InvalidRectError, ValueError)
+        assert issubclass(repro.IndexStateError, RuntimeError)
+
+    def test_quickstart_snippet_runs(self):
+        # The README / module docstring example must work verbatim.
+        from repro import Rect, TwoLayerGrid
+        from repro.datasets import generate_uniform_rects
+
+        data = generate_uniform_rects(10_000, area=1e-6, seed=7)
+        index = TwoLayerGrid.build(data, partitions_per_dim=64)
+        results = index.window_query(Rect(0.2, 0.2, 0.3, 0.3))
+        assert results.shape[0] == len(data.brute_force_window(Rect(0.2, 0.2, 0.3, 0.3)))

@@ -1,0 +1,216 @@
+"""Tests for WKT interop, CSV/WKT dataset IO and exact-geometry kNN."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    RectDataset,
+    generate_tiger_standin,
+    generate_uniform_rects,
+    load_csv,
+    load_wkt,
+    save_csv,
+    save_wkt,
+)
+from repro.errors import DatasetError, InvalidGeometryError, InvalidQueryError
+from repro.geometry import (
+    LineString,
+    Point,
+    Polygon,
+    Rect,
+    Segment,
+    geometry_distance_to_point,
+    geometry_from_wkt,
+    geometry_to_wkt,
+)
+from repro.core import RefinementEngine, TwoLayerGrid
+
+
+class TestWktParsing:
+    def test_point_roundtrip(self):
+        p = Point(0.25, 0.75)
+        assert geometry_from_wkt(geometry_to_wkt(p)) == p
+
+    def test_linestring_roundtrip(self):
+        ls = LineString([(0.1, 0.2), (0.3, 0.4), (0.5, 0.1)])
+        assert geometry_from_wkt(geometry_to_wkt(ls)) == ls
+
+    def test_polygon_roundtrip(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert geometry_from_wkt(geometry_to_wkt(poly)) == poly
+
+    def test_rect_serialises_as_polygon(self):
+        wkt = geometry_to_wkt(Rect(0, 0, 1, 2))
+        parsed = geometry_from_wkt(wkt)
+        assert isinstance(parsed, Polygon)
+        assert parsed.mbr() == Rect(0, 0, 1, 2)
+
+    def test_segment_serialises_as_linestring(self):
+        wkt = geometry_to_wkt(Segment(0, 0, 1, 1))
+        assert isinstance(geometry_from_wkt(wkt), LineString)
+
+    def test_case_insensitive_and_whitespace(self):
+        assert geometry_from_wkt("  point( 0.5   0.25 ) ") == Point(0.5, 0.25)
+        ls = geometry_from_wkt("LineString(0 0 , 1 1,2 0)")
+        assert len(ls) == 3
+
+    def test_scientific_notation(self):
+        p = geometry_from_wkt("POINT (1e-3 2.5E-4)")
+        assert p == Point(1e-3, 2.5e-4)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(InvalidGeometryError):
+            geometry_from_wkt("CIRCLE (0 0, 1)")
+
+    def test_rejects_malformed_coords(self):
+        with pytest.raises(InvalidGeometryError):
+            geometry_from_wkt("LINESTRING (0 0 0, 1 1)")
+
+    def test_rejects_polygon_with_hole(self):
+        with pytest.raises(InvalidGeometryError):
+            geometry_from_wkt(
+                "POLYGON ((0 0, 4 0, 4 4, 0 4), (1 1, 2 1, 2 2, 1 2))"
+            )
+
+    def test_precision_survives_roundtrip(self):
+        p = Point(0.1234567890123456, 1e-15)
+        got = geometry_from_wkt(geometry_to_wkt(p))
+        assert got.x == p.x and got.y == p.y
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path):
+        data = generate_uniform_rects(50, area=1e-4, seed=161)
+        path = tmp_path / "rects.csv"
+        save_csv(data, path)
+        loaded = load_csv(path)
+        assert len(loaded) == 50
+        assert np.allclose(loaded.xl, data.xl)
+        assert np.allclose(loaded.yu, data.yu)
+
+    def test_headerless_csv(self, tmp_path):
+        path = tmp_path / "plain.csv"
+        path.write_text("0.1,0.2,0.3,0.4\n0.5,0.5,0.6,0.7\n")
+        loaded = load_csv(path)
+        assert len(loaded) == 2
+        assert loaded.rect(0) == Rect(0.1, 0.2, 0.3, 0.4)
+
+    def test_rejects_short_rows(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("0.1,0.2,0.3\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+    def test_rejects_non_numeric(self, tmp_path):
+        path = tmp_path / "bad2.csv"
+        path.write_text("a,b,c,d\n0.1,0.2,0.3,oops\n")
+        with pytest.raises(DatasetError):
+            load_csv(path)
+
+
+class TestWktIO:
+    def test_roundtrip_with_geometries(self, tmp_path):
+        data = generate_tiger_standin(
+            "TIGER", scale=2e-6, with_geometries=True, seed=162
+        )
+        path = tmp_path / "geoms.wkt"
+        save_wkt(data, path)
+        loaded = load_wkt(path)
+        assert len(loaded) == len(data)
+        assert loaded.geometries is not None
+        for i in range(len(data)):
+            assert np.isclose(loaded.xl[i], data.xl[i])
+            assert type(loaded.geometries[i]) is type(data.geometries[i])
+
+    def test_mbr_only_dataset_writes_polygons(self, tmp_path):
+        data = RectDataset.from_rects([Rect(0.1, 0.1, 0.2, 0.3)])
+        path = tmp_path / "mbrs.wkt"
+        save_wkt(data, path)
+        loaded = load_wkt(path)
+        assert loaded.rect(0) == Rect(0.1, 0.1, 0.2, 0.3)
+
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.wkt"
+        path.write_text("\n\n")
+        with pytest.raises(DatasetError):
+            load_wkt(path)
+
+    def test_bad_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.wkt"
+        path.write_text("POINT (0.1 0.2)\nnot wkt\n")
+        with pytest.raises(DatasetError, match=":2"):
+            load_wkt(path)
+
+
+class TestGeometryDistance:
+    def test_rect_distance(self):
+        assert geometry_distance_to_point(Rect(0, 0, 1, 1), 2.0, 1.0) == 1.0
+
+    def test_point_inside_polygon_is_zero(self):
+        poly = Polygon([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert geometry_distance_to_point(poly, 0.5, 0.5) == 0.0
+
+    def test_linestring_distance(self):
+        ls = LineString([(0, 0), (1, 0)])
+        assert geometry_distance_to_point(ls, 0.5, 0.3) == pytest.approx(0.3)
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            geometry_distance_to_point("wat", 0, 0)  # type: ignore[arg-type]
+
+
+class TestExactKnn:
+    @pytest.fixture(scope="class")
+    def engine(self):
+        data = generate_tiger_standin(
+            "ROADS", scale=1.5e-4, with_geometries=True, seed=163
+        )
+        return RefinementEngine(TwoLayerGrid.build(data, partitions_per_dim=32), data)
+
+    def _truth(self, data, cx, cy, k):
+        d = np.asarray(
+            [geometry_distance_to_point(g, cx, cy) for g in data.geometries]
+        )
+        return np.lexsort((np.arange(len(data)), d))[:k]
+
+    @pytest.mark.parametrize("k", [1, 4, 15])
+    def test_matches_exact_brute_force(self, engine, k):
+        rng = np.random.default_rng(164)
+        for _ in range(8):
+            cx, cy = rng.random(2)
+            got = engine.knn(float(cx), float(cy), k)
+            assert got.tolist() == self._truth(engine.data, cx, cy, k).tolist()
+
+    def test_exact_reranks_deceptive_mbr(self):
+        # A long diagonal's MBR contains the query point (MBR distance 0)
+        # while its geometry is far; a small nearby segment must win the
+        # exact ranking — the reason the refinement step exists.
+        from repro.datasets import RectDataset
+        from repro.core import knn_query
+
+        diagonal = LineString([(0.0, 0.0), (1.0, 1.0)])
+        nearby = LineString([(0.8, 0.15), (0.85, 0.2)])
+        data = RectDataset.from_geometries([diagonal, nearby])
+        index = TwoLayerGrid.build(data, partitions_per_dim=4)
+        engine = RefinementEngine(index, data)
+        cx, cy = 1.0, 0.0
+        assert knn_query(index, data, cx, cy, 1).tolist() == [0]  # MBR lies
+        assert engine.knn(cx, cy, 1).tolist() == [1]              # exact truth
+
+    def test_k_covers_everything(self, engine):
+        got = engine.knn(0.5, 0.5, len(engine.data) + 5)
+        assert got.shape[0] == len(engine.data)
+
+    def test_rejects_bad_k(self, engine):
+        with pytest.raises(InvalidQueryError):
+            engine.knn(0.5, 0.5, 0)
+
+    def test_facade_exact_knn(self):
+        from repro.api import SpatialCollection
+
+        data = generate_tiger_standin(
+            "ROADS", scale=5e-5, with_geometries=True, seed=166
+        )
+        col = SpatialCollection.from_dataset(data)
+        exact = col.knn(0.5, 0.5, 3, exact=True)
+        assert exact.tolist() == self._truth(data, 0.5, 0.5, 3).tolist()
