@@ -1,7 +1,11 @@
-"""Shared method registry and cached index builders for the benchmarks."""
+"""Shared method registry, cached index builders and result emission."""
 
 from __future__ import annotations
 
+import json
+import math
+import os
+import time
 from functools import lru_cache
 
 from repro.bench import BEST_GRANULARITY, synthetic_dataset, tiger_dataset
@@ -12,7 +16,14 @@ from repro.core import TwoLayerGrid, TwoLayerPlusGrid
 from repro.quadtree import MXCIFQuadTree, QuadTree, TwoLayerQuadTree
 from repro.rtree import RStarTree, RTree
 
-__all__ = ["build_index", "get_index", "resolve_dataset", "KEY_METHODS", "ALL_METHODS"]
+__all__ = [
+    "build_index",
+    "get_index",
+    "resolve_dataset",
+    "emit_bench_record",
+    "KEY_METHODS",
+    "ALL_METHODS",
+]
 
 #: the five methods carried through Figs. 8-9 after the Table V cut.
 KEY_METHODS = ("R-tree", "quad-tree", "1-layer", "2-layer", "2-layer+")
@@ -66,3 +77,59 @@ def resolve_dataset(dataset_key: str) -> RectDataset:
 def get_index(method: str, dataset_key: str, granularity: int = BEST_GRANULARITY):
     """Cached index: built once per process, shared across benchmarks."""
     return build_index(method, resolve_dataset(dataset_key), granularity)
+
+
+# -- machine-readable result emission -----------------------------------------
+
+
+def _json_key(key) -> str:
+    """Stringify a series key; tuple keys join with "/" (e.g. method/dataset)."""
+    if isinstance(key, tuple):
+        return "/".join(str(part) for part in key)
+    return str(key)
+
+
+def _jsonable(value):
+    """Recursively coerce benchmark values into strict-JSON types.
+
+    Non-finite floats become ``null`` (strict JSON has no NaN/inf) and
+    numpy scalars collapse to Python numbers.
+    """
+    if isinstance(value, dict):
+        return {_json_key(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    try:
+        return _jsonable(float(value))
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def emit_bench_record(name: str, params: dict, series: dict) -> str:
+    """Write one benchmark's results to ``benchmarks/results/BENCH_<name>.json``.
+
+    ``params`` records what was run (dataset keys, workload shape,
+    scale); ``series`` holds the per-series numbers keyed however the
+    benchmark accumulated them (tuple keys are flattened to
+    "a/b" strings).  Every record is self-describing — name, ISO
+    timestamp, params — so runs can be diffed across commits.  Returns
+    the path written.
+    """
+    record = {
+        "name": name,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE"),
+        "params": _jsonable(params),
+        "series": _jsonable(series),
+    }
+    out_dir = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+    os.makedirs(out_dir, exist_ok=True)
+    path = os.path.join(out_dir, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record, fh, indent=2, sort_keys=True, allow_nan=False)
+        fh.write("\n")
+    return path

@@ -17,7 +17,7 @@ from repro.bench import print_table, throughput, tiger_dataset, window_workload
 from repro.grid import DEDUP_METHODS, OneLayerGrid
 from repro.core import TwoLayerPlusGrid
 
-from _shared import get_index
+from _shared import emit_bench_record, get_index
 from conftest import report
 
 _RESULTS: dict[str, float] = {}
@@ -112,6 +112,11 @@ def test_ablation_report(benchmark):
             ["variant", "throughput"],
             [[name, qps] for name, qps in sorted(_RESULTS.items())],
         )
+    )
+    emit_bench_record(
+        "ablation",
+        {"dataset": "ROADS", "window_area_pct": 0.1},
+        {"qps": _RESULTS},
     )
     # Avoidance must beat every elimination technique on the same grid.
     for dedup in DEDUP_METHODS:

@@ -23,7 +23,7 @@ from repro.core import (
 )
 from repro.datasets import generate_uniform_rects
 
-from _shared import get_index
+from _shared import emit_bench_record, get_index
 from conftest import report
 
 _RESULTS: dict[str, float] = {}
@@ -138,6 +138,11 @@ def test_ext_report(benchmark):
             ["metric", "value"],
             [[k, v] for k, v in sorted(_RESULTS.items())],
         )
+    )
+    emit_bench_record(
+        "ext_join_knn",
+        {"dataset": "ROADS"},
+        {"metrics": _RESULTS},
     )
     assert _RESULTS["join 2-layer (avoidance)"] < _RESULTS["join 1-layer (refpoint)"], (
         "class-combo join must beat reference-point join"

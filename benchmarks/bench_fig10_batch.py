@@ -16,7 +16,7 @@ import pytest
 from repro.bench import bench_query_count, print_series, window_workload
 from repro.core import evaluate_queries_based, evaluate_tiles_based
 
-from _shared import get_index
+from _shared import emit_bench_record, get_index
 from conftest import report
 
 _EXTENTS = (0.01, 0.05, 0.1, 0.5, 1.0)
@@ -59,6 +59,15 @@ def test_fig10_report(benchmark):
             )
 
     report(render)
+    emit_bench_record(
+        "fig10_batch",
+        {
+            "datasets": ["ROADS", "EDGES"],
+            "extents_pct": list(_EXTENTS),
+            "strategies": ["queries", "tiles"],
+        },
+        {"batch_time_s": _RESULTS},
+    )
     # Shape: tiles-based becomes competitive/better as the extent grows
     # (denser per-tile work), per the paper's observation.  Only checked
     # above noise level — sub-100ms batches are dominated by jitter.

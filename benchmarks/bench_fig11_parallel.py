@@ -20,7 +20,7 @@ import pytest
 from repro.bench import bench_query_count, print_series, window_workload
 from repro.core import ParallelBatchEvaluator, available_workers
 
-from _shared import get_index
+from _shared import emit_bench_record, get_index
 from conftest import report
 
 _WORKER_COUNTS = (1, 2, 4)
@@ -65,6 +65,16 @@ def test_fig11_report(benchmark):
             )
 
     report(render)
+    emit_bench_record(
+        "fig11_parallel",
+        {
+            "datasets": ["ROADS", "EDGES"],
+            "worker_counts": list(_WORKER_COUNTS),
+            "strategies": ["queries", "tiles"],
+            "machine_cores": cores,
+        },
+        {"batch_time_s": _RESULTS},
+    )
     if cores > 1:
         top = max(w for w in _WORKER_COUNTS if w <= cores)
         for dataset in ("ROADS", "EDGES"):

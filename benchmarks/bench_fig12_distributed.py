@@ -24,7 +24,7 @@ from repro.bench import print_series, tiger_dataset, window_workload
 from repro.distributed import SimulatedSpatialCluster
 from repro.core import ParallelBatchEvaluator
 
-from _shared import get_index
+from _shared import emit_bench_record, get_index
 from conftest import report
 
 _THREADS = (1, 2, 4, 6, 8, 12)
@@ -90,6 +90,16 @@ def test_fig12_report(benchmark):
         )
 
     report(render)
+    emit_bench_record(
+        "fig12_distributed",
+        {
+            "dataset": "ROADS",
+            "window_area_pct": 0.1,
+            "threads": list(_THREADS),
+            "engines": ["GeoSpark (simulated)", "2-layer"],
+        },
+        {"qps": _RESULTS},
+    )
     for threads in _THREADS:
         ratio = _RESULTS[("2-layer", threads)] / _RESULTS[
             ("GeoSpark (simulated)", threads)

@@ -18,6 +18,7 @@ from repro.bench import print_table, tiger_dataset
 from repro.datasets import generate_disk_queries, generate_window_queries
 from repro.core import RefinementBreakdown, RefinementEngine, TwoLayerGrid
 
+from _shared import emit_bench_record
 from conftest import report
 
 _WINDOW_MODES = ("simple", "refavoid", "refavoid_plus")
@@ -87,6 +88,16 @@ def test_fig6_report(benchmark):
             ["query", "dataset", "variant", "filtering", "sec.filter", "refinement", "avoided%"],
             rows,
         )
+    )
+    emit_bench_record(
+        "fig6_refinement",
+        {
+            "datasets": ["ROADS", "EDGES"],
+            "window_modes": list(_WINDOW_MODES),
+            "disk_modes": list(_DISK_MODES),
+            "queries": _N_QUERIES,
+        },
+        {"breakdown": {k: vars(b) for k, b in _RESULTS.items()}},
     )
     for dataset in ("ROADS", "EDGES"):
         simple = _RESULTS[("window", dataset, "simple")]

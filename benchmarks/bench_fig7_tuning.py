@@ -20,7 +20,7 @@ import pytest
 
 from repro.bench import print_series, throughput, tiger_dataset, window_workload
 
-from _shared import build_index
+from _shared import build_index, emit_bench_record
 from conftest import report
 
 #: granularity sweep, scaled down from the paper's 1K-20K per dimension
@@ -76,6 +76,15 @@ def test_fig7_report(benchmark):
                 )
 
     report(render)
+    emit_bench_record(
+        "fig7_tuning",
+        {
+            "datasets": ["ROADS", "EDGES"],
+            "granularities": list(GRANULARITIES),
+            "methods": list(_METHODS),
+        },
+        {"by_granularity": _RESULTS},
+    )
     for dataset in ("ROADS", "EDGES"):
         for g in GRANULARITIES:
             one = _RESULTS[("1-layer", dataset, g)]

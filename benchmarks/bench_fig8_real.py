@@ -23,7 +23,7 @@ from repro.bench import (
 )
 from repro.datasets import RELATIVE_AREAS_PERCENT
 
-from _shared import KEY_METHODS, get_index
+from _shared import KEY_METHODS, emit_bench_record, get_index
 from conftest import report
 
 _DATASETS = ("ROADS", "EDGES", "TIGER")
@@ -133,6 +133,16 @@ def test_fig8_report(benchmark):
                 )
 
     report(render)
+    emit_bench_record(
+        "fig8_real",
+        {
+            "datasets": list(_DATASETS),
+            "relative_areas_pct": list(RELATIVE_AREAS_PERCENT),
+            "window_methods": list(KEY_METHODS),
+            "disk_methods": list(_DISK_METHODS),
+        },
+        {"qps": _RESULTS},
+    )
     # Shape: 2-layer dominates 1-layer and R-tree at every area, and
     # throughput decreases with query area.
     for dataset in _DATASETS:

@@ -22,7 +22,7 @@ from repro.bench import (
 )
 from repro.datasets import TABLE4_AREAS
 
-from _shared import KEY_METHODS, get_index
+from _shared import KEY_METHODS, emit_bench_record, get_index
 from conftest import report
 
 _DISTRIBUTIONS = ("uniform", "zipf")
@@ -133,6 +133,16 @@ def test_fig9_report(benchmark):
             )
 
     report(render)
+    emit_bench_record(
+        "fig9_synthetic",
+        {
+            "distributions": list(_DISTRIBUTIONS),
+            "extents_pct": list(_EXTENTS),
+            "rect_areas": list(TABLE4_AREAS),
+            "methods": list(KEY_METHODS),
+        },
+        {"qps": _RESULTS},
+    )
     for distribution in _DISTRIBUTIONS:
         # Ordering holds at every data rectangle area, including 10^-inf.
         for area in TABLE4_AREAS:

@@ -13,7 +13,7 @@ import pytest
 
 from repro.bench import print_table, throughput, window_workload
 
-from _shared import ALL_METHODS, get_index
+from _shared import ALL_METHODS, emit_bench_record, get_index
 from conftest import report
 
 #: slow structural baselines get a reduced workload (they are orders of
@@ -60,6 +60,16 @@ def test_table5_report(benchmark):
             ["method", "ROADS", "EDGES"],
             rows,
         )
+    )
+    emit_bench_record(
+        "table5_throughput",
+        {
+            "datasets": ["ROADS", "EDGES"],
+            "window_area_pct": 0.1,
+            "methods": list(ALL_METHODS),
+            "reduced_workloads": _SLOW,
+        },
+        {"qps": _RESULTS},
     )
     # Shape assertions (the paper's qualitative claims).
     for dataset in ("ROADS", "EDGES"):

@@ -14,7 +14,7 @@ import pytest
 
 from repro.bench import print_table, tiger_dataset
 
-from _shared import build_index
+from _shared import build_index, emit_bench_record
 from conftest import report
 
 _METHODS = ("R-tree", "quad-tree", "1-layer", "2-layer")
@@ -58,6 +58,11 @@ def test_table6_report(benchmark):
             ["dataset"] + list(_METHODS),
             rows,
         )
+    )
+    emit_bench_record(
+        "table6_updates",
+        {"datasets": list(_DATASETS), "methods": list(_METHODS), "tail_pct": 10},
+        {"insert_tail_s": _RESULTS},
     )
     for d in _DATASETS:
         assert _RESULTS[("1-layer", d)] <= _RESULTS[("2-layer", d)] * 1.5, (

@@ -66,6 +66,10 @@ __all__ = [
     "SpatialCollection",
     # datasets
     "RectDataset",
+    # observability
+    "MetricsRegistry",
+    "Profile",
+    "Tracer",
 ]
 
 # Index classes are imported at the bottom so that the geometry and dataset
@@ -81,3 +85,4 @@ from repro.rtree.rtree import RStarTree, RTree  # noqa: E402
 from repro.block.block import BlockIndex  # noqa: E402
 from repro.kdtree.kdtree import KDTree, TwoLayerKDTree  # noqa: E402
 from repro.api import SpatialCollection  # noqa: E402
+from repro.obs import MetricsRegistry, Profile, Tracer  # noqa: E402

@@ -9,6 +9,7 @@ Options::
     python -m repro                 # default demo (50K rectangles)
     python -m repro --n 200000      # bigger dataset
     python -m repro --seed 3        # different data
+    python -m repro --profile       # add a per-phase span-tree breakdown
 """
 
 from __future__ import annotations
@@ -48,6 +49,12 @@ def main(argv: "list[str] | None" = None) -> int:
         "--skip-slow",
         action="store_true",
         help="skip the insertion-built R*-tree and MXCIF (slow to build)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="re-run the workload under tracing and print a span tree "
+        "with per-phase timings plus latency percentiles",
     )
     args = parser.parse_args(argv)
 
@@ -90,7 +97,39 @@ def main(argv: "list[str] | None" = None) -> int:
         print(f"{name:<14} {build_s:>9.2f} {qps:>16,.0f}")
 
     print("\nall indexes agree — installation OK")
+
+    if args.profile:
+        _print_profile(data, queries)
     return 0
+
+
+def _print_profile(data, queries) -> None:
+    """Re-run the workload under the profiler and print the breakdown."""
+    from repro.api import SpatialCollection
+    from repro.obs.export import format_metrics_table
+
+    col = SpatialCollection.from_dataset(data, partitions_per_dim=64)
+    with col.profile() as prof:
+        for w in queries:
+            col.window(w.xl, w.yl, w.xu, w.yu)
+        cx = (data.xl.min() + data.xu.max()) / 2.0
+        cy = (data.yl.min() + data.yu.max()) / 2.0
+        col.knn(cx, cy, k=10)
+
+    print("\n=== profile: two-layer grid, per-phase span tree ===")
+    print(prof.span_tree())
+    summary = prof.latency_summary()
+    print("=== profile: per-kind latency [ms] ===")
+    header = f"{'kind':<10} {'count':>7} {'p50':>9} {'p95':>9} {'p99':>9}"
+    print(header)
+    print("-" * len(header))
+    for kind, row in sorted(summary.items()):
+        print(
+            f"{kind:<10} {int(row['count']):>7} {row['p50']:>9.3f} "
+            f"{row['p95']:>9.3f} {row['p99']:>9.3f}"
+        )
+    print()
+    print(format_metrics_table(prof.registry), end="")
 
 
 if __name__ == "__main__":

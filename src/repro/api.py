@@ -23,7 +23,8 @@ Example::
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -40,6 +41,8 @@ from repro.core.refinement import RefinementEngine
 from repro.core.tuning import suggest_partitions
 from repro.core.two_layer import TwoLayerGrid
 from repro.core.two_layer_plus import TwoLayerPlusGrid
+from repro.obs import tracing as _tracing
+from repro.obs.profiler import Profile
 from repro.stats import QueryStats
 
 __all__ = ["SpatialCollection"]
@@ -71,6 +74,7 @@ class SpatialCollection:
         )
         self._refiner = RefinementEngine(self.index, data)
         self._estimator: "SelectivityEstimator | None" = None
+        self._profile: "Profile | None" = None
 
     @staticmethod
     def _auto_domain(data: RectDataset) -> Rect:
@@ -135,6 +139,47 @@ class SpatialCollection:
             "index_bytes": self.index.nbytes,
         }
 
+    # -- profiling ---------------------------------------------------------------
+
+    @contextmanager
+    def profile(self) -> Iterator[Profile]:
+        """Profile every query issued inside the block.
+
+        Activates a tracer (per-phase spans) and a metrics registry
+        (per-kind latency histograms + merged :class:`QueryStats`) for
+        the duration of the block and yields the live
+        :class:`~repro.obs.profiler.Profile`::
+
+            with col.profile() as prof:
+                col.window(0.2, 0.2, 0.3, 0.3)
+                col.knn(0.5, 0.5, k=10)
+            print(prof.span_tree())
+            report = prof.summary()   # p50/p95/p99 latencies, stats, phases
+
+        Profiles nest: the innermost active profile captures the
+        queries.  Queries outside any block run on the fast path.
+        """
+        prof = Profile()
+        prev = self._profile
+        self._profile = prof
+        try:
+            with _tracing.activate(prof.tracer):
+                yield prof
+        finally:
+            self._profile = prev
+
+    def _run_query(self, kind: str, fn, stats: "QueryStats | None") -> np.ndarray:
+        """Run ``fn(stats)``; under an active profile, also record the
+        query's latency and work counters."""
+        prof = self._profile
+        if prof is None:
+            return fn(stats)
+        with prof.measure(kind) as local:
+            out = fn(local)
+        if stats is not None:
+            stats.merge(local)
+        return out
+
     # -- queries -----------------------------------------------------------------
 
     def window(
@@ -161,14 +206,24 @@ class SpatialCollection:
                 raise InvalidQueryError(
                     "'within' is already exact at the MBR level"
                 )
-            return self.index.window_query_within(window, stats)
+            return self._run_query(
+                "window", lambda s: self.index.window_query_within(window, s), stats
+            )
         if predicate != "intersects":
             raise InvalidQueryError(
                 f"unknown predicate {predicate!r}; expected 'intersects' or 'within'"
             )
         if exact:
-            return self._refiner.window(window, mode="refavoid_plus", stats=stats)
-        return self.index.window_query(window, stats)
+            return self._run_query(
+                "window",
+                lambda s: self._refiner.window(
+                    window, mode="refavoid_plus", stats=s
+                ),
+                stats,
+            )
+        return self._run_query(
+            "window", lambda s: self.index.window_query(window, s), stats
+        )
 
     def disk(
         self,
@@ -181,14 +236,23 @@ class SpatialCollection:
         """Objects within ``radius`` of the centre (exact or MBR-level)."""
         query = DiskQuery(cx, cy, radius)
         if exact:
-            return self._refiner.disk(query, mode="refavoid", stats=stats)
-        return self.index.disk_query(query, stats)
+            return self._run_query(
+                "disk",
+                lambda s: self._refiner.disk(query, mode="refavoid", stats=s),
+                stats,
+            )
+        return self._run_query(
+            "disk", lambda s: self.index.disk_query(query, s), stats
+        )
 
     def polygon(
         self, vertices: Sequence[tuple[float, float]], stats: "QueryStats | None" = None
     ) -> np.ndarray:
         """Objects whose MBR intersects a convex polygon range (§IV-E)."""
-        return convex_range_query(self.index, ConvexPolygonRange(vertices), stats)
+        poly = ConvexPolygonRange(vertices)
+        return self._run_query(
+            "polygon", lambda s: convex_range_query(self.index, poly, s), stats
+        )
 
     def knn(self, cx: float, cy: float, k: int, exact: bool = False) -> np.ndarray:
         """The ``k`` objects nearest to a point.
@@ -198,8 +262,12 @@ class SpatialCollection:
         (filter-and-refine kNN).
         """
         if exact:
-            return self._refiner.knn(cx, cy, k)
-        return knn_query(self.index, self.data, cx, cy, k)
+            return self._run_query(
+                "knn", lambda s: self._refiner.knn(cx, cy, k), None
+            )
+        return self._run_query(
+            "knn", lambda s: knn_query(self.index, self.data, cx, cy, k, s), None
+        )
 
     def join(
         self, other: "SpatialCollection", partitions_per_dim: "int | None" = None
@@ -207,8 +275,13 @@ class SpatialCollection:
         """All intersecting (self, other) id pairs, duplicate-free."""
         if partitions_per_dim is None:
             partitions_per_dim = self.index.grid.nx
-        return two_layer_spatial_join(
-            self.data, other.data, partitions_per_dim=partitions_per_dim
+        ppd = partitions_per_dim
+        return self._run_query(
+            "join",
+            lambda s: two_layer_spatial_join(
+                self.data, other.data, partitions_per_dim=ppd, stats=s
+            ),
+            None,
         )
 
     def count(self, xl: float, yl: float, xu: float, yu: float) -> int:

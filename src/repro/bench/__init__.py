@@ -1,7 +1,13 @@
 """Benchmark harness: measurement, reporting and shared workloads."""
 
 from repro.bench.reporting import fmt, print_series, print_table
-from repro.bench.runner import Timed, throughput, time_call, total_time
+from repro.bench.runner import (
+    Timed,
+    profiled_throughput,
+    throughput,
+    time_call,
+    total_time,
+)
 from repro.bench.workloads import (
     BEST_GRANULARITY,
     bench_query_count,
@@ -14,6 +20,7 @@ from repro.bench.workloads import (
 
 __all__ = [
     "Timed",
+    "profiled_throughput",
     "throughput",
     "time_call",
     "total_time",

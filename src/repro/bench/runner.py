@@ -6,7 +6,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence, TypeVar
 
-__all__ = ["Timed", "time_call", "throughput", "total_time"]
+__all__ = ["Timed", "time_call", "throughput", "profiled_throughput", "total_time"]
 
 T = TypeVar("T")
 
@@ -20,13 +20,25 @@ class Timed:
 
     @property
     def qps(self) -> float:
-        """Throughput in queries per second (the paper's headline metric)."""
-        return self.queries / self.seconds if self.seconds > 0 else float("inf")
+        """Throughput in queries per second (the paper's headline metric).
+
+        A zero-second clock reading (coarse timers, empty workloads)
+        yields ``0.0`` rather than ``inf`` — "no throughput measured",
+        which downstream arithmetic and JSON serialisation both survive.
+        """
+        return self.queries / self.seconds if self.seconds > 0 else 0.0
 
     @property
     def avg_ms(self) -> float:
-        """Average per-query latency in milliseconds."""
-        return self.seconds / self.queries * 1e3 if self.queries else 0.0
+        """Average per-query latency in milliseconds.
+
+        Raises :class:`ValueError` on an empty run — an average over
+        zero queries is undefined, and silently reporting ``0.0`` would
+        fake a perfect latency.
+        """
+        if not self.queries:
+            raise ValueError("avg_ms is undefined for a run of 0 queries")
+        return self.seconds / self.queries * 1e3
 
 
 def time_call(fn: Callable[[], T]) -> tuple[T, float]:
@@ -42,6 +54,29 @@ def throughput(run_one: Callable[[T], object], items: Sequence[T]) -> Timed:
     for item in items:
         run_one(item)
     return Timed(time.perf_counter() - t0, len(items))
+
+
+def profiled_throughput(
+    run_one: Callable[[T], object], items: Sequence[T]
+) -> "tuple[Timed, dict[str, float]]":
+    """Like :func:`throughput`, but with per-phase tracing enabled.
+
+    Returns ``(timed, phase_totals)`` where ``phase_totals`` maps
+    "/"-joined span paths (e.g. ``"query.window/filter.scan"``) to the
+    seconds spent there across the whole workload.  Slower than
+    :func:`throughput` (spans are live); use for breakdowns, not for
+    headline numbers.
+    """
+    # Lazy import: avoids an obs <-> bench cycle at module load.
+    from repro.obs.tracing import Tracer, activate
+
+    tracer = Tracer()
+    with activate(tracer):
+        t0 = time.perf_counter()
+        for item in items:
+            run_one(item)
+        elapsed = time.perf_counter() - t0
+    return Timed(elapsed, len(items)), tracer.phase_totals()
 
 
 def total_time(fns: Iterable[Callable[[], object]]) -> float:

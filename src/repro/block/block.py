@@ -26,6 +26,7 @@ from repro.datasets.queries import DiskQuery
 from repro.errors import InvalidGridError
 from repro.geometry.mbr import Rect
 from repro.grid.storage import TileTable
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["BlockIndex"]
@@ -125,7 +126,21 @@ class BlockIndex:
         self, window: Rect, stats: "QueryStats | None" = None
     ) -> np.ndarray:
         """Window query probing every level of the hierarchy."""
-        pieces: list[np.ndarray] = []
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                # Per-level tile ranges are computed interleaved with the
+                # scan below; nothing to hoist.
+                pass
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                self._scan_window_levels(window, pieces, stats)
+            with trace_span("dedup"):
+                pass  # objects stored once (at their size-matched level)
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_window_levels(self, window, pieces, stats) -> None:
         for level, grid in enumerate(self._grids):
             if not grid:
                 continue
@@ -156,18 +171,26 @@ class BlockIndex:
                     hit = ids[mask]
                     if hit.shape[0]:
                         pieces.append(hit)
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
 
     def disk_query(
         self, query: DiskQuery, stats: "QueryStats | None" = None
     ) -> np.ndarray:
         """Disk query: per-level probe over the disk's MBR + distance test."""
-        window = query.mbr()
+        with trace_span("query.disk"):
+            with trace_span("filter.lookup"):
+                window = query.mbr()
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                self._scan_disk_levels(query, window, pieces, stats)
+            with trace_span("dedup"):
+                pass  # objects stored once (at their size-matched level)
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_disk_levels(self, query, window, pieces, stats) -> None:
         r2 = query.radius * query.radius
         cx, cy = query.cx, query.cy
-        pieces: list[np.ndarray] = []
         for level, grid in enumerate(self._grids):
             if not grid:
                 continue
@@ -194,6 +217,3 @@ class BlockIndex:
                     hit = ids[dx * dx + dy * dy <= r2]
                     if hit.shape[0]:
                         pieces.append(hit)
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)

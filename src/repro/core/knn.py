@@ -26,6 +26,7 @@ import numpy as np
 from repro.datasets.queries import DiskQuery
 from repro.errors import InvalidQueryError
 from repro.core.two_layer import TwoLayerGrid
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["knn_query"]
@@ -62,26 +63,29 @@ def knn_query(
         dy = np.maximum(np.maximum(data.yl[ids] - cy, 0.0), cy - data.yu[ids])
         return np.hypot(dx, dy)
 
-    domain = index.grid.domain
-    # Density-guided initial radius: expect ~k results in pi*r^2 * n/area.
-    density = n / max(domain.area, 1e-300)
-    radius = max(
-        math.sqrt(k / (math.pi * density)),
-        min(index.grid.tile_w, index.grid.tile_h) / 4.0,
-    )
-    max_radius = math.hypot(domain.width, domain.height) + 1e-9
+    with trace_span("query.knn"):
+        domain = index.grid.domain
+        # Density-guided initial radius: expect ~k results in pi*r^2 * n/area.
+        density = n / max(domain.area, 1e-300)
+        radius = max(
+            math.sqrt(k / (math.pi * density)),
+            min(index.grid.tile_w, index.grid.tile_h) / 4.0,
+        )
+        max_radius = math.hypot(domain.width, domain.height) + 1e-9
 
-    found = index.disk_query(DiskQuery(cx, cy, radius), stats)
-    while found.shape[0] < k and radius < max_radius:
-        radius = min(radius * 2.0, max_radius)
         found = index.disk_query(DiskQuery(cx, cy, radius), stats)
+        while found.shape[0] < k and radius < max_radius:
+            radius = min(radius * 2.0, max_radius)
+            found = index.disk_query(DiskQuery(cx, cy, radius), stats)
 
-    d = dists(found)
-    order = np.lexsort((found, d))
-    kth_dist = float(d[order[k - 1]])
-    if kth_dist > radius:
-        # Close the boundary: everything within the k-th distance.
-        found = index.disk_query(DiskQuery(cx, cy, kth_dist), stats)
-        d = dists(found)
-        order = np.lexsort((found, d))
-    return found[order[:k]].astype(np.int64)
+        with trace_span("knn.rank"):
+            d = dists(found)
+            order = np.lexsort((found, d))
+            kth_dist = float(d[order[k - 1]])
+        if kth_dist > radius:
+            # Close the boundary: everything within the k-th distance.
+            found = index.disk_query(DiskQuery(cx, cy, kth_dist), stats)
+            with trace_span("knn.rank"):
+                d = dists(found)
+                order = np.lexsort((found, d))
+        return found[order[:k]].astype(np.int64)

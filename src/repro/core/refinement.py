@@ -40,6 +40,7 @@ from repro.geometry.predicates import (
 )
 from repro.grid.base import CLASS_A, CLASS_B, CLASS_C, CLASS_D
 from repro.core.two_layer import TwoLayerGrid
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["REFINEMENT_MODES", "RefinementBreakdown", "RefinementEngine"]
@@ -134,64 +135,70 @@ class RefinementEngine:
             )
         track = breakdown if breakdown is not None else RefinementBreakdown()
 
-        # Phase 1 — filtering: candidate MBRs via the two-layer index.
-        t0 = time.perf_counter()
-        chunks = [
-            _Chunk(
-                ids=ids if mask is None else ids[mask],
-                xl=cols[0] if mask is None else cols[0][mask],
-                yl=cols[1] if mask is None else cols[1][mask],
-                xu=cols[2] if mask is None else cols[2][mask],
-                yu=cols[3] if mask is None else cols[3][mask],
-                code=cp.code,
-                at_x0=plan.at_x0,
-                at_y0=plan.at_y0,
-            )
-            for plan, cp, cols, mask, ids in self.index._window_chunks(window, stats)
-        ]
-        t1 = time.perf_counter()
-        track.filtering_time += t1 - t0
-        n_candidates = sum(c.ids.shape[0] for c in chunks)
-        track.candidates += n_candidates
+        with trace_span("query.window"):
+            # Phase 1 — filtering: candidate MBRs via the two-layer index.
+            t0 = time.perf_counter()
+            with trace_span("filter.scan"):
+                chunks = [
+                    _Chunk(
+                        ids=ids if mask is None else ids[mask],
+                        xl=cols[0] if mask is None else cols[0][mask],
+                        yl=cols[1] if mask is None else cols[1][mask],
+                        xu=cols[2] if mask is None else cols[2][mask],
+                        yu=cols[3] if mask is None else cols[3][mask],
+                        code=cp.code,
+                        at_x0=plan.at_x0,
+                        at_y0=plan.at_y0,
+                    )
+                    for plan, cp, cols, mask, ids in self.index._window_chunks(
+                        window, stats
+                    )
+                ]
+            t1 = time.perf_counter()
+            track.filtering_time += t1 - t0
+            n_candidates = sum(c.ids.shape[0] for c in chunks)
+            track.candidates += n_candidates
 
-        # Phase 2 — secondary filtering (Lemma 5).
-        certified: list[np.ndarray] = []
-        to_refine: list[np.ndarray] = []
-        if mode == "simple":
-            to_refine = [c.ids for c in chunks]
-        else:
-            for c in chunks:
-                covered = self._window_coverage_mask(c, window, mode, stats)
-                certified.append(c.ids[covered])
-                to_refine.append(c.ids[~covered])
-        t2 = time.perf_counter()
-        track.secondary_filter_time += t2 - t1
-        n_certified = sum(a.shape[0] for a in certified)
-        track.refinements_avoided += n_certified
-        if stats is not None:
-            stats.refinements_avoided += n_certified
+            # Phase 2 — secondary filtering (Lemma 5).
+            certified: list[np.ndarray] = []
+            to_refine: list[np.ndarray] = []
+            with trace_span("refine.secondary"):
+                if mode == "simple":
+                    to_refine = [c.ids for c in chunks]
+                else:
+                    for c in chunks:
+                        covered = self._window_coverage_mask(c, window, mode, stats)
+                        certified.append(c.ids[covered])
+                        to_refine.append(c.ids[~covered])
+            t2 = time.perf_counter()
+            track.secondary_filter_time += t2 - t1
+            n_certified = sum(a.shape[0] for a in certified)
+            track.refinements_avoided += n_certified
+            if stats is not None:
+                stats.refinements_avoided += n_certified
 
-        # Phase 3 — refinement: exact geometry tests on the rest.
-        survivors: list[int] = []
-        geometries = self.data.geometries
-        for ids in to_refine:
-            for oid in ids:
-                oid = int(oid)
-                track.refinement_tests += 1
-                if stats is not None:
-                    stats.refinement_tests += 1
-                if geometries is None or geometry_intersects_window(
-                    geometries[oid], window
-                ):
-                    survivors.append(oid)
-        t3 = time.perf_counter()
-        track.refinement_time += t3 - t2
-        track.queries += 1
+            # Phase 3 — refinement: exact geometry tests on the rest.
+            survivors: list[int] = []
+            geometries = self.data.geometries
+            with trace_span("refine.exact"):
+                for ids in to_refine:
+                    for oid in ids:
+                        oid = int(oid)
+                        track.refinement_tests += 1
+                        if stats is not None:
+                            stats.refinement_tests += 1
+                        if geometries is None or geometry_intersects_window(
+                            geometries[oid], window
+                        ):
+                            survivors.append(oid)
+            t3 = time.perf_counter()
+            track.refinement_time += t3 - t2
+            track.queries += 1
 
-        parts = certified + [np.asarray(survivors, dtype=np.int64)]
-        out = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
-        track.results += out.shape[0]
-        return out
+            parts = certified + [np.asarray(survivors, dtype=np.int64)]
+            out = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+            track.results += out.shape[0]
+            return out
 
     def _window_coverage_mask(
         self,
@@ -262,42 +269,46 @@ class RefinementEngine:
             )
         track = breakdown if breakdown is not None else RefinementBreakdown()
 
-        t0 = time.perf_counter()
-        cand = self.index.disk_query(query, stats)
-        t1 = time.perf_counter()
-        track.filtering_time += t1 - t0
-        track.candidates += cand.shape[0]
+        with trace_span("query.disk"):
+            # Phase 1 — filtering; the index's own spans nest underneath.
+            t0 = time.perf_counter()
+            cand = self.index.disk_query(query, stats)
+            t1 = time.perf_counter()
+            track.filtering_time += t1 - t0
+            track.candidates += cand.shape[0]
 
-        certified = np.empty(0, dtype=np.int64)
-        to_refine = cand
-        if mode == "refavoid":
-            covered = self._disk_coverage_mask(cand, query, stats)
-            certified = cand[covered]
-            to_refine = cand[~covered]
-        t2 = time.perf_counter()
-        track.secondary_filter_time += t2 - t1
-        track.refinements_avoided += certified.shape[0]
-        if stats is not None:
-            stats.refinements_avoided += certified.shape[0]
-
-        survivors: list[int] = []
-        geometries = self.data.geometries
-        for oid in to_refine:
-            oid = int(oid)
-            track.refinement_tests += 1
+            certified = np.empty(0, dtype=np.int64)
+            to_refine = cand
+            with trace_span("refine.secondary"):
+                if mode == "refavoid":
+                    covered = self._disk_coverage_mask(cand, query, stats)
+                    certified = cand[covered]
+                    to_refine = cand[~covered]
+            t2 = time.perf_counter()
+            track.secondary_filter_time += t2 - t1
+            track.refinements_avoided += certified.shape[0]
             if stats is not None:
-                stats.refinement_tests += 1
-            if geometries is None or geometry_intersects_disk(
-                geometries[oid], query.cx, query.cy, query.radius
-            ):
-                survivors.append(oid)
-        t3 = time.perf_counter()
-        track.refinement_time += t3 - t2
-        track.queries += 1
+                stats.refinements_avoided += certified.shape[0]
 
-        out = np.concatenate([certified, np.asarray(survivors, dtype=np.int64)])
-        track.results += out.shape[0]
-        return out
+            survivors: list[int] = []
+            geometries = self.data.geometries
+            with trace_span("refine.exact"):
+                for oid in to_refine:
+                    oid = int(oid)
+                    track.refinement_tests += 1
+                    if stats is not None:
+                        stats.refinement_tests += 1
+                    if geometries is None or geometry_intersects_disk(
+                        geometries[oid], query.cx, query.cy, query.radius
+                    ):
+                        survivors.append(oid)
+            t3 = time.perf_counter()
+            track.refinement_time += t3 - t2
+            track.queries += 1
+
+            out = np.concatenate([certified, np.asarray(survivors, dtype=np.int64)])
+            track.results += out.shape[0]
+            return out
 
     # -- exact k nearest neighbours ---------------------------------------------
 

@@ -33,6 +33,7 @@ from repro.grid.base import (
 )
 from repro.grid.storage import TileTable, group_rows
 from repro.core.selection import ClassPlan, TilePlan, plan_tile
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["TwoLayerGrid"]
@@ -199,19 +200,24 @@ class TwoLayerGrid:
         """
         if self._n_objects == 0:
             return _EMPTY_IDS
-        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
-        pieces: list[np.ndarray] = []
-        for iy in range(iy0, iy1 + 1):
-            base = iy * self.grid.nx
-            for ix in range(ix0, ix1 + 1):
-                tables = self._tiles.get(base + ix)
-                if tables is None:
-                    continue
-                plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
-                self._scan_tile_window(tables, window, plan, pieces, stats)
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                for iy in range(iy0, iy1 + 1):
+                    base = iy * self.grid.nx
+                    for ix in range(ix0, ix1 + 1):
+                        tables = self._tiles.get(base + ix)
+                        if tables is None:
+                            continue
+                        plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
+                        self._scan_tile_window(tables, window, plan, pieces, stats)
+            with trace_span("dedup"):
+                pass  # duplicate-free by construction (Lemmas 1-2)
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
 
     def _scan_tile_window(
         self,
@@ -320,37 +326,42 @@ class TwoLayerGrid:
         """
         if self._n_objects == 0:
             return _EMPTY_IDS
-        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
-        pieces: list[np.ndarray] = []
-        for iy in range(iy0, iy1 + 1):
-            base = iy * self.grid.nx
-            for ix in range(ix0, ix1 + 1):
-                tables = self._tiles.get(base + ix)
-                if tables is None:
-                    continue
-                table = tables[CLASS_A]
-                if table is None:
-                    continue
-                xl, yl, xu, yu, ids = table.columns()
-                if ids.shape[0] == 0:
-                    continue
-                if stats is not None:
-                    stats.partitions_visited += 1
-                    stats.rects_scanned += ids.shape[0]
-                mask = (xu <= window.xu) & (yu <= window.yu)
-                n_comparisons = 2
-                if ix == ix0:
-                    mask &= xl >= window.xl
-                    n_comparisons += 1
-                if iy == iy0:
-                    mask &= yl >= window.yl
-                    n_comparisons += 1
-                if stats is not None:
-                    stats.comparisons += n_comparisons * ids.shape[0]
-                pieces.append(ids[mask])
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                for iy in range(iy0, iy1 + 1):
+                    base = iy * self.grid.nx
+                    for ix in range(ix0, ix1 + 1):
+                        tables = self._tiles.get(base + ix)
+                        if tables is None:
+                            continue
+                        table = tables[CLASS_A]
+                        if table is None:
+                            continue
+                        xl, yl, xu, yu, ids = table.columns()
+                        if ids.shape[0] == 0:
+                            continue
+                        if stats is not None:
+                            stats.partitions_visited += 1
+                            stats.rects_scanned += ids.shape[0]
+                        mask = (xu <= window.xu) & (yu <= window.yu)
+                        n_comparisons = 2
+                        if ix == ix0:
+                            mask &= xl >= window.xl
+                            n_comparisons += 1
+                        if iy == iy0:
+                            mask &= yl >= window.yl
+                            n_comparisons += 1
+                        if stats is not None:
+                            stats.comparisons += n_comparisons * ids.shape[0]
+                        pieces.append(ids[mask])
+            with trace_span("dedup"):
+                pass  # class A only — each object appears once
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
 
     def count_window(self, window: Rect) -> int:
         """Number of results of a window query (no id materialisation)."""
@@ -376,18 +387,23 @@ class TwoLayerGrid:
         """
         if self._n_objects == 0:
             return _EMPTY_IDS
-        row_span, tile_jobs = self._disk_plan(query)
-        pieces: list[np.ndarray] = []
-        for tile_id, codes, covered, iy in tile_jobs:
-            tables = self._tiles.get(tile_id)
-            if tables is None:
-                continue
-            self._scan_tile_disk(
-                tables, query, codes, covered, iy, row_span, pieces, stats
-            )
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
+        with trace_span("query.disk"):
+            with trace_span("filter.lookup"):
+                row_span, tile_jobs = self._disk_plan(query)
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                for tile_id, codes, covered, iy in tile_jobs:
+                    tables = self._tiles.get(tile_id)
+                    if tables is None:
+                        continue
+                    self._scan_tile_disk(
+                        tables, query, codes, covered, iy, row_span, pieces, stats
+                    )
+            with trace_span("dedup"):
+                pass  # residual B/D duplicates removed in-scan (canonical tile)
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
 
     def _disk_plan(
         self, query: DiskQuery

@@ -36,6 +36,7 @@ from repro.core.decomposed import (
 )
 from repro.core.selection import plan_tile
 from repro.core.two_layer import TwoLayerGrid
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["TwoLayerPlusGrid"]
@@ -194,11 +195,36 @@ class TwoLayerPlusGrid(TwoLayerGrid):
         """Window query answered through the decomposed tables."""
         if self._n_objects == 0:
             return _EMPTY_IDS
-        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        with trace_span("query.window"):
+            return self._window_query_traced(window, stats)
+
+    def _window_query_traced(
+        self, window: Rect, stats: "QueryStats | None"
+    ) -> np.ndarray:
+        with trace_span("filter.lookup"):
+            ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        pieces: list[np.ndarray] = []
+        with trace_span("filter.scan"):
+            self._scan_window_tiles(window, ix0, ix1, iy0, iy1, pieces, stats)
+        with trace_span("dedup"):
+            pass  # duplicate-free by construction (Lemmas 1-2)
+        if not pieces:
+            return _EMPTY_IDS
+        return np.concatenate(pieces)
+
+    def _scan_window_tiles(
+        self,
+        window: Rect,
+        ix0: int,
+        ix1: int,
+        iy0: int,
+        iy1: int,
+        pieces: list[np.ndarray],
+        stats: "QueryStats | None",
+    ) -> None:
         # The (comparison, bound) list of a class plan is fixed for the
         # whole query; build each at most once, keyed by plan identity.
         comps_cache: dict[int, tuple[tuple[str, float], ...]] = {}
-        pieces: list[np.ndarray] = []
         for iy in range(iy0, iy1 + 1):
             base = iy * self.grid.nx
             for ix in range(ix0, ix1 + 1):
@@ -286,9 +312,6 @@ class TwoLayerPlusGrid(TwoLayerGrid):
                             break
                         cand = self._verify(cand, comp, bound)
                     pieces.append(cand)
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
 
     def _order_comparisons(
         self,

@@ -39,9 +39,12 @@ from repro.errors import InvalidGridError, InvalidQueryError
 from repro.geometry.mbr import Rect
 from repro.grid.base import GridPartitioner, replicate
 from repro.grid.storage import group_rows
+from repro.obs.metrics import Histogram
+from repro.obs.tracing import span as trace_span
 from repro.rtree.rtree import RTree
+from repro.stats import QueryStats
 
-__all__ = ["QueryOutcome", "SimulatedSpatialCluster"]
+__all__ = ["QueryOutcome", "SimulatedSpatialCluster", "WorkerStats"]
 
 #: default per-job scheduling overhead (s).  [24] reports at most several
 #: hundred range queries *per minute* end-to-end for GeoSpark-class
@@ -63,6 +66,28 @@ class QueryOutcome:
     tasks: int
     #: measured local-search compute time (seconds, all tasks).
     compute_s: float
+
+
+@dataclass
+class WorkerStats:
+    """Per-partition ("worker") load counters, aggregated over queries."""
+
+    #: tasks dispatched to this worker (queries that touched it).
+    tasks: int = 0
+    #: measured local R-tree search time on this worker (seconds).
+    compute_s: float = 0.0
+    #: result ids this worker contributed (before cluster-level dedup).
+    hits: int = 0
+    #: objects stored on this worker (with border replication).
+    objects: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "tasks": self.tasks,
+            "compute_s": self.compute_s,
+            "hits": self.hits,
+            "objects": self.objects,
+        }
 
 
 class SimulatedSpatialCluster:
@@ -100,11 +125,15 @@ class SimulatedSpatialCluster:
         self.grid = GridPartitioner(partitions_per_dim, partitions_per_dim)
         self._partitions: dict[int, tuple[RTree, np.ndarray]] = {}
         rep = replicate(data, self.grid)
+        self._workers: dict[int, WorkerStats] = {}
         for tile_id, rows in group_rows(rep.tile_ids):
             obj = rep.obj_ids[rows]
             local = data.take(obj)
             self._partitions[tile_id] = (RTree.build(local, fanout), obj)
+            self._workers[tile_id] = WorkerStats(objects=obj.shape[0])
         self._n_objects = len(data)
+        self._latency = Histogram("cluster.window.latency_ms")
+        self._queries = 0
 
     def __len__(self) -> int:
         return self._n_objects
@@ -120,7 +149,12 @@ class SimulatedSpatialCluster:
             f"job_overhead={self.job_overhead_s * 1e3:.0f}ms)"
         )
 
-    def window_query(self, window: Rect, threads: int = 1) -> QueryOutcome:
+    def window_query(
+        self,
+        window: Rect,
+        threads: int = 1,
+        stats: "QueryStats | None" = None,
+    ) -> QueryOutcome:
         """One end-to-end window query against the simulated cluster.
 
         The spatial work (per-partition R-tree search + reference-point
@@ -131,31 +165,51 @@ class SimulatedSpatialCluster:
         """
         if threads < 1:
             raise InvalidQueryError(f"threads must be >= 1, got {threads}")
-        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
-        pieces: list[np.ndarray] = []
-        tasks = 0
-        t0 = time.perf_counter()
-        for iy in range(iy0, iy1 + 1):
-            base = iy * self.grid.nx
-            for ix in range(ix0, ix1 + 1):
-                part = self._partitions.get(base + ix)
-                if part is None:
-                    continue
-                tasks += 1
-                tree, obj_ids = part
-                local_hits = tree.window_query(window)
-                if local_hits.shape[0]:
-                    pieces.append(obj_ids[local_hits])
-        # Result collection: hash-deduplicate across partitions (objects
-        # crossing partition borders are replicated, like in GeoSpark).
-        if pieces:
-            ids = np.unique(np.concatenate(pieces))
-        else:
-            ids = np.empty(0, dtype=np.int64)
-        compute_s = time.perf_counter() - t0
-        parallel_s = compute_s + tasks * self.task_overhead_s
-        latency = self.job_overhead_s + parallel_s / threads
-        return QueryOutcome(ids=ids, latency_s=latency, tasks=tasks, compute_s=compute_s)
+        with trace_span("query.window"):
+            with trace_span("cluster.plan"):
+                ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+            pieces: list[np.ndarray] = []
+            tasks = 0
+            t0 = time.perf_counter()
+            with trace_span("cluster.dispatch"):
+                for iy in range(iy0, iy1 + 1):
+                    base = iy * self.grid.nx
+                    for ix in range(ix0, ix1 + 1):
+                        tile_id = base + ix
+                        part = self._partitions.get(tile_id)
+                        if part is None:
+                            continue
+                        tasks += 1
+                        tree, obj_ids = part
+                        w0 = time.perf_counter()
+                        local_hits = tree.window_query(window, stats)
+                        worker = self._workers[tile_id]
+                        worker.tasks += 1
+                        worker.compute_s += time.perf_counter() - w0
+                        worker.hits += local_hits.shape[0]
+                        if local_hits.shape[0]:
+                            pieces.append(obj_ids[local_hits])
+            # Result collection: hash-deduplicate across partitions (objects
+            # crossing partition borders are replicated, like in GeoSpark).
+            with trace_span("dedup"):
+                if pieces:
+                    raw = np.concatenate(pieces)
+                    ids = np.unique(raw)
+                    if stats is not None:
+                        stats.dedup_checks += raw.shape[0]
+                        stats.duplicates_generated += int(
+                            raw.shape[0] - ids.shape[0]
+                        )
+                else:
+                    ids = np.empty(0, dtype=np.int64)
+            compute_s = time.perf_counter() - t0
+            parallel_s = compute_s + tasks * self.task_overhead_s
+            latency = self.job_overhead_s + parallel_s / threads
+            self._queries += 1
+            self._latency.observe(latency * 1e3)
+            return QueryOutcome(
+                ids=ids, latency_s=latency, tasks=tasks, compute_s=compute_s
+            )
 
     def throughput(self, windows: list[Rect], threads: int = 1) -> float:
         """End-to-end queries/second over a workload (simulated latency)."""
@@ -163,3 +217,37 @@ class SimulatedSpatialCluster:
         for w in windows:
             total += self.window_query(w, threads).latency_s
         return len(windows) / total if total > 0 else float("inf")
+
+    # -- observability -----------------------------------------------------------
+
+    def cluster_report(self) -> dict:
+        """Aggregate per-worker load into a cluster-level report.
+
+        Returns a dict with cluster totals (queries served, simulated
+        latency percentiles, task/compute sums), per-worker rows keyed by
+        partition tile id, and a load-skew indicator (max/mean tasks per
+        worker — the distributed analogue of partition balance).
+        """
+        workers = {tid: ws.as_dict() for tid, ws in self._workers.items()}
+        task_counts = [ws.tasks for ws in self._workers.values()]
+        total_tasks = sum(task_counts)
+        mean_tasks = total_tasks / max(len(task_counts), 1)
+        return {
+            "queries": self._queries,
+            "partitions": self.partition_count,
+            "latency_ms": self._latency.summary(),
+            "total_tasks": total_tasks,
+            "total_compute_s": sum(ws.compute_s for ws in self._workers.values()),
+            "total_hits": sum(ws.hits for ws in self._workers.values()),
+            "load_skew": (max(task_counts) / mean_tasks) if mean_tasks else 0.0,
+            "workers": workers,
+        }
+
+    def reset_metrics(self) -> None:
+        """Zero the per-worker load counters and the latency histogram."""
+        for ws in self._workers.values():
+            ws.tasks = 0
+            ws.compute_s = 0.0
+            ws.hits = 0
+        self._latency.reset()
+        self._queries = 0

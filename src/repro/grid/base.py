@@ -100,10 +100,18 @@ class GridPartitioner:
         return tile_id % self.nx, tile_id // self.nx
 
     def tile_rect(self, ix: int, iy: int) -> Rect:
-        """The (closed Rect representation of the) extent of a tile."""
+        """The (closed Rect representation of the) extent of a tile.
+
+        The last tile per axis ends exactly at the domain edge:
+        ``xl + tile_w`` can round to just under ``domain.xu``, and that
+        1-ulp gap would let a distance test exclude a boundary point the
+        tile actually owns (e.g. a radius-0 disk query at ``x = 1.0``).
+        """
         xl = self.domain.xl + ix * self.tile_w
         yl = self.domain.yl + iy * self.tile_h
-        return Rect(xl, yl, xl + self.tile_w, yl + self.tile_h)
+        xu = self.domain.xu if ix == self.nx - 1 else xl + self.tile_w
+        yu = self.domain.yu if iy == self.ny - 1 else yl + self.tile_h
+        return Rect(xl, yl, xu, yu)
 
     def tile_range_for_window(self, window: Rect) -> tuple[int, int, int, int]:
         """``(ix0, ix1, iy0, iy1)`` of tiles intersecting ``window`` — O(1).

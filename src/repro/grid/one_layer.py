@@ -23,6 +23,7 @@ from repro.geometry.mbr import Rect, max_dist_point_rect, min_dist_point_rect
 from repro.grid.base import GridPartitioner, replicate
 from repro.grid.dedup import ActiveBorder, reference_point_keep_mask
 from repro.grid.storage import TileTable, group_rows
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["OneLayerGrid", "DEDUP_METHODS"]
@@ -161,8 +162,38 @@ class OneLayerGrid:
         """
         if self._n_objects == 0:
             return np.empty(0, dtype=np.int64)
-        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+            with trace_span("filter.scan"):
+                pieces = self._scan_window_tiles(window, ix0, ix1, iy0, iy1, stats)
+            # The terminal duplicate-elimination stage (hash mode); the
+            # refpoint / active-border tests run per tile inside the scan
+            # and are accounted by the dedup_checks counter instead.
+            with trace_span("dedup"):
+                if not pieces:
+                    return np.empty(0, dtype=np.int64)
+                out = np.concatenate(pieces)
+                if self.dedup == "hash":
+                    deduped = np.unique(out)
+                    if stats is not None:
+                        stats.dedup_checks += out.shape[0]
+                        stats.duplicates_generated += int(
+                            out.shape[0] - deduped.shape[0]
+                        )
+                    return deduped
+                return out
 
+    def _scan_window_tiles(
+        self,
+        window: Rect,
+        ix0: int,
+        ix1: int,
+        iy0: int,
+        iy1: int,
+        stats: "QueryStats | None",
+    ) -> list[np.ndarray]:
+        """Per-tile candidate scan (with in-scan dedup for refpoint/border)."""
         pieces: list[np.ndarray] = []
         border = ActiveBorder() if self.dedup == "active_border" else None
         for iy in range(iy0, iy1 + 1):
@@ -218,17 +249,7 @@ class OneLayerGrid:
                         elif stats is not None:
                             stats.duplicates_generated += 1
                     pieces.append(np.asarray(kept, dtype=np.int64))
-
-        if not pieces:
-            return np.empty(0, dtype=np.int64)
-        out = np.concatenate(pieces)
-        if self.dedup == "hash":
-            deduped = np.unique(out)
-            if stats is not None:
-                stats.dedup_checks += out.shape[0]
-                stats.duplicates_generated += int(out.shape[0] - deduped.shape[0])
-            return deduped
-        return out
+        return pieces
 
     @staticmethod
     def _window_mask(
@@ -288,8 +309,29 @@ class OneLayerGrid:
         """
         if self._n_objects == 0:
             return np.empty(0, dtype=np.int64)
-        window = query.mbr()
-        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        with trace_span("query.disk"):
+            with trace_span("filter.lookup"):
+                window = query.mbr()
+                ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+            with trace_span("filter.scan"):
+                pieces = self._scan_disk_tiles(query, window, ix0, ix1, iy0, iy1, stats)
+            with trace_span("dedup"):
+                pass  # reference-point test runs per tile inside the scan
+            if not pieces:
+                return np.empty(0, dtype=np.int64)
+            return np.concatenate(pieces)
+
+    def _scan_disk_tiles(
+        self,
+        query: DiskQuery,
+        window: Rect,
+        ix0: int,
+        ix1: int,
+        iy0: int,
+        iy1: int,
+        stats: "QueryStats | None",
+    ) -> list[np.ndarray]:
+        """Per-tile disk-candidate scan with in-scan refpoint dedup."""
         radius = query.radius
         pieces: list[np.ndarray] = []
         for iy in range(iy0, iy1 + 1):
@@ -340,9 +382,7 @@ class OneLayerGrid:
                 )
                 within = dx * dx + dy * dy <= radius * radius
                 pieces.append(cand_ids[keep][within])
-        if not pieces:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate(pieces)
+        return pieces
 
     # -- helpers for tests ------------------------------------------------------
 

@@ -26,6 +26,7 @@ from repro.errors import InvalidGridError
 from repro.geometry.mbr import Rect
 from repro.grid.storage import TileTable
 from repro.core.selection import plan_for_region
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["KDTree", "TwoLayerKDTree", "DEFAULT_LEAF_CAPACITY", "DEFAULT_MAX_DEPTH"]
@@ -289,8 +290,22 @@ class KDTree(_BaseKDTree):
     def window_query(
         self, window: Rect, stats: "QueryStats | None" = None
     ) -> np.ndarray:
-        pieces: list[np.ndarray] = []
-        for node in self._visible_leaves(window):
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                leaves = list(self._visible_leaves(window))
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                self._scan_window_leaves(leaves, window, pieces, stats)
+            with trace_span("dedup"):
+                # Reference-point dedup runs interleaved per leaf during the
+                # scan; counted via stats.dedup_checks.
+                pass
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_window_leaves(self, leaves, window, pieces, stats) -> None:
+        for node in leaves:
             assert node.table is not None
             xl, yl, xu, yu, ids = node.table.columns()
             if ids.shape[0] == 0:
@@ -322,9 +337,6 @@ class KDTree(_BaseKDTree):
                 stats.dedup_checks += cand.shape[0]
                 stats.duplicates_generated += int(cand.shape[0] - keep.sum())
             pieces.append(ids[cand[keep]])
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
 
 
 class TwoLayerKDTree(_BaseKDTree):
@@ -340,14 +352,28 @@ class TwoLayerKDTree(_BaseKDTree):
         candidate unique, and the distance test subsets the candidates.
         Leaves fully inside the disk skip the distance computations.
         """
+        with trace_span("query.disk"):
+            with trace_span("filter.lookup"):
+                window = query.mbr()
+                radius = query.radius
+                leaves = list(self._visible_leaves(window))
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                self._scan_disk_leaves(leaves, query, window, radius, pieces, stats)
+            with trace_span("dedup"):
+                pass  # class selection per leaf is duplicate-free
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_disk_leaves(
+        self, leaves, query, window, radius, pieces, stats
+    ) -> None:
         from repro.geometry.mbr import max_dist_point_rect
 
-        window = query.mbr()
-        radius = query.radius
         cx, cy = query.cx, query.cy
         r2 = radius * radius
-        pieces: list[np.ndarray] = []
-        for node in self._visible_leaves(window):
+        for node in leaves:
             assert node.tables is not None
             if stats is not None:
                 stats.partitions_visited += 1
@@ -384,15 +410,24 @@ class TwoLayerKDTree(_BaseKDTree):
                     m = dx * dx + dy * dy <= r2
                     mask = m if mask is None else mask & m
                 pieces.append(ids if mask is None else ids[mask])
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
 
     def window_query(
         self, window: Rect, stats: "QueryStats | None" = None
     ) -> np.ndarray:
-        pieces: list[np.ndarray] = []
-        for node in self._visible_leaves(window):
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                leaves = list(self._visible_leaves(window))
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                self._scan_window_leaves(leaves, window, pieces, stats)
+            with trace_span("dedup"):
+                pass  # duplicate-free by class selection (no dedup step)
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_window_leaves(self, leaves, window, pieces, stats) -> None:
+        for node in leaves:
             assert node.tables is not None
             if stats is not None:
                 stats.partitions_visited += 1
@@ -423,6 +458,3 @@ class TwoLayerKDTree(_BaseKDTree):
                     m = yl <= window.yu
                     mask = m if mask is None else mask & m
                 pieces.append(ids if mask is None else ids[mask])
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)

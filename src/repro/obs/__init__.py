@@ -1,0 +1,44 @@
+"""Observability: tracing spans, metrics registry, profiling, exporters.
+
+The instrumentation substrate behind the paper's analytical claims and
+the repo's perf trajectory:
+
+* :mod:`repro.obs.tracing` — hierarchical, aggregating spans wired into
+  every index's query hot paths; near-zero cost while disabled;
+* :mod:`repro.obs.metrics` — named counters, gauges and streaming
+  histograms (p50/p95/p99) under a :class:`MetricsRegistry`;
+* :mod:`repro.obs.profiler` — the :class:`Profile` session object that
+  ``SpatialCollection.profile()`` yields;
+* :mod:`repro.obs.export` — JSON-lines, Prometheus text and console
+  table exporters.
+
+See ``docs/observability.md`` for the span taxonomy and examples.
+"""
+
+from repro.obs.export import (
+    format_metrics_table,
+    format_span_tree,
+    jsonl_events,
+    to_prometheus_text,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profiler import Profile
+from repro.obs import tracing
+from repro.obs.tracing import SpanNode, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profile",
+    "SpanNode",
+    "Tracer",
+    "tracing",
+    "format_metrics_table",
+    "format_span_tree",
+    "jsonl_events",
+    "to_prometheus_text",
+    "write_jsonl",
+]

@@ -1,0 +1,132 @@
+"""Exporters: JSON-lines events, Prometheus text, aligned console tables.
+
+Three machine/human formats over the same observability state:
+
+* :func:`jsonl_events` / :func:`write_jsonl` — one JSON object per line
+  (span records from a :class:`~repro.obs.tracing.Tracer`, metric
+  records from a :class:`~repro.obs.metrics.MetricsRegistry`), the
+  format the growth loop's perf-trajectory tooling ingests;
+* :func:`to_prometheus_text` — Prometheus exposition-style text dump;
+* :func:`format_metrics_table` — the aligned monospace table style of
+  :mod:`repro.bench.reporting`, reused so profiling output matches the
+  benchmark reports.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import re
+from contextlib import redirect_stdout
+from typing import IO, Iterable
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+
+__all__ = [
+    "jsonl_events",
+    "write_jsonl",
+    "to_prometheus_text",
+    "format_metrics_table",
+    "format_span_tree",
+]
+
+_PROM_SANITISE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def jsonl_events(
+    tracer: "Tracer | None" = None,
+    registry: "MetricsRegistry | None" = None,
+    meta: "dict | None" = None,
+) -> list[dict]:
+    """Flat event records from a tracer and/or registry.
+
+    ``meta`` (dataset name, parameters, timestamp...) is merged into
+    every record, so a log of many runs stays self-describing.
+    """
+    records: list[dict] = []
+    if tracer is not None:
+        records.extend(tracer.events())
+    if registry is not None:
+        for name, value in registry.collect().items():
+            records.append({"type": "metric", "name": name, "value": value})
+    if meta:
+        records = [{**meta, **r} for r in records]
+    return records
+
+
+def write_jsonl(records: Iterable[dict], target: "str | IO[str]") -> int:
+    """Write records as JSON lines to a path or open file; returns count."""
+    own = isinstance(target, str)
+    fh: IO[str] = open(target, "w", encoding="utf-8") if own else target  # type: ignore[arg-type]
+    n = 0
+    try:
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True))
+            fh.write("\n")
+            n += 1
+    finally:
+        if own:
+            fh.close()
+    return n
+
+
+def _prom_name(name: str) -> str:
+    sanitised = _PROM_SANITISE.sub("_", name)
+    if not sanitised or sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def to_prometheus_text(
+    registry: MetricsRegistry, prefix: str = "repro"
+) -> str:
+    """Prometheus exposition-style dump of a registry.
+
+    Counters and gauges become single samples; histograms expose
+    ``_count``/``_sum`` plus ``quantile``-labelled samples (the summary
+    convention — quantiles are computed here, not server-side).
+    """
+    lines: list[str] = []
+    for name, metric in registry.metrics.items():
+        full = f"{prefix}_{_prom_name(name)}"
+        if isinstance(metric, Histogram):
+            lines.append(f"# TYPE {full} summary")
+            for q, label in ((50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99")):
+                lines.append(
+                    f'{full}{{quantile="{label}"}} {metric.percentile(q):.9g}'
+                )
+            lines.append(f"{full}_sum {metric.total:.9g}")
+            lines.append(f"{full}_count {metric.count}")
+        else:
+            lines.append(f"# TYPE {full} {metric.kind}")
+            lines.append(f"{full} {metric.value:.9g}")
+    for name, value in registry.collect().items():
+        if name in registry.metrics:
+            continue
+        base = name.rsplit(".", 1)[0]
+        if base in registry.metrics:
+            continue  # histogram expansion, already exported above
+        full = f"{prefix}_{_prom_name(name)}"
+        lines.append(f"# TYPE {full} untyped")
+        lines.append(f"{full} {float(value):.9g}")
+    return "\n".join(lines) + "\n"
+
+
+def format_metrics_table(
+    registry: MetricsRegistry, title: str = "metrics"
+) -> str:
+    """The registry snapshot as an aligned console table (reporting style)."""
+    from repro.bench.reporting import print_table  # lazy: avoids obs <-> bench cycle
+
+    snapshot = registry.collect()
+    rows = [[name, snapshot[name]] for name in sorted(snapshot)]
+    buffer = io.StringIO()
+    with redirect_stdout(buffer):
+        print_table(title, ["metric", "value"], rows)
+    return buffer.getvalue()
+
+
+def format_span_tree(tracer: Tracer) -> str:
+    """Convenience alias for :meth:`Tracer.format_tree`."""
+    return tracer.format_tree()

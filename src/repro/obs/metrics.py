@@ -1,0 +1,225 @@
+"""Named metrics: counters, gauges and streaming histograms.
+
+A :class:`MetricsRegistry` owns named metric instruments and external
+*sources* (callables returning ``name -> number`` mappings, e.g.
+``QueryStats.as_dict``).  :meth:`MetricsRegistry.collect` flattens
+everything into one dictionary, which the exporters
+(:mod:`repro.obs.export`) turn into Prometheus text, JSON lines, or an
+aligned console table.
+
+Histograms keep exact running aggregates (count, sum, min, max) over the
+full stream plus a fixed-capacity ring buffer of the most recent samples
+for quantiles — p50/p95/p99 over a sliding window, the standard
+trade-off for long-lived processes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError(f"counters only go up; got {n}")
+        self.value += n
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A value that goes up and down."""
+
+    __slots__ = ("name", "value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, n: float = 1.0) -> None:
+        self.value += n
+
+    def dec(self, n: float = 1.0) -> None:
+        self.value -= n
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, value={self.value})"
+
+
+class Histogram:
+    """Streaming histogram: exact aggregates + recent-window quantiles."""
+
+    __slots__ = ("name", "capacity", "count", "total", "_min", "_max", "_ring", "_pos")
+
+    kind = "histogram"
+
+    def __init__(self, name: str, capacity: int = 1024):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.name = name
+        self.capacity = capacity
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._ring: list[float] = []
+        self._pos = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if len(self._ring) < self.capacity:
+            self._ring.append(value)
+        else:
+            self._ring[self._pos] = value
+            self._pos = (self._pos + 1) % self.capacity
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def min(self) -> float:
+        return self._min if self.count else 0.0
+
+    @property
+    def max(self) -> float:
+        return self._max if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Linear-interpolated percentile (``q`` in [0, 100]) over the
+        retained sample window; 0.0 on an empty histogram."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self._ring:
+            return 0.0
+        return float(np.percentile(np.asarray(self._ring), q))
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50.0),
+            "p95": self.percentile(95.0),
+            "p99": self.percentile(99.0),
+        }
+
+    def reset(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+        self._ring = []
+        self._pos = 0
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.4g})"
+
+
+class MetricsRegistry:
+    """Named metric instruments plus pluggable external sources."""
+
+    def __init__(self):
+        self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
+        self._sources: dict[str, Callable[[], Mapping[str, float]]] = {}
+
+    # -- instrument accessors (get-or-create) ------------------------------
+
+    def _get(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(metric).__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str, capacity: int = 1024) -> Histogram:
+        return self._get(name, Histogram, capacity)
+
+    def register_source(
+        self, name: str, fn: Callable[[], Mapping[str, float]]
+    ) -> None:
+        """Register a callable polled at collection time.
+
+        ``fn`` returns a flat ``key -> number`` mapping; its values appear
+        in :meth:`collect` under ``<name>.<key>``.  This is how a
+        :class:`~repro.stats.QueryStats` object plugs in::
+
+            registry.register_source("query_stats", stats.as_dict)
+        """
+        self._sources[name] = fn
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def metrics(self) -> dict[str, "Counter | Gauge | Histogram"]:
+        return dict(self._metrics)
+
+    def collect(self) -> dict[str, float]:
+        """Flat snapshot: counters/gauges by name, histograms expanded to
+        ``name.count/mean/min/max/p50/p95/p99``, sources to
+        ``source.key``."""
+        out: dict[str, float] = {}
+        for name, metric in self._metrics.items():
+            if isinstance(metric, Histogram):
+                for key, value in metric.summary().items():
+                    out[f"{name}.{key}"] = value
+            else:
+                out[name] = metric.value
+        for src_name, fn in self._sources.items():
+            for key, value in fn().items():
+                out[f"{src_name}.{key}"] = value
+        return out
+
+    def reset(self) -> None:
+        """Zero every owned instrument (sources are left alone)."""
+        for metric in self._metrics.values():
+            if isinstance(metric, Gauge):
+                metric.set(0.0)
+            else:
+                metric.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsRegistry(metrics={len(self._metrics)}, "
+            f"sources={len(self._sources)})"
+        )

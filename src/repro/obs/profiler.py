@@ -1,0 +1,115 @@
+"""Per-query profiling session: latencies, spans and merged counters.
+
+A :class:`Profile` bundles the three observability primitives — a
+:class:`~repro.obs.metrics.MetricsRegistry` (per-kind latency
+histograms + the merged :class:`~repro.stats.QueryStats` registered as a
+source), a :class:`~repro.obs.tracing.Tracer` (the per-phase span tree),
+and a query counter — behind one object that
+``SpatialCollection.profile()`` yields::
+
+    with collection.profile() as prof:
+        for w in windows:
+            collection.window(*w)
+    print(prof.span_tree())
+    prof.latency_summary()["window"]["p95"]
+
+Every query executed while the session is active records its wall time
+into ``query.<kind>.latency_ms`` and its work counters into the shared
+``stats`` object; index-level spans land in ``prof.tracer``.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+
+from repro.obs.export import format_metrics_table, jsonl_events, to_prometheus_text
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.tracing import Tracer
+from repro.stats import QueryStats
+
+__all__ = ["Profile"]
+
+
+class Profile:
+    """A live profiling session and its structured report."""
+
+    def __init__(self, latency_capacity: int = 4096):
+        self.registry = MetricsRegistry()
+        self.tracer = Tracer()
+        self.stats = QueryStats()
+        self.queries = 0
+        self._latency_capacity = latency_capacity
+        self.registry.register_source("query_stats", self.stats.as_dict)
+
+    # -- recording ---------------------------------------------------------
+
+    def latency(self, kind: str) -> Histogram:
+        """The latency histogram (milliseconds) for one query kind."""
+        return self.registry.histogram(
+            f"query.{kind}.latency_ms", self._latency_capacity
+        )
+
+    @contextmanager
+    def measure(self, kind: str):
+        """Record one query: yields the per-query :class:`QueryStats` to
+        pass into the index, then folds latency + counters into the
+        session."""
+        local = QueryStats()
+        t0 = perf_counter()
+        try:
+            yield local
+        finally:
+            self.latency(kind).observe((perf_counter() - t0) * 1e3)
+            self.stats.merge(local)
+            self.queries += 1
+            self.registry.counter(f"query.{kind}.count").inc()
+
+    # -- report views ------------------------------------------------------
+
+    def latency_summary(self) -> dict[str, dict[str, float]]:
+        """``kind -> {count, mean, min, max, p50, p95, p99}`` (ms)."""
+        out: dict[str, dict[str, float]] = {}
+        for name, metric in self.registry.metrics.items():
+            if isinstance(metric, Histogram) and name.startswith("query."):
+                kind = name[len("query."):].rsplit(".", 1)[0]
+                out[kind] = metric.summary()
+        return out
+
+    def phase_totals(self) -> dict[str, float]:
+        """Flat span-path -> seconds map (the per-phase time breakdown)."""
+        return self.tracer.phase_totals()
+
+    def span_tree(self) -> str:
+        """Human-readable rendering of the recorded span tree."""
+        return self.tracer.format_tree()
+
+    def metrics(self) -> dict[str, float]:
+        """Flat metric snapshot (includes the merged QueryStats source)."""
+        return self.registry.collect()
+
+    def metrics_table(self) -> str:
+        return format_metrics_table(self.registry, title="profile metrics")
+
+    def summary(self) -> dict:
+        """The structured report: everything, JSON-ready."""
+        return {
+            "queries": self.queries,
+            "latency_ms": self.latency_summary(),
+            "stats": self.stats.as_dict(),
+            "phases_s": self.phase_totals(),
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.summary(), sort_keys=True)
+
+    def events(self, meta: "dict | None" = None) -> list[dict]:
+        """JSON-lines event records (spans + metrics) for this session."""
+        return jsonl_events(self.tracer, self.registry, meta)
+
+    def to_prometheus(self) -> str:
+        return to_prometheus_text(self.registry)
+
+    def __repr__(self) -> str:
+        return f"Profile(queries={self.queries})"

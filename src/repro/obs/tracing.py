@@ -1,0 +1,253 @@
+"""Hierarchical tracing spans with a near-zero-cost disabled path.
+
+Every query path in the library is annotated with *spans*::
+
+    from repro.obs.tracing import span as trace_span
+
+    with trace_span("query.window"):
+        with trace_span("filter.lookup"):
+            ...
+        with trace_span("filter.scan"):
+            ...
+
+When no tracer is active (the default), :func:`span` returns a shared
+no-op context manager — one global load, one call, zero allocations —
+so instrumented hot paths stay on their fast path.  When a tracer is
+active, spans accumulate into a tree of :class:`SpanNode` aggregates:
+entering a span whose name already exists under the current parent
+re-uses that node (``calls += 1``, ``total_s += dt``), so a workload of
+thousands of queries produces a tree of a dozen nodes, one per
+(parent, phase) pair — the per-phase breakdown the paper's figures need.
+
+The module-level tracer is what the index hot paths consult.  Activate
+one for a scoped region with :func:`activate` (used by
+``SpatialCollection.profile()``), or globally with :func:`enable` /
+:func:`disable`.  Span stacks are thread-local, so the parallel query
+evaluators record correctly; sibling threads attach under the same root.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = [
+    "SpanNode",
+    "Tracer",
+    "span",
+    "enable",
+    "disable",
+    "active",
+    "activate",
+]
+
+
+class SpanNode:
+    """One aggregated span: a named phase under a fixed parent path."""
+
+    __slots__ = ("name", "calls", "total_s", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.calls = 0
+        self.total_s = 0.0
+        self.children: dict[str, SpanNode] = {}
+
+    @property
+    def self_s(self) -> float:
+        """Time spent in this span outside any child span."""
+        return self.total_s - sum(c.total_s for c in self.children.values())
+
+    def as_dict(self) -> dict:
+        """Recursive plain-data view (JSON-ready)."""
+        return {
+            "name": self.name,
+            "calls": self.calls,
+            "total_s": self.total_s,
+            "self_s": self.self_s,
+            "children": [c.as_dict() for c in self.children.values()],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanNode({self.name!r}, calls={self.calls}, "
+            f"total_s={self.total_s:.6f}, children={len(self.children)})"
+        )
+
+
+class _SpanCtx:
+    """Context manager for one entry into an aggregated span."""
+
+    __slots__ = ("_tracer", "_name", "_node", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_SpanCtx":
+        stack = self._tracer._stack()
+        parent = stack[-1]
+        node = parent.children.get(self._name)
+        if node is None:
+            node = parent.children.setdefault(self._name, SpanNode(self._name))
+        stack.append(node)
+        self._node = node
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dt = perf_counter() - self._t0
+        node = self._node
+        node.calls += 1
+        node.total_s += dt
+        self._tracer._stack().pop()
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing span: the disabled-tracer fast path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Collects spans into an aggregated tree rooted at :attr:`root`."""
+
+    def __init__(self):
+        self.root = SpanNode("root")
+        self._local = threading.local()
+
+    def _stack(self) -> list[SpanNode]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    def span(self, name: str) -> _SpanCtx:
+        return _SpanCtx(self, name)
+
+    def reset(self) -> None:
+        """Drop every recorded span (open spans keep recording)."""
+        self.root = SpanNode("root")
+        self._local = threading.local()
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def spans(self) -> dict[str, SpanNode]:
+        """Top-level spans (the tree without the synthetic root)."""
+        return self.root.children
+
+    def find(self, path: str) -> "SpanNode | None":
+        """Node at a ``/``-separated path, e.g. ``query.window/filter.scan``."""
+        node = self.root
+        for part in path.split("/"):
+            node = node.children.get(part)  # type: ignore[assignment]
+            if node is None:
+                return None
+        return node
+
+    def phase_totals(self) -> dict[str, float]:
+        """Flat ``path -> total seconds`` map over the whole tree."""
+        out: dict[str, float] = {}
+
+        def walk(node: SpanNode, prefix: str) -> None:
+            for child in node.children.values():
+                path = f"{prefix}{child.name}"
+                out[path] = out.get(path, 0.0) + child.total_s
+                walk(child, path + "/")
+
+        walk(self.root, "")
+        return out
+
+    def events(self) -> list[dict]:
+        """Flat span records (path, calls, totals) for JSON-lines export."""
+        records: list[dict] = []
+
+        def walk(node: SpanNode, prefix: str) -> None:
+            for child in node.children.values():
+                path = f"{prefix}{child.name}"
+                records.append(
+                    {
+                        "type": "span",
+                        "path": path,
+                        "calls": child.calls,
+                        "total_s": child.total_s,
+                        "self_s": child.self_s,
+                    }
+                )
+                walk(child, path + "/")
+
+        walk(self.root, "")
+        return records
+
+    def format_tree(self) -> str:
+        """Aligned, indented rendering of the span tree."""
+        lines: list[str] = []
+        lines.append(f"{'span':<44} {'calls':>8} {'total[ms]':>11} {'self[ms]':>10}")
+        lines.append("-" * 76)
+
+        def walk(node: SpanNode, depth: int) -> None:
+            for child in node.children.values():
+                label = "  " * depth + child.name
+                lines.append(
+                    f"{label:<44} {child.calls:>8} "
+                    f"{child.total_s * 1e3:>11.3f} {child.self_s * 1e3:>10.3f}"
+                )
+                walk(child, depth + 1)
+
+        walk(self.root, 0)
+        return "\n".join(lines)
+
+
+#: the module-level tracer the instrumented hot paths consult.
+_ACTIVE: "Tracer | None" = None
+
+
+def span(name: str):
+    """A span under the active tracer, or the shared no-op when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name)
+
+
+def enable(tracer: "Tracer | None" = None) -> Tracer:
+    """Install (and return) the module-level tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer if tracer is not None else Tracer()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Remove the module-level tracer (spans become no-ops again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> "Tracer | None":
+    """The currently installed tracer, if any."""
+    return _ACTIVE
+
+
+@contextmanager
+def activate(tracer: Tracer):
+    """Scoped tracer installation; restores the previous tracer on exit."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = tracer
+    try:
+        yield tracer
+    finally:
+        _ACTIVE = previous

@@ -16,6 +16,7 @@ from repro.datasets.dataset import RectDataset
 from repro.errors import InvalidGridError
 from repro.geometry.mbr import Rect
 from repro.grid.storage import TileTable
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["MXCIFQuadTree"]
@@ -137,8 +138,19 @@ class MXCIFQuadTree:
         self, window: Rect, stats: "QueryStats | None" = None
     ) -> np.ndarray:
         """Window query; no deduplication needed (objects stored once)."""
-        pieces: list[np.ndarray] = []
-        stack = [self._root]
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                stack = [self._root]
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                self._scan_window(stack, window, pieces, stats)
+            with trace_span("dedup"):
+                pass  # objects stored once (smallest covering quadrant)
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_window(self, stack, window, pieces, stats) -> None:
         while stack:
             node = stack.pop()
             if (
@@ -163,6 +175,3 @@ class MXCIFQuadTree:
                 pieces.append(ids[mask])
             if node.children is not None:
                 stack.extend(node.children)
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)

@@ -21,6 +21,7 @@ from repro.datasets.queries import DiskQuery
 from repro.errors import InvalidGridError
 from repro.geometry.mbr import Rect, max_dist_point_rect, min_dist_point_rect
 from repro.grid.storage import TileTable
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["QuadTree", "DEFAULT_CAPACITY", "DEFAULT_MAX_DEPTH"]
@@ -226,14 +227,22 @@ class QuadTree:
         self, window: Rect, stats: "QueryStats | None" = None
     ) -> np.ndarray:
         """Window query with reference-point duplicate elimination [9]."""
-        pieces: list[np.ndarray] = []
-        for node in self._leaves_for_window(window):
-            piece = self._scan_leaf(node, window, stats)
-            if piece is not None:
-                pieces.append(piece)
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                leaves = list(self._leaves_for_window(window))
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                for node in leaves:
+                    piece = self._scan_leaf(node, window, stats)
+                    if piece is not None:
+                        pieces.append(piece)
+            with trace_span("dedup"):
+                # Reference-point dedup runs interleaved per leaf inside the
+                # scan (see _scan_leaf); counted via stats.dedup_checks.
+                pass
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
 
     def _scan_leaf(
         self, node: _Node, window: Rect, stats: "QueryStats | None"
@@ -280,44 +289,62 @@ class QuadTree:
         Results in leaves fully covered by the disk are reported directly;
         the rest are distance-verified.
         """
-        window = query.mbr()
-        radius = query.radius
-        pieces: list[np.ndarray] = []
-        for node in self._leaves_for_window(window):
-            assert node.table is not None
-            xl, yl, xu, yu, ids = node.table.columns()
-            if ids.shape[0] == 0:
-                continue
-            if stats is not None:
-                stats.partitions_visited += 1
-                stats.rects_scanned += ids.shape[0]
-            mask = (
-                (xu >= window.xl)
-                & (xl <= window.xu)
-                & (yu >= window.yl)
-                & (yl <= window.yu)
-            )
-            px = np.maximum(xl, window.xl)
-            py = np.maximum(yl, window.yl)
-            at_domain_x = node.xu >= self.domain.xu
-            at_domain_y = node.yu >= self.domain.yu
-            mask &= (
-                (px >= node.xl)
-                & ((px < node.xu) | at_domain_x)
-                & (py >= node.yl)
-                & ((py < node.yu) | at_domain_y)
-            )
-            cand = np.flatnonzero(mask)
-            if cand.shape[0] == 0:
-                continue
-            region = Rect(node.xl, node.yl, node.xu, node.yu)
-            if max_dist_point_rect(query.cx, query.cy, region) <= radius:
-                pieces.append(ids[cand])
-                continue
-            dx = np.maximum(np.maximum(xl[cand] - query.cx, 0.0), query.cx - xu[cand])
-            dy = np.maximum(np.maximum(yl[cand] - query.cy, 0.0), query.cy - yu[cand])
-            within = dx * dx + dy * dy <= radius * radius
-            pieces.append(ids[cand[within]])
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
+        with trace_span("query.disk"):
+            with trace_span("filter.lookup"):
+                window = query.mbr()
+                radius = query.radius
+                leaves = list(self._leaves_for_window(window))
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                for node in leaves:
+                    piece = self._scan_disk_leaf(node, query, window, radius, stats)
+                    if piece is not None:
+                        pieces.append(piece)
+            with trace_span("dedup"):
+                # Reference-point dedup interleaved per leaf during the scan.
+                pass
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_disk_leaf(
+        self,
+        node: "_Node",
+        query: DiskQuery,
+        window: Rect,
+        radius: float,
+        stats: "QueryStats | None",
+    ) -> "np.ndarray | None":
+        assert node.table is not None
+        xl, yl, xu, yu, ids = node.table.columns()
+        if ids.shape[0] == 0:
+            return None
+        if stats is not None:
+            stats.partitions_visited += 1
+            stats.rects_scanned += ids.shape[0]
+        mask = (
+            (xu >= window.xl)
+            & (xl <= window.xu)
+            & (yu >= window.yl)
+            & (yl <= window.yu)
+        )
+        px = np.maximum(xl, window.xl)
+        py = np.maximum(yl, window.yl)
+        at_domain_x = node.xu >= self.domain.xu
+        at_domain_y = node.yu >= self.domain.yu
+        mask &= (
+            (px >= node.xl)
+            & ((px < node.xu) | at_domain_x)
+            & (py >= node.yl)
+            & ((py < node.yu) | at_domain_y)
+        )
+        cand = np.flatnonzero(mask)
+        if cand.shape[0] == 0:
+            return None
+        region = Rect(node.xl, node.yl, node.xu, node.yu)
+        if max_dist_point_rect(query.cx, query.cy, region) <= radius:
+            return ids[cand]
+        dx = np.maximum(np.maximum(xl[cand] - query.cx, 0.0), query.cx - xu[cand])
+        dy = np.maximum(np.maximum(yl[cand] - query.cy, 0.0), query.cy - yu[cand])
+        within = dx * dx + dy * dy <= radius * radius
+        return ids[cand[within]]

@@ -19,6 +19,7 @@ from repro.errors import InvalidGridError
 from repro.geometry.mbr import Rect
 from repro.grid.storage import TileTable
 from repro.core.selection import plan_for_region
+from repro.obs.tracing import span as trace_span
 from repro.quadtree.quadtree import DEFAULT_CAPACITY, DEFAULT_MAX_DEPTH
 from repro.stats import QueryStats
 
@@ -212,15 +213,30 @@ class TwoLayerQuadTree:
         candidates, so results stay duplicate-free.  Leaves fully inside
         the disk skip the distance computations (Section IV-E).
         """
+        with trace_span("query.disk"):
+            with trace_span("filter.lookup"):
+                window = query.mbr()
+                radius = query.radius
+                cx, cy = query.cx, query.cy
+                r2 = radius * radius
+                stack = [self._root]
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                self._scan_disk(
+                    stack, window, cx, cy, radius, r2, pieces, stats
+                )
+            with trace_span("dedup"):
+                pass  # class selection per leaf is duplicate-free
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_disk(
+        self, stack, window, cx, cy, radius, r2, pieces, stats
+    ) -> None:
         from repro.geometry.mbr import max_dist_point_rect
 
-        window = query.mbr()
-        radius = query.radius
-        cx, cy = query.cx, query.cy
-        r2 = radius * radius
-        pieces: list[np.ndarray] = []
         domain = self.domain
-        stack = [self._root]
         while stack:
             node = stack.pop()
             visible_x = node.xu > window.xl or (
@@ -275,17 +291,25 @@ class TwoLayerQuadTree:
                     m = dx * dx + dy * dy <= r2
                     mask = m if mask is None else mask & m
                 pieces.append(ids if mask is None else ids[mask])
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
 
     def window_query(
         self, window: Rect, stats: "QueryStats | None" = None
     ) -> np.ndarray:
         """Duplicate-free window query via per-leaf class selection."""
-        pieces: list[np.ndarray] = []
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                stack = [self._root]
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                self._scan_window(stack, window, pieces, stats)
+            with trace_span("dedup"):
+                pass  # duplicate-free by class selection (no dedup step)
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
+
+    def _scan_window(self, stack, window, pieces, stats) -> None:
         domain = self.domain
-        stack = [self._root]
         while stack:
             node = stack.pop()
             # Half-open region visibility, mirroring the grid's floor-based
@@ -345,6 +369,3 @@ class TwoLayerQuadTree:
                     m = yl <= window.yu
                     mask = m if mask is None else mask & m
                 pieces.append(ids if mask is None else ids[mask])
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)

@@ -30,6 +30,7 @@ from repro.rtree.node import (
 )
 from repro.rtree.split import quadratic_split, rstar_split
 from repro.rtree.str_packing import str_pack
+from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["RTree", "RStarTree"]
@@ -187,32 +188,39 @@ class RTree:
         """Ids of all indexed MBRs intersecting ``window``."""
         if self._n_objects == 0 or len(self._root) == 0:
             return _EMPTY_IDS
-        pieces: list[np.ndarray] = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            m = node.matrix()
-            if stats is not None:
-                stats.partitions_visited += 1
-                stats.comparisons += 4 * m.shape[0]
-            mask = (
-                (m[:, 2] >= window.xl)
-                & (m[:, 0] <= window.xu)
-                & (m[:, 3] >= window.yl)
-                & (m[:, 1] <= window.yu)
-            )
-            if node.leaf:
-                if stats is not None:
-                    stats.rects_scanned += m.shape[0]
-                hit = node.id_array()[mask]
-                if hit.shape[0]:
-                    pieces.append(hit)
-            else:
-                payloads = node.payloads
-                stack.extend(payloads[int(k)] for k in np.flatnonzero(mask))
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
+        with trace_span("query.window"):
+            with trace_span("filter.lookup"):
+                # Tree descent and leaf scans interleave; the root push is
+                # the only separable planning step.
+                stack = [self._root]
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                while stack:
+                    node = stack.pop()
+                    m = node.matrix()
+                    if stats is not None:
+                        stats.partitions_visited += 1
+                        stats.comparisons += 4 * m.shape[0]
+                    mask = (
+                        (m[:, 2] >= window.xl)
+                        & (m[:, 0] <= window.xu)
+                        & (m[:, 3] >= window.yl)
+                        & (m[:, 1] <= window.yu)
+                    )
+                    if node.leaf:
+                        if stats is not None:
+                            stats.rects_scanned += m.shape[0]
+                        hit = node.id_array()[mask]
+                        if hit.shape[0]:
+                            pieces.append(hit)
+                    else:
+                        payloads = node.payloads
+                        stack.extend(payloads[int(k)] for k in np.flatnonzero(mask))
+            with trace_span("dedup"):
+                pass  # unique placement (DOP) — nothing to deduplicate
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
 
     def knn_query(
         self, cx: float, cy: float, k: int, stats: "QueryStats | None" = None
@@ -244,6 +252,16 @@ class RTree:
         counter = 0
         heap: list[tuple[float, int, int, object]] = [(0.0, 0, counter, self._root)]
         results: list[int] = []
+        knn_span = trace_span("query.knn")
+        scan_span = trace_span("filter.scan")
+        with knn_span, scan_span:
+            self._knn_best_first(heap, results, k, node_dists, stats)
+        return np.asarray(results, dtype=np.int64)
+
+    def _knn_best_first(self, heap, results, k, node_dists, stats) -> None:
+        import heapq
+
+        counter = len(heap)
         while heap and len(results) < k:
             dist, kind, tie, item = heapq.heappop(heap)
             if kind == 1:
@@ -263,7 +281,6 @@ class RTree:
                 for j, child in enumerate(node.payloads):
                     counter += 1
                     heapq.heappush(heap, (float(dists[j]), 0, counter, child))
-        return np.asarray(results, dtype=np.int64)
 
     def disk_query(
         self, query: DiskQuery, stats: "QueryStats | None" = None
@@ -271,31 +288,36 @@ class RTree:
         """Ids of all indexed MBRs within ``query.radius`` of the centre."""
         if self._n_objects == 0 or len(self._root) == 0:
             return _EMPTY_IDS
-        r2 = query.radius * query.radius
-        cx, cy = query.cx, query.cy
-        pieces: list[np.ndarray] = []
-        stack = [self._root]
-        while stack:
-            node = stack.pop()
-            m = node.matrix()
-            if stats is not None:
-                stats.partitions_visited += 1
-                stats.comparisons += 2 * m.shape[0]
-            dx = np.maximum(np.maximum(m[:, 0] - cx, 0.0), cx - m[:, 2])
-            dy = np.maximum(np.maximum(m[:, 1] - cy, 0.0), cy - m[:, 3])
-            mask = dx * dx + dy * dy <= r2
-            if node.leaf:
-                if stats is not None:
-                    stats.rects_scanned += m.shape[0]
-                hit = node.id_array()[mask]
-                if hit.shape[0]:
-                    pieces.append(hit)
-            else:
-                payloads = node.payloads
-                stack.extend(payloads[int(k)] for k in np.flatnonzero(mask))
-        if not pieces:
-            return _EMPTY_IDS
-        return np.concatenate(pieces)
+        with trace_span("query.disk"):
+            with trace_span("filter.lookup"):
+                r2 = query.radius * query.radius
+                cx, cy = query.cx, query.cy
+                stack = [self._root]
+            pieces: list[np.ndarray] = []
+            with trace_span("filter.scan"):
+                while stack:
+                    node = stack.pop()
+                    m = node.matrix()
+                    if stats is not None:
+                        stats.partitions_visited += 1
+                        stats.comparisons += 2 * m.shape[0]
+                    dx = np.maximum(np.maximum(m[:, 0] - cx, 0.0), cx - m[:, 2])
+                    dy = np.maximum(np.maximum(m[:, 1] - cy, 0.0), cy - m[:, 3])
+                    mask = dx * dx + dy * dy <= r2
+                    if node.leaf:
+                        if stats is not None:
+                            stats.rects_scanned += m.shape[0]
+                        hit = node.id_array()[mask]
+                        if hit.shape[0]:
+                            pieces.append(hit)
+                    else:
+                        payloads = node.payloads
+                        stack.extend(payloads[int(k)] for k in np.flatnonzero(mask))
+            with trace_span("dedup"):
+                pass  # unique placement (DOP) — nothing to deduplicate
+            if not pieces:
+                return _EMPTY_IDS
+            return np.concatenate(pieces)
 
 
 class RStarTree(RTree):

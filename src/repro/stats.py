@@ -48,6 +48,41 @@ class QueryStats:
         for f in fields(self):
             setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
 
+    def __add__(self, other: "QueryStats") -> "QueryStats":
+        """Counter-wise sum as a new object; operands are untouched."""
+        if not isinstance(other, QueryStats):
+            return NotImplemented
+        return QueryStats(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __iadd__(self, other: "QueryStats") -> "QueryStats":
+        """In-place counter-wise sum (operator form of :meth:`merge`)."""
+        if not isinstance(other, QueryStats):
+            return NotImplemented
+        self.merge(other)
+        return self
+
+    def snapshot(self) -> "QueryStats":
+        """An independent copy of the current counter values.
+
+        Take a snapshot before a query against a long-lived stats object,
+        then :meth:`diff` afterwards to get that query's delta.
+        """
+        return QueryStats(**self.as_dict())
+
+    def diff(self, since: "QueryStats") -> "QueryStats":
+        """Counter-wise ``self - since`` as a new object (per-query delta)."""
+        return QueryStats(
+            **{
+                f.name: getattr(self, f.name) - getattr(since, f.name)
+                for f in fields(self)
+            }
+        )
+
     def as_dict(self) -> dict[str, int]:
         return {f.name: getattr(self, f.name) for f in fields(self)}
 

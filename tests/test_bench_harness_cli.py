@@ -31,8 +31,34 @@ class TestRunner:
         assert t.avg_ms == 20.0
 
     def test_timed_zero_guard(self):
-        assert Timed(seconds=0.0, queries=10).qps == float("inf")
-        assert Timed(seconds=1.0, queries=0).avg_ms == 0.0
+        # A zero-second clock reading means "no throughput measured",
+        # not infinite speed (inf poisons downstream arithmetic/JSON).
+        assert Timed(seconds=0.0, queries=10).qps == 0.0
+        assert Timed(seconds=-1.0, queries=10).qps == 0.0
+        # An average over zero queries is undefined, never 0.0 ms.
+        with pytest.raises(ValueError):
+            Timed(seconds=1.0, queries=0).avg_ms
+
+    def test_timed_regular_values_unaffected(self):
+        t = Timed(seconds=0.5, queries=250)
+        assert t.qps == 500.0
+        assert t.avg_ms == 2.0
+
+    def test_profiled_throughput(self):
+        from repro.bench import profiled_throughput
+        from repro.core.two_layer import TwoLayerGrid
+        from repro.datasets import generate_uniform_rects
+        from repro.geometry.mbr import Rect
+
+        index = TwoLayerGrid.build(
+            generate_uniform_rects(500, seed=3), partitions_per_dim=8
+        )
+        windows = [Rect(0.1 * i, 0.1, 0.1 * i + 0.2, 0.4) for i in range(5)]
+        timed, phases = profiled_throughput(index.window_query, windows)
+        assert timed.queries == 5
+        assert "query.window" in phases
+        assert "query.window/filter.scan" in phases
+        assert all(v >= 0.0 for v in phases.values())
 
     def test_time_call(self):
         result, seconds = time_call(lambda: 41 + 1)

@@ -56,6 +56,27 @@ class TestGridPartitioner:
         g = GridPartitioner(4, 4)
         assert g.tile_rect(1, 2) == Rect(0.25, 0.5, 0.5, 0.75)
 
+    def test_last_tile_rect_reaches_domain_edge(self):
+        # 1/6 is not exact in binary: 6 * (1/6) rounds to just under 1.0,
+        # which used to exclude boundary points from the last tile.
+        g = GridPartitioner(6, 6)
+        last = g.tile_rect(5, 5)
+        assert last.xu == 1.0
+        assert last.yu == 1.0
+
+    def test_radius_zero_disk_at_domain_corner(self):
+        # Regression: a radius-0 disk at (1.0, 0.0) must find the rect
+        # touching that corner (the 1-ulp tile_rect gap dropped it).
+        from repro.core import TwoLayerGrid
+        from repro.datasets.dataset import RectDataset
+        from repro.datasets.queries import DiskQuery
+
+        data = RectDataset(
+            np.array([0.9]), np.array([0.0]), np.array([1.0]), np.array([0.1])
+        )
+        index = TwoLayerGrid.build(data, partitions_per_dim=6)
+        assert index.disk_query(DiskQuery(1.0, 0.0, 0.0)).tolist() == [0]
+
     def test_tile_range_for_window(self):
         g = GridPartitioner(4, 4)
         assert g.tile_range_for_window(Rect(0.1, 0.1, 0.6, 0.3)) == (0, 2, 0, 1)

@@ -1,0 +1,262 @@
+"""Unit tests for the observability toolkit (tracing, metrics, exporters)."""
+
+import io
+import json
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Tracer,
+    tracing,
+)
+from repro.obs.export import (
+    format_metrics_table,
+    format_span_tree,
+    jsonl_events,
+    to_prometheus_text,
+    write_jsonl,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter("hits")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter("hits").inc(-1)
+
+    def test_gauge_sets_any_value(self):
+        g = Gauge("load")
+        g.set(3.5)
+        assert g.value == 3.5
+        g.set(-1.0)
+        assert g.value == -1.0
+
+
+class TestHistogram:
+    def test_percentiles_on_known_data(self):
+        h = Histogram("latency")
+        for v in range(1, 101):  # 1..100
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.percentile(50) == pytest.approx(50.5)
+        assert h.percentile(0) == 1.0
+        assert h.percentile(100) == 100.0
+        assert h.percentile(95) == pytest.approx(np.percentile(np.arange(1, 101), 95))
+
+    def test_running_aggregates_are_exact_past_capacity(self):
+        h = Histogram("x", capacity=8)
+        for v in range(100):
+            h.observe(float(v))
+        # count/sum/min/max track every observation, not just the ring.
+        assert h.count == 100
+        assert h.min == 0.0
+        assert h.max == 99.0
+        assert h.mean == pytest.approx(sum(range(100)) / 100)
+
+    def test_summary_keys(self):
+        h = Histogram("x")
+        h.observe(2.0)
+        assert set(h.summary()) == {
+            "count", "mean", "min", "max", "p50", "p95", "p99",
+        }
+
+    def test_empty_histogram_is_safe(self):
+        h = Histogram("x")
+        assert h.percentile(50) == 0.0
+        assert h.summary()["count"] == 0
+
+    def test_percentile_range_validation(self):
+        h = Histogram("x")
+        with pytest.raises(ValueError):
+            h.percentile(101)
+        with pytest.raises(ValueError):
+            h.percentile(-1)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_idempotent(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_collect_expands_histograms_and_sources(self):
+        reg = MetricsRegistry()
+        reg.counter("queries").inc(3)
+        reg.histogram("lat").observe(1.0)
+        reg.register_source("src", lambda: {"k": 7})
+        snapshot = reg.collect()
+        assert snapshot["queries"] == 3
+        assert snapshot["lat.p50"] == 1.0
+        assert snapshot["src.k"] == 7
+
+    def test_reset(self):
+        reg = MetricsRegistry()
+        reg.counter("a").inc(5)
+        reg.histogram("h").observe(1.0)
+        reg.reset()
+        assert reg.counter("a").value == 0
+        assert reg.histogram("h").count == 0
+
+
+class TestTracer:
+    def test_span_tree_aggregates_by_name(self):
+        tracer = Tracer()
+        for _ in range(3):
+            with tracer.span("query.window"):
+                with tracer.span("filter.scan"):
+                    pass
+        root = tracer.find("query.window")
+        assert root.calls == 3
+        scan = tracer.find("query.window/filter.scan")
+        assert scan.calls == 3
+        assert root.total_s >= scan.total_s >= 0.0
+        # One node per (parent, name) no matter how many queries ran.
+        assert len(tracer.spans) == 1
+
+    def test_self_time_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        a = tracer.find("a")
+        assert a.self_s == pytest.approx(
+            a.total_s - tracer.find("a/b").total_s
+        )
+
+    def test_phase_totals_flat_paths(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        totals = tracer.phase_totals()
+        assert set(totals) == {"a", "a/b"}
+
+    def test_format_tree_renders_all_spans(self):
+        tracer = Tracer()
+        with tracer.span("query.window"):
+            with tracer.span("dedup"):
+                pass
+        text = tracer.format_tree()
+        assert "query.window" in text
+        assert "dedup" in text
+        assert "calls" in text
+
+    def test_reset_clears(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans == {}
+
+    def test_module_span_is_shared_noop_when_disabled(self):
+        assert tracing.active() is None
+        s1 = tracing.span("anything")
+        s2 = tracing.span("else")
+        assert s1 is s2  # one shared singleton, zero allocations
+
+    def test_activate_restores_previous(self):
+        outer = Tracer()
+        inner = Tracer()
+        with tracing.activate(outer):
+            assert tracing.active() is outer
+            with tracing.activate(inner):
+                assert tracing.active() is inner
+            assert tracing.active() is outer
+        assert tracing.active() is None
+
+    def test_enable_disable(self):
+        tracer = tracing.enable()
+        try:
+            assert tracing.active() is tracer
+            with tracing.span("x"):
+                pass
+            assert tracer.find("x").calls == 1
+        finally:
+            tracing.disable()
+        assert tracing.active() is None
+
+    def test_disabled_span_loop_allocates_nothing(self):
+        """The disabled-tracer hot path must not allocate per span."""
+        assert tracing.active() is None
+
+        def loop(n):
+            for _ in range(n):
+                with tracing.span("query.window"):
+                    with tracing.span("filter.scan"):
+                        pass
+
+        loop(10)  # warm up (interned strings, bytecode caches)
+        tracemalloc.start()
+        loop(1000)
+        current, _peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        assert current == 0, f"disabled span path leaked {current} bytes"
+
+
+class TestExporters:
+    def _populated(self):
+        tracer = Tracer()
+        with tracer.span("query.window"):
+            with tracer.span("filter.scan"):
+                pass
+        reg = MetricsRegistry()
+        reg.counter("queries").inc(2)
+        reg.histogram("lat.ms").observe(1.5)
+        return tracer, reg
+
+    def test_jsonl_events_roundtrip(self):
+        tracer, reg = self._populated()
+        records = jsonl_events(tracer, reg, meta={"run": "t1"})
+        assert all(r["run"] == "t1" for r in records)
+        paths = {r["path"] for r in records if r["type"] == "span"}
+        assert {"query.window", "query.window/filter.scan"} <= paths
+        buffer = io.StringIO()
+        n = write_jsonl(records, buffer)
+        assert n == len(records)
+        lines = buffer.getvalue().strip().splitlines()
+        assert len(lines) == n
+        assert all(json.loads(line) for line in lines)
+
+    def test_write_jsonl_to_path(self, tmp_path):
+        target = tmp_path / "events.jsonl"
+        n = write_jsonl([{"a": 1}, {"b": 2}], str(target))
+        assert n == 2
+        assert len(target.read_text().strip().splitlines()) == 2
+
+    def test_prometheus_text(self):
+        _tracer, reg = self._populated()
+        text = to_prometheus_text(reg)
+        assert "# TYPE repro_queries counter" in text
+        assert "repro_queries 2" in text
+        # Histogram as a summary with quantile labels (name sanitised).
+        assert '# TYPE repro_lat_ms summary' in text
+        assert 'repro_lat_ms{quantile="0.5"}' in text
+        assert "repro_lat_ms_count 1" in text
+
+    def test_metrics_table_uses_reporting_style(self):
+        _tracer, reg = self._populated()
+        table = format_metrics_table(reg)
+        assert "=== metrics ===" in table
+        assert "queries" in table
+        assert "lat.ms.p50" in table
+
+    def test_format_span_tree_alias(self):
+        tracer, _reg = self._populated()
+        assert format_span_tree(tracer) == tracer.format_tree()

@@ -1,0 +1,252 @@
+"""Integration tests: span taxonomy parity, profile(), cluster report, CLI."""
+
+import tracemalloc
+
+import numpy as np
+import pytest
+
+from repro.api import SpatialCollection
+from repro.block import BlockIndex
+from repro.core import TwoLayerGrid, TwoLayerPlusGrid
+from repro.core.join import one_layer_spatial_join, two_layer_spatial_join
+from repro.core.knn import knn_query
+from repro.datasets import generate_uniform_rects
+from repro.datasets.queries import DiskQuery
+from repro.distributed import SimulatedSpatialCluster
+from repro.geometry.mbr import Rect
+from repro.grid import OneLayerGrid
+from repro.kdtree import KDTree, TwoLayerKDTree
+from repro.obs import Tracer, tracing
+from repro.quadtree import MXCIFQuadTree, QuadTree, TwoLayerQuadTree
+from repro.rtree import RTree
+from repro.stats import QueryStats
+
+DATA = generate_uniform_rects(3_000, area=1e-6, seed=11)
+WINDOW = Rect(0.2, 0.2, 0.45, 0.45)
+DISK = DiskQuery(0.5, 0.5, 0.15)
+
+#: every window-capable index family, built once.
+WINDOW_FAMILIES = [
+    ("two-layer", TwoLayerGrid.build(DATA, partitions_per_dim=16)),
+    ("two-layer+", TwoLayerPlusGrid.build(DATA, partitions_per_dim=16)),
+    ("one-layer", OneLayerGrid.build(DATA, partitions_per_dim=16)),
+    ("quad-tree", QuadTree.build(DATA)),
+    ("quad-tree-2l", TwoLayerQuadTree.build(DATA)),
+    ("kd-tree", KDTree.build(DATA)),
+    ("kd-tree-2l", TwoLayerKDTree.build(DATA)),
+    ("r-tree", RTree.build(DATA)),
+    ("block", BlockIndex.build(DATA)),
+    ("mxcif", MXCIFQuadTree.build(DATA)),
+]
+
+#: the subset that implements disk queries.
+DISK_FAMILIES = [
+    (name, index)
+    for name, index in WINDOW_FAMILIES
+    if hasattr(index, "disk_query") and name != "mxcif"
+]
+
+PHASES = {"filter.lookup", "filter.scan", "dedup"}
+
+
+class TestSpanTaxonomyParity:
+    """Every index family emits the same phase taxonomy under a query root."""
+
+    @pytest.mark.parametrize(
+        "name,index", WINDOW_FAMILIES, ids=[n for n, _ in WINDOW_FAMILIES]
+    )
+    def test_window_query_phases(self, name, index):
+        tracer = Tracer()
+        stats = QueryStats()
+        with tracing.activate(tracer):
+            index.window_query(WINDOW, stats)
+        root = tracer.find("query.window")
+        assert root is not None, f"{name}: no query.window root span"
+        assert PHASES <= set(root.children), (
+            f"{name}: query.window children {set(root.children)} "
+            f"missing {PHASES - set(root.children)}"
+        )
+        assert stats.rects_scanned > 0, f"{name}: stats not wired"
+
+    @pytest.mark.parametrize(
+        "name,index", DISK_FAMILIES, ids=[n for n, _ in DISK_FAMILIES]
+    )
+    def test_disk_query_phases(self, name, index):
+        tracer = Tracer()
+        stats = QueryStats()
+        with tracing.activate(tracer):
+            index.disk_query(DISK, stats)
+        root = tracer.find("query.disk")
+        assert root is not None, f"{name}: no query.disk root span"
+        assert PHASES <= set(root.children), f"{name}: missing disk phases"
+        assert stats.rects_scanned > 0
+
+    def test_spans_disjoint_when_disabled(self):
+        assert tracing.active() is None
+        index = WINDOW_FAMILIES[0][1]
+        hits = index.window_query(WINDOW)
+        assert hits.shape[0] > 0  # query still works on the fast path
+
+    def test_results_identical_with_and_without_tracing(self):
+        for name, index in WINDOW_FAMILIES:
+            plain = np.sort(index.window_query(WINDOW))
+            with tracing.activate(Tracer()):
+                traced = np.sort(index.window_query(WINDOW))
+            np.testing.assert_array_equal(plain, traced, err_msg=name)
+
+    def test_join_spans(self):
+        other = generate_uniform_rects(500, area=1e-6, seed=12)
+        small = generate_uniform_rects(500, area=1e-6, seed=13)
+        tracer = Tracer()
+        with tracing.activate(tracer):
+            two_layer_spatial_join(small, other, partitions_per_dim=8)
+        root = tracer.find("query.join")
+        assert root is not None
+        assert {"join.partition", "filter.scan", "dedup"} <= set(root.children)
+
+        tracer = Tracer()
+        with tracing.activate(tracer):
+            one_layer_spatial_join(small, other, partitions_per_dim=8)
+        root = tracer.find("query.join")
+        assert {"join.partition", "filter.scan", "dedup"} <= set(root.children)
+
+    def test_knn_spans_nest_disk_queries(self):
+        index = TwoLayerGrid.build(DATA, partitions_per_dim=16)
+        tracer = Tracer()
+        with tracing.activate(tracer):
+            knn_query(index, DATA, 0.5, 0.5, 5)
+        root = tracer.find("query.knn")
+        assert root is not None
+        assert "query.disk" in root.children
+        assert "knn.rank" in root.children
+
+    def test_two_layer_dedup_span_is_zero_work(self):
+        """The paper's point, visible in the trace: two-layer grids emit a
+        dedup phase that does nothing, while the 1-layer baseline spends
+        real dedup work (counted via dedup_checks)."""
+        two = TwoLayerGrid.build(DATA, partitions_per_dim=16)
+        one = OneLayerGrid.build(DATA, partitions_per_dim=16)
+        s_two, s_one = QueryStats(), QueryStats()
+        with tracing.activate(Tracer()):
+            two.window_query(WINDOW, s_two)
+            one.window_query(WINDOW, s_one)
+        assert s_two.dedup_checks == 0
+        assert s_one.dedup_checks > 0
+
+
+class TestDisabledOverhead:
+    def test_window_query_retains_no_memory_when_disabled(self):
+        """With no tracer active, the instrumented hot path must not
+        accumulate memory across queries (the no-op span is a shared
+        singleton; nothing per-call survives)."""
+        assert tracing.active() is None
+        index = TwoLayerGrid.build(DATA, partitions_per_dim=16)
+        for _ in range(5):  # warm every lazy cache
+            index.window_query(WINDOW)
+        tracemalloc.start()
+        before, _ = tracemalloc.get_traced_memory()
+        for _ in range(50):
+            index.window_query(WINDOW)
+        after, _ = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+        # Transient arrays are freed; nothing retained per query.
+        assert after - before < 4096, (
+            f"disabled path retained {after - before} bytes over 50 queries"
+        )
+
+
+class TestCollectionProfile:
+    def test_profile_report_shape(self):
+        col = SpatialCollection.from_dataset(DATA, partitions_per_dim=16)
+        with col.profile() as prof:
+            for i in range(10):
+                col.window(0.1 + 0.02 * i, 0.1, 0.3 + 0.02 * i, 0.35)
+            col.disk(0.5, 0.5, 0.1)
+            col.knn(0.5, 0.5, k=5)
+        summary = prof.summary()
+        assert summary["queries"] == 12
+        lat = summary["latency_ms"]
+        assert {"window", "disk", "knn"} <= set(lat)
+        for kind in ("window", "disk", "knn"):
+            row = lat[kind]
+            assert {"p50", "p95", "p99", "count", "mean", "min", "max"} <= set(row)
+            assert row["p50"] <= row["p95"] <= row["p99"]
+        # Merged QueryStats counters from every profiled query.
+        assert summary["stats"]["rects_scanned"] > 0
+        # Per-phase wall-clock totals from the span tree.
+        assert "query.window/filter.scan" in summary["phases_s"]
+
+    def test_profile_tree_and_exports(self):
+        col = SpatialCollection.from_dataset(DATA, partitions_per_dim=16)
+        with col.profile() as prof:
+            col.window(0.2, 0.2, 0.4, 0.4)
+        tree = prof.span_tree()
+        assert "query.window" in tree and "filter.scan" in tree
+        prom = prof.to_prometheus()
+        assert "repro_query_window_latency_ms" in prom
+        parsed = [r for r in prof.events(meta={"run": "x"})]
+        assert any(r.get("type") == "span" for r in parsed)
+
+    def test_profile_restores_fast_path(self):
+        col = SpatialCollection.from_dataset(DATA, partitions_per_dim=16)
+        with col.profile():
+            pass
+        assert tracing.active() is None
+        assert col._profile is None
+
+    def test_stats_arg_still_filled_under_profile(self):
+        col = SpatialCollection.from_dataset(DATA, partitions_per_dim=16)
+        stats = QueryStats()
+        with col.profile():
+            col.window(0.2, 0.2, 0.4, 0.4, stats=stats)
+        assert stats.rects_scanned > 0
+
+
+class TestClusterReport:
+    def test_cluster_report_aggregates_workers(self):
+        cluster = SimulatedSpatialCluster(DATA, partitions_per_dim=4)
+        stats = QueryStats()
+        for i in range(6):
+            cluster.window_query(Rect(0.1 * i, 0.1, 0.1 * i + 0.3, 0.5), stats=stats)
+        report = cluster.cluster_report()
+        assert report["queries"] == 6
+        assert report["partitions"] == cluster.partition_count
+        assert report["total_tasks"] > 0
+        assert report["total_compute_s"] >= 0.0
+        assert report["latency_ms"]["count"] == 6
+        assert report["latency_ms"]["p50"] <= report["latency_ms"]["p99"]
+        assert report["load_skew"] >= 1.0
+        # Per-worker rows carry object placement + observed load.
+        busy = [w for w in report["workers"].values() if w["tasks"]]
+        assert busy and all(w["objects"] > 0 for w in busy)
+        assert stats.rects_scanned > 0
+
+    def test_cluster_window_spans(self):
+        cluster = SimulatedSpatialCluster(DATA, partitions_per_dim=4)
+        tracer = Tracer()
+        with tracing.activate(tracer):
+            cluster.window_query(WINDOW)
+        root = tracer.find("query.window")
+        assert {"cluster.plan", "cluster.dispatch", "dedup"} <= set(root.children)
+
+    def test_reset_metrics(self):
+        cluster = SimulatedSpatialCluster(DATA, partitions_per_dim=4)
+        cluster.window_query(WINDOW)
+        cluster.reset_metrics()
+        report = cluster.cluster_report()
+        assert report["queries"] == 0
+        assert report["total_tasks"] == 0
+
+
+class TestCliProfile:
+    def test_cli_profile_prints_span_tree(self, capsys):
+        from repro.__main__ import main
+
+        code = main(["--n", "2000", "--queries", "15", "--skip-slow", "--profile"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "per-phase span tree" in out
+        assert "query.window" in out
+        assert "filter.scan" in out
+        assert "dedup" in out
+        assert "p95" in out

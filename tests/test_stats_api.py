@@ -42,6 +42,45 @@ class TestQueryStats:
             "secondary_filter_comparisons",
         } == keys
 
+    def test_add_returns_new_object(self):
+        a = QueryStats(comparisons=5, dedup_checks=1)
+        b = QueryStats(comparisons=2, refinement_tests=4)
+        c = a + b
+        assert c.comparisons == 7
+        assert c.dedup_checks == 1
+        assert c.refinement_tests == 4
+        # Operands untouched.
+        assert a.comparisons == 5 and b.comparisons == 2
+        assert c is not a and c is not b
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            QueryStats() + 3
+
+    def test_iadd_merges_in_place(self):
+        a = QueryStats(comparisons=5)
+        original = a
+        a += QueryStats(comparisons=2, rects_scanned=9)
+        assert a is original
+        assert a.comparisons == 7 and a.rects_scanned == 9
+
+    def test_snapshot_is_independent(self):
+        a = QueryStats(comparisons=5)
+        snap = a.snapshot()
+        a.comparisons += 10
+        assert snap.comparisons == 5
+        assert a.comparisons == 15
+
+    def test_diff_gives_per_query_delta(self):
+        a = QueryStats(comparisons=5, rects_scanned=100)
+        before = a.snapshot()
+        a.comparisons += 3
+        a.rects_scanned += 40
+        delta = a.diff(before)
+        assert delta.comparisons == 3
+        assert delta.rects_scanned == 40
+        assert delta.partitions_visited == 0
+
 
 class TestPublicApi:
     def test_all_exports_resolve(self):
