@@ -2,13 +2,20 @@
 
 from __future__ import annotations
 
+import hashlib
 import json
 import math
 import os
+import platform
+import socket
+import subprocess
 import time
 from functools import lru_cache
 
+import numpy as np
+
 from repro.bench import BEST_GRANULARITY, synthetic_dataset, tiger_dataset
+from repro.obs.trajectory import SCHEMA_VERSION, load_record as load_bench_record
 from repro.block import BlockIndex
 from repro.datasets import RectDataset
 from repro.grid import OneLayerGrid
@@ -21,6 +28,8 @@ __all__ = [
     "get_index",
     "resolve_dataset",
     "emit_bench_record",
+    "load_bench_record",
+    "run_manifest",
     "KEY_METHODS",
     "ALL_METHODS",
 ]
@@ -79,6 +88,58 @@ def get_index(method: str, dataset_key: str, granularity: int = BEST_GRANULARITY
     return build_index(method, resolve_dataset(dataset_key), granularity)
 
 
+# -- run manifest --------------------------------------------------------------
+
+
+def _git_sha() -> "str | None":
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+@lru_cache(maxsize=None)
+def _dataset_fingerprint() -> str:
+    """Stable hash of the benchmark datasets at the active scale.
+
+    Hashes a bounded sample of the ROADS stand-in (the dataset every
+    benchmark leans on) so records produced from different generator
+    code, seeds or scales never read as comparable.
+    """
+    try:
+        data = tiger_dataset("ROADS")
+    except Exception:  # pragma: no cover - generation failure
+        return "unavailable"
+    h = hashlib.sha256()
+    h.update(str(len(data)).encode())
+    sample = slice(0, 256)
+    for arr in (data.xl, data.yl, data.xu, data.yu):
+        h.update(np.ascontiguousarray(arr[sample]).tobytes())
+    return h.hexdigest()[:16]
+
+
+def run_manifest() -> dict:
+    """Environment/provenance stamp attached to every benchmark record."""
+    return {
+        "git_sha": _git_sha(),
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "bench_scale": os.environ.get("REPRO_BENCH_SCALE"),
+        "bench_queries": os.environ.get("REPRO_BENCH_QUERIES"),
+        "dataset_fingerprint": _dataset_fingerprint(),
+    }
+
+
 # -- machine-readable result emission -----------------------------------------
 
 
@@ -116,13 +177,17 @@ def emit_bench_record(name: str, params: dict, series: dict) -> str:
     scale); ``series`` holds the per-series numbers keyed however the
     benchmark accumulated them (tuple keys are flattened to
     "a/b" strings).  Every record is self-describing — name, ISO
-    timestamp, params — so runs can be diffed across commits.  Returns
+    timestamp, params, schema version and run manifest (git SHA,
+    interpreter, hostname, dataset fingerprint) — so runs can be diffed
+    across commits and machines by ``benchmarks/compare.py``.  Returns
     the path written.
     """
     record = {
         "name": name,
+        "schema": SCHEMA_VERSION,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "bench_scale": os.environ.get("REPRO_BENCH_SCALE"),
+        "manifest": _jsonable(run_manifest()),
         "params": _jsonable(params),
         "series": _jsonable(series),
     }

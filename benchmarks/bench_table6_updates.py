@@ -33,15 +33,19 @@ def _update_workload(dataset: str, method: str):
 @pytest.mark.parametrize("dataset", _DATASETS)
 @pytest.mark.parametrize("method", _METHODS)
 def test_table6_update_cost(benchmark, dataset, method):
-    index, tail = _update_workload(dataset, method)
-
-    def run():
+    # Inserts mutate the index, so each repeat rebuilds from the 90%
+    # bulk load; best-of-5 keeps these millisecond-scale timings stable
+    # enough for the regression gate (benchmarks/compare.py) across
+    # reruns.
+    def run_once():
+        index, tail = _update_workload(dataset, method)
         t0 = time.perf_counter()
         for rect, oid in tail:
             index.insert(rect, oid)
         return time.perf_counter() - t0
 
-    seconds = benchmark.pedantic(run, rounds=1, iterations=1)
+    seconds = benchmark.pedantic(run_once, rounds=1, iterations=1)
+    seconds = min([seconds] + [run_once() for _ in range(4)])
     _RESULTS[(method, dataset)] = seconds
 
 

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare results against committed baselines.
+
+Usage::
+
+    # compare benchmarks/results/BENCH_*.json against benchmarks/baselines/
+    PYTHONPATH=src python benchmarks/compare.py
+
+    # adopt the current results as the new baselines
+    PYTHONPATH=src python benchmarks/compare.py --update-baseline
+
+    # gate on absolute timings even across different machines
+    PYTHONPATH=src python benchmarks/compare.py --strict
+
+Exit status: 0 when every record passes the gate, 1 on any regression,
+2 on usage/IO errors (missing results, schema-less records).
+
+Gate semantics (see :mod:`repro.obs.trajectory`):
+
+* *who-wins ordering* is always a hard gate — a decisive inversion
+  (margins beyond the noise band on both sides) fails the run even
+  across machines;
+* *timing deltas* beyond the noise band gate hard only when the run
+  manifests are comparable (same host, interpreter, NumPy, scale and
+  dataset fingerprint) *and* at least two metrics of the same method
+  regressed (a real regression is corroborated across datasets;
+  machine-load spikes hit isolated metrics).  ``--strict`` gates every
+  beyond-band regression; everything softer warns.
+
+Records without a baseline are reported and skipped (the gate stays
+green so new benchmarks can land before their baseline does); commit a
+baseline with ``--update-baseline`` to arm the gate for them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+sys.path.insert(0, os.path.join(os.path.dirname(_HERE), "src"))
+
+from repro.errors import ObsError  # noqa: E402
+from repro.obs.trajectory import (  # noqa: E402
+    DEFAULT_NOISE_PCT,
+    compare_records,
+    format_trend_table,
+    load_record,
+    load_records,
+)
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Compare benchmark results against committed baselines."
+    )
+    parser.add_argument(
+        "--results",
+        default=os.path.join(_HERE, "results"),
+        help="directory holding the current BENCH_*.json records",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(_HERE, "baselines"),
+        help="directory holding the committed baseline records",
+    )
+    parser.add_argument(
+        "--noise",
+        type=float,
+        default=DEFAULT_NOISE_PCT,
+        help="relative noise band in percent (default %(default)s)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="gate on timing deltas even when run manifests differ",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="copy the current results over the baselines and exit",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="benchmark names to compare (default: every record found)",
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        results = load_records(args.results)
+    except ObsError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.names:
+        results = [r for r in results if r.name in set(args.names)]
+    if not results:
+        print(
+            f"error: no benchmark records under {args.results!r}"
+            + (f" matching {args.names}" if args.names else ""),
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.update_baseline:
+        os.makedirs(args.baselines, exist_ok=True)
+        for record in results:
+            dest = os.path.join(args.baselines, os.path.basename(record.path))
+            shutil.copyfile(record.path, dest)
+            print(f"baseline updated: {dest}")
+        return 0
+
+    failures: list[str] = []
+    for record in results:
+        base_path = os.path.join(args.baselines, os.path.basename(record.path))
+        if not os.path.exists(base_path):
+            print(
+                f"== {record.name} == no baseline at {base_path}; skipping "
+                f"(run with --update-baseline to adopt the current record)\n"
+            )
+            continue
+        try:
+            baseline = load_record(base_path)
+            comp = compare_records(record, baseline, noise_pct=args.noise)
+        except ObsError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_trend_table(comp, noise_pct=args.noise))
+        if not args.strict:
+            gated = set() if not comp.comparable else {
+                id(d) for d in comp.corroborated_regressions
+            }
+            why = (
+                "uncorroborated (no second metric of the same method moved)"
+                if comp.comparable
+                else "the runs are from different environments"
+            )
+            for d in comp.timing_regressions:
+                if id(d) not in gated:
+                    print(
+                        f"warning: {d.series}[{d.key}] moved "
+                        f"{d.delta_pct:+.1f}% but {why}; not gating "
+                        f"(use --strict to gate anyway)"
+                    )
+        failures.extend(comp.gate_failures(strict=args.strict))
+        print()
+
+    if failures:
+        print("REGRESSION GATE FAILED:", file=sys.stderr)
+        for f in failures:
+            print(f"  - {f}", file=sys.stderr)
+        return 1
+    print("regression gate: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

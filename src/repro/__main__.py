@@ -10,11 +10,14 @@ Options::
     python -m repro --n 200000      # bigger dataset
     python -m repro --seed 3        # different data
     python -m repro --profile       # add a per-phase span-tree breakdown
+    python -m repro --explain       # print EXPLAIN plans for sample queries
+    python -m repro --explain --json   # the same plans as JSON
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -56,7 +59,23 @@ def main(argv: "list[str] | None" = None) -> int:
         help="re-run the workload under tracing and print a span tree "
         "with per-phase timings plus latency percentiles",
     )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print EXPLAIN plans (per-class tile scans, candidate flow, "
+        "duplicate accounting) for a sample window/disk/kNN/join instead "
+        "of the self-check",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="with --explain or --profile: emit JSON instead of (or in "
+        "addition to) the console rendering",
+    )
     args = parser.parse_args(argv)
+
+    if args.explain:
+        return _print_explain(args)
 
     print(f"repro {__version__} self-check: n={args.n:,}, seed={args.seed}")
     data = generate_uniform_rects(args.n, area=1e-8, seed=args.seed)
@@ -99,23 +118,81 @@ def main(argv: "list[str] | None" = None) -> int:
     print("\nall indexes agree — installation OK")
 
     if args.profile:
-        _print_profile(data, queries)
+        _print_profile(data, queries, as_json=args.json)
     return 0
 
 
-def _print_profile(data, queries) -> None:
-    """Re-run the workload under the profiler and print the breakdown."""
+def _print_explain(args) -> int:
+    """Build a demo collection and print EXPLAIN plans for sample queries."""
+    from repro.api import SpatialCollection
+
+    data = generate_uniform_rects(args.n, area=1e-6, seed=args.seed)
+    queries = generate_window_queries(data, max(args.queries, 1), 0.1, seed=args.seed)
+    col = SpatialCollection.from_dataset(data, partitions_per_dim=64)
+    w = queries[0]
+    cx = (w.xl + w.xu) / 2.0
+    cy = (w.yl + w.yu) / 2.0
+    other = SpatialCollection.from_dataset(
+        generate_uniform_rects(
+            min(args.n, 5_000), area=1e-6, seed=args.seed + 1
+        ),
+        partitions_per_dim=64,
+    )
+    plans = [
+        col.window(w.xl, w.yl, w.xu, w.yu, explain=True),
+        col.disk(cx, cy, (w.xu - w.xl) / 2.0, explain=True),
+        col.knn(cx, cy, 10, explain=True),
+        col.join(other, explain=True),
+    ]
+    if args.json:
+        print(json.dumps([p.as_dict() for p in plans], indent=2))
+    else:
+        for plan in plans:
+            print(plan.format_tree())
+            print()
+    return 0
+
+
+def _print_profile(data, queries, as_json: bool = False) -> None:
+    """Re-run the workload under the profiler and print the breakdown.
+
+    Mid-batch query failures do not abort the run: each failing query is
+    recorded on the profile (``prof.errors``), the remaining queries
+    still execute, and the profile is marked *truncated* in both the
+    console output and the JSON summary.
+    """
     from repro.api import SpatialCollection
     from repro.obs.export import format_metrics_table
 
     col = SpatialCollection.from_dataset(data, partitions_per_dim=64)
     with col.profile() as prof:
         for w in queries:
-            col.window(w.xl, w.yl, w.xu, w.yu)
+            try:
+                col.window(w.xl, w.yl, w.xu, w.yu)
+            except Exception as exc:
+                print(
+                    f"warning: window query failed mid-batch: "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
         cx = (data.xl.min() + data.xu.max()) / 2.0
         cy = (data.yl.min() + data.yu.max()) / 2.0
-        col.knn(cx, cy, k=10)
+        try:
+            col.knn(cx, cy, k=10)
+        except Exception as exc:
+            print(
+                f"warning: kNN query failed mid-batch: "
+                f"{type(exc).__name__}: {exc}",
+                file=sys.stderr,
+            )
 
+    if prof.truncated:
+        first = prof.errors[0]
+        print(
+            f"\n!!! profile TRUNCATED: {len(prof.errors)} quer"
+            f"{'y' if len(prof.errors) == 1 else 'ies'} raised "
+            f"(first: {first['kind']}: {first['error']}: {first['message']})"
+        )
     print("\n=== profile: two-layer grid, per-phase span tree ===")
     print(prof.span_tree())
     summary = prof.latency_summary()
@@ -130,6 +207,9 @@ def _print_profile(data, queries) -> None:
         )
     print()
     print(format_metrics_table(prof.registry), end="")
+    if as_json:
+        print("\n=== profile: JSON summary ===")
+        print(json.dumps(prof.summary(), indent=2, default=str))
 
 
 if __name__ == "__main__":

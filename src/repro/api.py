@@ -168,6 +168,107 @@ class SpatialCollection:
         finally:
             self._profile = prev
 
+    # -- EXPLAIN -----------------------------------------------------------------
+
+    def explain(
+        self,
+        query: "Rect | DiskQuery | Sequence[float] | None" = None,
+        knn: "tuple[float, float, int] | None" = None,
+        join: "SpatialCollection | None" = None,
+        exact: bool = False,
+        predicate: str = "intersects",
+        partitions_per_dim: "int | None" = None,
+    ):
+        """Run one query under EXPLAIN and return its
+        :class:`~repro.obs.explain.QueryPlan`.
+
+        Exactly one query form must be given:
+
+        * ``query`` — a :class:`Rect` (or 4-sequence ``(xl, yl, xu, yu)``)
+          for a window query, or a :class:`DiskQuery` for a disk query;
+          ``exact`` / ``predicate`` select the same variants as
+          :meth:`window` / :meth:`disk`;
+        * ``knn=(cx, cy, k)`` — a k-nearest-neighbour query;
+        * ``join=other_collection`` — a two-layer spatial join.
+
+        The plan carries per-class tile scans, candidate flow per phase,
+        duplicate and comparison accounting, and per-phase wall-clock;
+        print it (``str(plan)``) or export it (``plan.to_json()``).
+        """
+        given = sum(x is not None for x in (query, knn, join))
+        if given != 1:
+            raise InvalidQueryError(
+                "explain() needs exactly one of query=, knn= or join="
+            )
+        if knn is not None:
+            from repro.obs.explain import explain_knn
+
+            cx, cy, k = knn
+            if exact:
+                raise InvalidQueryError(
+                    "EXPLAIN supports the MBR-level (filtering-step) kNN only"
+                )
+            return explain_knn(self.index, self.data, float(cx), float(cy), int(k))
+        if join is not None:
+            from repro.obs.explain import explain_join
+
+            ppd = (
+                partitions_per_dim
+                if partitions_per_dim is not None
+                else self.index.grid.nx
+            )
+            # accept either a SpatialCollection or a bare RectDataset
+            other = getattr(join, "data", join)
+            return explain_join(self.data, other, partitions_per_dim=ppd)
+        if isinstance(query, DiskQuery):
+            return self._explain_disk(query, exact)
+        if not isinstance(query, Rect):
+            xl, yl, xu, yu = query  # type: ignore[misc]
+            query = Rect(float(xl), float(yl), float(xu), float(yu))
+        return self._explain_window(query, exact, predicate)
+
+    def _explain_window(self, window: Rect, exact: bool, predicate: str):
+        from repro.obs.explain import explain_window
+
+        if predicate == "within":
+            if exact:
+                raise InvalidQueryError(
+                    "'within' is already exact at the MBR level"
+                )
+            return explain_window(
+                self.index,
+                window,
+                runner=lambda s: self.index.window_query_within(window, s),
+                kind="window[within]",
+            )
+        if predicate != "intersects":
+            raise InvalidQueryError(
+                f"unknown predicate {predicate!r}; expected 'intersects' or 'within'"
+            )
+        if exact:
+            return explain_window(
+                self.index,
+                window,
+                runner=lambda s: self._refiner.window(
+                    window, mode="refavoid_plus", stats=s
+                ),
+                kind="window[exact]",
+            )
+        return explain_window(self.index, window)
+
+    def _explain_disk(self, query: DiskQuery, exact: bool):
+        from repro.obs.explain import explain_disk
+
+        if exact:
+            return explain_disk(
+                self.index,
+                query,
+                runner=lambda s: self._refiner.disk(
+                    query, mode="refavoid", stats=s
+                ),
+            )
+        return explain_disk(self.index, query)
+
     def _run_query(self, kind: str, fn, stats: "QueryStats | None") -> np.ndarray:
         """Run ``fn(stats)``; under an active profile, also record the
         query's latency and work counters."""
@@ -191,6 +292,7 @@ class SpatialCollection:
         exact: bool = False,
         predicate: str = "intersects",
         stats: "QueryStats | None" = None,
+        explain: bool = False,
     ) -> np.ndarray:
         """Objects matching the window.
 
@@ -199,8 +301,12 @@ class SpatialCollection:
         filter + Lemma 5 secondary filter + refinement pipeline
         (intersects only — an MBR within the window implies the geometry
         is within it, so ``within`` needs no refinement).
+        ``explain=True`` returns a :class:`~repro.obs.explain.QueryPlan`
+        instead of the result ids.
         """
         window = Rect(xl, yl, xu, yu)
+        if explain:
+            return self._explain_window(window, exact, predicate)
         if predicate == "within":
             if exact:
                 raise InvalidQueryError(
@@ -232,9 +338,15 @@ class SpatialCollection:
         radius: float,
         exact: bool = False,
         stats: "QueryStats | None" = None,
+        explain: bool = False,
     ) -> np.ndarray:
-        """Objects within ``radius`` of the centre (exact or MBR-level)."""
+        """Objects within ``radius`` of the centre (exact or MBR-level).
+
+        ``explain=True`` returns a :class:`~repro.obs.explain.QueryPlan`.
+        """
         query = DiskQuery(cx, cy, radius)
+        if explain:
+            return self._explain_disk(query, exact)
         if exact:
             return self._run_query(
                 "disk",
@@ -254,13 +366,23 @@ class SpatialCollection:
             "polygon", lambda s: convex_range_query(self.index, poly, s), stats
         )
 
-    def knn(self, cx: float, cy: float, k: int, exact: bool = False) -> np.ndarray:
+    def knn(
+        self,
+        cx: float,
+        cy: float,
+        k: int,
+        exact: bool = False,
+        explain: bool = False,
+    ) -> np.ndarray:
         """The ``k`` objects nearest to a point.
 
         ``exact=False`` ranks by MBR minimum distance (the filtering-step
         metric); ``exact=True`` refines with true geometry distances
-        (filter-and-refine kNN).
+        (filter-and-refine kNN).  ``explain=True`` returns a
+        :class:`~repro.obs.explain.QueryPlan` (MBR-level kNN only).
         """
+        if explain:
+            return self.explain(knn=(cx, cy, k), exact=exact)
         if exact:
             return self._run_query(
                 "knn", lambda s: self._refiner.knn(cx, cy, k), None
@@ -270,16 +392,26 @@ class SpatialCollection:
         )
 
     def join(
-        self, other: "SpatialCollection", partitions_per_dim: "int | None" = None
+        self,
+        other: "SpatialCollection",
+        partitions_per_dim: "int | None" = None,
+        explain: bool = False,
     ) -> np.ndarray:
-        """All intersecting (self, other) id pairs, duplicate-free."""
+        """All intersecting (self, other) id pairs, duplicate-free.
+
+        ``explain=True`` returns a :class:`~repro.obs.explain.QueryPlan`.
+        """
+        if explain:
+            return self.explain(join=other, partitions_per_dim=partitions_per_dim)
         if partitions_per_dim is None:
             partitions_per_dim = self.index.grid.nx
         ppd = partitions_per_dim
+        # accept either a SpatialCollection or a bare RectDataset
+        other_data = getattr(other, "data", other)
         return self._run_query(
             "join",
             lambda s: two_layer_spatial_join(
-                self.data, other.data, partitions_per_dim=ppd, stats=s
+                self.data, other_data, partitions_per_dim=ppd, stats=s
             ),
             None,
         )

@@ -8,6 +8,9 @@ Benchmarks run at a configurable fraction of the paper's data scale
   TIGER 490K objects).
 * ``REPRO_BENCH_QUERIES`` — queries per workload (default 2000; the
   paper uses 10K).
+* ``REPRO_DATASET_CACHE``  — optional directory for an on-disk ``.npz``
+  cache of generated datasets, keyed by generator parameters and scale.
+  Lets CI restore datasets across runs instead of regenerating them.
 
 Datasets and workloads are memoised so the many benchmarks sharing them
 pay generation cost once per process.
@@ -17,6 +20,8 @@ from __future__ import annotations
 
 import os
 from functools import lru_cache
+
+import numpy as np
 
 from repro.datasets.dataset import RectDataset
 from repro.datasets.queries import (
@@ -54,6 +59,38 @@ def bench_query_count() -> int:
     return int(os.environ.get("REPRO_BENCH_QUERIES", 2000))
 
 
+def _disk_cached(cache_key: str, generate) -> RectDataset:
+    """Memoise ``generate()`` as ``.npz`` under ``REPRO_DATASET_CACHE``.
+
+    No-op (straight generation) when the environment variable is unset.
+    Only MBR arrays are cached — datasets carrying exact geometries skip
+    the cache.  A corrupt or unreadable cache entry falls back to
+    regeneration and is rewritten.
+    """
+    cache_dir = os.environ.get("REPRO_DATASET_CACHE")
+    if not cache_dir:
+        return generate()
+    path = os.path.join(cache_dir, f"{cache_key}.npz")
+    if os.path.exists(path):
+        try:
+            with np.load(path) as npz:
+                return RectDataset(
+                    npz["xl"], npz["yl"], npz["xu"], npz["yu"], None
+                )
+        except (OSError, ValueError, KeyError):
+            pass  # corrupt entry: regenerate below
+    data = generate()
+    if data.geometries is None:
+        os.makedirs(cache_dir, exist_ok=True)
+        # np.savez appends ".npz" unless the name already ends with it.
+        tmp = f"{path}.{os.getpid()}.tmp.npz"
+        np.savez_compressed(
+            tmp, xl=data.xl, yl=data.yl, xu=data.xu, yu=data.yu
+        )
+        os.replace(tmp, path)
+    return data
+
+
 @lru_cache(maxsize=None)
 def tiger_dataset(name: str, with_geometries: bool = False) -> RectDataset:
     """The cached Table III stand-in dataset (ROADS / EDGES / TIGER)."""
@@ -62,9 +99,12 @@ def tiger_dataset(name: str, with_geometries: bool = False) -> RectDataset:
         # Exact geometries are only needed by the refinement experiment;
         # cap the object count so geometry construction stays tractable.
         scale = min(scale, 1.0 / 1000.0)
-    return generate_tiger_standin(
+    generate = lambda: generate_tiger_standin(  # noqa: E731
         name, scale=scale, with_geometries=with_geometries, seed=2015
     )
+    if with_geometries:
+        return generate()
+    return _disk_cached(f"tiger_{name}_s{scale:g}_seed2015", generate)
 
 
 @lru_cache(maxsize=None)
@@ -72,7 +112,12 @@ def synthetic_dataset(
     n: int, area: float, distribution: str = "uniform"
 ) -> RectDataset:
     """Cached Table IV synthetic dataset."""
-    return generate_synthetic(n, area=area, distribution=distribution, seed=42)
+    return _disk_cached(
+        f"synthetic_n{n}_a{area:g}_{distribution}_seed42",
+        lambda: generate_synthetic(
+            n, area=area, distribution=distribution, seed=42
+        ),
+    )
 
 
 @lru_cache(maxsize=None)

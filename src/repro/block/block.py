@@ -39,6 +39,9 @@ DEFAULT_LEVELS = 9
 class BlockIndex:
     """Hierarchy of uniform grids with unique (DOP) object placement."""
 
+    #: EXPLAIN accounting mode: unique placement, no duplicates.
+    dedup_strategy = "none"
+
     def __init__(self, levels: int = DEFAULT_LEVELS, domain: "Rect | None" = None):
         if levels < 1:
             raise InvalidGridError(f"levels must be >= 1, got {levels}")
@@ -120,6 +123,38 @@ class BlockIndex:
     def __repr__(self) -> str:
         return f"BlockIndex(objects={self._n_objects}, levels={self.levels})"
 
+    def explain_partitions(
+        self, window: Rect
+    ) -> list[tuple[Rect, np.ndarray]]:
+        """EXPLAIN introspection: ``(cell rect, stored ids)`` for every
+        non-empty cell a window probe of ``window`` touches, across all
+        levels (same one-cell low-side extension as the scan)."""
+        out: list[tuple[Rect, np.ndarray]] = []
+        for level, grid in enumerate(self._grids):
+            if not grid:
+                continue
+            k = 1 << level
+            cw = self.domain.width / k
+            ch = self.domain.height / k
+            ix0 = min(max(int((window.xl - cw - self.domain.xl) / cw), 0), k - 1)
+            ix1 = min(max(int((window.xu - self.domain.xl) / cw), 0), k - 1)
+            iy0 = min(max(int((window.yl - ch - self.domain.yl) / ch), 0), k - 1)
+            iy1 = min(max(int((window.yu - self.domain.yl) / ch), 0), k - 1)
+            for iy in range(iy0, iy1 + 1):
+                base = iy * k
+                for ix in range(ix0, ix1 + 1):
+                    table = grid.get(base + ix)
+                    if table is None or len(table) == 0:
+                        continue
+                    rect = Rect(
+                        self.domain.xl + ix * cw,
+                        self.domain.yl + iy * ch,
+                        self.domain.xl + (ix + 1) * cw,
+                        self.domain.yl + (iy + 1) * ch,
+                    )
+                    out.append((rect, table.columns()[4]))
+        return out
+
     # -- queries -------------------------------------------------------------------
 
     def window_query(
@@ -162,6 +197,7 @@ class BlockIndex:
                         stats.partitions_visited += 1
                         stats.rects_scanned += ids.shape[0]
                         stats.comparisons += 4 * ids.shape[0]
+                        stats.visit_class(f"L{level}")
                     mask = (
                         (xu >= window.xl)
                         & (xl <= window.xu)
@@ -212,6 +248,7 @@ class BlockIndex:
                         stats.partitions_visited += 1
                         stats.rects_scanned += ids.shape[0]
                         stats.comparisons += 2 * ids.shape[0]
+                        stats.visit_class(f"L{level}")
                     dx = np.maximum(np.maximum(xl - cx, 0.0), cx - xu)
                     dy = np.maximum(np.maximum(yl - cy, 0.0), cy - yu)
                     hit = ids[dx * dx + dy * dy <= r2]

@@ -41,6 +41,7 @@ from repro.grid.base import (
     CLASS_B,
     CLASS_C,
     CLASS_D,
+    CLASS_NAMES,
     GridPartitioner,
     replicate,
 )
@@ -226,6 +227,10 @@ def two_layer_spatial_join(
                     table_s = classes_s.get(code_s)
                     if table_s is None:
                         continue
+                    if stats is not None:
+                        stats.visit_class(
+                            f"{CLASS_NAMES[code_r]}·{CLASS_NAMES[code_s]}"
+                        )
                     if algorithm == "sweep":
                         pr, ps = _pairs_sweep(table_r, table_s, stats)
                     else:
@@ -286,6 +291,7 @@ def one_layer_spatial_join(
                     continue
                 if stats is not None:
                     stats.partitions_visited += 1
+                    stats.visit_class("tile")
                 ix, iy = grid.tile_coords(tile_id)
                 rxl, ryl, rxu, ryu, rids = table_r
                 sxl, syl, sxu, syu, sids = table_s

@@ -28,6 +28,7 @@ from repro.grid.base import (
     CLASS_B,
     CLASS_C,
     CLASS_D,
+    CLASS_NAMES,
     GridPartitioner,
     replicate,
 )
@@ -43,6 +44,10 @@ _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 class TwoLayerGrid:
     """In-memory regular grid with secondary (class) partitioning."""
+
+    #: how duplicate results are handled: avoided up front (Lemmas 1-2),
+    #: never generated.  EXPLAIN uses this to pick its accounting mode.
+    dedup_strategy = "avoid"
 
     def __init__(self, grid: GridPartitioner):
         self.grid = grid
@@ -187,6 +192,35 @@ class TwoLayerGrid:
         tables = self._tiles.get(self.grid.tile_id(ix, iy))
         return None if tables is None else tables[code]
 
+    def explain_partitions(
+        self, window: Rect
+    ) -> list[tuple[Rect, np.ndarray]]:
+        """EXPLAIN introspection: ``(tile rect, stored ids)`` for every
+        non-empty tile a 1-layer scan of ``window`` would touch.
+
+        All four class tables of a tile are pooled — the returned lists
+        describe *storage* (where replicas live), not the class-pruned
+        query path, which is exactly what the duplicates-avoided and
+        replication-factor figures of a :class:`~repro.obs.explain.QueryPlan`
+        need.
+        """
+        if self._n_objects == 0:
+            return []
+        out: list[tuple[Rect, np.ndarray]] = []
+        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                tables = self._tiles.get(base + ix)
+                if tables is None:
+                    continue
+                ids = [t.columns()[4] for t in tables if t is not None]
+                ids = [a for a in ids if a.shape[0]]
+                if not ids:
+                    continue
+                out.append((self.grid.tile_rect(ix, iy), np.concatenate(ids)))
+        return out
+
     # -- window queries ---------------------------------------------------------
 
     def window_query(
@@ -246,6 +280,7 @@ class TwoLayerGrid:
             if stats is not None:
                 stats.rects_scanned += ids.shape[0]
                 stats.comparisons += cp.n_comparisons * ids.shape[0]
+                stats.visit_class(CLASS_NAMES[cp.code])
             mask: "np.ndarray | None" = None
             if cp.xu_ge:
                 mask = xu >= window.xl
@@ -296,6 +331,7 @@ class TwoLayerGrid:
                     if stats is not None:
                         stats.rects_scanned += ids.shape[0]
                         stats.comparisons += cp.n_comparisons * ids.shape[0]
+                        stats.visit_class(CLASS_NAMES[cp.code])
                     mask: "np.ndarray | None" = None
                     if cp.xu_ge:
                         mask = xu >= window.xl
@@ -346,6 +382,7 @@ class TwoLayerGrid:
                         if stats is not None:
                             stats.partitions_visited += 1
                             stats.rects_scanned += ids.shape[0]
+                            stats.visit_class("A")
                         mask = (xu <= window.xu) & (yu <= window.yu)
                         n_comparisons = 2
                         if ix == ix0:
@@ -480,6 +517,7 @@ class TwoLayerGrid:
                 continue
             if stats is not None:
                 stats.rects_scanned += ids.shape[0]
+                stats.visit_class(CLASS_NAMES[code])
             if covered:
                 qual = np.ones(ids.shape[0], dtype=bool)
             else:

@@ -36,6 +36,7 @@ from repro.core.decomposed import (
 )
 from repro.core.selection import plan_tile
 from repro.core.two_layer import TwoLayerGrid
+from repro.grid.base import CLASS_NAMES
 from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
@@ -254,8 +255,9 @@ class TwoLayerPlusGrid(TwoLayerGrid):
                     if not comps:
                         # Covered tile: report the whole partition.
                         ids = table.columns()[4]
-                        if stats is not None:
+                        if stats is not None and ids.shape[0]:
                             stats.rects_scanned += ids.shape[0]
+                            stats.visit_class(CLASS_NAMES[cp.code])
                         pieces.append(ids)
                         continue
                     if len(comps) == 1:
@@ -267,6 +269,7 @@ class TwoLayerPlusGrid(TwoLayerGrid):
                             stats.comparisons += max(
                                 1, int(np.ceil(np.log2(max(decomposed.n, 2))))
                             )
+                            stats.visit_class(CLASS_NAMES[cp.code])
                         pieces.append(decomposed.search(*comps[0]))
                         continue
                     if self.multi_comparison_strategy == "scan":
@@ -276,6 +279,7 @@ class TwoLayerPlusGrid(TwoLayerGrid):
                         if stats is not None:
                             stats.rects_scanned += ids.shape[0]
                             stats.comparisons += len(comps) * ids.shape[0]
+                            stats.visit_class(CLASS_NAMES[cp.code])
                         mask: "np.ndarray | None" = None
                         if cp.xu_ge:
                             mask = xu >= window.xl
@@ -298,6 +302,7 @@ class TwoLayerPlusGrid(TwoLayerGrid):
                         continue
                     if stats is not None:
                         stats.rects_scanned += decomposed.n
+                        stats.visit_class(CLASS_NAMES[cp.code])
                     search, rest = self._order_comparisons(
                         list(comps), window, ix, iy
                     )

@@ -36,3 +36,9 @@ class DatasetError(ReproError, ValueError):
 
 class IndexStateError(ReproError, RuntimeError):
     """An index was used before being built, or mutated when immutable."""
+
+
+class ObsError(ReproError, RuntimeError):
+    """An observability instrument was used in an invalid state (e.g. a
+    percentile requested from an empty histogram, or an EXPLAIN asked of
+    an index family that does not expose partition introspection)."""

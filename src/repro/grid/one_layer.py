@@ -34,6 +34,12 @@ DEDUP_METHODS = ("refpoint", "hash", "active_border")
 class OneLayerGrid:
     """In-memory regular grid with duplicate elimination (the baseline)."""
 
+    @property
+    def dedup_strategy(self) -> str:
+        """EXPLAIN accounting mode: duplicates are generated then
+        eliminated by the configured technique."""
+        return self.dedup
+
     def __init__(self, grid: GridPartitioner, dedup: str = "refpoint"):
         if dedup not in DEDUP_METHODS:
             raise InvalidGridError(
@@ -208,6 +214,7 @@ class OneLayerGrid:
                 if stats is not None:
                     stats.partitions_visited += 1
                     stats.rects_scanned += ids.shape[0]
+                    stats.visit_class("tile")
                 mask = self._window_mask(
                     xl, yl, xu, yu, window, ix, ix0, ix1, iy, iy0, iy1, stats
                 )
@@ -348,6 +355,7 @@ class OneLayerGrid:
                 if stats is not None:
                     stats.partitions_visited += 1
                     stats.rects_scanned += ids.shape[0]
+                    stats.visit_class("tile")
                 mask = self._window_mask(
                     xl, yl, xu, yu, window, ix, ix0, ix1, iy, iy0, iy1, stats
                 )
@@ -391,3 +399,21 @@ class OneLayerGrid:
         if not (0 <= ix < self.grid.nx and 0 <= iy < self.grid.ny):
             raise IndexStateError(f"tile ({ix}, {iy}) outside the grid")
         return self._tiles.get(self.grid.tile_id(ix, iy))
+
+    def explain_partitions(
+        self, window: Rect
+    ) -> list[tuple[Rect, np.ndarray]]:
+        """EXPLAIN introspection: ``(tile rect, stored ids)`` for every
+        non-empty tile a window scan of ``window`` touches."""
+        if self._n_objects == 0:
+            return []
+        out: list[tuple[Rect, np.ndarray]] = []
+        ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+        for iy in range(iy0, iy1 + 1):
+            base = iy * self.grid.nx
+            for ix in range(ix0, ix1 + 1):
+                table = self._tiles.get(base + ix)
+                if table is None or len(table) == 0:
+                    continue
+                out.append((self.grid.tile_rect(ix, iy), table.columns()[4]))
+        return out

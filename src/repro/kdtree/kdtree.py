@@ -26,6 +26,7 @@ from repro.errors import InvalidGridError
 from repro.geometry.mbr import Rect
 from repro.grid.storage import TileTable
 from repro.core.selection import plan_for_region
+from repro.grid.base import CLASS_NAMES
 from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats
 
@@ -281,11 +282,31 @@ class _BaseKDTree:
                 stack.append(node.low)   # type: ignore[arg-type]
                 stack.append(node.high)  # type: ignore[arg-type]
 
+    def explain_partitions(
+        self, window: Rect
+    ) -> list[tuple[Rect, np.ndarray]]:
+        """EXPLAIN introspection: ``(leaf rect, stored ids)`` for every
+        non-empty leaf visible to ``window`` (class tables pooled)."""
+        out: list[tuple[Rect, np.ndarray]] = []
+        for node in self._visible_leaves(window):
+            ids = [
+                cols[4] for cols in self._leaf_entries(node) if cols[4].shape[0]
+            ]
+            if ids:
+                out.append(
+                    (Rect(node.xl, node.yl, node.xu, node.yu), np.concatenate(ids))
+                )
+        return out
+
 
 class KDTree(_BaseKDTree):
     """Replicating kd-tree with reference-point duplicate elimination."""
 
     _two_layer = False
+
+    #: EXPLAIN accounting mode: replication duplicates eliminated by the
+    #: reference-point test.
+    dedup_strategy = "refpoint"
 
     def window_query(
         self, window: Rect, stats: "QueryStats | None" = None
@@ -314,6 +335,7 @@ class KDTree(_BaseKDTree):
                 stats.partitions_visited += 1
                 stats.rects_scanned += ids.shape[0]
                 stats.comparisons += 4 * ids.shape[0]
+                stats.visit_class("leaf")
             mask = (
                 (xu >= window.xl)
                 & (xl <= window.xu)
@@ -343,6 +365,9 @@ class TwoLayerKDTree(_BaseKDTree):
     """kd-tree + the paper's secondary partitioning: duplicate avoidance."""
 
     _two_layer = True
+
+    #: EXPLAIN accounting mode: duplicates avoided by class selection.
+    dedup_strategy = "avoid"
 
     def disk_query(self, query, stats: "QueryStats | None" = None) -> np.ndarray:
         """Disk query: class-planned window over the disk's MBR + distance.
@@ -392,6 +417,7 @@ class TwoLayerKDTree(_BaseKDTree):
                     continue
                 if stats is not None:
                     stats.rects_scanned += ids.shape[0]
+                    stats.visit_class(CLASS_NAMES[cp.code])
                 mask: "np.ndarray | None" = None
                 if cp.xu_ge:
                     mask = xu >= window.xl
@@ -445,6 +471,7 @@ class TwoLayerKDTree(_BaseKDTree):
                 if stats is not None:
                     stats.rects_scanned += ids.shape[0]
                     stats.comparisons += cp.n_comparisons * ids.shape[0]
+                    stats.visit_class(CLASS_NAMES[cp.code])
                 mask: "np.ndarray | None" = None
                 if cp.xu_ge:
                     mask = xu >= window.xl

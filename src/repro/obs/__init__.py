@@ -10,11 +10,25 @@ the repo's perf trajectory:
 * :mod:`repro.obs.profiler` — the :class:`Profile` session object that
   ``SpatialCollection.profile()`` yields;
 * :mod:`repro.obs.export` — JSON-lines, Prometheus text and console
-  table exporters.
+  table exporters;
+* :mod:`repro.obs.explain` — query EXPLAIN: per-class tile accounting,
+  candidate flow per phase, duplicate/comparison bookkeeping as a
+  :class:`QueryPlan`;
+* :mod:`repro.obs.trajectory` — benchmark-record history: manifests,
+  baseline comparison and regression detection.
 
 See ``docs/observability.md`` for the span taxonomy and examples.
 """
 
+from repro.obs.explain import (
+    ExplainStats,
+    PhaseStep,
+    QueryPlan,
+    explain_disk,
+    explain_join,
+    explain_knn,
+    explain_window,
+)
 from repro.obs.export import (
     format_metrics_table,
     format_span_tree,
@@ -26,15 +40,36 @@ from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import Profile
 from repro.obs import tracing
 from repro.obs.tracing import SpanNode, Tracer
+from repro.obs.trajectory import (
+    BenchRecord,
+    Comparison,
+    MetricDelta,
+    compare_records,
+    load_record,
+    load_records,
+)
 
 __all__ = [
+    "BenchRecord",
+    "Comparison",
     "Counter",
+    "ExplainStats",
+    "MetricDelta",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "PhaseStep",
     "Profile",
+    "QueryPlan",
     "SpanNode",
     "Tracer",
+    "compare_records",
+    "explain_disk",
+    "explain_join",
+    "explain_knn",
+    "explain_window",
+    "load_record",
+    "load_records",
     "tracing",
     "format_metrics_table",
     "format_span_tree",

@@ -92,10 +92,11 @@ def to_prometheus_text(
         full = f"{prefix}_{_prom_name(name)}"
         if isinstance(metric, Histogram):
             lines.append(f"# TYPE {full} summary")
-            for q, label in ((50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99")):
-                lines.append(
-                    f'{full}{{quantile="{label}"}} {metric.percentile(q):.9g}'
-                )
+            if metric.count:  # quantiles are undefined (ObsError) when empty
+                for q, label in ((50.0, "0.5"), (95.0, "0.95"), (99.0, "0.99")):
+                    lines.append(
+                        f'{full}{{quantile="{label}"}} {metric.percentile(q):.9g}'
+                    )
             lines.append(f"{full}_sum {metric.total:.9g}")
             lines.append(f"{full}_count {metric.count}")
         else:

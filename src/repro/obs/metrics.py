@@ -19,6 +19,8 @@ from typing import Callable, Mapping
 
 import numpy as np
 
+from repro.errors import ObsError
+
 __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
@@ -116,23 +118,35 @@ class Histogram:
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile (``q`` in [0, 100]) over the
-        retained sample window; 0.0 on an empty histogram."""
+        retained sample window.
+
+        Raises :class:`~repro.errors.ObsError` when no sample has been
+        observed — a percentile of nothing is not 0, and returning 0 made
+        empty and genuinely-instant distributions indistinguishable
+        (the same trap the ``Timed.avg_ms`` fix closed for plain timers).
+        """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
         if not self._ring:
-            return 0.0
+            raise ObsError(
+                f"histogram {self.name!r} has no samples; "
+                "percentile is undefined on an empty histogram"
+            )
         return float(np.percentile(np.asarray(self._ring), q))
 
     def summary(self) -> dict[str, float]:
-        return {
+        """Aggregate snapshot; quantile keys are omitted when empty."""
+        out: dict[str, float] = {
             "count": self.count,
             "mean": self.mean,
             "min": self.min,
             "max": self.max,
-            "p50": self.percentile(50.0),
-            "p95": self.percentile(95.0),
-            "p99": self.percentile(99.0),
         }
+        if self._ring:
+            out["p50"] = self.percentile(50.0)
+            out["p95"] = self.percentile(95.0)
+            out["p99"] = self.percentile(99.0)
+        return out
 
     def reset(self) -> None:
         self.count = 0

@@ -40,8 +40,17 @@ class Profile:
         self.tracer = Tracer()
         self.stats = QueryStats()
         self.queries = 0
+        #: queries that raised inside :meth:`measure`; each entry is
+        #: ``{"kind", "error", "message"}``.  Non-empty => ``truncated``.
+        self.errors: list[dict[str, str]] = []
         self._latency_capacity = latency_capacity
         self.registry.register_source("query_stats", self.stats.as_dict)
+
+    @property
+    def truncated(self) -> bool:
+        """True when at least one measured query raised — the span tree
+        and counters then cover only the queries that ran."""
+        return bool(self.errors)
 
     # -- recording ---------------------------------------------------------
 
@@ -60,6 +69,16 @@ class Profile:
         t0 = perf_counter()
         try:
             yield local
+        except BaseException as exc:
+            self.errors.append(
+                {
+                    "kind": kind,
+                    "error": type(exc).__name__,
+                    "message": str(exc),
+                }
+            )
+            self.registry.counter(f"query.{kind}.errors").inc()
+            raise
         finally:
             self.latency(kind).observe((perf_counter() - t0) * 1e3)
             self.stats.merge(local)
@@ -96,6 +115,8 @@ class Profile:
         """The structured report: everything, JSON-ready."""
         return {
             "queries": self.queries,
+            "truncated": self.truncated,
+            "errors": list(self.errors),
             "latency_ms": self.latency_summary(),
             "stats": self.stats.as_dict(),
             "phases_s": self.phase_totals(),

@@ -1,0 +1,426 @@
+"""Benchmark-record trajectory: manifests, baselines, regression gating.
+
+The benchmarks under ``benchmarks/`` emit one JSON record per experiment
+(``benchmarks/results/BENCH_<name>.json``).  Since schema version 2 every
+record carries a *run manifest* — git SHA, Python/NumPy versions,
+hostname, bench scale and a dataset fingerprint — so two records can be
+judged comparable (same machine, same data) before their absolute
+timings are compared.
+
+This module loads those records, compares a current run against a
+committed baseline and classifies every metric delta:
+
+* **who-wins ordering** (always-on hard gate): within each series the
+  keys are grouped (``method/DATASET`` keys group per dataset) and
+  ranked by value.  A *decisive inversion* — a pair whose baseline
+  margin exceeded the noise band and whose order flipped by more than
+  the noise band in the current run — fails the gate regardless of
+  machine, because relative orderings are robust to hardware.
+* **timing regressions** (conditional hard gate): a per-metric delta in
+  the bad direction beyond the noise band.  Gates hard only when the
+  two manifests are *comparable* (same host, interpreter, NumPy, scale
+  and dataset fingerprint) **and** the regression is *corroborated* —
+  at least two metrics of the same method regressed beyond the band.
+  A genuine code regression in a method shows up across its datasets
+  and series; transient machine load hits isolated metrics at random,
+  so an uncorroborated excursion only warns.  ``strict=True`` gates
+  every beyond-band regression regardless of manifests or
+  corroboration.
+
+``benchmarks/compare.py`` is the CLI over this module (trend table,
+``--update-baseline``, non-zero exit for CI).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.errors import ObsError
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "BenchRecord",
+    "MetricDelta",
+    "OrderingFlip",
+    "Comparison",
+    "load_record",
+    "load_records",
+    "manifests_comparable",
+    "compare_records",
+    "format_trend_table",
+]
+
+#: current benchmark-record schema.  Version 2 added the run manifest;
+#: records without a ``schema`` field predate it and are refused.
+SCHEMA_VERSION = 2
+
+#: default relative noise band (percent) under which deltas are ignored.
+#: Sized from measured rerun jitter of the best-of-N smoke benchmarks
+#: (<20% per metric): methods the paper separates are >75% apart while
+#: noise-level pairs stay under ~30%, so 30 splits them cleanly and a
+#: genuine 2x slowdown (-50%) still trips the gate.
+DEFAULT_NOISE_PCT = 30.0
+
+#: manifest keys that must agree for absolute timings to be comparable.
+_COMPARABLE_KEYS = (
+    "hostname",
+    "python",
+    "numpy",
+    "bench_scale",
+    "bench_queries",
+    "dataset_fingerprint",
+)
+
+#: series whose name matches one of these substrings is lower-is-better.
+_LOWER_IS_BETTER_HINTS = ("latency", "_ms", "_s", "seconds", "time", "build")
+
+
+@dataclass
+class BenchRecord:
+    """One parsed ``BENCH_<name>.json`` benchmark record."""
+
+    name: str
+    timestamp: str
+    schema: int
+    manifest: dict
+    params: dict
+    series: dict
+    path: str = ""
+
+    @classmethod
+    def from_dict(cls, raw: dict, path: str = "") -> "BenchRecord":
+        schema = raw.get("schema")
+        if schema is None:
+            raise ObsError(
+                f"benchmark record {path or raw.get('name', '?')!r} has no "
+                f"'schema' field — schema-less records predate the run "
+                f"manifest and cannot be compared; regenerate it by "
+                f"re-running the benchmark"
+            )
+        if not isinstance(schema, int) or schema < SCHEMA_VERSION:
+            raise ObsError(
+                f"benchmark record {path!r} has schema {schema!r}; "
+                f"this tooling requires schema >= {SCHEMA_VERSION}"
+            )
+        for key in ("name", "series"):
+            if key not in raw:
+                raise ObsError(f"benchmark record {path!r} lacks {key!r}")
+        return cls(
+            name=raw["name"],
+            timestamp=raw.get("timestamp", ""),
+            schema=schema,
+            manifest=raw.get("manifest", {}) or {},
+            params=raw.get("params", {}) or {},
+            series=raw["series"],
+            path=path,
+        )
+
+
+def load_record(path: str) -> BenchRecord:
+    """Load and validate one benchmark record; :class:`ObsError` on
+    schema-less or malformed files."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ObsError(f"cannot read benchmark record {path!r}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise ObsError(f"benchmark record {path!r} is not a JSON object")
+    return BenchRecord.from_dict(raw, path=path)
+
+
+def load_records(directory: str) -> list[BenchRecord]:
+    """Every ``BENCH_*.json`` under ``directory``, sorted by name."""
+    records = []
+    if not os.path.isdir(directory):
+        return records
+    for entry in sorted(os.listdir(directory)):
+        if entry.startswith("BENCH_") and entry.endswith(".json"):
+            records.append(load_record(os.path.join(directory, entry)))
+    return records
+
+
+def manifests_comparable(a: dict, b: dict) -> bool:
+    """True when absolute timings from the two manifests may be compared
+    (same machine, interpreter, array library, scale and datasets)."""
+    if not a or not b:
+        return False
+    return all(a.get(k) == b.get(k) for k in _COMPARABLE_KEYS)
+
+
+def _higher_is_better(series_name: str) -> bool:
+    lowered = series_name.lower()
+    return not any(h in lowered for h in _LOWER_IS_BETTER_HINTS)
+
+
+@dataclass
+class MetricDelta:
+    """One metric compared between baseline and current."""
+
+    series: str
+    key: str
+    baseline: "float | None"
+    current: "float | None"
+    delta_pct: "float | None"
+    higher_is_better: bool
+    #: delta beyond the noise band in the bad direction.
+    regressed: bool = False
+    #: delta beyond the noise band in the good direction.
+    improved: bool = False
+
+
+@dataclass
+class OrderingFlip:
+    """A decisive who-wins inversion within one series group."""
+
+    series: str
+    group: str
+    winner_baseline: str
+    winner_current: str
+    baseline_margin_pct: float
+    current_margin_pct: float
+
+
+@dataclass
+class Comparison:
+    """Outcome of comparing one record against its baseline."""
+
+    name: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+    flips: list[OrderingFlip] = field(default_factory=list)
+    comparable: bool = False
+    #: orderings per (series, group): key list best-to-worst.
+    ordering_baseline: dict = field(default_factory=dict)
+    ordering_current: dict = field(default_factory=dict)
+
+    @property
+    def timing_regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def corroborated_regressions(self) -> list[MetricDelta]:
+        """Regressions backed by a second metric of the same method.
+
+        A real code regression in one method degrades it across
+        datasets and series; transient machine load degrades isolated
+        metrics at random.  Requiring two beyond-band regressions for
+        the same method (the part of the key before ``/DATASET``) keeps
+        the hard gate quiet under load spikes while still catching an
+        injected slowdown, which hits every dataset the method runs on.
+        """
+        by_method: dict[str, list[MetricDelta]] = {}
+        for d in self.timing_regressions:
+            by_method.setdefault(_split_key(d.key)[0], []).append(d)
+        return [d for ds in by_method.values() if len(ds) >= 2 for d in ds]
+
+    def gate_failures(self, strict: bool = False) -> list[str]:
+        """Human-readable hard-gate failures (empty == gate passes).
+
+        Ordering flips always fail; timing regressions fail when the
+        manifests are comparable and the regression is corroborated
+        (see :attr:`corroborated_regressions`), or unconditionally
+        under ``strict``.
+        """
+        failures = [
+            f"who-wins flip in {f.series}[{f.group}]: "
+            f"{f.winner_baseline!r} (ahead by {f.baseline_margin_pct:.0f}%) "
+            f"overtaken by {f.winner_current!r} "
+            f"(now ahead by {f.current_margin_pct:.0f}%)"
+            for f in self.flips
+        ]
+        gated = (
+            self.timing_regressions
+            if strict
+            else (self.corroborated_regressions if self.comparable else [])
+        )
+        failures.extend(
+            f"regression in {d.series}[{d.key}]: "
+            f"{d.baseline:.4g} -> {d.current:.4g} ({d.delta_pct:+.1f}%)"
+            for d in gated
+        )
+        return failures
+
+
+def _split_key(key: str) -> tuple[str, str]:
+    """``"method/DATASET"`` -> (method, group); plain keys group as ""."""
+    if "/" in key:
+        method, group = key.rsplit("/", 1)
+        return method, group
+    return key, ""
+
+
+def _flat_series(series: dict) -> dict[str, dict[str, float]]:
+    """Keep only series that are flat maps of numeric values."""
+    out: dict[str, dict[str, float]] = {}
+    for sname, values in series.items():
+        if not isinstance(values, dict):
+            continue
+        numeric = {
+            k: float(v)
+            for k, v in values.items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        }
+        if numeric:
+            out[sname] = numeric
+    return out
+
+
+def compare_records(
+    current: BenchRecord,
+    baseline: BenchRecord,
+    noise_pct: float = DEFAULT_NOISE_PCT,
+) -> Comparison:
+    """Compare a current record against its baseline.
+
+    Produces per-metric deltas (noise-banded), who-wins orderings per
+    series group, and decisive ordering flips.  Whether the comparison
+    may gate on absolute timings is recorded in
+    :attr:`Comparison.comparable`.
+    """
+    if current.name != baseline.name:
+        raise ObsError(
+            f"comparing records of different benchmarks: "
+            f"{current.name!r} vs {baseline.name!r}"
+        )
+    comp = Comparison(
+        name=current.name,
+        comparable=manifests_comparable(current.manifest, baseline.manifest),
+    )
+    cur_series = _flat_series(current.series)
+    base_series = _flat_series(baseline.series)
+
+    for sname in sorted(set(cur_series) | set(base_series)):
+        hib = _higher_is_better(sname)
+        cur = cur_series.get(sname, {})
+        base = base_series.get(sname, {})
+        for key in sorted(set(cur) | set(base)):
+            b = base.get(key)
+            c = cur.get(key)
+            delta_pct = None
+            regressed = improved = False
+            if b is not None and c is not None and b != 0:
+                delta_pct = (c - b) / abs(b) * 100.0
+                bad = delta_pct < -noise_pct if hib else delta_pct > noise_pct
+                good = delta_pct > noise_pct if hib else delta_pct < -noise_pct
+                regressed, improved = bad, good
+            comp.deltas.append(
+                MetricDelta(
+                    series=sname,
+                    key=key,
+                    baseline=b,
+                    current=c,
+                    delta_pct=delta_pct,
+                    higher_is_better=hib,
+                    regressed=regressed,
+                    improved=improved,
+                )
+            )
+
+        # -- who-wins ordering per group ------------------------------
+        groups: dict[str, list[str]] = {}
+        for key in set(cur) & set(base):
+            _, group = _split_key(key)
+            groups.setdefault(group, []).append(key)
+        for group, keys in sorted(groups.items()):
+            if len(keys) < 2:
+                continue
+            order = lambda vals: sorted(  # noqa: E731
+                keys, key=lambda k: vals[k], reverse=hib
+            )
+            base_order = order(base)
+            cur_order = order(cur)
+            comp.ordering_baseline[(sname, group)] = base_order
+            comp.ordering_current[(sname, group)] = cur_order
+            comp.flips.extend(
+                _decisive_flips(
+                    sname, group, base, cur, base_order, hib, noise_pct
+                )
+            )
+    return comp
+
+
+def _margin_pct(winner: float, loser: float) -> float:
+    """Relative margin of the winning value over the losing one."""
+    if loser == 0:
+        return float("inf") if winner != 0 else 0.0
+    return abs(winner - loser) / abs(loser) * 100.0
+
+
+def _decisive_flips(
+    sname: str,
+    group: str,
+    base: dict[str, float],
+    cur: dict[str, float],
+    base_order: list[str],
+    hib: bool,
+    noise_pct: float,
+) -> list[OrderingFlip]:
+    """Pairs decisively ordered in the baseline and decisively inverted
+    now.  Decisive = margin beyond the noise band on both sides; that
+    keeps the gate robust to benchmark jitter and different hardware."""
+    flips = []
+    for i, a in enumerate(base_order):
+        for b in base_order[i + 1 :]:
+            base_margin = _margin_pct(base[a], base[b])
+            if base_margin <= noise_pct:
+                continue  # too close in the baseline to rank them
+            beats = cur[b] > cur[a] if hib else cur[b] < cur[a]
+            if not beats:
+                continue
+            cur_margin = _margin_pct(cur[b], cur[a])
+            if cur_margin <= noise_pct:
+                continue  # inverted, but within noise — warn-level only
+            flips.append(
+                OrderingFlip(
+                    series=sname,
+                    group=group,
+                    winner_baseline=a,
+                    winner_current=b,
+                    baseline_margin_pct=base_margin,
+                    current_margin_pct=cur_margin,
+                )
+            )
+    return flips
+
+
+def format_trend_table(comp: Comparison, noise_pct: float = DEFAULT_NOISE_PCT) -> str:
+    """Aligned per-metric trend table with regression/improvement flags."""
+    lines = []
+    header = (
+        f"{'series':<12} {'metric':<28} {'baseline':>12} "
+        f"{'current':>12} {'delta':>9}  flag"
+    )
+    lines.append(f"== {comp.name} "
+                 f"({'comparable run' if comp.comparable else 'different environment'}, "
+                 f"noise band ±{noise_pct:g}%) ==")
+    lines.append(header)
+    lines.append("-" * len(header))
+    for d in comp.deltas:
+        base = "—" if d.baseline is None else f"{d.baseline:,.1f}"
+        cur = "—" if d.current is None else f"{d.current:,.1f}"
+        delta = "—" if d.delta_pct is None else f"{d.delta_pct:+.1f}%"
+        if d.regressed:
+            flag = "REGRESSED" if comp.comparable else "regressed?"
+        elif d.improved:
+            flag = "improved"
+        else:
+            flag = ""
+        lines.append(
+            f"{d.series:<12} {d.key:<28} {base:>12} {cur:>12} {delta:>9}  {flag}"
+        )
+    for (sname, group), order in sorted(comp.ordering_current.items()):
+        base_order = comp.ordering_baseline[(sname, group)]
+        label = f"{sname}[{group}]" if group else sname
+        names = [_split_key(k)[0] for k in order]
+        lines.append(f"who wins {label}: " + " > ".join(names))
+        if base_order != order:
+            base_names = [_split_key(k)[0] for k in base_order]
+            lines.append(f"    (baseline: " + " > ".join(base_names) + ")")
+    for f in comp.flips:
+        lines.append(
+            f"!! decisive flip in {f.series}[{f.group}]: "
+            f"{f.winner_baseline} -> {f.winner_current}"
+        )
+    return "\n".join(lines)

@@ -44,6 +44,9 @@ class _Node:
 class MXCIFQuadTree:
     """Non-replicating quad-tree: each object at its lowest covering node."""
 
+    #: EXPLAIN accounting mode: unique placement, no duplicates.
+    dedup_strategy = "none"
+
     def __init__(
         self, domain: "Rect | None" = None, max_depth: int = DEFAULT_MAX_DEPTH
     ):
@@ -132,6 +135,29 @@ class MXCIFQuadTree:
     def __repr__(self) -> str:
         return f"MXCIFQuadTree(objects={self._n_objects})"
 
+    def explain_partitions(
+        self, window: Rect
+    ) -> list[tuple[Rect, np.ndarray]]:
+        """EXPLAIN introspection: ``(quadrant rect, stored ids)`` for
+        every node with entries a window scan of ``window`` visits."""
+        out: list[tuple[Rect, np.ndarray]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if (
+                node.xu < window.xl
+                or node.xl > window.xu
+                or node.yu < window.yl
+                or node.yl > window.yu
+            ):
+                continue
+            ids = node.table.columns()[4]
+            if ids.shape[0]:
+                out.append((Rect(node.xl, node.yl, node.xu, node.yu), ids))
+            if node.children is not None:
+                stack.extend(node.children)
+        return out
+
     # -- queries --------------------------------------------------------------------
 
     def window_query(
@@ -166,6 +192,7 @@ class MXCIFQuadTree:
                     stats.partitions_visited += 1
                     stats.rects_scanned += ids.shape[0]
                     stats.comparisons += 4 * ids.shape[0]
+                    stats.visit_class("node")
                 mask = (
                     (xu >= window.xl)
                     & (xl <= window.xu)

@@ -19,6 +19,7 @@ from repro.errors import InvalidGridError
 from repro.geometry.mbr import Rect
 from repro.grid.storage import TileTable
 from repro.core.selection import plan_for_region
+from repro.grid.base import CLASS_NAMES
 from repro.obs.tracing import span as trace_span
 from repro.quadtree.quadtree import DEFAULT_CAPACITY, DEFAULT_MAX_DEPTH
 from repro.stats import QueryStats
@@ -50,6 +51,9 @@ class _Node:
 
 class TwoLayerQuadTree:
     """Replicating quad-tree whose leaves carry secondary partitions."""
+
+    #: EXPLAIN accounting mode: duplicates avoided by class selection.
+    dedup_strategy = "avoid"
 
     def __init__(
         self,
@@ -202,6 +206,45 @@ class TwoLayerQuadTree:
             f"leaves={self.leaf_count}, replicas={self.replica_count})"
         )
 
+    def explain_partitions(
+        self, window: Rect
+    ) -> list[tuple[Rect, np.ndarray]]:
+        """EXPLAIN introspection: ``(leaf rect, stored ids)`` for every
+        non-empty leaf visible to ``window`` (all classes pooled)."""
+        domain = self.domain
+        out: list[tuple[Rect, np.ndarray]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            # Same half-open visibility as _scan_window.
+            visible_x = node.xu > window.xl or (
+                node.xu >= domain.xu and node.xu >= window.xl
+            )
+            visible_y = node.yu > window.yl or (
+                node.yu >= domain.yu and node.yu >= window.yl
+            )
+            if (
+                not visible_x
+                or not visible_y
+                or node.xl > window.xu
+                or node.yl > window.yu
+            ):
+                continue
+            if not node.is_leaf:
+                stack.extend(node.children)  # type: ignore[arg-type]
+                continue
+            assert node.tables is not None
+            ids = [
+                t.columns()[4]
+                for t in node.tables
+                if t is not None and len(t)
+            ]
+            if ids:
+                out.append(
+                    (Rect(node.xl, node.yl, node.xu, node.yu), np.concatenate(ids))
+                )
+        return out
+
     # -- queries -----------------------------------------------------------------
 
     def disk_query(self, query, stats: "QueryStats | None" = None) -> np.ndarray:
@@ -273,6 +316,7 @@ class TwoLayerQuadTree:
                     continue
                 if stats is not None:
                     stats.rects_scanned += ids.shape[0]
+                    stats.visit_class(CLASS_NAMES[cp.code])
                 mask: "np.ndarray | None" = None
                 if cp.xu_ge:
                     mask = xu >= window.xl
@@ -356,6 +400,7 @@ class TwoLayerQuadTree:
                 if stats is not None:
                     stats.rects_scanned += ids.shape[0]
                     stats.comparisons += cp.n_comparisons * ids.shape[0]
+                    stats.visit_class(CLASS_NAMES[cp.code])
                 mask: "np.ndarray | None" = None
                 if cp.xu_ge:
                     mask = xu >= window.xl

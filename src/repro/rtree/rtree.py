@@ -49,6 +49,9 @@ class RTree:
     #: split algorithm used on node overflow (overridden by RStarTree).
     _split_algorithm = staticmethod(quadratic_split)
 
+    #: EXPLAIN accounting mode: unique (DOP) placement, no duplicates.
+    dedup_strategy = "none"
+
     def __init__(self, fanout: int = DEFAULT_FANOUT):
         if fanout < 4:
             raise InvalidGridError(f"fanout must be >= 4, got {fanout}")
@@ -180,6 +183,33 @@ class RTree:
             f"height={self.height}, nodes={self.node_count}, fanout={self.fanout})"
         )
 
+    def explain_partitions(
+        self, window: Rect
+    ) -> list[tuple[Rect, np.ndarray]]:
+        """EXPLAIN introspection: ``(leaf MBR, stored ids)`` for every
+        leaf a window descent of ``window`` reaches."""
+        if self._n_objects == 0 or len(self._root) == 0:
+            return []
+        out: list[tuple[Rect, np.ndarray]] = []
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.leaf:
+                ids = node.id_array()
+                if ids.shape[0]:
+                    out.append((Rect(*node.mbr()), ids))
+                continue
+            m = node.matrix()
+            mask = (
+                (m[:, 2] >= window.xl)
+                & (m[:, 0] <= window.xu)
+                & (m[:, 3] >= window.yl)
+                & (m[:, 1] <= window.yu)
+            )
+            payloads = node.payloads
+            stack.extend(payloads[int(k)] for k in np.flatnonzero(mask))
+        return out
+
     # -- queries ------------------------------------------------------------------
 
     def window_query(
@@ -201,6 +231,7 @@ class RTree:
                     if stats is not None:
                         stats.partitions_visited += 1
                         stats.comparisons += 4 * m.shape[0]
+                        stats.visit_class("leaf" if node.leaf else "node")
                     mask = (
                         (m[:, 2] >= window.xl)
                         & (m[:, 0] <= window.xu)
@@ -270,6 +301,7 @@ class RTree:
             node: Node = item  # type: ignore[assignment]
             if stats is not None:
                 stats.partitions_visited += 1
+                stats.visit_class("leaf" if node.leaf else "node")
             dists = node_dists(node)
             if node.leaf:
                 ids = node.id_array()
@@ -301,6 +333,7 @@ class RTree:
                     if stats is not None:
                         stats.partitions_visited += 1
                         stats.comparisons += 2 * m.shape[0]
+                        stats.visit_class("leaf" if node.leaf else "node")
                     dx = np.maximum(np.maximum(m[:, 0] - cx, 0.0), cx - m[:, 2])
                     dy = np.maximum(np.maximum(m[:, 1] - cy, 0.0), cy - m[:, 3])
                     mask = dx * dx + dy * dy <= r2

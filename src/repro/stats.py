@@ -43,6 +43,19 @@ class QueryStats:
         for f in fields(self):
             setattr(self, f.name, 0)
 
+    def visit_class(self, label: str) -> None:
+        """Hook called by indexes once per secondary-partition scan.
+
+        ``label`` names the secondary partition being scanned: a class
+        letter (``"A"``..``"D"``) for class-partitioned families, a class
+        pair (``"A·B"``) for joins, ``"tile"``/``"leaf"``/``"node"`` for
+        flat families, or ``"L<level>"`` for BLOCK.  The base class
+        ignores it — only :class:`repro.obs.explain.ExplainStats`
+        overrides this to build the per-class breakdown of a
+        :class:`~repro.obs.explain.QueryPlan` — so the hook is free on
+        the normal stats path.
+        """
+
     def merge(self, other: "QueryStats") -> None:
         """Add another stats object's counters into this one."""
         for f in fields(self):

@@ -1,0 +1,299 @@
+"""EXPLAIN engine tests: hand-built grid accounting + family invariants.
+
+The first half builds a 4x4 unit grid with six hand-placed objects whose
+replica classes are known exactly, and asserts the :class:`QueryPlan`'s
+per-class tile counts and duplicates-avoided against hand computation and
+brute force.  The second half checks the structural invariants (per-class
+scans sum to tiles visited; duplicate accounting matches brute force) on
+every index family.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api import SpatialCollection
+from repro.block import BlockIndex
+from repro.core import TwoLayerGrid, TwoLayerPlusGrid
+from repro.datasets import RectDataset, generate_uniform_rects
+from repro.datasets.queries import DiskQuery
+from repro.errors import ObsError
+from repro.geometry.mbr import Rect
+from repro.grid import OneLayerGrid
+from repro.kdtree import KDTree, TwoLayerKDTree
+from repro.obs.explain import (
+    ExplainStats,
+    explain_disk,
+    explain_join,
+    explain_knn,
+    explain_window,
+)
+from repro.quadtree import MXCIFQuadTree, QuadTree, TwoLayerQuadTree
+from repro.rtree import RStarTree, RTree
+from repro.stats import QueryStats
+
+DOMAIN = Rect(0.0, 0.0, 1.0, 1.0)
+
+#: six objects on a 4x4 grid (tile = 0.25) with known replica placement:
+#: 0: A@(0,0)                      1: A@(0,0) C@(1,0)
+#: 2: A@(0,0) B@(0,1)              3: A@(1,1) C@(2,1) B@(1,2) D@(2,2)
+#: 4: A@(3,3)                      5: A@(1,1)
+HAND_RECTS = [
+    Rect(0.05, 0.05, 0.10, 0.10),
+    Rect(0.20, 0.05, 0.30, 0.10),
+    Rect(0.05, 0.20, 0.10, 0.30),
+    Rect(0.30, 0.30, 0.60, 0.60),
+    Rect(0.80, 0.80, 0.85, 0.85),
+    Rect(0.26, 0.26, 0.45, 0.45),
+]
+
+
+@pytest.fixture(scope="module")
+def hand_index():
+    data = RectDataset.from_rects(HAND_RECTS)
+    return TwoLayerGrid.build(data, partitions_per_dim=4, domain=DOMAIN), data
+
+
+def brute_duplicates(index, window, result_ids):
+    """Occurrences of each result id in the touched partitions, minus one."""
+    parts = index.explain_partitions(window)
+    if not parts:
+        return 0
+    stored = np.concatenate([ids for _, ids in parts])
+    return int(sum((stored == i).sum() - 1 for i in np.asarray(result_ids)))
+
+
+class TestHandBuiltGrid:
+    def test_interior_window_scans_class_a_only(self, hand_index):
+        index, _ = hand_index
+        # Covers tiles (1,1)..(2,2): obj 3's C/B/D replicas are skipped
+        # by Lemmas 1-2, so only the A partition of (1,1) is scanned.
+        w = Rect(0.26, 0.26, 0.62, 0.62)
+        plan = explain_window(index, w)
+        plan.check()
+        assert plan.tiles_by_class == {"A": 1}
+        assert set(plan.result.tolist()) == {3, 5}
+        # obj 3 is stored in all four touched tiles: 3 duplicates avoided.
+        assert plan.duplicates_avoided == 3
+        assert plan.duplicates_avoided == brute_duplicates(index, w, plan.result)
+        assert plan.duplicates_eliminated == 0
+
+    def test_first_column_window_scans_class_c(self, hand_index):
+        index, _ = hand_index
+        # Starts in tile (1,0): obj 1's C replica is scanned there (the
+        # query's start tile scans every class), obj 3 comes from A@(1,1).
+        w = Rect(0.30, 0.05, 0.60, 0.30)
+        plan = explain_window(index, w)
+        plan.check()
+        assert plan.tiles_by_class == {"A": 1, "C": 1}
+        assert set(plan.result.tolist()) == {1, 3, 5}
+        assert plan.duplicates_avoided == 1
+        assert plan.duplicates_avoided == brute_duplicates(index, w, plan.result)
+
+    def test_first_row_window_scans_class_b(self, hand_index):
+        index, _ = hand_index
+        # Starts in tile (0,1): obj 2's B replica is scanned there; obj
+        # 3's B replica at (1,2) is skipped (not the first row).
+        w = Rect(0.05, 0.30, 0.30, 0.60)
+        plan = explain_window(index, w)
+        plan.check()
+        assert plan.tiles_by_class == {"A": 1, "B": 1}
+        assert set(plan.result.tolist()) == {2, 3, 5}
+        assert plan.duplicates_avoided == 1
+        assert plan.duplicates_avoided == brute_duplicates(index, w, plan.result)
+
+    def test_single_tile_window_scans_class_d(self, hand_index):
+        index, _ = hand_index
+        # Entirely inside tile (2,2), where obj 3 has its D replica.
+        w = Rect(0.55, 0.55, 0.62, 0.62)
+        plan = explain_window(index, w)
+        plan.check()
+        assert plan.tiles_by_class == {"D": 1}
+        assert plan.result.tolist() == [3]
+        assert plan.duplicates_avoided == 0
+
+    def test_full_window_counts_every_class_once(self, hand_index):
+        index, _ = hand_index
+        # The whole domain: only the start tile (0,0) scans B/C/D, so
+        # every non-empty A partition is scanned and nothing else.
+        w = Rect(0.0, 0.0, 1.0, 1.0)
+        plan = explain_window(index, w)
+        plan.check()
+        assert plan.tiles_by_class == {"A": 3}  # (0,0), (1,1), (3,3)
+        assert set(plan.result.tolist()) == {0, 1, 2, 3, 4, 5}
+        assert plan.duplicates_avoided == brute_duplicates(index, w, plan.result)
+        assert plan.duplicates_avoided == 5  # objs 1, 2: one extra; obj 3: three
+        assert sum(plan.tiles_by_class.values()) == plan.tiles_visited
+
+    def test_disk_accounting_matches_brute_force(self, hand_index):
+        index, _ = hand_index
+        q = DiskQuery(0.45, 0.45, 0.1)
+        plan = explain_disk(index, q)
+        plan.check()
+        assert set(plan.result.tolist()) == {3, 5}
+        assert plan.tiles_by_class == {"A": 1}
+        assert plan.duplicates_avoided == brute_duplicates(
+            index, q.mbr(), plan.result
+        )
+        assert plan.duplicates_avoided == 3
+
+    def test_knn_accounting_matches_brute_force(self, hand_index):
+        index, data = hand_index
+        plan = explain_knn(index, data, 0.05, 0.05, k=2)
+        plan.check()
+        # obj 0 at distance 0; objs 1 and 2 tie at 0.15, id breaks it.
+        assert plan.result.tolist() == [0, 1]
+        kth = plan.query["kth_distance"]
+        assert kth == pytest.approx(0.15)
+        w = Rect(0.05 - kth, 0.05 - kth, 0.05 + kth, 0.05 + kth)
+        assert plan.duplicates_avoided == brute_duplicates(index, w, plan.result)
+
+    def test_join_accounting_matches_brute_force(self, hand_index):
+        _, data_r = hand_index
+        data_s = RectDataset.from_rects(
+            [
+                Rect(0.28, 0.28, 0.32, 0.32),
+                Rect(0.55, 0.25, 0.80, 0.45),
+                Rect(0.20, 0.28, 0.55, 0.35),
+            ]
+        )
+        plan = explain_join(data_r, data_s, partitions_per_dim=4, domain=DOMAIN)
+        plan.check()
+        pairs = {tuple(p) for p in plan.result.tolist()}
+        assert pairs == {(3, 0), (5, 0), (3, 1), (3, 2), (5, 2)}
+        # Only (3, 2) has an intersection spanning two tiles: 1 duplicate.
+        assert plan.duplicates_avoided == 1
+        assert plan.duplicates_eliminated == 0
+        # Class-combination labels come from the allowed combos only.
+        for label in plan.tiles_by_class:
+            a, b = label.split("·")
+            assert a in "ABCD" and b in "ABCD"
+        assert sum(plan.tiles_by_class.values()) == plan.tiles_visited
+
+    def test_avoided_equals_one_layer_eliminated(self, hand_index):
+        index, data = hand_index
+        one = OneLayerGrid.build(
+            data, partitions_per_dim=4, domain=DOMAIN, dedup="refpoint"
+        )
+        for w in (
+            Rect(0.26, 0.26, 0.62, 0.62),
+            Rect(0.30, 0.05, 0.60, 0.30),
+            Rect(0.0, 0.0, 1.0, 1.0),
+        ):
+            two_plan = explain_window(index, w)
+            one_plan = explain_window(one, w)
+            assert set(two_plan.result.tolist()) == set(one_plan.result.tolist())
+            # What the 1-layer grid had to eliminate, the 2-layer avoided.
+            assert two_plan.duplicates_avoided == one_plan.duplicates_eliminated
+
+
+FAMILIES = {
+    "2-layer": lambda d: TwoLayerGrid.build(d, partitions_per_dim=8),
+    "2-layer+": lambda d: TwoLayerPlusGrid.build(d, partitions_per_dim=8),
+    "1-layer": lambda d: OneLayerGrid.build(d, partitions_per_dim=8),
+    "quad-tree": QuadTree.build,
+    "quad-tree-2layer": TwoLayerQuadTree.build,
+    "kd-tree": KDTree.build,
+    "kd-tree-2layer": TwoLayerKDTree.build,
+    "R-tree": RTree.build,
+    "R*-tree": RStarTree.build,
+    "BLOCK": BlockIndex.build,
+    "MXCIF": MXCIFQuadTree.build,
+}
+
+
+@pytest.fixture(scope="module")
+def family_data():
+    return generate_uniform_rects(1500, area=1e-3, seed=11)
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_family_invariants(family, family_data):
+    """Per-class scans sum to tiles visited; duplicate accounting matches
+    brute force under each family's declared dedup strategy."""
+    index = FAMILIES[family](family_data)
+    w = Rect(0.3, 0.3, 0.62, 0.62)
+    plan = explain_window(index, w)
+    plan.check()
+    assert sum(plan.tiles_by_class.values()) == plan.tiles_visited
+    assert plan.result_count == plan.result.shape[0]
+    expected = np.where(
+        (family_data.xu >= w.xl)
+        & (family_data.xl <= w.xu)
+        & (family_data.yu >= w.yl)
+        & (family_data.yl <= w.yu)
+    )[0]
+    assert sorted(plan.result.tolist()) == sorted(expected.tolist())
+    dup = brute_duplicates(index, w, plan.result)
+    if plan.dedup_strategy == "avoid":
+        assert plan.duplicates_avoided == dup
+        assert plan.duplicates_eliminated == 0
+    elif plan.dedup_strategy == "none":
+        assert dup == 0
+        assert plan.duplicates_avoided == 0
+        assert plan.duplicates_eliminated == 0
+    else:
+        assert plan.duplicates_eliminated == dup
+        assert plan.duplicates_avoided == 0
+
+
+class TestPlanPlumbing:
+    def test_explain_stats_merge_ignores_class_scans(self):
+        s = ExplainStats()
+        s.visit_class("A")
+        s.visit_class("A")
+        s.comparisons = 5
+        merged = QueryStats()
+        merged.merge(s)
+        assert merged.comparisons == 5
+        assert s.class_scans == {"A": 2}
+
+    def test_missing_introspection_raises(self):
+        class Bare:
+            def window_query(self, w, stats=None):
+                return np.empty(0, dtype=np.int64)
+
+        with pytest.raises(ObsError, match="explain_partitions"):
+            explain_window(Bare(), Rect(0, 0, 1, 1))
+
+    def test_collection_explain_roundtrip(self):
+        data = generate_uniform_rects(800, area=1e-3, seed=5)
+        col = SpatialCollection(data, partitions_per_dim=8)
+        plan = col.explain(query=(0.2, 0.2, 0.5, 0.5))
+        plan.check()
+        assert plan.kind == "window"
+        direct = col.window(0.2, 0.2, 0.5, 0.5)
+        assert sorted(plan.result.tolist()) == sorted(direct.tolist())
+        # explain=True on the query methods returns the same plan shape.
+        plan2 = col.window(0.2, 0.2, 0.5, 0.5, explain=True)
+        assert plan2.result_count == plan.result_count
+        as_json = plan.to_json()
+        assert '"tiles_by_class"' in as_json
+        tree = plan.format_tree()
+        assert "EXPLAIN window" in tree
+        assert "secondary scans" in tree
+
+    def test_collection_explain_exact_and_disk_and_knn(self):
+        data = generate_uniform_rects(600, area=1e-3, seed=6)
+        col = SpatialCollection(data, partitions_per_dim=8)
+        exact = col.explain(query=Rect(0.2, 0.2, 0.5, 0.5), exact=True)
+        exact.check()
+        assert exact.kind == "window[exact]"
+        disk = col.explain(query=DiskQuery(0.5, 0.5, 0.1))
+        disk.check()
+        assert disk.kind == "disk"
+        knn = col.explain(knn=(0.5, 0.5, 5))
+        knn.check()
+        assert knn.kind == "knn"
+        assert knn.result_count == 5
+
+    def test_collection_explain_validates_arguments(self):
+        from repro.errors import InvalidQueryError
+
+        data = generate_uniform_rects(100, area=1e-3, seed=1)
+        col = SpatialCollection(data, partitions_per_dim=4)
+        with pytest.raises(InvalidQueryError):
+            col.explain()
+        with pytest.raises(InvalidQueryError):
+            col.explain(query=Rect(0, 0, 1, 1), knn=(0.5, 0.5, 3))
+        with pytest.raises(InvalidQueryError):
+            col.explain(knn=(0.5, 0.5, 3), exact=True)

@@ -7,6 +7,7 @@ import tracemalloc
 import numpy as np
 import pytest
 
+from repro.errors import ObsError
 from repro.obs import (
     Counter,
     Gauge,
@@ -71,10 +72,23 @@ class TestHistogram:
             "count", "mean", "min", "max", "p50", "p95", "p99",
         }
 
-    def test_empty_histogram_is_safe(self):
+    def test_empty_histogram_percentile_raises(self):
         h = Histogram("x")
-        assert h.percentile(50) == 0.0
-        assert h.summary()["count"] == 0
+        with pytest.raises(ObsError, match="no samples"):
+            h.percentile(50)
+        summary = h.summary()
+        assert summary["count"] == 0
+        assert "p50" not in summary
+
+    def test_reset_empties_histogram(self):
+        h = Histogram("x")
+        h.observe(1.0)
+        h.observe(2.0)
+        assert h.percentile(50) > 0.0
+        h.reset()
+        assert h.count == 0
+        with pytest.raises(ObsError, match="no samples"):
+            h.percentile(99)
 
     def test_percentile_range_validation(self):
         h = Histogram("x")

@@ -1,0 +1,277 @@
+"""Tests for the benchmark trajectory / regression-gate machinery."""
+
+import copy
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.errors import ObsError
+from repro.obs.trajectory import (
+    SCHEMA_VERSION,
+    BenchRecord,
+    compare_records,
+    format_trend_table,
+    load_record,
+    load_records,
+    manifests_comparable,
+)
+
+MANIFEST = {
+    "git_sha": "abc123",
+    "python": "3.11.7",
+    "numpy": "2.4.6",
+    "hostname": "host-a",
+    "platform": "Linux",
+    "bench_scale": "0.0001",
+    "bench_queries": "200",
+    "dataset_fingerprint": "deadbeef",
+}
+
+
+def make_record(qps, manifest=None, name="table5_throughput"):
+    return BenchRecord.from_dict(
+        {
+            "name": name,
+            "schema": SCHEMA_VERSION,
+            "timestamp": "2026-08-06T00:00:00+0000",
+            "manifest": manifest if manifest is not None else dict(MANIFEST),
+            "params": {},
+            "series": {"qps": qps},
+        }
+    )
+
+
+BASE_QPS = {
+    "2-layer/ROADS": 30000.0,
+    "1-layer/ROADS": 6000.0,
+    "R-tree/ROADS": 15000.0,
+    "2-layer/EDGES": 28000.0,
+    "1-layer/EDGES": 5000.0,
+    "R-tree/EDGES": 12000.0,
+}
+
+
+class TestLoading:
+    def test_schema_less_record_is_refused(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"name": "x", "series": {"qps": {}}}))
+        with pytest.raises(ObsError, match="schema"):
+            load_record(str(path))
+
+    def test_old_schema_is_refused(self):
+        with pytest.raises(ObsError, match="schema"):
+            BenchRecord.from_dict(
+                {"name": "x", "schema": 1, "series": {}}, path="p"
+            )
+
+    def test_malformed_json_is_refused(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        with pytest.raises(ObsError, match="cannot read"):
+            load_record(str(path))
+
+    def test_load_records_scans_directory(self, tmp_path):
+        for name in ("a", "b"):
+            (tmp_path / f"BENCH_{name}.json").write_text(
+                json.dumps(
+                    {
+                        "name": name,
+                        "schema": SCHEMA_VERSION,
+                        "manifest": MANIFEST,
+                        "series": {"qps": {"m/D": 1.0}},
+                    }
+                )
+            )
+        (tmp_path / "notes.txt").write_text("ignored")
+        records = load_records(str(tmp_path))
+        assert [r.name for r in records] == ["a", "b"]
+
+    def test_missing_directory_is_empty(self, tmp_path):
+        assert load_records(str(tmp_path / "nope")) == []
+
+
+class TestComparable:
+    def test_identical_manifests_are_comparable(self):
+        assert manifests_comparable(MANIFEST, dict(MANIFEST))
+
+    def test_different_host_is_not_comparable(self):
+        other = dict(MANIFEST, hostname="host-b")
+        assert not manifests_comparable(MANIFEST, other)
+
+    def test_different_fingerprint_is_not_comparable(self):
+        other = dict(MANIFEST, dataset_fingerprint="feedface")
+        assert not manifests_comparable(MANIFEST, other)
+
+    def test_empty_manifest_is_not_comparable(self):
+        assert not manifests_comparable({}, MANIFEST)
+
+
+class TestCompare:
+    def test_identical_records_pass(self):
+        comp = compare_records(make_record(BASE_QPS), make_record(BASE_QPS))
+        assert comp.comparable
+        assert comp.gate_failures() == []
+        assert all(not d.regressed for d in comp.deltas)
+
+    def test_two_x_slowdown_fails_the_gate(self):
+        slow = {k: v / 2.0 for k, v in BASE_QPS.items()}
+        comp = compare_records(make_record(slow), make_record(BASE_QPS))
+        failures = comp.gate_failures()
+        assert failures, "a uniform 2x slowdown must fail the timing gate"
+        assert all("regression" in f for f in failures)
+
+    def test_decisive_ordering_flip_fails_the_gate(self):
+        slow = dict(BASE_QPS)
+        # 2-layer/ROADS drops to 7500, decisively below R-tree's 15000
+        # (100% margin, far beyond the noise band on both sides).
+        slow["2-layer/ROADS"] /= 4.0
+        slow["2-layer/EDGES"] /= 4.0
+        comp = compare_records(make_record(slow), make_record(BASE_QPS))
+        failures = comp.gate_failures()
+        assert any("regression" in f for f in failures)
+        assert any("who-wins flip" in f for f in failures)
+
+    def test_uncorroborated_regression_warns_not_gates(self):
+        # One isolated metric beyond the band (a load spike) must not
+        # hard-fail even on the same machine; a second metric of the
+        # same method corroborates it into a failure.
+        slow = dict(BASE_QPS)
+        slow["2-layer/ROADS"] *= 0.65  # -35%, beyond the 30% band
+        comp = compare_records(make_record(slow), make_record(BASE_QPS))
+        assert comp.timing_regressions
+        assert comp.corroborated_regressions == []
+        assert comp.gate_failures() == []
+        assert comp.gate_failures(strict=True)
+
+        slow["2-layer/EDGES"] *= 0.65
+        comp = compare_records(make_record(slow), make_record(BASE_QPS))
+        assert len(comp.corroborated_regressions) == 2
+        assert any("regression" in f for f in comp.gate_failures())
+
+    def test_noise_band_swallows_small_deltas(self):
+        wobble = {k: v * 1.1 for k, v in BASE_QPS.items()}
+        comp = compare_records(make_record(wobble), make_record(BASE_QPS))
+        assert comp.gate_failures() == []
+
+    def test_incomparable_runs_gate_ordering_only(self):
+        slow = dict(BASE_QPS)
+        slow["2-layer/ROADS"] /= 4.0  # decisively below R-tree: ordering failure
+        other_host = dict(MANIFEST, hostname="host-b")
+        comp = compare_records(
+            make_record(slow, manifest=other_host), make_record(BASE_QPS)
+        )
+        assert not comp.comparable
+        failures = comp.gate_failures()
+        assert failures
+        assert all("who-wins flip" in f for f in failures)
+        # strict mode re-arms the timing gate.
+        assert any("regression" in f for f in comp.gate_failures(strict=True))
+
+    def test_uniform_slowdown_across_machines_does_not_gate(self):
+        # Everything 2x slower on another machine: ordering is intact,
+        # so nothing hard-fails without --strict.
+        slow = {k: v / 2.0 for k, v in BASE_QPS.items()}
+        other_host = dict(MANIFEST, hostname="host-b")
+        comp = compare_records(
+            make_record(slow, manifest=other_host), make_record(BASE_QPS)
+        )
+        assert comp.gate_failures() == []
+        assert comp.gate_failures(strict=True)
+
+    def test_lower_is_better_series(self):
+        base = make_record(BASE_QPS)
+        cur = make_record(BASE_QPS)
+        base.series["latency_ms"] = {"2-layer/ROADS": 1.0}
+        cur.series["latency_ms"] = {"2-layer/ROADS": 3.0}
+        comp = compare_records(cur, base)
+        lat = [d for d in comp.deltas if d.series == "latency_ms"]
+        assert len(lat) == 1 and lat[0].regressed and not lat[0].higher_is_better
+
+    def test_different_names_refused(self):
+        with pytest.raises(ObsError, match="different benchmarks"):
+            compare_records(
+                make_record(BASE_QPS), make_record(BASE_QPS, name="other")
+            )
+
+    def test_trend_table_renders(self):
+        slow = dict(BASE_QPS)
+        slow["2-layer/ROADS"] /= 2.0
+        comp = compare_records(make_record(slow), make_record(BASE_QPS))
+        table = format_trend_table(comp)
+        assert "who wins" in table
+        assert "REGRESSED" in table
+        assert "table5_throughput" in table
+
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+class TestCompareCLI:
+    def _write(self, directory, record):
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, f"BENCH_{record['name']}.json")
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(record, fh)
+        return path
+
+    def _raw(self, qps):
+        return {
+            "name": "table5_throughput",
+            "schema": SCHEMA_VERSION,
+            "timestamp": "2026-08-06T00:00:00+0000",
+            "manifest": MANIFEST,
+            "params": {},
+            "series": {"qps": qps},
+        }
+
+    def _run(self, *args):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO, "src")
+        return subprocess.run(
+            [sys.executable, os.path.join(REPO, "benchmarks", "compare.py"), *args],
+            capture_output=True,
+            text=True,
+            env=env,
+            timeout=120,
+        )
+
+    def test_cli_green_then_red_on_injected_slowdown(self, tmp_path):
+        results = str(tmp_path / "results")
+        baselines = str(tmp_path / "baselines")
+        self._write(results, self._raw(BASE_QPS))
+        out = self._run(
+            "--results", results, "--baselines", baselines, "--update-baseline"
+        )
+        assert out.returncode == 0, out.stderr
+        out = self._run("--results", results, "--baselines", baselines)
+        assert out.returncode == 0, out.stderr + out.stdout
+        assert "regression gate: OK" in out.stdout
+
+        slow = copy.deepcopy(BASE_QPS)
+        slow["2-layer/ROADS"] /= 2.0
+        slow["2-layer/EDGES"] /= 2.0
+        self._write(results, self._raw(slow))
+        out = self._run("--results", results, "--baselines", baselines)
+        assert out.returncode == 1
+        assert "REGRESSION GATE FAILED" in out.stderr
+
+    def test_cli_refuses_schema_less_records(self, tmp_path):
+        results = str(tmp_path / "results")
+        raw = self._raw(BASE_QPS)
+        del raw["schema"]
+        self._write(results, raw)
+        out = self._run("--results", results, "--baselines", str(tmp_path / "b"))
+        assert out.returncode == 2
+        assert "schema" in out.stderr
+
+    def test_cli_missing_baseline_skips(self, tmp_path):
+        results = str(tmp_path / "results")
+        self._write(results, self._raw(BASE_QPS))
+        out = self._run(
+            "--results", results, "--baselines", str(tmp_path / "empty")
+        )
+        assert out.returncode == 0
+        assert "no baseline" in out.stdout
