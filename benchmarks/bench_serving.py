@@ -1,0 +1,342 @@
+"""Serving benchmark: micro-batched vs unbatched request throughput.
+
+Spawns two ``python -m repro --serve`` subprocesses — one with batching
+disabled (``--max-batch 1 --coalesce-ms 0``) and one with the default
+coalescing micro-batcher — then drives each with closed-loop client
+threads at several concurrency levels.  Records p50/p95/p99 latency and
+aggregate throughput per (mode, clients) cell, plus an open-loop
+overload phase against a deliberately tiny admission queue to show
+backpressure rejects rather than hangs.
+
+Run directly (not through pytest-benchmark)::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+Results land in ``benchmarks/results/BENCH_serving.json``.  The
+acceptance bar: batched throughput >= 1.5x unbatched at the highest
+concurrency level (the batcher amortises per-request event-loop and
+tile-scan work across the coalesced batch, the serving analogue of the
+paper's Section VI batch-evaluation speedups).
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import re
+import signal
+import subprocess
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from _shared import emit_bench_record  # noqa: E402
+
+from repro.server.client import SpatialClient  # noqa: E402
+from repro.server.protocol import decode_response, encode_request  # noqa: E402
+
+
+def spawn_server(*extra: str) -> tuple[subprocess.Popen, str, int]:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        os.path.join(REPO_ROOT, "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "--serve", "127.0.0.1:0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    line = proc.stdout.readline()
+    m = re.search(r"serving on ([\d.]+):(\d+)", line)
+    if not m:
+        proc.kill()
+        raise RuntimeError(f"server failed to start: {proc.stderr.read()}")
+    return proc, m.group(1), int(m.group(2))
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.communicate(timeout=20)
+    except subprocess.TimeoutExpired:
+        proc.kill()
+        proc.communicate()
+
+
+def client_windows(k: int, count: int, side: float) -> list[tuple]:
+    rng = np.random.default_rng(1000 + k)
+    xs = rng.uniform(0.0, 1.0 - side, size=count)
+    ys = rng.uniform(0.0, 1.0 - side, size=count)
+    return [
+        (float(x), float(y), float(x + side), float(y + side))
+        for x, y in zip(xs, ys)
+    ]
+
+
+class _MuxConn:
+    """One TCP connection shared by several logical clients.
+
+    The protocol echoes request ids, so responses may interleave across
+    the logical clients pipelined on this socket; a single reader task
+    demultiplexes frames back to per-request futures.  Sharing sockets
+    is how a real service client behaves under fan-in, and it gives the
+    server's per-connection response aggregation something to aggregate."""
+
+    def __init__(self, reader, writer):
+        self.reader = reader
+        self.writer = writer
+        self.waiters: dict = {}
+        self._task = asyncio.ensure_future(self._read_loop())
+
+    async def _read_loop(self):
+        try:
+            while True:
+                line = await self.reader.readline()
+                if not line:
+                    break
+                frame = decode_response(line)
+                fut = self.waiters.pop(frame.get("id"), None)
+                if fut is not None and not fut.done():
+                    fut.set_result(frame)
+        except Exception as exc:  # fail every waiter loudly, never hang
+            for fut in self.waiters.values():
+                if not fut.done():
+                    fut.set_exception(exc)
+            self.waiters.clear()
+
+    async def call(self, rid, payload: bytes) -> dict:
+        fut = asyncio.get_event_loop().create_future()
+        self.waiters[rid] = fut
+        self.writer.write(payload)
+        return await fut
+
+    async def close(self):
+        self._task.cancel()
+        self.writer.close()
+
+
+async def _logical_client(
+    conn: _MuxConn, k: int, per_client: int, side: float
+) -> tuple[list[float], int]:
+    """One closed-loop logical client: send a count query, wait for its
+    answer, repeat.  Counts are the serving workload where batching
+    matters most — full query evaluation per request, but responses stay
+    small enough that JSON encode/decode does not drown the amortised
+    costs.  Frames are pre-encoded so the loop measures the server, not
+    the generator's own json.dumps."""
+    frames = [
+        (
+            k * 1_000_000 + i,
+            encode_request(
+                k * 1_000_000 + i,
+                "count",
+                {"xl": xl, "yl": yl, "xu": xu, "yu": yu},
+            ),
+        )
+        for i, (xl, yl, xu, yu) in enumerate(
+            client_windows(k, per_client, side)
+        )
+    ]
+    latencies: list[float] = []
+    retries = 0
+    for rid, payload in frames:
+        t0 = time.perf_counter()
+        while True:
+            frame = await conn.call(rid, payload)
+            if frame["ok"]:
+                break
+            error = frame["error"]
+            if error["code"] != "overloaded":
+                raise RuntimeError(f"client {k}: {error}")
+            retries += 1
+            await asyncio.sleep(error.get("retry_after_ms", 10) / 1e3)
+        latencies.append((time.perf_counter() - t0) * 1000.0)
+    return latencies, retries
+
+
+def closed_loop(
+    host: str,
+    port: int,
+    clients: int,
+    per_client: int,
+    side: float,
+    conns: int,
+) -> dict:
+    """``clients`` closed-loop logical clients, each issuing
+    ``per_client`` count queries back to back, multiplexed over
+    ``conns`` shared TCP connections.  The load generator is one asyncio
+    event loop — a thread per client would bottleneck on the generator's
+    own GIL and never saturate the server."""
+    conns = min(conns, clients)
+
+    async def drive():
+        muxes = []
+        for _ in range(conns):
+            reader, writer = await asyncio.open_connection(host, port)
+            muxes.append(_MuxConn(reader, writer))
+        t0 = time.perf_counter()
+        try:
+            results = await asyncio.gather(
+                *(
+                    _logical_client(
+                        muxes[k % conns], k, per_client, side
+                    )
+                    for k in range(clients)
+                )
+            )
+            wall = time.perf_counter() - t0
+        finally:
+            for mux in muxes:
+                await mux.close()
+        return results, wall
+
+    results, wall = asyncio.run(drive())
+    retries = sum(r for _, r in results)
+    flat = np.asarray([ms for per, _ in results for ms in per])
+    return {
+        "clients": clients,
+        "conns": conns,
+        "requests": int(flat.size),
+        "throughput_rps": float(flat.size / wall),
+        "p50_ms": float(np.percentile(flat, 50)),
+        "p95_ms": float(np.percentile(flat, 95)),
+        "p99_ms": float(np.percentile(flat, 99)),
+        "overload_retries": int(retries),
+        "wall_s": float(wall),
+    }
+
+
+def overload_phase(n: int, seed: int) -> dict:
+    """Open-loop: pipeline far more requests than a tiny queue admits in
+    one coalescing window; the server must answer every frame — a mix of
+    results and structured ``overloaded`` rejections, never a hang."""
+    proc, host, port = spawn_server(
+        "--n", str(n), "--seed", str(seed),
+        "--queue-depth", "8", "--max-batch", "4", "--coalesce-ms", "25",
+    )
+    # burst stays below the server's per-connection send-queue depth
+    # (256): every response frame must fit in flight while this client
+    # is still writing, or the server rightly drops us as a slow consumer.
+    burst = 200
+    try:
+        with SpatialClient(host, port, timeout=60.0) as cli:
+            for _ in range(burst):
+                cli.send_raw("window",
+                             {"xl": 0.1, "yl": 0.1, "xu": 0.3, "yu": 0.3})
+            ok = rejected = 0
+            for _ in range(burst):
+                frame = cli.recv_raw()
+                if frame["ok"]:
+                    ok += 1
+                elif frame["error"]["code"] == "overloaded":
+                    rejected += 1
+    finally:
+        stop_server(proc)
+    return {"burst": burst, "accepted": ok, "rejected": rejected}
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=30_000, help="dataset size")
+    parser.add_argument("--seed", type=int, default=9)
+    parser.add_argument(
+        "--clients", type=int, nargs="+", default=[4, 16, 32],
+        help="closed-loop concurrency levels (acceptance reads the last)",
+    )
+    parser.add_argument(
+        "--per-client", type=int, default=60,
+        help="requests each closed-loop client issues",
+    )
+    parser.add_argument(
+        "--side", type=float, default=0.04,
+        help="query window side length (unit domain)",
+    )
+    parser.add_argument(
+        "--conns", type=int, default=8,
+        help="TCP connections the logical clients share (id-multiplexed)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=1.5,
+        help="exit non-zero below this batched/unbatched ratio "
+             "(0 disables the gate, e.g. on shared CI runners)",
+    )
+    args = parser.parse_args(argv)
+
+    modes = {
+        "unbatched": ["--max-batch", "1", "--coalesce-ms", "0"],
+        "batched": ["--max-batch", "64", "--coalesce-ms", "0"],
+    }
+    common = [
+        "--n", str(args.n), "--seed", str(args.seed),
+        "--queue-depth", "4096",
+    ]
+    series: dict[str, dict] = {}
+    for mode, flags in modes.items():
+        proc, host, port = spawn_server(*common, *flags)
+        try:
+            # warm the snapshot/caches off the clock
+            with SpatialClient(host, port) as cli:
+                cli.window(0.4, 0.4, 0.5, 0.5)
+            for clients in args.clients:
+                cell = closed_loop(
+                    host, port, clients, args.per_client, args.side,
+                    args.conns,
+                )
+                series[f"{mode}/c{clients}"] = cell
+                print(
+                    f"{mode:>10} clients={clients:<3d} "
+                    f"{cell['throughput_rps']:8.0f} req/s  "
+                    f"p50={cell['p50_ms']:.2f}ms "
+                    f"p95={cell['p95_ms']:.2f}ms "
+                    f"p99={cell['p99_ms']:.2f}ms"
+                )
+        finally:
+            stop_server(proc)
+
+    top = max(args.clients)
+    ratio = (
+        series[f"batched/c{top}"]["throughput_rps"]
+        / series[f"unbatched/c{top}"]["throughput_rps"]
+    )
+    series["speedup"] = {"clients": top, "batched_over_unbatched": ratio}
+    print(f"\nbatched/unbatched throughput at {top} clients: {ratio:.2f}x")
+
+    print("\nopen-loop overload phase (queue_depth=8):")
+    series["overload"] = overload_phase(args.n, args.seed)
+    print(
+        f"  burst={series['overload']['burst']} "
+        f"accepted={series['overload']['accepted']} "
+        f"rejected={series['overload']['rejected']}"
+    )
+    if series["overload"]["rejected"] == 0:
+        print("  WARNING: expected some overload rejections, saw none")
+
+    path = emit_bench_record(
+        "serving",
+        params={
+            "n": args.n,
+            "seed": args.seed,
+            "clients": args.clients,
+            "per_client": args.per_client,
+            "window_side": args.side,
+            "conns": args.conns,
+            "modes": {k: " ".join(v) for k, v in modes.items()},
+        },
+        series=series,
+    )
+    print(f"\nwrote {path}")
+    ok = ratio >= args.min_speedup and series["overload"]["rejected"] > 0
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,6 +12,8 @@ Options::
     python -m repro --profile       # add a per-phase span-tree breakdown
     python -m repro --explain       # print EXPLAIN plans for sample queries
     python -m repro --explain --json   # the same plans as JSON
+    python -m repro --serve 127.0.0.1:7207   # run the query service
+    python -m repro --serve 127.0.0.1:7207 --index built.npz  # from disk
 """
 
 from __future__ import annotations
@@ -72,8 +74,46 @@ def main(argv: "list[str] | None" = None) -> int:
         help="with --explain or --profile: emit JSON instead of (or in "
         "addition to) the console rendering",
     )
+    parser.add_argument(
+        "--serve",
+        metavar="HOST:PORT",
+        help="serve queries over TCP (newline-delimited JSON protocol); "
+        "PORT 0 picks a free port, announced on stdout",
+    )
+    parser.add_argument(
+        "--index",
+        metavar="PATH",
+        help="with --serve: start from a SpatialCollection.save() archive "
+        "instead of building a synthetic dataset on boot",
+    )
+    parser.add_argument(
+        "--partitions",
+        type=int,
+        default=64,
+        help="with --serve: grid partitions per dimension (default 64)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=128,
+        help="with --serve: admission-control read queue depth",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=64,
+        help="with --serve: micro-batch size cap (1 disables batching)",
+    )
+    parser.add_argument(
+        "--coalesce-ms",
+        type=float,
+        default=2.0,
+        help="with --serve: micro-batch coalescing window in ms",
+    )
     args = parser.parse_args(argv)
 
+    if args.serve:
+        return _serve(args)
     if args.explain:
         return _print_explain(args)
 
@@ -119,6 +159,56 @@ def main(argv: "list[str] | None" = None) -> int:
 
     if args.profile:
         _print_profile(data, queries, as_json=args.json)
+    return 0
+
+
+def _serve(args) -> int:
+    """Run the concurrent query service (``--serve HOST:PORT``).
+
+    Announces ``serving on HOST:PORT ...`` on stdout once the socket is
+    bound (PORT resolves 0 to the picked port), then serves until
+    SIGTERM/SIGINT, draining in-flight requests before exiting 0.
+    """
+    import asyncio
+
+    from repro.api import SpatialCollection
+    from repro.server import ServerConfig, SpatialQueryService
+
+    host, sep, port = args.serve.rpartition(":")
+    if not sep or not port.lstrip("-").isdigit():
+        print(f"--serve expects HOST:PORT, got {args.serve!r}", file=sys.stderr)
+        return 2
+    if args.index:
+        col = SpatialCollection.load(args.index)
+        source = args.index
+    else:
+        data = generate_uniform_rects(args.n, area=1e-6, seed=args.seed)
+        col = SpatialCollection.from_dataset(
+            data, partitions_per_dim=args.partitions
+        )
+        source = f"synthetic n={args.n} seed={args.seed}"
+    config = ServerConfig(
+        host=host,
+        port=int(port),
+        queue_depth=args.queue_depth,
+        max_batch=args.max_batch,
+        coalesce_ms=args.coalesce_ms,
+    )
+    service = SpatialQueryService(col.index, col.data, config)
+
+    def announce(svc: SpatialQueryService) -> None:
+        bound_host, bound_port = svc.address
+        print(
+            f"serving on {bound_host}:{bound_port} "
+            f"({source}, objects={len(col)}, "
+            f"grid={col.index.grid.nx}x{col.index.grid.ny}, "
+            f"max_batch={args.max_batch}, coalesce_ms={args.coalesce_ms}, "
+            f"queue_depth={args.queue_depth})",
+            flush=True,
+        )
+
+    asyncio.run(service.run(ready=announce))
+    print("drained and stopped", flush=True)
     return 0
 
 

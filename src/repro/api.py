@@ -112,6 +112,35 @@ class SpatialCollection:
     def from_rects(cls, rects: Sequence[Rect], **kwargs) -> "SpatialCollection":
         return cls(RectDataset.from_rects(rects), **kwargs)
 
+    # -- persistence -------------------------------------------------------
+
+    def save(self, path) -> None:
+        """Persist the collection (index + dataset) to an ``.npz`` archive.
+
+        A :meth:`load`-ed collection answers every query identically —
+        no re-replication or re-sorting on process start, which is what
+        lets ``python -m repro --serve --index PATH`` boot from a
+        prebuilt index.  Collections carrying exact geometries are
+        refused (npz stores MBRs only).
+        """
+        from repro.core.persistence import save_collection
+
+        save_collection(self.index, self.data, path)
+
+    @classmethod
+    def load(cls, path) -> "SpatialCollection":
+        """Restore a collection written by :meth:`save` without rebuilding."""
+        from repro.core.persistence import load_collection
+
+        index, data = load_collection(path)
+        col = cls.__new__(cls)
+        col.data = data
+        col.index = index
+        col._refiner = RefinementEngine(index, data)
+        col._estimator = None
+        col._profile = None
+        return col
+
     # -- introspection ---------------------------------------------------------
 
     def __len__(self) -> int:

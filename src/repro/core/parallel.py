@@ -39,7 +39,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.errors import InvalidQueryError
+from repro.errors import InvalidQueryError, ParallelExecutionError
 from repro.geometry.mbr import Rect
 from repro.core.batch import evaluate_queries_based, evaluate_tiles_based
 from repro.core.selection import plan_tile
@@ -121,6 +121,7 @@ class ParallelBatchEvaluator:
         self.index = index
         self.workers = workers
         self._pool = None
+        self._broken = False
         if workers > 1:
             ctx = multiprocessing.get_context("fork")
             self._pool = ctx.Pool(
@@ -131,9 +132,53 @@ class ParallelBatchEvaluator:
 
     def close(self) -> None:
         if self._pool is not None:
-            self._pool.close()
+            if self._broken:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool.join()
             self._pool = None
+
+    def _map_or_raise(self, fn, payloads) -> list:
+        """``pool.map`` that fails loudly when a worker dies mid-batch.
+
+        ``multiprocessing.Pool`` silently respawns a killed worker and
+        leaves its in-flight task unfinished, so a plain ``map`` would
+        hang forever (or surface a bare ``BrokenPipeError``).  The wait
+        loop watches the pool's worker set; any death mid-batch raises
+        :class:`~repro.errors.ParallelExecutionError` and marks the
+        evaluator broken (terminated on :meth:`close`).
+        """
+        pool = self._pool
+        workers = getattr(pool, "_pool", None)  # CPython Pool internals
+        baseline = (
+            {w.pid for w in workers} if workers is not None else None
+        )
+        result = pool.map_async(fn, payloads)
+        while not result.ready():
+            result.wait(0.05)
+            if result.ready() or baseline is None:
+                break
+            dead = any(not w.is_alive() for w in workers)
+            if dead or {w.pid for w in workers} != baseline:
+                self._broken = True
+                self.close()
+                raise ParallelExecutionError(
+                    "a parallel batch worker died mid-batch (killed or "
+                    "crashed); the pool was terminated — results for "
+                    "this batch are lost"
+                )
+        try:
+            return result.get()
+        except ParallelExecutionError:
+            raise
+        except Exception as exc:
+            self._broken = True
+            self.close()
+            raise ParallelExecutionError(
+                f"parallel batch failed in a worker: "
+                f"{type(exc).__name__}: {exc}"
+            ) from exc
 
     def __enter__(self) -> "ParallelBatchEvaluator":
         return self
@@ -149,6 +194,11 @@ class ParallelBatchEvaluator:
             raise InvalidQueryError(
                 f"unknown parallel method {method!r}; expected one of "
                 f"{PARALLEL_METHODS}"
+            )
+        if self._broken:
+            raise ParallelExecutionError(
+                "this evaluator's worker pool is broken (a worker died); "
+                "create a new ParallelBatchEvaluator"
             )
         windows = list(windows)
         counts = np.zeros(len(windows), dtype=np.int64)
@@ -187,7 +237,7 @@ class ParallelBatchEvaluator:
             ]
             run = _run_tile_shard
 
-        for shard_result in self._pool.map(run, payloads):
+        for shard_result in self._map_or_raise(run, payloads):
             for qi, cnt in shard_result:
                 counts[qi] += cnt
         return counts

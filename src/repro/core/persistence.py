@@ -15,6 +15,7 @@ import os
 
 import numpy as np
 
+from repro.datasets.dataset import RectDataset
 from repro.errors import DatasetError
 from repro.geometry.mbr import Rect
 from repro.grid.base import GridPartitioner
@@ -23,7 +24,7 @@ from repro.grid.storage import TileTable, group_rows
 from repro.core.two_layer import TwoLayerGrid
 from repro.core.two_layer_plus import TwoLayerPlusGrid
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "save_collection", "load_collection"]
 
 _FORMAT_VERSION = 1
 _KINDS = {
@@ -73,23 +74,63 @@ def _flatten(index) -> dict[str, np.ndarray]:
     }
 
 
-def save_index(index, path: "str | os.PathLike[str]") -> None:
-    """Persist a built grid index to ``path`` (npz archive)."""
+def _save(index, path, extra: "dict[str, np.ndarray] | None") -> None:
     kind = type(index).__name__
     if kind not in _KINDS:
         raise DatasetError(
             f"save_index supports {sorted(_KINDS)}, got {kind}"
         )
     flat = _flatten(index)
-    np.savez_compressed(
+    # An explicit file handle keeps the path exact (np.savez would
+    # silently append ".npz"), so save(path) / load(path) round-trip.
+    with open(path, "wb") as fh:
+        np.savez_compressed(
+            fh,
+            version=np.int64(_FORMAT_VERSION),
+            kind=np.array(kind),
+            nx=np.int64(index.grid.nx),
+            ny=np.int64(index.grid.ny),
+            domain=np.asarray(index.grid.domain.as_tuple()),
+            n_objects=np.int64(len(index)),
+            **flat,
+            **(extra or {}),
+        )
+
+
+def save_index(index, path: "str | os.PathLike[str]") -> None:
+    """Persist a built grid index to ``path`` (npz archive)."""
+    _save(index, path, None)
+
+
+def save_collection(index, data, path: "str | os.PathLike[str]") -> None:
+    """Persist an index *plus its dataset columns* in one archive.
+
+    The dataset rows are stored positionally (including rows whose index
+    entries were deleted — ids stay positional), so a loaded collection
+    answers every query, including kNN and further maintenance, exactly
+    like the original.  Exact geometries are not serialisable to npz;
+    collections carrying them are refused rather than silently degraded.
+    """
+    if data.geometries is not None:
+        raise DatasetError(
+            "collections with exact geometries cannot be persisted "
+            "(npz stores MBRs only); drop the geometries or persist "
+            "the index alone with save_index"
+        )
+    if len(index) != len(data):
+        raise DatasetError(
+            f"index covers {len(index)} objects but the dataset has "
+            f"{len(data)} rows"
+        )
+    _save(
+        index,
         path,
-        version=np.int64(_FORMAT_VERSION),
-        kind=np.array(kind),
-        nx=np.int64(index.grid.nx),
-        ny=np.int64(index.grid.ny),
-        domain=np.asarray(index.grid.domain.as_tuple()),
-        n_objects=np.int64(len(index)),
-        **flat,
+        {
+            "data_xl": data.xl,
+            "data_yl": data.yl,
+            "data_xu": data.xu,
+            "data_yu": data.yu,
+        },
     )
 
 
@@ -164,3 +205,27 @@ def load_index(path: "str | os.PathLike[str]"):
                 yu[rows].copy(), ids[rows].copy(),
             )
     return index
+
+
+def load_collection(path: "str | os.PathLike[str]"):
+    """Restore ``(index, dataset)`` from a :func:`save_collection` archive."""
+    index = load_index(path)
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            data = RectDataset(
+                archive["data_xl"].copy(),
+                archive["data_yl"].copy(),
+                archive["data_xu"].copy(),
+                archive["data_yu"].copy(),
+            )
+        except KeyError as exc:
+            raise DatasetError(
+                f"{path}: archive has no dataset columns (written by "
+                "save_index, not save_collection)"
+            ) from exc
+    if len(data) != len(index):
+        raise DatasetError(
+            f"{path}: dataset has {len(data)} rows but the index covers "
+            f"{len(index)} objects"
+        )
+    return index, data

@@ -42,3 +42,15 @@ class ObsError(ReproError, RuntimeError):
     """An observability instrument was used in an invalid state (e.g. a
     percentile requested from an empty histogram, or an EXPLAIN asked of
     an index family that does not expose partition introspection)."""
+
+
+class ParallelExecutionError(ReproError, RuntimeError):
+    """A parallel batch failed structurally — a worker process died
+    mid-batch (OOM-killed, segfaulted) or the pool is broken.  Raised
+    instead of letting ``multiprocessing`` hang forever or surface a bare
+    ``BrokenPipeError`` with no context."""
+
+
+class ProtocolError(ReproError, ValueError):
+    """A serving-protocol frame is malformed: not valid JSON, missing
+    required fields, an unknown verb, or arguments of the wrong shape."""

@@ -11,10 +11,18 @@ Histograms keep exact running aggregates (count, sum, min, max) over the
 full stream plus a fixed-capacity ring buffer of the most recent samples
 for quantiles — p50/p95/p99 over a sliding window, the standard
 trade-off for long-lived processes.
+
+Every instrument is **thread-safe**: record paths (``inc``/``set``/
+``observe``), snapshots (``summary``/``collect``) and ``reset`` take a
+per-instrument lock, and the registry's get-or-create path takes a
+registry lock.  The serving layer records from the event loop while
+``stats`` requests, exporters and test harnesses read concurrently;
+without the locks a histogram ring could tear mid-``collect``.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Mapping
 
 import numpy as np
@@ -25,56 +33,71 @@ __all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
 class Counter:
-    """Monotonically increasing count."""
+    """Monotonically increasing count (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._lock = threading.Lock()
 
     def inc(self, n: int = 1) -> None:
         if n < 0:
             raise ValueError(f"counters only go up; got {n}")
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def reset(self) -> None:
-        self.value = 0
+        with self._lock:
+            self.value = 0
 
     def __repr__(self) -> str:
         return f"Counter({self.name!r}, value={self.value})"
 
 
 class Gauge:
-    """A value that goes up and down."""
+    """A value that goes up and down (thread-safe)."""
 
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_lock")
 
     kind = "gauge"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = value
+        with self._lock:
+            self.value = value
 
     def inc(self, n: float = 1.0) -> None:
-        self.value += n
+        with self._lock:
+            self.value += n
 
     def dec(self, n: float = 1.0) -> None:
-        self.value -= n
+        with self._lock:
+            self.value -= n
 
     def __repr__(self) -> str:
         return f"Gauge({self.name!r}, value={self.value})"
 
 
 class Histogram:
-    """Streaming histogram: exact aggregates + recent-window quantiles."""
+    """Streaming histogram: exact aggregates + recent-window quantiles.
 
-    __slots__ = ("name", "capacity", "count", "total", "_min", "_max", "_ring", "_pos")
+    Thread-safe: ``observe`` and ``reset`` mutate under the instrument
+    lock; ``summary``/``percentile`` copy the ring under the lock and
+    compute quantiles outside it.
+    """
+
+    __slots__ = (
+        "name", "capacity", "count", "total", "_min", "_max", "_ring",
+        "_pos", "_lock",
+    )
 
     kind = "histogram"
 
@@ -89,32 +112,37 @@ class Histogram:
         self._max = float("-inf")
         self._ring: list[float] = []
         self._pos = 0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if value < self._min:
-            self._min = value
-        if value > self._max:
-            self._max = value
-        if len(self._ring) < self.capacity:
-            self._ring.append(value)
-        else:
-            self._ring[self._pos] = value
-            self._pos = (self._pos + 1) % self.capacity
+        with self._lock:
+            self.count += 1
+            self.total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+            if len(self._ring) < self.capacity:
+                self._ring.append(value)
+            else:
+                self._ring[self._pos] = value
+                self._pos = (self._pos + 1) % self.capacity
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
 
     @property
     def min(self) -> float:
-        return self._min if self.count else 0.0
+        with self._lock:
+            return self._min if self.count else 0.0
 
     @property
     def max(self) -> float:
-        return self._max if self.count else 0.0
+        with self._lock:
+            return self._max if self.count else 0.0
 
     def percentile(self, q: float) -> float:
         """Linear-interpolated percentile (``q`` in [0, 100]) over the
@@ -127,34 +155,44 @@ class Histogram:
         """
         if not 0.0 <= q <= 100.0:
             raise ValueError(f"percentile must be in [0, 100], got {q}")
-        if not self._ring:
+        with self._lock:
+            window = list(self._ring)
+        if not window:
             raise ObsError(
                 f"histogram {self.name!r} has no samples; "
                 "percentile is undefined on an empty histogram"
             )
-        return float(np.percentile(np.asarray(self._ring), q))
+        return float(np.percentile(np.asarray(window), q))
 
     def summary(self) -> dict[str, float]:
         """Aggregate snapshot; quantile keys are omitted when empty."""
+        with self._lock:
+            count = self.count
+            total = self.total
+            lo = self._min
+            hi = self._max
+            window = list(self._ring)
         out: dict[str, float] = {
-            "count": self.count,
-            "mean": self.mean,
-            "min": self.min,
-            "max": self.max,
+            "count": count,
+            "mean": total / count if count else 0.0,
+            "min": lo if count else 0.0,
+            "max": hi if count else 0.0,
         }
-        if self._ring:
-            out["p50"] = self.percentile(50.0)
-            out["p95"] = self.percentile(95.0)
-            out["p99"] = self.percentile(99.0)
+        if window:
+            arr = np.asarray(window)
+            out["p50"] = float(np.percentile(arr, 50.0))
+            out["p95"] = float(np.percentile(arr, 95.0))
+            out["p99"] = float(np.percentile(arr, 99.0))
         return out
 
     def reset(self) -> None:
-        self.count = 0
-        self.total = 0.0
-        self._min = float("inf")
-        self._max = float("-inf")
-        self._ring = []
-        self._pos = 0
+        with self._lock:
+            self.count = 0
+            self.total = 0.0
+            self._min = float("inf")
+            self._max = float("-inf")
+            self._ring = []
+            self._pos = 0
 
     def __repr__(self) -> str:
         return f"Histogram({self.name!r}, count={self.count}, mean={self.mean:.4g})"
@@ -166,19 +204,22 @@ class MetricsRegistry:
     def __init__(self):
         self._metrics: dict[str, "Counter | Gauge | Histogram"] = {}
         self._sources: dict[str, Callable[[], Mapping[str, float]]] = {}
+        self._lock = threading.Lock()
 
     # -- instrument accessors (get-or-create) ------------------------------
 
     def _get(self, name: str, cls, *args):
-        metric = self._metrics.get(name)
-        if metric is None:
-            metric = cls(name, *args)
-            self._metrics[name] = metric
-        elif not isinstance(metric, cls):
-            raise TypeError(
-                f"metric {name!r} already registered as {type(metric).__name__}"
-            )
-        return metric
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = cls(name, *args)
+                self._metrics[name] = metric
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(metric).__name__}"
+                )
+            return metric
 
     def counter(self, name: str) -> Counter:
         return self._get(name, Counter)
@@ -200,33 +241,40 @@ class MetricsRegistry:
 
             registry.register_source("query_stats", stats.as_dict)
         """
-        self._sources[name] = fn
+        with self._lock:
+            self._sources[name] = fn
 
     # -- views -------------------------------------------------------------
 
     @property
     def metrics(self) -> dict[str, "Counter | Gauge | Histogram"]:
-        return dict(self._metrics)
+        with self._lock:
+            return dict(self._metrics)
 
     def collect(self) -> dict[str, float]:
         """Flat snapshot: counters/gauges by name, histograms expanded to
         ``name.count/mean/min/max/p50/p95/p99``, sources to
         ``source.key``."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+            sources = list(self._sources.items())
         out: dict[str, float] = {}
-        for name, metric in self._metrics.items():
+        for name, metric in metrics:
             if isinstance(metric, Histogram):
                 for key, value in metric.summary().items():
                     out[f"{name}.{key}"] = value
             else:
                 out[name] = metric.value
-        for src_name, fn in self._sources.items():
+        for src_name, fn in sources:
             for key, value in fn().items():
                 out[f"{src_name}.{key}"] = value
         return out
 
     def reset(self) -> None:
         """Zero every owned instrument (sources are left alone)."""
-        for metric in self._metrics.values():
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
             if isinstance(metric, Gauge):
                 metric.set(0.0)
             else:

@@ -1,0 +1,142 @@
+"""Request micro-batching: bounded admission queue + coalescing drain.
+
+The server enqueues every accepted read request here.  The batch loop
+pulls one request, then keeps the batch open for a short *coalescing
+window* (or until ``max_batch`` requests are in hand) before executing
+the whole batch against one snapshot — window and disk queries through
+the Section VI tiles-based evaluator, so concurrent clients pay the
+per-tile scan setup once instead of once per request.
+
+The queue is bounded: :meth:`MicroBatcher.try_submit` never blocks and
+returns ``False`` when the queue is full, which the service translates
+into a structured ``overloaded`` error with a retry-after hint.  That is
+the admission-control half of backpressure; the per-connection write
+timeout in :mod:`repro.server.service` is the other half.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+from repro.server.protocol import Request
+
+__all__ = ["MicroBatcher", "PendingRequest"]
+
+
+class PendingRequest:
+    """One admitted request waiting for (batched) execution."""
+
+    __slots__ = ("request", "conn", "enqueued_at")
+
+    def __init__(self, request: Request, conn, enqueued_at: "float | None" = None):
+        self.request = request
+        self.conn = conn
+        self.enqueued_at = (
+            enqueued_at if enqueued_at is not None else time.perf_counter()
+        )
+
+
+class MicroBatcher:
+    """Bounded queue with coalescing batch drain.
+
+    ``coalesce_ms`` is how long the drain loop keeps a batch open after
+    its first request arrives; ``max_batch`` caps the batch size (a full
+    batch closes early).  ``max_batch=1`` (or ``coalesce_ms=0`` with an
+    empty queue) degenerates to per-request execution — the unbatched
+    baseline the serving benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        queue_depth: int = 128,
+        max_batch: int = 64,
+        coalesce_ms: float = 2.0,
+    ):
+        if queue_depth < 1:
+            raise ValueError(f"queue_depth must be >= 1, got {queue_depth}")
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        if coalesce_ms < 0:
+            raise ValueError(f"coalesce_ms must be >= 0, got {coalesce_ms}")
+        self.queue_depth = queue_depth
+        self.max_batch = max_batch
+        self.coalesce_s = coalesce_ms / 1e3
+        self._queue: "asyncio.Queue[PendingRequest | None]" = asyncio.Queue(
+            maxsize=queue_depth
+        )
+        self._closed = False
+
+    # -- submission (never blocks) ----------------------------------------
+
+    def try_submit(self, pending: PendingRequest) -> bool:
+        """Admit a request; ``False`` means the queue is full (reject)."""
+        if self._closed:
+            return False
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            return False
+        return True
+
+    def depth(self) -> int:
+        """Requests currently queued (the backpressure gauge)."""
+        return self._queue.qsize()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop admitting; wake the drain loop once the queue empties."""
+        self._closed = True
+        try:
+            self._queue.put_nowait(None)
+        except asyncio.QueueFull:
+            pass  # the drain loop is behind; it will see _closed
+
+    def _requeue_sentinel(self) -> None:
+        """Put a drained close-sentinel back for the next batch call."""
+        try:
+            self._queue.put_nowait(None)
+        except asyncio.QueueFull:  # pragma: no cover - closed queues drain
+            pass
+
+    # -- draining ---------------------------------------------------------
+
+    async def next_batch(self) -> "list[PendingRequest] | None":
+        """The next micro-batch, or ``None`` once closed and drained."""
+        while True:
+            first = await self._queue.get()
+            if first is None:
+                if self._closed and self._queue.empty():
+                    return None
+                continue
+            break
+        batch = [first]
+        if self.coalesce_s > 0.0 and self.max_batch > 1:
+            loop = asyncio.get_running_loop()
+            deadline = loop.time() + self.coalesce_s
+            while len(batch) < self.max_batch:
+                timeout = deadline - loop.time()
+                if timeout <= 0.0:
+                    break
+                try:
+                    item = await asyncio.wait_for(self._queue.get(), timeout)
+                except asyncio.TimeoutError:
+                    break
+                if item is None:
+                    self._requeue_sentinel()
+                    break
+                batch.append(item)
+        else:
+            while len(batch) < self.max_batch:
+                try:
+                    item = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if item is None:
+                    self._requeue_sentinel()
+                    break
+                batch.append(item)
+        return batch

@@ -1,0 +1,177 @@
+"""Synchronous, stdlib-only client for the serving protocol.
+
+Uses nothing beyond ``socket`` and the (dependency-free) protocol
+module, so a thin consumer process does not need numpy::
+
+    from repro.server.client import SpatialClient
+
+    with SpatialClient("127.0.0.1", 7207) as cli:
+        ids = cli.window(0.2, 0.2, 0.3, 0.3)
+        near = cli.knn(0.5, 0.5, k=10)
+        new_id = cli.insert(0.41, 0.41, 0.42, 0.42)
+
+Structured server errors raise :class:`ServerError` subclasses;
+``overloaded`` raises :class:`OverloadedError` carrying the server's
+``retry_after_ms`` hint.  The client keeps one request in flight at a
+time; :meth:`SpatialClient.send_raw` / :meth:`SpatialClient.recv_raw`
+expose the pipelined path the open-loop load generator uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+
+from repro.server.protocol import decode_response, encode_request
+
+__all__ = [
+    "ClientError",
+    "OverloadedError",
+    "ServerError",
+    "ShuttingDownError",
+    "SpatialClient",
+]
+
+
+class ClientError(Exception):
+    """Transport-level failure (connection closed, malformed frame)."""
+
+
+class ServerError(Exception):
+    """A structured error response from the server."""
+
+    def __init__(self, code: str, message: str, retry_after_ms: "int | None" = None):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+        self.message = message
+        self.retry_after_ms = retry_after_ms
+
+
+class OverloadedError(ServerError):
+    """Admission control rejected the request; honour ``retry_after_ms``."""
+
+
+class ShuttingDownError(ServerError):
+    """The server is draining and no longer accepts requests."""
+
+
+_ERROR_CLASSES = {
+    "overloaded": OverloadedError,
+    "shutting_down": ShuttingDownError,
+}
+
+
+class SpatialClient:
+    """One blocking connection to a :class:`SpatialQueryService`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self._ids = itertools.count(1)
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "SpatialClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw pipelined path (load generators, tests) ----------------------
+
+    def send_raw(self, verb: str, args: "dict | None" = None) -> int:
+        """Fire one request without waiting; returns its request id."""
+        req_id = next(self._ids)
+        self._sock.sendall(encode_request(req_id, verb, args))
+        return req_id
+
+    def recv_raw(self) -> dict:
+        """Read the next response frame (whatever request it answers)."""
+        line = self._file.readline()
+        if not line:
+            raise ClientError("server closed the connection")
+        return decode_response(line)
+
+    # -- request/response -------------------------------------------------
+
+    def call(self, verb: str, args: "dict | None" = None) -> dict:
+        """One request, one response; raises on structured errors.
+
+        Returns the ``result`` payload; the frame's ``server`` metadata
+        (snapshot version, batch size) is kept on :attr:`last_server`.
+        """
+        req_id = self.send_raw(verb, args)
+        frame = self.recv_raw()
+        if frame.get("id") not in (req_id, None):
+            raise ClientError(
+                f"response id {frame.get('id')!r} does not match "
+                f"request id {req_id!r}"
+            )
+        return self.unwrap(frame)
+
+    def unwrap(self, frame: dict) -> dict:
+        """Turn a response frame into its result, raising on errors."""
+        if frame["ok"]:
+            self.last_server = frame.get("server")
+            return frame["result"]
+        error = frame.get("error") or {}
+        code = error.get("code", "internal")
+        cls = _ERROR_CLASSES.get(code, ServerError)
+        raise cls(code, error.get("message", ""), error.get("retry_after_ms"))
+
+    #: ``server`` metadata of the last successful :meth:`call` response.
+    last_server: "dict | None" = None
+
+    # -- verbs ------------------------------------------------------------
+
+    def ping(self) -> dict:
+        return self.call("ping")
+
+    def window(
+        self,
+        xl: float,
+        yl: float,
+        xu: float,
+        yu: float,
+        predicate: str = "intersects",
+    ) -> list[int]:
+        args = {"xl": xl, "yl": yl, "xu": xu, "yu": yu}
+        if predicate != "intersects":
+            args["predicate"] = predicate
+        return self.call("window", args)["ids"]
+
+    def disk(self, cx: float, cy: float, radius: float) -> list[int]:
+        return self.call("disk", {"cx": cx, "cy": cy, "radius": radius})["ids"]
+
+    def knn(self, cx: float, cy: float, k: int) -> list[int]:
+        return self.call("knn", {"cx": cx, "cy": cy, "k": k})["ids"]
+
+    def count(self, xl: float, yl: float, xu: float, yu: float) -> int:
+        return self.call("count", {"xl": xl, "yl": yl, "xu": xu, "yu": yu})[
+            "count"
+        ]
+
+    def insert(self, xl: float, yl: float, xu: float, yu: float) -> int:
+        return self.call("insert", {"xl": xl, "yl": yl, "xu": xu, "yu": yu})[
+            "id"
+        ]
+
+    def delete(self, obj_id: int) -> bool:
+        return self.call("delete", {"id": obj_id})["found"]
+
+    def describe(self) -> dict:
+        return self.call("describe")
+
+    def explain(self, kind: str, **args) -> dict:
+        return self.call("explain", {"kind": kind, **args})
+
+    def stats(self) -> dict:
+        return self.call("stats")

@@ -1,0 +1,625 @@
+"""The asyncio query service: admission, batching, writes, shutdown.
+
+Data flow::
+
+    client ──line──> _handle_conn ──try_submit──> MicroBatcher ─┐
+                         │  (reject: overloaded)                │ batch
+                         ├──────────> write queue ──> writer    ▼
+                         │                    task   _execute_batch
+                         <──send queue (per-conn, ──────┘   (one snapshot)
+                            write-timeout bounded)
+
+Reads are admitted into the bounded :class:`MicroBatcher` queue and
+executed in micro-batches against one :class:`Snapshot`; ``insert`` /
+``delete`` are serialised onto a single writer task that publishes new
+snapshots atomically.  Every stage records into a ``server.*`` metrics
+namespace on a :class:`MetricsRegistry` (exposed over the wire by the
+``stats`` verb) and runs under tracing spans, so a profiling session
+sees the server the way it sees the in-process engine.
+
+Overload never blocks the event loop: full queues answer ``overloaded``
+with a retry-after hint, slow consumers are disconnected by the
+per-connection write timeout, and SIGTERM (via :meth:`run`) drains
+in-flight requests before the process exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from dataclasses import dataclass
+
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import DiskQuery
+from repro.errors import InvalidQueryError, ProtocolError, ReproError
+from repro.geometry.mbr import Rect
+from repro.core.batch import evaluate_disk_tiles_based, evaluate_tiles_based
+from repro.core.knn import knn_query
+from repro.core.two_layer import TwoLayerGrid
+from repro.obs import tracing as _tracing
+from repro.obs.metrics import MetricsRegistry
+from repro.server.batcher import MicroBatcher, PendingRequest
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    VERBS,
+    WRITE_VERBS,
+    Request,
+    decode_request,
+    encode_error,
+    encode_response,
+)
+from repro.server.snapshot import Snapshot, SnapshotStore
+
+__all__ = ["ServerConfig", "SpatialQueryService"]
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one service instance (see docs/serving.md)."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    #: admission-control depth of the read queue (requests, not bytes).
+    queue_depth: int = 128
+    #: maximum requests coalesced into one micro-batch.
+    max_batch: int = 64
+    #: how long a batch stays open after its first request [ms].
+    coalesce_ms: float = 2.0
+    #: admission-control depth of the serialised write queue.
+    write_queue_depth: int = 64
+    #: hint sent with ``overloaded`` errors; None = 2x coalesce window.
+    retry_after_ms: "int | None" = None
+    #: per-connection timeout for draining a response write [s].
+    write_timeout_s: float = 5.0
+    #: per-connection outgoing response queue depth (slow-consumer cap).
+    send_queue_depth: int = 256
+    #: how long shutdown waits for in-flight requests to finish [s].
+    drain_timeout_s: float = 10.0
+    #: maximum request line length [bytes].
+    max_line_bytes: int = 1 << 20
+
+    def effective_retry_after_ms(self) -> int:
+        if self.retry_after_ms is not None:
+            return self.retry_after_ms
+        return max(int(2 * self.coalesce_ms), 10)
+
+
+#: transport write-buffer level above which responses stop taking the
+#: direct-write fast path and go through the sender task (drain timeout).
+_DIRECT_WRITE_HIGHWATER = 1 << 16
+
+
+class _Connection:
+    """One client connection: reader side plus a bounded sender task."""
+
+    __slots__ = ("service", "reader", "writer", "send_q", "sender", "aborted")
+
+    def __init__(self, service: "SpatialQueryService", reader, writer):
+        self.service = service
+        self.reader = reader
+        self.writer = writer
+        self.send_q: "asyncio.Queue[bytes | None]" = asyncio.Queue(
+            maxsize=service.config.send_queue_depth
+        )
+        self.aborted = False
+        self.sender = asyncio.ensure_future(self._send_loop())
+
+    def send(self, payload: bytes) -> bool:
+        """Enqueue a response; a full queue marks the consumer slow and
+        aborts the connection (backpressure never buffers unboundedly).
+
+        Fast path: while the transport's write buffer is comfortably
+        below the high-water mark and nothing is queued behind the
+        sender, the frame is written straight to the transport —
+        ``Transport.write`` never blocks, and skipping the queue avoids
+        a sender-task wakeup per response.  A slow consumer grows the
+        buffer past the mark, which diverts frames back through the
+        sender task where the drain timeout applies.
+        """
+        if self.aborted:
+            return False
+        if self.send_q.empty():
+            transport = self.writer.transport
+            if (
+                transport is not None
+                and not transport.is_closing()
+                and transport.get_write_buffer_size() < _DIRECT_WRITE_HIGHWATER
+            ):
+                self.writer.write(payload)
+                return True
+        try:
+            self.send_q.put_nowait(payload)
+        except asyncio.QueueFull:
+            self.service.registry.counter("server.slow_consumer_drops").inc()
+            self.abort()
+            return False
+        return True
+
+    def abort(self) -> None:
+        self.aborted = True
+        try:
+            self.send_q.put_nowait(None)
+        except asyncio.QueueFull:
+            # sender will notice `aborted` after the current drain
+            pass
+
+    async def _send_loop(self) -> None:
+        cfg = self.service.config
+        try:
+            while True:
+                payload = await self.send_q.get()
+                if payload is None or self.aborted:
+                    break
+                self.writer.write(payload)
+                try:
+                    await asyncio.wait_for(
+                        self.writer.drain(), cfg.write_timeout_s
+                    )
+                except asyncio.TimeoutError:
+                    self.service.registry.counter(
+                        "server.write_timeouts"
+                    ).inc()
+                    self.aborted = True
+                    break
+                except (ConnectionError, OSError):
+                    self.aborted = True
+                    break
+        finally:
+            self.aborted = True
+            try:
+                self.writer.close()
+            except Exception:
+                pass
+
+    async def flush_close(self) -> None:
+        """Send everything queued, then close the transport."""
+        try:
+            self.send_q.put_nowait(None)
+        except asyncio.QueueFull:
+            self.aborted = True
+        try:
+            await self.sender
+        except asyncio.CancelledError:  # pragma: no cover - teardown race
+            pass
+
+
+class SpatialQueryService:
+    """Serve window/disk/kNN/count/insert/delete/describe/explain/stats
+    over a snapshot-isolated two-layer grid."""
+
+    def __init__(
+        self,
+        index: TwoLayerGrid,
+        data: RectDataset,
+        config: "ServerConfig | None" = None,
+        registry: "MetricsRegistry | None" = None,
+    ):
+        self.config = config or ServerConfig()
+        self.store = SnapshotStore(index, data)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = _tracing.Tracer()
+        self.batcher = MicroBatcher(
+            queue_depth=self.config.queue_depth,
+            max_batch=self.config.max_batch,
+            coalesce_ms=self.config.coalesce_ms,
+        )
+        self._write_q: "asyncio.Queue[PendingRequest | None]" = asyncio.Queue(
+            maxsize=self.config.write_queue_depth
+        )
+        self._server: "asyncio.base_events.Server | None" = None
+        self._batch_task: "asyncio.Task | None" = None
+        self._writer_task: "asyncio.Task | None" = None
+        self._conns: set[_Connection] = set()
+        self._in_flight = 0
+        self._draining = False
+        self._stop_requested = asyncio.Event()
+        self._stopped = asyncio.Event()
+        # hot-path instrument handles, resolved once (the registry's
+        # get-or-create path takes a lock per lookup — too much per request)
+        self._m_requests = self.registry.counter("server.requests")
+        self._m_queue_depth = self.registry.gauge("server.queue_depth")
+        self._m_batch_size = self.registry.histogram("server.batch_size")
+        self._m_latency = self.registry.histogram("server.latency_ms")
+        self._m_verbs = {
+            verb: self.registry.counter(f"server.requests.{verb}")
+            for verb in VERBS
+        }
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ``port=0``)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not started")
+        host, port = self._server.sockets[0].getsockname()[:2]
+        return host, port
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_conn,
+            self.config.host,
+            self.config.port,
+            limit=self.config.max_line_bytes,
+        )
+        self._batch_task = asyncio.ensure_future(self._batch_loop())
+        self._writer_task = asyncio.ensure_future(self._writer_loop())
+
+    def request_shutdown(self) -> None:
+        """Signal-safe shutdown trigger (drains before stopping)."""
+        self._stop_requested.set()
+
+    async def run(self, ready=None) -> None:
+        """Start, install SIGTERM/SIGINT drain handlers, serve until a
+        shutdown is requested, then drain and stop."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.request_shutdown)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        try:
+            if ready is not None:
+                ready(self)
+            await self._stop_requested.wait()
+            await self.shutdown()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+
+    async def shutdown(self) -> None:
+        """Stop accepting, drain in-flight requests, close connections."""
+        if self._stopped.is_set():
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.config.drain_timeout_s
+        while self._in_flight > 0 and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        self.batcher.close()
+        try:
+            self._write_q.put_nowait(None)
+        except asyncio.QueueFull:  # pragma: no cover - drained above
+            pass
+        for task in (self._batch_task, self._writer_task):
+            if task is not None:
+                try:
+                    await asyncio.wait_for(task, 5.0)
+                except asyncio.TimeoutError:  # pragma: no cover
+                    task.cancel()
+        for conn in list(self._conns):
+            await conn.flush_close()
+        self._stopped.set()
+
+    # -- connection handling ----------------------------------------------
+
+    async def _handle_conn(self, reader, writer) -> None:
+        conn = _Connection(self, reader, writer)
+        self._conns.add(conn)
+        gauge = self.registry.gauge("server.connections")
+        gauge.inc()
+        try:
+            while not conn.aborted:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # line exceeded the stream limit; cannot resync
+                    conn.send(
+                        encode_error(
+                            None,
+                            "bad_request",
+                            f"request line over "
+                            f"{self.config.max_line_bytes} bytes",
+                        )
+                    )
+                    break
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                if line.strip() == b"":
+                    continue
+                self._dispatch(line, conn)
+        finally:
+            self._conns.discard(conn)
+            gauge.dec()
+            await conn.flush_close()
+
+    def _dispatch(self, line: bytes, conn: _Connection) -> None:
+        self._m_requests.inc()
+        try:
+            req = decode_request(line)
+        except ProtocolError as exc:
+            self.registry.counter("server.errors.bad_request").inc()
+            conn.send(
+                encode_error(None, getattr(exc, "code", "bad_request"), str(exc))
+            )
+            return
+        if self._draining:
+            conn.send(
+                encode_error(
+                    req.id, "shutting_down", "server is draining; reconnect later"
+                )
+            )
+            return
+        pending = PendingRequest(req, conn)
+        if req.verb in WRITE_VERBS:
+            try:
+                self._write_q.put_nowait(pending)
+            except asyncio.QueueFull:
+                self._reject(req, conn)
+                return
+        else:
+            if not self.batcher.try_submit(pending):
+                self._reject(req, conn)
+                return
+        self._in_flight += 1
+
+    def _reject(self, req: Request, conn: _Connection) -> None:
+        self.registry.counter("server.rejected").inc()
+        conn.send(
+            encode_error(
+                req.id,
+                "overloaded",
+                f"request queue full (depth {self.config.queue_depth})",
+                retry_after_ms=self.config.effective_retry_after_ms(),
+            )
+        )
+
+    # -- execution --------------------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        while True:
+            batch = await self.batcher.next_batch()
+            if batch is None:
+                return
+            self._execute_batch(batch)
+
+    def _execute_batch(self, batch: "list[PendingRequest]") -> None:
+        self._m_queue_depth.set(self.batcher.depth())
+        self._m_batch_size.observe(len(batch))
+        snap = self.store.current
+        meta = {"snapshot": snap.version, "batch_size": len(batch)}
+        # Responses are aggregated per connection and flushed as one
+        # write per connection after the batch — clients multiplexing
+        # several in-flight requests over one connection get all their
+        # answers in a single frame burst (and the kernel one syscall).
+        out: dict[_Connection, list[bytes]] = {}
+
+        window_group: list[tuple[PendingRequest, Rect, bool]] = []
+        disk_group: list[tuple[PendingRequest, DiskQuery]] = []
+        singles: list[PendingRequest] = []
+        for pending in batch:
+            req = pending.request
+            try:
+                if req.verb == "count" or (
+                    req.verb == "window"
+                    and req.args["predicate"] == "intersects"
+                ):
+                    window_group.append((pending, Rect(**{
+                        k: req.args[k] for k in ("xl", "yl", "xu", "yu")
+                    }), req.verb == "count"))
+                elif req.verb == "disk":
+                    disk_group.append(
+                        (pending, DiskQuery(
+                            req.args["cx"], req.args["cy"], req.args["radius"]
+                        ))
+                    )
+                else:
+                    singles.append(pending)
+            except ReproError as exc:
+                self._respond(
+                    pending,
+                    encode_error(req.id, "invalid_query", str(exc)),
+                    out,
+                )
+
+        with _tracing.activate(self.tracer):
+            with _tracing.span("server.batch"):
+                if window_group:
+                    self._run_window_group(snap, window_group, meta, out)
+                if disk_group:
+                    self._run_disk_group(snap, disk_group, meta, out)
+                for pending in singles:
+                    payload = self._execute_single(snap, pending.request, meta)
+                    self._respond(pending, payload, out)
+
+        for conn, frames in out.items():
+            conn.send(frames[0] if len(frames) == 1 else b"".join(frames))
+
+    def _run_window_group(
+        self,
+        snap: Snapshot,
+        group: "list[tuple[PendingRequest, Rect, bool]]",
+        meta: dict,
+        out: "dict[_Connection, list[bytes]]",
+    ) -> None:
+        """Window-intersects and count queries share one tiles-based
+        evaluation; count responses just skip materialising the ids."""
+        windows = [w for _, w, _ in group]
+        try:
+            with _tracing.span("server.window"):
+                results = evaluate_tiles_based(snap.index, windows)
+        except Exception as exc:  # pragma: no cover - engine invariant
+            for pending, _, _ in group:
+                self._respond(
+                    pending,
+                    encode_error(pending.request.id, "internal", repr(exc)),
+                    out,
+                )
+            return
+        for (pending, _, count_only), ids in zip(group, results):
+            if count_only:
+                result = {"count": int(ids.shape[0])}
+            else:
+                result = {"ids": ids.tolist(), "count": int(ids.shape[0])}
+            self._respond(
+                pending,
+                encode_response(pending.request.id, result, meta),
+                out,
+            )
+
+    def _run_disk_group(
+        self,
+        snap: Snapshot,
+        group: "list[tuple[PendingRequest, DiskQuery]]",
+        meta: dict,
+        out: "dict[_Connection, list[bytes]]",
+    ) -> None:
+        queries = [q for _, q in group]
+        try:
+            with _tracing.span("server.disk"):
+                results = evaluate_disk_tiles_based(snap.index, queries)
+        except Exception as exc:  # pragma: no cover - engine invariant
+            for pending, _ in group:
+                self._respond(
+                    pending,
+                    encode_error(pending.request.id, "internal", repr(exc)),
+                    out,
+                )
+            return
+        for (pending, _), ids in zip(group, results):
+            self._respond(
+                pending,
+                encode_response(
+                    pending.request.id,
+                    {"ids": ids.tolist(), "count": int(ids.shape[0])},
+                    meta,
+                ),
+                out,
+            )
+
+    def _execute_single(self, snap: Snapshot, req: Request, meta: dict) -> bytes:
+        try:
+            with _tracing.span(f"server.{req.verb}"):
+                result = self._run_verb(snap, req)
+            return encode_response(req.id, result, meta)
+        except (InvalidQueryError, ProtocolError) as exc:
+            return encode_error(req.id, "invalid_query", str(exc))
+        except ReproError as exc:
+            self.registry.counter("server.errors.internal").inc()
+            return encode_error(req.id, "internal", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive
+            self.registry.counter("server.errors.internal").inc()
+            return encode_error(req.id, "internal", repr(exc))
+
+    def _run_verb(self, snap: Snapshot, req: Request):
+        args = req.args
+        index, data = snap.index, snap.data
+        if req.verb == "ping":
+            return {
+                "pong": True,
+                "protocol": PROTOCOL_VERSION,
+                "snapshot": snap.version,
+            }
+        if req.verb == "window":
+            # only predicate="within" lands here; intersects is batched
+            window = Rect(args["xl"], args["yl"], args["xu"], args["yu"])
+            ids = index.window_query_within(window)
+            return {"ids": ids.tolist(), "count": int(ids.shape[0])}
+        if req.verb == "knn":
+            ids = knn_query(index, data, args["cx"], args["cy"], args["k"])
+            return {"ids": ids.tolist(), "count": int(ids.shape[0])}
+        if req.verb == "count":
+            window = Rect(args["xl"], args["yl"], args["xu"], args["yu"])
+            return {"count": int(index.count_window(window))}
+        if req.verb == "describe":
+            avg_w, avg_h = data.average_extents() if len(data) else (0.0, 0.0)
+            return {
+                "objects": len(data),
+                "partitions_per_dim": index.grid.nx,
+                "replicas": index.replica_count,
+                "replication_ratio": index.replica_count / max(len(data), 1),
+                "class_counts": index.class_counts(),
+                "avg_extent": [avg_w, avg_h],
+                "index_bytes": index.nbytes,
+                "snapshot": snap.version,
+            }
+        if req.verb == "explain":
+            return self._run_explain(snap, args)
+        if req.verb == "stats":
+            return {
+                "metrics": self.registry.collect(),
+                "spans": self.tracer.phase_totals(),
+                "snapshot": snap.version,
+            }
+        raise InvalidQueryError(f"verb {req.verb!r} is not servable")
+
+    def _run_explain(self, snap: Snapshot, args: dict) -> dict:
+        from repro.obs.explain import explain_disk, explain_knn, explain_window
+
+        kind = args["kind"]
+        if kind == "window":
+            plan = explain_window(
+                snap.index, Rect(args["xl"], args["yl"], args["xu"], args["yu"])
+            )
+        elif kind == "disk":
+            plan = explain_disk(
+                snap.index, DiskQuery(args["cx"], args["cy"], args["radius"])
+            )
+        else:
+            plan = explain_knn(
+                snap.index, snap.data, args["cx"], args["cy"], args["k"]
+            )
+        return plan.as_dict()
+
+    # -- writes -----------------------------------------------------------
+
+    async def _writer_loop(self) -> None:
+        while True:
+            pending = await self._write_q.get()
+            if pending is None:
+                return
+            req = pending.request
+            try:
+                with _tracing.activate(self.tracer):
+                    with _tracing.span(f"server.{req.verb}"):
+                        if req.verb == "insert":
+                            rect = Rect(
+                                req.args["xl"],
+                                req.args["yl"],
+                                req.args["xu"],
+                                req.args["yu"],
+                            )
+                            obj_id, version = self.store.insert(rect)
+                            result = {"id": obj_id, "snapshot": version}
+                        else:
+                            found, version = self.store.delete(req.args["id"])
+                            result = {"found": found, "snapshot": version}
+                payload = encode_response(req.id, result)
+            except ReproError as exc:
+                payload = encode_error(req.id, "invalid_query", str(exc))
+            except Exception as exc:  # pragma: no cover - defensive
+                self.registry.counter("server.errors.internal").inc()
+                payload = encode_error(req.id, "internal", repr(exc))
+            self._respond(pending, payload)
+
+    # -- bookkeeping ------------------------------------------------------
+
+    def _respond(
+        self,
+        pending: PendingRequest,
+        payload: bytes,
+        out: "dict[_Connection, list[bytes]] | None" = None,
+    ) -> None:
+        """Account for one finished request and deliver its response.
+
+        With ``out`` the frame is staged in the batch's per-connection
+        aggregation buffer (flushed by :meth:`_execute_batch` as one
+        write per connection); without it the frame is sent directly.
+        """
+        latency_ms = (time.perf_counter() - pending.enqueued_at) * 1e3
+        self._m_verbs[pending.request.verb].inc()
+        self._m_latency.observe(latency_ms)
+        if out is None:
+            pending.conn.send(payload)
+        else:
+            out.setdefault(pending.conn, []).append(payload)
+        self._in_flight -= 1

@@ -290,3 +290,60 @@ class TestNonUnitDomains:
         empty = RectDataset(np.empty(0), np.empty(0), np.empty(0), np.empty(0))
         col = SpatialCollection.from_dataset(empty)
         assert col.index.grid.domain == Rect(0.0, 0.0, 1.0, 1.0)
+
+
+class TestSaveLoad:
+    def test_round_trip_preserves_queries(self, tmp_path):
+        data = generate_uniform_rects(3_000, area=1e-5, seed=77)
+        col = SpatialCollection.from_dataset(data, partitions_per_dim=16)
+        path = str(tmp_path / "col.npz")
+        col.save(path)
+        loaded = SpatialCollection.load(path)
+
+        assert len(loaded) == len(col)
+        assert loaded.describe()["class_counts"] == col.describe()["class_counts"]
+        for w in ((0.2, 0.2, 0.4, 0.4), (0.0, 0.0, 1.0, 1.0)):
+            assert ids_set(loaded.window(*w)) == ids_set(col.window(*w))
+        assert loaded.knn(0.5, 0.5, 7).tolist() == col.knn(0.5, 0.5, 7).tolist()
+        assert ids_set(loaded.disk(0.5, 0.5, 0.1)) == ids_set(
+            col.disk(0.5, 0.5, 0.1)
+        )
+
+    def test_loaded_collection_accepts_updates(self, tmp_path):
+        data = generate_uniform_rects(500, area=1e-5, seed=78)
+        col = SpatialCollection.from_dataset(data, partitions_per_dim=8)
+        path = str(tmp_path / "col.npz")
+        col.save(path)
+        loaded = SpatialCollection.load(path)
+        new_id = loaded.insert(Rect(0.31, 0.31, 0.32, 0.32))
+        assert new_id == 500
+        assert new_id in ids_set(loaded.window(0.30, 0.30, 0.33, 0.33))
+        assert loaded.delete(new_id)
+
+    def test_exact_path_is_respected(self, tmp_path):
+        """Saving to ``foo.bin`` must create ``foo.bin``, not ``foo.bin.npz``."""
+        data = generate_uniform_rects(200, area=1e-5, seed=79)
+        col = SpatialCollection.from_dataset(data, partitions_per_dim=8)
+        path = tmp_path / "snapshot.bin"
+        col.save(str(path))
+        assert path.exists()
+        assert not (tmp_path / "snapshot.bin.npz").exists()
+        assert len(SpatialCollection.load(str(path))) == 200
+
+    def test_geometry_collections_refused(self, tmp_path):
+        rects = [Rect(0.1, 0.1, 0.2, 0.2)]
+        geoms = [LineString([(0.1, 0.1), (0.2, 0.2)])]
+        data = RectDataset.from_rects(rects, geometries=geoms)
+        col = SpatialCollection.from_dataset(data, partitions_per_dim=4)
+        with pytest.raises(DatasetError, match="exact geometries"):
+            col.save(str(tmp_path / "geo.npz"))
+
+    def test_index_only_archive_refused(self, tmp_path):
+        from repro.core.persistence import save_index
+
+        data = generate_uniform_rects(300, area=1e-5, seed=80)
+        col = SpatialCollection.from_dataset(data, partitions_per_dim=8)
+        path = str(tmp_path / "index_only.npz")
+        save_index(col.index, path)
+        with pytest.raises(DatasetError, match="no dataset columns"):
+            SpatialCollection.load(path)

@@ -133,3 +133,60 @@ class TestParallel:
         got = parallel_window_queries(index, few, workers=4, method="tiles")
         expected = [len(ids) for ids in evaluate_queries_based(index, few)]
         assert got.tolist() == expected
+
+
+class TestWorkerDeath:
+    def test_worker_death_raises_parallel_execution_error(
+        self, index, windows, monkeypatch
+    ):
+        """A worker killed mid-batch must surface ParallelExecutionError,
+        not hang (multiprocessing.Pool silently respawns dead workers and
+        leaves the map stuck forever).
+
+        The shard function is monkeypatched *before* the pool forks, so
+        the children inherit the suicidal version by module state while
+        the parent pickles it by name.
+        """
+        import repro.core.parallel as par
+        from repro.errors import ParallelExecutionError
+
+        monkeypatch.setattr(par, "_run_query_shard", _exit_shard)
+        pool = par.ParallelBatchEvaluator(index, workers=2)
+        try:
+            with pytest.raises(ParallelExecutionError, match="died mid-batch"):
+                pool.run(windows, method="queries")
+            # a broken pool refuses reuse instead of hanging
+            with pytest.raises(ParallelExecutionError, match="broken"):
+                pool.run(windows, method="queries")
+        finally:
+            pool.close()
+
+    def test_worker_exception_wrapped(self, index, windows, monkeypatch):
+        import repro.core.parallel as par
+        from repro.errors import ParallelExecutionError
+
+        monkeypatch.setattr(par, "_run_query_shard", _raise_shard)
+        with par.ParallelBatchEvaluator(index, workers=2) as pool:
+            with pytest.raises(ParallelExecutionError, match="ValueError"):
+                pool.run(windows, method="queries")
+
+    def test_close_is_idempotent_after_breakage(self, index, windows, monkeypatch):
+        import repro.core.parallel as par
+        from repro.errors import ParallelExecutionError
+
+        monkeypatch.setattr(par, "_run_query_shard", _exit_shard)
+        pool = par.ParallelBatchEvaluator(index, workers=2)
+        with pytest.raises(ParallelExecutionError):
+            pool.run(windows, method="queries")
+        pool.close()
+        pool.close()
+
+
+def _exit_shard(payload):
+    import os
+
+    os._exit(1)
+
+
+def _raise_shard(payload):
+    raise ValueError("shard exploded")

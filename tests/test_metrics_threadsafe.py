@@ -1,0 +1,153 @@
+"""Thread-safety hammer for the metrics instruments and registry.
+
+The serving layer records metrics from the event loop thread while
+``stats`` requests, exporters and writer threads read and write the same
+instruments concurrently.  These tests drive every record path from many
+threads with concurrent ``collect`` calls and assert the *exact* final
+aggregates — lost updates or torn ring reads fail deterministically.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+N_THREADS = 8
+N_OPS = 2_000
+
+
+def hammer(fn, threads=N_THREADS):
+    barrier = threading.Barrier(threads)
+    errors = []
+
+    def run(k):
+        barrier.wait()
+        try:
+            fn(k)
+        except Exception as exc:  # propagated to the main thread
+            errors.append(exc)
+
+    ts = [threading.Thread(target=run, args=(k,)) for k in range(threads)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join()
+    assert not errors, errors[0]
+
+
+class TestInstrumentHammer:
+    def test_counter_inc_is_atomic(self):
+        counter = Counter("hits")
+        hammer(lambda k: [counter.inc() for _ in range(N_OPS)])
+        assert counter.value == N_THREADS * N_OPS
+
+    def test_gauge_inc_dec_balance(self):
+        gauge = Gauge("in_flight")
+
+        def churn(k):
+            for _ in range(N_OPS):
+                gauge.inc()
+                gauge.dec()
+
+        hammer(churn)
+        assert gauge.value == 0.0
+
+    def test_histogram_observe_exact_aggregates(self):
+        hist = Histogram("latency", capacity=64)
+
+        def observe(k):
+            for i in range(N_OPS):
+                hist.observe(k + 1)
+
+        hammer(observe)
+        assert hist.count == N_THREADS * N_OPS
+        assert hist.total == sum(
+            (k + 1) * N_OPS for k in range(N_THREADS)
+        )
+        assert hist.min == 1.0
+        assert hist.max == float(N_THREADS)
+
+    def test_histogram_summary_under_concurrent_observe(self):
+        """summary() while observers run must never tear: every field is
+        internally consistent and every ring sample is a value some
+        thread actually observed."""
+        hist = Histogram("latency", capacity=32)
+        stop = threading.Event()
+        bad = []
+
+        def snapshotter():
+            while not stop.is_set():
+                s = hist.summary()
+                if s["count"] and not (s["min"] <= s["mean"] <= s["max"]):
+                    bad.append(s)
+                    return
+                if "p50" in s and not (1.0 <= s["p50"] <= N_THREADS):
+                    bad.append(s)
+                    return
+
+        snap = threading.Thread(target=snapshotter)
+        snap.start()
+        try:
+            hammer(lambda k: [hist.observe(k + 1) for _ in range(N_OPS)])
+        finally:
+            stop.set()
+            snap.join()
+        assert not bad, f"torn summary: {bad[0]}"
+        assert hist.summary()["count"] == N_THREADS * N_OPS
+
+
+class TestRegistryHammer:
+    def test_get_or_create_race_returns_one_instance(self):
+        registry = MetricsRegistry()
+        seen = []
+        lock = threading.Lock()
+
+        def create(k):
+            c = registry.counter("shared")
+            with lock:
+                seen.append(c)
+            c.inc()
+
+        hammer(create)
+        assert all(c is seen[0] for c in seen)
+        assert registry.counter("shared").value == N_THREADS
+
+    def test_collect_during_heavy_recording(self):
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        bad = []
+
+        def collector():
+            while not stop.is_set():
+                snap = registry.collect()
+                c = snap.get("reqs", 0)
+                h = snap.get("lat.count", 0)
+                if c < 0 or h < 0 or h > N_THREADS * N_OPS:
+                    bad.append(snap)
+                    return
+
+        def record(k):
+            counter = registry.counter("reqs")
+            hist = registry.histogram("lat")
+            for i in range(N_OPS):
+                counter.inc()
+                hist.observe(i % 7)
+
+        col = threading.Thread(target=collector)
+        col.start()
+        try:
+            hammer(record)
+        finally:
+            stop.set()
+            col.join()
+        assert not bad
+        final = registry.collect()
+        assert final["reqs"] == N_THREADS * N_OPS
+        assert final["lat.count"] == N_THREADS * N_OPS
+
+    def test_wrong_kind_still_raises_under_lock(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")

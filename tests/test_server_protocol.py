@@ -1,0 +1,166 @@
+"""Protocol round-trips for every verb and every structured error."""
+
+import json
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.server.protocol import (
+    ERROR_CODES,
+    VERBS,
+    decode_request,
+    decode_response,
+    encode_error,
+    encode_request,
+    encode_response,
+)
+
+#: one representative valid argument set per verb.
+VALID_ARGS = {
+    "ping": {},
+    "window": {"xl": 0.1, "yl": 0.2, "xu": 0.3, "yu": 0.4},
+    "disk": {"cx": 0.5, "cy": 0.5, "radius": 0.1},
+    "knn": {"cx": 0.5, "cy": 0.5, "k": 10},
+    "count": {"xl": 0.1, "yl": 0.2, "xu": 0.3, "yu": 0.4},
+    "insert": {"xl": 0.1, "yl": 0.2, "xu": 0.3, "yu": 0.4},
+    "delete": {"id": 17},
+    "describe": {},
+    "explain": {"kind": "window", "xl": 0.1, "yl": 0.2, "xu": 0.3, "yu": 0.4},
+    "stats": {},
+}
+
+
+class TestRequestRoundTrip:
+    @pytest.mark.parametrize("verb", sorted(VERBS))
+    def test_every_verb_round_trips(self, verb):
+        frame = encode_request(7, verb, VALID_ARGS[verb])
+        assert frame.endswith(b"\n")
+        req = decode_request(frame)
+        assert req.id == 7
+        assert req.verb == verb
+        for key, value in VALID_ARGS[verb].items():
+            assert req.args[key] == value
+
+    def test_string_ids_allowed(self):
+        req = decode_request(encode_request("req-abc", "ping"))
+        assert req.id == "req-abc"
+
+    def test_defaults_are_filled(self):
+        req = decode_request(encode_request(1, "window", VALID_ARGS["window"]))
+        assert req.args["predicate"] == "intersects"
+
+    def test_within_predicate_accepted(self):
+        args = dict(VALID_ARGS["window"], predicate="within")
+        req = decode_request(encode_request(1, "window", args))
+        assert req.args["predicate"] == "within"
+
+    @pytest.mark.parametrize("kind", ["window", "disk", "knn"])
+    def test_explain_kinds(self, kind):
+        args = {"window": VALID_ARGS["explain"],
+                "disk": {"kind": "disk", **VALID_ARGS["disk"]},
+                "knn": {"kind": "knn", **VALID_ARGS["knn"]}}[kind]
+        req = decode_request(encode_request(1, "explain", args))
+        assert req.args["kind"] == kind
+
+
+class TestRequestValidation:
+    @pytest.mark.parametrize(
+        "line",
+        [
+            b"not json\n",
+            b"[1, 2, 3]\n",
+            b'"just a string"\n',
+            b'{"verb": "ping"}\n',                      # missing id
+            b'{"id": true, "verb": "ping"}\n',          # bool id
+            b'{"id": 1}\n',                             # missing verb
+            b'{"id": 1, "verb": 42}\n',                 # non-string verb
+            b'{"id": 1, "verb": "ping", "args": []}\n', # args not an object
+            b"\xff\xfe\n",                              # not UTF-8
+        ],
+    )
+    def test_malformed_frames(self, line):
+        with pytest.raises(ProtocolError):
+            decode_request(line)
+
+    def test_unknown_verb_carries_finer_code(self):
+        with pytest.raises(ProtocolError) as exc:
+            decode_request(b'{"id": 1, "verb": "teleport"}\n')
+        assert getattr(exc.value, "code", None) == "unknown_verb"
+
+    def test_missing_required_argument(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            decode_request(
+                encode_request(1, "window", {"xl": 0.1, "yl": 0.2, "xu": 0.3})
+            )
+
+    def test_unknown_argument_rejected(self):
+        args = dict(VALID_ARGS["window"], bogus=1)
+        with pytest.raises(ProtocolError, match="unknown argument"):
+            decode_request(encode_request(1, "window", args))
+
+    def test_wrong_argument_type(self):
+        args = dict(VALID_ARGS["knn"], k="ten")
+        with pytest.raises(ProtocolError, match="must be an integer"):
+            decode_request(encode_request(1, "knn", args))
+
+    def test_bool_is_not_a_number(self):
+        args = dict(VALID_ARGS["window"], xl=True)
+        with pytest.raises(ProtocolError, match="must be a number"):
+            decode_request(encode_request(1, "window", args))
+
+    def test_bad_predicate_value(self):
+        args = dict(VALID_ARGS["window"], predicate="touches")
+        with pytest.raises(ProtocolError, match="predicate"):
+            decode_request(encode_request(1, "window", args))
+
+    def test_explain_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown kind"):
+            decode_request(encode_request(1, "explain", {"kind": "join"}))
+
+    def test_explain_missing_kind_args(self):
+        with pytest.raises(ProtocolError, match="missing required"):
+            decode_request(
+                encode_request(1, "explain", {"kind": "disk", "cx": 0.5})
+            )
+
+
+class TestResponses:
+    def test_success_round_trip(self):
+        payload = encode_response(3, {"ids": [1, 2], "count": 2},
+                                  {"snapshot": 4, "batch_size": 8})
+        frame = decode_response(payload)
+        assert frame["ok"] is True
+        assert frame["id"] == 3
+        assert frame["result"]["ids"] == [1, 2]
+        assert frame["server"]["batch_size"] == 8
+
+    @pytest.mark.parametrize("code", ERROR_CODES)
+    def test_every_error_code_round_trips(self, code):
+        payload = encode_error(9, code, "boom", retry_after_ms=25)
+        frame = decode_response(payload)
+        assert frame["ok"] is False
+        assert frame["error"]["code"] == code
+        assert frame["error"]["message"] == "boom"
+        assert frame["error"]["retry_after_ms"] == 25
+
+    def test_error_without_retry_hint_omits_key(self):
+        frame = decode_response(encode_error(9, "internal", "boom"))
+        assert "retry_after_ms" not in frame["error"]
+
+    def test_unknown_error_code_refused(self):
+        with pytest.raises(ValueError):
+            encode_error(1, "everything_is_fine", "nope")
+
+    def test_null_id_for_undecodable_requests(self):
+        frame = decode_response(encode_error(None, "bad_request", "bad"))
+        assert frame["id"] is None
+
+    def test_malformed_response_raises(self):
+        with pytest.raises(ProtocolError):
+            decode_response(b"not json\n")
+        with pytest.raises(ProtocolError):
+            decode_response(json.dumps({"id": 1}).encode())
+
+    def test_frames_are_single_lines(self):
+        payload = encode_response(1, {"text": "line1\nline2"})
+        assert payload.count(b"\n") == 1

@@ -1,0 +1,209 @@
+"""Snapshot isolation: COW semantics and reader/writer interleaving.
+
+The load-bearing assertions: a reader holding a snapshot sees that
+version forever (writes never mutate published state), and a batched
+read executed against one snapshot matches exactly one pre- or
+post-update version — never a torn mix.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.datasets import generate_uniform_rects
+from repro.errors import IndexStateError
+from repro.geometry import Rect
+from repro.core import TwoLayerGrid, TwoLayerPlusGrid, evaluate_tiles_based
+from repro.server.snapshot import SnapshotStore
+
+from conftest import ids_set
+
+
+def make_store(n=800, seed=31):
+    data = generate_uniform_rects(n, area=1e-4, seed=seed)
+    index = TwoLayerGrid.build(data, partitions_per_dim=16)
+    return SnapshotStore(index, data)
+
+
+class TestCowSemantics:
+    def test_insert_is_invisible_to_held_snapshot(self):
+        store = make_store()
+        before = store.current
+        rect = Rect(0.4, 0.4, 0.45, 0.45)
+        obj_id, version = store.insert(rect)
+        after = store.current
+        assert version == 1 and after.version == 1 and before.version == 0
+        window = Rect(0.39, 0.39, 0.46, 0.46)
+        assert obj_id not in ids_set(before.index.window_query(window))
+        assert obj_id in ids_set(after.index.window_query(window))
+        assert len(before.data) == len(after.data) - 1
+
+    def test_delete_is_invisible_to_held_snapshot(self):
+        store = make_store()
+        before = store.current
+        victim = 0
+        rect = before.data.rect(victim)
+        window = Rect(rect.xl, rect.yl, rect.xu, rect.yu)
+        assert victim in ids_set(before.index.window_query(window))
+        found, version = store.delete(victim)
+        assert found and version == 1
+        assert victim in ids_set(before.index.window_query(window))
+        assert victim not in ids_set(store.current.index.window_query(window))
+
+    def test_insert_matches_in_place_index(self):
+        """COW insert lands the object in exactly the tiles/classes the
+        facade's in-place insert would use."""
+        store = make_store()
+        rect = Rect(0.21, 0.33, 0.58, 0.41)  # spans several tiles
+        obj_id, _ = store.insert(rect)
+        snap = store.current
+
+        reference = TwoLayerGrid.build(
+            generate_uniform_rects(800, area=1e-4, seed=31),
+            partitions_per_dim=16,
+        )
+        ref_id = reference.insert(rect)
+        assert ref_id == obj_id
+        assert reference.replica_count == snap.index.replica_count
+        assert reference.class_counts() == snap.index.class_counts()
+        for w in (rect, Rect(0.0, 0.0, 1.0, 1.0), Rect(0.2, 0.3, 0.3, 0.45)):
+            assert ids_set(reference.window_query(w)) == ids_set(
+                snap.index.window_query(w)
+            )
+
+    def test_delete_then_reinsert_round_trip(self):
+        store = make_store()
+        rect = store.current.data.rect(3)
+        store.delete(3)
+        found_again, _ = store.delete(3)
+        assert not found_again  # idempotent: entries already gone
+        obj_id, _ = store.insert(rect)
+        assert obj_id == len(store.current.data) - 1
+
+    def test_out_of_range_delete(self):
+        store = make_store()
+        assert store.delete(-1) == (False, 0)
+        assert store.delete(10_000) == (False, 0)
+        assert store.current.version == 0
+
+    def test_untouched_tiles_are_shared_not_copied(self):
+        store = make_store()
+        before = store.current
+        store.insert(Rect(0.91, 0.91, 0.92, 0.92))
+        after = store.current
+        shared = sum(
+            1
+            for tid, tables in after.index._tiles.items()
+            if before.index._tiles.get(tid) is tables
+        )
+        # one small rect touches O(1) tiles; everything else is shared
+        assert shared >= len(before.index._tiles) - 4
+
+    def test_plus_grid_refused(self):
+        data = generate_uniform_rects(100, area=1e-4, seed=1)
+        plus = TwoLayerPlusGrid.build(data, partitions_per_dim=8)
+        with pytest.raises(IndexStateError):
+            SnapshotStore(plus, data)
+
+    def test_mismatched_lengths_refused(self):
+        data = generate_uniform_rects(100, area=1e-4, seed=1)
+        index = TwoLayerGrid.build(data, partitions_per_dim=8)
+        short = data.slice(0, 50)
+        with pytest.raises(IndexStateError):
+            SnapshotStore(index, short)
+
+
+class TestIsolationUnderConcurrency:
+    def test_batched_reads_never_see_torn_updates(self):
+        """Interleave inserts/deletes with in-flight batched reads; every
+        batch must match exactly one published version's expected set."""
+        store = make_store(n=400, seed=7)
+        probe = Rect(0.45, 0.45, 0.55, 0.55)
+        base = ids_set(store.current.index.window_query(probe))
+
+        # Scripted writes: each version inserts one rect inside the probe
+        # window, except every third version which deletes the previous
+        # insert again.  expected[v] = the probe result set at version v.
+        expected = [base]
+        n_versions = 60
+        inserted: list[int] = []
+
+        stop = threading.Event()
+        torn: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                snap = store.current
+                # two identical probes through the tiles-based batch path;
+                # a torn snapshot would let them disagree (or mismatch
+                # every published version's expected set)
+                got_a, got_b = evaluate_tiles_based(
+                    snap.index, [probe, probe]
+                )
+                set_a, set_b = ids_set(got_a), ids_set(got_b)
+                if set_a != set_b:
+                    torn.append(
+                        f"intra-batch disagreement at v{snap.version}"
+                    )
+                    return
+                if snap.version >= len(expected):
+                    torn.append("snapshot version ahead of script")
+                    return
+                if set_a != expected[snap.version]:
+                    torn.append(
+                        f"v{snap.version}: got {len(set_a)} ids, "
+                        f"expected {len(expected[snap.version])}"
+                    )
+                    return
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        rng = np.random.default_rng(11)
+        try:
+            for step in range(n_versions):
+                if step % 3 == 2 and inserted:
+                    victim = inserted.pop()
+                    found, version = store.delete(victim)
+                    assert found
+                    new_set = set(expected[-1])
+                    new_set.discard(victim)
+                else:
+                    x = float(rng.uniform(0.46, 0.53))
+                    y = float(rng.uniform(0.46, 0.53))
+                    obj_id, version = store.insert(
+                        Rect(x, y, x + 0.005, y + 0.005)
+                    )
+                    inserted.append(obj_id)
+                    new_set = set(expected[-1]) | {obj_id}
+                expected.append(new_set)
+                assert version == len(expected) - 1
+        finally:
+            stop.set()
+            for t in threads:
+                t.join()
+        assert not torn, torn[0]
+
+    def test_concurrent_writers_serialise(self):
+        store = make_store(n=100, seed=3)
+        ids: list[int] = []
+        lock = threading.Lock()
+
+        def writer(k):
+            for i in range(25):
+                obj_id, _ = store.insert(
+                    Rect(0.1 + k * 0.01, 0.1, 0.1 + k * 0.01 + 0.001, 0.101)
+                )
+                with lock:
+                    ids.append(obj_id)
+
+        threads = [threading.Thread(target=writer, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # every insert got a unique positional id and all are queryable
+        assert sorted(ids) == list(range(100, 200))
+        assert store.current.version == 100
+        assert len(store.current.data) == 200
