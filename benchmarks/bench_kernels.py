@@ -1,0 +1,124 @@
+"""Fused-kernel micro-benchmark: packed CSR base vs legacy tile dicts.
+
+Measures the per-query wall time of 2-layer window queries as a function
+of *tiles touched* (window area sweep), once per storage backend.  The
+packed backend evaluates each query with the fused region kernels over
+the CSR base (:mod:`repro.grid.storage`); the legacy backend walks the
+per-tile dictionaries.  The gap is the PR's headline: Python/dict
+overhead per tile versus O(regions) vectorised passes, so the speedup
+should *grow* with the number of tiles a query touches.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench import (
+    BEST_GRANULARITY,
+    print_table,
+    throughput,
+    tiger_dataset,
+    window_workload,
+)
+from repro.core import TwoLayerGrid
+from repro.stats import QueryStats
+
+from _shared import emit_bench_record
+from conftest import report
+
+_STORAGES = ("packed", "legacy")
+#: window area sweep (% of the domain) — larger windows touch more tiles.
+_AREAS = (0.05, 0.1, 0.5, 1.0)
+_DATASET = "ROADS"
+
+_LATENCY: dict[tuple[str, str], float] = {}  # (storage, area label) -> µs
+_TILES: dict[str, float] = {}  # area label -> mean tiles touched
+
+_INDEXES: dict[str, TwoLayerGrid] = {}
+
+
+def _index(storage: str) -> TwoLayerGrid:
+    if storage not in _INDEXES:
+        _INDEXES[storage] = TwoLayerGrid.build(
+            tiger_dataset(_DATASET),
+            partitions_per_dim=BEST_GRANULARITY,
+            storage=storage,
+        )
+    return _INDEXES[storage]
+
+
+def _label(area: float) -> str:
+    return f"{area}pct"
+
+
+@pytest.mark.parametrize("area", _AREAS)
+@pytest.mark.parametrize("storage", _STORAGES)
+def test_kernels_window_latency(benchmark, storage, area):
+    index = _index(storage)
+    queries = window_workload(_DATASET, area)
+
+    def run():
+        for w in queries:
+            index.window_query(w)
+
+    benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    timed = throughput(index.window_query, queries, repeats=3)
+    _LATENCY[(storage, _label(area))] = 1e6 / timed.qps
+    if storage == "packed":
+        stats = QueryStats()
+        for w in queries:
+            index.window_query(w, stats)
+        _TILES[_label(area)] = stats.partitions_visited / len(queries)
+
+
+def test_kernels_report(benchmark):
+    """Assemble the latency-vs-tiles table and register the record."""
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = []
+    for area in _AREAS:
+        label = _label(area)
+        packed = _LATENCY[("packed", label)]
+        legacy = _LATENCY[("legacy", label)]
+        rows.append(
+            [label, _TILES[label], packed, legacy, legacy / packed]
+        )
+    report(
+        lambda: print_table(
+            "Fused kernels — per-query latency [µs] vs tiles touched "
+            f"(2-layer, {_DATASET}, window area sweep)",
+            ["area", "tiles", "packed µs", "legacy µs", "speedup"],
+            rows,
+        )
+    )
+    emit_bench_record(
+        "kernels",
+        {
+            "dataset": _DATASET,
+            "granularity": BEST_GRANULARITY,
+            "window_area_pct": list(_AREAS),
+            "storages": list(_STORAGES),
+        },
+        {
+            # One series per backend: the who-wins ordering inside each
+            # series (bigger windows are slower) is scale-stable, so the
+            # regression gate never trips on smoke-scale CI runs.
+            "packed_latency_us": {
+                _label(a): _LATENCY[("packed", _label(a))] for a in _AREAS
+            },
+            "legacy_latency_us": {
+                _label(a): _LATENCY[("legacy", _label(a))] for a in _AREAS
+            },
+            "tiles_touched": dict(_TILES),
+        },
+    )
+    # Shape assertion at full scale only: tiny smoke datasets leave too
+    # little per-tile work for the fused kernels to amortise reliably.
+    scale = float(os.environ.get("REPRO_BENCH_SCALE") or 1.0)
+    if scale >= 0.01:
+        for area in _AREAS:
+            label = _label(area)
+            assert _LATENCY[("packed", label)] < _LATENCY[("legacy", label)], (
+                f"packed must beat legacy at {label}"
+            )

@@ -64,23 +64,21 @@ def evaluate_tiles_based(
     grid = index.grid
     ranges = [grid.tile_range_for_window(w) for w in windows]
     subtasks: dict[int, list[int]] = {}
-    tiles = index._tiles
     for qi, (ix0, ix1, iy0, iy1) in enumerate(ranges):
         for iy in range(iy0, iy1 + 1):
             base = iy * grid.nx
             for ix in range(ix0, ix1 + 1):
                 tile_id = base + ix
-                if tile_id in tiles:
+                if tile_id in subtasks or index._tile_has_rows(tile_id):
                     subtasks.setdefault(tile_id, []).append(qi)
 
     pieces: list[list[np.ndarray]] = [[] for _ in windows]
     for tile_id in sorted(subtasks):
-        tables = tiles[tile_id]
         ix, iy = grid.tile_coords(tile_id)
         for qi in subtasks[tile_id]:
             ix0, ix1, iy0, iy1 = ranges[qi]
             plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
-            index._scan_tile_window(tables, windows[qi], plan, pieces[qi], stats)
+            index._scan_tile_window(tile_id, windows[qi], plan, pieces[qi], stats)
     return [
         np.concatenate(parts) if parts else _EMPTY_IDS for parts in pieces
     ]
@@ -109,18 +107,16 @@ def evaluate_disk_tiles_based(
     """
     plans = [index._disk_plan(q) for q in queries]
     subtasks: dict[int, list[tuple[int, tuple[int, ...], bool, int]]] = {}
-    tiles = index._tiles
     for qi, (_row_span, jobs) in enumerate(plans):
         for tile_id, codes, covered, iy in jobs:
-            if tile_id in tiles:
+            if tile_id in subtasks or index._tile_has_rows(tile_id):
                 subtasks.setdefault(tile_id, []).append((qi, codes, covered, iy))
 
     pieces: list[list[np.ndarray]] = [[] for _ in queries]
     for tile_id in sorted(subtasks):
-        tables = tiles[tile_id]
         for qi, codes, covered, iy in subtasks[tile_id]:
             index._scan_tile_disk(
-                tables,
+                tile_id,
                 queries[qi],
                 codes,
                 covered,

@@ -16,7 +16,6 @@ technique for rectangle (rather than point) histograms.
 from __future__ import annotations
 
 from repro.geometry.mbr import Rect
-from repro.grid.base import CLASS_A
 from repro.core.two_layer import TwoLayerGrid
 
 __all__ = ["SelectivityEstimator"]
@@ -28,11 +27,7 @@ class SelectivityEstimator:
     def __init__(self, index: TwoLayerGrid, avg_extent: "tuple[float, float] | None" = None):
         self.index = index
         #: per-tile distinct-object (class A) counts: the histogram.
-        self._a_counts: dict[int, int] = {}
-        for tile_id, tables in index._tiles.items():
-            table = tables[CLASS_A]
-            if table is not None and len(table):
-                self._a_counts[tile_id] = len(table)
+        self._a_counts: dict[int, int] = index._class_a_counts()
         self.avg_extent = avg_extent if avg_extent is not None else (0.0, 0.0)
 
     @property

@@ -91,13 +91,12 @@ def _run_tile_shard(payload) -> list[tuple[int, int]]:
     grid = index.grid
     counts: dict[int, int] = {}
     for tile_id, q_list in shard:
-        tables = index._tiles[tile_id]
         ix, iy = grid.tile_coords(tile_id)
         for qi in q_list:
             ix0, ix1, iy0, iy1 = ranges[qi]
             plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
             pieces: list[np.ndarray] = []
-            index._scan_tile_window(tables, windows[qi], plan, pieces)
+            index._scan_tile_window(tile_id, windows[qi], plan, pieces)
             got = sum(p.shape[0] for p in pieces)
             if got:
                 counts[qi] = counts.get(qi, 0) + got
@@ -221,14 +220,14 @@ class ParallelBatchEvaluator:
         else:
             grid = self.index.grid
             ranges = [grid.tile_range_for_window(w) for w in windows]
-            tiles = self.index._tiles
+            index = self.index
             subtasks: dict[int, list[int]] = {}
             for qi, (ix0, ix1, iy0, iy1) in enumerate(ranges):
                 for iy in range(iy0, iy1 + 1):
                     base = iy * grid.nx
                     for ix in range(ix0, ix1 + 1):
                         tile_id = base + ix
-                        if tile_id in tiles:
+                        if tile_id in subtasks or index._tile_has_rows(tile_id):
                             subtasks.setdefault(tile_id, []).append(qi)
             items = sorted(subtasks.items())
             payloads = [

@@ -4,9 +4,14 @@ A production library must not force users to re-replicate and re-sort a
 static collection on every process start.  This module flattens a built
 :class:`OneLayerGrid` / :class:`TwoLayerGrid` / :class:`TwoLayerPlusGrid`
 into columnar arrays — one row per stored replica, carrying its tile id
-and class code — and restores the per-tile dictionaries with the same
-grouped pass the bulk loader uses.  2-layer⁺ rebuilds its decomposed
-tables lazily per partition on first use, so loading stays cheap.
+and class code — and restores the storage backend the loading process is
+configured for (the archive itself is layout-agnostic).  Under the
+packed backend both directions are fast paths: saving emits the CSR
+base's columns directly (plus any delta-overlay rows), and loading an
+archive whose rows are already in fused-key order adopts the arrays
+zero-copy — no argsort, no per-tile regrouping.  2-layer⁺ rebuilds its
+decomposed tables lazily per partition on first use, so loading stays
+cheap.
 """
 
 from __future__ import annotations
@@ -20,7 +25,7 @@ from repro.errors import DatasetError
 from repro.geometry.mbr import Rect
 from repro.grid.base import GridPartitioner
 from repro.grid.one_layer import OneLayerGrid
-from repro.grid.storage import TileTable, group_rows
+from repro.grid.storage import PackedStore, TileTable, group_rows
 from repro.core.two_layer import TwoLayerGrid
 from repro.core.two_layer_plus import TwoLayerPlusGrid
 
@@ -49,6 +54,16 @@ def _flatten(index) -> dict[str, np.ndarray]:
         for slot, col in zip(cols, columns):
             slot.append(col)
 
+    n_classes = 4 if isinstance(index, TwoLayerGrid) else 1
+    if index._store is not None:
+        # Packed fast path: the base's live rows come out in fused-key
+        # order, so an archive with an empty delta reloads zero-copy.
+        keys, xl, yl, xu, yu, ids = index._store.flat_live_rows()
+        if keys.shape[0]:
+            tile_ids.append(keys // n_classes)
+            codes.append(keys % n_classes)
+            for slot, col in zip(cols, (xl, yl, xu, yu, ids)):
+                slot.append(col)
     if isinstance(index, TwoLayerGrid):
         for tile_id, tables in index._tiles.items():
             for code, table in enumerate(tables):
@@ -134,8 +149,14 @@ def save_collection(index, data, path: "str | os.PathLike[str]") -> None:
     )
 
 
-def load_index(path: "str | os.PathLike[str]"):
-    """Restore an index previously written by :func:`save_index`."""
+def load_index(path: "str | os.PathLike[str]", storage: "str | None" = None):
+    """Restore an index previously written by :func:`save_index`.
+
+    ``storage`` picks the backend of the restored index (``"packed"`` /
+    ``"legacy"``; ``None`` uses the process default, see
+    :func:`repro.grid.storage.packed_storage_default`) — archives are
+    layout-agnostic, so either backend restores from any archive.
+    """
     with np.load(path, allow_pickle=False) as archive:
         try:
             version = int(archive["version"])
@@ -160,21 +181,29 @@ def load_index(path: "str | os.PathLike[str]"):
         raise DatasetError(f"{path}: unknown index kind {kind!r}")
 
     grid = GridPartitioner(nx, ny, domain)
-    index = cls(grid)
+    index = cls(grid, storage=storage)
     index._n_objects = n_objects
 
     if issubclass(cls, TwoLayerGrid):
         keys = tile_ids * 4 + codes
-        for key, rows in group_rows(keys):
-            tile_id, code = divmod(int(key), 4)
-            tables = index._tiles.get(tile_id)
-            if tables is None:
-                tables = [None, None, None, None]
-                index._tiles[tile_id] = tables
-            tables[code] = TileTable(
-                xl[rows].copy(), yl[rows].copy(), xu[rows].copy(),
-                yu[rows].copy(), ids[rows].copy(),
+        if index._packed:
+            # Pre-sorted archives (written from a packed index with an
+            # empty delta) are adopted zero-copy by from_rows.
+            index._store = PackedStore.from_rows(
+                4 * nx * ny, 4, keys, xl, yl, xu, yu,
+                ids.astype(np.int64, copy=False),
             )
+        else:
+            for key, rows in group_rows(keys):
+                tile_id, code = divmod(int(key), 4)
+                tables = index._tiles.get(tile_id)
+                if tables is None:
+                    tables = [None, None, None, None]
+                    index._tiles[tile_id] = tables
+                tables[code] = TileTable(
+                    xl[rows].copy(), yl[rows].copy(), xu[rows].copy(),
+                    yu[rows].copy(), ids[rows].copy(),
+                )
         if isinstance(index, TwoLayerPlusGrid):
             # Restore the global MBR columns from the class-A replicas
             # (each object has exactly one) and mark every partition
@@ -192,18 +221,30 @@ def load_index(path: "str | os.PathLike[str]"):
             index._g_yl = g_yl
             index._g_xu = g_xu
             index._g_yu = g_yu
-            index._stale = {
-                (tile_id, code)
-                for tile_id, tables in index._tiles.items()
-                for code, t in enumerate(tables)
-                if t is not None
-            }
+            if index._packed:
+                index._stale = {
+                    divmod(int(key), 4)
+                    for key in np.flatnonzero(index._store.group_counts())
+                }
+            else:
+                index._stale = {
+                    (tile_id, code)
+                    for tile_id, tables in index._tiles.items()
+                    for code, t in enumerate(tables)
+                    if t is not None
+                }
     else:
-        for tile_id, rows in group_rows(tile_ids):
-            index._tiles[int(tile_id)] = TileTable(
-                xl[rows].copy(), yl[rows].copy(), xu[rows].copy(),
-                yu[rows].copy(), ids[rows].copy(),
+        if index._packed:
+            index._store = PackedStore.from_rows(
+                nx * ny, 1, tile_ids, xl, yl, xu, yu,
+                ids.astype(np.int64, copy=False),
             )
+        else:
+            for tile_id, rows in group_rows(tile_ids):
+                index._tiles[int(tile_id)] = TileTable(
+                    xl[rows].copy(), yl[rows].copy(), xu[rows].copy(),
+                    yu[rows].copy(), ids[rows].copy(),
+                )
     return index
 
 

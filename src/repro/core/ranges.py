@@ -225,8 +225,8 @@ def convex_range_query(
         base = iy * grid.nx
         prev_row = row_span.get(iy - 1)
         for ix in range(lx, rx + 1):
-            tables = index._tiles.get(base + ix)
-            if tables is None:
+            tile_id = base + ix
+            if not index._tile_has_rows(tile_id):
                 continue
             if stats is not None:
                 stats.partitions_visited += 1
@@ -241,10 +241,10 @@ def convex_range_query(
                 codes.append(CLASS_D)
             covered = coverage[(ix, iy)] == 1
             for code in codes:
-                table = tables[code]
-                if table is None:
+                cols = index._partition_columns(tile_id, code)
+                if cols is None:
                     continue
-                xl, yl, xu, yu, ids = table.columns()
+                xl, yl, xu, yu, ids = cols
                 if ids.shape[0] == 0:
                     continue
                 if stats is not None:

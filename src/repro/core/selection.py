@@ -31,7 +31,7 @@ from dataclasses import dataclass
 
 from repro.grid.base import CLASS_A, CLASS_B, CLASS_C, CLASS_D
 
-__all__ = ["ClassPlan", "TilePlan", "plan_tile"]
+__all__ = ["ClassPlan", "TilePlan", "plan_tile", "window_regions"]
 
 #: classes whose rectangles start inside their tile in x (relevant to Lemma 3).
 _STARTS_INSIDE_X = (CLASS_A, CLASS_B)
@@ -117,6 +117,42 @@ def plan_tile(ix: int, iy: int, ix0: int, ix1: int, iy0: int, iy1: int) -> TileP
         | (1 if iy == iy1 else 0)
     )
     return _PLANS[key]
+
+
+def _axis_segments(lo: int, hi: int) -> list[tuple[int, int, bool, bool]]:
+    """Split ``[lo, hi]`` into runs of uniform (at-start, at-end) flags."""
+    if lo == hi:
+        return [(lo, hi, True, True)]
+    segments = [(lo, lo, True, False)]
+    if hi - lo > 1:
+        segments.append((lo + 1, hi - 1, False, False))
+    segments.append((hi, hi, False, True))
+    return segments
+
+
+def window_regions(
+    ix0: int, ix1: int, iy0: int, iy1: int
+) -> list[tuple[int, int, int, int, TilePlan]]:
+    """Decompose a query's tile range into plan-uniform rectangles.
+
+    Every tile of a region ``(ax, bx, ay, by)`` (inclusive bounds) shares
+    the same :class:`TilePlan`, so a fused kernel can evaluate the whole
+    region with one comparison pass instead of planning tile by tile.  At
+    most 9 regions exist (3 x-segments × 3 y-segments: first column /
+    interior / last column crossed with the row equivalents), fewer when
+    the range is thin.
+    """
+    out = []
+    for ay, by, at_y0, at_y1 in _axis_segments(iy0, iy1):
+        for ax, bx, at_x0, at_x1 in _axis_segments(ix0, ix1):
+            key = (
+                (8 if at_x0 else 0)
+                | (4 if at_x1 else 0)
+                | (2 if at_y0 else 0)
+                | (1 if at_y1 else 0)
+            )
+            out.append((ax, bx, ay, by, _PLANS[key]))
+    return out
 
 
 def plan_for_region(

@@ -11,6 +11,31 @@ Disk queries (Section IV-E) skip classes based on whether the previous
 tile per dimension also intersects the disk, report fully-covered tiles
 without distance tests, and resolve the residual boundary-arc duplicates
 of classes B/D with a constant-time canonical-tile test.
+
+Storage backends
+----------------
+
+Two physical layouts sit behind one logical index (``storage=`` or the
+``REPRO_PACKED`` environment variable picks one; see
+:mod:`repro.grid.storage`):
+
+* **packed** (default) — the bulk-loaded base lives in one CSR
+  :class:`~repro.grid.storage.PackedStore` keyed by fused
+  ``(tile, class)``; queries run *fused kernels* that decompose the tile
+  range into plan-uniform regions (:func:`~repro.core.selection
+  .window_regions`) and evaluate each region's class with a single
+  offsets walk + one vectorised comparison over the stitched rows — no
+  Python-per-tile loop.  Inserts land in a per-tile *delta overlay* of
+  :class:`~repro.grid.storage.TileTable` (O(1), Table VI); deletes
+  tombstone base rows in place; :meth:`compact` folds both back into a
+  fresh base.  Compaction is always explicit — queries never trigger it,
+  so published snapshots can share the base by reference.
+* **legacy** — everything in the per-tile dict of ``TileTable`` lists,
+  scanned tile by tile.  Kept as the parity baseline the property tests
+  compare against.
+
+Both backends produce identical result sets and identical
+QueryStats/EXPLAIN accounting.
 """
 
 from __future__ import annotations
@@ -32,14 +57,45 @@ from repro.grid.base import (
     GridPartitioner,
     replicate,
 )
-from repro.grid.storage import TileTable, group_rows
-from repro.core.selection import ClassPlan, TilePlan, plan_tile
-from repro.obs.tracing import span as trace_span
+from repro.grid.storage import (
+    PackedStore,
+    TileTable,
+    group_rows,
+    ranges_to_rows,
+    resolve_storage_mode,
+)
+from repro.core.selection import ClassPlan, TilePlan, plan_tile, window_regions
+from repro.obs.tracing import active as tracing_active, span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["TwoLayerGrid"]
 
 _EMPTY_IDS = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0, dtype=np.float64)
+
+
+def _window_class_mask(
+    cp: ClassPlan,
+    window: Rect,
+    xl: np.ndarray,
+    yl: np.ndarray,
+    xu: np.ndarray,
+    yu: np.ndarray,
+) -> "np.ndarray | None":
+    """Qualification mask for one class's rows (``None`` = all qualify)."""
+    mask: "np.ndarray | None" = None
+    if cp.xu_ge:
+        mask = xu >= window.xl
+    if cp.xl_le:
+        m = xl <= window.xu
+        mask = m if mask is None else mask & m
+    if cp.yu_ge:
+        m = yu >= window.yl
+        mask = m if mask is None else mask & m
+    if cp.yl_le:
+        m = yl <= window.yu
+        mask = m if mask is None else mask & m
+    return mask
 
 
 class TwoLayerGrid:
@@ -49,11 +105,26 @@ class TwoLayerGrid:
     #: never generated.  EXPLAIN uses this to pick its accounting mode.
     dedup_strategy = "avoid"
 
-    def __init__(self, grid: GridPartitioner):
+    def __init__(self, grid: GridPartitioner, storage: "str | None" = None):
         self.grid = grid
-        # tile id -> [table or None] indexed by class code.
+        self._packed = resolve_storage_mode(storage)
+        #: the immutable CSR base (packed backend; None until bulk load).
+        self._store: "PackedStore | None" = None
+        #: tile id -> [table or None] indexed by class code.  The whole
+        #: index under the legacy backend; the mutable delta overlay on
+        #: top of the packed base otherwise.
         self._tiles: dict[int, list["TileTable | None"]] = {}
         self._n_objects = 0
+        #: lazy per-row query matrix + per-tile row extents for the
+        #: single-comparison window kernel (packed backend only; rebuilt
+        #: on :meth:`compact`, shared by reference across snapshot forks).
+        self._fast_q: "np.ndarray | None" = None
+        self._tile_row_bounds: "np.ndarray | None" = None
+
+    @property
+    def storage(self) -> str:
+        """The physical backend: ``"packed"`` or ``"legacy"``."""
+        return "packed" if self._packed else "legacy"
 
     # -- construction ----------------------------------------------------
 
@@ -63,6 +134,7 @@ class TwoLayerGrid:
         data: RectDataset,
         partitions_per_dim: int = 128,
         domain: "Rect | None" = None,
+        storage: "str | None" = None,
     ) -> "TwoLayerGrid":
         """Bulk-load from a dataset (square N x N grid, like the paper)."""
         grid = GridPartitioner(
@@ -70,7 +142,7 @@ class TwoLayerGrid:
             partitions_per_dim,
             domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0),
         )
-        index = cls(grid)
+        index = cls(grid, storage=storage)
         index._bulk_load(data)
         return index
 
@@ -78,24 +150,42 @@ class TwoLayerGrid:
         rep = replicate(data, self.grid)
         # Fuse tile id and class code into one sort key; group once.
         keys = rep.tile_ids * 4 + rep.class_codes
-        for key, rows in group_rows(keys):
-            tile_id, code = divmod(key, 4)
-            obj = rep.obj_ids[rows]
-            tables = self._tiles.get(tile_id)
-            if tables is None:
-                tables = [None, None, None, None]
-                self._tiles[tile_id] = tables
-            tables[code] = TileTable(
-                data.xl[obj].copy(),
-                data.yl[obj].copy(),
-                data.xu[obj].copy(),
-                data.yu[obj].copy(),
-                obj.copy(),
+        if self._packed:
+            obj = rep.obj_ids
+            self._store = PackedStore.from_rows(
+                4 * self.grid.nx * self.grid.ny,
+                4,
+                keys,
+                data.xl[obj],
+                data.yl[obj],
+                data.xu[obj],
+                data.yu[obj],
+                obj.astype(np.int64, copy=False),
             )
+        else:
+            for key, rows in group_rows(keys):
+                tile_id, code = divmod(key, 4)
+                obj = rep.obj_ids[rows]
+                tables = self._tiles.get(tile_id)
+                if tables is None:
+                    tables = [None, None, None, None]
+                    self._tiles[tile_id] = tables
+                tables[code] = TileTable(
+                    data.xl[obj].copy(),
+                    data.yl[obj].copy(),
+                    data.xu[obj].copy(),
+                    data.yu[obj].copy(),
+                    obj.copy(),
+                )
         self._n_objects = len(data)
 
     def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
-        """Insert one object; its class is determined per overlapped tile."""
+        """Insert one object; its class is determined per overlapped tile.
+
+        O(1) per replica under both backends: the packed base is never
+        rebuilt — new entries go to the delta overlay until
+        :meth:`compact`.
+        """
         if obj_id is None:
             obj_id = self._n_objects
         self._n_objects = max(self._n_objects, obj_id + 1)
@@ -123,27 +213,155 @@ class TwoLayerGrid:
 
         The replica class per tile is recomputed from the MBR, so only
         the exact secondary partitions holding the object are touched.
+        Base entries are tombstoned (no rebuild); delta entries are
+        filtered out of their overlay tables.
         """
         ix0 = self.grid.tile_ix(rect.xl)
         ix1 = self.grid.tile_ix(rect.xu)
         iy0 = self.grid.tile_iy(rect.yl)
         iy1 = self.grid.tile_iy(rect.yu)
+        store = self._store
         removed = 0
         for iy in range(iy0, iy1 + 1):
             base = iy * self.grid.nx
             for ix in range(ix0, ix1 + 1):
-                tables = self._tiles.get(base + ix)
-                if tables is None:
-                    continue
                 code = 2 * (ix > ix0) + (iy > iy0)
-                table = tables[code]
-                if table is not None:
-                    removed += table.delete(obj_id)
-                    if len(table) == 0:
-                        tables[code] = None
-                if all(t is None for t in tables):
-                    del self._tiles[base + ix]
+                tile_id = base + ix
+                tables = self._tiles.get(tile_id)
+                if tables is not None:
+                    table = tables[code]
+                    if table is not None:
+                        removed += table.delete(obj_id)
+                        if len(table) == 0:
+                            tables[code] = None
+                    if all(t is None for t in tables):
+                        del self._tiles[tile_id]
+                if store is not None:
+                    removed += store.mark_dead(
+                        store.find_rows(tile_id * 4 + code, obj_id)
+                    )
         return removed > 0
+
+    def compact(self) -> None:
+        """Fold the delta overlay and tombstones into a fresh packed base.
+
+        Explicitly invoked only — queries and updates never compact, so a
+        published snapshot's base is safe to share across threads.  Until
+        compaction, query cost degrades gracefully: delta tiles are
+        scanned tile-by-tile exactly like the legacy backend.  No-op for
+        the legacy backend (its tables fold lazily on read).
+        """
+        if not self._packed:
+            return
+        parts_keys: list[np.ndarray] = []
+        parts_cols: list[tuple[np.ndarray, ...]] = []
+        if self._store is not None:
+            keys, xl, yl, xu, yu, ids = self._store.flat_live_rows()
+            parts_keys.append(keys)
+            parts_cols.append((xl, yl, xu, yu, ids))
+        for tile_id, tables in self._tiles.items():
+            for code, table in enumerate(tables):
+                if table is None or len(table) == 0:
+                    continue
+                cols = table.columns()
+                parts_keys.append(
+                    np.full(cols[4].shape[0], tile_id * 4 + code, dtype=np.int64)
+                )
+                parts_cols.append(cols)
+        if parts_keys:
+            keys = np.concatenate(parts_keys)
+            cols = [
+                np.concatenate([p[c] for p in parts_cols]) for c in range(5)
+            ]
+        else:
+            keys = _EMPTY_IDS
+            cols = [_EMPTY_F, _EMPTY_F, _EMPTY_F, _EMPTY_F, _EMPTY_IDS]
+        self._store = PackedStore.from_rows(
+            4 * self.grid.nx * self.grid.ny, 4, keys, *cols
+        )
+        self._tiles = {}
+        self._fast_q = None
+        self._tile_row_bounds = None
+
+    # -- storage accessors -------------------------------------------------
+
+    def _partition_columns(
+        self, tile_id: int, code: int
+    ) -> "tuple[np.ndarray, ...] | None":
+        """Live ``(xl, yl, xu, yu, ids)`` of one secondary partition.
+
+        Merges the packed base group with the delta overlay; ``None``
+        when the partition holds no live rows.  Zero-copy (views of the
+        base) whenever the partition has no delta and no tombstones.
+        """
+        base = None
+        if self._store is not None:
+            base = self._store.group_columns(tile_id * 4 + code)
+        delta = None
+        tables = self._tiles.get(tile_id)
+        if tables is not None:
+            table = tables[code]
+            if table is not None and len(table):
+                delta = table.columns()
+        if base is None:
+            return delta
+        if delta is None:
+            return base
+        return tuple(np.concatenate([b, d]) for b, d in zip(base, delta))
+
+    def _tile_has_rows(self, tile_id: int) -> bool:
+        """Does any secondary partition of the tile hold a live row?"""
+        if tile_id in self._tiles:
+            return True  # overlay tables are pruned when emptied
+        store = self._store
+        if store is None:
+            return False
+        n = int(store.offsets[tile_id * 4 + 4] - store.offsets[tile_id * 4])
+        if n and store.n_dead:
+            n -= int(store.dead_per_group[tile_id * 4 : tile_id * 4 + 4].sum())
+        return n > 0
+
+    def _delta_tiles_in_range(
+        self, ix0: int, ix1: int, iy0: int, iy1: int
+    ) -> list[int]:
+        """Sorted overlay tile ids inside a tile range.
+
+        Iterates whichever is smaller — the overlay dict or the range —
+        so an empty or tiny overlay costs nothing per query.
+        """
+        tiles = self._tiles
+        if not tiles:
+            return []
+        nx = self.grid.nx
+        if len(tiles) <= (ix1 - ix0 + 1) * (iy1 - iy0 + 1):
+            out = [
+                tid
+                for tid in tiles
+                if ix0 <= tid % nx <= ix1 and iy0 <= tid // nx <= iy1
+            ]
+        else:
+            out = [
+                base + ix
+                for iy in range(iy0, iy1 + 1)
+                for base in (iy * nx,)
+                for ix in range(ix0, ix1 + 1)
+                if base + ix in tiles
+            ]
+        out.sort()
+        return out
+
+    def _class_a_counts(self) -> dict[int, int]:
+        """Per-tile live class-A counts (the selectivity histogram)."""
+        counts: dict[int, int] = {}
+        if self._store is not None:
+            a = self._store.group_counts()[0::4]
+            for tid in np.flatnonzero(a):
+                counts[int(tid)] = int(a[tid])
+        for tile_id, tables in self._tiles.items():
+            table = tables[CLASS_A]
+            if table is not None and len(table):
+                counts[tile_id] = counts.get(tile_id, 0) + len(table)
+        return counts
 
     # -- introspection -------------------------------------------------------
 
@@ -153,24 +371,39 @@ class TwoLayerGrid:
     @property
     def replica_count(self) -> int:
         """Total stored entries — identical to the 1-layer grid's by design."""
-        return sum(
+        total = sum(
             len(t) for tables in self._tiles.values() for t in tables if t is not None
         )
+        if self._store is not None:
+            total += self._store.n_live
+        return total
 
     @property
     def nbytes(self) -> int:
-        return sum(
+        total = sum(
             t.nbytes for tables in self._tiles.values() for t in tables if t is not None
         )
+        if self._store is not None:
+            total += self._store.nbytes
+        return total
 
     @property
     def nonempty_tiles(self) -> int:
-        return len(self._tiles)
+        if self._store is None:
+            return len(self._tiles)
+        counts = self._store.tile_counts()
+        n = int(np.count_nonzero(counts))
+        n += sum(1 for tile_id in self._tiles if counts[tile_id] == 0)
+        return n
 
     def class_counts(self) -> dict[str, int]:
         """Stored entries per class — A holds exactly one entry per object."""
         names = ("A", "B", "C", "D")
         counts = dict.fromkeys(names, 0)
+        if self._store is not None:
+            per_code = self._store.group_counts().reshape(-1, 4).sum(axis=0)
+            for code in range(4):
+                counts[names[code]] += int(per_code[code])
         for tables in self._tiles.values():
             for code, t in enumerate(tables):
                 if t is not None:
@@ -184,13 +417,22 @@ class TwoLayerGrid:
         )
 
     def tile_class_table(self, ix: int, iy: int, code: int) -> "TileTable | None":
-        """Raw secondary-partition storage (testing / inspection only)."""
+        """Raw secondary-partition storage (testing / inspection only).
+
+        Under the packed backend the returned table is a merged
+        *read-only view* of base + delta; mutate the index through
+        :meth:`insert`/:meth:`delete`, never through this table.
+        """
         if not (0 <= ix < self.grid.nx and 0 <= iy < self.grid.ny):
             raise IndexStateError(f"tile ({ix}, {iy}) outside the grid")
         if code not in (CLASS_A, CLASS_B, CLASS_C, CLASS_D):
             raise IndexStateError(f"invalid class code {code}")
-        tables = self._tiles.get(self.grid.tile_id(ix, iy))
-        return None if tables is None else tables[code]
+        tile_id = self.grid.tile_id(ix, iy)
+        if self._store is None:
+            tables = self._tiles.get(tile_id)
+            return None if tables is None else tables[code]
+        cols = self._partition_columns(tile_id, code)
+        return None if cols is None else TileTable(*cols)
 
     def explain_partitions(
         self, window: Rect
@@ -211,11 +453,12 @@ class TwoLayerGrid:
         for iy in range(iy0, iy1 + 1):
             base = iy * self.grid.nx
             for ix in range(ix0, ix1 + 1):
-                tables = self._tiles.get(base + ix)
-                if tables is None:
-                    continue
-                ids = [t.columns()[4] for t in tables if t is not None]
-                ids = [a for a in ids if a.shape[0]]
+                ids = [
+                    cols[4]
+                    for code in (CLASS_A, CLASS_B, CLASS_C, CLASS_D)
+                    for cols in (self._partition_columns(base + ix, code),)
+                    if cols is not None
+                ]
                 if not ids:
                     continue
                 out.append((self.grid.tile_rect(ix, iy), np.concatenate(ids)))
@@ -234,28 +477,227 @@ class TwoLayerGrid:
         """
         if self._n_objects == 0:
             return _EMPTY_IDS
+        if (
+            stats is None
+            and self._store is not None
+            and not self._tiles
+            and not self._store.n_dead
+            and tracing_active() is None
+        ):
+            # Hot route: tracing disabled, no accounting requested, and
+            # every live row sits in the immutable base — go straight to
+            # the single-comparison kernel with the tile range inlined
+            # (the span/context plumbing alone costs as much as the
+            # kernel at typical selectivities).
+            g = self.grid
+            d = g.domain
+            ix0 = int((window.xl - d.xl) / g.tile_w)
+            ix1 = int((window.xu - d.xl) / g.tile_w)
+            iy0 = int((window.yl - d.yl) / g.tile_h)
+            iy1 = int((window.yu - d.yl) / g.tile_h)
+            last = g.nx - 1
+            ix0 = 0 if ix0 < 0 else (last if ix0 > last else ix0)
+            ix1 = 0 if ix1 < 0 else (last if ix1 > last else ix1)
+            last = g.ny - 1
+            iy0 = 0 if iy0 < 0 else (last if iy0 > last else iy0)
+            iy1 = 0 if iy1 < 0 else (last if iy1 > last else iy1)
+            return self._fused_window_fast(window, ix0, ix1, iy0, iy1)
         with trace_span("query.window"):
             with trace_span("filter.lookup"):
                 ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
             pieces: list[np.ndarray] = []
             with trace_span("filter.scan"):
-                for iy in range(iy0, iy1 + 1):
-                    base = iy * self.grid.nx
-                    for ix in range(ix0, ix1 + 1):
-                        tables = self._tiles.get(base + ix)
-                        if tables is None:
-                            continue
-                        plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
-                        self._scan_tile_window(tables, window, plan, pieces, stats)
+                if self._store is not None:
+                    self._fused_window(window, ix0, ix1, iy0, iy1, pieces, stats)
+                else:
+                    tiles = self._tiles
+                    for iy in range(iy0, iy1 + 1):
+                        base = iy * self.grid.nx
+                        for ix in range(ix0, ix1 + 1):
+                            if base + ix not in tiles:
+                                continue
+                            plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
+                            self._scan_tile_window(
+                                base + ix, window, plan, pieces, stats
+                            )
             with trace_span("dedup"):
                 pass  # duplicate-free by construction (Lemmas 1-2)
             if not pieces:
                 return _EMPTY_IDS
             return np.concatenate(pieces)
 
+    def _fused_window(
+        self,
+        window: Rect,
+        ix0: int,
+        ix1: int,
+        iy0: int,
+        iy1: int,
+        pieces: list[np.ndarray],
+        stats: "QueryStats | None" = None,
+    ) -> None:
+        """Packed-backend window kernel: one pass per (region, class).
+
+        The tile range decomposes into at most 9 plan-uniform regions;
+        within a region each scanned class is one offsets walk over the
+        CSR base plus one vectorised comparison over the stitched rows —
+        the Python cost is O(regions · classes), not O(tiles).  Overlay
+        tiles fall back to the per-tile scan.
+        """
+        if stats is None and not self._tiles and not self._store.n_dead:
+            pieces.append(self._fused_window_fast(window, ix0, ix1, iy0, iy1))
+            return
+        store = self._store
+        nx = self.grid.nx
+        delta = self._delta_tiles_in_range(ix0, ix1, iy0, iy1)
+        delta_arr = np.asarray(delta, dtype=np.int64) if delta else None
+        for ax, bx, ay, by, plan in window_regions(ix0, ix1, iy0, iy1):
+            tids = (
+                np.arange(ay, by + 1, dtype=np.int64)[:, None] * nx
+                + np.arange(ax, bx + 1, dtype=np.int64)[None, :]
+            ).ravel()
+            if delta_arr is not None:
+                tids = tids[~np.isin(tids, delta_arr)]
+                if tids.shape[0] == 0:
+                    continue
+            if stats is not None:
+                tile_tot = store.offsets[tids * 4 + 4] - store.offsets[tids * 4]
+                if store.n_dead:
+                    dpg = store.dead_per_group
+                    tile_tot = tile_tot - (
+                        dpg[tids * 4]
+                        + dpg[tids * 4 + 1]
+                        + dpg[tids * 4 + 2]
+                        + dpg[tids * 4 + 3]
+                    )
+                stats.partitions_visited += int(np.count_nonzero(tile_tot))
+            for cp in plan.classes:
+                keys = tids * 4 + cp.code
+                starts = store.offsets[keys]
+                ends = store.offsets[keys + 1]
+                counts = ends - starts
+                if store.n_dead:
+                    counts = counts - store.dead_per_group[keys]
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                if stats is not None:
+                    stats.rects_scanned += total
+                    stats.comparisons += cp.n_comparisons * total
+                    name = CLASS_NAMES[cp.code]
+                    for _ in range(int(np.count_nonzero(counts))):
+                        stats.visit_class(name)
+                rows = ranges_to_rows(starts, ends)
+                if store.n_dead:
+                    rows = rows[~store.dead[rows]]
+                mask = None
+                if cp.xu_ge:
+                    mask = store.xu[rows] >= window.xl
+                if cp.xl_le:
+                    m = store.xl[rows] <= window.xu
+                    mask = m if mask is None else mask & m
+                if cp.yu_ge:
+                    m = store.yu[rows] >= window.yl
+                    mask = m if mask is None else mask & m
+                if cp.yl_le:
+                    m = store.yl[rows] <= window.yu
+                    mask = m if mask is None else mask & m
+                ids = store.ids[rows]
+                pieces.append(ids if mask is None else ids[mask])
+        for tile_id in delta:
+            plan = plan_tile(tile_id % nx, tile_id // nx, ix0, ix1, iy0, iy1)
+            self._scan_tile_window(tile_id, window, plan, pieces, stats)
+
+    def _build_fast_q(self) -> np.ndarray:
+        """Materialise the per-row query matrix for the fast kernel.
+
+        Row ``r`` gets six float64 columns ``[xu, -xl, yu, -yl, cx, by]``
+        where ``cx`` is ``-tile_ix`` for class C/D rows (``+inf``
+        otherwise) and ``by`` is ``-tile_iy`` for class B/D rows.  A
+        window query then reduces to one broadcast comparison against
+        ``[w.xl, -w.xu, w.yl, -w.yu, -ix0, -iy0]``: the first four
+        columns are the intersection test, the last two encode the
+        Lemma 1-2 class-scanning rule (a C/D row only counts in the
+        window's first column, ``tile_ix == ix0``; a B/D row only in its
+        first row) — ``+inf`` rows pass those conditions vacuously.
+        """
+        store = self._store
+        nx = self.grid.nx
+        counts = np.diff(store.offsets)
+        keys = np.repeat(
+            np.arange(store.offsets.shape[0] - 1, dtype=np.int64), counts
+        )
+        tiles = keys >> 2
+        # Condition-major layout: each condition is one contiguous row,
+        # so the per-slab reduction is six vectorised passes (reducing
+        # the short axis of a row-major matrix would strided-loop).
+        q = np.empty((6, store.n_rows), dtype=np.float64)
+        q[0] = store.xu
+        q[1] = -store.xl
+        q[2] = store.yu
+        q[3] = -store.yl
+        q[4] = np.where(keys & 2, -(tiles % nx), np.inf)
+        q[5] = np.where(keys & 1, -(tiles // nx), np.inf)
+        self._fast_q = q
+        # offsets[4t] per tile (plus the terminal bound): tile t's rows —
+        # all four class groups — are the contiguous run
+        # [bounds[t], bounds[t+1]).  Kept as a Python list: the kernel
+        # reads two scalars per slab, and list indexing returns plain
+        # ints at half the cost of NumPy scalar extraction.
+        self._tile_row_bounds = store.offsets[::4].tolist()
+        return q
+
+    def _fused_window_fast(
+        self,
+        window: Rect,
+        ix0: int,
+        ix1: int,
+        iy0: int,
+        iy1: int,
+    ) -> np.ndarray:
+        """Minimal-overhead window kernel (no stats/delta/tombstones).
+
+        Per grid row the tiles ``ix0..ix1`` occupy one contiguous CSR
+        slab (tile ids are consecutive, groups are tile-major), so the
+        whole query is one broadcast ``>=`` against the precomputed
+        :meth:`_build_fast_q` matrix per slab — class selection and the
+        intersection test in a single comparison.  Full four-way
+        comparisons are applied to every scanned row; the ones §IV-B
+        proves redundant are tautologies there, so the result set is
+        identical (the stats-carrying kernel keeps the exact per-class
+        comparison accounting).
+        """
+        q = self._fast_q
+        if q is None:
+            q = self._build_fast_q()
+        tb = self._tile_row_bounds
+        ids = self._store.ids
+        ge = np.greater_equal
+        band = np.logical_and.reduce
+        bounds = np.array(
+            [window.xl, -window.xu, window.yl, -window.yu,
+             float(-ix0), float(-iy0)]
+        ).reshape(6, 1)
+        lo = iy0 * self.grid.nx + ix0
+        width = ix1 - ix0 + 1
+        pieces: list[np.ndarray] = []
+        for _ in range(iy0, iy1 + 1):
+            s0 = tb[lo]
+            s1 = tb[lo + width]
+            lo += self.grid.nx
+            if s0 == s1:
+                continue
+            keep = band(ge(q[:, s0:s1], bounds), axis=0)
+            pieces.append(ids[s0:s1][keep])
+        if not pieces:
+            return _EMPTY_IDS
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces)
+
     def _scan_tile_window(
         self,
-        tables: list["TileTable | None"],
+        tile_id: int,
         window: Rect,
         plan: TilePlan,
         pieces: list[np.ndarray],
@@ -263,36 +705,32 @@ class TwoLayerGrid:
     ) -> None:
         """Scan one tile's relevant secondary partitions for one window.
 
-        Appends the qualifying id arrays to ``pieces``.  Shared by
-        :meth:`window_query` and the tiles-based batch evaluator
-        (:mod:`repro.core.batch`), whose subtasks are exactly calls of
-        this method.
+        Appends the qualifying id arrays to ``pieces``.  Shared by the
+        per-tile paths (legacy backend, overlay tiles) and the
+        tiles-based batch evaluator (:mod:`repro.core.batch`), whose
+        subtasks are exactly calls of this method.
         """
-        if stats is not None:
+        if self._store is None:
+            if tile_id not in self._tiles:
+                return
+            if stats is not None:
+                stats.partitions_visited += 1
+        elif stats is not None:
+            if not self._tile_has_rows(tile_id):
+                return
             stats.partitions_visited += 1
         for cp in plan.classes:
-            table = tables[cp.code]
-            if table is None:
+            cols = self._partition_columns(tile_id, cp.code)
+            if cols is None:
                 continue
-            xl, yl, xu, yu, ids = table.columns()
+            xl, yl, xu, yu, ids = cols
             if ids.shape[0] == 0:
                 continue
             if stats is not None:
                 stats.rects_scanned += ids.shape[0]
                 stats.comparisons += cp.n_comparisons * ids.shape[0]
                 stats.visit_class(CLASS_NAMES[cp.code])
-            mask: "np.ndarray | None" = None
-            if cp.xu_ge:
-                mask = xu >= window.xl
-            if cp.xl_le:
-                m = xl <= window.xu
-                mask = m if mask is None else mask & m
-            if cp.yu_ge:
-                m = yu >= window.yl
-                mask = m if mask is None else mask & m
-            if cp.yl_le:
-                m = yl <= window.yu
-                mask = m if mask is None else mask & m
+            mask = _window_class_mask(cp, window, xl, yl, xu, yu)
             pieces.append(ids if mask is None else ids[mask])
 
     def _window_chunks(
@@ -300,51 +738,106 @@ class TwoLayerGrid:
     ) -> Iterator[
         tuple[TilePlan, ClassPlan, tuple[np.ndarray, ...], "np.ndarray | None", np.ndarray]
     ]:
-        """Yield per-(tile, class) candidate chunks of a window query.
+        """Yield candidate chunks of a window query.
 
         Each item is ``(tile_plan, class_plan, columns, mask, ids)`` where
-        ``mask`` is the boolean qualification mask over the class table
-        (``None`` means *all* rectangles qualify — the covered-tile case).
-        The refinement machinery consumes the full tuples; plain filtering
+        ``mask`` is the boolean qualification mask over the chunk
+        (``None`` means *all* rectangles qualify — the covered case).
+        Under the packed backend a chunk is a whole (region, class) of the
+        fused kernel; under the legacy backend one (tile, class).  The
+        refinement machinery consumes the full tuples; plain filtering
         only uses ``mask``/``ids``.
         """
         if self._n_objects == 0:
             return
         ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
-        for iy in range(iy0, iy1 + 1):
-            base = iy * self.grid.nx
-            for ix in range(ix0, ix1 + 1):
-                tables = self._tiles.get(base + ix)
-                if tables is None:
+        store = self._store
+        if store is None:
+            tiles = self._tiles
+            for iy in range(iy0, iy1 + 1):
+                base = iy * self.grid.nx
+                for ix in range(ix0, ix1 + 1):
+                    if base + ix not in tiles:
+                        continue
+                    plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
+                    yield from self._tile_chunks(base + ix, window, plan, stats)
+            return
+        nx = self.grid.nx
+        delta = self._delta_tiles_in_range(ix0, ix1, iy0, iy1)
+        delta_arr = np.asarray(delta, dtype=np.int64) if delta else None
+        for ax, bx, ay, by, plan in window_regions(ix0, ix1, iy0, iy1):
+            tids = (
+                np.arange(ay, by + 1, dtype=np.int64)[:, None] * nx
+                + np.arange(ax, bx + 1, dtype=np.int64)[None, :]
+            ).ravel()
+            if delta_arr is not None:
+                tids = tids[~np.isin(tids, delta_arr)]
+                if tids.shape[0] == 0:
                     continue
-                plan = plan_tile(ix, iy, ix0, ix1, iy0, iy1)
+            if stats is not None:
+                tile_tot = store.offsets[tids * 4 + 4] - store.offsets[tids * 4]
+                if store.n_dead:
+                    dpg = store.dead_per_group
+                    tile_tot = tile_tot - (
+                        dpg[tids * 4]
+                        + dpg[tids * 4 + 1]
+                        + dpg[tids * 4 + 2]
+                        + dpg[tids * 4 + 3]
+                    )
+                stats.partitions_visited += int(np.count_nonzero(tile_tot))
+            for cp in plan.classes:
+                keys = tids * 4 + cp.code
+                counts = store.live_counts_for(keys)
+                total = int(counts.sum())
+                if total == 0:
+                    continue
                 if stats is not None:
-                    stats.partitions_visited += 1
-                for cp in plan.classes:
-                    table = tables[cp.code]
-                    if table is None:
-                        continue
-                    cols = table.columns()
-                    xl, yl, xu, yu, ids = cols
-                    if ids.shape[0] == 0:
-                        continue
-                    if stats is not None:
-                        stats.rects_scanned += ids.shape[0]
-                        stats.comparisons += cp.n_comparisons * ids.shape[0]
-                        stats.visit_class(CLASS_NAMES[cp.code])
-                    mask: "np.ndarray | None" = None
-                    if cp.xu_ge:
-                        mask = xu >= window.xl
-                    if cp.xl_le:
-                        m = xl <= window.xu
-                        mask = m if mask is None else mask & m
-                    if cp.yu_ge:
-                        m = yu >= window.yl
-                        mask = m if mask is None else mask & m
-                    if cp.yl_le:
-                        m = yl <= window.yu
-                        mask = m if mask is None else mask & m
-                    yield plan, cp, cols, mask, ids
+                    stats.rects_scanned += total
+                    stats.comparisons += cp.n_comparisons * total
+                    name = CLASS_NAMES[cp.code]
+                    for _ in range(int(np.count_nonzero(counts))):
+                        stats.visit_class(name)
+                rows = store.gather(keys)
+                cols = (
+                    store.xl[rows],
+                    store.yl[rows],
+                    store.xu[rows],
+                    store.yu[rows],
+                    store.ids[rows],
+                )
+                mask = _window_class_mask(cp, window, *cols[:4])
+                yield plan, cp, cols, mask, cols[4]
+        for tile_id in delta:
+            plan = plan_tile(tile_id % nx, tile_id // nx, ix0, ix1, iy0, iy1)
+            yield from self._tile_chunks(tile_id, window, plan, stats)
+
+    def _tile_chunks(
+        self,
+        tile_id: int,
+        window: Rect,
+        plan: TilePlan,
+        stats: "QueryStats | None" = None,
+    ) -> Iterator[
+        tuple[TilePlan, ClassPlan, tuple[np.ndarray, ...], "np.ndarray | None", np.ndarray]
+    ]:
+        """Per-tile chunk generator behind :meth:`_window_chunks`."""
+        if stats is not None:
+            if self._store is not None and not self._tile_has_rows(tile_id):
+                return
+            stats.partitions_visited += 1
+        for cp in plan.classes:
+            cols = self._partition_columns(tile_id, cp.code)
+            if cols is None:
+                continue
+            xl, yl, xu, yu, ids = cols
+            if ids.shape[0] == 0:
+                continue
+            if stats is not None:
+                stats.rects_scanned += ids.shape[0]
+                stats.comparisons += cp.n_comparisons * ids.shape[0]
+                stats.visit_class(CLASS_NAMES[cp.code])
+            mask = _window_class_mask(cp, window, xl, yl, xu, yu)
+            yield plan, cp, cols, mask, ids
 
     def window_query_within(
         self, window: Rect, stats: "QueryStats | None" = None
@@ -367,38 +860,110 @@ class TwoLayerGrid:
                 ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
             pieces: list[np.ndarray] = []
             with trace_span("filter.scan"):
-                for iy in range(iy0, iy1 + 1):
-                    base = iy * self.grid.nx
-                    for ix in range(ix0, ix1 + 1):
-                        tables = self._tiles.get(base + ix)
-                        if tables is None:
-                            continue
-                        table = tables[CLASS_A]
-                        if table is None:
-                            continue
-                        xl, yl, xu, yu, ids = table.columns()
-                        if ids.shape[0] == 0:
-                            continue
-                        if stats is not None:
-                            stats.partitions_visited += 1
-                            stats.rects_scanned += ids.shape[0]
-                            stats.visit_class("A")
-                        mask = (xu <= window.xu) & (yu <= window.yu)
-                        n_comparisons = 2
-                        if ix == ix0:
-                            mask &= xl >= window.xl
-                            n_comparisons += 1
-                        if iy == iy0:
-                            mask &= yl >= window.yl
-                            n_comparisons += 1
-                        if stats is not None:
-                            stats.comparisons += n_comparisons * ids.shape[0]
-                        pieces.append(ids[mask])
+                if self._store is not None:
+                    self._fused_within(window, ix0, ix1, iy0, iy1, pieces, stats)
+                else:
+                    for iy in range(iy0, iy1 + 1):
+                        base = iy * self.grid.nx
+                        for ix in range(ix0, ix1 + 1):
+                            self._scan_tile_within(
+                                base + ix,
+                                window,
+                                ix == ix0,
+                                iy == iy0,
+                                pieces,
+                                stats,
+                            )
             with trace_span("dedup"):
                 pass  # class A only — each object appears once
             if not pieces:
                 return _EMPTY_IDS
             return np.concatenate(pieces)
+
+    def _fused_within(
+        self,
+        window: Rect,
+        ix0: int,
+        ix1: int,
+        iy0: int,
+        iy1: int,
+        pieces: list[np.ndarray],
+        stats: "QueryStats | None" = None,
+    ) -> None:
+        """Packed-backend "within" kernel: class A per plan-uniform region."""
+        store = self._store
+        nx = self.grid.nx
+        delta = self._delta_tiles_in_range(ix0, ix1, iy0, iy1)
+        delta_arr = np.asarray(delta, dtype=np.int64) if delta else None
+        for ax, bx, ay, by, plan in window_regions(ix0, ix1, iy0, iy1):
+            tids = (
+                np.arange(ay, by + 1, dtype=np.int64)[:, None] * nx
+                + np.arange(ax, bx + 1, dtype=np.int64)[None, :]
+            ).ravel()
+            if delta_arr is not None:
+                tids = tids[~np.isin(tids, delta_arr)]
+                if tids.shape[0] == 0:
+                    continue
+            keys = tids * 4  # class A groups
+            counts = store.live_counts_for(keys)
+            total = int(counts.sum())
+            if total == 0:
+                continue
+            n_comparisons = 2 + int(plan.at_x0) + int(plan.at_y0)
+            if stats is not None:
+                stats.partitions_visited += int(np.count_nonzero(counts))
+                stats.rects_scanned += total
+                stats.comparisons += n_comparisons * total
+                for _ in range(int(np.count_nonzero(counts))):
+                    stats.visit_class("A")
+            rows = store.gather(keys)
+            mask = (store.xu[rows] <= window.xu) & (store.yu[rows] <= window.yu)
+            if plan.at_x0:
+                mask &= store.xl[rows] >= window.xl
+            if plan.at_y0:
+                mask &= store.yl[rows] >= window.yl
+            pieces.append(store.ids[rows][mask])
+        for tile_id in delta:
+            self._scan_tile_within(
+                tile_id,
+                window,
+                tile_id % nx == ix0,
+                tile_id // nx == iy0,
+                pieces,
+                stats,
+            )
+
+    def _scan_tile_within(
+        self,
+        tile_id: int,
+        window: Rect,
+        at_x0: bool,
+        at_y0: bool,
+        pieces: list[np.ndarray],
+        stats: "QueryStats | None" = None,
+    ) -> None:
+        """Per-tile class-A scan for the "within" predicate."""
+        cols = self._partition_columns(tile_id, CLASS_A)
+        if cols is None:
+            return
+        xl, yl, xu, yu, ids = cols
+        if ids.shape[0] == 0:
+            return
+        if stats is not None:
+            stats.partitions_visited += 1
+            stats.rects_scanned += ids.shape[0]
+            stats.visit_class("A")
+        mask = (xu <= window.xu) & (yu <= window.yu)
+        n_comparisons = 2
+        if at_x0:
+            mask &= xl >= window.xl
+            n_comparisons += 1
+        if at_y0:
+            mask &= yl >= window.yl
+            n_comparisons += 1
+        if stats is not None:
+            stats.comparisons += n_comparisons * ids.shape[0]
+        pieces.append(ids[mask])
 
     def count_window(self, window: Rect) -> int:
         """Number of results of a window query (no id materialisation)."""
@@ -429,13 +994,16 @@ class TwoLayerGrid:
                 row_span, tile_jobs = self._disk_plan(query)
             pieces: list[np.ndarray] = []
             with trace_span("filter.scan"):
-                for tile_id, codes, covered, iy in tile_jobs:
-                    tables = self._tiles.get(tile_id)
-                    if tables is None:
-                        continue
-                    self._scan_tile_disk(
-                        tables, query, codes, covered, iy, row_span, pieces, stats
-                    )
+                if self._store is not None:
+                    self._fused_disk(query, row_span, tile_jobs, pieces, stats)
+                else:
+                    tiles = self._tiles
+                    for tile_id, codes, covered, iy in tile_jobs:
+                        if tile_id not in tiles:
+                            continue
+                        self._scan_tile_disk(
+                            tile_id, query, codes, covered, iy, row_span, pieces, stats
+                        )
             with trace_span("dedup"):
                 pass  # residual B/D duplicates removed in-scan (canonical tile)
             if not pieces:
@@ -492,9 +1060,99 @@ class TwoLayerGrid:
                 jobs.append((base + ix, tuple(codes), covered, iy))
         return row_span, jobs
 
+    def _fused_disk(
+        self,
+        query: DiskQuery,
+        row_span: dict[int, tuple[int, int]],
+        tile_jobs: list[tuple[int, tuple[int, ...], bool, int]],
+        pieces: list[np.ndarray],
+        stats: "QueryStats | None" = None,
+    ) -> None:
+        """Packed-backend disk kernel: jobs batched by (class, coverage).
+
+        All tiles scanning the same class with the same coverage status
+        are gathered and distance-tested in one vectorised pass; the
+        canonical-tile test for classes B/D runs on the stitched rows
+        with per-row tile-row indices.  Overlay tiles fall back to the
+        per-tile scan.
+        """
+        store = self._store
+        radius = query.radius
+        cx, cy = query.cx, query.cy
+        fused_jobs = []
+        delta_jobs = []
+        for job in tile_jobs:
+            (delta_jobs if job[0] in self._tiles else fused_jobs).append(job)
+        if fused_jobs:
+            if stats is not None:
+                tids = np.asarray([j[0] for j in fused_jobs], dtype=np.int64)
+                tile_tot = store.offsets[tids * 4 + 4] - store.offsets[tids * 4]
+                if store.n_dead:
+                    dpg = store.dead_per_group
+                    tile_tot = tile_tot - (
+                        dpg[tids * 4]
+                        + dpg[tids * 4 + 1]
+                        + dpg[tids * 4 + 2]
+                        + dpg[tids * 4 + 3]
+                    )
+                stats.partitions_visited += int(np.count_nonzero(tile_tot))
+            for code in (CLASS_A, CLASS_B, CLASS_C, CLASS_D):
+                for want_covered in (False, True):
+                    batch = [
+                        j
+                        for j in fused_jobs
+                        if j[2] is want_covered and code in j[1]
+                    ]
+                    if not batch:
+                        continue
+                    tids = np.asarray([j[0] for j in batch], dtype=np.int64)
+                    keys = tids * 4 + code
+                    counts = store.live_counts_for(keys)
+                    total = int(counts.sum())
+                    if total == 0:
+                        continue
+                    if stats is not None:
+                        stats.rects_scanned += total
+                        name = CLASS_NAMES[code]
+                        for _ in range(int(np.count_nonzero(counts))):
+                            stats.visit_class(name)
+                    rows = store.gather(keys)
+                    if want_covered:
+                        qual = np.ones(total, dtype=bool)
+                    else:
+                        dx = np.maximum(
+                            np.maximum(store.xl[rows] - cx, 0.0),
+                            cx - store.xu[rows],
+                        )
+                        dy = np.maximum(
+                            np.maximum(store.yl[rows] - cy, 0.0),
+                            cy - store.yu[rows],
+                        )
+                        qual = dx * dx + dy * dy <= radius * radius
+                        if stats is not None:
+                            stats.comparisons += 2 * total
+                    if code in (CLASS_B, CLASS_D):
+                        iys = np.repeat(
+                            np.asarray([j[3] for j in batch], dtype=np.int64),
+                            counts,
+                        )
+                        qual &= self._canonical_keep_rows(
+                            store.xl[rows],
+                            store.yl[rows],
+                            store.xu[rows],
+                            iys,
+                            row_span,
+                            stats,
+                        )
+                    pieces.append(store.ids[rows][qual])
+        for tile_id, codes, covered, iy in delta_jobs:
+            self._scan_tile_disk(
+                tile_id, query, codes, covered, iy, row_span, pieces, stats
+            )
+
     def _scan_tile_disk(
         self,
-        tables: list["TileTable | None"],
+        tile_id: int,
         query: DiskQuery,
         codes: tuple[int, ...],
         covered: bool,
@@ -506,13 +1164,20 @@ class TwoLayerGrid:
         """Scan one tile's relevant classes for one disk query."""
         radius = query.radius
         cx, cy = query.cx, query.cy
-        if stats is not None:
+        if self._store is None:
+            if tile_id not in self._tiles:
+                return
+            if stats is not None:
+                stats.partitions_visited += 1
+        elif stats is not None:
+            if not self._tile_has_rows(tile_id):
+                return
             stats.partitions_visited += 1
         for code in codes:
-            table = tables[code]
-            if table is None:
+            cols = self._partition_columns(tile_id, code)
+            if cols is None:
                 continue
-            xl, yl, xu, yu, ids = table.columns()
+            xl, yl, xu, yu, ids = cols
             if ids.shape[0] == 0:
                 continue
             if stats is not None:
@@ -539,14 +1204,27 @@ class TwoLayerGrid:
         row_span: dict[int, tuple[int, int]],
         stats: "QueryStats | None",
     ) -> np.ndarray:
+        """Keep mask for class-B/D rectangles of one tile (scalar row)."""
+        iys = np.full(xl.shape[0], iy, dtype=np.int64)
+        return self._canonical_keep_rows(xl, yl, xu, iys, row_span, stats)
+
+    def _canonical_keep_rows(
+        self,
+        xl: np.ndarray,
+        yl: np.ndarray,
+        xu: np.ndarray,
+        iys: np.ndarray,
+        row_span: dict[int, tuple[int, int]],
+        stats: "QueryStats | None",
+    ) -> np.ndarray:
         """Keep mask for class-B/D rectangles: is this their canonical tile?
 
         A rectangle's canonical reporting tile is the first tile (in
         row-major order) among the disk-intersecting tiles its MBR covers.
-        Class-B/D rectangles start above the current row, so the test scans
-        the rows between the rectangle's start row and the current row for
-        an overlap with the rectangle's column span; any overlap means the
-        rectangle was already reported there.
+        Class-B/D rectangles start above their scan row (``iys[k]``), so
+        the test scans the rows between the rectangle's start row and the
+        scan row for an overlap with the rectangle's column span; any
+        overlap means the rectangle was already reported there.
         """
         n = xl.shape[0]
         keep = np.ones(n, dtype=bool)
@@ -554,7 +1232,7 @@ class TwoLayerGrid:
         start_cols = self.grid.tile_ix_array(xl)
         end_cols = self.grid.tile_ix_array(xu)
         for k in range(n):
-            for j in range(int(start_rows[k]), iy):
+            for j in range(int(start_rows[k]), int(iys[k])):
                 span = row_span.get(j)
                 if span is None:
                     continue

@@ -22,13 +22,29 @@ from repro.errors import IndexStateError, InvalidGridError
 from repro.geometry.mbr import Rect, max_dist_point_rect, min_dist_point_rect
 from repro.grid.base import GridPartitioner, replicate
 from repro.grid.dedup import ActiveBorder, reference_point_keep_mask
-from repro.grid.storage import TileTable, group_rows
-from repro.obs.tracing import span as trace_span
+from repro.grid.storage import (
+    PackedStore,
+    TileTable,
+    group_rows,
+    resolve_storage_mode,
+)
+from repro.obs.tracing import active as tracing_active, span as trace_span
 from repro.stats import QueryStats
 
 __all__ = ["OneLayerGrid", "DEDUP_METHODS"]
 
 DEDUP_METHODS = ("refpoint", "hash", "active_border")
+
+
+def _axis_segments(lo: int, hi: int) -> list[tuple[int, int, bool, bool]]:
+    """Split ``[lo, hi]`` into runs of uniform (at-start, at-end) flags."""
+    if lo == hi:
+        return [(lo, hi, True, True)]
+    segments = [(lo, lo, True, False)]
+    if hi - lo > 1:
+        segments.append((lo + 1, hi - 1, False, False))
+    segments.append((hi, hi, False, True))
+    return segments
 
 
 class OneLayerGrid:
@@ -40,15 +56,34 @@ class OneLayerGrid:
         eliminated by the configured technique."""
         return self.dedup
 
-    def __init__(self, grid: GridPartitioner, dedup: str = "refpoint"):
+    def __init__(
+        self,
+        grid: GridPartitioner,
+        dedup: str = "refpoint",
+        storage: "str | None" = None,
+    ):
         if dedup not in DEDUP_METHODS:
             raise InvalidGridError(
                 f"unknown dedup method {dedup!r}; expected one of {DEDUP_METHODS}"
             )
         self.grid = grid
         self.dedup = dedup
+        self._packed = resolve_storage_mode(storage)
+        #: the CSR base (packed backend, one group per tile; None until
+        #: bulk load).
+        self._store: "PackedStore | None" = None
+        #: the whole index (legacy backend) / delta overlay (packed).
         self._tiles: dict[int, TileTable] = {}
         self._n_objects = 0
+        # Lazy per-row query matrix + per-tile row extents (packed base
+        # only); rebuilt after compact().
+        self._fast_q: "np.ndarray | None" = None
+        self._tile_row_bounds: "list[int] | None" = None
+
+    @property
+    def storage(self) -> str:
+        """The physical backend: ``"packed"`` or ``"legacy"``."""
+        return "packed" if self._packed else "legacy"
 
     # -- construction ------------------------------------------------------
 
@@ -59,6 +94,7 @@ class OneLayerGrid:
         partitions_per_dim: int = 128,
         domain: "Rect | None" = None,
         dedup: str = "refpoint",
+        storage: "str | None" = None,
     ) -> "OneLayerGrid":
         """Bulk-load the grid from a dataset.
 
@@ -70,21 +106,34 @@ class OneLayerGrid:
             partitions_per_dim,
             domain if domain is not None else Rect(0.0, 0.0, 1.0, 1.0),
         )
-        index = cls(grid, dedup=dedup)
+        index = cls(grid, dedup=dedup, storage=storage)
         index._bulk_load(data)
         return index
 
     def _bulk_load(self, data: RectDataset) -> None:
         rep = replicate(data, self.grid)
-        for tile_id, rows in group_rows(rep.tile_ids):
-            obj = rep.obj_ids[rows]
-            self._tiles[tile_id] = TileTable(
-                data.xl[obj].copy(),
-                data.yl[obj].copy(),
-                data.xu[obj].copy(),
-                data.yu[obj].copy(),
-                obj.copy(),
+        if self._packed:
+            obj = rep.obj_ids
+            self._store = PackedStore.from_rows(
+                self.grid.nx * self.grid.ny,
+                1,
+                rep.tile_ids,
+                data.xl[obj],
+                data.yl[obj],
+                data.xu[obj],
+                data.yu[obj],
+                obj.astype(np.int64, copy=False),
             )
+        else:
+            for tile_id, rows in group_rows(rep.tile_ids):
+                obj = rep.obj_ids[rows]
+                self._tiles[tile_id] = TileTable(
+                    data.xl[obj].copy(),
+                    data.yl[obj].copy(),
+                    data.xu[obj].copy(),
+                    data.yu[obj].copy(),
+                    obj.copy(),
+                )
         self._n_objects = len(data)
 
     def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
@@ -118,6 +167,7 @@ class OneLayerGrid:
         iy0 = self.grid.tile_iy(rect.yl)
         iy1 = self.grid.tile_iy(rect.yu)
         removed = 0
+        store = self._store
         for iy in range(iy0, iy1 + 1):
             base = iy * self.grid.nx
             for ix in range(ix0, ix1 + 1):
@@ -126,7 +176,96 @@ class OneLayerGrid:
                     removed += table.delete(obj_id)
                     if len(table) == 0:
                         del self._tiles[base + ix]
+                if store is not None:
+                    removed += store.mark_dead(store.find_rows(base + ix, obj_id))
         return removed > 0
+
+    # -- storage accessors -------------------------------------------------
+
+    def _tile_columns(self, tile_id: int) -> "tuple[np.ndarray, ...] | None":
+        """Live ``(xl, yl, xu, yu, ids)`` of one tile (base + overlay)."""
+        base = None
+        if self._store is not None:
+            base = self._store.group_columns(tile_id)
+        table = self._tiles.get(tile_id)
+        delta = (
+            table.columns() if table is not None and len(table) else None
+        )
+        if base is None:
+            return delta
+        if delta is None:
+            return base
+        return tuple(np.concatenate([b, d]) for b, d in zip(base, delta))
+
+    def _tile_has_rows(self, tile_id: int) -> bool:
+        if tile_id in self._tiles:
+            return True
+        store = self._store
+        if store is None:
+            return False
+        return int(store.live_counts_for(np.asarray([tile_id]))[0]) > 0
+
+    def _delta_tiles_in_range(
+        self, ix0: int, ix1: int, iy0: int, iy1: int
+    ) -> list[int]:
+        """Sorted overlay tile ids inside a tile range."""
+        tiles = self._tiles
+        if not tiles:
+            return []
+        nx = self.grid.nx
+        if len(tiles) <= (ix1 - ix0 + 1) * (iy1 - iy0 + 1):
+            out = [
+                tid
+                for tid in tiles
+                if ix0 <= tid % nx <= ix1 and iy0 <= tid // nx <= iy1
+            ]
+        else:
+            out = [
+                base + ix
+                for iy in range(iy0, iy1 + 1)
+                for base in (iy * nx,)
+                for ix in range(ix0, ix1 + 1)
+                if base + ix in tiles
+            ]
+        out.sort()
+        return out
+
+    def compact(self) -> None:
+        """Fold the delta overlay and tombstones into a fresh packed base.
+
+        Explicit only, mirroring :meth:`TwoLayerGrid.compact`; no-op for
+        the legacy backend.
+        """
+        if not self._packed:
+            return
+        parts_keys: list[np.ndarray] = []
+        parts_cols: list[tuple[np.ndarray, ...]] = []
+        if self._store is not None:
+            keys, xl, yl, xu, yu, ids = self._store.flat_live_rows()
+            parts_keys.append(keys)
+            parts_cols.append((xl, yl, xu, yu, ids))
+        for tile_id, table in self._tiles.items():
+            if len(table) == 0:
+                continue
+            cols = table.columns()
+            parts_keys.append(
+                np.full(cols[4].shape[0], tile_id, dtype=np.int64)
+            )
+            parts_cols.append(cols)
+        if parts_keys:
+            keys = np.concatenate(parts_keys)
+            cols = [
+                np.concatenate([p[c] for p in parts_cols]) for c in range(5)
+            ]
+        else:
+            keys = np.empty(0, dtype=np.int64)
+            cols = [np.empty(0, dtype=np.float64)] * 4 + [keys]
+        self._store = PackedStore.from_rows(
+            self.grid.nx * self.grid.ny, 1, keys, *cols
+        )
+        self._tiles = {}
+        self._fast_q = None
+        self._tile_row_bounds = None
 
     # -- introspection -----------------------------------------------------
 
@@ -136,15 +275,26 @@ class OneLayerGrid:
     @property
     def replica_count(self) -> int:
         """Total stored entries (object replicas) — the Fig. 7 size metric."""
-        return sum(len(t) for t in self._tiles.values())
+        total = sum(len(t) for t in self._tiles.values())
+        if self._store is not None:
+            total += self._store.n_live
+        return total
 
     @property
     def nbytes(self) -> int:
-        return sum(t.nbytes for t in self._tiles.values())
+        total = sum(t.nbytes for t in self._tiles.values())
+        if self._store is not None:
+            total += self._store.nbytes
+        return total
 
     @property
     def nonempty_tiles(self) -> int:
-        return len(self._tiles)
+        if self._store is None:
+            return len(self._tiles)
+        counts = self._store.group_counts()
+        n = int(np.count_nonzero(counts))
+        n += sum(1 for tile_id in self._tiles if counts[tile_id] == 0)
+        return n
 
     def __repr__(self) -> str:
         return (
@@ -168,6 +318,27 @@ class OneLayerGrid:
         """
         if self._n_objects == 0:
             return np.empty(0, dtype=np.int64)
+        if (
+            stats is None
+            and self._store is not None
+            and not self._tiles
+            and not self._store.n_dead
+            and self.dedup != "active_border"
+            and tracing_active() is None
+        ):
+            g = self.grid
+            d = g.domain
+            ix0 = int((window.xl - d.xl) / g.tile_w)
+            ix1 = int((window.xu - d.xl) / g.tile_w)
+            iy0 = int((window.yl - d.yl) / g.tile_h)
+            iy1 = int((window.yu - d.yl) / g.tile_h)
+            last = g.nx - 1
+            ix0 = 0 if ix0 < 0 else (last if ix0 > last else ix0)
+            ix1 = 0 if ix1 < 0 else (last if ix1 > last else ix1)
+            last = g.ny - 1
+            iy0 = 0 if iy0 < 0 else (last if iy0 > last else iy0)
+            iy1 = 0 if iy1 < 0 else (last if iy1 > last else iy1)
+            return self._fused_window_fast(window, ix0, ix1, iy0, iy1)
         with trace_span("query.window"):
             with trace_span("filter.lookup"):
                 ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
@@ -190,6 +361,105 @@ class OneLayerGrid:
                     return deduped
                 return out
 
+    def _build_fast_q(self) -> np.ndarray:
+        """Precompute the per-row query matrix over the packed base.
+
+        Eight conditions per row, condition-major so each per-slab
+        reduction is a handful of contiguous vectorised passes: four
+        window-intersection thresholds plus four that encode the
+        reference-point test of Dittrich & Seeger as ``>=`` comparisons.
+        A row in tile ``(tx, ty)`` is the reporting replica iff
+        ``tx == max(ref_ix, ix0)`` (same in y), where ``ref_ix`` is the
+        tile of its own lower-left corner.  Rows stored in their own tile
+        (``tx == ref_ix``) pass vacuously — the slab guarantees
+        ``tx >= ix0`` — so their dedup columns are ``+inf``; replicated
+        rows must see ``ref_ix < ix0`` and ``tx == ix0``, i.e.
+        ``-ref_ix >= -(ix0 - 1)`` and ``-tx >= -ix0``.
+        """
+        store = self._store
+        grid = self.grid
+        nx = grid.nx
+        counts = np.diff(store.offsets)
+        tiles = np.repeat(
+            np.arange(store.offsets.shape[0] - 1, dtype=np.int64), counts
+        )
+        tx = tiles % nx
+        ty = tiles // nx
+        ref_ix = grid.tile_ix_array(store.xl)
+        ref_iy = grid.tile_iy_array(store.yl)
+        q = np.empty((8, store.n_rows), dtype=np.float64)
+        q[0] = store.xu
+        q[1] = -store.xl
+        q[2] = store.yu
+        q[3] = -store.yl
+        own_x = tx == ref_ix
+        own_y = ty == ref_iy
+        q[4] = np.where(own_x, np.inf, -ref_ix)
+        q[5] = np.where(own_x, np.inf, -tx)
+        q[6] = np.where(own_y, np.inf, -ref_iy)
+        q[7] = np.where(own_y, np.inf, -ty)
+        self._fast_q = q
+        # One group per tile, so the CSR offsets are the row extents
+        # directly; a Python list hands back plain ints cheaper than
+        # NumPy scalar extraction.
+        self._tile_row_bounds = store.offsets.tolist()
+        return q
+
+    def _fused_window_fast(
+        self, window: Rect, ix0: int, ix1: int, iy0: int, iy1: int
+    ) -> np.ndarray:
+        """Stats-free window kernel: one comparison pass per grid row.
+
+        Each grid row of the query rectangle is one contiguous CSR slab;
+        the precomputed matrix folds intersection and reference-point
+        dedup into a single broadcast ``>=``.  The hash technique skips
+        the dedup columns and squashes duplicates terminally; the
+        stats-carrying scan keeps the paper's exact §IV-B comparison
+        accounting.
+        """
+        q = self._fast_q
+        if q is None:
+            q = self._build_fast_q()
+        tb = self._tile_row_bounds
+        ids = self._store.ids
+        ge = np.greater_equal
+        band = np.logical_and.reduce
+        if self.dedup == "refpoint":
+            bounds = np.array(
+                [
+                    window.xl,
+                    -window.xu,
+                    window.yl,
+                    -window.yu,
+                    float(-(ix0 - 1)),
+                    float(-ix0),
+                    float(-(iy0 - 1)),
+                    float(-iy0),
+                ]
+            ).reshape(8, 1)
+        else:  # hash: plain intersection filter, duplicates squashed below
+            q = q[:4]
+            bounds = np.array(
+                [window.xl, -window.xu, window.yl, -window.yu]
+            ).reshape(4, 1)
+        lo = iy0 * self.grid.nx + ix0
+        width = ix1 - ix0 + 1
+        pieces: list[np.ndarray] = []
+        for _ in range(iy0, iy1 + 1):
+            s0 = tb[lo]
+            s1 = tb[lo + width]
+            lo += self.grid.nx
+            if s0 == s1:
+                continue
+            keep = band(ge(q[:, s0:s1], bounds), axis=0)
+            pieces.append(ids[s0:s1][keep])
+        if not pieces:
+            return np.empty(0, dtype=np.int64)
+        out = pieces[0] if len(pieces) == 1 else np.concatenate(pieces)
+        if self.dedup == "hash":
+            return np.unique(out)
+        return out
+
     def _scan_window_tiles(
         self,
         window: Rect,
@@ -199,7 +469,14 @@ class OneLayerGrid:
         iy1: int,
         stats: "QueryStats | None",
     ) -> list[np.ndarray]:
-        """Per-tile candidate scan (with in-scan dedup for refpoint/border)."""
+        """Per-tile candidate scan (with in-scan dedup for refpoint/border).
+
+        The packed backend runs the fused region kernel for the refpoint
+        and hash techniques; the active-border sweep is inherently
+        sequential in row-major tile order, so it always scans per tile.
+        """
+        if self._store is not None and self.dedup != "active_border":
+            return self._fused_window_tiles(window, ix0, ix1, iy0, iy1, stats)
         pieces: list[np.ndarray] = []
         border = ActiveBorder() if self.dedup == "active_border" else None
         for iy in range(iy0, iy1 + 1):
@@ -207,10 +484,10 @@ class OneLayerGrid:
                 border.start_row(iy)
             base = iy * self.grid.nx
             for ix in range(ix0, ix1 + 1):
-                table = self._tiles.get(base + ix)
-                if table is None:
+                cols = self._tile_columns(base + ix)
+                if cols is None:
                     continue
-                xl, yl, xu, yu, ids = table.columns()
+                xl, yl, xu, yu, ids = cols
                 if stats is not None:
                     stats.partitions_visited += 1
                     stats.rects_scanned += ids.shape[0]
@@ -256,6 +533,129 @@ class OneLayerGrid:
                         elif stats is not None:
                             stats.duplicates_generated += 1
                     pieces.append(np.asarray(kept, dtype=np.int64))
+        return pieces
+
+    def _fused_window_tiles(
+        self,
+        window: Rect,
+        ix0: int,
+        ix1: int,
+        iy0: int,
+        iy1: int,
+        stats: "QueryStats | None",
+    ) -> list[np.ndarray]:
+        """Packed-backend window kernel (refpoint / hash dedup).
+
+        The tile range decomposes into at most 9 regions of uniform
+        §IV-B comparison sets; each region is one offsets walk over the
+        CSR base plus one vectorised comparison pass — including the
+        reference-point test, which generalises across tiles by carrying
+        per-row tile coordinates.  Overlay tiles fall back to per-tile.
+        """
+        store = self._store
+        grid = self.grid
+        nx = grid.nx
+        pieces: list[np.ndarray] = []
+        delta = self._delta_tiles_in_range(ix0, ix1, iy0, iy1)
+        delta_arr = np.asarray(delta, dtype=np.int64) if delta else None
+        for ay, by, at_y0, at_y1 in _axis_segments(iy0, iy1):
+            for ax, bx, at_x0, at_x1 in _axis_segments(ix0, ix1):
+                tids = (
+                    np.arange(ay, by + 1, dtype=np.int64)[:, None] * nx
+                    + np.arange(ax, bx + 1, dtype=np.int64)[None, :]
+                ).ravel()
+                if delta_arr is not None:
+                    tids = tids[~np.isin(tids, delta_arr)]
+                    if tids.shape[0] == 0:
+                        continue
+                counts = store.live_counts_for(tids)
+                total = int(counts.sum())
+                if total == 0:
+                    continue
+                n_comparisons = (
+                    int(at_x0) + int(at_x1) + int(at_y0) + int(at_y1)
+                )
+                if stats is not None:
+                    stats.partitions_visited += int(np.count_nonzero(counts))
+                    stats.rects_scanned += total
+                    stats.comparisons += n_comparisons * total
+                    for _ in range(int(np.count_nonzero(counts))):
+                        stats.visit_class("tile")
+                rows = store.gather(tids)
+                mask: "np.ndarray | None" = None
+                if at_x0:
+                    mask = store.xu[rows] >= window.xl
+                if at_x1:
+                    m = store.xl[rows] <= window.xu
+                    mask = m if mask is None else mask & m
+                if at_y0:
+                    m = store.yu[rows] >= window.yl
+                    mask = m if mask is None else mask & m
+                if at_y1:
+                    m = store.yl[rows] <= window.yu
+                    mask = m if mask is None else mask & m
+                if mask is None:
+                    cand_rows = rows
+                else:
+                    cand_rows = rows[mask]
+                if cand_rows.shape[0] == 0:
+                    continue
+                cand_ids = store.ids[cand_rows]
+                if self.dedup == "hash":
+                    pieces.append(cand_ids)
+                    continue
+                # Reference-point test over the stitched rows: each row
+                # keeps its own tile coordinates.
+                tix_rows = np.repeat(tids % nx, counts)
+                tiy_rows = np.repeat(tids // nx, counts)
+                if mask is not None:
+                    tix_rows = tix_rows[mask]
+                    tiy_rows = tiy_rows[mask]
+                px = np.maximum(store.xl[cand_rows], window.xl)
+                py = np.maximum(store.yl[cand_rows], window.yl)
+                keep = (grid.tile_ix_array(px) == tix_rows) & (
+                    grid.tile_iy_array(py) == tiy_rows
+                )
+                if stats is not None:
+                    stats.dedup_checks += cand_ids.shape[0]
+                    stats.duplicates_generated += int(
+                        cand_ids.shape[0] - keep.sum()
+                    )
+                pieces.append(cand_ids[keep])
+        for tile_id in delta:
+            ix = tile_id % nx
+            iy = tile_id // nx
+            cols = self._tile_columns(tile_id)
+            if cols is None:
+                continue
+            xl, yl, xu, yu, ids = cols
+            if stats is not None:
+                stats.partitions_visited += 1
+                stats.rects_scanned += ids.shape[0]
+                stats.visit_class("tile")
+            mask = self._window_mask(
+                xl, yl, xu, yu, window, ix, ix0, ix1, iy, iy0, iy1, stats
+            )
+            if mask is None:
+                cand_xl, cand_yl, cand_ids = xl, yl, ids
+            else:
+                cand_xl = xl[mask]
+                cand_yl = yl[mask]
+                cand_ids = ids[mask]
+            if cand_ids.shape[0] == 0:
+                continue
+            if self.dedup == "hash":
+                pieces.append(cand_ids)
+                continue
+            keep = reference_point_keep_mask(
+                cand_xl, cand_yl, window, grid, ix, iy
+            )
+            if stats is not None:
+                stats.dedup_checks += cand_ids.shape[0]
+                stats.duplicates_generated += int(
+                    cand_ids.shape[0] - keep.sum()
+                )
+            pieces.append(cand_ids[keep])
         return pieces
 
     @staticmethod
@@ -348,10 +748,10 @@ class OneLayerGrid:
                 # still visited — a candidate's reference point may fall in
                 # them, and this extra work is precisely the 1-layer
                 # baseline's handicap on disk queries.
-                table = self._tiles.get(base + ix)
-                if table is None:
+                cols = self._tile_columns(base + ix)
+                if cols is None:
                     continue
-                xl, yl, xu, yu, ids = table.columns()
+                xl, yl, xu, yu, ids = cols
                 if stats is not None:
                     stats.partitions_visited += 1
                     stats.rects_scanned += ids.shape[0]
@@ -395,10 +795,18 @@ class OneLayerGrid:
     # -- helpers for tests ------------------------------------------------------
 
     def tile_table(self, ix: int, iy: int) -> "TileTable | None":
-        """The raw tile storage (testing / inspection only)."""
+        """The raw tile storage (testing / inspection only).
+
+        Under the packed backend the returned table is a merged read-only
+        view of base + overlay; mutate through :meth:`insert`/:meth:`delete`.
+        """
         if not (0 <= ix < self.grid.nx and 0 <= iy < self.grid.ny):
             raise IndexStateError(f"tile ({ix}, {iy}) outside the grid")
-        return self._tiles.get(self.grid.tile_id(ix, iy))
+        tile_id = self.grid.tile_id(ix, iy)
+        if self._store is None:
+            return self._tiles.get(tile_id)
+        cols = self._tile_columns(tile_id)
+        return None if cols is None else TileTable(*cols)
 
     def explain_partitions(
         self, window: Rect
@@ -412,8 +820,8 @@ class OneLayerGrid:
         for iy in range(iy0, iy1 + 1):
             base = iy * self.grid.nx
             for ix in range(ix0, ix1 + 1):
-                table = self._tiles.get(base + ix)
-                if table is None or len(table) == 0:
+                cols = self._tile_columns(base + ix)
+                if cols is None or cols[4].shape[0] == 0:
                     continue
-                out.append((self.grid.tile_rect(ix, iy), table.columns()[4]))
+                out.append((self.grid.tile_rect(ix, iy), cols[4]))
         return out

@@ -11,6 +11,14 @@ holding version *v* therefore sees version *v* forever: no torn batches,
 no reader/writer blocking, and memory cost proportional to the touched
 tiles, not the index.
 
+Under the packed storage backend the bulk-loaded base is an immutable
+:class:`~repro.grid.storage.PackedStore` shared *by reference* across
+every forked version — publishing a new snapshot costs one delta-dict
+copy, never a base copy.  Inserts land in the fork's copy-on-write delta
+overlay exactly like legacy tiles; deletes that hit base rows fork the
+tombstone bitmap (:meth:`~repro.grid.storage.PackedStore
+.with_private_dead`) so the published version's base stays untouched.
+
 Invariant: every :class:`~repro.grid.storage.TileTable` reachable from a
 published snapshot is *compacted* (no pending append tail).  Bulk
 loading and this module's COW constructors only ever produce compacted
@@ -60,7 +68,10 @@ def _tile_range(grid, rect: Rect):
 
 
 def _shallow_fork(index: TwoLayerGrid) -> TwoLayerGrid:
-    fork = TwoLayerGrid(index.grid)
+    fork = TwoLayerGrid(index.grid, storage=index.storage)
+    fork._store = index._store  # immutable base shared by reference
+    fork._fast_q = index._fast_q  # derived caches: same base, same rows
+    fork._tile_row_bounds = index._tile_row_bounds
     fork._tiles = dict(index._tiles)
     fork._n_objects = index._n_objects
     return fork
@@ -173,13 +184,27 @@ class SnapshotStore:
             fork = _shallow_fork(index)
             ix0, ix1, iy0, iy1 = _tile_range(index.grid, rect)
             removed = 0
+            base_store = fork._store
+            forked_store = None
             for iy in range(iy0, iy1 + 1):
                 base = iy * index.grid.nx
                 for ix in range(ix0, ix1 + 1):
+                    code = 2 * (ix > ix0) + (iy > iy0)
+                    if base_store is not None:
+                        # Base rows are tombstoned on a private copy of
+                        # the dead bitmap (allocated lazily on the first
+                        # hit); the published base stays immutable.
+                        rows = (forked_store or base_store).find_rows(
+                            (base + ix) * 4 + code, obj_id
+                        )
+                        if rows.shape[0]:
+                            if forked_store is None:
+                                forked_store = base_store.with_private_dead()
+                                fork._store = forked_store
+                            removed += forked_store.mark_dead(rows)
                     old_tables = fork._tiles.get(base + ix)
                     if old_tables is None:
                         continue
-                    code = 2 * (ix > ix0) + (iy > iy0)
                     old = old_tables[code]
                     if old is None:
                         continue
