@@ -18,7 +18,6 @@ from __future__ import annotations
 import time
 from functools import lru_cache
 
-import pytest
 
 from repro.bench import print_series, tiger_dataset, window_workload
 from repro.distributed import SimulatedSpatialCluster

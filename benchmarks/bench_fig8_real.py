@@ -10,7 +10,6 @@ is stable across datasets.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.bench import (

@@ -1,0 +1,287 @@
+"""``repro-lint``: the repo-aware AST linter.
+
+Usage::
+
+    python -m repro.analysis.lint src/            # lint a tree, exit 1 on findings
+    python -m repro.analysis.lint --list-rules    # print the rule catalogue
+    python -m repro.analysis.lint --select REP001,REP104 src/
+
+Rules live in :mod:`repro.analysis.rules`; each has a stable ``REPnnn``
+code, a one-line summary (its class docstring) and, where the contract is
+scoped to a package (geometry, server, core/grid), a ``scope`` of path
+segments it applies to.  Findings print as ``path:line:col: CODE message``.
+
+Suppressions
+------------
+
+A finding on line *n* is suppressed by a trailing comment on that line::
+
+    if best == 0.0:  # repro-lint: disable=REP001
+
+Several codes may be given, comma-separated.  A whole file opts out of a
+rule with a comment line anywhere in the file::
+
+    # repro-lint: disable-file=REP104
+
+``disable=all`` / ``disable-file=all`` suppress every rule.  Suppression
+comments are exact-match on the code — they are *visible* waivers, the
+moral equivalent of ``# type: ignore[code]``, and the rule catalogue in
+``docs/static-analysis.md`` asks each one to carry a justification nearby.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import re
+import sys
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "ModuleInfo",
+    "lint_paths",
+    "lint_source",
+    "main",
+]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+@dataclass
+class ModuleInfo:
+    """A parsed module plus the path context rules scope on."""
+
+    path: str
+    #: path segments (e.g. ``("src", "repro", "geometry", "mbr.py")``),
+    #: used by scoped rules to decide whether they apply.
+    segments: tuple[str, ...]
+    tree: ast.Module
+    source: str
+    #: line -> set of codes disabled on that line ("all" disables all).
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    #: codes disabled for the whole file ("all" disables all).
+    file_disables: set[str] = field(default_factory=set)
+
+    def in_package(self, *names: str) -> bool:
+        """Whether the module sits under any of the given path segments."""
+        return any(name in self.segments[:-1] for name in names)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        if "all" in self.file_disables or code in self.file_disables:
+            return True
+        disabled = self.line_disables.get(line)
+        return disabled is not None and ("all" in disabled or code in disabled)
+
+
+class LintRule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`code` and :attr:`name`, write a docstring (the
+    catalogue summary), optionally restrict themselves with
+    :attr:`scope` (path segments), and implement :meth:`check`.
+    """
+
+    code: str = "REP000"
+    name: str = "abstract-rule"
+    #: path segments the rule applies to; None = every module.
+    scope: "tuple[str, ...] | None" = None
+
+    def applies_to(self, mod: ModuleInfo) -> bool:
+        return self.scope is None or mod.in_package(*self.scope)
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, mod: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=mod.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+    @classmethod
+    def summary(cls) -> str:
+        doc = cls.__doc__ or ""
+        return doc.strip().splitlines()[0] if doc.strip() else ""
+
+
+def _collect_suppressions(source: str) -> tuple[dict[int, set[str]], set[str]]:
+    """Parse ``# repro-lint:`` comments into per-line and per-file sets."""
+    line_disables: dict[int, set[str]] = {}
+    file_disables: set[str] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            kind, raw = match.groups()
+            codes = {c.strip() for c in raw.split(",") if c.strip()}
+            if kind == "disable-file":
+                file_disables |= codes
+            else:
+                line_disables.setdefault(tok.start[0], set()).update(codes)
+    except tokenize.TokenError:
+        pass
+    return line_disables, file_disables
+
+
+def parse_module(path: str, source: str) -> "ModuleInfo | None":
+    """Parse one file into a :class:`ModuleInfo`; None on syntax error."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError:
+        return None
+    segments = tuple(Path(path).as_posix().split("/"))
+    line_disables, file_disables = _collect_suppressions(source)
+    return ModuleInfo(
+        path=path,
+        segments=segments,
+        tree=tree,
+        source=source,
+        line_disables=line_disables,
+        file_disables=file_disables,
+    )
+
+
+def default_rules() -> "list[LintRule]":
+    from repro.analysis.rules import ALL_RULES
+
+    return [cls() for cls in ALL_RULES]
+
+
+def lint_source(
+    path: str, source: str, rules: "Sequence[LintRule] | None" = None
+) -> list[Finding]:
+    """Lint one in-memory module; the unit the fixture tests drive."""
+    if rules is None:
+        rules = default_rules()
+    mod = parse_module(path, source)
+    if mod is None:
+        return [
+            Finding(
+                path=path,
+                line=1,
+                col=1,
+                code="REP000",
+                message="file does not parse; repro-lint needs valid syntax",
+            )
+        ]
+    findings: list[Finding] = []
+    for rule in rules:
+        if not rule.applies_to(mod):
+            continue
+        for finding in rule.check(mod):
+            if not mod.suppressed(finding.code, finding.line):
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return findings
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
+    skip_dirs = {"__pycache__", ".git", "build", "dist"}
+    for raw in paths:
+        p = Path(raw)
+        if p.is_file():
+            if p.suffix == ".py":
+                yield p
+            continue
+        for sub in sorted(p.rglob("*.py")):
+            parts = set(sub.parts)
+            if parts & skip_dirs or any(
+                part.endswith(".egg-info") for part in sub.parts
+            ):
+                continue
+            yield sub
+
+
+def lint_paths(
+    paths: Iterable[str], rules: "Sequence[LintRule] | None" = None
+) -> list[Finding]:
+    """Lint files and trees; returns every unsuppressed finding."""
+    if rules is None:
+        rules = default_rules()
+    findings: list[Finding] = []
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        findings.extend(lint_source(path.as_posix(), source, rules))
+    return findings
+
+
+def _select(rules: "list[LintRule]", spec: "str | None") -> list[LintRule]:
+    if not spec:
+        return rules
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    unknown = wanted - {rule.code for rule in rules}
+    if unknown:
+        raise SystemExit(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return [rule for rule in rules if rule.code in wanted]
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.lint",
+        description="Domain-aware static analysis for the repro codebase.",
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    args = parser.parse_args(argv)
+
+    rules = _select(default_rules(), args.select)
+    if args.list_rules:
+        for rule in rules:
+            scope = (
+                "/".join(rule.scope) if rule.scope else "everywhere"
+            )
+            print(f"{rule.code}  {rule.name}  [{scope}]")
+            print(f"    {rule.summary()}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (try: python -m repro.analysis.lint src/)")
+
+    findings = lint_paths(args.paths, rules)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

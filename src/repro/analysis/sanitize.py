@@ -1,0 +1,282 @@
+"""Runtime sanitizer for the packed/concurrent core (``REPRO_SANITIZE=1``).
+
+When enabled, the storage and serving layers call into this module at
+their invariant boundaries:
+
+* **build/compact** — :func:`check_packed_store` validates the CSR base:
+  offsets monotone, ``offsets[0] == 0``, ``offsets[-1] == n_rows``, all
+  five columns equally long, and the tombstone state (bitmap length,
+  per-group counts, total) internally consistent.
+* **publish** — :func:`check_snapshot` re-validates the published base,
+  checks the delta overlay is disjoint from live base rows
+  (:func:`check_delta_disjoint`), and freezes the base columns so a
+  stray in-place write raises immediately.
+* **query** — :func:`on_window_query` cross-checks a *sample* of window
+  results against a naive per-tile scan (every
+  ``REPRO_SANITIZE_SAMPLE``-th query, default 16), catching dedup or
+  kernel regressions the moment they produce a wrong id set.
+
+Every violation raises :class:`SanitizerError` carrying the failed check
+name and a structured detail mapping — grep-able in logs, assertable in
+tests.  With ``REPRO_SANITIZE`` unset the hooks are a single cached
+env-read and branch.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.grid.storage import PackedStore
+
+__all__ = [
+    "SanitizerError",
+    "enabled",
+    "check_packed_store",
+    "check_delta_disjoint",
+    "check_snapshot",
+    "freeze_array",
+    "naive_window_ids",
+    "on_window_query",
+    "verify_window_result",
+]
+
+
+class SanitizerError(ReproError):
+    """A runtime invariant violation caught by the sanitizer."""
+
+    def __init__(self, check: str, where: str, details: "Mapping[str, Any]"):
+        self.check = check
+        self.where = where
+        self.details = dict(details)
+        detail_str = ", ".join(f"{k}={v!r}" for k, v in self.details.items())
+        super().__init__(f"sanitizer: {check} failed at {where} ({detail_str})")
+
+
+def enabled() -> bool:
+    """Whether the sanitizer is on (``REPRO_SANITIZE`` set and not 0)."""
+    return os.environ.get("REPRO_SANITIZE", "0") not in ("", "0")
+
+
+def _sample_every() -> int:
+    raw = os.environ.get("REPRO_SANITIZE_SAMPLE", "16")
+    try:
+        return max(1, int(raw))
+    except ValueError:
+        return 16
+
+
+def _fail(check: str, where: str, **details: Any) -> None:
+    raise SanitizerError(check, where, details)
+
+
+# -- PackedStore invariants ------------------------------------------------
+
+
+def check_packed_store(store: "PackedStore", where: str) -> None:
+    """Validate the CSR invariants of one packed base."""
+    offsets = store.offsets
+    n_rows = store.ids.shape[0]
+    if offsets.ndim != 1 or offsets.shape[0] < 1:
+        _fail("offsets_shape", where, shape=offsets.shape)
+    if int(offsets[0]) != 0:
+        _fail("offsets_origin", where, first=int(offsets[0]))
+    if np.any(np.diff(offsets) < 0):
+        bad = int(np.flatnonzero(np.diff(offsets) < 0)[0])
+        _fail(
+            "offsets_monotone",
+            where,
+            group=bad,
+            at=int(offsets[bad]),
+            next=int(offsets[bad + 1]),
+        )
+    if int(offsets[-1]) != n_rows:
+        _fail("offsets_cover_rows", where, tail=int(offsets[-1]), n_rows=n_rows)
+    n_groups = offsets.shape[0] - 1
+    if n_groups % max(store.n_classes, 1) != 0:
+        _fail(
+            "groups_divisible_by_classes",
+            where,
+            n_groups=n_groups,
+            n_classes=store.n_classes,
+        )
+    for name in ("xl", "yl", "xu", "yu"):
+        col = getattr(store, name)
+        if col.shape[0] != n_rows:
+            _fail("column_length", where, column=name, length=col.shape[0], n_rows=n_rows)
+    if store.dead is None:
+        if store.n_dead != 0:
+            _fail("dead_count_without_bitmap", where, n_dead=store.n_dead)
+        return
+    if store.dead.shape[0] != n_rows:
+        _fail(
+            "tombstone_bitmap_bounds",
+            where,
+            bitmap=store.dead.shape[0],
+            n_rows=n_rows,
+        )
+    if store.dead_per_group is None or store.dead_per_group.shape[0] != n_groups:
+        _fail(
+            "tombstone_group_counts_shape",
+            where,
+            groups=n_groups,
+            counts=None
+            if store.dead_per_group is None
+            else store.dead_per_group.shape[0],
+        )
+    total = int(store.dead.sum())
+    if total != store.n_dead:
+        _fail("tombstone_total", where, bitmap_total=total, n_dead=store.n_dead)
+    dead_rows = np.flatnonzero(store.dead)
+    groups = np.searchsorted(offsets, dead_rows, side="right") - 1
+    per_group = np.bincount(groups, minlength=n_groups)
+    if not np.array_equal(per_group, store.dead_per_group):
+        bad = int(np.flatnonzero(per_group != store.dead_per_group)[0])
+        _fail(
+            "tombstone_group_counts",
+            where,
+            group=bad,
+            actual=int(per_group[bad]),
+            recorded=int(store.dead_per_group[bad]),
+        )
+
+
+def check_delta_disjoint(
+    store: "PackedStore",
+    tiles: "Mapping[int, Any]",
+    where: str,
+    n_classes: "int | None" = None,
+) -> None:
+    """The delta overlay must never duplicate a live base row's id.
+
+    ``tiles`` maps tile id to either one TileTable (1-layer) or a list of
+    per-class tables (2-layer); a delta id that is also live in the same
+    tile's base rows would be returned twice by every query.
+    """
+    n_classes = store.n_classes if n_classes is None else n_classes
+    for tile_id, entry in tiles.items():
+        tables = entry if isinstance(entry, (list, tuple)) else [entry]
+        for code, table in enumerate(tables):
+            if table is None:
+                continue
+            _, _, _, _, delta_ids = table.columns()
+            if delta_ids.shape[0] == 0:
+                continue
+            for base_code in range(n_classes):
+                cols = store.group_columns(tile_id * n_classes + base_code)
+                if cols is None:
+                    continue
+                overlap = np.intersect1d(delta_ids, cols[4])
+                if overlap.shape[0]:
+                    _fail(
+                        "delta_base_disjoint",
+                        where,
+                        tile=tile_id,
+                        delta_class=code,
+                        base_class=base_code,
+                        ids=overlap[:8].tolist(),
+                    )
+
+
+# -- snapshot immutability -------------------------------------------------
+
+
+def freeze_array(array: "np.ndarray | None") -> None:
+    """Mark one array read-only (no-op for None / already-frozen)."""
+    if array is not None:
+        array.flags.writeable = False
+
+
+def freeze_arrays(arrays: "Iterable[np.ndarray | None]") -> None:
+    for array in arrays:
+        freeze_array(array)
+
+
+def check_snapshot(index: Any, where: str) -> None:
+    """Publish-time validation of a (possibly forked) grid index."""
+    store = getattr(index, "_store", None)
+    if store is None:
+        return
+    check_packed_store(store, where)
+    check_delta_disjoint(store, getattr(index, "_tiles", {}), where)
+    freeze_arrays((store.offsets, store.xl, store.yl, store.xu, store.yu, store.ids))
+
+
+# -- query cross-checking --------------------------------------------------
+
+
+def naive_window_ids(grid: Any, window: Any) -> np.ndarray:
+    """Reference result: scan every overlapping tile, dedup via a set.
+
+    Uses only the public tile accessors (``tile_class_table`` /
+    ``tile_table``), so it exercises none of the fused kernels it is
+    checking.
+    """
+    g = grid.grid
+    ix0, ix1 = g.tile_ix(window.xl), g.tile_ix(window.xu)
+    iy0, iy1 = g.tile_iy(window.yl), g.tile_iy(window.yu)
+    hits: set[int] = set()
+    two_layer = hasattr(grid, "tile_class_table")
+    for iy in range(iy0, iy1 + 1):
+        for ix in range(ix0, ix1 + 1):
+            tables = (
+                [grid.tile_class_table(ix, iy, code) for code in range(4)]
+                if two_layer
+                else [grid.tile_table(ix, iy)]
+            )
+            for table in tables:
+                if table is None:
+                    continue
+                xl, yl, xu, yu, ids = table.columns()
+                mask = (
+                    (xl <= window.xu)
+                    & (xu >= window.xl)
+                    & (yl <= window.yu)
+                    & (yu >= window.yl)
+                )
+                hits.update(int(i) for i in ids[mask])
+    return np.array(sorted(hits), dtype=np.int64)
+
+
+def verify_window_result(grid: Any, window: Any, ids: np.ndarray) -> None:
+    """Raise unless ``ids`` matches the naive per-tile reference scan."""
+    got = np.sort(np.asarray(ids, dtype=np.int64))
+    if np.unique(got).shape[0] != got.shape[0]:
+        dupes, counts = np.unique(got, return_counts=True)
+        _fail(
+            "window_dedup",
+            "window_query",
+            duplicate_ids=dupes[counts > 1][:8].tolist(),
+        )
+    expected = naive_window_ids(grid, window)
+    if not np.array_equal(got, expected):
+        missing = np.setdiff1d(expected, got)
+        extra = np.setdiff1d(got, expected)
+        _fail(
+            "window_result_parity",
+            "window_query",
+            missing=missing[:8].tolist(),
+            extra=extra[:8].tolist(),
+            expected=int(expected.shape[0]),
+            got=int(got.shape[0]),
+        )
+
+
+_query_counter = 0
+
+
+def on_window_query(grid: Any, window: Any, ids: np.ndarray) -> None:
+    """Sampled post-query hook: every Nth call runs the full cross-check."""
+    global _query_counter
+    _query_counter += 1
+    if _query_counter % _sample_every():
+        return
+    store = getattr(grid, "_store", None)
+    if store is not None:
+        check_packed_store(store, "window_query")
+    verify_window_result(grid, window, ids)

@@ -17,7 +17,7 @@ Both return per-query results and are exactly equivalent in output.
 
 from __future__ import annotations
 
-from typing import Sequence
+from typing import Any, Sequence
 
 import numpy as np
 
@@ -41,7 +41,7 @@ _EMPTY_IDS = np.empty(0, dtype=np.int64)
 
 
 def evaluate_queries_based(
-    index,
+    index: Any,
     windows: Sequence[Rect],
     stats: "QueryStats | None" = None,
 ) -> list[np.ndarray]:
@@ -85,7 +85,7 @@ def evaluate_tiles_based(
 
 
 def evaluate_disk_queries_based(
-    index,
+    index: Any,
     queries: Sequence[DiskQuery],
     stats: "QueryStats | None" = None,
 ) -> list[np.ndarray]:

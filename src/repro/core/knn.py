@@ -23,6 +23,7 @@ import math
 
 import numpy as np
 
+from repro.datasets.dataset import RectDataset
 from repro.datasets.queries import DiskQuery
 from repro.errors import InvalidQueryError
 from repro.core.two_layer import TwoLayerGrid
@@ -34,7 +35,7 @@ __all__ = ["knn_query"]
 
 def knn_query(
     index: TwoLayerGrid,
-    data,
+    data: RectDataset,
     cx: float,
     cy: float,
     k: int,

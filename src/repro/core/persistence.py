@@ -112,12 +112,13 @@ def _save(index, path, extra: "dict[str, np.ndarray] | None") -> None:
         )
 
 
-def save_index(index, path: "str | os.PathLike[str]") -> None:
+def save_index(index: "TwoLayerGrid | OneLayerGrid", path: "str | os.PathLike[str]") -> None:
     """Persist a built grid index to ``path`` (npz archive)."""
     _save(index, path, None)
 
 
-def save_collection(index, data, path: "str | os.PathLike[str]") -> None:
+def save_collection(
+    index: "TwoLayerGrid | OneLayerGrid", data: RectDataset, path: "str | os.PathLike[str]") -> None:
     """Persist an index *plus its dataset columns* in one archive.
 
     The dataset rows are stored positionally (including rows whose index
@@ -149,7 +150,9 @@ def save_collection(index, data, path: "str | os.PathLike[str]") -> None:
     )
 
 
-def load_index(path: "str | os.PathLike[str]", storage: "str | None" = None):
+def load_index(
+    path: "str | os.PathLike[str]", storage: "str | None" = None
+) -> "TwoLayerGrid | OneLayerGrid":
     """Restore an index previously written by :func:`save_index`.
 
     ``storage`` picks the backend of the restored index (``"packed"`` /
@@ -248,7 +251,9 @@ def load_index(path: "str | os.PathLike[str]", storage: "str | None" = None):
     return index
 
 
-def load_collection(path: "str | os.PathLike[str]"):
+def load_collection(
+    path: "str | os.PathLike[str]",
+) -> "tuple[TwoLayerGrid | OneLayerGrid, RectDataset]":
     """Restore ``(index, dataset)`` from a :func:`save_collection` archive."""
     index = load_index(path)
     with np.load(path, allow_pickle=False) as archive:

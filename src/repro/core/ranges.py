@@ -25,7 +25,7 @@ own predicate).
 
 from __future__ import annotations
 
-from typing import Protocol
+from typing import Iterable, Protocol, Sequence
 
 import numpy as np
 
@@ -73,7 +73,7 @@ class ConvexPolygonRange:
     (the two-layer evaluation relies on it for duplicate avoidance).
     """
 
-    def __init__(self, vertices):
+    def __init__(self, vertices: "Sequence[tuple[float, float]]"):
         self.polygon = Polygon(vertices)
         if not self._is_convex():
             raise InvalidQueryError(
@@ -110,7 +110,13 @@ class ConvexPolygonRange:
             return 1
         return 0
 
-    def intersects_rects(self, xl, yl, xu, yu) -> np.ndarray:
+    def intersects_rects(
+        self,
+        xl: np.ndarray,
+        yl: np.ndarray,
+        xu: np.ndarray,
+        yu: np.ndarray,
+    ) -> np.ndarray:
         out = np.empty(xl.shape[0], dtype=bool)
         for i in range(xl.shape[0]):
             out[i] = self.polygon.intersects_rect(
@@ -127,7 +133,11 @@ class HalfPlaneStripRange:
     intersection so a bounding box exists.
     """
 
-    def __init__(self, half_planes, clip: "Rect | None" = None):
+    def __init__(
+        self,
+        half_planes: "Iterable[tuple[float, float, float]]",
+        clip: "Rect | None" = None,
+    ):
         self.half_planes = [(float(a), float(b), float(c)) for a, b, c in half_planes]
         if not self.half_planes:
             raise InvalidQueryError("need at least one half-plane")
@@ -163,7 +173,13 @@ class HalfPlaneStripRange:
                 return -1
         return 0
 
-    def intersects_rects(self, xl, yl, xu, yu) -> np.ndarray:
+    def intersects_rects(
+        self,
+        xl: np.ndarray,
+        yl: np.ndarray,
+        xu: np.ndarray,
+        yu: np.ndarray,
+    ) -> np.ndarray:
         # A rect intersects the convex region iff, clipped to the box, it
         # is not fully outside any half-plane AND the region's feasible
         # point search succeeds.  For the shapes used here (axis-aligned

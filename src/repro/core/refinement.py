@@ -26,7 +26,7 @@ filtering / refinement), which is what Fig. 6 plots.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -38,7 +38,7 @@ from repro.geometry.predicates import (
     geometry_intersects_disk,
     geometry_intersects_window,
 )
-from repro.grid.base import CLASS_A, CLASS_B, CLASS_C, CLASS_D
+from repro.grid.base import CLASS_A, CLASS_B, CLASS_C
 from repro.core.two_layer import TwoLayerGrid
 from repro.obs.tracing import span as trace_span
 from repro.stats import QueryStats

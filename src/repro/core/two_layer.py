@@ -44,6 +44,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.datasets.dataset import RectDataset
 from repro.datasets.queries import DiskQuery
 from repro.errors import IndexStateError
@@ -74,7 +75,9 @@ _EMPTY_IDS = np.empty(0, dtype=np.int64)
 _EMPTY_F = np.empty(0, dtype=np.float64)
 
 
-def _window_class_mask(
+# Pure mask helper; every caller owns the QueryStats accounting for the
+# rows this mask qualifies, hence the REP004 waiver.
+def _window_class_mask(  # repro-lint: disable=REP004
     cp: ClassPlan,
     window: Rect,
     xl: np.ndarray,
@@ -501,7 +504,10 @@ class TwoLayerGrid:
             last = g.ny - 1
             iy0 = 0 if iy0 < 0 else (last if iy0 > last else iy0)
             iy1 = 0 if iy1 < 0 else (last if iy1 > last else iy1)
-            return self._fused_window_fast(window, ix0, ix1, iy0, iy1)
+            out = self._fused_window_fast(window, ix0, ix1, iy0, iy1)
+            if _sanitize.enabled():
+                _sanitize.on_window_query(self, window, out)
+            return out
         with trace_span("query.window"):
             with trace_span("filter.lookup"):
                 ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
@@ -522,9 +528,10 @@ class TwoLayerGrid:
                             )
             with trace_span("dedup"):
                 pass  # duplicate-free by construction (Lemmas 1-2)
-            if not pieces:
-                return _EMPTY_IDS
-            return np.concatenate(pieces)
+            out = np.concatenate(pieces) if pieces else _EMPTY_IDS
+        if _sanitize.enabled():
+            _sanitize.on_window_query(self, window, out)
+        return out
 
     def _fused_window(
         self,
@@ -647,7 +654,10 @@ class TwoLayerGrid:
         self._tile_row_bounds = store.offsets[::4].tolist()
         return q
 
-    def _fused_window_fast(
+    # Intentionally stats-free: window_query only routes here when the
+    # caller passed stats=None (the REP004 waiver below is the visible
+    # contract; the stats-carrying twin is _fused_window).
+    def _fused_window_fast(  # repro-lint: disable=REP004
         self,
         window: Rect,
         ix0: int,

@@ -36,7 +36,7 @@ from repro.core.decomposed import (
 )
 from repro.core.selection import plan_tile
 from repro.core.two_layer import TwoLayerGrid
-from repro.grid.base import CLASS_NAMES
+from repro.grid.base import CLASS_NAMES, GridPartitioner
 from repro.obs.tracing import active as tracing_active, span as trace_span
 from repro.stats import QueryStats
 
@@ -69,7 +69,7 @@ class TwoLayerPlusGrid(TwoLayerGrid):
 
     def __init__(
         self,
-        grid,
+        grid: GridPartitioner,
         multi_comparison_strategy: str = "auto",
         storage: "str | None" = None,
     ):

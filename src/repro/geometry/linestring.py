@@ -90,7 +90,10 @@ class LineString:
             d = point_segment_distance(px, py, xs[i], ys[i], xs[i + 1], ys[i + 1])
             if d < best:
                 best = d
-                if best == 0.0:
+                # distances are nonnegative, so <= 0.0 is exactly the
+                # touching case — without an exact float == on the
+                # accumulated minimum
+                if best <= 0.0:
                     break
         return best
 

@@ -16,10 +16,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.datasets.dataset import RectDataset
 from repro.datasets.queries import DiskQuery
 from repro.errors import IndexStateError, InvalidGridError
-from repro.geometry.mbr import Rect, max_dist_point_rect, min_dist_point_rect
+from repro.geometry.mbr import Rect, max_dist_point_rect
 from repro.grid.base import GridPartitioner, replicate
 from repro.grid.dedup import ActiveBorder, reference_point_keep_mask
 from repro.grid.storage import (
@@ -338,7 +339,10 @@ class OneLayerGrid:
             last = g.ny - 1
             iy0 = 0 if iy0 < 0 else (last if iy0 > last else iy0)
             iy1 = 0 if iy1 < 0 else (last if iy1 > last else iy1)
-            return self._fused_window_fast(window, ix0, ix1, iy0, iy1)
+            out = self._fused_window_fast(window, ix0, ix1, iy0, iy1)
+            if _sanitize.enabled():
+                _sanitize.on_window_query(self, window, out)
+            return out
         with trace_span("query.window"):
             with trace_span("filter.lookup"):
                 ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
@@ -349,17 +353,20 @@ class OneLayerGrid:
             # and are accounted by the dedup_checks counter instead.
             with trace_span("dedup"):
                 if not pieces:
-                    return np.empty(0, dtype=np.int64)
-                out = np.concatenate(pieces)
-                if self.dedup == "hash":
-                    deduped = np.unique(out)
-                    if stats is not None:
-                        stats.dedup_checks += out.shape[0]
-                        stats.duplicates_generated += int(
-                            out.shape[0] - deduped.shape[0]
-                        )
-                    return deduped
-                return out
+                    out = np.empty(0, dtype=np.int64)
+                else:
+                    out = np.concatenate(pieces)
+                    if self.dedup == "hash":
+                        deduped = np.unique(out)
+                        if stats is not None:
+                            stats.dedup_checks += out.shape[0]
+                            stats.duplicates_generated += int(
+                                out.shape[0] - deduped.shape[0]
+                            )
+                        out = deduped
+        if _sanitize.enabled():
+            _sanitize.on_window_query(self, window, out)
+        return out
 
     def _build_fast_q(self) -> np.ndarray:
         """Precompute the per-row query matrix over the packed base.
@@ -405,7 +412,10 @@ class OneLayerGrid:
         self._tile_row_bounds = store.offsets.tolist()
         return q
 
-    def _fused_window_fast(
+    # Intentionally stats-free: window_query only routes here when the
+    # caller passed stats=None (the stats-carrying scan keeps §IV-B
+    # comparison accounting), hence the REP004 waiver.
+    def _fused_window_fast(  # repro-lint: disable=REP004
         self, window: Rect, ix0: int, ix1: int, iy0: int, iy1: int
     ) -> np.ndarray:
         """Stats-free window kernel: one comparison pass per grid row.

@@ -27,8 +27,11 @@ legacy per-tile dictionaries (useful for parity testing).
 from __future__ import annotations
 
 import os
+from typing import Iterator
 
 import numpy as np
+
+from repro.analysis import sanitize as _sanitize
 
 __all__ = [
     "TileTable",
@@ -151,7 +154,9 @@ class TileTable:
         )
 
 
-def group_rows(keys: np.ndarray, order: "np.ndarray | None" = None):
+def group_rows(
+    keys: np.ndarray, order: "np.ndarray | None" = None
+) -> "Iterator[tuple[int, np.ndarray]]":
     """Group row indices by key; yields ``(key, row_indices)`` pairs.
 
     ``keys`` is an int array (e.g. tile ids, or tile ids fused with class
@@ -271,7 +276,13 @@ class PackedStore:
         offsets = np.zeros(n_groups + 1, dtype=np.int64)
         if keys.shape[0]:
             np.cumsum(np.bincount(keys, minlength=n_groups), out=offsets[1:])
-        return cls(n_classes, offsets, xl, yl, xu, yu, ids)
+        store = cls(n_classes, offsets, xl, yl, xu, yu, ids)
+        # REPRO_SANITIZE=1: every base build (bulk load, compact,
+        # persistence restore) passes through here — validate the CSR
+        # invariants at the choke point.
+        if _sanitize.enabled():
+            _sanitize.check_packed_store(store, "PackedStore.from_rows")
+        return store
 
     # -- sizes ------------------------------------------------------------
 
@@ -326,7 +337,9 @@ class PackedStore:
             rows = rows[~self.dead[rows]]
         return rows
 
-    def group_columns(self, key: int):
+    def group_columns(
+        self, key: int
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray] | None":
         """Live ``(xl, yl, xu, yu, ids)`` of one group, or ``None`` if empty.
 
         Zero-copy views when the group carries no tombstones.
@@ -360,7 +373,9 @@ class PackedStore:
             rows = rows[~self.dead[rows]]
         return rows
 
-    def flat_live_rows(self):
+    def flat_live_rows(
+        self,
+    ) -> "tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]":
         """``(keys, xl, yl, xu, yu, ids)`` of every live row, in key order.
 
         Zero-copy (views of the base columns) when nothing is tombstoned;

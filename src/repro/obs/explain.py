@@ -32,7 +32,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable
+from typing import Any, Callable
 
 import numpy as np
 
@@ -61,7 +61,7 @@ class ExplainStats(QueryStats):
     counter set they know about.
     """
 
-    def __init__(self, **kwargs):
+    def __init__(self, **kwargs: int):
         super().__init__(**kwargs)
         self.class_scans: dict[str, int] = {}
 
@@ -436,7 +436,7 @@ def _assemble(
 
 
 def explain_window(
-    index,
+    index: Any,
     window: Rect,
     runner: "Callable[[QueryStats], np.ndarray] | None" = None,
     kind: str = "window",
@@ -473,8 +473,8 @@ def explain_window(
 
 
 def explain_disk(
-    index,
-    query,
+    index: Any,
+    query: Any,
     runner: "Callable[[QueryStats], np.ndarray] | None" = None,
 ) -> QueryPlan:
     """EXPLAIN a disk query; storage accounting runs over the disk's MBR."""
@@ -492,7 +492,9 @@ def explain_disk(
     )
 
 
-def explain_knn(index, data, cx: float, cy: float, k: int) -> QueryPlan:
+def explain_knn(
+    index: Any, data: Any, cx: float, cy: float, k: int
+) -> QueryPlan:
     """EXPLAIN a kNN query.
 
     Storage accounting runs over the MBR of the k-th-distance disk — the
@@ -532,8 +534,8 @@ def explain_knn(index, data, cx: float, cy: float, k: int) -> QueryPlan:
 
 
 def explain_join(
-    data_r,
-    data_s,
+    data_r: Any,
+    data_s: Any,
     partitions_per_dim: int = 64,
     domain: "Rect | None" = None,
     algorithm: str = "nested",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import json
 from contextlib import contextmanager
+from typing import Iterator
 from time import perf_counter
 
 from repro.obs.export import format_metrics_table, jsonl_events, to_prometheus_text
@@ -61,7 +62,7 @@ class Profile:
         )
 
     @contextmanager
-    def measure(self, kind: str):
+    def measure(self, kind: str) -> "Iterator[QueryStats]":
         """Record one query: yields the per-query :class:`QueryStats` to
         pass into the index, then folds latency + counters into the
         session."""

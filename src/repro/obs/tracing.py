@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import threading
 from contextlib import contextmanager
+from typing import Iterator
 from time import perf_counter
 
 __all__ = [
@@ -215,7 +216,7 @@ class Tracer:
 _ACTIVE: "Tracer | None" = None
 
 
-def span(name: str):
+def span(name: str) -> "_SpanCtx | _NoopSpan":
     """A span under the active tracer, or the shared no-op when disabled."""
     tracer = _ACTIVE
     if tracer is None:
@@ -242,7 +243,7 @@ def active() -> "Tracer | None":
 
 
 @contextmanager
-def activate(tracer: Tracer):
+def activate(tracer: Tracer) -> "Iterator[Tracer]":
     """Scoped tracer installation; restores the previous tracer on exit."""
     global _ACTIVE
     previous = _ACTIVE

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from typing import Any
 
 from repro.server.protocol import Request
 
@@ -29,7 +30,11 @@ class PendingRequest:
 
     __slots__ = ("request", "conn", "enqueued_at")
 
-    def __init__(self, request: Request, conn, enqueued_at: "float | None" = None):
+    # `conn` is the service layer's _Connection; typed loosely to keep
+    # the batcher importable without the service (no circular import).
+    def __init__(
+        self, request: Request, conn: Any, enqueued_at: "float | None" = None
+    ):
         self.request = request
         self.conn = conn
         self.enqueued_at = (

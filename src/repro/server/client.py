@@ -170,7 +170,7 @@ class SpatialClient:
     def describe(self) -> dict:
         return self.call("describe")
 
-    def explain(self, kind: str, **args) -> dict:
+    def explain(self, kind: str, **args: object) -> dict:
         return self.call("explain", {"kind": kind, **args})
 
     def stats(self) -> dict:

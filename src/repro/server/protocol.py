@@ -225,7 +225,7 @@ def encode_request(req_id: "int | str", verb: str, args: "dict | None" = None) -
 
 def encode_response(
     req_id: "int | str | None",
-    result,
+    result: dict,
     server: "dict | None" = None,
 ) -> bytes:
     """Serialise one success response to a newline-terminated frame."""

@@ -28,6 +28,7 @@ from __future__ import annotations
 import asyncio
 import signal
 import time
+from typing import Callable
 from dataclasses import dataclass
 
 from repro.datasets.dataset import RectDataset
@@ -250,7 +251,9 @@ class SpatialQueryService:
         """Signal-safe shutdown trigger (drains before stopping)."""
         self._stop_requested.set()
 
-    async def run(self, ready=None) -> None:
+    async def run(
+        self, ready: "Callable[[SpatialQueryService], None] | None" = None
+    ) -> None:
         """Start, install SIGTERM/SIGINT drain handlers, serve until a
         shutdown is requested, then drain and stop."""
         await self.start()

@@ -31,6 +31,7 @@ import threading
 
 import numpy as np
 
+from repro.analysis import sanitize as _sanitize
 from repro.datasets.dataset import RectDataset
 from repro.errors import IndexStateError, InvalidQueryError
 from repro.geometry.mbr import Rect
@@ -99,6 +100,13 @@ class SnapshotStore:
                 f"{len(data)} rows; ids must stay positional"
             )
         self._write_lock = threading.Lock()
+        # Published columns are shared by reference with every reader;
+        # freeze them so a stray in-place write fails loudly instead of
+        # corrupting pinned snapshots.  This is unconditional hardening —
+        # REPRO_SANITIZE only adds the structural cross-checks below.
+        _sanitize.freeze_arrays((data.xl, data.yl, data.xu, data.yu))
+        if _sanitize.enabled():
+            _sanitize.check_snapshot(index, "SnapshotStore.__init__")
         self._current = Snapshot(index, data, 0)
 
     @property
@@ -164,6 +172,11 @@ class SnapshotStore:
                 np.append(data.yu, rect.yu),
                 None,
             )
+            _sanitize.freeze_arrays(
+                (new_data.xl, new_data.yl, new_data.xu, new_data.yu)
+            )
+            if _sanitize.enabled():
+                _sanitize.check_snapshot(fork, "SnapshotStore.insert")
             version = snap.version + 1
             self._current = Snapshot(fork, new_data, version)
             return obj_id, version
@@ -227,6 +240,8 @@ class SnapshotStore:
                         fork._tiles[base + ix] = tables
             if removed == 0:
                 return False, snap.version
+            if _sanitize.enabled():
+                _sanitize.check_snapshot(fork, "SnapshotStore.delete")
             version = snap.version + 1
             self._current = Snapshot(fork, snap.data, version)
             return True, version

@@ -1,0 +1,2 @@
+def touches(best: float) -> bool:
+    return best <= 0.0

@@ -1,0 +1,16 @@
+import time
+
+import numpy as np
+
+
+async def handler() -> None:
+    time.sleep(0.1)
+
+
+async def loader(path: str) -> bytes:
+    with open(path, "rb") as f:
+        return f.read()
+
+
+async def builder(parts: list) -> object:
+    return np.concatenate(parts)

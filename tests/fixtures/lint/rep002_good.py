@@ -1,0 +1,9 @@
+import asyncio
+
+
+async def handler() -> None:
+    await asyncio.sleep(0.1)
+
+
+def builder(parts: list) -> list:
+    return sorted(parts)

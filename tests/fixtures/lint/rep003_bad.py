@@ -1,0 +1,14 @@
+import threading
+import time
+
+_lock = threading.Lock()
+
+
+async def publish(conn) -> None:
+    with _lock:
+        await conn.send(b"x")
+
+
+def fetch() -> None:
+    with _lock:
+        time.sleep(1.0)

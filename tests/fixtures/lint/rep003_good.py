@@ -1,0 +1,13 @@
+import threading
+
+_lock = threading.Lock()
+
+
+def bump(state: dict) -> None:
+    with _lock:
+        state["n"] = state.get("n", 0) + 1
+
+
+async def wait(aio_lock) -> None:
+    async with aio_lock:
+        await aio_lock.notify_all()

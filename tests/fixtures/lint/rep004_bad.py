@@ -1,0 +1,10 @@
+import numpy as np
+
+
+def window_scan(xl, xu, window):
+    return (xl <= window.xu) & (xu >= window.xl)
+
+
+def fused_kernel(cols, bounds):
+    ge = np.greater_equal
+    return ge(cols, bounds)

@@ -1,0 +1,4 @@
+def window_scan(xl, xu, window, stats=None):
+    if stats is not None:
+        stats.comparisons += int(xl.shape[0])
+    return (xl <= window.xu) & (xu >= window.xl)

@@ -1,0 +1,13 @@
+class Grid:
+    def __init__(self):
+        self._store = None
+        self._tiles = {}
+
+    def insert(self, rect):
+        self._tiles[0] = rect
+
+    def window_query(self, window):
+        return self._scan_store(window)
+
+    def _scan_store(self, window):
+        return self._store.query(window)

@@ -1,0 +1,12 @@
+class Grid:
+    def __init__(self):
+        self._store = None
+        self._tiles = {}
+
+    def insert(self, rect):
+        self._tiles[0] = rect
+
+    def window_query(self, window):
+        hits = [] if self._store is None else [self._store.query(window)]
+        hits.extend(self._tiles.values())
+        return hits

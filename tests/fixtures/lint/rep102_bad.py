@@ -1,0 +1,7 @@
+def collect(item, acc=[]):
+    acc.append(item)
+    return acc
+
+
+def index(key, table=dict()):
+    return table.setdefault(key, 0)

@@ -1,0 +1,4 @@
+def collect(item, acc=None):
+    acc = [] if acc is None else acc
+    acc.append(item)
+    return acc

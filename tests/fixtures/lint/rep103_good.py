@@ -1,0 +1,5 @@
+import time
+
+
+def stamp() -> float:
+    return time.perf_counter()

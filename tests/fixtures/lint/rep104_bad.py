@@ -1,0 +1,4 @@
+import os
+import sys
+
+print(sys.argv)

@@ -1,0 +1,3 @@
+import sys
+
+print(sys.argv)

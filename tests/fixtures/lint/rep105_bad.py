@@ -1,0 +1,7 @@
+def lookup(key):
+    return key
+
+
+class Table:
+    def get(self, key):
+        return key

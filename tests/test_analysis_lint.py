@@ -1,0 +1,183 @@
+"""repro-lint: every rule fires on its bad fixture, stays silent on good.
+
+Fixtures live in ``tests/fixtures/lint`` and are linted under *virtual*
+paths so each scoped rule (geometry / core / grid / server) sees a
+module inside its package.  The final test asserts the repo's own
+``src/repro`` tree lints clean — the same gate CI runs via
+``python -m repro.analysis.lint src/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    Finding,
+    default_rules,
+    lint_paths,
+    lint_source,
+    main,
+)
+from repro.analysis.rules import ALL_RULES
+
+FIXTURES = Path(__file__).parent / "fixtures" / "lint"
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+RULE_BY_CODE = {cls.code: cls for cls in ALL_RULES}
+
+#: virtual path per rule satisfying its scope; unscoped rules get a
+#: neutral package that no scoped rule matches.
+VIRTUAL_PATH = {
+    "REP001": "src/repro/geometry/fixture.py",
+    "REP004": "src/repro/core/fixture.py",
+    "REP005": "src/repro/grid/fixture.py",
+    "REP105": "src/repro/core/fixture.py",
+}
+NEUTRAL_PATH = "src/repro/util/fixture.py"
+
+#: finding count the bad fixture must produce under its own rule.
+BAD_EXPECT = {
+    "REP001": 1,  # best == 0.0
+    "REP002": 3,  # time.sleep, open(), np.concatenate
+    "REP003": 2,  # await under lock, time.sleep under lock
+    "REP004": 2,  # operator kernel + ufunc-alias kernel
+    "REP005": 1,  # window_query reaches only _store
+    "REP101": 1,
+    "REP102": 2,  # [] and dict()
+    "REP103": 1,
+    "REP104": 1,  # os imported, unused
+    "REP105": 4,  # lookup params+return, Table.get params+return
+}
+
+
+def run_rule(code: str, source: str, path: "str | None" = None) -> list[Finding]:
+    rule = RULE_BY_CODE[code]()
+    return lint_source(path or VIRTUAL_PATH.get(code, NEUTRAL_PATH), source, [rule])
+
+
+@pytest.mark.parametrize("code", sorted(RULE_BY_CODE))
+def test_rule_fires_on_bad_fixture(code):
+    source = (FIXTURES / f"{code.lower()}_bad.py").read_text()
+    findings = run_rule(code, source)
+    assert [f.code for f in findings] == [code] * BAD_EXPECT[code]
+    assert all(f.line >= 1 and f.col >= 1 for f in findings)
+
+
+@pytest.mark.parametrize("code", sorted(RULE_BY_CODE))
+def test_rule_silent_on_good_fixture(code):
+    source = (FIXTURES / f"{code.lower()}_good.py").read_text()
+    assert run_rule(code, source) == []
+
+
+@pytest.mark.parametrize("code", sorted(RULE_BY_CODE))
+def test_bad_fixture_raises_no_foreign_scoped_findings(code):
+    """Running *all* rules on a bad fixture only ever reports codes the
+    fixture deliberately violates (the fixture's own rule chief among
+    them) — rules don't misfire on each other's examples."""
+    source = (FIXTURES / f"{code.lower()}_bad.py").read_text()
+    path = VIRTUAL_PATH.get(code, NEUTRAL_PATH)
+    findings = lint_source(path, source, default_rules())
+    assert {f.code for f in findings if f.code == code}, code
+
+
+class TestScoping:
+    def test_scoped_rule_ignores_other_packages(self):
+        source = (FIXTURES / "rep001_bad.py").read_text()
+        assert run_rule("REP001", source, path="src/repro/server/fixture.py") == []
+
+    def test_wall_clock_allowed_in_obs(self):
+        source = (FIXTURES / "rep103_bad.py").read_text()
+        assert run_rule("REP103", source, path="src/repro/obs/fixture.py") == []
+
+    def test_unused_import_allowed_in_init(self):
+        source = (FIXTURES / "rep104_bad.py").read_text()
+        assert run_rule("REP104", source, path="src/repro/util/__init__.py") == []
+
+
+class TestSuppression:
+    BAD = "def t(b: float) -> bool:\n    return b == 0.0{comment}\n"
+    PATH = "src/repro/geometry/fixture.py"
+
+    def lint(self, comment: str = "", prefix: str = "") -> list[Finding]:
+        source = prefix + self.BAD.format(comment=comment)
+        return lint_source(self.PATH, source, default_rules())
+
+    def test_unsuppressed_fires(self):
+        assert [f.code for f in self.lint()] == ["REP001"]
+
+    def test_line_disable(self):
+        assert self.lint(comment="  # repro-lint: disable=REP001") == []
+
+    def test_line_disable_all(self):
+        assert self.lint(comment="  # repro-lint: disable=all") == []
+
+    def test_wrong_code_does_not_suppress(self):
+        findings = self.lint(comment="  # repro-lint: disable=REP104")
+        assert [f.code for f in findings] == ["REP001"]
+
+    def test_disable_on_other_line_does_not_suppress(self):
+        findings = self.lint(prefix="x = 1  # repro-lint: disable=REP001\n")
+        assert [f.code for f in findings] == ["REP001"]
+
+    def test_file_disable(self):
+        prefix = "# repro-lint: disable-file=REP001\n"
+        assert self.lint(prefix=prefix) == []
+
+    def test_file_disable_all(self):
+        prefix = "# repro-lint: disable-file=all\n"
+        assert self.lint(prefix=prefix) == []
+
+    def test_multiple_codes_comma_separated(self):
+        comment = "  # repro-lint: disable=REP104, REP001"
+        assert self.lint(comment=comment) == []
+
+
+class TestHarness:
+    def test_syntax_error_reports_rep000(self):
+        findings = lint_source("src/repro/core/broken.py", "def f(:\n")
+        assert [f.code for f in findings] == ["REP000"]
+
+    def test_findings_sorted_and_rendered(self):
+        source = (FIXTURES / "rep102_bad.py").read_text()
+        findings = run_rule("REP102", source)
+        assert findings == sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.code)
+        )
+        rendered = findings[0].render()
+        assert "REP102" in rendered and rendered.count(":") >= 3
+
+    def test_every_rule_has_code_name_and_summary(self):
+        codes = set()
+        for cls in ALL_RULES:
+            assert cls.code not in codes, f"duplicate code {cls.code}"
+            codes.add(cls.code)
+            assert cls.name and cls.summary()
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for cls in ALL_RULES:
+            assert cls.code in out
+
+    def test_exit_one_on_findings(self, capsys):
+        rc = main([str(FIXTURES / "rep101_bad.py")])
+        assert rc == 1
+        assert "REP101" in capsys.readouterr().out
+
+    def test_exit_zero_on_clean_file(self, capsys):
+        rc = main(["--select", "REP101", str(FIXTURES / "rep101_good.py")])
+        assert rc == 0
+
+    def test_select_unknown_code_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--select", "REP999", str(FIXTURES)])
+
+
+def test_repo_source_tree_lints_clean():
+    """The acceptance gate: the shipped tree has zero findings."""
+    findings = lint_paths([str(REPO_SRC)])
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,6 +1,5 @@
 """Tests for the bench harness utilities and the ``python -m repro`` CLI."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 

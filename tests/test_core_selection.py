@@ -1,6 +1,5 @@
 """Tests for the Lemma 1-4 machinery in :mod:`repro.core.selection`."""
 
-import pytest
 
 from repro.core import ClassPlan, plan_tile
 from repro.core.selection import plan_for_region

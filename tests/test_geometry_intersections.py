@@ -1,6 +1,5 @@
 """Tests for exact geometry-geometry intersection (join refinement)."""
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.geometry import (

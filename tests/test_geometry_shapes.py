@@ -37,6 +37,21 @@ class TestLineString:
     def test_length(self):
         assert LineString([(0, 0), (3, 4), (3, 5)]).length == pytest.approx(6.0)
 
+    def test_distance_zero_when_point_touches_segment(self):
+        """Degenerate touching case: the accumulated minimum hits exactly
+        0.0 and the scan must short-circuit there (regression for the
+        exact float == early-exit, now a <= test on a nonnegative
+        distance)."""
+        ls = LineString([(0, 0), (1, 0), (1, 1), (2, 1)])
+        # on a vertex, in the middle of a segment, and on the last segment
+        assert ls.distance_to_point(1.0, 0.0) == 0.0
+        assert ls.distance_to_point(0.5, 0.0) == 0.0
+        assert ls.distance_to_point(1.5, 1.0) == 0.0
+        # a touching polyline intersects every disk centred on the touch
+        assert ls.intersects_disk(0.5, 0.0, 0.0)
+        # and a near-miss stays strictly positive
+        assert ls.distance_to_point(0.5, 1e-9) > 0.0
+
     def test_vertices_roundtrip(self):
         pts = [(0.0, 0.0), (0.5, 0.7), (1.0, 0.1)]
         assert LineString(pts).vertices == pts

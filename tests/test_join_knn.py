@@ -11,7 +11,7 @@ from repro.datasets import (
 )
 from repro.errors import InvalidGridError, InvalidQueryError
 from repro.geometry import Rect
-from repro.grid import CLASS_A, CLASS_B, CLASS_C, CLASS_D
+from repro.grid import CLASS_B, CLASS_C, CLASS_D
 from repro.core import (
     ALLOWED_CLASS_COMBOS,
     TwoLayerGrid,

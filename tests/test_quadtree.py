@@ -1,6 +1,5 @@
 """Tests for the quad-tree family (plain, two-layer, MXCIF)."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import (

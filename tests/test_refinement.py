@@ -1,6 +1,5 @@
 """Tests for the refinement engine (Section V) against exact geometries."""
 
-import numpy as np
 import pytest
 
 from repro.datasets import (

@@ -114,6 +114,36 @@ class TestCowSemantics:
             SnapshotStore(index, short)
 
 
+class TestPublishedColumnsFrozen:
+    """Published snapshot columns are read-only: a reader (or a buggy
+    writer reaching around the COW constructors) that tries an in-place
+    mutation must fail loudly instead of corrupting pinned versions."""
+
+    def test_initial_snapshot_data_is_immutable(self):
+        store = make_store(n=100)
+        snap = store.current
+        for col in (snap.data.xl, snap.data.yl, snap.data.xu, snap.data.yu):
+            with pytest.raises(ValueError):
+                col[0] = 0.5
+
+    def test_insert_publishes_frozen_columns(self):
+        store = make_store(n=100)
+        store.insert(Rect(0.1, 0.1, 0.2, 0.2))
+        snap = store.current
+        with pytest.raises(ValueError):
+            snap.data.xl[-1] = 0.0
+
+    def test_pinned_snapshot_survives_mutation_attempt(self):
+        store = make_store(n=200)
+        pinned = store.current
+        probe = Rect(0.2, 0.2, 0.8, 0.8)
+        expected = ids_set(pinned.index.window_query(probe))
+        with pytest.raises(ValueError):
+            pinned.data.xu[:] = -1.0
+        store.insert(Rect(0.5, 0.5, 0.55, 0.55))
+        assert ids_set(pinned.index.window_query(probe)) == expected
+
+
 class TestIsolationUnderConcurrency:
     def test_batched_reads_never_see_torn_updates(self):
         """Interleave inserts/deletes with in-flight batched reads; every
@@ -148,8 +178,12 @@ class TestIsolationUnderConcurrency:
                     )
                     return
                 if snap.version >= len(expected):
-                    torn.append("snapshot version ahead of script")
-                    return
+                    # the writer publishes inside insert()/delete()
+                    # *before* the script appends the matching oracle
+                    # set; a reader winning that microsecond race sees
+                    # a version with no oracle entry yet — not a torn
+                    # snapshot, just catch-up lag.  Probe again.
+                    continue
                 if set_a != expected[snap.version]:
                     torn.append(
                         f"v{snap.version}: got {len(set_a)} ids, "
