@@ -12,11 +12,18 @@ Run directly (not through pytest-benchmark)::
 
     PYTHONPATH=src python benchmarks/bench_serving.py
 
-Results land in ``benchmarks/results/BENCH_serving.json``.  The
-acceptance bar: batched throughput >= 1.5x unbatched at the highest
+Results land in ``benchmarks/results/BENCH_serving.json``.  Two
+acceptance bars: batched throughput >= 1.5x unbatched at the highest
 concurrency level (the batcher amortises per-request event-loop and
 tile-scan work across the coalesced batch, the serving analogue of the
-paper's Section VI batch-evaluation speedups).
+paper's Section VI batch-evaluation speedups), and live telemetry —
+request tracing, per-verb histograms, tile heat — must cost at most
+``--max-telemetry-overhead`` percent of telemetry-off throughput
+(default 3%; the comparison runs best-of ``--telemetry-reps`` per state
+at the top concurrency level).  A boot phase additionally records the
+``--index`` cold-start split (archive read vs index build) from the
+server's ``server.boot.*`` gauges.  ``--telemetry-only`` skips the
+batching sweep and overload phase for quick CI overhead checks.
 """
 
 from __future__ import annotations
@@ -244,6 +251,95 @@ def overload_phase(n: int, seed: int) -> dict:
     return {"burst": burst, "accepted": ok, "rejected": rejected}
 
 
+def telemetry_phase(args) -> dict:
+    """Telemetry-on vs telemetry-off throughput at the top concurrency.
+
+    Each state gets its own server (identical flags apart from
+    ``--telemetry``); both run concurrently (the idle one just sleeps
+    on its event loop) and the ``--telemetry-reps`` closed-loop reps
+    alternate between them, flipping order every round, so a slow
+    machine window biases both states equally instead of whichever
+    state happened to run first.  The best rep per state is compared,
+    which filters scheduler noise the way the repo's other A/B
+    benchmarks do.
+    """
+    top = max(args.clients)
+    flags = [
+        "--n", str(args.n), "--seed", str(args.seed),
+        "--queue-depth", "4096", "--max-batch", "64", "--coalesce-ms", "0",
+    ]
+    servers: dict[str, tuple] = {}
+    best: dict[str, dict] = {}
+    try:
+        for state in ("on", "off"):
+            servers[state] = spawn_server(*flags, "--telemetry", state)
+            _, host, port = servers[state]
+            with SpatialClient(host, port) as cli:
+                cli.window(0.4, 0.4, 0.5, 0.5)  # warm off the clock
+        for rep in range(args.telemetry_reps):
+            order = ("on", "off") if rep % 2 == 0 else ("off", "on")
+            for state in order:
+                _, host, port = servers[state]
+                cell = closed_loop(
+                    host, port, top, args.per_client, args.side, args.conns
+                )
+                if (
+                    state not in best
+                    or cell["throughput_rps"] > best[state]["throughput_rps"]
+                ):
+                    best[state] = cell
+                print(
+                    f" telemetry={state:<3} rep={rep + 1} "
+                    f"{cell['throughput_rps']:8.0f} req/s  "
+                    f"p50={cell['p50_ms']:.2f}ms p99={cell['p99_ms']:.2f}ms"
+                )
+    finally:
+        for proc, _, _ in servers.values():
+            stop_server(proc)
+    on_rps = best["on"]["throughput_rps"]
+    off_rps = best["off"]["throughput_rps"]
+    overhead_pct = (off_rps - on_rps) / off_rps * 100.0
+    return {
+        "clients": top,
+        "reps": args.telemetry_reps,
+        "on": best["on"],
+        "off": best["off"],
+        "on_rps": on_rps,
+        "off_rps": off_rps,
+        "overhead_pct": overhead_pct,
+    }
+
+
+def boot_phase(n: int, seed: int) -> dict:
+    """Cold-start timing: boot ``--serve --index`` from a saved archive
+    and read the ``server.boot.*`` gauges (archive read vs index build)
+    off the ``stats`` verb."""
+    import tempfile
+
+    from repro.api import SpatialCollection
+    from repro.datasets import generate_uniform_rects
+
+    data = generate_uniform_rects(n, area=1e-6, seed=seed)
+    col = SpatialCollection.from_dataset(data, partitions_per_dim=64)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "bench_boot.npz")
+        col.save(path)
+        archive_bytes = os.path.getsize(path)
+        proc, host, port = spawn_server("--index", path)
+        try:
+            with SpatialClient(host, port) as cli:
+                metrics = cli.stats()["metrics"]
+        finally:
+            stop_server(proc)
+    return {
+        "objects": n,
+        "archive_bytes": archive_bytes,
+        "read_ms": metrics["server.boot.read_ms"],
+        "build_ms": metrics["server.boot.build_ms"],
+        "total_ms": metrics["server.boot.total_ms"],
+    }
+
+
 def main(argv: "list[str] | None" = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--n", type=int, default=30_000, help="dataset size")
@@ -269,15 +365,68 @@ def main(argv: "list[str] | None" = None) -> int:
         help="exit non-zero below this batched/unbatched ratio "
              "(0 disables the gate, e.g. on shared CI runners)",
     )
+    parser.add_argument(
+        "--telemetry", choices=("on", "off", "both"), default="both",
+        help="'both' (default) adds the telemetry-overhead comparison; "
+             "'on'/'off' just set the state for the batching sweep",
+    )
+    parser.add_argument(
+        "--telemetry-reps", type=int, default=6,
+        help="closed-loop reps per telemetry state (best rep compared)",
+    )
+    parser.add_argument(
+        "--max-telemetry-overhead", type=float, default=3.0,
+        help="exit non-zero when telemetry-on throughput trails "
+             "telemetry-off by more than this percentage "
+             "(0 disables the gate, e.g. on shared CI runners)",
+    )
+    parser.add_argument(
+        "--telemetry-only", action="store_true",
+        help="run only the telemetry-overhead comparison (CI smoke)",
+    )
     args = parser.parse_args(argv)
+
+    if args.telemetry_only:
+        print("telemetry overhead (closed loop, batched):")
+        tel = telemetry_phase(args)
+        print(
+            f"\ntelemetry on={tel['on_rps']:.0f} req/s "
+            f"off={tel['off_rps']:.0f} req/s "
+            f"overhead={tel['overhead_pct']:.2f}%"
+        )
+        path = emit_bench_record(
+            "serving_telemetry",
+            params={
+                "n": args.n,
+                "seed": args.seed,
+                "clients": max(args.clients),
+                "per_client": args.per_client,
+                "window_side": args.side,
+                "conns": args.conns,
+                "reps": args.telemetry_reps,
+            },
+            series={"telemetry": tel},
+        )
+        print(f"wrote {path}")
+        if (
+            args.max_telemetry_overhead > 0
+            and tel["overhead_pct"] > args.max_telemetry_overhead
+        ):
+            print(
+                f"FAIL: telemetry overhead {tel['overhead_pct']:.2f}% "
+                f"exceeds {args.max_telemetry_overhead:.1f}%"
+            )
+            return 1
+        return 0
 
     modes = {
         "unbatched": ["--max-batch", "1", "--coalesce-ms", "0"],
         "batched": ["--max-batch", "64", "--coalesce-ms", "0"],
     }
+    sweep_telemetry = "off" if args.telemetry == "off" else "on"
     common = [
         "--n", str(args.n), "--seed", str(args.seed),
-        "--queue-depth", "4096",
+        "--queue-depth", "4096", "--telemetry", sweep_telemetry,
     ]
     series: dict[str, dict] = {}
     for mode, flags in modes.items():
@@ -320,6 +469,32 @@ def main(argv: "list[str] | None" = None) -> int:
     if series["overload"]["rejected"] == 0:
         print("  WARNING: expected some overload rejections, saw none")
 
+    telemetry_ok = True
+    if args.telemetry == "both":
+        print("\ntelemetry overhead (closed loop, batched):")
+        tel = telemetry_phase(args)
+        series["telemetry"] = tel
+        print(
+            f"  on={tel['on_rps']:.0f} req/s off={tel['off_rps']:.0f} req/s "
+            f"overhead={tel['overhead_pct']:.2f}% "
+            f"(budget {args.max_telemetry_overhead:.1f}%)"
+        )
+        if (
+            args.max_telemetry_overhead > 0
+            and tel["overhead_pct"] > args.max_telemetry_overhead
+        ):
+            telemetry_ok = False
+            print("  FAIL: telemetry overhead exceeds the budget")
+
+    print("\nindex boot phase (--serve --index cold start):")
+    series["boot"] = boot_phase(args.n, args.seed)
+    print(
+        f"  read={series['boot']['read_ms']:.1f}ms "
+        f"build={series['boot']['build_ms']:.1f}ms "
+        f"total={series['boot']['total_ms']:.1f}ms "
+        f"({series['boot']['archive_bytes'] / 1e6:.1f} MB archive)"
+    )
+
     path = emit_bench_record(
         "serving",
         params={
@@ -329,12 +504,18 @@ def main(argv: "list[str] | None" = None) -> int:
             "per_client": args.per_client,
             "window_side": args.side,
             "conns": args.conns,
+            "telemetry": sweep_telemetry,
+            "telemetry_reps": args.telemetry_reps,
             "modes": {k: " ".join(v) for k, v in modes.items()},
         },
         series=series,
     )
     print(f"\nwrote {path}")
-    ok = ratio >= args.min_speedup and series["overload"]["rejected"] > 0
+    ok = (
+        ratio >= args.min_speedup
+        and series["overload"]["rejected"] > 0
+        and telemetry_ok
+    )
     return 0 if ok else 1
 
 

@@ -14,6 +14,8 @@ Options::
     python -m repro --explain --json   # the same plans as JSON
     python -m repro --serve 127.0.0.1:7207   # run the query service
     python -m repro --serve 127.0.0.1:7207 --index built.npz  # from disk
+    python -m repro --serve 127.0.0.1:7207 --metrics-port 9209  # + Prometheus
+    python -m repro --top 127.0.0.1:7207     # live console against a server
 """
 
 from __future__ import annotations
@@ -110,8 +112,51 @@ def main(argv: "list[str] | None" = None) -> int:
         default=2.0,
         help="with --serve: micro-batch coalescing window in ms",
     )
+    parser.add_argument(
+        "--telemetry",
+        choices=("on", "off"),
+        default="on",
+        help="with --serve: live telemetry (request traces, tile heat, "
+        "slow-query log, per-verb latency histograms; default on)",
+    )
+    parser.add_argument(
+        "--slowlog-ms",
+        type=float,
+        default=100.0,
+        help="with --serve: capture requests slower than this in the "
+        "slow-query log (default 100)",
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="with --serve: also serve Prometheus text on "
+        "http://127.0.0.1:PORT/metrics (0 picks a free port, announced "
+        "on stdout)",
+    )
+    parser.add_argument(
+        "--top",
+        metavar="HOST:PORT",
+        help="live console against a running server (qps, per-verb "
+        "latency percentiles, hot tiles); refresh with --interval",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="with --top: refresh interval in seconds (default 2)",
+    )
+    parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="with --top: stop after N refreshes (default: run until ^C)",
+    )
     args = parser.parse_args(argv)
 
+    if args.top:
+        return _top(args)
     if args.serve:
         return _serve(args)
     if args.explain:
@@ -178,8 +223,11 @@ def _serve(args) -> int:
     if not sep or not port.lstrip("-").isdigit():
         print(f"--serve expects HOST:PORT, got {args.serve!r}", file=sys.stderr)
         return 2
+    boot: "dict[str, float]" = {}
     if args.index:
-        col = SpatialCollection.load(args.index)
+        t0 = time.perf_counter()
+        col = SpatialCollection.load(args.index, timings=boot)
+        boot["total_ms"] = (time.perf_counter() - t0) * 1e3
         source = args.index
     else:
         data = generate_uniform_rects(args.n, area=1e-6, seed=args.seed)
@@ -193,8 +241,14 @@ def _serve(args) -> int:
         queue_depth=args.queue_depth,
         max_batch=args.max_batch,
         coalesce_ms=args.coalesce_ms,
+        telemetry=args.telemetry == "on",
+        slowlog_ms=args.slowlog_ms,
+        metrics_port=args.metrics_port,
     )
     service = SpatialQueryService(col.index, col.data, config)
+    for key, value in boot.items():
+        # surfaces in the `stats` verb and /metrics as server.boot.*
+        service.registry.gauge(f"server.boot.{key}").set(round(value, 3))
 
     def announce(svc: SpatialQueryService) -> None:
         bound_host, bound_port = svc.address
@@ -203,12 +257,46 @@ def _serve(args) -> int:
             f"({source}, objects={len(col)}, "
             f"grid={col.index.grid.nx}x{col.index.grid.ny}, "
             f"max_batch={args.max_batch}, coalesce_ms={args.coalesce_ms}, "
-            f"queue_depth={args.queue_depth})",
+            f"queue_depth={args.queue_depth}, telemetry={args.telemetry})",
             flush=True,
         )
+        # after the serving line: spawn_server() keys on the first line
+        if svc.metrics_http is not None:
+            m_host, m_port = svc.metrics_http.address
+            print(f"metrics on http://{m_host}:{m_port}/metrics", flush=True)
+        if boot:
+            print(
+                f"boot from {source}: read={boot.get('read_ms', 0.0):.1f}ms "
+                f"build={boot.get('build_ms', 0.0):.1f}ms "
+                f"total={boot.get('total_ms', 0.0):.1f}ms",
+                flush=True,
+            )
 
     asyncio.run(service.run(ready=announce))
     print("drained and stopped", flush=True)
+    return 0
+
+
+def _top(args) -> int:
+    """Run the live console (``--top HOST:PORT``) against a server."""
+    from repro.server.admin import run_top
+
+    host, sep, port = args.top.rpartition(":")
+    if not sep or not port.isdigit():
+        print(f"--top expects HOST:PORT, got {args.top!r}", file=sys.stderr)
+        return 2
+    try:
+        run_top(
+            host,
+            int(port),
+            interval_s=args.interval,
+            iterations=args.iterations,
+        )
+    except KeyboardInterrupt:
+        pass
+    except (ConnectionError, OSError) as exc:
+        print(f"--top: cannot reach {args.top}: {exc}", file=sys.stderr)
+        return 1
     return 0
 
 

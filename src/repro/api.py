@@ -128,11 +128,16 @@ class SpatialCollection:
         save_collection(self.index, self.data, path)
 
     @classmethod
-    def load(cls, path) -> "SpatialCollection":
-        """Restore a collection written by :meth:`save` without rebuilding."""
+    def load(cls, path, timings: "dict | None" = None) -> "SpatialCollection":
+        """Restore a collection written by :meth:`save` without rebuilding.
+
+        ``timings`` (optional dict) receives the boot split — ``read_ms``
+        vs ``build_ms`` — which ``--serve --index`` surfaces in the
+        ``stats`` verb and the serving benchmark records.
+        """
         from repro.core.persistence import load_collection
 
-        index, data = load_collection(path)
+        index, data = load_collection(path, timings=timings)
         col = cls.__new__(cls)
         col.data = data
         col.index = index

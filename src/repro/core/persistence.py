@@ -17,6 +17,7 @@ cheap.
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
@@ -151,7 +152,9 @@ def save_collection(
 
 
 def load_index(
-    path: "str | os.PathLike[str]", storage: "str | None" = None
+    path: "str | os.PathLike[str]",
+    storage: "str | None" = None,
+    timings: "dict | None" = None,
 ) -> "TwoLayerGrid | OneLayerGrid":
     """Restore an index previously written by :func:`save_index`.
 
@@ -159,7 +162,13 @@ def load_index(
     ``"legacy"``; ``None`` uses the process default, see
     :func:`repro.grid.storage.packed_storage_default`) — archives are
     layout-agnostic, so either backend restores from any archive.
+
+    ``timings``, when given, receives the boot-time split: ``read_ms``
+    (npz decompression + column extraction) and ``build_ms`` (index
+    reconstruction from the columns) accumulate onto any existing
+    values, so one dict can total a multi-file boot.
     """
+    t0 = time.perf_counter()
     with np.load(path, allow_pickle=False) as archive:
         try:
             version = int(archive["version"])
@@ -182,6 +191,7 @@ def load_index(
     cls = _KINDS.get(kind)
     if cls is None:
         raise DatasetError(f"{path}: unknown index kind {kind!r}")
+    t1 = time.perf_counter()
 
     grid = GridPartitioner(nx, ny, domain)
     index = cls(grid, storage=storage)
@@ -248,14 +258,25 @@ def load_index(
                     xl[rows].copy(), yl[rows].copy(), xu[rows].copy(),
                     yu[rows].copy(), ids[rows].copy(),
                 )
+    if timings is not None:
+        timings["read_ms"] = timings.get("read_ms", 0.0) + (t1 - t0) * 1e3
+        timings["build_ms"] = (
+            timings.get("build_ms", 0.0) + (time.perf_counter() - t1) * 1e3
+        )
     return index
 
 
 def load_collection(
     path: "str | os.PathLike[str]",
+    timings: "dict | None" = None,
 ) -> "tuple[TwoLayerGrid | OneLayerGrid, RectDataset]":
-    """Restore ``(index, dataset)`` from a :func:`save_collection` archive."""
-    index = load_index(path)
+    """Restore ``(index, dataset)`` from a :func:`save_collection` archive.
+
+    ``timings`` is forwarded to :func:`load_index`; the dataset-column
+    read adds onto its ``read_ms``.
+    """
+    index = load_index(path, timings=timings)
+    t0 = time.perf_counter()
     with np.load(path, allow_pickle=False) as archive:
         try:
             data = RectDataset(
@@ -273,5 +294,9 @@ def load_collection(
         raise DatasetError(
             f"{path}: dataset has {len(data)} rows but the index covers "
             f"{len(index)} objects"
+        )
+    if timings is not None:
+        timings["read_ms"] = (
+            timings.get("read_ms", 0.0) + (time.perf_counter() - t0) * 1e3
         )
     return index, data

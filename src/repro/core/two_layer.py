@@ -324,6 +324,35 @@ class TwoLayerGrid:
             n -= int(store.dead_per_group[tile_id * 4 : tile_id * 4 + 4].sum())
         return n > 0
 
+    def _tile_live_counts(self, tids: np.ndarray) -> np.ndarray:
+        """Live rows per tile (all four classes) in the packed base."""
+        store = self._store
+        tot = store.offsets[tids * 4 + 4] - store.offsets[tids * 4]
+        if store.n_dead:
+            dpg = store.dead_per_group
+            tot = tot - (
+                dpg[tids * 4]
+                + dpg[tids * 4 + 1]
+                + dpg[tids * 4 + 2]
+                + dpg[tids * 4 + 3]
+            )
+        return tot
+
+    def _tile_live_rows(self, tile_id: int) -> int:
+        """Live rows in one tile across the base and overlay tables."""
+        n = 0
+        store = self._store
+        if store is not None:
+            n = int(store.offsets[tile_id * 4 + 4] - store.offsets[tile_id * 4])
+            if n and store.n_dead:
+                n -= int(
+                    store.dead_per_group[tile_id * 4 : tile_id * 4 + 4].sum()
+                )
+        tables = self._tiles.get(tile_id)
+        if tables is not None:
+            n += sum(len(t) for t in tables if t is not None)
+        return n
+
     def _delta_tiles_in_range(
         self, ix0: int, ix1: int, iy0: int, iy1: int
     ) -> list[int]:
@@ -568,16 +597,9 @@ class TwoLayerGrid:
                 if tids.shape[0] == 0:
                     continue
             if stats is not None:
-                tile_tot = store.offsets[tids * 4 + 4] - store.offsets[tids * 4]
-                if store.n_dead:
-                    dpg = store.dead_per_group
-                    tile_tot = tile_tot - (
-                        dpg[tids * 4]
-                        + dpg[tids * 4 + 1]
-                        + dpg[tids * 4 + 2]
-                        + dpg[tids * 4 + 3]
-                    )
+                tile_tot = self._tile_live_counts(tids)
                 stats.partitions_visited += int(np.count_nonzero(tile_tot))
+                region_scanned = np.zeros(tids.shape[0], dtype=np.int64)
             for cp in plan.classes:
                 keys = tids * 4 + cp.code
                 starts = store.offsets[keys]
@@ -591,6 +613,7 @@ class TwoLayerGrid:
                 if stats is not None:
                     stats.rects_scanned += total
                     stats.comparisons += cp.n_comparisons * total
+                    region_scanned += counts
                     name = CLASS_NAMES[cp.code]
                     for _ in range(int(np.count_nonzero(counts))):
                         stats.visit_class(name)
@@ -611,6 +634,8 @@ class TwoLayerGrid:
                     mask = m if mask is None else mask & m
                 ids = store.ids[rows]
                 pieces.append(ids if mask is None else ids[mask])
+            if stats is not None:
+                stats.visit_tiles(tids, region_scanned, tile_tot)
         for tile_id in delta:
             plan = plan_tile(tile_id % nx, tile_id // nx, ix0, ix1, iy0, iy1)
             self._scan_tile_window(tile_id, window, plan, pieces, stats)
@@ -729,6 +754,7 @@ class TwoLayerGrid:
             if not self._tile_has_rows(tile_id):
                 return
             stats.partitions_visited += 1
+        scanned = 0
         for cp in plan.classes:
             cols = self._partition_columns(tile_id, cp.code)
             if cols is None:
@@ -740,8 +766,11 @@ class TwoLayerGrid:
                 stats.rects_scanned += ids.shape[0]
                 stats.comparisons += cp.n_comparisons * ids.shape[0]
                 stats.visit_class(CLASS_NAMES[cp.code])
+                scanned += ids.shape[0]
             mask = _window_class_mask(cp, window, xl, yl, xu, yu)
             pieces.append(ids if mask is None else ids[mask])
+        if stats is not None:
+            stats.visit_tile(tile_id, scanned, self._tile_live_rows(tile_id))
 
     def _window_chunks(
         self, window: Rect, stats: "QueryStats | None" = None
@@ -785,15 +814,7 @@ class TwoLayerGrid:
                 if tids.shape[0] == 0:
                     continue
             if stats is not None:
-                tile_tot = store.offsets[tids * 4 + 4] - store.offsets[tids * 4]
-                if store.n_dead:
-                    dpg = store.dead_per_group
-                    tile_tot = tile_tot - (
-                        dpg[tids * 4]
-                        + dpg[tids * 4 + 1]
-                        + dpg[tids * 4 + 2]
-                        + dpg[tids * 4 + 3]
-                    )
+                tile_tot = self._tile_live_counts(tids)
                 stats.partitions_visited += int(np.count_nonzero(tile_tot))
             for cp in plan.classes:
                 keys = tids * 4 + cp.code
@@ -926,6 +947,7 @@ class TwoLayerGrid:
                 stats.comparisons += n_comparisons * total
                 for _ in range(int(np.count_nonzero(counts))):
                     stats.visit_class("A")
+                stats.visit_tiles(tids, counts, self._tile_live_counts(tids))
             rows = store.gather(keys)
             mask = (store.xu[rows] <= window.xu) & (store.yu[rows] <= window.yu)
             if plan.at_x0:
@@ -963,6 +985,9 @@ class TwoLayerGrid:
             stats.partitions_visited += 1
             stats.rects_scanned += ids.shape[0]
             stats.visit_class("A")
+            stats.visit_tile(
+                tile_id, ids.shape[0], self._tile_live_rows(tile_id)
+            )
         mask = (xu <= window.xu) & (yu <= window.yu)
         n_comparisons = 2
         if at_x0:
@@ -1095,17 +1120,11 @@ class TwoLayerGrid:
             (delta_jobs if job[0] in self._tiles else fused_jobs).append(job)
         if fused_jobs:
             if stats is not None:
-                tids = np.asarray([j[0] for j in fused_jobs], dtype=np.int64)
-                tile_tot = store.offsets[tids * 4 + 4] - store.offsets[tids * 4]
-                if store.n_dead:
-                    dpg = store.dead_per_group
-                    tile_tot = tile_tot - (
-                        dpg[tids * 4]
-                        + dpg[tids * 4 + 1]
-                        + dpg[tids * 4 + 2]
-                        + dpg[tids * 4 + 3]
-                    )
+                tids_all = np.asarray([j[0] for j in fused_jobs], dtype=np.int64)
+                tile_tot = self._tile_live_counts(tids_all)
                 stats.partitions_visited += int(np.count_nonzero(tile_tot))
+                tid_pos = {int(t): i for i, t in enumerate(tids_all)}
+                scanned_all = np.zeros(tids_all.shape[0], dtype=np.int64)
             for code in (CLASS_A, CLASS_B, CLASS_C, CLASS_D):
                 for want_covered in (False, True):
                     batch = [
@@ -1123,6 +1142,13 @@ class TwoLayerGrid:
                         continue
                     if stats is not None:
                         stats.rects_scanned += total
+                        scanned_all[
+                            np.fromiter(
+                                (tid_pos[int(t)] for t in tids),
+                                dtype=np.int64,
+                                count=tids.shape[0],
+                            )
+                        ] += counts
                         name = CLASS_NAMES[code]
                         for _ in range(int(np.count_nonzero(counts))):
                             stats.visit_class(name)
@@ -1155,6 +1181,8 @@ class TwoLayerGrid:
                             stats,
                         )
                     pieces.append(store.ids[rows][qual])
+            if stats is not None:
+                stats.visit_tiles(tids_all, scanned_all, tile_tot)
         for tile_id, codes, covered, iy in delta_jobs:
             self._scan_tile_disk(
                 tile_id, query, codes, covered, iy, row_span, pieces, stats
@@ -1183,6 +1211,7 @@ class TwoLayerGrid:
             if not self._tile_has_rows(tile_id):
                 return
             stats.partitions_visited += 1
+        scanned = 0
         for code in codes:
             cols = self._partition_columns(tile_id, code)
             if cols is None:
@@ -1193,6 +1222,7 @@ class TwoLayerGrid:
             if stats is not None:
                 stats.rects_scanned += ids.shape[0]
                 stats.visit_class(CLASS_NAMES[code])
+                scanned += ids.shape[0]
             if covered:
                 qual = np.ones(ids.shape[0], dtype=bool)
             else:
@@ -1204,6 +1234,8 @@ class TwoLayerGrid:
             if code in (CLASS_B, CLASS_D):
                 qual &= self._canonical_keep(xl, yl, xu, iy, row_span, stats)
             pieces.append(ids[qual])
+        if stats is not None:
+            stats.visit_tile(tile_id, scanned, self._tile_live_rows(tile_id))
 
     def _canonical_keep(
         self,

@@ -502,6 +502,9 @@ class OneLayerGrid:
                     stats.partitions_visited += 1
                     stats.rects_scanned += ids.shape[0]
                     stats.visit_class("tile")
+                    # 1-layer scans every row of every visited tile, so
+                    # scanned == present (nothing is class-pruned).
+                    stats.visit_tile(base + ix, ids.shape[0], ids.shape[0])
                 mask = self._window_mask(
                     xl, yl, xu, yu, window, ix, ix0, ix1, iy, iy0, iy1, stats
                 )
@@ -591,6 +594,7 @@ class OneLayerGrid:
                     stats.comparisons += n_comparisons * total
                     for _ in range(int(np.count_nonzero(counts))):
                         stats.visit_class("tile")
+                    stats.visit_tiles(tids, counts, counts)
                 rows = store.gather(tids)
                 mask: "np.ndarray | None" = None
                 if at_x0:
@@ -643,6 +647,7 @@ class OneLayerGrid:
                 stats.partitions_visited += 1
                 stats.rects_scanned += ids.shape[0]
                 stats.visit_class("tile")
+                stats.visit_tile(tile_id, ids.shape[0], ids.shape[0])
             mask = self._window_mask(
                 xl, yl, xu, yu, window, ix, ix0, ix1, iy, iy0, iy1, stats
             )
@@ -766,6 +771,7 @@ class OneLayerGrid:
                     stats.partitions_visited += 1
                     stats.rects_scanned += ids.shape[0]
                     stats.visit_class("tile")
+                    stats.visit_tile(base + ix, ids.shape[0], ids.shape[0])
                 mask = self._window_mask(
                     xl, yl, xu, yu, window, ix, ix0, ix1, iy, iy0, iy1, stats
                 )

@@ -14,6 +14,9 @@ the repo's perf trajectory:
 * :mod:`repro.obs.explain` — query EXPLAIN: per-class tile accounting,
   candidate flow per phase, duplicate/comparison bookkeeping as a
   :class:`QueryPlan`;
+* :mod:`repro.obs.live` — live-serving telemetry: decaying per-tile
+  heat maps, the bounded trace ring and the slow-query log behind the
+  server's ``heatmap``/``traces``/``slowlog`` admin verbs;
 * :mod:`repro.obs.trajectory` — benchmark-record history: manifests,
   baseline comparison and regression detection.
 
@@ -36,6 +39,13 @@ from repro.obs.export import (
     to_prometheus_text,
     write_jsonl,
 )
+from repro.obs.live import (
+    HeatStats,
+    LiveTelemetry,
+    SlowQueryLog,
+    TileHeatAccumulator,
+    TraceRing,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.profiler import Profile
 from repro.obs import tracing
@@ -56,12 +66,17 @@ __all__ = [
     "ExplainStats",
     "MetricDelta",
     "Gauge",
+    "HeatStats",
     "Histogram",
+    "LiveTelemetry",
     "MetricsRegistry",
     "PhaseStep",
     "Profile",
     "QueryPlan",
+    "SlowQueryLog",
     "SpanNode",
+    "TileHeatAccumulator",
+    "TraceRing",
     "Tracer",
     "compare_records",
     "explain_disk",

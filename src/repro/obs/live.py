@@ -1,0 +1,331 @@
+"""Live serving telemetry: tile heat, request traces, slow-query capture.
+
+Three bounded, allocation-light collectors that a long-lived server can
+leave enabled permanently (the serving layer wires them behind
+``ServerConfig.telemetry``):
+
+* :class:`TileHeatAccumulator` — per-tile work counters (times scanned,
+  rows touched, duplicate candidates avoided) over the grid, with
+  optional exponential decay on a monotonic clock so the snapshot
+  reflects *recent* load, not process history.  This is the online
+  input the ROADMAP's adaptive-granularity auto-tuner needs: the same
+  per-tile scan accounting EXPLAIN computes offline, but accumulated
+  continuously from live traffic.
+* :class:`HeatStats` — a :class:`~repro.stats.QueryStats` subclass that
+  routes the per-tile hooks (:meth:`~repro.stats.QueryStats.visit_tile`
+  / :meth:`~repro.stats.QueryStats.visit_tiles`) into an accumulator.
+  Scalar visits are buffered in a plain list and flushed with one
+  ``np.add.at`` per few thousand visits, so the per-tile cost on the
+  query hot path is one ``list.append``.
+* :class:`TraceRing` / :class:`SlowQueryLog` — fixed-capacity rings of
+  finished request traces and over-threshold captures.  The slow-query
+  log stores the request arguments so an EXPLAIN plan can be computed
+  *lazily* when an operator asks for the log, never on the serving hot
+  path.
+
+Everything here is single-writer by design: the serving event loop is
+the only recorder, and the admin verbs that read snapshots run on the
+same loop, so no locking is needed (unlike :mod:`repro.obs.metrics`,
+which is read concurrently by exporter threads).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.errors import ObsError
+from repro.stats import QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from numpy.typing import NDArray
+
+__all__ = [
+    "HeatStats",
+    "LiveTelemetry",
+    "SlowQueryLog",
+    "TileHeatAccumulator",
+    "TraceRing",
+]
+
+#: scalar visits buffered in :class:`HeatStats` before one vectorised flush.
+_FLUSH_EVERY = 2048
+
+
+class TileHeatAccumulator:
+    """Per-tile work counters over an ``nx`` x ``ny`` grid with decay.
+
+    Three float64 arrays of ``nx * ny`` cells accumulate, per tile:
+
+    * ``scans`` — how many times a query visited the tile;
+    * ``rows`` — rows actually scanned there (after class pruning);
+    * ``present`` — rows live in the tile at visit time (all classes).
+
+    ``present - rows`` is the per-tile duplicate-candidate work the
+    two-layer class pruning avoided (rows a 1-layer scan would have
+    touched and then deduplicated).  With ``half_life_s > 0`` every
+    counter decays exponentially on the monotonic clock, applied lazily
+    in batches (never more than once per ``half_life_s / 64`` to keep
+    the record path cheap), so the heat map tracks the recent workload
+    instead of growing monotonically for the life of the process.
+    """
+
+    def __init__(self, nx: int, ny: int, half_life_s: float = 600.0):
+        if nx < 1 or ny < 1:
+            raise ObsError(f"grid must be at least 1x1, got {nx}x{ny}")
+        if half_life_s < 0:
+            raise ObsError(f"half_life_s must be >= 0, got {half_life_s}")
+        self.nx = nx
+        self.ny = ny
+        self.half_life_s = half_life_s
+        self.scans = np.zeros(nx * ny, dtype=np.float64)
+        self.rows = np.zeros(nx * ny, dtype=np.float64)
+        self.present = np.zeros(nx * ny, dtype=np.float64)
+        #: total visits ever recorded (not decayed; monotonic).
+        self.total_visits = 0
+        self._last_decay = time.monotonic()
+        self._decay_every = (half_life_s / 64.0) if half_life_s else 0.0
+
+    # -- recording ---------------------------------------------------------
+
+    def _maybe_decay(self) -> None:
+        if not self.half_life_s:
+            return
+        now = time.monotonic()
+        dt = now - self._last_decay
+        if dt < self._decay_every:
+            return
+        factor = 0.5 ** (dt / self.half_life_s)
+        self.scans *= factor
+        self.rows *= factor
+        self.present *= factor
+        self._last_decay = now
+
+    def record(self, tile_id: int, scanned: int, present: int) -> None:
+        """Account one tile visit (``scanned`` <= ``present`` rows)."""
+        self._maybe_decay()
+        self.scans[tile_id] += 1.0
+        self.rows[tile_id] += scanned
+        self.present[tile_id] += present
+        self.total_visits += 1
+
+    def record_many(
+        self,
+        tile_ids: "NDArray[np.int64]",
+        scanned: "NDArray[np.int64]",
+        present: "NDArray[np.int64]",
+    ) -> None:
+        """Vectorised :meth:`record` — one call per fused-kernel region."""
+        self._maybe_decay()
+        visited = present > 0
+        np.add.at(self.scans, tile_ids, visited.astype(np.float64))
+        np.add.at(self.rows, tile_ids, scanned)
+        np.add.at(self.present, tile_ids, present)
+        self.total_visits += int(np.count_nonzero(visited))
+
+    def reset(self) -> None:
+        """Zero every counter (decay clock restarts now)."""
+        self.scans[:] = 0.0
+        self.rows[:] = 0.0
+        self.present[:] = 0.0
+        self.total_visits = 0
+        self._last_decay = time.monotonic()
+
+    # -- views -------------------------------------------------------------
+
+    def top(self, k: int = 20) -> list[dict[str, Any]]:
+        """The ``k`` hottest tiles by scan count, hottest first.
+
+        Each entry carries the tile id, its grid coordinates and the
+        three (decayed) counters plus the derived ``avoided`` figure.
+        """
+        self._maybe_decay()
+        hot = np.flatnonzero(self.scans)
+        if hot.shape[0] == 0:
+            return []
+        order = hot[np.argsort(self.scans[hot])[::-1][:k]]
+        out: list[dict[str, Any]] = []
+        for tid in order:
+            tid = int(tid)
+            out.append(
+                {
+                    "tile": tid,
+                    "ix": tid % self.nx,
+                    "iy": tid // self.nx,
+                    "scans": round(float(self.scans[tid]), 3),
+                    "rows": round(float(self.rows[tid]), 3),
+                    "avoided": round(
+                        float(self.present[tid] - self.rows[tid]), 3
+                    ),
+                }
+            )
+        return out
+
+    def snapshot(self, top: int = 20) -> dict[str, Any]:
+        """JSON-ready heat snapshot: totals plus the top-K hot tiles."""
+        self._maybe_decay()
+        return {
+            "nx": self.nx,
+            "ny": self.ny,
+            "half_life_s": self.half_life_s,
+            "tiles_hot": int(np.count_nonzero(self.scans)),
+            "total_visits": self.total_visits,
+            "total_scans": round(float(self.scans.sum()), 3),
+            "total_rows": round(float(self.rows.sum()), 3),
+            "total_avoided": round(
+                float(self.present.sum() - self.rows.sum()), 3
+            ),
+            "tiles": self.top(top),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"TileHeatAccumulator({self.nx}x{self.ny}, "
+            f"visits={self.total_visits}, "
+            f"hot={int(np.count_nonzero(self.scans))})"
+        )
+
+
+class HeatStats(QueryStats):
+    """Query stats that feed the per-tile hooks into a heat accumulator.
+
+    A plain subclass like :class:`~repro.obs.explain.ExplainStats`: the
+    accumulator and buffer are instance attributes, not dataclass
+    fields, so ``merge``/``diff``/``__add__`` keep operating on the
+    counter set they know about.  Scalar visits are buffered and flushed
+    in one vectorised pass per :data:`_FLUSH_EVERY` visits (and by
+    :meth:`flush` before any snapshot is taken).
+    """
+
+    def __init__(self, heat: TileHeatAccumulator, **kwargs: int):
+        super().__init__(**kwargs)
+        self.heat = heat
+        self._buf: list[tuple[int, int, int]] = []
+
+    def visit_tile(self, tile_id: int, scanned: int, present: int) -> None:
+        buf = self._buf
+        buf.append((tile_id, scanned, present))
+        if len(buf) >= _FLUSH_EVERY:
+            self.flush()
+
+    def visit_tiles(
+        self,
+        tile_ids: "NDArray[np.int64]",
+        scanned: "NDArray[np.int64]",
+        present: "NDArray[np.int64]",
+    ) -> None:
+        self.heat.record_many(tile_ids, scanned, present)
+
+    def flush(self) -> None:
+        """Drain the scalar-visit buffer into the accumulator."""
+        buf = self._buf
+        if not buf:
+            return
+        arr = np.asarray(buf, dtype=np.int64)
+        self._buf = []
+        self.heat.record_many(arr[:, 0], arr[:, 1], arr[:, 2])
+
+
+class TraceRing:
+    """Fixed-capacity ring of finished request-trace records."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ObsError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: "deque[dict[str, Any]]" = deque(maxlen=capacity)
+        self.total = 0
+
+    def append(self, record: dict[str, Any]) -> None:
+        self._ring.append(record)
+        self.total += 1
+
+    def last(self, n: int = 20) -> list[dict[str, Any]]:
+        """The most recent ``n`` records, newest first."""
+        if n <= 0:
+            return []
+        out = list(self._ring)[-n:]
+        out.reverse()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class SlowQueryLog:
+    """Bounded capture of requests slower than a latency threshold.
+
+    Entries keep the request's verb/args and phase breakdown; the
+    ``explain`` slot stays ``None`` until an operator reads the log
+    (the serving layer computes the plan lazily at read time, against
+    the then-current snapshot — never on the request path).
+    """
+
+    def __init__(self, capacity: int = 128, threshold_ms: float = 100.0):
+        if capacity < 1:
+            raise ObsError(f"capacity must be >= 1, got {capacity}")
+        if threshold_ms < 0:
+            raise ObsError(f"threshold_ms must be >= 0, got {threshold_ms}")
+        self.capacity = capacity
+        self.threshold_ms = threshold_ms
+        self._ring: "deque[dict[str, Any]]" = deque(maxlen=capacity)
+        self.total = 0
+
+    def maybe_capture(self, record: dict[str, Any]) -> bool:
+        """Capture ``record`` when its latency breaches the threshold."""
+        latency = record.get("latency_ms")
+        if latency is None or latency < self.threshold_ms:
+            return False
+        entry = dict(record)
+        entry.setdefault("explain", None)
+        self._ring.append(entry)
+        self.total += 1
+        return True
+
+    def entries(self, limit: int = 20) -> list[dict[str, Any]]:
+        """The most recent ``limit`` captures, newest (slow) first."""
+        if limit <= 0:
+            return []
+        out = list(self._ring)[-limit:]
+        out.reverse()
+        return out
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+class LiveTelemetry:
+    """The serving layer's telemetry bundle: heat + traces + slowlog.
+
+    One instance per :class:`~repro.server.service.SpatialQueryService`;
+    all recording happens on the service's event loop, so nothing here
+    takes a lock.  :meth:`finish` is the single choke point a completed
+    request flows through.
+    """
+
+    def __init__(
+        self,
+        nx: int,
+        ny: int,
+        trace_capacity: int = 256,
+        slowlog_capacity: int = 128,
+        slowlog_ms: float = 100.0,
+        half_life_s: float = 600.0,
+    ):
+        self.heat = TileHeatAccumulator(nx, ny, half_life_s=half_life_s)
+        self.stats = HeatStats(self.heat)
+        self.traces = TraceRing(trace_capacity)
+        self.slowlog = SlowQueryLog(slowlog_capacity, slowlog_ms)
+
+    def finish(self, record: dict[str, Any]) -> None:
+        """Retain one finished request trace (and capture it if slow)."""
+        self.traces.append(record)
+        self.slowlog.maybe_capture(record)
+
+    def heat_snapshot(self, top: int = 20) -> dict[str, Any]:
+        """Flush pending visits and snapshot the heat accumulator."""
+        self.stats.flush()
+        return self.heat.snapshot(top)

@@ -21,10 +21,14 @@ plumbing:
   get per-connection write timeouts, and SIGTERM drains in-flight
   requests before closing.
 
-:mod:`repro.server.client` is a synchronous, stdlib-only client.  See
-``docs/serving.md`` for the protocol reference and deployment notes.
+:mod:`repro.server.client` is a synchronous, stdlib-only client.
+:mod:`repro.server.admin` adds the live-ops surface: the Prometheus
+``/metrics`` HTTP listener and the ``--top`` console.  See
+``docs/serving.md`` for the protocol reference and deployment notes and
+``docs/observability.md`` for the live-operations guide.
 """
 
+from repro.server.admin import MetricsHTTPServer, run_top
 from repro.server.batcher import MicroBatcher, PendingRequest
 from repro.server.protocol import (
     ERROR_CODES,
@@ -40,6 +44,7 @@ from repro.server.snapshot import Snapshot, SnapshotStore
 
 __all__ = [
     "ERROR_CODES",
+    "MetricsHTTPServer",
     "MicroBatcher",
     "PendingRequest",
     "PROTOCOL_VERSION",
@@ -52,4 +57,5 @@ __all__ = [
     "encode_error",
     "encode_request",
     "encode_response",
+    "run_top",
 ]

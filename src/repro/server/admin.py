@@ -1,0 +1,217 @@
+"""Runtime exposition for a live server: metrics HTTP + top console.
+
+Two operator-facing front-ends over the serving telemetry:
+
+* :class:`MetricsHTTPServer` — a tiny stdlib HTTP listener (daemon
+  thread, ``ThreadingHTTPServer``) serving the service's
+  :class:`~repro.obs.metrics.MetricsRegistry` as Prometheus text at
+  ``GET /metrics`` (plus ``/healthz``).  Started by
+  :meth:`~repro.server.service.SpatialQueryService.start` when
+  ``ServerConfig.metrics_port`` is set; the registry is thread-safe, so
+  scrapes never touch the event loop.
+* :func:`run_top` — the ``python -m repro --top HOST:PORT`` live console:
+  polls the ``stats`` and ``heatmap`` verbs over the NDJSON protocol and
+  renders qps, per-verb latency quantiles, queue/batch gauges and the
+  top-K hot tiles, refreshing in place like ``top(1)``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from threading import Thread
+from typing import TextIO
+
+from repro.obs.export import to_prometheus_text
+from repro.obs.metrics import MetricsRegistry
+from repro.server.client import SpatialClient
+
+__all__ = ["MetricsHTTPServer", "run_top"]
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    """GET-only handler; the registry hangs off the server instance."""
+
+    server_version = "repro-metrics/1"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        if self.path.split("?", 1)[0] == "/metrics":
+            body = to_prometheus_text(self.server.registry).encode("utf-8")
+            self.send_response(200)
+            self.send_header(
+                "Content-Type", "text/plain; version=0.0.4; charset=utf-8"
+            )
+        elif self.path == "/healthz":
+            body = b"ok\n"
+            self.send_response(200)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        else:
+            body = b"not found; try /metrics\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args: object) -> None:
+        """Scrapes are high-frequency noise; keep stderr clean."""
+
+
+class _RegistryHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+
+    def __init__(self, addr: tuple[str, int], registry: MetricsRegistry):
+        super().__init__(addr, _MetricsHandler)
+        self.registry = registry
+
+
+class MetricsHTTPServer:
+    """Prometheus text endpoint on a daemon thread.
+
+    ``port=0`` binds an ephemeral port; read :attr:`address` after
+    construction (the socket is bound in ``__init__``, so the port is
+    known before :meth:`start`).
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self._httpd = _RegistryHTTPServer((host, port), registry)
+        self._thread: "Thread | None" = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = Thread(
+            target=self._httpd.serve_forever,
+            name="repro-metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        self._thread = None
+
+
+# -- live console (`python -m repro --top`) -------------------------------
+
+
+def _fmt_ms(value: "float | None") -> str:
+    return "-" if value is None else f"{value:8.2f}"
+
+
+def _render(
+    stats: dict,
+    heat: "dict | None",
+    qps: "float | None",
+    address: str,
+    top_k: int,
+) -> str:
+    metrics = stats.get("metrics", {})
+    lines = [
+        f"repro --top {address}    "
+        f"snapshot={stats.get('snapshot', '?')}  "
+        f"uptime={stats.get('uptime_s', 0.0):.0f}s  "
+        f"telemetry={'on' if stats.get('telemetry') else 'off'}",
+        (
+            f"qps={'-' if qps is None else f'{qps:.1f}'}  "
+            f"requests={metrics.get('server.requests', 0):.0f}  "
+            f"connections={metrics.get('server.connections', 0):.0f}  "
+            f"queue_depth={metrics.get('server.queue_depth', 0):.0f}  "
+            f"batch_mean={metrics.get('server.batch_size.mean', 0.0):.1f}  "
+            f"rejected={metrics.get('server.rejected', 0):.0f}"
+        ),
+        "",
+        f"{'verb':<10} {'count':>9} {'p50 ms':>9} {'p95 ms':>9} {'p99 ms':>9}",
+    ]
+    prefix, suffix = "server.latency_ms.", ".count"
+    verbs = set()
+    for key in metrics:
+        if key.startswith(prefix) and key.endswith(suffix):
+            verb = key[len(prefix):-len(suffix)]
+            # skip the base histogram's own ".count" expansion ("") and
+            # any nested expansions — per-verb names are a single token
+            if verb and "." not in verb:
+                verbs.add(verb)
+    for verb in sorted(verbs):
+        base = f"server.latency_ms.{verb}"
+        count = metrics.get(f"{base}.count", 0)
+        if not count:
+            continue
+        lines.append(
+            f"{verb:<10} {count:>9.0f}"
+            f" {_fmt_ms(metrics.get(f'{base}.p50'))}"
+            f" {_fmt_ms(metrics.get(f'{base}.p95'))}"
+            f" {_fmt_ms(metrics.get(f'{base}.p99'))}"
+        )
+    if heat is not None:
+        lines += [
+            "",
+            f"hot tiles (top {top_k}, decayed; "
+            f"{heat.get('tiles_hot', 0)} tiles warm):",
+            f"{'tile':>6} {'ix':>4} {'iy':>4} {'scans':>10} "
+            f"{'rows':>12} {'avoided':>12}",
+        ]
+        for tile in heat.get("tiles", [])[:top_k]:
+            lines.append(
+                f"{tile['tile']:>6} {tile['ix']:>4} {tile['iy']:>4} "
+                f"{tile['scans']:>10.1f} {tile['rows']:>12.1f} "
+                f"{tile['avoided']:>12.1f}"
+            )
+    return "\n".join(lines)
+
+
+def run_top(
+    host: str,
+    port: int,
+    interval_s: float = 2.0,
+    iterations: "int | None" = None,
+    top_k: int = 10,
+    out: "TextIO | None" = None,
+    clear: bool = True,
+) -> None:
+    """Poll a live server and render a ``top(1)``-style console view.
+
+    ``iterations=None`` runs until interrupted; pass a count for
+    scripted/CI use.  ``clear=False`` suppresses the ANSI home/clear
+    prefix (useful when piping to a file).
+    """
+    stream = out if out is not None else sys.stdout
+    address = f"{host}:{port}"
+    last_requests: "float | None" = None
+    last_t: "float | None" = None
+    done = 0
+    with SpatialClient(host, port) as client:
+        while iterations is None or done < iterations:
+            stats = client.stats()
+            heat = None
+            if stats.get("telemetry"):
+                heat = client.heatmap(top=top_k)
+            now = time.perf_counter()
+            requests = stats.get("metrics", {}).get("server.requests", 0.0)
+            qps = None
+            if last_t is not None and now > last_t:
+                qps = max(requests - last_requests, 0.0) / (now - last_t)
+            last_requests, last_t = requests, now
+            if clear:
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(_render(stats, heat, qps, address, top_k) + "\n")
+            stream.flush()
+            done += 1
+            if iterations is None or done < iterations:
+                time.sleep(interval_s)

@@ -28,7 +28,7 @@ __all__ = ["MicroBatcher", "PendingRequest"]
 class PendingRequest:
     """One admitted request waiting for (batched) execution."""
 
-    __slots__ = ("request", "conn", "enqueued_at")
+    __slots__ = ("request", "conn", "enqueued_at", "dequeued_at")
 
     # `conn` is the service layer's _Connection; typed loosely to keep
     # the batcher importable without the service (no circular import).
@@ -40,6 +40,10 @@ class PendingRequest:
         self.enqueued_at = (
             enqueued_at if enqueued_at is not None else time.perf_counter()
         )
+        #: stamped by the drain loop when the request leaves the queue;
+        #: ``dequeued_at - enqueued_at`` is the admission-queue wait and
+        #: ``exec_start - dequeued_at`` the coalescing wait of a trace.
+        self.dequeued_at = self.enqueued_at
 
 
 class MicroBatcher:
@@ -118,6 +122,7 @@ class MicroBatcher:
                     return None
                 continue
             break
+        first.dequeued_at = time.perf_counter()
         batch = [first]
         if self.coalesce_s > 0.0 and self.max_batch > 1:
             loop = asyncio.get_running_loop()
@@ -133,8 +138,10 @@ class MicroBatcher:
                 if item is None:
                     self._requeue_sentinel()
                     break
+                item.dequeued_at = time.perf_counter()
                 batch.append(item)
         else:
+            now = time.perf_counter()
             while len(batch) < self.max_batch:
                 try:
                     item = self._queue.get_nowait()
@@ -143,5 +150,6 @@ class MicroBatcher:
                 if item is None:
                     self._requeue_sentinel()
                     break
+                item.dequeued_at = now
                 batch.append(item)
         return batch

@@ -12,9 +12,16 @@ module, so a thin consumer process does not need numpy::
 
 Structured server errors raise :class:`ServerError` subclasses;
 ``overloaded`` raises :class:`OverloadedError` carrying the server's
-``retry_after_ms`` hint.  The client keeps one request in flight at a
-time; :meth:`SpatialClient.send_raw` / :meth:`SpatialClient.recv_raw`
-expose the pipelined path the open-loop load generator uses.
+``retry_after_ms`` hint.  Transport stalls raise
+:class:`ClientTimeoutError` after the socket ``timeout`` (default 30 s)
+instead of hanging forever on a wedged server.  The client keeps one
+request in flight at a time; :meth:`SpatialClient.send_raw` /
+:meth:`SpatialClient.recv_raw` expose the pipelined path the open-loop
+load generator uses.
+
+Requests may carry an opaque ``trace`` id (``call(..., trace="...")``);
+the server echoes it — with per-phase timings when telemetry is on —
+and the client keeps the frame's trace id on :attr:`last_trace`.
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from repro.server.protocol import decode_response, encode_request
 
 __all__ = [
     "ClientError",
+    "ClientTimeoutError",
     "OverloadedError",
     "ServerError",
     "ShuttingDownError",
@@ -35,6 +43,20 @@ __all__ = [
 
 class ClientError(Exception):
     """Transport-level failure (connection closed, malformed frame)."""
+
+
+class ClientTimeoutError(ClientError):
+    """The socket timed out connecting, sending, or awaiting a response.
+
+    Carries the offending ``op`` (``"connect"``/``"send"``/``"recv"``)
+    and the configured ``timeout`` so retry loops can report precisely.
+    """
+
+    def __init__(self, op: str, timeout: "float | None"):
+        budget = "no timeout" if timeout is None else f"{timeout:g}s"
+        super().__init__(f"{op} timed out after {budget}")
+        self.op = op
+        self.timeout = timeout
 
 
 class ServerError(Exception):
@@ -64,11 +86,17 @@ _ERROR_CLASSES = {
 class SpatialClient:
     """One blocking connection to a :class:`SpatialQueryService`."""
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0):
+    def __init__(self, host: str, port: int, timeout: "float | None" = 30.0):
         self.host = host
         self.port = port
+        self.timeout = timeout
         self._ids = itertools.count(1)
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+        try:
+            self._sock = socket.create_connection(
+                (host, port), timeout=timeout
+            )
+        except TimeoutError as exc:  # socket.timeout is an alias
+            raise ClientTimeoutError("connect", timeout) from exc
         self._file = self._sock.makefile("rb")
 
     # -- lifecycle --------------------------------------------------------
@@ -87,28 +115,46 @@ class SpatialClient:
 
     # -- raw pipelined path (load generators, tests) ----------------------
 
-    def send_raw(self, verb: str, args: "dict | None" = None) -> int:
+    def send_raw(
+        self,
+        verb: str,
+        args: "dict | None" = None,
+        trace: "str | None" = None,
+    ) -> int:
         """Fire one request without waiting; returns its request id."""
         req_id = next(self._ids)
-        self._sock.sendall(encode_request(req_id, verb, args))
+        try:
+            self._sock.sendall(encode_request(req_id, verb, args, trace=trace))
+        except TimeoutError as exc:
+            raise ClientTimeoutError("send", self.timeout) from exc
         return req_id
 
     def recv_raw(self) -> dict:
         """Read the next response frame (whatever request it answers)."""
-        line = self._file.readline()
+        try:
+            line = self._file.readline()
+        except TimeoutError as exc:
+            raise ClientTimeoutError("recv", self.timeout) from exc
         if not line:
             raise ClientError("server closed the connection")
         return decode_response(line)
 
     # -- request/response -------------------------------------------------
 
-    def call(self, verb: str, args: "dict | None" = None) -> dict:
+    def call(
+        self,
+        verb: str,
+        args: "dict | None" = None,
+        trace: "str | None" = None,
+    ) -> dict:
         """One request, one response; raises on structured errors.
 
         Returns the ``result`` payload; the frame's ``server`` metadata
-        (snapshot version, batch size) is kept on :attr:`last_server`.
+        (snapshot version, batch size, per-phase timings for traced
+        requests) is kept on :attr:`last_server` and its trace id on
+        :attr:`last_trace`.
         """
-        req_id = self.send_raw(verb, args)
+        req_id = self.send_raw(verb, args, trace=trace)
         frame = self.recv_raw()
         if frame.get("id") not in (req_id, None):
             raise ClientError(
@@ -119,6 +165,7 @@ class SpatialClient:
 
     def unwrap(self, frame: dict) -> dict:
         """Turn a response frame into its result, raising on errors."""
+        self.last_trace = frame.get("trace")
         if frame["ok"]:
             self.last_server = frame.get("server")
             return frame["result"]
@@ -129,6 +176,8 @@ class SpatialClient:
 
     #: ``server`` metadata of the last successful :meth:`call` response.
     last_server: "dict | None" = None
+    #: trace id echoed on the last response frame (client- or server-assigned).
+    last_trace: "str | None" = None
 
     # -- verbs ------------------------------------------------------------
 
@@ -175,3 +224,14 @@ class SpatialClient:
 
     def stats(self) -> dict:
         return self.call("stats")
+
+    # -- live-telemetry admin verbs ---------------------------------------
+
+    def heatmap(self, top: int = 20) -> dict:
+        return self.call("heatmap", {"top": top})
+
+    def slowlog(self, limit: int = 20, explain: bool = True) -> dict:
+        return self.call("slowlog", {"limit": limit, "explain": explain})
+
+    def traces(self, limit: int = 20) -> dict:
+        return self.call("traces", {"limit": limit})

@@ -29,6 +29,7 @@ from repro.errors import ProtocolError
 
 __all__ = [
     "ERROR_CODES",
+    "MAX_TRACE_LEN",
     "PROTOCOL_VERSION",
     "VERBS",
     "Request",
@@ -39,7 +40,10 @@ __all__ = [
     "encode_response",
 ]
 
-PROTOCOL_VERSION = 1
+PROTOCOL_VERSION = 2
+
+#: longest accepted client-supplied trace id (opaque string).
+MAX_TRACE_LEN = 128
 
 #: structured error codes a server may return.
 ERROR_CODES = (
@@ -69,6 +73,12 @@ def _int_arg(value, verb: str, name: str) -> int:
 def _str_arg(value, verb: str, name: str) -> str:
     if not isinstance(value, str):
         raise ProtocolError(f"{verb}: argument {name!r} must be a string")
+    return value
+
+
+def _bool_arg(value, verb: str, name: str) -> bool:
+    if not isinstance(value, bool):
+        raise ProtocolError(f"{verb}: argument {name!r} must be a boolean")
     return value
 
 
@@ -120,6 +130,18 @@ VERBS: dict[str, dict[str, tuple]] = {
         "k": (_int_arg, None),
     },
     "stats": {},
+    # Live-telemetry admin verbs (read-only; answered from the event
+    # loop against the service's telemetry rings, never the index).
+    "heatmap": {
+        "top": (_int_arg, 20),
+    },
+    "slowlog": {
+        "limit": (_int_arg, 20),
+        "explain": (_bool_arg, True),
+    },
+    "traces": {
+        "limit": (_int_arg, 20),
+    },
 }
 
 _EXPLAIN_KINDS = {
@@ -139,6 +161,10 @@ class Request:
     id: "int | str"
     verb: str
     args: dict = field(default_factory=dict)
+    #: client-supplied trace id, echoed in the response envelope; when
+    #: absent the server assigns one (telemetry-on) so every retained
+    #: trace is addressable.
+    trace: "str | None" = None
 
 
 def _validate_args(verb: str, raw: dict) -> dict:
@@ -212,14 +238,34 @@ def decode_request(line: "bytes | str") -> Request:
     raw_args = obj.get("args", {})
     if not isinstance(raw_args, dict):
         raise ProtocolError("'args' must be a JSON object")
-    return Request(id=req_id, verb=verb, args=_validate_args(verb, raw_args))
+    trace = obj.get("trace")
+    if trace is not None:
+        if not isinstance(trace, str) or not trace:
+            raise ProtocolError("'trace' must be a non-empty string")
+        if len(trace) > MAX_TRACE_LEN:
+            raise ProtocolError(
+                f"'trace' longer than {MAX_TRACE_LEN} characters"
+            )
+    return Request(
+        id=req_id,
+        verb=verb,
+        args=_validate_args(verb, raw_args),
+        trace=trace,
+    )
 
 
-def encode_request(req_id: "int | str", verb: str, args: "dict | None" = None) -> bytes:
+def encode_request(
+    req_id: "int | str",
+    verb: str,
+    args: "dict | None" = None,
+    trace: "str | None" = None,
+) -> bytes:
     """Serialise one request to a newline-terminated frame."""
     frame = {"id": req_id, "verb": verb}
     if args:
         frame["args"] = args
+    if trace is not None:
+        frame["trace"] = trace
     return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
 
 
@@ -227,11 +273,14 @@ def encode_response(
     req_id: "int | str | None",
     result: dict,
     server: "dict | None" = None,
+    trace: "str | None" = None,
 ) -> bytes:
     """Serialise one success response to a newline-terminated frame."""
     frame: dict = {"id": req_id, "ok": True, "result": result}
     if server:
         frame["server"] = server
+    if trace is not None:
+        frame["trace"] = trace
     return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
 
 
@@ -240,6 +289,7 @@ def encode_error(
     code: str,
     message: str,
     retry_after_ms: "int | None" = None,
+    trace: "str | None" = None,
 ) -> bytes:
     """Serialise one structured error response."""
     if code not in ERROR_CODES:
@@ -248,6 +298,8 @@ def encode_error(
     if retry_after_ms is not None:
         error["retry_after_ms"] = int(retry_after_ms)
     frame = {"id": req_id, "ok": False, "error": error}
+    if trace is not None:
+        frame["trace"] = trace
     return (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
 
 

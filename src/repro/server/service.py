@@ -26,6 +26,7 @@ in-flight requests before the process exits.
 from __future__ import annotations
 
 import asyncio
+import itertools
 import signal
 import time
 from typing import Callable
@@ -39,6 +40,7 @@ from repro.core.batch import evaluate_disk_tiles_based, evaluate_tiles_based
 from repro.core.knn import knn_query
 from repro.core.two_layer import TwoLayerGrid
 from repro.obs import tracing as _tracing
+from repro.obs.live import LiveTelemetry
 from repro.obs.metrics import MetricsRegistry
 from repro.server.batcher import MicroBatcher, PendingRequest
 from repro.server.protocol import (
@@ -79,6 +81,30 @@ class ServerConfig:
     drain_timeout_s: float = 10.0
     #: maximum request line length [bytes].
     max_line_bytes: int = 1 << 20
+    #: live telemetry master switch: request traces, per-verb latency
+    #: histograms, tile heat, slow-query capture, admin verbs.
+    telemetry: bool = True
+    #: capacity of the finished-trace ring (``traces`` verb).
+    trace_ring: int = 256
+    #: requests slower than this are captured in the slow-query log [ms].
+    slowlog_ms: float = 100.0
+    #: capacity of the slow-query log ring (``slowlog`` verb).
+    slowlog_ring: int = 128
+    #: tile-heat exponential-decay half life [s]; 0 disables decay.
+    heat_half_life_s: float = 600.0
+    #: feed kernel QueryStats into the heat map on 1-in-N batches only.
+    #: Stats-threaded kernels give up the stats-free fast path, so this
+    #: is the dominant telemetry cost; 1-in-32 keeps the heat map fed
+    #: (thousands of samples per decay half-life at serving rates) while
+    #: staying inside the 3% serving overhead budget.
+    heat_sample: int = 32
+    #: retain 1-in-N *untraced* requests in the trace ring (client-traced
+    #: and over-threshold requests are always retained).
+    trace_sample: int = 16
+    #: serve Prometheus text on this HTTP port when set (0 = ephemeral).
+    metrics_port: "int | None" = None
+    #: bind host for the metrics listener.
+    metrics_host: str = "127.0.0.1"
 
     def effective_retry_after_ms(self) -> int:
         if self.retry_after_ms is not None:
@@ -185,9 +211,37 @@ class _Connection:
             pass
 
 
+class _BatchCtx:
+    """Per-batch telemetry scalars shared by every member's trace.
+
+    Built once per micro-batch when telemetry is on; phase dicts are
+    assembled lazily from these scalars only for requests that are
+    actually retained (client-traced, slow, or ring-sampled), so the
+    per-request hot-path cost stays a few float reads.
+    """
+
+    __slots__ = ("t_exec", "pin_ms", "kernel_ms", "snapshot", "batch_size", "stats")
+
+    def __init__(
+        self,
+        t_exec: float,
+        pin_ms: float,
+        snapshot: int,
+        batch_size: int,
+        stats,
+    ):
+        self.t_exec = t_exec
+        self.pin_ms = pin_ms
+        self.kernel_ms = 0.0  # set by each execution group before responding
+        self.snapshot = snapshot
+        self.batch_size = batch_size
+        self.stats = stats  # HeatStats on sampled batches, else None
+
+
 class SpatialQueryService:
     """Serve window/disk/kNN/count/insert/delete/describe/explain/stats
-    over a snapshot-isolated two-layer grid."""
+    over a snapshot-isolated two-layer grid, with live telemetry
+    (``heatmap``/``slowlog``/``traces`` verbs) when enabled."""
 
     def __init__(
         self,
@@ -226,6 +280,35 @@ class SpatialQueryService:
             verb: self.registry.counter(f"server.requests.{verb}")
             for verb in VERBS
         }
+        self._t_start = time.perf_counter()
+        self._trace_seq = itertools.count(1)
+        self._heat_tick = 0
+        self._trace_tick = 0
+        self.metrics_http = None  # set by start() when metrics_port is set
+        self.telemetry: "LiveTelemetry | None" = None
+        self._m_verb_latency = {}
+        if self.config.telemetry:
+            self.telemetry = LiveTelemetry(
+                index.grid.nx,
+                index.grid.ny,
+                trace_capacity=self.config.trace_ring,
+                slowlog_capacity=self.config.slowlog_ring,
+                slowlog_ms=self.config.slowlog_ms,
+                half_life_s=self.config.heat_half_life_s,
+            )
+            self._m_verb_latency = {
+                verb: self.registry.histogram(f"server.latency_ms.{verb}")
+                for verb in VERBS
+            }
+            tel = self.telemetry
+            self.registry.register_source(
+                "server.live",
+                lambda: {
+                    "traces_retained": float(len(tel.traces)),
+                    "slowlog_captured": float(tel.slowlog.total),
+                    "heat_visits": float(tel.heat.total_visits),
+                },
+            )
 
     # -- lifecycle --------------------------------------------------------
 
@@ -244,6 +327,15 @@ class SpatialQueryService:
             self.config.port,
             limit=self.config.max_line_bytes,
         )
+        if self.config.metrics_port is not None:
+            from repro.server.admin import MetricsHTTPServer
+
+            self.metrics_http = MetricsHTTPServer(
+                self.registry,
+                host=self.config.metrics_host,
+                port=self.config.metrics_port,
+            )
+            self.metrics_http.start()
         self._batch_task = asyncio.ensure_future(self._batch_loop())
         self._writer_task = asyncio.ensure_future(self._writer_loop())
 
@@ -299,6 +391,8 @@ class SpatialQueryService:
                     task.cancel()
         for conn in list(self._conns):
             await conn.flush_close()
+        if self.metrics_http is not None:
+            self.metrics_http.stop()
         self._stopped.set()
 
     # -- connection handling ----------------------------------------------
@@ -386,9 +480,20 @@ class SpatialQueryService:
             self._execute_batch(batch)
 
     def _execute_batch(self, batch: "list[PendingRequest]") -> None:
+        t_exec = time.perf_counter()
         self._m_queue_depth.set(self.batcher.depth())
         self._m_batch_size.observe(len(batch))
         snap = self.store.current
+        bctx: "_BatchCtx | None" = None
+        if self.telemetry is not None:
+            pin_ms = (time.perf_counter() - t_exec) * 1e3
+            self._heat_tick += 1
+            stats = (
+                self.telemetry.stats
+                if self._heat_tick % self.config.heat_sample == 0
+                else None
+            )
+            bctx = _BatchCtx(t_exec, pin_ms, snap.version, len(batch), stats)
         meta = {"snapshot": snap.version, "batch_size": len(batch)}
         # Responses are aggregated per connection and flushed as one
         # write per connection after the batch — clients multiplexing
@@ -420,19 +525,31 @@ class SpatialQueryService:
             except ReproError as exc:
                 self._respond(
                     pending,
-                    encode_error(req.id, "invalid_query", str(exc)),
+                    encode_error(
+                        req.id, "invalid_query", str(exc), trace=req.trace
+                    ),
                     out,
                 )
 
         with _tracing.activate(self.tracer):
             with _tracing.span("server.batch"):
                 if window_group:
-                    self._run_window_group(snap, window_group, meta, out)
+                    self._run_window_group(snap, window_group, meta, out, bctx)
                 if disk_group:
-                    self._run_disk_group(snap, disk_group, meta, out)
+                    self._run_disk_group(snap, disk_group, meta, out, bctx)
                 for pending in singles:
-                    payload = self._execute_single(snap, pending.request, meta)
-                    self._respond(pending, payload, out)
+                    t0 = time.perf_counter()
+                    result, err = self._execute_single(
+                        snap,
+                        pending.request,
+                        None if bctx is None else bctx.stats,
+                    )
+                    if bctx is not None:
+                        bctx.kernel_ms = (time.perf_counter() - t0) * 1e3
+                    if err is not None:
+                        self._respond(pending, err, out)
+                    else:
+                        self._deliver(pending, result, meta, out, bctx)
 
         for conn, frames in out.items():
             conn.send(frames[0] if len(frames) == 1 else b"".join(frames))
@@ -443,31 +560,42 @@ class SpatialQueryService:
         group: "list[tuple[PendingRequest, Rect, bool]]",
         meta: dict,
         out: "dict[_Connection, list[bytes]]",
+        bctx: "_BatchCtx | None",
     ) -> None:
         """Window-intersects and count queries share one tiles-based
         evaluation; count responses just skip materialising the ids."""
         windows = [w for _, w, _ in group]
         try:
+            t0 = time.perf_counter()
             with _tracing.span("server.window"):
-                results = evaluate_tiles_based(snap.index, windows)
+                results = evaluate_tiles_based(
+                    snap.index,
+                    windows,
+                    None if bctx is None else bctx.stats,
+                )
         except Exception as exc:  # pragma: no cover - engine invariant
             for pending, _, _ in group:
                 self._respond(
                     pending,
-                    encode_error(pending.request.id, "internal", repr(exc)),
+                    encode_error(
+                        pending.request.id,
+                        "internal",
+                        repr(exc),
+                        trace=pending.request.trace,
+                    ),
                     out,
                 )
             return
+        if bctx is not None:
+            # One fused evaluation serves the whole group; its duration
+            # is each member's kernel phase (meta carries batch_size).
+            bctx.kernel_ms = (time.perf_counter() - t0) * 1e3
         for (pending, _, count_only), ids in zip(group, results):
             if count_only:
                 result = {"count": int(ids.shape[0])}
             else:
                 result = {"ids": ids.tolist(), "count": int(ids.shape[0])}
-            self._respond(
-                pending,
-                encode_response(pending.request.id, result, meta),
-                out,
-            )
+            self._deliver(pending, result, meta, out, bctx)
 
     def _run_disk_group(
         self,
@@ -475,45 +603,65 @@ class SpatialQueryService:
         group: "list[tuple[PendingRequest, DiskQuery]]",
         meta: dict,
         out: "dict[_Connection, list[bytes]]",
+        bctx: "_BatchCtx | None",
     ) -> None:
         queries = [q for _, q in group]
         try:
+            t0 = time.perf_counter()
             with _tracing.span("server.disk"):
-                results = evaluate_disk_tiles_based(snap.index, queries)
+                results = evaluate_disk_tiles_based(
+                    snap.index,
+                    queries,
+                    None if bctx is None else bctx.stats,
+                )
         except Exception as exc:  # pragma: no cover - engine invariant
             for pending, _ in group:
                 self._respond(
                     pending,
-                    encode_error(pending.request.id, "internal", repr(exc)),
+                    encode_error(
+                        pending.request.id,
+                        "internal",
+                        repr(exc),
+                        trace=pending.request.trace,
+                    ),
                     out,
                 )
             return
+        if bctx is not None:
+            bctx.kernel_ms = (time.perf_counter() - t0) * 1e3
         for (pending, _), ids in zip(group, results):
-            self._respond(
+            self._deliver(
                 pending,
-                encode_response(
-                    pending.request.id,
-                    {"ids": ids.tolist(), "count": int(ids.shape[0])},
-                    meta,
-                ),
+                {"ids": ids.tolist(), "count": int(ids.shape[0])},
+                meta,
                 out,
+                bctx,
             )
 
-    def _execute_single(self, snap: Snapshot, req: Request, meta: dict) -> bytes:
+    def _execute_single(
+        self, snap: Snapshot, req: Request, stats=None
+    ) -> "tuple[dict | None, bytes | None]":
+        """Run one unbatched verb; returns ``(result, None)`` on success
+        or ``(None, encoded error frame)`` on failure."""
         try:
             with _tracing.span(f"server.{req.verb}"):
-                result = self._run_verb(snap, req)
-            return encode_response(req.id, result, meta)
+                return self._run_verb(snap, req, stats), None
         except (InvalidQueryError, ProtocolError) as exc:
-            return encode_error(req.id, "invalid_query", str(exc))
+            return None, encode_error(
+                req.id, "invalid_query", str(exc), trace=req.trace
+            )
         except ReproError as exc:
             self.registry.counter("server.errors.internal").inc()
-            return encode_error(req.id, "internal", str(exc))
+            return None, encode_error(
+                req.id, "internal", str(exc), trace=req.trace
+            )
         except Exception as exc:  # pragma: no cover - defensive
             self.registry.counter("server.errors.internal").inc()
-            return encode_error(req.id, "internal", repr(exc))
+            return None, encode_error(
+                req.id, "internal", repr(exc), trace=req.trace
+            )
 
-    def _run_verb(self, snap: Snapshot, req: Request):
+    def _run_verb(self, snap: Snapshot, req: Request, stats=None):
         args = req.args
         index, data = snap.index, snap.data
         if req.verb == "ping":
@@ -525,10 +673,12 @@ class SpatialQueryService:
         if req.verb == "window":
             # only predicate="within" lands here; intersects is batched
             window = Rect(args["xl"], args["yl"], args["xu"], args["yu"])
-            ids = index.window_query_within(window)
+            ids = index.window_query_within(window, stats)
             return {"ids": ids.tolist(), "count": int(ids.shape[0])}
         if req.verb == "knn":
-            ids = knn_query(index, data, args["cx"], args["cy"], args["k"])
+            ids = knn_query(
+                index, data, args["cx"], args["cy"], args["k"], stats=stats
+            )
             return {"ids": ids.tolist(), "count": int(ids.shape[0])}
         if req.verb == "count":
             window = Rect(args["xl"], args["yl"], args["xu"], args["yu"])
@@ -548,12 +698,88 @@ class SpatialQueryService:
         if req.verb == "explain":
             return self._run_explain(snap, args)
         if req.verb == "stats":
+            cfg = self.config
             return {
                 "metrics": self.registry.collect(),
                 "spans": self.tracer.phase_totals(),
                 "snapshot": snap.version,
+                "uptime_s": round(time.perf_counter() - self._t_start, 3),
+                "telemetry": self.telemetry is not None,
+                "config": {
+                    "queue_depth": cfg.queue_depth,
+                    "max_batch": cfg.max_batch,
+                    "coalesce_ms": cfg.coalesce_ms,
+                    "slowlog_ms": cfg.slowlog_ms,
+                    "heat_sample": cfg.heat_sample,
+                    "trace_sample": cfg.trace_sample,
+                },
+            }
+        if req.verb == "heatmap":
+            tel = self._require_telemetry()
+            return tel.heat_snapshot(top=args["top"])
+        if req.verb == "traces":
+            tel = self._require_telemetry()
+            return {
+                "capacity": tel.traces.capacity,
+                "total": tel.traces.total,
+                "entries": tel.traces.last(args["limit"]),
+            }
+        if req.verb == "slowlog":
+            tel = self._require_telemetry()
+            entries = tel.slowlog.entries(args["limit"])
+            if args["explain"]:
+                for entry in entries:
+                    self._attach_explain(snap, entry)
+            return {
+                "threshold_ms": tel.slowlog.threshold_ms,
+                "total": tel.slowlog.total,
+                "entries": entries,
             }
         raise InvalidQueryError(f"verb {req.verb!r} is not servable")
+
+    def _require_telemetry(self) -> LiveTelemetry:
+        if self.telemetry is None:
+            raise InvalidQueryError(
+                "telemetry is disabled on this server (--telemetry off)"
+            )
+        return self.telemetry
+
+    def _attach_explain(self, snap: Snapshot, entry: dict) -> None:
+        """Fill a slowlog entry's lazily-computed EXPLAIN plan.
+
+        Runs at ``slowlog`` read time against the *current* snapshot
+        (never on the request path); the plan is cached on the ring
+        entry so repeated reads pay once.
+        """
+        if entry.get("explain") is not None:
+            return
+        verb = entry.get("verb")
+        args = entry.get("args") or {}
+        try:
+            if verb in ("window", "count") and (
+                verb == "count" or args.get("predicate") == "intersects"
+            ):
+                entry["explain"] = self._run_explain(
+                    snap, {"kind": "window", **{
+                        k: args[k] for k in ("xl", "yl", "xu", "yu")
+                    }},
+                )
+            elif verb == "disk":
+                entry["explain"] = self._run_explain(
+                    snap, {"kind": "disk", **{
+                        k: args[k] for k in ("cx", "cy", "radius")
+                    }},
+                )
+            elif verb == "knn":
+                entry["explain"] = self._run_explain(
+                    snap, {"kind": "knn", **{
+                        k: args[k] for k in ("cx", "cy", "k")
+                    }},
+                )
+            else:
+                entry["explain"] = {"skipped": f"no EXPLAIN for verb {verb!r}"}
+        except ReproError as exc:
+            entry["explain"] = {"error": str(exc)}
 
     def _run_explain(self, snap: Snapshot, args: dict) -> dict:
         from repro.obs.explain import explain_disk, explain_knn, explain_window
@@ -581,6 +807,11 @@ class SpatialQueryService:
             if pending is None:
                 return
             req = pending.request
+            tel = self.telemetry
+            trace_id = None
+            if tel is not None:
+                trace_id = req.trace or f"t-{next(self._trace_seq):06x}"
+            t0 = time.perf_counter()
             try:
                 with _tracing.activate(self.tracer):
                     with _tracing.span(f"server.{req.verb}"):
@@ -596,31 +827,157 @@ class SpatialQueryService:
                         else:
                             found, version = self.store.delete(req.args["id"])
                             result = {"found": found, "snapshot": version}
-                payload = encode_response(req.id, result)
+                payload = encode_response(req.id, result, trace=trace_id)
             except ReproError as exc:
-                payload = encode_error(req.id, "invalid_query", str(exc))
+                payload = encode_error(
+                    req.id, "invalid_query", str(exc), trace=trace_id
+                )
             except Exception as exc:  # pragma: no cover - defensive
                 self.registry.counter("server.errors.internal").inc()
-                payload = encode_error(req.id, "internal", repr(exc))
-            self._respond(pending, payload)
+                payload = encode_error(
+                    req.id, "internal", repr(exc), trace=trace_id
+                )
+            record = None
+            if tel is not None:
+                # Writes are rare: always retain their trace (the COW
+                # fork time is the kernel phase; no batching phases).
+                record = {
+                    "trace": trace_id,
+                    "id": req.id,
+                    "verb": req.verb,
+                    "args": req.args,
+                    "phases": {
+                        "queue_ms": round(
+                            (t0 - pending.enqueued_at) * 1e3, 3
+                        ),
+                        "kernel_ms": round(
+                            (time.perf_counter() - t0) * 1e3, 3
+                        ),
+                    },
+                }
+            self._respond(pending, payload, record=record)
 
     # -- bookkeeping ------------------------------------------------------
+
+    def _phases(self, pending: PendingRequest, bctx: _BatchCtx) -> dict:
+        """Per-phase timing [ms] of one request, from batch scalars.
+
+        ``refine_ms`` is structurally zero — serving is MBR-only, no
+        refinement stage runs — but the key is kept so trace consumers
+        see the full phase taxonomy.  ``serialize_ms`` is patched onto
+        retained records after the envelope encode (the wire envelope
+        necessarily freezes before that measurement completes).
+        """
+        return {
+            "queue_ms": round(
+                (pending.dequeued_at - pending.enqueued_at) * 1e3, 3
+            ),
+            "coalesce_ms": round(
+                (bctx.t_exec - pending.dequeued_at) * 1e3, 3
+            ),
+            "snapshot_pin_ms": round(bctx.pin_ms, 4),
+            "kernel_ms": round(bctx.kernel_ms, 3),
+            "refine_ms": 0.0,
+        }
+
+    def _make_record(
+        self,
+        pending: PendingRequest,
+        bctx: _BatchCtx,
+        trace_id: str,
+        phases: "dict | None" = None,
+    ) -> dict:
+        req = pending.request
+        return {
+            "trace": trace_id,
+            "id": req.id,
+            "verb": req.verb,
+            "args": req.args,
+            "snapshot": bctx.snapshot,
+            "batch_size": bctx.batch_size,
+            "phases": phases if phases is not None else self._phases(pending, bctx),
+        }
+
+    def _deliver(
+        self,
+        pending: PendingRequest,
+        result: dict,
+        meta: dict,
+        out: "dict[_Connection, list[bytes]]",
+        bctx: "_BatchCtx | None",
+    ) -> None:
+        """Encode one success response and hand it to :meth:`_respond`.
+
+        Telemetry on: every response envelope carries a ``trace`` id
+        (the client's, else server-assigned).  Client-traced requests
+        additionally get the per-phase breakdown inline and are always
+        retained in the trace ring; untraced requests stay lean on the
+        hot path (phases are assembled only if the request turns out
+        slow or is ring-sampled, from the batch scalars).
+        """
+        req = pending.request
+        if bctx is None:
+            self._respond(
+                pending, encode_response(req.id, result, meta), out
+            )
+            return
+        trace_id = req.trace or f"t-{next(self._trace_seq):06x}"
+        record = None
+        if req.trace is not None:
+            phases = self._phases(pending, bctx)
+            t0 = time.perf_counter()
+            payload = encode_response(
+                req.id, result, {**meta, "phases": phases}, trace=trace_id
+            )
+            phases["serialize_ms"] = round(
+                (time.perf_counter() - t0) * 1e3, 3
+            )
+            record = self._make_record(pending, bctx, trace_id, phases)
+        else:
+            payload = encode_response(req.id, result, meta, trace=trace_id)
+        self._respond(
+            pending, payload, out, bctx=bctx, trace_id=trace_id, record=record
+        )
 
     def _respond(
         self,
         pending: PendingRequest,
         payload: bytes,
         out: "dict[_Connection, list[bytes]] | None" = None,
+        bctx: "_BatchCtx | None" = None,
+        trace_id: "str | None" = None,
+        record: "dict | None" = None,
     ) -> None:
         """Account for one finished request and deliver its response.
 
         With ``out`` the frame is staged in the batch's per-connection
         aggregation buffer (flushed by :meth:`_execute_batch` as one
         write per connection); without it the frame is sent directly.
+        A non-``None`` ``record`` is finalised with the latency and
+        retained; otherwise slow or ring-sampled requests get a record
+        built here from the batch scalars.
         """
         latency_ms = (time.perf_counter() - pending.enqueued_at) * 1e3
-        self._m_verbs[pending.request.verb].inc()
+        verb = pending.request.verb
+        self._m_verbs[verb].inc()
         self._m_latency.observe(latency_ms)
+        tel = self.telemetry
+        if tel is not None:
+            self._m_verb_latency[verb].observe(latency_ms)
+            if record is None and bctx is not None:
+                self._trace_tick += 1
+                if (
+                    latency_ms >= tel.slowlog.threshold_ms
+                    or self._trace_tick % self.config.trace_sample == 0
+                ):
+                    record = self._make_record(
+                        pending,
+                        bctx,
+                        trace_id or f"t-{next(self._trace_seq):06x}",
+                    )
+            if record is not None:
+                record["latency_ms"] = round(latency_ms, 3)
+                tel.finish(record)
         if out is None:
             pending.conn.send(payload)
         else:

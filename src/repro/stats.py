@@ -56,6 +56,29 @@ class QueryStats:
         the normal stats path.
         """
 
+    def visit_tile(self, tile_id: int, scanned: int, present: int) -> None:
+        """Hook called by indexes once per tile actually scanned.
+
+        ``scanned`` is the number of rows examined in the tile for this
+        query (after class pruning); ``present`` is the number of live
+        rows stored in the tile across all secondary partitions, so
+        ``present - scanned`` is the duplicate-candidate work the class
+        pruning avoided there.  The base class ignores it — only
+        :class:`repro.obs.live.HeatStats` overrides it to feed the
+        per-tile heat accumulator — so the hook is free on the normal
+        stats path.
+        """
+
+    def visit_tiles(
+        self, tile_ids: "object", scanned: "object", present: "object"
+    ) -> None:
+        """Vectorised :meth:`visit_tile` for fused kernels.
+
+        All three arguments are parallel integer arrays (one entry per
+        tile in a fused region).  Kept loosely typed so this module
+        stays numpy-free; overriders coerce with ``np.asarray``.
+        """
+
     def merge(self, other: "QueryStats") -> None:
         """Add another stats object's counters into this one."""
         for f in fields(self):

@@ -27,6 +27,9 @@ VALID_ARGS = {
     "describe": {},
     "explain": {"kind": "window", "xl": 0.1, "yl": 0.2, "xu": 0.3, "yu": 0.4},
     "stats": {},
+    "heatmap": {"top": 5},
+    "slowlog": {"limit": 10, "explain": False},
+    "traces": {"limit": 10},
 }
 
 
