@@ -20,7 +20,11 @@ paper's Section VI batch-evaluation speedups), and live telemetry —
 request tracing, per-verb histograms, tile heat — must cost at most
 ``--max-telemetry-overhead`` percent of telemetry-off throughput
 (default 3%; the comparison runs best-of ``--telemetry-reps`` per state
-at the top concurrency level).  A boot phase additionally records the
+at the top concurrency level).  A sharded phase sweeps ``--shards``
+counts (default 1 vs 4), spot-checks scatter-gather parity on every
+verb, and gates on ``--min-shard-speedup`` — auto-relaxed to
+record-only on hosts with fewer than 4 cores, where a worker fleet
+cannot physically beat one process.  A boot phase records the
 ``--index`` cold-start split (archive read vs index build) from the
 server's ``server.boot.*`` gauges.  ``--telemetry-only`` skips the
 batching sweep and overload phase for quick CI overhead checks.
@@ -310,6 +314,86 @@ def telemetry_phase(args) -> dict:
     }
 
 
+def _parity_spot_check(
+    addr_a: tuple[str, int], addr_b: tuple[str, int], seed: int, trials: int = 20
+) -> dict:
+    """Scatter-gather parity: every verb must answer identically on a
+    single-process server and a sharded router over the same dataset."""
+    rng = np.random.default_rng(seed)
+    mismatches = 0
+    with SpatialClient(*addr_a) as ca, SpatialClient(*addr_b) as cb:
+        for _ in range(trials):
+            xs = sorted(rng.uniform(0.0, 1.0, 2))
+            ys = sorted(rng.uniform(0.0, 1.0, 2))
+            w = (xs[0], ys[0], xs[1], ys[1])
+            cx, cy = rng.uniform(0, 1), rng.uniform(0, 1)
+            r = rng.uniform(0.01, 0.1)
+            checks = (
+                sorted(ca.window(*w)) == sorted(cb.window(*w)),
+                sorted(ca.window(*w, predicate="within"))
+                == sorted(cb.window(*w, predicate="within")),
+                ca.count(*w) == cb.count(*w),
+                sorted(ca.disk(cx, cy, r)) == sorted(cb.disk(cx, cy, r)),
+                ca.knn(cx, cy, 10) == cb.knn(cx, cy, 10),
+            )
+            mismatches += sum(1 for okay in checks if not okay)
+    return {"trials": trials, "verbs": 5, "mismatches": mismatches}
+
+
+def sharded_phase(args) -> dict:
+    """Sharded router vs single-process read throughput, plus a
+    scatter-gather parity spot check on every verb.
+
+    The speedup gate only engages on machines with enough cores to host
+    the worker fleet (``--min-shard-speedup`` defaults to 2.5x at >= 4
+    available cores, 0 below — a single-core runner still measures and
+    records, it just cannot fail on a number the hardware cannot hit).
+    """
+    top = max(args.clients)
+    flags = [
+        "--n", str(args.n), "--seed", str(args.seed),
+        "--queue-depth", "4096", "--max-batch", "64", "--coalesce-ms", "0",
+    ]
+    sweep = sorted(set(args.shards_sweep))
+    servers: dict[int, tuple] = {}
+    cells: dict[int, dict] = {}
+    try:
+        for k in sweep:
+            extra = ["--shards", str(k)] if k > 1 else []
+            servers[k] = spawn_server(*flags, *extra)
+            _, host, port = servers[k]
+            with SpatialClient(host, port) as cli:
+                cli.window(0.4, 0.4, 0.5, 0.5)  # warm off the clock
+        parity = _parity_spot_check(
+            servers[sweep[0]][1:], servers[sweep[-1]][1:], args.seed
+        )
+        for k in sweep:
+            _, host, port = servers[k]
+            cell = closed_loop(
+                host, port, top, args.per_client, args.side, args.conns
+            )
+            cells[k] = cell
+            print(
+                f"  shards={k:<2d} {cell['throughput_rps']:8.0f} req/s  "
+                f"p50={cell['p50_ms']:.2f}ms p99={cell['p99_ms']:.2f}ms"
+            )
+    finally:
+        for proc, _, _ in servers.values():
+            stop_server(proc)
+    base = cells[sweep[0]]["throughput_rps"]
+    peak_k = max(cells, key=lambda k: cells[k]["throughput_rps"])
+    speedup = cells[peak_k]["throughput_rps"] / base
+    return {
+        "clients": top,
+        "sweep": {str(k): cells[k] for k in sweep},
+        "parity": parity,
+        "base_rps": base,
+        "best_shards": peak_k,
+        "speedup": speedup,
+        "cores": os.cpu_count() or 1,
+    }
+
+
 def boot_phase(n: int, seed: int) -> dict:
     """Cold-start timing: boot ``--serve --index`` from a saved archive
     and read the ``server.boot.*`` gauges (archive read vs index build)
@@ -366,6 +450,18 @@ def main(argv: "list[str] | None" = None) -> int:
              "(0 disables the gate, e.g. on shared CI runners)",
     )
     parser.add_argument(
+        "--shards-sweep", type=int, nargs="+", default=[1, 4],
+        metavar="K",
+        help="shard counts for the sharded-router phase "
+             "(1 = plain single-process baseline)",
+    )
+    parser.add_argument(
+        "--min-shard-speedup", type=float, default=None,
+        help="exit non-zero below this sharded/single read-throughput "
+             "ratio; default auto: 2.5 with >= 4 cores, 0 (record only) "
+             "below",
+    )
+    parser.add_argument(
         "--telemetry", choices=("on", "off", "both"), default="both",
         help="'both' (default) adds the telemetry-overhead comparison; "
              "'on'/'off' just set the state for the batching sweep",
@@ -384,7 +480,51 @@ def main(argv: "list[str] | None" = None) -> int:
         "--telemetry-only", action="store_true",
         help="run only the telemetry-overhead comparison (CI smoke)",
     )
+    parser.add_argument(
+        "--sharded-only", action="store_true",
+        help="run only the sharded-router phase (CI shard smoke)",
+    )
     args = parser.parse_args(argv)
+
+    if args.sharded_only:
+        gate = args.min_shard_speedup
+        if gate is None:
+            gate = 2.5 if (os.cpu_count() or 1) >= 4 else 0.0
+        print(
+            f"sharded router phase (sweep={args.shards_sweep}, "
+            f"gate={gate:.1f}x):"
+        )
+        sh = sharded_phase(args)
+        print(
+            f"\nspeedup at {sh['best_shards']} shards: {sh['speedup']:.2f}x  "
+            f"parity mismatches: {sh['parity']['mismatches']}/"
+            f"{sh['parity']['trials'] * sh['parity']['verbs']}"
+        )
+        path = emit_bench_record(
+            "serving_sharded",
+            params={
+                "n": args.n,
+                "seed": args.seed,
+                "clients": max(args.clients),
+                "per_client": args.per_client,
+                "window_side": args.side,
+                "conns": args.conns,
+                "shards_sweep": args.shards_sweep,
+                "min_shard_speedup": gate,
+            },
+            series={"sharded": sh},
+        )
+        print(f"wrote {path}")
+        if sh["parity"]["mismatches"] > 0:
+            print("FAIL: sharded scatter-gather diverged from single-process")
+            return 1
+        if gate > 0 and sh["speedup"] < gate:
+            print(
+                f"FAIL: sharded speedup {sh['speedup']:.2f}x below "
+                f"the {gate:.1f}x gate"
+            )
+            return 1
+        return 0
 
     if args.telemetry_only:
         print("telemetry overhead (closed loop, batched):")
@@ -486,6 +626,31 @@ def main(argv: "list[str] | None" = None) -> int:
             telemetry_ok = False
             print("  FAIL: telemetry overhead exceeds the budget")
 
+    shard_gate = args.min_shard_speedup
+    if shard_gate is None:
+        shard_gate = 2.5 if (os.cpu_count() or 1) >= 4 else 0.0
+    sharded_ok = True
+    print(
+        f"\nsharded router phase (sweep={args.shards_sweep}, "
+        f"gate={shard_gate:.1f}x):"
+    )
+    sh = sharded_phase(args)
+    series["sharded"] = sh
+    print(
+        f"  speedup at {sh['best_shards']} shards: {sh['speedup']:.2f}x  "
+        f"parity mismatches: {sh['parity']['mismatches']}/"
+        f"{sh['parity']['trials'] * sh['parity']['verbs']}"
+    )
+    if sh["parity"]["mismatches"] > 0:
+        sharded_ok = False
+        print("  FAIL: sharded scatter-gather diverged from single-process")
+    if shard_gate > 0 and sh["speedup"] < shard_gate:
+        sharded_ok = False
+        print(
+            f"  FAIL: sharded speedup {sh['speedup']:.2f}x "
+            f"below the {shard_gate:.1f}x gate"
+        )
+
     print("\nindex boot phase (--serve --index cold start):")
     series["boot"] = boot_phase(args.n, args.seed)
     print(
@@ -506,6 +671,8 @@ def main(argv: "list[str] | None" = None) -> int:
             "conns": args.conns,
             "telemetry": sweep_telemetry,
             "telemetry_reps": args.telemetry_reps,
+            "shards_sweep": args.shards_sweep,
+            "min_shard_speedup": shard_gate,
             "modes": {k: " ".join(v) for k, v in modes.items()},
         },
         series=series,
@@ -515,6 +682,7 @@ def main(argv: "list[str] | None" = None) -> int:
         ratio >= args.min_speedup
         and series["overload"]["rejected"] > 0
         and telemetry_ok
+        and sharded_ok
     )
     return 0 if ok else 1
 

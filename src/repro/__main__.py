@@ -113,6 +113,15 @@ def main(argv: "list[str] | None" = None) -> int:
         help="with --serve: micro-batch coalescing window in ms",
     )
     parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="with --serve: scatter-gather across K shard worker "
+        "processes mapping the index from shared memory (1 = "
+        "single-process, the default)",
+    )
+    parser.add_argument(
         "--telemetry",
         choices=("on", "off"),
         default="on",
@@ -245,7 +254,14 @@ def _serve(args) -> int:
         slowlog_ms=args.slowlog_ms,
         metrics_port=args.metrics_port,
     )
-    service = SpatialQueryService(col.index, col.data, config)
+    if args.shards > 1:
+        from repro.shard import ShardedQueryService
+
+        service: SpatialQueryService = ShardedQueryService(
+            col.index, col.data, config, shards=args.shards
+        )
+    else:
+        service = SpatialQueryService(col.index, col.data, config)
     for key, value in boot.items():
         # surfaces in the `stats` verb and /metrics as server.boot.*
         service.registry.gauge(f"server.boot.{key}").set(round(value, 3))
@@ -257,7 +273,8 @@ def _serve(args) -> int:
             f"({source}, objects={len(col)}, "
             f"grid={col.index.grid.nx}x{col.index.grid.ny}, "
             f"max_batch={args.max_batch}, coalesce_ms={args.coalesce_ms}, "
-            f"queue_depth={args.queue_depth}, telemetry={args.telemetry})",
+            f"queue_depth={args.queue_depth}, telemetry={args.telemetry}, "
+            f"shards={args.shards})",
             flush=True,
         )
         # after the serving line: spawn_server() keys on the first line

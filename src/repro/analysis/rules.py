@@ -9,6 +9,7 @@ REP002   no blocking calls / heavy numpy builds inside ``async def``
 REP003   no ``await`` or blocking I/O while holding a ``threading.Lock``
 REP004   comparing kernels must thread ``QueryStats`` (EXPLAIN parity)
 REP005   grid query/update methods must serve both storage backends
+REP006   no module-level mutable state in ``repro.shard`` worker code
 REP101   no bare ``except:``
 REP102   no mutable default arguments
 REP103   no wall-clock time calls outside ``repro.obs`` / ``repro.bench``
@@ -416,6 +417,91 @@ class BackendParityRule(LintRule):
                     )
 
 
+class SpawnUnsafeGlobalRule(LintRule):
+    """Module-level mutable state in :mod:`repro.shard` — shard worker
+    processes re-import these modules under the ``spawn`` start method,
+    so a mutable global materialises once *per process*: mutations in
+    the router and in each worker silently diverge, which is exactly the
+    class of bug the shard subsystem's replicate-by-broadcast design
+    exists to rule out.  Keep cross-process state in the shm arena or on
+    instances created after the fork point; module constants must be
+    immutable (tuple/frozenset/scalar)."""
+
+    code = "REP006"
+    name = "spawn-unsafe-global"
+    scope = ("shard",)
+
+    _MUTABLE_CALLS = frozenset(
+        {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "deque",
+            "defaultdict",
+            "Counter",
+            "OrderedDict",
+        }
+    )
+
+    def _is_mutable(self, node: "ast.expr | None") -> bool:
+        if node is None:
+            return False
+        if isinstance(
+            node,
+            (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+        ):
+            return True
+        if isinstance(node, ast.Call):
+            name = _terminal_name(node.func)
+            return name in self._MUTABLE_CALLS
+        return False
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        # module scope only: class/function bodies build per-instance or
+        # per-call state, which is exactly where shard state belongs.
+        stack: list[ast.AST] = list(mod.tree.body)
+        while stack:
+            node = stack.pop()
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            ):
+                continue
+            stack.extend(ast.iter_child_nodes(node))
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                value = getattr(node, "value", None)
+                if self._is_mutable(value):
+                    targets = (
+                        node.targets
+                        if isinstance(node, ast.Assign)
+                        else [node.target]
+                    )
+                    names = [
+                        _terminal_name(t) or "<target>" for t in targets
+                    ]
+                    if all(
+                        n.startswith("__") and n.endswith("__") for n in names
+                    ):
+                        continue  # __all__ and friends: set once, by idiom
+                    yield self.finding(
+                        mod,
+                        node,
+                        f"module-level mutable {', '.join(names)!r}: each "
+                        "spawned shard worker gets its own diverging copy; "
+                        "use an immutable constant or per-instance state",
+                    )
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Global):
+                yield self.finding(
+                    mod,
+                    node,
+                    f"'global {', '.join(node.names)}' mutates module "
+                    "state that is per-process under spawn; pass state "
+                    "explicitly or keep it on an instance",
+                )
+
+
 class BareExceptRule(LintRule):
     """Bare ``except:`` — swallows KeyboardInterrupt/SystemExit and
     masks real faults; catch a concrete exception (``ReproError``,
@@ -638,6 +724,7 @@ ALL_RULES: "tuple[type[LintRule], ...]" = (
     AwaitUnderLockRule,
     StatsThreadingRule,
     BackendParityRule,
+    SpawnUnsafeGlobalRule,
     BareExceptRule,
     MutableDefaultRule,
     WallClockRule,

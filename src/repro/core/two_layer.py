@@ -353,6 +353,42 @@ class TwoLayerGrid:
             n += sum(len(t) for t in tables if t is not None)
         return n
 
+    def _region_tids(self, ax: int, bx: int, ay: int, by: int) -> np.ndarray:
+        """Row-major tile ids of one rectangular region of the grid.
+
+        The single tile-enumeration point of every fused kernel — banded
+        subclasses (:mod:`repro.shard`) override this to drop tiles
+        outside their owned contiguous range, which bands the window,
+        within and chunk kernels at once (the per-class offsets walks
+        simply never see foreign tiles).
+        """
+        nx = self.grid.nx
+        return (
+            np.arange(ay, by + 1, dtype=np.int64)[:, None] * nx
+            + np.arange(ax, bx + 1, dtype=np.int64)[None, :]
+        ).ravel()
+
+    def _on_window_result(self, window: Rect, out: np.ndarray) -> None:
+        """Post-query hook: sampled sanitizer cross-check of a result.
+
+        Banded subclasses override this with a no-op — a band's partial
+        result would falsely fail the *global* naive reference, and a
+        banded naive scan is not well-defined (replicas whose canonical
+        class lives in another band).  The shard router re-checks the
+        merged result against a full local index instead.
+        """
+        if _sanitize.enabled():
+            _sanitize.on_window_query(self, window, out)
+
+    def _fork_shell(self) -> "TwoLayerGrid":
+        """An empty index shell of the same concrete type over this grid.
+
+        Snapshot forks (:mod:`repro.server.snapshot`) populate the shell
+        by reference; subclasses override so forks keep their type (and
+        any extra state such as a shard band).
+        """
+        return type(self)(self.grid, storage=self.storage)
+
     def _delta_tiles_in_range(
         self, ix0: int, ix1: int, iy0: int, iy1: int
     ) -> list[int]:
@@ -534,8 +570,7 @@ class TwoLayerGrid:
             iy0 = 0 if iy0 < 0 else (last if iy0 > last else iy0)
             iy1 = 0 if iy1 < 0 else (last if iy1 > last else iy1)
             out = self._fused_window_fast(window, ix0, ix1, iy0, iy1)
-            if _sanitize.enabled():
-                _sanitize.on_window_query(self, window, out)
+            self._on_window_result(window, out)
             return out
         with trace_span("query.window"):
             with trace_span("filter.lookup"):
@@ -558,8 +593,7 @@ class TwoLayerGrid:
             with trace_span("dedup"):
                 pass  # duplicate-free by construction (Lemmas 1-2)
             out = np.concatenate(pieces) if pieces else _EMPTY_IDS
-        if _sanitize.enabled():
-            _sanitize.on_window_query(self, window, out)
+        self._on_window_result(window, out)
         return out
 
     def _fused_window(
@@ -588,14 +622,11 @@ class TwoLayerGrid:
         delta = self._delta_tiles_in_range(ix0, ix1, iy0, iy1)
         delta_arr = np.asarray(delta, dtype=np.int64) if delta else None
         for ax, bx, ay, by, plan in window_regions(ix0, ix1, iy0, iy1):
-            tids = (
-                np.arange(ay, by + 1, dtype=np.int64)[:, None] * nx
-                + np.arange(ax, bx + 1, dtype=np.int64)[None, :]
-            ).ravel()
+            tids = self._region_tids(ax, bx, ay, by)
             if delta_arr is not None:
                 tids = tids[~np.isin(tids, delta_arr)]
-                if tids.shape[0] == 0:
-                    continue
+            if tids.shape[0] == 0:
+                continue
             if stats is not None:
                 tile_tot = self._tile_live_counts(tids)
                 stats.partitions_visited += int(np.count_nonzero(tile_tot))
@@ -805,14 +836,11 @@ class TwoLayerGrid:
         delta = self._delta_tiles_in_range(ix0, ix1, iy0, iy1)
         delta_arr = np.asarray(delta, dtype=np.int64) if delta else None
         for ax, bx, ay, by, plan in window_regions(ix0, ix1, iy0, iy1):
-            tids = (
-                np.arange(ay, by + 1, dtype=np.int64)[:, None] * nx
-                + np.arange(ax, bx + 1, dtype=np.int64)[None, :]
-            ).ravel()
+            tids = self._region_tids(ax, bx, ay, by)
             if delta_arr is not None:
                 tids = tids[~np.isin(tids, delta_arr)]
-                if tids.shape[0] == 0:
-                    continue
+            if tids.shape[0] == 0:
+                continue
             if stats is not None:
                 tile_tot = self._tile_live_counts(tids)
                 stats.partitions_visited += int(np.count_nonzero(tile_tot))
@@ -927,14 +955,11 @@ class TwoLayerGrid:
         delta = self._delta_tiles_in_range(ix0, ix1, iy0, iy1)
         delta_arr = np.asarray(delta, dtype=np.int64) if delta else None
         for ax, bx, ay, by, plan in window_regions(ix0, ix1, iy0, iy1):
-            tids = (
-                np.arange(ay, by + 1, dtype=np.int64)[:, None] * nx
-                + np.arange(ax, bx + 1, dtype=np.int64)[None, :]
-            ).ravel()
+            tids = self._region_tids(ax, bx, ay, by)
             if delta_arr is not None:
                 tids = tids[~np.isin(tids, delta_arr)]
-                if tids.shape[0] == 0:
-                    continue
+            if tids.shape[0] == 0:
+                continue
             keys = tids * 4  # class A groups
             counts = store.live_counts_for(keys)
             total = int(counts.sum())

@@ -159,6 +159,36 @@ def _render(
             f" {_fmt_ms(metrics.get(f'{base}.p95'))}"
             f" {_fmt_ms(metrics.get(f'{base}.p99'))}"
         )
+    shards = stats.get("shards")
+    if shards:
+        lines += [
+            "",
+            (
+                f"shards={shards.get('count', 0)}  "
+                f"local_epoch={shards.get('local_epoch', '?')}  "
+                f"degraded={metrics.get('server.errors.degraded', 0):.0f}  "
+                f"epoch_mismatch="
+                f"{metrics.get('server.shard.epoch_mismatch', 0):.0f}"
+            ),
+            f"{'shard':>5} {'state':>6} {'epoch':>6} {'tiles':>15} "
+            f"{'pid':>8} {'requests':>10} {'batches':>9}",
+        ]
+        dead = set(shards.get("dead", []))
+        bands = shards.get("bands", [])
+        pids = shards.get("pids", [])
+        epochs = shards.get("epochs", [])
+        for k in range(int(shards.get("count", 0))):
+            tiles = (
+                f"[{bands[k][0]},{bands[k][1]})" if k < len(bands) else "?"
+            )
+            lines.append(
+                f"{k:>5} {'DEAD' if k in dead else 'live':>6} "
+                f"{epochs[k] if k < len(epochs) else '?':>6} "
+                f"{tiles:>15} "
+                f"{pids[k] if k < len(pids) else '?':>8} "
+                f"{metrics.get(f'server.shard.{k}.requests', 0):>10.0f} "
+                f"{metrics.get(f'server.shard.{k}.batches', 0):>9.0f}"
+            )
     if heat is not None:
         lines += [
             "",

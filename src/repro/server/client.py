@@ -27,7 +27,9 @@ and the client keeps the frame's trace id on :attr:`last_trace`.
 from __future__ import annotations
 
 import itertools
+import random
 import socket
+import time
 
 from repro.server.protocol import decode_response, encode_request
 
@@ -86,10 +88,25 @@ _ERROR_CLASSES = {
 class SpatialClient:
     """One blocking connection to a :class:`SpatialQueryService`."""
 
-    def __init__(self, host: str, port: int, timeout: "float | None" = 30.0):
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: "float | None" = 30.0,
+        retries: int = 0,
+        max_retry_wait_s: float = 1.0,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: how many times :meth:`call` re-issues a request the server
+        #: rejected as ``overloaded`` (0 = raise immediately, the
+        #: default).  Each retry honours the server's ``retry_after_ms``
+        #: hint with full jitter — sleeping ``U(0, hint]`` decorrelates
+        #: a thundering herd of clients all told "come back in 20ms".
+        self.retries = retries
+        #: per-attempt cap on the backoff sleep, hint or no hint.
+        self.max_retry_wait_s = max_retry_wait_s
         self._ids = itertools.count(1)
         try:
             self._sock = socket.create_connection(
@@ -153,15 +170,43 @@ class SpatialClient:
         (snapshot version, batch size, per-phase timings for traced
         requests) is kept on :attr:`last_server` and its trace id on
         :attr:`last_trace`.
+
+        With ``retries > 0``, an ``overloaded`` rejection is retried up
+        to that many times (fresh request id each attempt), sleeping a
+        jittered ``retry_after_ms`` between attempts;
+        :attr:`last_retries` records how many retries the last call
+        spent.  Only admission-control rejections are retried — every
+        other error (including ``shutting_down``) raises immediately,
+        since re-sending those is either futile or unsafe.
         """
-        req_id = self.send_raw(verb, args, trace=trace)
-        frame = self.recv_raw()
-        if frame.get("id") not in (req_id, None):
-            raise ClientError(
-                f"response id {frame.get('id')!r} does not match "
-                f"request id {req_id!r}"
-            )
-        return self.unwrap(frame)
+        attempt = 0
+        while True:
+            req_id = self.send_raw(verb, args, trace=trace)
+            frame = self.recv_raw()
+            if frame.get("id") not in (req_id, None):
+                raise ClientError(
+                    f"response id {frame.get('id')!r} does not match "
+                    f"request id {req_id!r}"
+                )
+            try:
+                result = self.unwrap(frame)
+            except OverloadedError as exc:
+                if attempt >= self.retries:
+                    self.last_retries = attempt
+                    raise
+                attempt += 1
+                time.sleep(self._backoff_s(exc.retry_after_ms))
+                continue
+            self.last_retries = attempt
+            return result
+
+    def _backoff_s(self, retry_after_ms: "int | None") -> float:
+        hint_s = (
+            retry_after_ms / 1e3
+            if retry_after_ms is not None and retry_after_ms > 0
+            else 0.02
+        )
+        return random.uniform(0.0, min(hint_s, self.max_retry_wait_s))
 
     def unwrap(self, frame: dict) -> dict:
         """Turn a response frame into its result, raising on errors."""
@@ -178,6 +223,8 @@ class SpatialClient:
     last_server: "dict | None" = None
     #: trace id echoed on the last response frame (client- or server-assigned).
     last_trace: "str | None" = None
+    #: overloaded-retries spent by the last :meth:`call` (0 = first try).
+    last_retries: int = 0
 
     # -- verbs ------------------------------------------------------------
 

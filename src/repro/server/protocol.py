@@ -53,6 +53,7 @@ ERROR_CODES = (
     "overloaded",      # admission control rejected (carries retry_after_ms)
     "shutting_down",   # server is draining; no new requests accepted
     "internal",        # unexpected server-side failure
+    "degraded",        # sharded mode: an owning shard worker is down
 )
 
 _REQUIRED = object()

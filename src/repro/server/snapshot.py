@@ -69,7 +69,7 @@ def _tile_range(grid, rect: Rect):
 
 
 def _shallow_fork(index: TwoLayerGrid) -> TwoLayerGrid:
-    fork = TwoLayerGrid(index.grid, storage=index.storage)
+    fork = index._fork_shell()  # preserves subclass (e.g. shard bands)
     fork._store = index._store  # immutable base shared by reference
     fork._fast_q = index._fast_q  # derived caches: same base, same rows
     fork._tile_row_bounds = index._tile_row_bounds

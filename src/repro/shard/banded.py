@@ -1,0 +1,165 @@
+"""A TwoLayerGrid whose kernels are clamped to one contiguous tile band.
+
+Each shard worker holds the *full* index state — the whole packed base
+mapped from shared memory, the whole delta overlay replicated by the
+write broadcast — but answers queries only for the tiles its band owns.
+Clamping (rather than physically slicing the columns) keeps every global
+invariant intact:
+
+* plans stay global — region decomposition, class scanning rules and
+  the disk canonical-tile ``row_span`` are computed over the full grid,
+  so each replica's *reporting* tile is the same tile it would report
+  from in a single-process index;
+* tile ownership partitions the tile space, and the two-layer scheme
+  emits every result in exactly one tile (Lemmas 1-2 / §IV-E), so the
+  union of band results over all shards equals the global result with
+  no duplicates and no misses — the scatter-gather merge is pure
+  concatenation;
+* a band is a contiguous CSR row slab, so the stats-free fast kernel
+  bands by clamping each per-grid-row slab intersection to
+  ``[row_lo, row_hi)`` — still one broadcast comparison per row.
+
+The clamp rides on three parent hooks: :meth:`~repro.core.two_layer
+.TwoLayerGrid._region_tids` (fused window/within/chunk kernels),
+:meth:`~repro.core.two_layer.TwoLayerGrid._tile_has_rows` (per-tile
+paths and the tiles-based batch evaluators) and
+:meth:`~repro.core.two_layer.TwoLayerGrid._fork_shell` (snapshot forks
+keep the band).  kNN is *not* banded — its radius-doubling search is
+routed to a single worker which runs it on :meth:`global_view`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.two_layer import _EMPTY_IDS, TwoLayerGrid
+from repro.datasets.queries import DiskQuery
+from repro.geometry.mbr import Rect
+from repro.grid.base import GridPartitioner
+from repro.shard.partition import ShardBand
+
+__all__ = ["BandedTwoLayerGrid"]
+
+
+class BandedTwoLayerGrid(TwoLayerGrid):
+    """Full-state two-layer grid answering only for an owned tile band."""
+
+    def __init__(
+        self,
+        grid: GridPartitioner,
+        band: ShardBand,
+        storage: "str | None" = None,
+    ):
+        super().__init__(grid, storage=storage)
+        self.band = band
+
+    def _fork_shell(self) -> "BandedTwoLayerGrid":
+        return BandedTwoLayerGrid(self.grid, self.band, storage=self.storage)
+
+    # -- band clamps --------------------------------------------------------
+
+    def _region_tids(self, ax: int, bx: int, ay: int, by: int) -> np.ndarray:
+        tids = super()._region_tids(ax, bx, ay, by)
+        keep = (tids >= self.band.t_lo) & (tids < self.band.t_hi)
+        if bool(keep.all()):
+            return tids
+        return tids[keep]
+
+    def _tile_has_rows(self, tile_id: int) -> bool:
+        if not self.band.owns_tile(tile_id):
+            return False
+        return super()._tile_has_rows(tile_id)
+
+    def _delta_tiles_in_range(
+        self, ix0: int, ix1: int, iy0: int, iy1: int
+    ) -> list[int]:
+        band = self.band
+        return [
+            tid
+            for tid in super()._delta_tiles_in_range(ix0, ix1, iy0, iy1)
+            if band.t_lo <= tid < band.t_hi
+        ]
+
+    def _disk_plan(
+        self, query: DiskQuery
+    ) -> tuple[
+        dict[int, tuple[int, int]],
+        list[tuple[int, tuple[int, ...], bool, int]],
+    ]:
+        # Keep the *global* row spans — the canonical-tile B/D dedup is
+        # geometric and must see every disk-intersecting tile, owned or
+        # not — but only scan jobs for owned tiles.
+        row_span, jobs = super()._disk_plan(query)
+        band = self.band
+        return row_span, [j for j in jobs if band.t_lo <= j[0] < band.t_hi]
+
+    # Stats-free twin of the parent fast kernel with the per-grid-row
+    # slab clamped to the band's row range (same REP004 waiver contract
+    # as the parent: window_query only routes here when stats is None).
+    def _fused_window_fast(  # repro-lint: disable=REP004
+        self,
+        window: Rect,
+        ix0: int,
+        ix1: int,
+        iy0: int,
+        iy1: int,
+    ) -> np.ndarray:
+        q = self._fast_q
+        if q is None:
+            q = self._build_fast_q()
+        tb = self._tile_row_bounds
+        ids = self._store.ids
+        ge = np.greater_equal
+        reduce_and = np.logical_and.reduce
+        bounds = np.array(
+            [window.xl, -window.xu, window.yl, -window.yu,
+             float(-ix0), float(-iy0)]
+        ).reshape(6, 1)
+        nx = self.grid.nx
+        row_lo = self.band.row_lo
+        row_hi = self.band.row_hi
+        lo = iy0 * nx + ix0
+        width = ix1 - ix0 + 1
+        pieces: list[np.ndarray] = []
+        for _ in range(iy0, iy1 + 1):
+            # Owned tiles of this grid row's slab are themselves one
+            # contiguous sub-slab: clamp to the band's row range.
+            s0 = tb[lo]
+            s1 = tb[lo + width]
+            lo += nx
+            if s0 < row_lo:
+                s0 = row_lo
+            if s1 > row_hi:
+                s1 = row_hi
+            if s0 >= s1:
+                continue
+            keep = reduce_and(ge(q[:, s0:s1], bounds), axis=0)
+            pieces.append(ids[s0:s1][keep])
+        if not pieces:
+            return _EMPTY_IDS
+        if len(pieces) == 1:
+            return pieces[0]
+        return np.concatenate(pieces)
+
+    def _on_window_result(self, window: Rect, out: np.ndarray) -> None:
+        # A band's partial result would falsely fail the global naive
+        # reference; the router cross-checks the *merged* result.
+        return None
+
+    # -- escape hatch -------------------------------------------------------
+
+    def global_view(self) -> TwoLayerGrid:
+        """A plain (unbanded) twin sharing every column by reference.
+
+        Used for kNN: the radius-doubling search needs global visibility
+        (the k-th distance bound is a global property), so the router
+        sends each knn to one worker, which answers from this view.
+        Cheap enough to build per call — six attribute copies.
+        """
+        twin = TwoLayerGrid(self.grid, storage=self.storage)
+        twin._store = self._store
+        twin._tiles = self._tiles
+        twin._fast_q = self._fast_q
+        twin._tile_row_bounds = self._tile_row_bounds
+        twin._n_objects = self._n_objects
+        return twin

@@ -1,0 +1,899 @@
+"""Scatter-gather router: the public NDJSON server in sharded mode.
+
+:class:`ShardedQueryService` subclasses the single-process
+:class:`~repro.server.service.SpatialQueryService` and replaces only the
+execution layers — the protocol edge, admission control, micro-batcher,
+telemetry and drain machinery are inherited unchanged:
+
+* **boot** publishes the packed base into one shm arena, spawns one
+  ShardWorker process per band (``spawn`` context — no forked locks),
+  and waits for each worker to dial back over a loopback rendezvous
+  socket before accepting clients.
+* **reads**: each micro-batch is split into *local* verbs (ping,
+  describe, explain, stats and the admin verbs — answered from the
+  router's own full snapshot) and *scatter* verbs (window / count /
+  disk / knn).  Scatter requests are routed by tile footprint — the
+  band table answers "which shards own part of this range" in O(K) —
+  and coalesced into **one envelope per shard per batch**, stamped with
+  the router's snapshot epoch.  Workers answer at exactly that epoch,
+  so the merge (band-ordered concatenation — tile ownership partitions
+  the result space, see :mod:`repro.shard.banded`) never mixes
+  versions; a mismatched epoch in any sub-response fails the request
+  with a structured error instead of merging garbage.  kNN is sent
+  whole to the worker owning the query point's tile (any live worker
+  is equivalent — all hold full state).
+* **writes** go through the single inherited writer queue: the router
+  applies each write to its *local* store first (the source of truth
+  its own verbs serve from), then broadcasts it to every live worker
+  and verifies each ack reports the identical new version —
+  deterministic application means the per-shard epoch vector stays
+  uniform without coordination; a worker that diverges or dies is
+  marked dead and subsequent requests needing it get ``degraded``
+  errors (the :class:`~repro.errors.ParallelExecutionError` discipline:
+  structured failure, never a hang).
+* **SIGTERM** drains exactly like the parent, then sends each worker a
+  shutdown envelope, reaps the processes and unlinks the arena.
+
+Under ``REPRO_SANITIZE=1`` the router additionally cross-checks sampled
+merged window/disk results against a local evaluation on the same
+pinned snapshot — the sharded twin of the single-process sanitizer's
+naive-scan check, and the merge-time consistency check for the
+cross-shard epoch contract.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import os
+import time
+from typing import Any
+
+import numpy as np
+
+from repro.analysis import sanitize as _sanitize
+from repro.datasets.dataset import RectDataset
+from repro.datasets.queries import DiskQuery
+from repro.errors import IndexStateError, ParallelExecutionError, ReproError
+from repro.geometry.mbr import Rect
+from repro.obs import tracing as _tracing
+from repro.server.batcher import PendingRequest
+from repro.server.protocol import Request, encode_error, encode_response
+from repro.server.service import (
+    ServerConfig,
+    SpatialQueryService,
+    _BatchCtx,
+    _Connection,
+)
+from repro.server.snapshot import Snapshot
+from repro.shard.partition import (
+    ShardBand,
+    bands_for_range,
+    plan_bands,
+    shard_for_tile,
+)
+from repro.shard.shm import publish_arena, unlink_arena
+from repro.shard.wire import decode_frame, encode_frame
+from repro.shard.worker import run_worker
+
+if False:  # pragma: no cover - typing only
+    from repro.core.two_layer import TwoLayerGrid
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["ShardedQueryService"]
+
+#: verbs fanned out to shard workers; everything else answers locally.
+_SCATTER_VERBS = frozenset({"window", "count", "disk", "knn"})
+
+
+class _ShardLink:
+    """The router's end of one worker connection: frame mux + liveness."""
+
+    def __init__(
+        self,
+        service: "ShardedQueryService",
+        shard: int,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        pid: "int | None" = None,
+    ):
+        self.service = service
+        self.shard = shard
+        self.reader = reader
+        self.writer = writer
+        self.pid = pid
+        self.alive = True
+        self.last_epoch = 0
+        self._batches: dict[int, asyncio.Future] = {}
+        self._writes: dict[int, asyncio.Future] = {}
+
+    def _send(self, frame: dict[str, Any], fut: asyncio.Future) -> None:
+        try:
+            self.writer.write(encode_frame(frame))
+        except Exception:
+            self.mark_dead()
+        if not self.alive and not fut.done():
+            fut.set_exception(
+                ParallelExecutionError(f"shard {self.shard} worker is dead")
+            )
+
+    def send_batch(
+        self, bid: int, epoch: int, reqs: list[dict[str, Any]]
+    ) -> asyncio.Future:
+        fut = asyncio.get_running_loop().create_future()
+        self._batches[bid] = fut
+        self._send({"t": "batch", "bid": bid, "epoch": epoch, "reqs": reqs}, fut)
+        return fut
+
+    def send_write(
+        self, seq: int, verb: str, args: dict[str, Any]
+    ) -> asyncio.Future:
+        fut = asyncio.get_running_loop().create_future()
+        self._writes[seq] = fut
+        self._send({"t": "write", "seq": seq, "verb": verb, "args": args}, fut)
+        return fut
+
+    def send_shutdown(self) -> None:
+        try:
+            self.writer.write(encode_frame({"t": "shutdown"}))
+        except Exception:
+            pass
+
+    async def read_loop(self) -> None:
+        try:
+            while True:
+                line = await self.reader.readline()
+                if not line:
+                    break
+                frame = decode_frame(line)
+                kind = frame["t"]
+                if kind == "batch_r":
+                    self.last_epoch = max(self.last_epoch, frame["epoch"])
+                    fut = self._batches.pop(frame["bid"], None)
+                elif kind == "write_r":
+                    if frame.get("ok"):
+                        self.last_epoch = max(self.last_epoch, frame["version"])
+                    fut = self._writes.pop(frame["seq"], None)
+                else:
+                    continue
+                if fut is not None and not fut.done():
+                    fut.set_result(frame)
+        except Exception:
+            pass
+        finally:
+            self.mark_dead()
+
+    def mark_dead(self) -> None:
+        """Fail every pending future now — degraded responses, no hangs."""
+        if not self.alive:
+            return
+        self.alive = False
+        exc = ParallelExecutionError(f"shard {self.shard} worker died")
+        for fut in list(self._batches.values()) + list(self._writes.values()):
+            if not fut.done():
+                fut.set_exception(exc)
+        self._batches.clear()
+        self._writes.clear()
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+        self.service._on_link_dead(self.shard)
+
+
+class _Scatter:
+    """One in-flight scattered request: its owner shards and merge mode."""
+
+    __slots__ = ("pending", "shards", "count_only", "footprint")
+
+    def __init__(
+        self,
+        pending: PendingRequest,
+        shards: list[int],
+        count_only: bool,
+        footprint: "tuple[int, int, int, int] | None",
+    ):
+        self.pending = pending
+        self.shards = shards
+        self.count_only = count_only
+        self.footprint = footprint
+
+
+class ShardedQueryService(SpatialQueryService):
+    """Router mode: K shared-memory shard workers behind one NDJSON edge."""
+
+    def __init__(
+        self,
+        index: "TwoLayerGrid",
+        data: RectDataset,
+        config: "ServerConfig | None" = None,
+        registry: "MetricsRegistry | None" = None,
+        shards: int = 2,
+        scatter_timeout_s: float = 5.0,
+    ):
+        if shards < 1:
+            raise IndexStateError(f"shards must be >= 1, got {shards}")
+        if index._store is None:
+            # Workers map the packed CSR base from shared memory, so a
+            # legacy-backend index (including one loaded from an old
+            # --index archive) is rebuilt packed at boot.
+            from repro.core.two_layer import TwoLayerGrid as _TLG
+
+            rebuilt = _TLG(index.grid, storage="packed")
+            rebuilt._bulk_load(data)
+            index = rebuilt
+        elif index._tiles or index._store.n_dead:
+            # Workers map the immutable base; fold any overlay first so
+            # the arena carries the complete state.
+            index.compact()
+        super().__init__(index, data, config, registry)
+        self.shards = shards
+        self.scatter_timeout_s = scatter_timeout_s
+        self._grid = index.grid
+        self.bands: list[ShardBand] = plan_bands(
+            index._store.offsets[::4], shards
+        )
+        self._links: "list[_ShardLink | None]" = [None] * shards
+        self._procs: list = [None] * shards
+        self._seg = None
+        self.manifest: "dict[str, Any] | None" = None
+        self._internal_server: "asyncio.base_events.Server | None" = None
+        self._hello_waiters: list[asyncio.Future] = []
+        self._scatter_tasks: set[asyncio.Task] = set()
+        self._bid_seq = itertools.count(1)
+        self._wseq = itertools.count(1)
+        self._rid_seq = itertools.count(1)
+        self._sanitize_tick = 0
+        self._token = os.urandom(8).hex()
+        self._m_shard_req = [
+            self.registry.counter(f"server.shard.{k}.requests")
+            for k in range(shards)
+        ]
+        self._m_shard_batches = [
+            self.registry.counter(f"server.shard.{k}.batches")
+            for k in range(shards)
+        ]
+        self._m_shard_dead = [
+            self.registry.gauge(f"server.shard.{k}.dead") for k in range(shards)
+        ]
+        self._m_shard_epoch = [
+            self.registry.gauge(f"server.shard.{k}.epoch")
+            for k in range(shards)
+        ]
+        self._m_degraded = self.registry.counter("server.errors.degraded")
+        self._m_epoch_mismatch = self.registry.counter(
+            "server.shard.epoch_mismatch"
+        )
+
+    # -- boot --------------------------------------------------------------
+
+    def _publish(self) -> None:
+        snap = self.store.current
+        index = snap.index
+        store = index._store
+        if index._fast_q is None:
+            index._build_fast_q()  # built once here, shared by every worker
+        grid = self._grid
+        arrays = {
+            "offsets": store.offsets,
+            "xl": store.xl,
+            "yl": store.yl,
+            "xu": store.xu,
+            "yu": store.yu,
+            "ids": store.ids,
+            "fast_q": index._fast_q,
+            "data_xl": snap.data.xl,
+            "data_yl": snap.data.yl,
+            "data_xu": snap.data.xu,
+            "data_yu": snap.data.yu,
+        }
+        self._seg, manifest = publish_arena(arrays)
+        d = grid.domain
+        manifest["nx"] = grid.nx
+        manifest["ny"] = grid.ny
+        manifest["domain"] = (d.xl, d.yl, d.xu, d.yu)
+        manifest["n_objects"] = len(snap.data)
+        manifest["bands"] = [b.to_tuple() for b in self.bands]
+        self.manifest = manifest
+
+    async def _handle_worker(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        line = await reader.readline()
+        if not line:
+            writer.close()
+            return
+        try:
+            hello = decode_frame(line)
+        except ReproError:
+            writer.close()
+            return
+        if (
+            hello.get("t") != "hello"
+            or hello.get("token") != self._token
+            or not isinstance(hello.get("shard"), int)
+            or not (0 <= hello["shard"] < self.shards)
+        ):
+            writer.close()
+            return
+        k = hello["shard"]
+        link = _ShardLink(self, k, reader, writer, pid=hello.get("pid"))
+        self._links[k] = link
+        waiter = self._hello_waiters[k]
+        if not waiter.done():
+            waiter.set_result(k)
+        await link.read_loop()
+
+    async def start(self) -> None:
+        t0 = time.perf_counter()
+        loop = asyncio.get_running_loop()
+        self._hello_waiters = [loop.create_future() for _ in range(self.shards)]
+        self._internal_server = await asyncio.start_server(
+            self._handle_worker, "127.0.0.1", 0
+        )
+        ihost, iport = self._internal_server.sockets[0].getsockname()[:2]
+        self._publish()
+        ctx = multiprocessing.get_context("spawn")
+        for k in range(self.shards):
+            proc = ctx.Process(
+                target=run_worker,
+                args=(self.manifest, k, ihost, iport, self._token),
+                daemon=True,
+                name=f"repro-shard-{k}",
+            )
+            proc.start()
+            self._procs[k] = proc
+        try:
+            await asyncio.wait_for(
+                asyncio.gather(*self._hello_waiters), timeout=60.0
+            )
+        except asyncio.TimeoutError:
+            await self._stop_workers()
+            raise IndexStateError("shard workers failed to connect at boot")
+        self.registry.gauge("server.boot.shards_ms").set(
+            round((time.perf_counter() - t0) * 1e3, 3)
+        )
+        await super().start()
+
+    # -- liveness ----------------------------------------------------------
+
+    def _on_link_dead(self, shard: int) -> None:
+        self._m_shard_dead[shard].set(1.0)
+        waiter = (
+            self._hello_waiters[shard]
+            if shard < len(self._hello_waiters)
+            else None
+        )
+        if waiter is not None and not waiter.done():
+            waiter.set_exception(
+                ParallelExecutionError(f"shard {shard} died during boot")
+            )
+
+    def _live_link(self, shard: int) -> "_ShardLink | None":
+        link = self._links[shard]
+        return link if link is not None and link.alive else None
+
+    def shard_status(self) -> dict[str, Any]:
+        """The cross-shard epoch vector + liveness, as served by stats."""
+        return {
+            "count": self.shards,
+            "local_epoch": self.store.current.version,
+            "epochs": [
+                link.last_epoch if (link := self._links[k]) is not None else None
+                for k in range(self.shards)
+            ],
+            "dead": [
+                k for k in range(self.shards) if self._live_link(k) is None
+            ],
+            "bands": [[b.t_lo, b.t_hi] for b in self.bands],
+            "pids": [
+                link.pid if (link := self._links[k]) is not None else None
+                for k in range(self.shards)
+            ],
+        }
+
+    def _run_verb(self, snap: Snapshot, req: Request, stats=None):
+        result = super()._run_verb(snap, req, stats)
+        if req.verb in ("stats", "describe"):
+            result["shards"] = self.shard_status()
+        return result
+
+    # -- scatter-gather reads ---------------------------------------------
+
+    async def _batch_loop(self) -> None:
+        while True:
+            batch = await self.batcher.next_batch()
+            if batch is None:
+                if self._scatter_tasks:
+                    await asyncio.gather(
+                        *list(self._scatter_tasks), return_exceptions=True
+                    )
+                return
+            task = asyncio.ensure_future(self._execute_batch_sharded(batch))
+            self._scatter_tasks.add(task)
+            task.add_done_callback(self._scatter_tasks.discard)
+
+    def _route(self, req: Request) -> "tuple[list[int], tuple[int, int, int, int] | None]":
+        """Owner shards of one scatter verb (+ tile footprint for heat)."""
+        args = req.args
+        grid = self._grid
+        if req.verb == "knn":
+            tid = (
+                grid.tile_iy(args["cy"]) * grid.nx + grid.tile_ix(args["cx"])
+            )
+            home = shard_for_tile(self.bands, tid)
+            if self._live_link(home) is not None:
+                return [home], None
+            # Any live worker is equivalent for knn (full state).
+            for k in range(self.shards):
+                if self._live_link(k) is not None:
+                    return [k], None
+            return [home], None  # all dead: fails as degraded downstream
+        if req.verb == "disk":
+            window = DiskQuery(args["cx"], args["cy"], args["radius"]).mbr()
+        else:
+            window = Rect(args["xl"], args["yl"], args["xu"], args["yu"])
+        ix0, ix1, iy0, iy1 = grid.tile_range_for_window(window)
+        shards = bands_for_range(self.bands, grid.nx, ix0, ix1, iy0, iy1)
+        return shards, (ix0, ix1, iy0, iy1)
+
+    async def _execute_batch_sharded(
+        self, batch: "list[PendingRequest]"
+    ) -> None:
+        t_exec = time.perf_counter()
+        self._m_queue_depth.set(self.batcher.depth())
+        self._m_batch_size.observe(len(batch))
+        snap = self.store.current
+        epoch = snap.version
+        bctx: "_BatchCtx | None" = None
+        if self.telemetry is not None:
+            pin_ms = (time.perf_counter() - t_exec) * 1e3
+            self._heat_tick += 1
+            stats = (
+                self.telemetry.stats
+                if self._heat_tick % self.config.heat_sample == 0
+                else None
+            )
+            bctx = _BatchCtx(t_exec, pin_ms, epoch, len(batch), stats)
+        meta = {"snapshot": epoch, "batch_size": len(batch)}
+        out: dict[_Connection, list[bytes]] = {}
+        per_shard, scatters = self._split_batch(snap, batch, out, bctx, meta)
+        # Local verbs answered — flush them now rather than holding them
+        # hostage to the worker round-trip.
+        self._flush(out)
+        if not scatters:
+            return
+        t_scatter = time.perf_counter()
+        futs: dict[int, asyncio.Future] = {}
+        bid = next(self._bid_seq)
+        for k, reqs in per_shard.items():
+            link = self._live_link(k)
+            if link is None:
+                continue  # already degraded in merge (no frame for k)
+            self._m_shard_batches[k].inc()
+            self._m_shard_req[k].inc(len(reqs))
+            futs[k] = link.send_batch(bid, epoch, reqs)
+        if futs:
+            done, not_done = await asyncio.wait(
+                futs.values(), timeout=self.scatter_timeout_s
+            )
+            if not_done:
+                # A hung worker is a dead worker: fail its futures now.
+                for k, fut in futs.items():
+                    if fut in not_done:
+                        link = self._links[k]
+                        if link is not None:
+                            link.mark_dead()
+                await asyncio.gather(*not_done, return_exceptions=True)
+        frames: dict[int, "dict[str, Any] | None"] = {}
+        for k, fut in futs.items():
+            frames[k] = fut.result() if fut.exception() is None else None
+        scatter_ms = (time.perf_counter() - t_scatter) * 1e3
+        out2: dict[_Connection, list[bytes]] = {}
+        self._merge(snap, scatters, frames, epoch, meta, out2, bctx, scatter_ms)
+        self._flush(out2)
+
+    def _flush(self, out: "dict[_Connection, list[bytes]]") -> None:
+        for conn, payloads in out.items():
+            conn.send(payloads[0] if len(payloads) == 1 else b"".join(payloads))
+
+    def _split_batch(
+        self,
+        snap: Snapshot,
+        batch: "list[PendingRequest]",
+        out: "dict[_Connection, list[bytes]]",
+        bctx: "_BatchCtx | None",
+        meta: dict,
+    ) -> tuple[
+        "dict[int, list[dict[str, Any]]]", "dict[int, _Scatter]"
+    ]:
+        """Answer local verbs inline; build per-shard scatter envelopes."""
+        per_shard: dict[int, list[dict[str, Any]]] = {}
+        scatters: dict[int, _Scatter] = {}
+        with _tracing.activate(self.tracer):
+            with _tracing.span("server.batch"):
+                for pending in batch:
+                    req = pending.request
+                    if req.verb not in _SCATTER_VERBS:
+                        t0 = time.perf_counter()
+                        result, err = self._execute_single(
+                            snap, req, None if bctx is None else bctx.stats
+                        )
+                        if bctx is not None:
+                            bctx.kernel_ms = (time.perf_counter() - t0) * 1e3
+                        if err is not None:
+                            self._respond(pending, err, out)
+                        else:
+                            self._deliver(pending, result, meta, out, bctx)
+                        continue
+                    try:
+                        shards, footprint = self._route(req)
+                    except ReproError as exc:
+                        self._respond(
+                            pending,
+                            encode_error(
+                                req.id,
+                                "invalid_query",
+                                str(exc),
+                                trace=req.trace,
+                            ),
+                            out,
+                        )
+                        continue
+                    dead = [
+                        k for k in shards if self._live_link(k) is None
+                    ]
+                    if dead:
+                        self._m_degraded.inc()
+                        self._respond(
+                            pending,
+                            encode_error(
+                                req.id,
+                                "degraded",
+                                f"shard(s) {dead} unavailable for "
+                                f"{req.verb}; partial results withheld",
+                                trace=req.trace,
+                            ),
+                            out,
+                        )
+                        continue
+                    rid = next(self._rid_seq)
+                    scatters[rid] = _Scatter(
+                        pending, shards, req.verb == "count", footprint
+                    )
+                    env = {
+                        "id": rid,
+                        "verb": req.verb,
+                        "args": req.args,
+                        "trace": req.trace,
+                    }
+                    for k in shards:
+                        per_shard.setdefault(k, []).append(env)
+                if bctx is not None and bctx.stats is not None:
+                    for sc in scatters.values():
+                        if sc.footprint is not None:
+                            self._record_footprint(sc.footprint)
+        return per_shard, scatters
+
+    def _record_footprint(self, footprint: tuple[int, int, int, int]) -> None:
+        """Feed the heat map with the query's tile footprint.
+
+        The router never runs kernels for scattered verbs, so its heat
+        signal is footprint density (scans only; rows stay zero) — the
+        hot-tile ranking ``--top`` shows is preserved.
+        """
+        ix0, ix1, iy0, iy1 = footprint
+        heat = self.telemetry.heat
+        nx = self._grid.nx
+        tids = (
+            np.arange(iy0, iy1 + 1, dtype=np.int64)[:, None] * nx
+            + np.arange(ix0, ix1 + 1, dtype=np.int64)[None, :]
+        ).ravel()
+        heat.scans[tids] += 1.0
+        heat.total_visits += int(tids.shape[0])
+
+    def _merge(
+        self,
+        snap: Snapshot,
+        scatters: "dict[int, _Scatter]",
+        frames: "dict[int, dict[str, Any] | None]",
+        epoch: int,
+        meta: dict,
+        out: "dict[_Connection, list[bytes]]",
+        bctx: "_BatchCtx | None",
+        scatter_ms: float,
+    ) -> None:
+        """Band-ordered merge of worker sub-results, one epoch, no dedup."""
+        by_id: dict[int, dict[int, dict[str, Any]]] = {}
+        for k, frame in frames.items():
+            if frame is not None:
+                by_id[k] = {r["id"]: r for r in frame["results"]}
+        for rid, sc in scatters.items():
+            req = sc.pending.request
+            subs: list[dict[str, Any]] = []
+            failure: "tuple[str, str] | None" = None
+            kernel_ms = 0.0
+            for k in sc.shards:
+                frame = frames.get(k)
+                if frame is None:
+                    failure = (
+                        "degraded",
+                        f"shard {k} worker died mid-query; reissue the "
+                        f"request",
+                    )
+                    break
+                if frame["epoch"] != epoch:
+                    # The merge-time cross-shard consistency check: every
+                    # sub-response must be cut at the stamped epoch.
+                    self._m_epoch_mismatch.inc()
+                    failure = (
+                        "degraded",
+                        f"shard {k} answered at epoch {frame['epoch']}, "
+                        f"batch stamped {epoch}",
+                    )
+                    break
+                entry = by_id[k].get(rid)
+                if entry is None:
+                    failure = ("internal", f"shard {k} dropped request")
+                    break
+                if not entry["ok"]:
+                    err = entry["error"]
+                    failure = (
+                        "degraded" if err["code"] == "internal" else err["code"],
+                        f"shard {k}: {err['message']}",
+                    )
+                    break
+                kernel_ms = max(kernel_ms, frame.get("kernel_ms", 0.0))
+                subs.append(entry["result"])
+            if failure is not None:
+                if failure[0] == "degraded":
+                    self._m_degraded.inc()
+                self._respond(
+                    sc.pending,
+                    encode_error(req.id, failure[0], failure[1], trace=req.trace),
+                    out,
+                )
+                continue
+            if sc.count_only:
+                result: dict[str, Any] = {
+                    "count": sum(s["count"] for s in subs)
+                }
+            elif req.verb == "knn":
+                result = subs[0]
+            else:
+                ids: list[int] = []
+                for s in subs:
+                    ids.extend(s["ids"])
+                result = {"ids": ids, "count": len(ids)}
+                if _sanitize.enabled():
+                    self._sanitize_merge(snap, req, result["ids"])
+            self._deliver_remote(
+                sc.pending, result, meta, out, bctx, sc.shards,
+                kernel_ms, scatter_ms,
+            )
+
+    def _sanitize_merge(
+        self, snap: Snapshot, req: Request, merged_ids: list[int]
+    ) -> None:
+        """REPRO_SANITIZE: sampled cross-check of a merged scatter result
+        against a local evaluation on the same pinned snapshot."""
+        self._sanitize_tick += 1
+        if self._sanitize_tick % _sanitize._sample_every() != 0:
+            return
+        args = req.args
+        if req.verb == "disk":
+            ref = snap.index.disk_query(
+                DiskQuery(args["cx"], args["cy"], args["radius"])
+            )
+        elif req.verb == "window" and args.get("predicate") == "within":
+            ref = snap.index.window_query_within(
+                Rect(args["xl"], args["yl"], args["xu"], args["yu"])
+            )
+        else:
+            ref = snap.index.window_query(
+                Rect(args["xl"], args["yl"], args["xu"], args["yu"])
+            )
+        got = sorted(merged_ids)
+        want = sorted(int(i) for i in ref)
+        if got != want:
+            raise _sanitize.SanitizerError(
+                "shard_merge_parity",
+                f"router._merge[{req.verb}]",
+                {
+                    "merged": len(got),
+                    "local": len(want),
+                    "epoch": snap.version,
+                },
+            )
+
+    def _deliver_remote(
+        self,
+        pending: PendingRequest,
+        result: dict,
+        meta: dict,
+        out: "dict[_Connection, list[bytes]]",
+        bctx: "_BatchCtx | None",
+        shards: list[int],
+        kernel_ms: float,
+        scatter_ms: float,
+    ) -> None:
+        """Scattered-request twin of the parent's ``_deliver``: same trace
+        retention rules, phases gain ``scatter_ms`` + the ``shard`` hop."""
+        req = pending.request
+        rmeta = {**meta, "shards": shards}
+        if bctx is None:
+            self._respond(
+                pending, encode_response(req.id, result, rmeta), out
+            )
+            return
+        trace_id = req.trace or f"t-{next(self._trace_seq):06x}"
+        phases = {
+            "queue_ms": round(
+                (pending.dequeued_at - pending.enqueued_at) * 1e3, 3
+            ),
+            "coalesce_ms": round((bctx.t_exec - pending.dequeued_at) * 1e3, 3),
+            "snapshot_pin_ms": round(bctx.pin_ms, 4),
+            "scatter_ms": round(scatter_ms, 3),
+            "kernel_ms": round(kernel_ms, 3),
+            "refine_ms": 0.0,
+            "shard": shards[0] if len(shards) == 1 else shards,
+        }
+        record = None
+        if req.trace is not None:
+            t0 = time.perf_counter()
+            payload = encode_response(
+                req.id, result, {**rmeta, "phases": phases}, trace=trace_id
+            )
+            phases["serialize_ms"] = round((time.perf_counter() - t0) * 1e3, 3)
+            record = self._make_record(pending, bctx, trace_id, phases)
+            record["shards"] = shards
+        else:
+            payload = encode_response(req.id, result, rmeta, trace=trace_id)
+            if self.telemetry is not None:
+                self._trace_tick += 1
+                latency_ms = (time.perf_counter() - pending.enqueued_at) * 1e3
+                if (
+                    latency_ms >= self.telemetry.slowlog.threshold_ms
+                    or self._trace_tick % self.config.trace_sample == 0
+                ):
+                    record = self._make_record(pending, bctx, trace_id, phases)
+                    record["shards"] = shards
+        self._respond(
+            pending, payload, out, bctx=None, trace_id=trace_id, record=record
+        )
+
+    # -- writes ------------------------------------------------------------
+
+    async def _writer_loop(self) -> None:
+        while True:
+            pending = await self._write_q.get()
+            if pending is None:
+                return
+            await self._apply_write_sharded(pending)
+
+    async def _apply_write_sharded(self, pending: PendingRequest) -> None:
+        req = pending.request
+        tel = self.telemetry
+        trace_id = None
+        if tel is not None:
+            trace_id = req.trace or f"t-{next(self._trace_seq):06x}"
+        t0 = time.perf_counter()
+        result = None
+        version = None
+        try:
+            with _tracing.activate(self.tracer):
+                with _tracing.span(f"server.{req.verb}"):
+                    if req.verb == "insert":
+                        rect = Rect(
+                            req.args["xl"],
+                            req.args["yl"],
+                            req.args["xu"],
+                            req.args["yu"],
+                        )
+                        obj_id, version = self.store.insert(rect)
+                        result = {"id": obj_id, "snapshot": version}
+                    else:
+                        found, version = self.store.delete(req.args["id"])
+                        result = {"found": found, "snapshot": version}
+            payload = encode_response(req.id, result, trace=trace_id)
+        except ReproError as exc:
+            payload = encode_error(
+                req.id, "invalid_query", str(exc), trace=trace_id
+            )
+        except Exception as exc:  # pragma: no cover - defensive
+            self.registry.counter("server.errors.internal").inc()
+            payload = encode_error(req.id, "internal", repr(exc), trace=trace_id)
+        if result is not None:
+            # Local apply succeeded: broadcast to every live replica and
+            # verify the deterministic-replication contract (identical
+            # version on every ack).
+            await self._broadcast_write(req.verb, req.args, version)
+        record = None
+        if tel is not None:
+            record = {
+                "trace": trace_id,
+                "id": req.id,
+                "verb": req.verb,
+                "args": req.args,
+                "shards": [
+                    k for k in range(self.shards)
+                    if self._live_link(k) is not None
+                ],
+                "phases": {
+                    "queue_ms": round((t0 - pending.enqueued_at) * 1e3, 3),
+                    "kernel_ms": round((time.perf_counter() - t0) * 1e3, 3),
+                },
+            }
+        self._respond(pending, payload, record=record)
+
+    async def _broadcast_write(
+        self, verb: str, args: dict[str, Any], version: int
+    ) -> None:
+        futs: dict[int, asyncio.Future] = {}
+        seq = next(self._wseq)
+        for k in range(self.shards):
+            link = self._live_link(k)
+            if link is not None:
+                futs[k] = link.send_write(seq, verb, args)
+        if not futs:
+            return
+        done, not_done = await asyncio.wait(
+            futs.values(), timeout=self.config.write_timeout_s
+        )
+        if not_done:
+            for k, fut in futs.items():
+                if fut in not_done:
+                    link = self._links[k]
+                    if link is not None:
+                        link.mark_dead()
+            await asyncio.gather(*not_done, return_exceptions=True)
+        for k, fut in futs.items():
+            if fut.exception() is not None:
+                continue  # link already marked dead
+            ack = fut.result()
+            if not ack.get("ok") or ack.get("version") != version:
+                # Replica diverged from the deterministic contract —
+                # quarantine it rather than serve inconsistent merges.
+                self._m_epoch_mismatch.inc()
+                link = self._links[k]
+                if link is not None:
+                    link.mark_dead()
+            else:
+                self._m_shard_epoch[k].set(float(version))
+
+    # -- shutdown ----------------------------------------------------------
+
+    async def shutdown(self) -> None:
+        if self._stopped.is_set():
+            return
+        await super().shutdown()
+        await self._stop_workers()
+
+    async def _stop_workers(self) -> None:
+        for k in range(self.shards):
+            link = self._links[k]
+            if link is not None and link.alive:
+                link.send_shutdown()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + 5.0
+        for proc in self._procs:
+            if proc is None:
+                continue
+            while proc.is_alive() and loop.time() < deadline:
+                await asyncio.sleep(0.05)
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs:
+            if proc is not None:
+                await loop.run_in_executor(None, proc.join, 1.0)
+        for k in range(self.shards):
+            link = self._links[k]
+            if link is not None:
+                link.mark_dead()
+        if self._internal_server is not None:
+            self._internal_server.close()
+            await self._internal_server.wait_closed()
+            self._internal_server = None
+        unlink_arena(self._seg)
+        self._seg = None

@@ -1,0 +1,127 @@
+"""Shared-memory publication of the immutable serving base.
+
+The router copies the packed CSR columns (offsets + 4 coordinate
+columns + ids), the dataset columns and the precomputed fast-path query
+matrix into **one** ``multiprocessing.shared_memory`` arena, 64-byte
+aligned per array.  Workers attach read-only views — zero copies, zero
+serialization, and the (6, N) query matrix is built once and shared by
+every shard.
+
+Lifecycle discipline (the part that actually bites):
+
+* the **router** is the only creator and the only unlinker.  Clean
+  shutdown unlinks explicitly; if the router dies hard, CPython's
+  ``resource_tracker`` sidecar process (which survives the crash)
+  unlinks the segment for it.
+* **workers** attach by name with ``untrack=False`` and only ever
+  ``close()``.  Spawn children inherit the router's resource tracker,
+  so the bpo-38119 unregister an unrelated attacher would perform is
+  wrong here — it would erase the *router's* registration from the
+  shared tracker and turn a router SIGKILL into a permanent leak.
+"""
+
+from __future__ import annotations
+
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any
+
+import numpy as np
+
+from repro.errors import IndexStateError
+
+__all__ = ["attach_arena", "publish_arena", "unlink_arena"]
+
+_ALIGN = 64
+
+
+def _aligned(n: int) -> int:
+    return (n + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+def publish_arena(
+    arrays: dict[str, np.ndarray]
+) -> tuple[shared_memory.SharedMemory, dict[str, Any]]:
+    """Copy ``arrays`` into one new shm arena; return (segment, manifest).
+
+    The manifest is a plain (spawn-picklable) dict describing the
+    segment name and each array's offset/dtype/shape; pass it to worker
+    processes and hand it to :func:`attach_arena` there.
+    """
+    layout: dict[str, Any] = {}
+    pos = 0
+    for name, arr in arrays.items():
+        if not arr.flags.c_contiguous:
+            raise IndexStateError(f"array {name!r} must be C-contiguous")
+        layout[name] = {
+            "offset": pos,
+            "dtype": str(arr.dtype),
+            "shape": list(arr.shape),
+        }
+        pos = _aligned(pos + arr.nbytes)
+    seg = shared_memory.SharedMemory(create=True, size=max(pos, 1))
+    for name, arr in arrays.items():
+        spec = layout[name]
+        dst = np.ndarray(
+            arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=spec["offset"]
+        )
+        dst[...] = arr
+    manifest = {"segment": seg.name, "nbytes": max(pos, 1), "arrays": layout}
+    return seg, manifest
+
+
+def attach_arena(
+    manifest: dict[str, Any], *, untrack: bool = True
+) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+    """Attach a published arena; return (segment, read-only views).
+
+    The caller must keep the returned segment object alive as long as
+    the views are used, and ``close()`` it when done (never ``unlink``
+    from an attaching process).
+
+    ``untrack`` handles bpo-38119: attaching registers this process as
+    an owner with its resource tracker, which would unlink the arena
+    when the attacher exits.  An *unrelated* process wants the default
+    ``untrack=True``.  A spawn **child of the creator** must pass
+    ``untrack=False``: it inherits the creator's tracker, so the
+    register above was a set-duplicate no-op and unregistering here
+    would erase the creator's own entry — after which a hard-killed
+    creator leaks the segment forever.
+    """
+    seg = shared_memory.SharedMemory(name=manifest["segment"])
+    if untrack:
+        try:  # pragma: no cover - absent on platforms without tracker
+            resource_tracker.unregister(seg._name, "shared_memory")
+        except Exception:
+            pass
+    views: dict[str, np.ndarray] = {}
+    for name, spec in manifest["arrays"].items():
+        view = np.ndarray(
+            tuple(spec["shape"]),
+            dtype=np.dtype(spec["dtype"]),
+            buffer=seg.buf,
+            offset=spec["offset"],
+        )
+        view.setflags(write=False)
+        views[name] = view
+    return seg, views
+
+
+def unlink_arena(seg: "shared_memory.SharedMemory | None") -> None:
+    """Close and unlink the arena; idempotent (already-gone is fine)."""
+    if seg is None:
+        return
+    try:
+        seg.close()
+    except Exception:
+        pass
+    # A same-process attach_arena (tests, single-process tooling) has
+    # unregistered the name; re-register so unlink's own unregister
+    # finds it (the tracker cache is a set — duplicates are harmless).
+    try:  # pragma: no cover - absent on platforms without the tracker
+        resource_tracker.register(seg._name, "shared_memory")
+    except Exception:
+        pass
+    try:
+        seg.unlink()
+    except FileNotFoundError:
+        pass

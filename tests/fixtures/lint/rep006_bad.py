@@ -1,0 +1,10 @@
+_RESULT_CACHE = {}
+
+_PENDING = []
+
+_SEEN = set()
+
+
+def remember(key, value):
+    global _TOTAL
+    _RESULT_CACHE[key] = value

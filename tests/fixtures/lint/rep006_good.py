@@ -1,0 +1,24 @@
+_RING_KEEP = 64
+
+_SCATTER_VERBS = frozenset({"window", "count", "disk", "knn"})
+
+_CLASS_CODES = (0, 1, 2, 3)
+
+
+class WorkerLoop:
+    def __init__(self):
+        self.ring = {}
+        self.parked = []
+
+    def drain(self):
+        out = []
+        for frame in self.parked:
+            out.append(frame)
+        return out
+
+
+def plan(items):
+    buckets = {}
+    for item in items:
+        buckets.setdefault(item % 4, []).append(item)
+    return buckets

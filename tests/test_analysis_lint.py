@@ -33,6 +33,7 @@ VIRTUAL_PATH = {
     "REP001": "src/repro/geometry/fixture.py",
     "REP004": "src/repro/core/fixture.py",
     "REP005": "src/repro/grid/fixture.py",
+    "REP006": "src/repro/shard/fixture.py",
     "REP105": "src/repro/core/fixture.py",
 }
 NEUTRAL_PATH = "src/repro/util/fixture.py"
@@ -44,6 +45,7 @@ BAD_EXPECT = {
     "REP003": 2,  # await under lock, time.sleep under lock
     "REP004": 2,  # operator kernel + ufunc-alias kernel
     "REP005": 1,  # window_query reaches only _store
+    "REP006": 4,  # dict/list/set globals + a `global` statement
     "REP101": 1,
     "REP102": 2,  # [] and dict()
     "REP103": 1,

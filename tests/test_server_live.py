@@ -537,3 +537,52 @@ class TestEndToEndLive:
             proc.send_signal(signal.SIGTERM)
             _, err = proc.communicate(timeout=15)
         assert proc.returncode == 0, err
+
+
+class TestTopShardSection:
+    def test_render_includes_per_shard_rows(self):
+        from repro.server.admin import _render
+
+        stats = {
+            "snapshot": 3,
+            "uptime_s": 12.0,
+            "telemetry": True,
+            "metrics": {
+                "server.requests": 40.0,
+                "server.errors.degraded": 2.0,
+                "server.shard.epoch_mismatch": 0.0,
+                "server.shard.0.requests": 25.0,
+                "server.shard.0.batches": 9.0,
+                "server.shard.1.requests": 15.0,
+                "server.shard.1.batches": 7.0,
+            },
+            "shards": {
+                "count": 2,
+                "local_epoch": 3,
+                "epochs": [3, 3],
+                "dead": [1],
+                "bands": [[0, 600], [600, 1024]],
+                "pids": [4001, 4002],
+            },
+        }
+        out = _render(stats, None, 5.0, "x:1", top_k=5)
+        assert "shards=2" in out
+        assert "local_epoch=3" in out
+        assert "degraded=2" in out
+        lines = out.splitlines()
+        row0 = next(ln for ln in lines if ln.strip().startswith("0 "))
+        row1 = next(ln for ln in lines if ln.strip().startswith("1 "))
+        assert "live" in row0 and "[0,600)" in row0 and "25" in row0
+        assert "DEAD" in row1 and "[600,1024)" in row1 and "4002" in row1
+
+    def test_render_omits_section_without_shards(self):
+        from repro.server.admin import _render
+
+        out = _render(
+            {"snapshot": 1, "telemetry": False, "metrics": {}},
+            None,
+            None,
+            "x:1",
+            top_k=5,
+        )
+        assert "shards=" not in out

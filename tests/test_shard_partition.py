@@ -1,0 +1,121 @@
+"""Band planning and footprint routing (repro.shard.partition)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexStateError
+from repro.shard.partition import (
+    ShardBand,
+    bands_for_range,
+    plan_bands,
+    shard_for_tile,
+)
+
+
+def bounds_from_rows(rows_per_tile):
+    """Tile row bounds (offsets[::4] analogue) from per-tile row counts."""
+    return np.concatenate(
+        [[0], np.cumsum(np.asarray(rows_per_tile, dtype=np.int64))]
+    )
+
+
+class TestPlanBands:
+    def test_partition_covers_tile_space_contiguously(self):
+        bounds = bounds_from_rows([3, 0, 7, 1, 0, 5, 2, 2])
+        bands = plan_bands(bounds, 3)
+        assert bands[0].t_lo == 0
+        assert bands[-1].t_hi == 8
+        for a, b in zip(bands, bands[1:]):
+            assert a.t_hi == b.t_lo
+            assert a.row_hi == b.row_lo
+        assert sum(b.n_rows for b in bands) == 20
+        assert [b.shard for b in bands] == [0, 1, 2]
+
+    def test_balance_on_uniform_rows(self):
+        bounds = bounds_from_rows([10] * 100)
+        bands = plan_bands(bounds, 4)
+        assert [b.n_rows for b in bands] == [250, 250, 250, 250]
+
+    def test_skew_splits_by_rows_not_tiles(self):
+        # one hot tile holds almost everything; the planner must not
+        # hand three idle shards one tile each of the cold tail
+        rows = [1] * 7 + [1000]
+        bands = plan_bands(bounds_from_rows(rows), 2)
+        assert bands[0].n_rows <= bands[1].n_rows
+        assert bands[1].owns_tile(7)
+
+    def test_more_shards_than_tiles_yields_empty_bands(self):
+        bounds = bounds_from_rows([4, 4])
+        bands = plan_bands(bounds, 5)
+        assert len(bands) == 5
+        assert sum(b.n_rows for b in bands) == 8
+        assert sum(1 for b in bands if b.n_tiles == 0) >= 3
+
+    def test_rejects_bad_inputs(self):
+        bounds = bounds_from_rows([1, 2])
+        with pytest.raises(IndexStateError):
+            plan_bands(bounds, 0)
+        with pytest.raises(IndexStateError):
+            plan_bands(np.array([0], dtype=np.int64), 2)
+
+    def test_band_tuple_roundtrip(self):
+        band = ShardBand(shard=2, t_lo=5, t_hi=9, row_lo=17, row_hi=40)
+        assert ShardBand.from_tuple(band.to_tuple()) == band
+
+
+class TestRouting:
+    def setup_method(self):
+        # 4x4 grid, one row per tile, 16 tiles split into 4 bands of 4
+        self.nx = 4
+        self.bounds = bounds_from_rows([1] * 16)
+        self.bands = plan_bands(self.bounds, 4)
+
+    def test_single_tile_footprint_routes_to_one_shard(self):
+        for tid in range(16):
+            ix, iy = tid % self.nx, tid // self.nx
+            shards = bands_for_range(self.bands, self.nx, ix, ix, iy, iy)
+            assert shards == [shard_for_tile(self.bands, tid)]
+
+    def test_full_domain_routes_everywhere(self):
+        assert bands_for_range(self.bands, self.nx, 0, 3, 0, 3) == [0, 1, 2, 3]
+
+    def test_column_footprint_crosses_every_band(self):
+        # a 1-wide column intersects each grid row, hence every band of
+        # this row-major layout
+        assert bands_for_range(self.bands, self.nx, 2, 2, 0, 3) == [0, 1, 2, 3]
+
+    def test_results_ascend_by_shard(self):
+        shards = bands_for_range(self.bands, self.nx, 0, 3, 1, 2)
+        assert shards == sorted(shards)
+
+    def test_empty_bands_never_routed(self):
+        bands = plan_bands(bounds_from_rows([4, 4]), 5)
+        routed = bands_for_range(bands, 2, 0, 1, 0, 0)
+        assert all(bands[k].n_tiles > 0 for k in routed)
+        total = {t for k in routed for t in range(bands[k].t_lo, bands[k].t_hi)}
+        assert total == {0, 1}
+
+    def test_shard_for_tile_rejects_out_of_range(self):
+        with pytest.raises(IndexStateError):
+            shard_for_tile(self.bands, 16)
+
+    def test_routing_matches_brute_force_membership(self):
+        rng = np.random.default_rng(5)
+        nx = ny = 8
+        bounds = bounds_from_rows(rng.integers(0, 6, nx * ny))
+        bands = plan_bands(bounds, 3)
+        for _ in range(200):
+            ix0, ix1 = sorted(rng.integers(0, nx, 2))
+            iy0, iy1 = sorted(rng.integers(0, ny, 2))
+            footprint = {
+                iy * nx + ix
+                for iy in range(iy0, iy1 + 1)
+                for ix in range(ix0, ix1 + 1)
+            }
+            want = sorted(
+                b.shard
+                for b in bands
+                if any(b.owns_tile(t) for t in footprint)
+            )
+            got = bands_for_range(bands, nx, ix0, ix1, iy0, iy1)
+            assert got == want

@@ -1,0 +1,104 @@
+"""Shared-memory arena lifecycle (repro.shard.shm)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.errors import IndexStateError
+from repro.shard.shm import attach_arena, publish_arena, unlink_arena
+
+
+def sample_arrays():
+    return {
+        "offsets": np.arange(9, dtype=np.int64),
+        "xl": np.linspace(0, 1, 7),
+        "ids": np.array([5, 3, 9], dtype=np.int64),
+        "fast_q": np.arange(12, dtype=np.float64).reshape(6, 2),
+        "empty": np.empty(0, dtype=np.float64),
+    }
+
+
+class TestRoundtrip:
+    def test_attach_reproduces_every_array(self):
+        arrays = sample_arrays()
+        seg, manifest = publish_arena(arrays)
+        try:
+            seg2, views = attach_arena(manifest)
+            try:
+                assert set(views) == set(arrays)
+                for name, arr in arrays.items():
+                    np.testing.assert_array_equal(views[name], arr)
+                    assert views[name].dtype == arr.dtype
+                    assert views[name].shape == arr.shape
+            finally:
+                seg2.close()
+        finally:
+            unlink_arena(seg)
+
+    def test_arrays_are_64_byte_aligned(self):
+        seg, manifest = publish_arena(sample_arrays())
+        try:
+            for spec in manifest["arrays"].values():
+                assert spec["offset"] % 64 == 0
+        finally:
+            unlink_arena(seg)
+
+    def test_manifest_is_plain_picklable_data(self):
+        import pickle
+
+        seg, manifest = publish_arena(sample_arrays())
+        try:
+            clone = pickle.loads(pickle.dumps(manifest))
+            assert clone == manifest
+        finally:
+            unlink_arena(seg)
+
+    def test_views_are_read_only(self):
+        seg, manifest = publish_arena(sample_arrays())
+        try:
+            seg2, views = attach_arena(manifest)
+            try:
+                with pytest.raises((ValueError, RuntimeError)):
+                    views["ids"][0] = 7
+            finally:
+                seg2.close()
+        finally:
+            unlink_arena(seg)
+
+    def test_non_contiguous_rejected(self):
+        with pytest.raises(IndexStateError):
+            publish_arena({"bad": np.arange(16, dtype=np.float64)[::2]})
+
+
+class TestLifecycle:
+    def test_unlink_is_idempotent_and_none_safe(self):
+        seg, _ = publish_arena(sample_arrays())
+        unlink_arena(seg)
+        unlink_arena(seg)  # already gone: still fine
+        unlink_arena(None)
+
+    def test_segment_gone_from_dev_shm_after_unlink(self):
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("no /dev/shm on this platform")
+        seg, manifest = publish_arena(sample_arrays())
+        name = manifest["segment"].lstrip("/")
+        assert any(name in entry for entry in os.listdir("/dev/shm"))
+        unlink_arena(seg)
+        assert not any(name in entry for entry in os.listdir("/dev/shm"))
+
+    def test_attacher_close_does_not_unlink(self):
+        # bpo-38119 discipline: an attaching process must be able to
+        # come and go without tearing the arena down under the creator
+        arrays = sample_arrays()
+        seg, manifest = publish_arena(arrays)
+        try:
+            seg2, views = attach_arena(manifest)
+            seg2.close()
+            seg3, views3 = attach_arena(manifest)
+            try:
+                np.testing.assert_array_equal(views3["ids"], arrays["ids"])
+            finally:
+                seg3.close()
+        finally:
+            unlink_arena(seg)
