@@ -7,6 +7,13 @@ the CSR base (:mod:`repro.grid.storage`); the legacy backend walks the
 per-tile dictionaries.  The gap is the PR's headline: Python/dict
 overhead per tile versus O(regions) vectorised passes, so the speedup
 should *grow* with the number of tiles a query touches.
+
+When the ``compiled`` extra (numba) is installed the sweep adds a third
+backend — ``storage="compiled"``, the jitted condition-major kernels of
+:mod:`repro.grid.kernels` — and gates it at a mean >= 5x over the
+vectorised packed tier (full scale only).  Without numba the compiled
+column simply does not exist: the series keys and params stay stable,
+so baseline comparisons never mix the two environments.
 """
 
 from __future__ import annotations
@@ -23,12 +30,16 @@ from repro.bench import (
     window_workload,
 )
 from repro.core import TwoLayerGrid
+from repro.grid.kernels import compiled_available
 from repro.stats import QueryStats
 
 from _shared import emit_bench_record
 from conftest import report
 
-_STORAGES = ("packed", "legacy")
+_STORAGES = ("packed", "legacy") + (
+    ("compiled",) if compiled_available() else ()
+)
+_MIN_COMPILED_SPEEDUP = 5.0
 #: window area sweep (% of the domain) — larger windows touch more tiles.
 _AREAS = (0.05, 0.1, 0.5, 1.0)
 _DATASET = "ROADS"
@@ -76,22 +87,46 @@ def test_kernels_window_latency(benchmark, storage, area):
 def test_kernels_report(benchmark):
     """Assemble the latency-vs-tiles table and register the record."""
     benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    have_compiled = "compiled" in _STORAGES
     rows = []
     for area in _AREAS:
         label = _label(area)
         packed = _LATENCY[("packed", label)]
         legacy = _LATENCY[("legacy", label)]
-        rows.append(
-            [label, _TILES[label], packed, legacy, legacy / packed]
-        )
+        row = [label, _TILES[label], packed, legacy, legacy / packed]
+        if have_compiled:
+            compiled = _LATENCY[("compiled", label)]
+            row += [compiled, packed / compiled]
+        rows.append(row)
+    headers = ["area", "tiles", "packed µs", "legacy µs", "speedup"]
+    if have_compiled:
+        headers += ["compiled µs", "c-speedup"]
     report(
         lambda: print_table(
             "Fused kernels — per-query latency [µs] vs tiles touched "
             f"(2-layer, {_DATASET}, window area sweep)",
-            ["area", "tiles", "packed µs", "legacy µs", "speedup"],
+            headers,
             rows,
         )
     )
+    # One series per backend: the who-wins ordering inside each series
+    # (bigger windows are slower) is scale-stable, so the regression
+    # gate never trips on smoke-scale CI runs.  The compiled series
+    # exists only where numba does — keeps numba-free baselines
+    # comparable to numba-free runs.
+    series = {
+        "packed_latency_us": {
+            _label(a): _LATENCY[("packed", _label(a))] for a in _AREAS
+        },
+        "legacy_latency_us": {
+            _label(a): _LATENCY[("legacy", _label(a))] for a in _AREAS
+        },
+        "tiles_touched": dict(_TILES),
+    }
+    if have_compiled:
+        series["compiled_latency_us"] = {
+            _label(a): _LATENCY[("compiled", _label(a))] for a in _AREAS
+        }
     emit_bench_record(
         "kernels",
         {
@@ -100,18 +135,7 @@ def test_kernels_report(benchmark):
             "window_area_pct": list(_AREAS),
             "storages": list(_STORAGES),
         },
-        {
-            # One series per backend: the who-wins ordering inside each
-            # series (bigger windows are slower) is scale-stable, so the
-            # regression gate never trips on smoke-scale CI runs.
-            "packed_latency_us": {
-                _label(a): _LATENCY[("packed", _label(a))] for a in _AREAS
-            },
-            "legacy_latency_us": {
-                _label(a): _LATENCY[("legacy", _label(a))] for a in _AREAS
-            },
-            "tiles_touched": dict(_TILES),
-        },
+        series,
     )
     # Shape assertion at full scale only: tiny smoke datasets leave too
     # little per-tile work for the fused kernels to amortise reliably.
@@ -121,4 +145,14 @@ def test_kernels_report(benchmark):
             label = _label(area)
             assert _LATENCY[("packed", label)] < _LATENCY[("legacy", label)], (
                 f"packed must beat legacy at {label}"
+            )
+        if have_compiled:
+            mean_speedup = sum(
+                _LATENCY[("packed", _label(a))]
+                / _LATENCY[("compiled", _label(a))]
+                for a in _AREAS
+            ) / len(_AREAS)
+            assert mean_speedup >= _MIN_COMPILED_SPEEDUP, (
+                f"compiled tier {mean_speedup:.1f}x over packed, "
+                f"gate is {_MIN_COMPILED_SPEEDUP:.0f}x"
             )

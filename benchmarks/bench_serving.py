@@ -24,10 +24,14 @@ at the top concurrency level).  A sharded phase sweeps ``--shards``
 counts (default 1 vs 4), spot-checks scatter-gather parity on every
 verb, and gates on ``--min-shard-speedup`` — auto-relaxed to
 record-only on hosts with fewer than 4 cores, where a worker fleet
-cannot physically beat one process.  A boot phase records the
-``--index`` cold-start split (archive read vs index build) from the
-server's ``server.boot.*`` gauges.  ``--telemetry-only`` skips the
-batching sweep and overload phase for quick CI overhead checks.
+cannot physically beat one process.  A boot phase (``--boot-n`` rows,
+default 1M; ``--boot-only`` runs just this) saves the same collection
+as both a columnar memmap container and a legacy npz archive, records
+the ``--serve --index`` cold-start split (archive read vs index build)
+from the server's ``server.boot.*`` gauges, and gates on the
+columnar-vs-npz read speedup (``--min-boot-speedup``, default 50x,
+record-only below 1M rows).  ``--telemetry-only`` skips the batching
+sweep and overload phase for quick CI overhead checks.
 """
 
 from __future__ import annotations
@@ -395,32 +399,53 @@ def sharded_phase(args) -> dict:
 
 
 def boot_phase(n: int, seed: int) -> dict:
-    """Cold-start timing: boot ``--serve --index`` from a saved archive
-    and read the ``server.boot.*`` gauges (archive read vs index build)
-    off the ``stats`` verb."""
+    """Cold-start timing: columnar (memmap) vs legacy npz boot.
+
+    Builds one collection, saves it in both formats, then (a) times the
+    npz read in-process via ``load_collection`` timings — decompression
+    dominates and needs no server around it — and (b) boots a real
+    ``--serve --index`` subprocess from the columnar container and reads
+    the ``server.boot.*`` gauges off the ``stats`` verb.  The headline
+    number is ``read_speedup = npz read_ms / columnar read_ms``: the
+    memmap container maps instead of decompressing, so the ratio grows
+    with the archive and is the tentpole acceptance gate at >= 1M rows.
+    """
     import tempfile
 
     from repro.api import SpatialCollection
+    from repro.core.persistence import load_collection, save_collection
     from repro.datasets import generate_uniform_rects
 
     data = generate_uniform_rects(n, area=1e-6, seed=seed)
     col = SpatialCollection.from_dataset(data, partitions_per_dim=64)
     with tempfile.TemporaryDirectory() as tmp:
-        path = os.path.join(tmp, "bench_boot.npz")
-        col.save(path)
-        archive_bytes = os.path.getsize(path)
-        proc, host, port = spawn_server("--index", path)
+        npz_path = os.path.join(tmp, "bench_boot.npz")
+        col_path = os.path.join(tmp, "bench_boot.idx")
+        save_collection(col.index, col.data, npz_path, format="npz")
+        save_collection(col.index, col.data, col_path)
+        npz_bytes = os.path.getsize(npz_path)
+        archive_bytes = os.path.getsize(col_path)
+
+        npz_timings: dict = {}
+        load_collection(npz_path, timings=npz_timings)
+
+        proc, host, port = spawn_server("--index", col_path)
         try:
             with SpatialClient(host, port) as cli:
                 metrics = cli.stats()["metrics"]
         finally:
             stop_server(proc)
+    read_ms = metrics["server.boot.read_ms"]
     return {
         "objects": n,
         "archive_bytes": archive_bytes,
-        "read_ms": metrics["server.boot.read_ms"],
+        "npz_bytes": npz_bytes,
+        "read_ms": read_ms,
         "build_ms": metrics["server.boot.build_ms"],
         "total_ms": metrics["server.boot.total_ms"],
+        "npz_read_ms": npz_timings["read_ms"],
+        "npz_build_ms": npz_timings["build_ms"],
+        "read_speedup": npz_timings["read_ms"] / max(read_ms, 1e-9),
     }
 
 
@@ -484,7 +509,57 @@ def main(argv: "list[str] | None" = None) -> int:
         "--sharded-only", action="store_true",
         help="run only the sharded-router phase (CI shard smoke)",
     )
+    parser.add_argument(
+        "--boot-n", type=int, default=1_000_000,
+        help="dataset size for the cold-start boot phase (the memmap "
+             "vs npz read gate needs >= 1M rows to be meaningful)",
+    )
+    parser.add_argument(
+        "--min-boot-speedup", type=float, default=50.0,
+        help="exit non-zero when columnar read_ms is not at least this "
+             "many times faster than the npz read; auto-relaxed to "
+             "record-only when --boot-n < 1M (0 disables)",
+    )
+    parser.add_argument(
+        "--boot-only", action="store_true",
+        help="run only the cold-start boot phase (columnar vs npz)",
+    )
     args = parser.parse_args(argv)
+
+    if args.boot_only:
+        boot_gate = args.min_boot_speedup if args.boot_n >= 1_000_000 else 0.0
+        print(
+            f"index boot phase (--serve --index cold start, "
+            f"n={args.boot_n}, gate={boot_gate:.0f}x):"
+        )
+        boot = boot_phase(args.boot_n, args.seed)
+        print(
+            f"  columnar read={boot['read_ms']:.2f}ms "
+            f"build={boot['build_ms']:.1f}ms "
+            f"total={boot['total_ms']:.1f}ms "
+            f"({boot['archive_bytes'] / 1e6:.1f} MB container)\n"
+            f"  npz      read={boot['npz_read_ms']:.1f}ms "
+            f"build={boot['npz_build_ms']:.1f}ms "
+            f"({boot['npz_bytes'] / 1e6:.1f} MB archive)\n"
+            f"  read speedup: {boot['read_speedup']:.0f}x"
+        )
+        path = emit_bench_record(
+            "serving_boot",
+            params={
+                "boot_n": args.boot_n,
+                "seed": args.seed,
+                "min_boot_speedup": boot_gate,
+            },
+            series={"boot": boot},
+        )
+        print(f"wrote {path}")
+        if boot_gate > 0 and boot["read_speedup"] < boot_gate:
+            print(
+                f"FAIL: columnar read speedup {boot['read_speedup']:.1f}x "
+                f"below the {boot_gate:.0f}x gate"
+            )
+            return 1
+        return 0
 
     if args.sharded_only:
         gate = args.min_shard_speedup
@@ -651,14 +726,28 @@ def main(argv: "list[str] | None" = None) -> int:
             f"below the {shard_gate:.1f}x gate"
         )
 
-    print("\nindex boot phase (--serve --index cold start):")
-    series["boot"] = boot_phase(args.n, args.seed)
+    boot_gate = args.min_boot_speedup if args.boot_n >= 1_000_000 else 0.0
     print(
-        f"  read={series['boot']['read_ms']:.1f}ms "
-        f"build={series['boot']['build_ms']:.1f}ms "
-        f"total={series['boot']['total_ms']:.1f}ms "
-        f"({series['boot']['archive_bytes'] / 1e6:.1f} MB archive)"
+        f"\nindex boot phase (--serve --index cold start, "
+        f"n={args.boot_n}, gate={boot_gate:.0f}x):"
     )
+    boot = series["boot"] = boot_phase(args.boot_n, args.seed)
+    print(
+        f"  columnar read={boot['read_ms']:.2f}ms "
+        f"build={boot['build_ms']:.1f}ms total={boot['total_ms']:.1f}ms "
+        f"({boot['archive_bytes'] / 1e6:.1f} MB container)\n"
+        f"  npz      read={boot['npz_read_ms']:.1f}ms "
+        f"build={boot['npz_build_ms']:.1f}ms "
+        f"({boot['npz_bytes'] / 1e6:.1f} MB archive)\n"
+        f"  read speedup: {boot['read_speedup']:.0f}x"
+    )
+    boot_ok = True
+    if boot_gate > 0 and boot["read_speedup"] < boot_gate:
+        boot_ok = False
+        print(
+            f"  FAIL: columnar read speedup {boot['read_speedup']:.1f}x "
+            f"below the {boot_gate:.0f}x gate"
+        )
 
     path = emit_bench_record(
         "serving",
@@ -673,6 +762,8 @@ def main(argv: "list[str] | None" = None) -> int:
             "telemetry_reps": args.telemetry_reps,
             "shards_sweep": args.shards_sweep,
             "min_shard_speedup": shard_gate,
+            "boot_n": args.boot_n,
+            "min_boot_speedup": boot_gate,
             "modes": {k: " ".join(v) for k, v in modes.items()},
         },
         series=series,
@@ -683,6 +774,7 @@ def main(argv: "list[str] | None" = None) -> int:
         and series["overload"]["rejected"] > 0
         and telemetry_ok
         and sharded_ok
+        and boot_ok
     )
     return 0 if ok else 1
 

@@ -13,7 +13,7 @@ Options::
     python -m repro --explain       # print EXPLAIN plans for sample queries
     python -m repro --explain --json   # the same plans as JSON
     python -m repro --serve 127.0.0.1:7207   # run the query service
-    python -m repro --serve 127.0.0.1:7207 --index built.npz  # from disk
+    python -m repro --serve 127.0.0.1:7207 --index built.idx  # from disk
     python -m repro --serve 127.0.0.1:7207 --metrics-port 9209  # + Prometheus
     python -m repro --top 127.0.0.1:7207     # live console against a server
 """

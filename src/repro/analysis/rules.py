@@ -10,6 +10,7 @@ REP003   no ``await`` or blocking I/O while holding a ``threading.Lock``
 REP004   comparing kernels must thread ``QueryStats`` (EXPLAIN parity)
 REP005   grid query/update methods must serve both storage backends
 REP006   no module-level mutable state in ``repro.shard`` worker code
+REP007   no raw index-file opens without the format-version check
 REP101   no bare ``except:``
 REP102   no mutable default arguments
 REP103   no wall-clock time calls outside ``repro.obs`` / ``repro.bench``
@@ -502,6 +503,65 @@ class SpawnUnsafeGlobalRule(LintRule):
                 )
 
 
+class UncheckedIndexOpenRule(LintRule):
+    """Raw index-file opens in :mod:`repro.core` / :mod:`repro.grid`
+    without the columnar format-version check — ``np.load`` /
+    ``np.memmap`` interpret whatever bytes they are pointed at, so a
+    module that maps index files while never touching the
+    :mod:`repro.core.format` helpers (``is_columnar`` / ``read_header``
+    / ``read_container``) can silently misread an archive written by an
+    older or newer format.  Funnel every open through those helpers;
+    the rule passes any module that references them (syntactic
+    over-approximation, like the rest of the catalogue)."""
+
+    code = "REP007"
+    name = "unchecked-index-open"
+    scope = ("core", "grid")
+
+    _RAW_OPENS = frozenset(
+        {
+            "np.load",
+            "numpy.load",
+            "np.memmap",
+            "numpy.memmap",
+            "np.lib.format.open_memmap",
+            "numpy.lib.format.open_memmap",
+        }
+    )
+    #: referencing any of these marks the module as format-aware.
+    _HELPERS = frozenset({"is_columnar", "read_header", "read_container"})
+
+    def _format_aware(self, mod: ModuleInfo) -> bool:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Name) and node.id in self._HELPERS:
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in self._HELPERS:
+                return True
+            if (
+                isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node.name in self._HELPERS
+            ):
+                return True
+        return False
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        if self._format_aware(mod):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _dotted_name(node.func)
+            if name in self._RAW_OPENS:
+                yield self.finding(
+                    mod,
+                    node,
+                    f"{name} opens an index file without the format-"
+                    "version check; go through repro.core.format "
+                    "(is_columnar / read_header / read_container) so "
+                    "old or foreign archives fail structurally",
+                )
+
+
 class BareExceptRule(LintRule):
     """Bare ``except:`` — swallows KeyboardInterrupt/SystemExit and
     masks real faults; catch a concrete exception (``ReproError``,
@@ -725,6 +785,7 @@ ALL_RULES: "tuple[type[LintRule], ...]" = (
     StatsThreadingRule,
     BackendParityRule,
     SpawnUnsafeGlobalRule,
+    UncheckedIndexOpenRule,
     BareExceptRule,
     MutableDefaultRule,
     WallClockRule,

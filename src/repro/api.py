@@ -114,25 +114,37 @@ class SpatialCollection:
 
     # -- persistence -------------------------------------------------------
 
-    def save(self, path) -> None:
-        """Persist the collection (index + dataset) to an ``.npz`` archive.
+    def save(
+        self, path, *, format: str = "columnar", if_dirty: str = "compact"
+    ) -> None:
+        """Persist the collection (index + dataset) to one archive.
 
-        A :meth:`load`-ed collection answers every query identically —
-        no re-replication or re-sorting on process start, which is what
-        lets ``python -m repro --serve --index PATH`` boot from a
-        prebuilt index.  Collections carrying exact geometries are
-        refused (npz stores MBRs only).
+        The default ``format="columnar"`` writes the memmap-native
+        container (:mod:`repro.core.format`): :meth:`load` then maps it
+        in milliseconds regardless of size and pages rows in lazily,
+        which is what lets ``python -m repro --serve --index PATH`` boot
+        a multi-GB index instantly and shard workers share one page
+        cache.  ``format="npz"`` keeps the legacy compressed archive.
+        A loaded collection answers every query identically — no
+        re-replication or re-sorting on process start.  ``if_dirty``
+        controls saving with un-compacted updates (``"compact"`` folds
+        them first, ``"error"`` raises).  Collections carrying exact
+        geometries are refused (archives store MBRs only).
         """
         from repro.core.persistence import save_collection
 
-        save_collection(self.index, self.data, path)
+        save_collection(
+            self.index, self.data, path, format=format, if_dirty=if_dirty
+        )
 
     @classmethod
     def load(cls, path, timings: "dict | None" = None) -> "SpatialCollection":
         """Restore a collection written by :meth:`save` without rebuilding.
 
-        ``timings`` (optional dict) receives the boot split — ``read_ms``
-        vs ``build_ms`` — which ``--serve --index`` surfaces in the
+        The on-disk format is sniffed from the file: columnar containers
+        memmap in place, legacy npz archives decompress.  ``timings``
+        (optional dict) receives the boot split — ``read_ms`` vs
+        ``build_ms`` — which ``--serve --index`` surfaces in the
         ``stats`` verb and the serving benchmark records.
         """
         from repro.core.persistence import load_collection

@@ -84,6 +84,32 @@ class DecomposedTables:
             self._vals[comp] = source[order]
             self._ids[comp] = ids[order]
 
+    @classmethod
+    def from_sorted(
+        cls,
+        code: int,
+        n: int,
+        tables: "dict[str, tuple[np.ndarray, np.ndarray]]",
+    ) -> "DecomposedTables":
+        """Adopt pre-sorted ``comp -> (vals, ids)`` tables without argsort.
+
+        The columnar container persists per-class sort orders (the
+        ziggypy-style StartSort/EndSort components), so a loaded 2-layer⁺
+        gathers each partition's tables with one slice per comparison —
+        no O(n log n) rebuild.  The caller vouches that each table is
+        ascending in ``vals`` and covers :data:`REQUIRED_TABLES` of
+        ``code``.
+        """
+        self = cls.__new__(cls)
+        self.n = n
+        self._vals = {}
+        self._ids = {}
+        for comp in REQUIRED_TABLES[code]:
+            vals, ids = tables[comp]
+            self._vals[comp] = vals
+            self._ids[comp] = ids
+        return self
+
     @property
     def nbytes(self) -> int:
         return sum(v.nbytes for v in self._vals.values()) + sum(

@@ -58,6 +58,7 @@ from repro.grid.base import (
     GridPartitioner,
     replicate,
 )
+from repro.grid import kernels as _kernels
 from repro.grid.storage import (
     PackedStore,
     TileTable,
@@ -111,6 +112,9 @@ class TwoLayerGrid:
     def __init__(self, grid: GridPartitioner, storage: "str | None" = None):
         self.grid = grid
         self._packed = resolve_storage_mode(storage)
+        #: compiled (numba) kernel tier for the stats-free hot routes;
+        #: False whenever numba is missing (silent vectorised fallback).
+        self._use_compiled = self._packed and _kernels.resolve_kernel_mode(storage)
         #: the immutable CSR base (packed backend; None until bulk load).
         self._store: "PackedStore | None" = None
         #: tile id -> [table or None] indexed by class code.  The whole
@@ -128,6 +132,11 @@ class TwoLayerGrid:
     def storage(self) -> str:
         """The physical backend: ``"packed"`` or ``"legacy"``."""
         return "packed" if self._packed else "legacy"
+
+    @property
+    def kernel_mode(self) -> str:
+        """``"compiled"`` (numba tier active) or ``"vectorized"``."""
+        return "compiled" if self._use_compiled else "vectorized"
 
     # -- construction ----------------------------------------------------
 
@@ -736,7 +745,28 @@ class TwoLayerGrid:
         q = self._fast_q
         if q is None:
             q = self._build_fast_q()
+        if self._use_compiled:
+            return _kernels.window_scan(
+                q,
+                self._store.ids,
+                self._store.offsets,
+                4,
+                self.grid.nx,
+                ix0,
+                iy0,
+                iy1,
+                ix1 - ix0 + 1,
+                np.array(
+                    [window.xl, -window.xu, window.yl, -window.yu,
+                     float(-ix0), float(-iy0)]
+                ),
+            )
         tb = self._tile_row_bounds
+        if tb is None:
+            # A memmap-loaded index ships its query matrix but derives
+            # the scalar row extents lazily (keeps load from paging the
+            # offsets slab in before the first query).
+            tb = self._tile_row_bounds = self._store.offsets[::4].tolist()
         ids = self._store.ids
         ge = np.greater_equal
         band = np.logical_and.reduce
@@ -1027,6 +1057,34 @@ class TwoLayerGrid:
 
     def count_window(self, window: Rect) -> int:
         """Number of results of a window query (no id materialisation)."""
+        if (
+            self._use_compiled
+            and self._store is not None
+            and not self._tiles
+            and not self._store.n_dead
+            and tracing_active() is None
+            and self._n_objects
+        ):
+            ix0, ix1, iy0, iy1 = self.grid.tile_range_for_window(window)
+            q = self._fast_q
+            if q is None:
+                q = self._build_fast_q()
+            return int(
+                _kernels.window_count(
+                    q,
+                    self._store.offsets,
+                    4,
+                    self.grid.nx,
+                    ix0,
+                    iy0,
+                    iy1,
+                    ix1 - ix0 + 1,
+                    np.array(
+                        [window.xl, -window.xu, window.yl, -window.yu,
+                         float(-ix0), float(-iy0)]
+                    ),
+                )
+            )
         total = 0
         for _plan, _cp, _cols, mask, ids in self._window_chunks(window):
             total += ids.shape[0] if mask is None else int(np.count_nonzero(mask))
@@ -1049,6 +1107,41 @@ class TwoLayerGrid:
         """
         if self._n_objects == 0:
             return _EMPTY_IDS
+        if (
+            stats is None
+            and self._use_compiled
+            and self._store is not None
+            and not self._tiles
+            and not self._store.n_dead
+            and tracing_active() is None
+        ):
+            # Compiled §IV-E scan: planning (disk spans), class skipping,
+            # covered-tile shortcut, distance tests and the canonical
+            # B/D dedup all run in one jitted pass over the CSR slabs.
+            g = self.grid
+            ix0, ix1, iy0, iy1 = g.tile_range_for_window(query.mbr())
+            store = self._store
+            return _kernels.disk_scan(
+                store.offsets,
+                store.xl,
+                store.yl,
+                store.xu,
+                store.yu,
+                store.ids,
+                g.nx,
+                g.ny,
+                g.domain.xl,
+                g.domain.yl,
+                g.tile_w,
+                g.tile_h,
+                ix0,
+                ix1,
+                iy0,
+                iy1,
+                query.cx,
+                query.cy,
+                query.radius,
+            )
         with trace_span("query.disk"):
             with trace_span("filter.lookup"):
                 row_span, tile_jobs = self._disk_plan(query)

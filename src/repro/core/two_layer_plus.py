@@ -32,6 +32,8 @@ from repro.core.decomposed import (
     COMP_XU_GE,
     COMP_YL_LE,
     COMP_YU_GE,
+    REQUIRED_TABLES,
+    _SOURCE_COLUMN,
     DecomposedTables,
 )
 from repro.core.selection import plan_tile
@@ -86,6 +88,11 @@ class TwoLayerPlusGrid(TwoLayerGrid):
         # inserts invalidate a partition.
         self._decomposed: dict[tuple[int, int], DecomposedTables] = {}
         self._stale: set[tuple[int, int]] = set()
+        # Per-column sort orders over the whole packed base (absolute row
+        # indices, segment-sorted per partition), restored from a
+        # columnar archive; lets _decomposed_for skip the per-partition
+        # argsort.  Cleared by any update — the base rows shift.
+        self._persisted_orders: "tuple[np.ndarray, ...] | None" = None
         # Global MBR columns by object id, used to verify residual
         # comparisons after a binary search ("accessing the entire MBR").
         self._g_xl = _EMPTY_IDS.astype(np.float64)
@@ -142,6 +149,14 @@ class TwoLayerPlusGrid(TwoLayerGrid):
 
     def insert(self, rect: Rect, obj_id: "int | None" = None) -> int:
         obj_id = super().insert(rect, obj_id)
+        self._persisted_orders = None
+        # Memmap-loaded global columns are read-only snapshots; fork
+        # them copy-on-write before the first in-place update.
+        if not self._g_xl.flags.writeable:
+            self._g_xl = self._g_xl.copy()
+            self._g_yl = self._g_yl.copy()
+            self._g_xu = self._g_xu.copy()
+            self._g_yu = self._g_yu.copy()
         # Grow the global columns if needed, then record the new MBR.
         if obj_id >= self._g_xl.shape[0]:
             grow = obj_id + 1 - self._g_xl.shape[0]
@@ -169,6 +184,7 @@ class TwoLayerPlusGrid(TwoLayerGrid):
         """Remove an object and invalidate the affected decomposed tables."""
         found = super().delete(rect, obj_id)
         if found:
+            self._persisted_orders = None
             ix0 = self.grid.tile_ix(rect.xl)
             ix1 = self.grid.tile_ix(rect.xu)
             iy0 = self.grid.tile_iy(rect.yl)
@@ -186,16 +202,52 @@ class TwoLayerPlusGrid(TwoLayerGrid):
                         self._stale.add(key)
         return found
 
+    def compact(self) -> None:
+        super().compact()
+        # Compaction renumbers base rows; the persisted orders are stale.
+        self._persisted_orders = None
+
     def _decomposed_for(self, tile_id: int, code: int) -> DecomposedTables:
         key = (tile_id, code)
         tables = self._decomposed.get(key)
         if tables is None or key in self._stale:
-            cols = self._partition_columns(tile_id, code)
-            assert cols is not None
-            tables = DecomposedTables(*cols, code)
+            tables = self._decomposed_from_orders(tile_id, code)
+            if tables is None:
+                cols = self._partition_columns(tile_id, code)
+                assert cols is not None
+                tables = DecomposedTables(*cols, code)
             self._decomposed[key] = tables
             self._stale.discard(key)
         return tables
+
+    def _decomposed_from_orders(
+        self, tile_id: int, code: int
+    ) -> "DecomposedTables | None":
+        """Gather one partition's DSM tables from the persisted orders.
+
+        One slice + gather per required comparison — no argsort.  Only
+        valid while the packed base is exactly what the archive held
+        (no overlay, no tombstones); any update clears the orders.
+        """
+        orders = self._persisted_orders
+        store = self._store
+        if (
+            orders is None
+            or store is None
+            or self._tiles
+            or store.n_dead
+        ):
+            return None
+        group = tile_id * 4 + code
+        s = int(store.offsets[group])
+        e = int(store.offsets[group + 1])
+        columns = (store.xl, store.yl, store.xu, store.yu)
+        tables: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for comp in REQUIRED_TABLES[code]:
+            col = _SOURCE_COLUMN[comp]
+            rows = orders[col][s:e]
+            tables[comp] = (columns[col][rows], store.ids[rows])
+        return DecomposedTables.from_sorted(code, e - s, tables)
 
     @property
     def nbytes(self) -> int:

@@ -29,6 +29,7 @@ code  class  meaning (for the replica's tile T)
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -76,6 +77,21 @@ class GridPartitioner:
     @property
     def tile_count(self) -> int:
         return self.nx * self.ny
+
+    # -- persistence -----------------------------------------------------
+
+    def meta(self) -> "dict[str, Any]":
+        """JSON-serialisable description, for index container metadata."""
+        return {
+            "nx": self.nx,
+            "ny": self.ny,
+            "domain": list(self.domain.as_tuple()),
+        }
+
+    @classmethod
+    def from_meta(cls, meta: "dict[str, Any]") -> "GridPartitioner":
+        """Rebuild a partitioner from :meth:`meta` output."""
+        return cls(int(meta["nx"]), int(meta["ny"]), Rect(*meta["domain"]))
 
     def __repr__(self) -> str:
         return f"GridPartitioner({self.nx}x{self.ny}, domain={self.domain.as_tuple()})"

@@ -1,0 +1,310 @@
+"""Optional compiled (Numba) kernel tier over the packed CSR layout.
+
+The vectorised fast kernels (:meth:`TwoLayerGrid._fused_window_fast`
+and friends) already evaluate a window as one broadcast comparison per
+grid-row slab, but NumPy still materialises a boolean mask, pays one
+dispatch per condition row, and walks every slab twice.  With the
+columns flat and condition-major, the same scan is a textbook candidate
+for a compiled loop: one pass over the slab, six (or eight) scalar
+compares per row, direct append into the output — no temporaries.
+
+This module holds that tier.  Everything degrades gracefully:
+
+* **numba absent** — the ``@njit`` wrappers are never created,
+  :func:`compiled_available` is ``False``, and every index silently
+  stays on the vectorised kernels (tier-1 CI runs exactly this way).
+* **numba present** — opt in per index with ``storage="compiled"`` (the
+  existing storage knob; implies the packed backend) or process-wide
+  with ``REPRO_KERNEL=compiled``, which upgrades every packed index so
+  the whole test suite exercises the compiled tier for parity.
+
+Parity is enforced twice: the ``REPRO_SANITIZE=1`` sampled oracle
+cross-checks live query results, and the packed-vs-legacy property
+tests run under ``REPRO_KERNEL=compiled`` in the ``kernels-compiled``
+CI job.
+
+Kernels cover the stats-free hot routes — window scan, window count and
+the §IV-E disk scan — for the 2-layer / 2-layer⁺ grids (the latter
+inherits all three) plus the 1-layer window scan (refpoint and hash
+dedup).  Stats-carrying queries, delta overlays and tombstones keep the
+vectorised paths: they are not the hot loop, and the accounting belongs
+in one place.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "KERNEL_MODES",
+    "compiled_available",
+    "compiled_kernel_default",
+    "disk_scan",
+    "resolve_kernel_mode",
+    "window_count",
+    "window_scan",
+]
+
+KERNEL_MODES = ("vectorized", "compiled")
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit as _njit
+
+    _HAVE_NUMBA = True
+except ImportError:  # the container image is numba-free by default
+    _njit = None
+    _HAVE_NUMBA = False
+
+
+def compiled_available() -> bool:
+    """Whether the numba-compiled kernel tier can actually run."""
+    return _HAVE_NUMBA
+
+
+def compiled_kernel_default() -> bool:
+    """Process-wide kernel-tier request: ``REPRO_KERNEL=compiled``."""
+    return os.environ.get("REPRO_KERNEL", "") == "compiled"
+
+
+def resolve_kernel_mode(storage: "str | None") -> bool:
+    """Effective "use compiled kernels?" for one index.
+
+    ``storage="compiled"`` opts in explicitly; any other explicit mode
+    opts out; ``None`` (and plain ``"packed"``) defer to the
+    ``REPRO_KERNEL`` environment default so a whole process — including
+    the parity test suite — can be flipped at once.  Always ``False``
+    when numba is missing: the fallback is silent by design.
+    """
+    if not _HAVE_NUMBA:
+        return False
+    if storage == "compiled":
+        return True
+    if storage == "legacy":
+        return False
+    return compiled_kernel_default()
+
+
+# -- jitted bodies ---------------------------------------------------------
+#
+# Shared by the 2-layer family (stride=4: one CSR group per class, tile
+# extents at offsets[4*t]) and the 1-layer grid (stride=1).  ``bounds``
+# carries however many condition rows the caller's query matrix has
+# (6 for 2-layer, 8/4 for 1-layer refpoint/hash), so one kernel serves
+# every grid.
+
+
+def _window_scan_py(
+    q: np.ndarray,
+    ids: np.ndarray,
+    offsets: np.ndarray,
+    stride: int,
+    nx: int,
+    ix0: int,
+    iy0: int,
+    iy1: int,
+    width: int,
+    bounds: np.ndarray,
+) -> np.ndarray:
+    nb = bounds.shape[0]
+    total = 0
+    row = iy0 * nx + ix0
+    for _ in range(iy0, iy1 + 1):
+        total += offsets[stride * (row + width)] - offsets[stride * row]
+        row += nx
+    out = np.empty(total, np.int64)
+    k = 0
+    row = iy0 * nx + ix0
+    for _ in range(iy0, iy1 + 1):
+        s0 = offsets[stride * row]
+        s1 = offsets[stride * (row + width)]
+        row += nx
+        for r in range(s0, s1):
+            ok = True
+            for c in range(nb):
+                if q[c, r] < bounds[c]:
+                    ok = False
+                    break
+            if ok:
+                out[k] = ids[r]
+                k += 1
+    return out[:k]
+
+
+def _window_count_py(
+    q: np.ndarray,
+    offsets: np.ndarray,
+    stride: int,
+    nx: int,
+    ix0: int,
+    iy0: int,
+    iy1: int,
+    width: int,
+    bounds: np.ndarray,
+) -> int:
+    nb = bounds.shape[0]
+    k = 0
+    row = iy0 * nx + ix0
+    for _ in range(iy0, iy1 + 1):
+        s0 = offsets[stride * row]
+        s1 = offsets[stride * (row + width)]
+        row += nx
+        for r in range(s0, s1):
+            ok = True
+            for c in range(nb):
+                if q[c, r] < bounds[c]:
+                    ok = False
+                    break
+            if ok:
+                k += 1
+    return k
+
+
+def _disk_scan_py(
+    offsets: np.ndarray,
+    xl: np.ndarray,
+    yl: np.ndarray,
+    xu: np.ndarray,
+    yu: np.ndarray,
+    ids: np.ndarray,
+    nx: int,
+    ny: int,
+    dxl: float,
+    dyl: float,
+    tw: float,
+    th: float,
+    ix0: int,
+    ix1: int,
+    iy0: int,
+    iy1: int,
+    cx: float,
+    cy: float,
+    radius: float,
+) -> np.ndarray:
+    # §IV-E in one compiled pass: plan (per-row disk spans), class
+    # skipping against the previous tile per dimension, covered-tile
+    # shortcut, distance test, and the canonical-tile dedup for B/D.
+    nrows = iy1 - iy0 + 1
+    span_lo = np.full(nrows, -1, np.int64)
+    span_hi = np.full(nrows, -1, np.int64)
+    r2 = radius * radius
+    for iy in range(iy0, iy1 + 1):
+        tyl = dyl + iy * th
+        dy = tyl - cy
+        if dy < 0.0:
+            dy = cy - (tyl + th)
+            if dy < 0.0:
+                dy = 0.0
+        for ix in range(ix0, ix1 + 1):
+            txl = dxl + ix * tw
+            dx = txl - cx
+            if dx < 0.0:
+                dx = cx - (txl + tw)
+                if dx < 0.0:
+                    dx = 0.0
+            if dx * dx + dy * dy <= r2:
+                if span_lo[iy - iy0] < 0:
+                    span_lo[iy - iy0] = ix
+                span_hi[iy - iy0] = ix
+    total = 0
+    for iy in range(iy0, iy1 + 1):
+        lx = span_lo[iy - iy0]
+        if lx < 0:
+            continue
+        base = iy * nx
+        total += (
+            offsets[(base + span_hi[iy - iy0] + 1) * 4] - offsets[(base + lx) * 4]
+        )
+    out = np.empty(total, np.int64)
+    k = 0
+    for iy in range(iy0, iy1 + 1):
+        lx = span_lo[iy - iy0]
+        if lx < 0:
+            continue
+        rx = span_hi[iy - iy0]
+        p_lo = span_lo[iy - 1 - iy0] if iy - 1 >= iy0 else -1
+        p_hi = span_hi[iy - 1 - iy0] if iy - 1 >= iy0 else -1
+        base = iy * nx
+        for ix in range(lx, rx + 1):
+            prev_x_in = ix > lx
+            prev_y_in = p_lo >= 0 and p_lo <= ix <= p_hi
+            txl = dxl + ix * tw
+            tyl = dyl + iy * th
+            mdx = cx - txl
+            if txl + tw - cx > mdx:
+                mdx = txl + tw - cx
+            mdy = cy - tyl
+            if tyl + th - cy > mdy:
+                mdy = tyl + th - cy
+            covered = mdx * mdx + mdy * mdy <= r2
+            for code in range(4):
+                if code == 1 and prev_y_in:
+                    continue
+                if code == 2 and prev_x_in:
+                    continue
+                if code == 3 and (prev_x_in or prev_y_in):
+                    continue
+                key = (base + ix) * 4 + code
+                for r in range(offsets[key], offsets[key + 1]):
+                    if not covered:
+                        dx = xl[r] - cx
+                        if dx < 0.0:
+                            dx = cx - xu[r]
+                            if dx < 0.0:
+                                dx = 0.0
+                        dy = yl[r] - cy
+                        if dy < 0.0:
+                            dy = cy - yu[r]
+                            if dy < 0.0:
+                                dy = 0.0
+                        if dx * dx + dy * dy > r2:
+                            continue
+                    if code == 1 or code == 3:
+                        sr = int((yl[r] - dyl) / th)
+                        if sr < 0:
+                            sr = 0
+                        elif sr > ny - 1:
+                            sr = ny - 1
+                        sc = int((xl[r] - dxl) / tw)
+                        if sc < 0:
+                            sc = 0
+                        elif sc > nx - 1:
+                            sc = nx - 1
+                        ec = int((xu[r] - dxl) / tw)
+                        if ec < 0:
+                            ec = 0
+                        elif ec > nx - 1:
+                            ec = nx - 1
+                        dup = False
+                        for j in range(sr, iy):
+                            if j < iy0:
+                                continue
+                            jl = span_lo[j - iy0]
+                            if jl < 0:
+                                continue
+                            jh = span_hi[j - iy0]
+                            a = sc if sc > jl else jl
+                            b = ec if ec < jh else jh
+                            if a <= b:
+                                dup = True
+                                break
+                        if dup:
+                            continue
+                    out[k] = ids[r]
+                    k += 1
+    return out[:k]
+
+
+if _HAVE_NUMBA:  # pragma: no cover - compiled tier needs the extra
+    window_scan: Any = _njit(cache=True, nogil=True)(_window_scan_py)
+    window_count: Any = _njit(cache=True, nogil=True)(_window_count_py)
+    disk_scan: Any = _njit(cache=True, nogil=True)(_disk_scan_py)
+else:
+    # Never called (resolve_kernel_mode gates every call site); bound to
+    # the pure-python bodies so direct unit tests can still exercise the
+    # kernel logic without numba.
+    window_scan = _window_scan_py
+    window_count = _window_count_py
+    disk_scan = _disk_scan_py

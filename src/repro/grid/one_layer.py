@@ -23,6 +23,7 @@ from repro.errors import IndexStateError, InvalidGridError
 from repro.geometry.mbr import Rect, max_dist_point_rect
 from repro.grid.base import GridPartitioner, replicate
 from repro.grid.dedup import ActiveBorder, reference_point_keep_mask
+from repro.grid import kernels as _kernels
 from repro.grid.storage import (
     PackedStore,
     TileTable,
@@ -70,6 +71,9 @@ class OneLayerGrid:
         self.grid = grid
         self.dedup = dedup
         self._packed = resolve_storage_mode(storage)
+        self._use_compiled = self._packed and _kernels.resolve_kernel_mode(
+            storage
+        )
         #: the CSR base (packed backend, one group per tile; None until
         #: bulk load).
         self._store: "PackedStore | None" = None
@@ -85,6 +89,11 @@ class OneLayerGrid:
     def storage(self) -> str:
         """The physical backend: ``"packed"`` or ``"legacy"``."""
         return "packed" if self._packed else "legacy"
+
+    @property
+    def kernel_mode(self) -> str:
+        """The fast-path kernel tier: ``"compiled"`` or ``"vectorized"``."""
+        return "compiled" if self._use_compiled else "vectorized"
 
     # -- construction ------------------------------------------------------
 
@@ -430,7 +439,47 @@ class OneLayerGrid:
         q = self._fast_q
         if q is None:
             q = self._build_fast_q()
+        if self._use_compiled:
+            store = self._store
+            width = ix1 - ix0 + 1
+            if self.dedup == "refpoint":
+                bounds = np.array(
+                    [
+                        window.xl,
+                        -window.xu,
+                        window.yl,
+                        -window.yu,
+                        float(-(ix0 - 1)),
+                        float(-ix0),
+                        float(-(iy0 - 1)),
+                        float(-iy0),
+                    ]
+                )
+            else:  # hash: plain intersection, terminal dedup below
+                q = q[:4]
+                bounds = np.array(
+                    [window.xl, -window.xu, window.yl, -window.yu]
+                )
+            out = _kernels.window_scan(
+                q,
+                store.ids,
+                store.offsets,
+                1,
+                self.grid.nx,
+                ix0,
+                iy0,
+                iy1,
+                width,
+                bounds,
+            )
+            if self.dedup == "hash":
+                return np.unique(out)
+            return out
         tb = self._tile_row_bounds
+        if tb is None:
+            # Memmap-loaded indexes defer this materialisation so loading
+            # touches no slab bytes; derive the row extents on first use.
+            tb = self._tile_row_bounds = self._store.offsets.tolist()
         ids = self._store.ids
         ge = np.greater_equal
         band = np.logical_and.reduce

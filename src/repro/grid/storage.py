@@ -48,7 +48,10 @@ _EMPTY_I = np.empty(0, dtype=np.int64)
 #: bytes per stored entry (4 float64 coordinates + 1 int64 id).
 _ENTRY_BYTES = 5 * 8
 
-STORAGE_MODES = ("packed", "legacy")
+#: ``"compiled"`` is packed CSR storage with the Numba kernel tier on
+#: top (see :mod:`repro.grid.kernels`); it degrades to plain packed
+#: when numba is not importable.
+STORAGE_MODES = ("packed", "legacy", "compiled")
 
 
 def packed_storage_default() -> bool:
@@ -68,7 +71,7 @@ def resolve_storage_mode(storage: "str | None") -> bool:
         raise ValueError(
             f"unknown storage mode {storage!r}; expected one of {STORAGE_MODES}"
         )
-    return storage == "packed"
+    return storage in ("packed", "compiled")
 
 
 class TileTable:
@@ -282,6 +285,32 @@ class PackedStore:
         # invariants at the choke point.
         if _sanitize.enabled():
             _sanitize.check_packed_store(store, "PackedStore.from_rows")
+        return store
+
+    @classmethod
+    def adopt(
+        cls,
+        n_classes: int,
+        offsets: np.ndarray,
+        xl: np.ndarray,
+        yl: np.ndarray,
+        xu: np.ndarray,
+        yu: np.ndarray,
+        ids: np.ndarray,
+    ) -> "PackedStore":
+        """Wrap already-CSR columns without touching a single row.
+
+        The columnar container (:mod:`repro.core.format`) persists the
+        ``offsets`` array alongside the key-sorted columns, so a load is
+        pure adoption: no bincount, no sortedness scan — nothing that
+        would fault the column slabs in before the first query.  The
+        caller vouches for CSR validity (the container's format-version
+        check is the provenance gate); ``REPRO_SANITIZE=1`` re-validates
+        anyway, at the cost of paging everything in.
+        """
+        store = cls(n_classes, offsets, xl, yl, xu, yu, ids)
+        if _sanitize.enabled():
+            _sanitize.check_packed_store(store, "PackedStore.adopt")
         return store
 
     # -- sizes ------------------------------------------------------------

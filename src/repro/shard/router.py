@@ -73,7 +73,7 @@ from repro.shard.partition import (
     plan_bands,
     shard_for_tile,
 )
-from repro.shard.shm import publish_arena, unlink_arena
+from repro.shard.shm import file_arena_manifest, publish_arena, unlink_arena
 from repro.shard.wire import decode_frame, encode_frame
 from repro.shard.worker import run_worker
 
@@ -275,20 +275,27 @@ class ShardedQueryService(SpatialQueryService):
         if index._fast_q is None:
             index._build_fast_q()  # built once here, shared by every worker
         grid = self._grid
-        arrays = {
-            "offsets": store.offsets,
-            "xl": store.xl,
-            "yl": store.yl,
-            "xu": store.xu,
-            "yu": store.yu,
-            "ids": store.ids,
-            "fast_q": index._fast_q,
-            "data_xl": snap.data.xl,
-            "data_yl": snap.data.yl,
-            "data_xu": snap.data.xu,
-            "data_yu": snap.data.yu,
-        }
-        self._seg, manifest = publish_arena(arrays)
+        manifest = self._file_manifest(snap)
+        if manifest is not None:
+            # The base came straight out of a columnar container and is
+            # untouched: workers map the index file itself — no shm
+            # segment, no publication copy, one shared page cache.
+            self._seg = None
+        else:
+            arrays = {
+                "offsets": store.offsets,
+                "xl": store.xl,
+                "yl": store.yl,
+                "xu": store.xu,
+                "yu": store.yu,
+                "ids": store.ids,
+                "fast_q": index._fast_q,
+                "data_xl": snap.data.xl,
+                "data_yl": snap.data.yl,
+                "data_xu": snap.data.xu,
+                "data_yu": snap.data.yu,
+            }
+            self._seg, manifest = publish_arena(arrays)
         d = grid.domain
         manifest["nx"] = grid.nx
         manifest["ny"] = grid.ny
@@ -296,6 +303,38 @@ class ShardedQueryService(SpatialQueryService):
         manifest["n_objects"] = len(snap.data)
         manifest["bands"] = [b.to_tuple() for b in self.bands]
         self.manifest = manifest
+
+    #: arrays every worker needs; a file manifest must cover all of them.
+    _ARENA_ARRAYS = (
+        "offsets", "xl", "yl", "xu", "yu", "ids", "fast_q",
+        "data_xl", "data_yl", "data_xu", "data_yu",
+    )
+
+    def _file_manifest(self, snap) -> "dict[str, Any] | None":
+        """A file-arena manifest when the base is a pristine mapped index.
+
+        Requires the snapshot's index to still be exactly the columnar
+        container it was loaded from — no delta overlay, no tombstones
+        (workers rebuild those states from write broadcasts, but the
+        *base* columns must match the file bytes) — and the container to
+        carry the dataset columns (a collection archive).
+        """
+        index = snap.index
+        mman = getattr(index, "_mmap_manifest", None)
+        if (
+            mman is None
+            or index._tiles
+            or index._store is None
+            or index._store.n_dead
+        ):
+            return None
+        arrays = mman.get("arrays", {})
+        if any(name not in arrays for name in self._ARENA_ARRAYS):
+            return None
+        return file_arena_manifest(
+            mman["path"],
+            {name: arrays[name] for name in self._ARENA_ARRAYS},
+        )
 
     async def _handle_worker(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter

@@ -1,13 +1,22 @@
-"""Shared-memory publication of the immutable serving base.
+"""Shared publication of the immutable serving base: shm or mapped file.
 
-The router copies the packed CSR columns (offsets + 4 coordinate
-columns + ids), the dataset columns and the precomputed fast-path query
-matrix into **one** ``multiprocessing.shared_memory`` arena, 64-byte
-aligned per array.  Workers attach read-only views — zero copies, zero
-serialization, and the (6, N) query matrix is built once and shared by
-every shard.
+Two arena kinds hide behind one manifest shape (``manifest["kind"]``):
 
-Lifecycle discipline (the part that actually bites):
+* ``"shm"`` — the router copies the packed CSR columns (offsets + 4
+  coordinate columns + ids), the dataset columns and the precomputed
+  fast-path query matrix into **one** ``multiprocessing.shared_memory``
+  arena, 64-byte aligned per array.  Workers attach read-only views —
+  zero copies, zero serialization, and the (6, N) query matrix is built
+  once and shared by every shard.
+* ``"file"`` — when the base was loaded from a columnar index container
+  (:mod:`repro.core.format`), the slabs already sit 64-byte aligned in
+  a mappable file; the manifest just names the path and the section
+  layout, and every worker ``mmap``-s the very same file.  K workers
+  then share one page cache with **zero publication copies** — the
+  router never materialises the columns at all.
+
+Lifecycle discipline (the part that actually bites, shm kind only —
+file arenas have no kernel object to leak):
 
 * the **router** is the only creator and the only unlinker.  Clean
   shutdown unlinks explicitly; if the router dies hard, CPython's
@@ -29,7 +38,13 @@ import numpy as np
 
 from repro.errors import IndexStateError
 
-__all__ = ["attach_arena", "publish_arena", "unlink_arena"]
+__all__ = [
+    "FileArena",
+    "attach_arena",
+    "file_arena_manifest",
+    "publish_arena",
+    "unlink_arena",
+]
 
 _ALIGN = 64
 
@@ -65,18 +80,87 @@ def publish_arena(
             arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=spec["offset"]
         )
         dst[...] = arr
-    manifest = {"segment": seg.name, "nbytes": max(pos, 1), "arrays": layout}
+    manifest = {
+        "kind": "shm",
+        "segment": seg.name,
+        "nbytes": max(pos, 1),
+        "arrays": layout,
+    }
     return seg, manifest
+
+
+class FileArena:
+    """Handle for a file-backed arena: owns the mapping, closes cleanly.
+
+    Mirrors the slice of the ``SharedMemory`` API the serving layer
+    uses (``close()``), so workers treat both arena kinds uniformly.
+    There is nothing to unlink — the backing file is the index archive
+    itself and outlives every process.
+    """
+
+    __slots__ = ("path", "_mm")
+
+    def __init__(self, path: str, mm: np.memmap):
+        self.path = path
+        self._mm = mm
+
+    def close(self) -> None:
+        mm = self._mm
+        self._mm = None
+        if mm is not None and mm._mmap is not None:
+            try:  # pragma: no cover - platform-dependent cleanup
+                mm._mmap.close()
+            except BufferError:
+                # Live views still reference the mapping; the GC closes
+                # it when they go away (same semantics as shm close on
+                # CPython refcounting).
+                pass
+
+
+def file_arena_manifest(
+    path: str, arrays: dict[str, Any]
+) -> dict[str, Any]:
+    """Manifest describing a file-backed arena (no copies, no segment).
+
+    ``arrays`` maps each published name to its ``{offset, dtype,
+    shape}`` within the file — exactly the layout
+    :func:`repro.core.persistence.load_index` records from the columnar
+    container's section table.
+    """
+    return {"kind": "file", "path": path, "arrays": dict(arrays)}
+
+
+def _attach_file(
+    manifest: dict[str, Any]
+) -> tuple[FileArena, dict[str, np.ndarray]]:
+    path = manifest["path"]
+    # The path came out of a format-version-checked container load (the
+    # REP007 contract lives in repro.core.format); here we only re-map.
+    mm = np.memmap(path, dtype=np.uint8, mode="r")
+    views: dict[str, np.ndarray] = {}
+    for name, spec in manifest["arrays"].items():
+        dtype = np.dtype(spec["dtype"])
+        shape = tuple(spec["shape"])
+        nbytes = dtype.itemsize
+        for dim in shape:
+            nbytes *= dim
+        offset = spec["offset"]
+        views[name] = (
+            mm[offset : offset + nbytes].view(dtype).reshape(shape)
+        )
+    return FileArena(path, mm), views
 
 
 def attach_arena(
     manifest: dict[str, Any], *, untrack: bool = True
-) -> tuple[shared_memory.SharedMemory, dict[str, np.ndarray]]:
+) -> "tuple[shared_memory.SharedMemory | FileArena, dict[str, np.ndarray]]":
     """Attach a published arena; return (segment, read-only views).
 
     The caller must keep the returned segment object alive as long as
     the views are used, and ``close()`` it when done (never ``unlink``
-    from an attaching process).
+    from an attaching process).  File-backed arenas
+    (``manifest["kind"] == "file"``) return a :class:`FileArena` and
+    ignore ``untrack`` — there is no kernel object to track.
 
     ``untrack`` handles bpo-38119: attaching registers this process as
     an owner with its resource tracker, which would unlink the arena
@@ -87,6 +171,8 @@ def attach_arena(
     would erase the creator's own entry — after which a hard-killed
     creator leaks the segment forever.
     """
+    if manifest.get("kind", "shm") == "file":
+        return _attach_file(manifest)
     seg = shared_memory.SharedMemory(name=manifest["segment"])
     if untrack:
         try:  # pragma: no cover - absent on platforms without tracker
@@ -106,9 +192,18 @@ def attach_arena(
     return seg, views
 
 
-def unlink_arena(seg: "shared_memory.SharedMemory | None") -> None:
-    """Close and unlink the arena; idempotent (already-gone is fine)."""
+def unlink_arena(
+    seg: "shared_memory.SharedMemory | FileArena | None",
+) -> None:
+    """Close and unlink the arena; idempotent (already-gone is fine).
+
+    File arenas only close their mapping — the backing index file is
+    durable state and is never deleted by the serving layer.
+    """
     if seg is None:
+        return
+    if isinstance(seg, FileArena):
+        seg.close()
         return
     try:
         seg.close()

@@ -1,0 +1,10 @@
+import numpy as np
+
+
+def _load_raw(path):
+    archive = np.load(path, allow_pickle=False)
+    return archive["xl"]
+
+
+def _map_raw(path):
+    return np.memmap(path, dtype=np.uint8, mode="r")

@@ -1,0 +1,15 @@
+import numpy as np
+
+from repro.core.format import is_columnar, read_container, read_header
+
+
+def _load_checked(path):
+    if not is_columnar(path):
+        raise ValueError(f"{path}: not a columnar container")
+    _version, meta, sections = read_header(path)
+    mm = np.memmap(path, dtype=np.uint8, mode="r")
+    return meta, sections, mm
+
+
+def _load_views(path):
+    return read_container(path)

@@ -34,6 +34,7 @@ VIRTUAL_PATH = {
     "REP004": "src/repro/core/fixture.py",
     "REP005": "src/repro/grid/fixture.py",
     "REP006": "src/repro/shard/fixture.py",
+    "REP007": "src/repro/core/fixture.py",
     "REP105": "src/repro/core/fixture.py",
 }
 NEUTRAL_PATH = "src/repro/util/fixture.py"
@@ -46,6 +47,7 @@ BAD_EXPECT = {
     "REP004": 2,  # operator kernel + ufunc-alias kernel
     "REP005": 1,  # window_query reaches only _store
     "REP006": 4,  # dict/list/set globals + a `global` statement
+    "REP007": 2,  # np.load + np.memmap, no format helper in sight
     "REP101": 1,
     "REP102": 2,  # [] and dict()
     "REP103": 1,

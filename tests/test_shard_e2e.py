@@ -229,6 +229,57 @@ class TestShardedEndToEnd:
             _reap(proc)
 
 
+class TestFileArenaServing:
+    def test_shards_map_the_index_file_instead_of_shm(self, tmp_path):
+        """Booting ``--serve --index <columnar> --shards K`` publishes the
+        base as a file arena: workers mmap the archive itself, so no
+        ``/dev/shm`` segment exists while the pristine base serves."""
+        from repro.core import TwoLayerGrid
+        from repro.core.persistence import save_collection
+        from repro.datasets import generate_uniform_rects
+
+        data = generate_uniform_rects(8000, area=1e-4, seed=11)
+        index = TwoLayerGrid.build(data, partitions_per_dim=32)
+        archive = str(tmp_path / "served.idx")
+        save_collection(index, data, archive)
+
+        shm_before = _shm_entries()
+        sharded, h2, p2 = _spawn("--index", archive, "--shards", "2")
+        single, h1, p1 = _spawn("--index", archive)
+        try:
+            with SpatialClient(h1, p1) as c1, SpatialClient(h2, p2) as c2:
+                rng = np.random.default_rng(7)
+                for _ in range(15):
+                    xs = sorted(rng.uniform(0, 1, 2))
+                    ys = sorted(rng.uniform(0, 1, 2))
+                    w = (xs[0], ys[0], xs[1], ys[1])
+                    assert sorted(c1.window(*w)) == sorted(c2.window(*w))
+                    assert c1.count(*w) == c2.count(*w)
+                    cx, cy = rng.uniform(0, 1), rng.uniform(0, 1)
+                    r = rng.uniform(0.01, 0.1)
+                    assert sorted(c1.disk(cx, cy, r)) == sorted(
+                        c2.disk(cx, cy, r)
+                    )
+                # the read-only base needs no shm segment at all
+                assert not _shm_entries() - shm_before, (
+                    "file-arena boot created an shm segment"
+                )
+                assert c2.stats()["shards"]["count"] == 2
+                # writes still work on top of the mapped base
+                nid = c2.insert(0.5, 0.5, 0.5005, 0.5005)
+                assert nid == len(data)
+                assert nid in c2.window(0.4999, 0.4999, 0.5006, 0.5006)
+            sharded.send_signal(signal.SIGTERM)
+            single.send_signal(signal.SIGTERM)
+            assert sharded.wait(timeout=15) == 0, sharded.stderr.read()
+            assert single.wait(timeout=15) == 0
+        finally:
+            _reap(sharded)
+            _reap(single)
+        assert not _shm_entries() - shm_before, "leaked shm after drain"
+        assert os.path.exists(archive), "serving must not consume the file"
+
+
 def _alive(pid):
     try:
         os.kill(pid, 0)
