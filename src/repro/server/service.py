@@ -442,7 +442,10 @@ class SpatialQueryService:
         if self._draining:
             conn.send(
                 encode_error(
-                    req.id, "shutting_down", "server is draining; reconnect later"
+                    req.id,
+                    "shutting_down",
+                    "server is draining; reconnect later",
+                    trace=req.trace,
                 )
             )
             return
@@ -467,6 +470,7 @@ class SpatialQueryService:
                 "overloaded",
                 f"request queue full (depth {self.config.queue_depth})",
                 retry_after_ms=self.config.effective_retry_after_ms(),
+                trace=req.trace,
             )
         )
 
@@ -917,8 +921,12 @@ class SpatialQueryService:
         """
         req = pending.request
         if bctx is None:
+            # Telemetry off: stay lean — no server-assigned ids — but a
+            # client-supplied trace must still be echoed (RV205).
             self._respond(
-                pending, encode_response(req.id, result, meta), out
+                pending,
+                encode_response(req.id, result, meta, trace=req.trace),
+                out,
             )
             return
         trace_id = req.trace or f"t-{next(self._trace_seq):06x}"

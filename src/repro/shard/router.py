@@ -762,8 +762,12 @@ class ShardedQueryService(SpatialQueryService):
         req = pending.request
         rmeta = {**meta, "shards": shards}
         if bctx is None:
+            # Telemetry off: stay lean — no server-assigned ids — but a
+            # client-supplied trace must still be echoed (RV205).
             self._respond(
-                pending, encode_response(req.id, result, rmeta), out
+                pending,
+                encode_response(req.id, result, rmeta, trace=req.trace),
+                out,
             )
             return
         trace_id = req.trace or f"t-{next(self._trace_seq):06x}"

@@ -254,6 +254,50 @@ class TestBatchingAndBackpressure:
 
         service_test(scenario)
 
+    def test_error_frames_echo_client_trace(self):
+        """Every error branch echoes ``trace`` — the repro-verify RV205
+        regression: drain and overload rejections used to drop it."""
+
+        async def scenario(service, reader, writer):
+            service._draining = True
+            writer.write(
+                (json.dumps({"id": 1, "verb": "ping", "trace": "tr-drain"})
+                 + "\n").encode()
+            )
+            await writer.drain()
+            frame = await recv(reader)
+            assert frame["error"]["code"] == "shutting_down"
+            assert frame["trace"] == "tr-drain"
+            service._draining = False
+
+        service_test(scenario)
+
+    def test_overload_rejections_echo_client_trace(self):
+        async def scenario(service, reader, writer):
+            n = 40
+            payload = b"".join(
+                (json.dumps({
+                    "id": i, "verb": "window", "trace": f"tr-{i}",
+                    "args": {"xl": 0.1, "yl": 0.1, "xu": 0.6, "yu": 0.6},
+                }) + "\n").encode()
+                for i in range(n)
+            )
+            writer.write(payload)
+            await writer.drain()
+            frames = [await recv(reader) for _ in range(n)]
+            rejected = [f for f in frames if not f["ok"]]
+            assert rejected, "bounded queue never rejected"
+            for f in rejected:
+                assert f["error"]["code"] == "overloaded"
+                assert f["trace"] == f"tr-{f['id']}"
+
+        service_test(
+            scenario,
+            config=ServerConfig(
+                queue_depth=4, max_batch=2, coalesce_ms=40.0
+            ),
+        )
+
     def test_stats_verb_exposes_server_metrics(self):
         async def scenario(service, reader, writer):
             for i in range(3):
