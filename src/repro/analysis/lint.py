@@ -5,6 +5,8 @@ Usage::
     python -m repro.analysis.lint src/            # lint a tree, exit 1 on findings
     python -m repro.analysis.lint --list-rules    # print the rule catalogue
     python -m repro.analysis.lint --select REP001,REP104 src/
+    python -m repro.analysis.lint --fix src/      # autofix REP104, then lint
+    python -m repro.analysis.lint --github src/   # CI ::error annotations
 
 Rules live in :mod:`repro.analysis.rules`; each has a stable ``REPnnn``
 code, a one-line summary (its class docstring) and, where the contract is
@@ -45,6 +47,8 @@ __all__ = [
     "Finding",
     "LintRule",
     "ModuleInfo",
+    "fix_unused_imports",
+    "github_annotation",
     "lint_paths",
     "lint_source",
     "main",
@@ -67,6 +71,24 @@ class Finding:
 
     def render(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def github_annotation(finding: Finding) -> str:
+    """Render a finding as a GitHub Actions ``::error`` annotation.
+
+    The workflow-command grammar terminates the message at a newline and
+    treats ``%`` as an escape introducer, so those three characters are
+    percent-encoded per the Actions toolkit convention.
+    """
+    message = (
+        finding.message.replace("%", "%25")
+        .replace("\r", "%0D")
+        .replace("\n", "%0A")
+    )
+    return (
+        f"::error file={finding.path},line={finding.line},"
+        f"col={finding.col},title={finding.code}::{message}"
+    )
 
 
 @dataclass
@@ -204,6 +226,76 @@ def lint_source(
     return findings
 
 
+def _render_alias(alias: ast.alias) -> str:
+    return (
+        f"{alias.name} as {alias.asname}" if alias.asname else alias.name
+    )
+
+
+def fix_unused_imports(path: str, source: str) -> tuple[str, int]:
+    """Rewrite ``source`` with REP104 unused imports removed.
+
+    Returns ``(new_source, aliases_removed)``.  Statements that lose
+    every alias are deleted outright; partially-used ``import a, b`` /
+    ``from m import a, b`` statements are regenerated on one line with
+    the surviving aliases (any trailing comment on the original line is
+    dropped — waiver comments survive because a waived alias is never
+    removed).  Files that fail to parse, sit outside the rule's scope
+    (``__init__.py``) or carry file-level waivers come back unchanged.
+    """
+    from repro.analysis.rules import UnusedImportRule
+
+    mod = parse_module(path, source)
+    if mod is None:
+        return source, 0
+    rule = UnusedImportRule()
+    if not rule.applies_to(mod):
+        return source, 0
+    doomed: dict[int, set[int]] = {}
+    stmts: dict[int, ast.stmt] = {}
+    for node, alias, _bound in rule.unused_aliases(mod):
+        if mod.suppressed(rule.code, node.lineno):
+            continue
+        doomed.setdefault(id(node), set()).add(id(alias))
+        stmts[id(node)] = node
+    if not doomed:
+        return source, 0
+    lines = source.split("\n")
+    removed = 0
+    # Bottom-up so earlier statements' line spans stay valid.
+    for node in sorted(stmts.values(), key=lambda n: -n.lineno):
+        gone = doomed[id(node)]
+        removed += len(gone)
+        survivors = [a for a in node.names if id(a) not in gone]
+        start = node.lineno - 1
+        end = (node.end_lineno or node.lineno) - 1
+        if not survivors:
+            replacement: list[str] = []
+        else:
+            indent = re.match(r"[ \t]*", lines[start]).group(0)
+            names = ", ".join(_render_alias(a) for a in survivors)
+            if isinstance(node, ast.ImportFrom):
+                origin = "." * node.level + (node.module or "")
+                stmt = f"from {origin} import {names}"
+            else:
+                stmt = f"import {names}"
+            replacement = [indent + stmt]
+        lines[start : end + 1] = replacement
+    return "\n".join(lines), removed
+
+
+def fix_paths(paths: Iterable[str]) -> dict[str, int]:
+    """Apply :func:`fix_unused_imports` in place; path -> removals."""
+    changed: dict[str, int] = {}
+    for path in iter_python_files(paths):
+        source = path.read_text(encoding="utf-8")
+        fixed, removed = fix_unused_imports(path.as_posix(), source)
+        if removed:
+            path.write_text(fixed, encoding="utf-8")
+            changed[path.as_posix()] = removed
+    return changed
+
+
 def iter_python_files(paths: Iterable[str]) -> Iterator[Path]:
     skip_dirs = {"__pycache__", ".git", "build", "dist"}
     for raw in paths:
@@ -260,6 +352,16 @@ def main(argv: "Sequence[str] | None" = None) -> int:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="remove REP104 unused imports in place before linting",
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit GitHub Actions ::error annotations alongside findings",
+    )
     args = parser.parse_args(argv)
 
     rules = _select(default_rules(), args.select)
@@ -274,9 +376,15 @@ def main(argv: "Sequence[str] | None" = None) -> int:
     if not args.paths:
         parser.error("no paths given (try: python -m repro.analysis.lint src/)")
 
+    if args.fix:
+        for path, removed in sorted(fix_paths(args.paths).items()):
+            print(f"{path}: removed {removed} unused import(s)")
+
     findings = lint_paths(args.paths, rules)
     for finding in findings:
         print(finding.render())
+        if args.github:
+            print(github_annotation(finding))
     if findings:
         print(f"repro-lint: {len(findings)} finding(s)", file=sys.stderr)
         return 1

@@ -688,22 +688,29 @@ class UnusedImportRule(LintRule):
                     )
         return names
 
-    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
-        imports: list[tuple[str, ast.stmt]] = []
+    def unused_aliases(
+        self, mod: ModuleInfo
+    ) -> "list[tuple[ast.stmt, ast.alias, str]]":
+        """(import statement, alias, bound name) for every unused import.
+
+        Shared by :meth:`check` and the ``repro-lint --fix`` rewriter so
+        detection and autofix can never disagree.
+        """
+        imports: list[tuple[str, ast.stmt, ast.alias]] = []
         for node in ast.walk(mod.tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
                     bound = alias.asname or alias.name.split(".")[0]
-                    imports.append((bound, node))
+                    imports.append((bound, node, alias))
             elif isinstance(node, ast.ImportFrom):
                 if node.module == "__future__":
                     continue
                 for alias in node.names:
                     if alias.name == "*":
                         continue
-                    imports.append((alias.asname or alias.name, node))
+                    imports.append((alias.asname or alias.name, node, alias))
         if not imports:
-            return
+            return []
         used: set[str] = set()
         for node in ast.walk(mod.tree):
             if isinstance(node, ast.Name):
@@ -719,11 +726,17 @@ class UnusedImportRule(LintRule):
                         ):
                             used.add(sub.value)
         used |= self._annotation_names(mod.tree)
-        for bound, node in imports:
-            if bound not in used and not bound.startswith("_"):
-                yield self.finding(
-                    mod, node, f"imported name {bound!r} is never used"
-                )
+        return [
+            (node, alias, bound)
+            for bound, node, alias in imports
+            if bound not in used and not bound.startswith("_")
+        ]
+
+    def check(self, mod: ModuleInfo) -> Iterator[Finding]:
+        for node, _alias, bound in self.unused_aliases(mod):
+            yield self.finding(
+                mod, node, f"imported name {bound!r} is never used"
+            )
 
 
 class PublicAnnotationRule(LintRule):

@@ -1,0 +1,42 @@
+"""``repro-verify``: interprocedural and cross-process correctness tooling.
+
+Three complementary checkers, run together as
+``python -m repro.analysis.verify``:
+
+* :mod:`repro.analysis.verify.concurrency` — interprocedural
+  concurrency analysis over a repo-wide call graph
+  (:mod:`repro.analysis.verify.callgraph`): lock-acquisition-order
+  cycles (potential deadlocks), blocking calls *transitively* reachable
+  under a held ``threading.Lock`` or from an ``async def`` (upgrading
+  the lexical REP002/REP003 lint rules), snapshot publications outside
+  the writer lock, and shared-column writes in modules without the
+  freeze discipline.
+
+* :mod:`repro.analysis.verify.protocol_check` +
+  :mod:`repro.analysis.verify.model` — wire-protocol totality checks
+  (every shard frame sent has a receiver, every frame key a receiver
+  requires is sent on every send site, every public verb reaches a
+  handler, trace ids are echoed on every response branch) plus an
+  exhaustive explicit-state model check of the scatter/gather/
+  degraded/quarantine state machine over 2–3 shards and all
+  single-failure schedules.
+
+* :mod:`repro.analysis.verify.schedule` — a deterministic interleaving
+  explorer that drives instrumented yield points in
+  :class:`~repro.server.snapshot.SnapshotStore` publish/read and the
+  real :class:`~repro.shard.worker._WorkerLoop` write-replication code
+  through *every* bounded schedule, promoting the probabilistic hammer
+  tests into exhaustive small-schedule proofs.
+
+Findings use ``RVnnn`` codes and the same waiver style as repro-lint,
+under the ``repro-verify`` tag::
+
+    self._current = snap  # repro-verify: disable=RV104
+
+See ``docs/static-analysis.md`` for the rule catalogue.
+"""
+
+from repro.analysis.verify.callgraph import CallGraph, Program
+from repro.analysis.verify.cli import main, verify_program
+
+__all__ = ["CallGraph", "Program", "main", "verify_program"]

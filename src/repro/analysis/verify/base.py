@@ -1,0 +1,67 @@
+"""Shared finding/waiver plumbing for the verify checkers.
+
+Findings reuse :class:`repro.analysis.lint.Finding` so both tools render
+and annotate identically; waivers use the same comment grammar under the
+``repro-verify`` tag::
+
+    self._current = snap  # repro-verify: disable=RV104
+    # repro-verify: disable-file=RV105
+
+``disable=all`` works as in repro-lint.  Model-check and interleaving
+findings (RV301/RV401) are attached to real source lines of the code
+under test, so the same line-waiver mechanism applies — though in
+practice those two are bugs to fix, not to waive.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.analysis.lint import Finding
+
+__all__ = ["Finding", "Waivers", "collect_waivers"]
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*repro-verify:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
+)
+
+
+@dataclass
+class Waivers:
+    """Per-file waiver state parsed from ``# repro-verify:`` comments."""
+
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    file_disables: set[str] = field(default_factory=set)
+
+    def suppressed(self, code: str, line: int) -> bool:
+        if "all" in self.file_disables or code in self.file_disables:
+            return True
+        disabled = self.line_disables.get(line)
+        return disabled is not None and ("all" in disabled or code in disabled)
+
+
+def collect_waivers(source: str) -> Waivers:
+    """Parse one file's ``# repro-verify:`` comments."""
+    waivers = Waivers()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if not match:
+                continue
+            kind, raw = match.groups()
+            codes = {c.strip() for c in raw.split(",") if c.strip()}
+            if kind == "disable-file":
+                waivers.file_disables |= codes
+            else:
+                waivers.line_disables.setdefault(tok.start[0], set()).update(
+                    codes
+                )
+    except tokenize.TokenError:
+        pass
+    return waivers

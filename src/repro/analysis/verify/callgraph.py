@@ -1,0 +1,458 @@
+"""Repo-wide program model and call graph for the verify checkers.
+
+The static analyses in :mod:`repro.analysis.verify` are interprocedural:
+they need to know, from a ``with self._write_lock:`` body in one module,
+which functions in *other* modules are transitively reachable.  This
+module builds the shared substrate:
+
+* :class:`Program` — every module under a root parsed once, with
+  per-module import maps, a function table keyed by qualified name
+  (``repro.server.snapshot.SnapshotStore.insert``), a class table with
+  statically-resolved bases, and a light ``self.<attr>`` type map
+  harvested from ``self.x = ClassName(...)`` assignments (so
+  ``self.store.insert()`` resolves to ``SnapshotStore.insert``).
+* :class:`CallGraph` — resolved call edges per function.  Resolution is
+  deliberately best-effort and *over-approximating*: a call that cannot
+  be typed falls back to matching every program method of that name
+  (bounded, so `.get()`-style generic names do not explode the graph).
+  Over-approximation is the right failure mode for a checker whose
+  findings carry visible waivers.
+
+Nested function and lambda bodies are attributed to their enclosing
+function: a callback defined under a lock is treated as running under
+it, which over-approximates (the safe direction) when the callback
+actually escapes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "CallGraph",
+    "CallSite",
+    "FunctionNode",
+    "ClassNode",
+    "ModuleNode",
+    "Program",
+    "dotted_name",
+    "terminal_name",
+]
+
+#: name-match fallback is skipped above this many candidates — a generic
+#: method name (``get``, ``close``) says nothing about the real target.
+_FALLBACK_CAP = 4
+
+
+def dotted_name(node: ast.AST) -> "str | None":
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def terminal_name(node: ast.AST) -> "str | None":
+    """The last identifier of an expression (unwrapping subscripts)."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+@dataclass
+class ModuleNode:
+    """One parsed module plus its import environment."""
+
+    dotted: str
+    path: str
+    tree: ast.Module
+    source: str
+    #: local binding -> fully dotted target ("np" -> "numpy",
+    #: "encode_frame" -> "repro.shard.wire.encode_frame").
+    imports: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class FunctionNode:
+    """One function or method in the program."""
+
+    qualname: str
+    module: str
+    cls: "str | None"  # owning class qualname, if a method
+    name: str
+    node: "ast.FunctionDef | ast.AsyncFunctionDef"
+    path: str
+    is_async: bool
+
+
+@dataclass
+class ClassNode:
+    """One class: its statically-visible bases and method table."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef
+    #: raw base expressions as dotted strings ("SpatialQueryService").
+    bases: list[str] = field(default_factory=list)
+    #: method name -> function qualname.
+    methods: dict[str, str] = field(default_factory=dict)
+    #: self.<attr> -> class qualname, from `self.x = ClassName(...)`.
+    attr_types: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression and the program functions it may target."""
+
+    caller: str
+    node: ast.Call
+    #: resolved target qualnames (possibly several for fallback matches).
+    targets: tuple[str, ...]
+    #: the raw dotted callee text, for diagnostics.
+    raw: "str | None"
+    #: True when targets came from the name-match fallback.
+    ambiguous: bool
+
+
+def _module_dotted(root: Path, path: Path) -> str:
+    rel = path.relative_to(root).with_suffix("")
+    parts = list(rel.parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _iter_files(root: Path, package: str) -> Iterator[Path]:
+    pkg_root = root / package.replace(".", "/")
+    for path in sorted(pkg_root.rglob("*.py")):
+        if "__pycache__" in path.parts:
+            continue
+        yield path
+
+
+class Program:
+    """Every module under ``root/package`` parsed into one queryable model."""
+
+    def __init__(self) -> None:
+        self.modules: dict[str, ModuleNode] = {}
+        self.functions: dict[str, FunctionNode] = {}
+        self.classes: dict[str, ClassNode] = {}
+        self.methods_by_name: dict[str, list[str]] = {}
+
+    @classmethod
+    def from_root(cls, root: "str | Path", package: str = "repro") -> "Program":
+        """Parse ``root/package/**/*.py`` into a Program."""
+        prog = cls()
+        rootp = Path(root)
+        for path in _iter_files(rootp, package):
+            source = path.read_text(encoding="utf-8")
+            try:
+                tree = ast.parse(source, filename=str(path))
+            except SyntaxError:
+                continue  # repro-lint's REP000 owns unparseable files
+            prog.add_module(_module_dotted(rootp, path), str(path), tree, source)
+        prog.finish()
+        return prog
+
+    @classmethod
+    def from_sources(cls, sources: dict[str, tuple[str, str]]) -> "Program":
+        """Build from in-memory ``{dotted: (path, source)}`` (tests)."""
+        prog = cls()
+        for dotted, (path, source) in sources.items():
+            prog.add_module(dotted, path, ast.parse(source), source)
+        prog.finish()
+        return prog
+
+    # -- construction ------------------------------------------------------
+
+    def add_module(
+        self, dotted: str, path: str, tree: ast.Module, source: str
+    ) -> None:
+        mod = ModuleNode(dotted=dotted, path=path, tree=tree, source=source)
+        self.modules[dotted] = mod
+        self._collect_imports(mod)
+        for stmt in tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, stmt, None)
+            elif isinstance(stmt, ast.ClassDef):
+                self._add_class(mod, stmt)
+
+    def finish(self) -> None:
+        """Resolve deferred cross-module facts (attr types via bases)."""
+        for cnode in self.classes.values():
+            for name in cnode.methods:
+                self.methods_by_name.setdefault(name, []).append(
+                    cnode.methods[name]
+                )
+
+    def _collect_imports(self, mod: ModuleNode) -> None:
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    bound = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    mod.imports[bound] = target
+            elif isinstance(node, ast.ImportFrom):
+                if node.module is None and node.level == 0:
+                    continue
+                base = node.module or ""
+                if node.level:
+                    # relative import: anchor on this module's package
+                    pkg = mod.dotted.rsplit(".", node.level)[0]
+                    base = f"{pkg}.{base}" if base else pkg
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    mod.imports[bound] = f"{base}.{alias.name}"
+
+    def _add_function(
+        self,
+        mod: ModuleNode,
+        node: "ast.FunctionDef | ast.AsyncFunctionDef",
+        owner: "ClassNode | None",
+    ) -> None:
+        if owner is None:
+            qual = f"{mod.dotted}.{node.name}"
+        else:
+            qual = f"{owner.qualname}.{node.name}"
+        self.functions[qual] = FunctionNode(
+            qualname=qual,
+            module=mod.dotted,
+            cls=owner.qualname if owner is not None else None,
+            name=node.name,
+            node=node,
+            path=mod.path,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+        )
+        if owner is not None:
+            owner.methods[node.name] = qual
+
+    def _add_class(self, mod: ModuleNode, node: ast.ClassDef) -> None:
+        qual = f"{mod.dotted}.{node.name}"
+        cnode = ClassNode(
+            qualname=qual,
+            module=mod.dotted,
+            name=node.name,
+            node=node,
+            bases=[d for b in node.bases if (d := dotted_name(b)) is not None],
+        )
+        self.classes[qual] = cnode
+        for stmt in node.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(mod, stmt, cnode)
+        self._collect_attr_types(mod, cnode)
+
+    def _collect_attr_types(self, mod: ModuleNode, cnode: ClassNode) -> None:
+        """Harvest ``self.x = ClassName(...)`` across the class body."""
+        for node in ast.walk(cnode.node):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            target_cls = self._resolve_class_name(mod, node.value.func)
+            if target_cls is None:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    cnode.attr_types.setdefault(target.attr, target_cls)
+
+    # -- resolution helpers ------------------------------------------------
+
+    def _resolve_class_name(
+        self, mod: ModuleNode, func: ast.AST
+    ) -> "str | None":
+        """Qualname of the program class a call expression constructs."""
+        raw = dotted_name(func)
+        if raw is None:
+            return None
+        resolved = self.resolve_dotted(mod, raw)
+        return resolved if resolved in self.classes else None
+
+    def resolve_dotted(self, mod: ModuleNode, raw: str) -> "str | None":
+        """Map a dotted source name to a program qualname, if any.
+
+        ``encode_frame`` -> ``repro.shard.wire.encode_frame`` (import),
+        ``SnapshotStore.insert`` -> the method, local names -> module
+        members.  Returns None for externals.
+        """
+        head, _, rest = raw.partition(".")
+        candidates: list[str] = []
+        local = f"{mod.dotted}.{head}"
+        if local in self.functions or local in self.classes:
+            candidates.append(local)
+        imported = mod.imports.get(head)
+        if imported is not None:
+            candidates.append(imported)
+        for cand in candidates:
+            full = f"{cand}.{rest}" if rest else cand
+            if full in self.functions or full in self.classes:
+                return full
+            if full in self.modules:
+                return full
+            # imported module attribute: repro.shard.wire + encode_frame
+            if cand in self.modules and rest:
+                sub = f"{cand}.{rest}"
+                if sub in self.functions or sub in self.classes:
+                    return sub
+        return None
+
+    def mro(self, class_qual: str) -> Iterator[ClassNode]:
+        """The class and its statically-resolvable ancestors."""
+        seen: set[str] = set()
+        stack = [class_qual]
+        while stack:
+            qual = stack.pop(0)
+            if qual in seen or qual not in self.classes:
+                continue
+            seen.add(qual)
+            cnode = self.classes[qual]
+            yield cnode
+            mod = self.modules[cnode.module]
+            for base in cnode.bases:
+                resolved = self.resolve_dotted(mod, base)
+                if resolved is not None:
+                    stack.append(resolved)
+
+    def resolve_method(self, class_qual: str, name: str) -> "str | None":
+        for cnode in self.mro(class_qual):
+            if name in cnode.methods:
+                return cnode.methods[name]
+        return None
+
+    def attr_type(self, class_qual: str, attr: str) -> "str | None":
+        for cnode in self.mro(class_qual):
+            if attr in cnode.attr_types:
+                return cnode.attr_types[attr]
+        return None
+
+
+class CallGraph:
+    """Resolved call edges for every function in a :class:`Program`."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.calls: dict[str, list[CallSite]] = {}
+        for fn in program.functions.values():
+            self.calls[fn.qualname] = list(self._resolve_function(fn))
+
+    # -- call resolution ---------------------------------------------------
+
+    def _resolve_function(self, fn: FunctionNode) -> Iterator[CallSite]:
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call):
+                targets, raw, ambiguous = self._resolve_call(fn, node)
+                yield CallSite(
+                    caller=fn.qualname,
+                    node=node,
+                    targets=tuple(targets),
+                    raw=raw,
+                    ambiguous=ambiguous,
+                )
+
+    def _resolve_call(
+        self, fn: FunctionNode, call: ast.Call
+    ) -> tuple[list[str], "str | None", bool]:
+        mod = self.program.modules[fn.module]
+        raw = dotted_name(call.func)
+        # 1. plain / dotted names resolvable through the import map
+        if raw is not None and not raw.startswith(("self.", "cls.")):
+            resolved = self.program.resolve_dotted(mod, raw)
+            if resolved is not None:
+                return self._as_targets(resolved), raw, False
+        # 2. self./cls. chains
+        if raw is not None and raw.startswith(("self.", "cls.")) and fn.cls:
+            parts = raw.split(".")
+            if len(parts) == 2:
+                target = self.program.resolve_method(fn.cls, parts[1])
+                if target is not None:
+                    return [target], raw, False
+            elif len(parts) == 3:
+                # self.<attr>.<meth> via the harvested attr-type map
+                owner = self.program.attr_type(fn.cls, parts[1])
+                if owner is not None:
+                    target = self.program.resolve_method(owner, parts[2])
+                    if target is not None:
+                        return [target], raw, False
+        # 3. bounded name-match fallback on the terminal attribute
+        name = terminal_name(call.func)
+        if name is not None and isinstance(call.func, ast.Attribute):
+            candidates = self.program.methods_by_name.get(name, [])
+            if 0 < len(candidates) <= _FALLBACK_CAP:
+                return list(candidates), raw or name, True
+        return [], raw, False
+
+    def _as_targets(self, resolved: str) -> list[str]:
+        """Expand a resolved qualname to the functions a call runs.
+
+        Calling a class runs its ``__init__`` (searched up the MRO);
+        a bare module reference is not callable and yields nothing.
+        """
+        if resolved in self.program.functions:
+            return [resolved]
+        if resolved in self.program.classes:
+            init = self.program.resolve_method(resolved, "__init__")
+            return [init] if init is not None else []
+        return []
+
+    # -- traversal ---------------------------------------------------------
+
+    def callees(self, qualname: str) -> Iterator[CallSite]:
+        yield from self.calls.get(qualname, [])
+
+    def reachable(
+        self, starts: Iterable[str], *, include_ambiguous: bool = True
+    ) -> set[str]:
+        """Every function reachable from ``starts`` through call edges."""
+        seen: set[str] = set()
+        stack = [s for s in starts]
+        while stack:
+            qual = stack.pop()
+            if qual in seen:
+                continue
+            seen.add(qual)
+            for site in self.calls.get(qual, ()):
+                if site.ambiguous and not include_ambiguous:
+                    continue
+                stack.extend(t for t in site.targets if t not in seen)
+        return seen
+
+    def find_path(
+        self,
+        start: str,
+        goal_pred: "callable",
+        *,
+        include_ambiguous: bool = True,
+    ) -> "list[str] | None":
+        """A call chain ``[start, ..., f]`` with ``goal_pred(f)`` true."""
+        seen = {start}
+        queue: list[list[str]] = [[start]]
+        while queue:
+            path = queue.pop(0)
+            qual = path[-1]
+            if goal_pred(qual):
+                return path
+            for site in self.calls.get(qual, ()):
+                if site.ambiguous and not include_ambiguous:
+                    continue
+                for target in site.targets:
+                    if target not in seen:
+                        seen.add(target)
+                        queue.append(path + [target])
+        return None

@@ -1,0 +1,293 @@
+"""``python -m repro.analysis.verify`` — run all three checkers.
+
+Usage::
+
+    python -m repro.analysis.verify                # whole repo, all checks
+    python -m repro.analysis.verify --select RV101,RV205
+    python -m repro.analysis.verify --list-rules
+    python -m repro.analysis.verify --github       # CI annotations
+    python -m repro.analysis.verify --skip-model --skip-explorer
+
+Exit status 1 when any unwaived finding remains, mirroring repro-lint;
+waivers use ``# repro-verify: disable=RVnnn`` (see :mod:`.base`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from repro.analysis.lint import Finding, github_annotation
+from repro.analysis.verify.base import collect_waivers
+from repro.analysis.verify.callgraph import CallGraph, Program
+from repro.analysis.verify.concurrency import check_concurrency
+from repro.analysis.verify.protocol_check import check_protocol
+
+__all__ = ["RULES", "main", "verify_program"]
+
+#: the rule catalogue: code -> (name, one-line summary)
+RULES: dict[str, tuple[str, str]] = {
+    "RV101": (
+        "lock-order-cycle",
+        "locks acquired in conflicting orders (or re-acquired) across "
+        "any call chain: potential deadlock",
+    ),
+    "RV102": (
+        "blocking-under-lock",
+        "a blocking or unbounded-numpy call is transitively reachable "
+        "while a threading lock is held",
+    ),
+    "RV103": (
+        "blocking-in-async",
+        "a blocking call is reachable from an async def through sync "
+        "callees (the lexical case is REP003)",
+    ),
+    "RV104": (
+        "publish-outside-lock",
+        "an attribute published under the class's lock elsewhere is "
+        "assigned without the lock",
+    ),
+    "RV105": (
+        "unfrozen-column-write",
+        "in-place write to a shared spatial column with no freeze "
+        "discipline and no version bump",
+    ),
+    "RV201": (
+        "unhandled-frame",
+        "a wire frame kind is sent but no dispatch branch receives it",
+    ),
+    "RV202": (
+        "unsent-frame",
+        "a dispatch branch or wire.py table row handles a kind nothing "
+        "sends",
+    ),
+    "RV203": (
+        "frame-key-mismatch",
+        "a send site omits a key the wire table declares or a receiver "
+        "subscripts unconditionally",
+    ),
+    "RV204": (
+        "verb-totality",
+        "protocol.VERBS and the verb handler comparisons disagree",
+    ),
+    "RV205": (
+        "trace-echo",
+        "a response/error encode site drops the trace= echo the v2 "
+        "protocol requires on every branch",
+    ),
+    "RV301": (
+        "protocol-model-violation",
+        "exhaustive model check of the scatter/gather/quarantine state "
+        "machine found a schedule violating P1-P6",
+    ),
+    "RV401": (
+        "interleaving-violation",
+        "the deterministic interleaving explorer found a snapshot "
+        "publish/read or write-replication schedule breaking isolation",
+    ),
+}
+
+
+def _anchor(program: Program, qualname: str, default_path: str) -> tuple[str, int]:
+    fn = program.functions.get(qualname)
+    if fn is not None:
+        return fn.path, fn.node.lineno
+    return default_path, 1
+
+
+def _model_findings(program: Program, *, thorough: bool) -> list[Finding]:
+    from repro.analysis.verify.model import check_model
+
+    path, line = _anchor(
+        program,
+        "repro.shard.router.ShardedQueryService._merge",
+        "src/repro/shard/router.py",
+    )
+    findings: list[Finding] = []
+    for violation in check_model(thorough=thorough):
+        schedule = " ; ".join(violation.schedule[-8:])
+        findings.append(
+            Finding(
+                path=path,
+                line=line,
+                col=1,
+                code="RV301",
+                message=(
+                    f"[{violation.prop}] {violation.detail} "
+                    f"(config={violation.config}, schedule tail: {schedule})"
+                ),
+            )
+        )
+    return findings
+
+
+def _explorer_findings(program: Program) -> list[Finding]:
+    from repro.analysis.verify.schedule import (
+        default_worker_loop,
+        explore_replication,
+        explore_snapshot_store,
+        make_scripted_store,
+    )
+    from repro.geometry.mbr import Rect
+
+    findings: list[Finding] = []
+    store, rects = make_scripted_store()
+    ops = [
+        ("insert", Rect(0.4, 0.4, 0.5, 0.5)),
+        ("delete", 3),
+        ("insert", Rect(0.1, 0.6, 0.2, 0.7)),
+        ("delete", 100),  # miss: version must not advance
+        ("delete", 3),  # repeat miss on a tombstone
+    ]
+    snap_path, snap_line = _anchor(
+        program,
+        "repro.server.snapshot.SnapshotStore.insert",
+        "src/repro/server/snapshot.py",
+    )
+    report = explore_snapshot_store(store, rects, ops)
+    for violation in report.violations:
+        findings.append(
+            Finding(
+                path=snap_path,
+                line=snap_line,
+                col=1,
+                code="RV401",
+                message=f"snapshot publish/read: {violation}",
+            )
+        )
+    worker_path, worker_line = _anchor(
+        program,
+        "repro.shard.worker._WorkerLoop.apply_write",
+        "src/repro/shard/worker.py",
+    )
+    report = explore_replication(default_worker_loop)
+    for violation in report.violations:
+        findings.append(
+            Finding(
+                path=worker_path,
+                line=worker_line,
+                col=1,
+                code="RV401",
+                message=f"write replication: {violation}",
+            )
+        )
+    return findings
+
+
+def verify_program(
+    root: "str | Path" = "src",
+    *,
+    select: "set[str] | None" = None,
+    run_model: bool = True,
+    run_explorer: bool = True,
+    thorough_model: bool = True,
+) -> list[Finding]:
+    """Run every selected checker over ``root``; waivers applied."""
+    program = Program.from_root(root)
+    graph = CallGraph(program)
+    findings: list[Finding] = []
+    findings.extend(check_concurrency(program, graph))
+    findings.extend(check_protocol(program, graph))
+    if run_model and (select is None or "RV301" in select):
+        findings.extend(_model_findings(program, thorough=thorough_model))
+    if run_explorer and (select is None or "RV401" in select):
+        findings.extend(_explorer_findings(program))
+    if select is not None:
+        findings = [f for f in findings if f.code in select]
+    waivers = {
+        mod.path: collect_waivers(mod.source)
+        for mod in program.modules.values()
+    }
+    kept = [
+        f
+        for f in findings
+        if f.path not in waivers
+        or not waivers[f.path].suppressed(f.code, f.line)
+    ]
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return kept
+
+
+def _parse_select(spec: "str | None") -> "set[str] | None":
+    if not spec:
+        return None
+    wanted = {code.strip().upper() for code in spec.split(",") if code.strip()}
+    unknown = wanted - set(RULES)
+    if unknown:
+        raise SystemExit(f"unknown rule code(s): {', '.join(sorted(unknown))}")
+    return wanted
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.verify",
+        description=(
+            "Interprocedural concurrency analysis, wire-protocol model "
+            "checking and deterministic interleaving exploration."
+        ),
+    )
+    parser.add_argument(
+        "root",
+        nargs="?",
+        default="src",
+        help="source root to analyse (default: src)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        help="comma-separated RV codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print the catalogue"
+    )
+    parser.add_argument(
+        "--github",
+        action="store_true",
+        help="emit GitHub Actions ::error annotations",
+    )
+    parser.add_argument(
+        "--skip-model",
+        action="store_true",
+        help="skip the RV301 protocol model check",
+    )
+    parser.add_argument(
+        "--skip-explorer",
+        action="store_true",
+        help="skip the RV401 interleaving explorer",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="model-check 2 shards only (skip the 3-shard pass)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for code, (name, summary) in RULES.items():
+            print(f"{code}  {name}")
+            print(f"    {summary}")
+        return 0
+
+    findings = verify_program(
+        args.root,
+        select=_parse_select(args.select),
+        run_model=not args.skip_model,
+        run_explorer=not args.skip_explorer,
+        thorough_model=not args.fast,
+    )
+    for finding in findings:
+        print(finding.render())
+        if args.github:
+            print(github_annotation(finding))
+    if findings:
+        print(
+            f"repro-verify: {len(findings)} finding(s)", file=sys.stderr
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,561 @@
+"""Interprocedural concurrency analysis (RV101–RV105).
+
+Upgrades the lexical REP002/REP003 lint rules to whole-program checks
+over the :mod:`~repro.analysis.verify.callgraph`:
+
+* **RV101 lock-order-cycle** — build a lock-acquisition-order graph
+  (edge A→B when B is acquired, lexically or through any call chain,
+  while A is held) and report cycles, including re-acquisition of a
+  non-reentrant ``threading.Lock``.  Lock identity is ``Class.attr`` or
+  ``module.name``: instance-insensitive, which over-approximates when
+  two distinct instances of one class interact.
+* **RV102 blocking-under-lock** — a hard-blocking call (``time.sleep``,
+  sockets, subprocess, ``open``) or an unbounded numpy build is
+  *transitively* reachable from a ``with <lock>:`` body.
+* **RV103 blocking-in-async** — a hard-blocking call is reachable from
+  an ``async def`` through one or more *sync* callees (depth ≥ 1; the
+  lexical depth-0 case is REP003's).
+* **RV104 publish-outside-lock** — in a lock-owning class, an attribute
+  that is assigned under the lock somewhere (a *guarded* attribute,
+  e.g. ``SnapshotStore._current``) is assigned outside any lock body in
+  a method other than ``__init__``.
+* **RV105 unfrozen-column-write** — an in-place write to a spatial
+  column array (``xl``/``yl``/…/``ids``/``offsets``) in a server/shard
+  module that neither freezes arrays (``setflags``/``freeze_arrays``)
+  nor bumps a version/epoch in the enclosing function: a torn read
+  waiting to happen under concurrent readers.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.analysis.lint import Finding
+from repro.analysis.rules import _BLOCKING_CALLS, _NP_HEAVY_CALLS
+from repro.analysis.verify.callgraph import (
+    CallGraph,
+    FunctionNode,
+    Program,
+    dotted_name,
+    terminal_name,
+)
+
+__all__ = ["LockSite", "check_concurrency", "collect_lock_model"]
+
+_LOCK_CTORS = {
+    "threading.Lock": "sync",
+    "threading.RLock": "rlock",
+    "asyncio.Lock": "async",
+    "multiprocessing.Lock": "sync",
+}
+
+#: spatial column names whose arrays are published to concurrent readers.
+_COLUMN_NAMES = frozenset(
+    {"xl", "yl", "xu", "yu", "ids", "offsets", "fast_q"}
+)
+
+_FREEZE_TOKENS = ("setflags", "writeable", "freeze_array")
+_EPOCH_NAMES = frozenset({"version", "epoch", "seq", "_version", "_epoch"})
+
+
+@dataclass(frozen=True)
+class LockSite:
+    """One ``with <lock>:`` acquisition inside a function."""
+
+    fn: str
+    lock_id: str
+    kind: str  # "sync" | "rlock" | "async" | "unknown"
+    node: ast.AST  # the With/AsyncWith statement
+    is_async_with: bool
+
+
+def _is_lockish(expr: ast.AST) -> bool:
+    name = terminal_name(expr)
+    return name is not None and "lock" in name.lower()
+
+
+def collect_lock_model(
+    program: Program,
+) -> tuple[dict[str, str], dict[str, list[LockSite]]]:
+    """(lock kinds by identity, lock sites by function qualname)."""
+    kinds: dict[str, str] = {}
+    for cnode in program.classes.values():
+        for node in ast.walk(cnode.node):
+            if not isinstance(node, ast.Assign) or not isinstance(
+                node.value, ast.Call
+            ):
+                continue
+            raw = dotted_name(node.value.func)
+            if raw not in _LOCK_CTORS:
+                continue
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    kinds[f"{cnode.name}.{target.attr}"] = _LOCK_CTORS[raw]
+    for mod in program.modules.values():
+        for stmt in mod.tree.body:
+            if not isinstance(stmt, ast.Assign) or not isinstance(
+                stmt.value, ast.Call
+            ):
+                continue
+            raw = dotted_name(stmt.value.func)
+            if raw not in _LOCK_CTORS:
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    kinds[f"{mod.dotted}.{target.id}"] = _LOCK_CTORS[raw]
+
+    sites: dict[str, list[LockSite]] = {}
+    for fn in program.functions.values():
+        sites[fn.qualname] = list(_lock_sites(program, fn, kinds))
+    return kinds, sites
+
+
+def _lock_identity(
+    program: Program, fn: FunctionNode, expr: ast.AST, kinds: dict[str, str]
+) -> tuple[str, str]:
+    """(identity, kind) for a lock context expression."""
+    raw = dotted_name(expr)
+    if raw is not None and raw.startswith("self.") and fn.cls is not None:
+        attr = raw.split(".", 1)[1]
+        for cnode in program.mro(fn.cls):
+            key = f"{cnode.name}.{attr}"
+            if key in kinds:
+                return key, kinds[key]
+        owner = program.classes[fn.cls].name
+        return f"{owner}.{attr}", "unknown"
+    if raw is not None and "." not in raw:
+        key = f"{fn.module}.{raw}"
+        if key in kinds:
+            return key, kinds[key]
+        return f"{fn.qualname}.<local>.{raw}", "unknown"
+    name = terminal_name(expr) or "<lock>"
+    return f"{fn.module}.<expr>.{name}", "unknown"
+
+
+def _lock_sites(
+    program: Program, fn: FunctionNode, kinds: dict[str, str]
+) -> Iterator[LockSite]:
+    for node in ast.walk(fn.node):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                continue  # with open(...) etc., not a lock object
+            if not _is_lockish(expr):
+                continue
+            lock_id, kind = _lock_identity(program, fn, expr, kinds)
+            yield LockSite(
+                fn=fn.qualname,
+                lock_id=lock_id,
+                kind=kind,
+                node=node,
+                is_async_with=isinstance(node, ast.AsyncWith),
+            )
+
+
+def _blocking_dotted(call: ast.Call) -> "str | None":
+    """The blocking-vocabulary name this call matches, if any."""
+    raw = dotted_name(call.func)
+    if raw is None:
+        return None
+    if raw in _BLOCKING_CALLS or raw in _NP_HEAVY_CALLS:
+        return raw
+    if raw == "open":
+        return "open"
+    return None
+
+
+def _hard_blocking_dotted(call: ast.Call) -> "str | None":
+    raw = dotted_name(call.func)
+    if raw is None:
+        return None
+    if raw in _BLOCKING_CALLS or raw == "open":
+        return raw
+    return None
+
+
+def _function_blocking_sites(
+    fn: FunctionNode, *, hard_only: bool
+) -> list[tuple[ast.Call, str]]:
+    match = _hard_blocking_dotted if hard_only else _blocking_dotted
+    out: list[tuple[ast.Call, str]] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Call):
+            hit = match(node)
+            if hit is not None:
+                out.append((node, hit))
+    return out
+
+
+class _ConcurrencyChecker:
+    def __init__(self, program: Program, graph: CallGraph):
+        self.program = program
+        self.graph = graph
+        self.kinds, self.sites = collect_lock_model(program)
+        self.findings: list[Finding] = []
+        # function -> lock ids acquired lexically anywhere in its body
+        self.lexical: dict[str, set[str]] = {
+            fn: {s.lock_id for s in sites} for fn, sites in self.sites.items()
+        }
+        self._blocking_cache: dict[tuple[str, bool], "tuple | None"] = {}
+        self._acquires_cache: dict[str, set[str]] = {}
+
+    def _emit(
+        self, fn: FunctionNode, node: ast.AST, code: str, message: str
+    ) -> None:
+        self.findings.append(
+            Finding(
+                path=fn.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # -- reachability helpers ---------------------------------------------
+
+    def _acquired_transitively(self, start: str) -> set[str]:
+        """Lock ids acquired anywhere in the call closure of ``start``."""
+        cached = self._acquires_cache.get(start)
+        if cached is not None:
+            return cached
+        acquired: set[str] = set()
+        for fn in self.graph.reachable([start]):
+            acquired |= self.lexical.get(fn, set())
+        self._acquires_cache[start] = acquired
+        return acquired
+
+    def _blocking_chain(
+        self, start: str, *, hard_only: bool
+    ) -> "tuple[list[str], str] | None":
+        """(call chain, blocking name) if blocking is reachable from start."""
+        key = (start, hard_only)
+        if key in self._blocking_cache:
+            return self._blocking_cache[key]
+
+        def has_blocking(qual: str) -> bool:
+            fn = self.program.functions.get(qual)
+            return fn is not None and bool(
+                _function_blocking_sites(fn, hard_only=hard_only)
+            )
+
+        path = self.graph.find_path(
+            start, has_blocking, include_ambiguous=False
+        )
+        result = None
+        if path is not None:
+            fn = self.program.functions[path[-1]]
+            _, name = _function_blocking_sites(fn, hard_only=hard_only)[0]
+            result = (path, name)
+        self._blocking_cache[key] = result
+        return result
+
+    # -- RV101 -------------------------------------------------------------
+
+    def check_lock_order(self) -> None:
+        # edges[(a, b)] = (fn, node, via) — first witness of acquiring b
+        # while holding a.
+        edges: dict[tuple[str, str], tuple[FunctionNode, ast.AST, str]] = {}
+        for fn_qual, sites in self.sites.items():
+            fn = self.program.functions[fn_qual]
+            for site in sites:
+                held = site.lock_id
+                for inner in ast.walk(site.node):
+                    if inner is site.node:
+                        continue
+                    # lexical nested acquisition
+                    if isinstance(inner, (ast.With, ast.AsyncWith)):
+                        for other in self.sites[fn_qual]:
+                            if other.node is inner and other.lock_id != held:
+                                edges.setdefault(
+                                    (held, other.lock_id),
+                                    (fn, inner, "lexically"),
+                                )
+                            if (
+                                other.node is inner
+                                and other.lock_id == held
+                                and site.kind == "sync"
+                            ):
+                                self._emit(
+                                    fn,
+                                    inner,
+                                    "RV101",
+                                    f"non-reentrant lock {held} re-acquired "
+                                    f"while already held in {fn_qual} — "
+                                    "self-deadlock",
+                                )
+                    # transitive acquisition through a call
+                    if isinstance(inner, ast.Call):
+                        for tgt_site in self.graph.calls.get(fn_qual, ()):
+                            if tgt_site.node is not inner:
+                                continue
+                            for target in tgt_site.targets:
+                                for acq in self._acquired_transitively(target):
+                                    if acq == held:
+                                        if site.kind == "sync":
+                                            self._emit(
+                                                fn,
+                                                inner,
+                                                "RV101",
+                                                f"call {tgt_site.raw}() under "
+                                                f"lock {held} can re-acquire "
+                                                f"{held} (via {target}) — "
+                                                "self-deadlock on a "
+                                                "non-reentrant lock",
+                                            )
+                                    else:
+                                        edges.setdefault(
+                                            (held, acq),
+                                            (fn, inner, f"via {target}"),
+                                        )
+        self._report_cycles(edges)
+
+    def _report_cycles(
+        self,
+        edges: dict[tuple[str, str], tuple[FunctionNode, ast.AST, str]],
+    ) -> None:
+        graph: dict[str, set[str]] = {}
+        for a, b in edges:
+            graph.setdefault(a, set()).add(b)
+        # DFS cycle detection with path recovery
+        seen: set[str] = set()
+        for root in sorted(graph):
+            if root in seen:
+                continue
+            stack: list[tuple[str, list[str]]] = [(root, [root])]
+            on_path: set[str] = set()
+            while stack:
+                node, path = stack.pop()
+                on_path = set(path)
+                seen.add(node)
+                for nxt in sorted(graph.get(node, ())):
+                    if nxt in on_path:
+                        cycle = path[path.index(nxt) :] + [nxt]
+                        fn, loc, via = edges[(node, nxt)]
+                        self._emit(
+                            fn,
+                            loc,
+                            "RV101",
+                            "lock-order cycle "
+                            + " -> ".join(cycle)
+                            + f" (edge {node} -> {nxt} acquired {via} in "
+                            f"{fn.qualname}; a concurrent thread taking the "
+                            "locks in the opposite order deadlocks)",
+                        )
+                    elif nxt not in seen:
+                        stack.append((nxt, path + [nxt]))
+
+    # -- RV102 -------------------------------------------------------------
+
+    def check_blocking_under_lock(self) -> None:
+        for fn_qual, sites in self.sites.items():
+            fn = self.program.functions[fn_qual]
+            for site in sites:
+                if site.kind not in ("sync", "rlock", "unknown"):
+                    continue
+                if site.is_async_with:
+                    continue
+                body = [n for n in ast.walk(site.node) if n is not site.node]
+                for inner in body:
+                    if not isinstance(inner, ast.Call):
+                        continue
+                    # lexical blocking call directly under the lock
+                    hit = _blocking_dotted(inner)
+                    if hit is not None:
+                        self._emit(
+                            fn,
+                            inner,
+                            "RV102",
+                            f"{hit}() called while holding {site.lock_id} "
+                            f"in {fn_qual}; every reader/writer queued on "
+                            "the lock stalls behind it",
+                        )
+                        continue
+                    # transitive: any resolved callee reaching blocking code
+                    for call_site in self.graph.calls.get(fn_qual, ()):
+                        if call_site.node is not inner or call_site.ambiguous:
+                            continue
+                        for target in call_site.targets:
+                            chain = self._blocking_chain(
+                                target, hard_only=False
+                            )
+                            if chain is None:
+                                continue
+                            path, name = chain
+                            self._emit(
+                                fn,
+                                inner,
+                                "RV102",
+                                f"{call_site.raw}() under {site.lock_id} "
+                                f"reaches blocking {name}() through "
+                                + " -> ".join(path),
+                            )
+                            break
+
+    # -- RV103 -------------------------------------------------------------
+
+    def check_blocking_in_async(self) -> None:
+        for fn in self.program.functions.values():
+            if not fn.is_async:
+                continue
+            reported: set[str] = set()
+            for call_site in self.graph.calls.get(fn.qualname, ()):
+                if call_site.ambiguous:
+                    continue
+                for target in call_site.targets:
+                    if target == fn.qualname or target in reported:
+                        continue
+                    chain = self._blocking_chain(target, hard_only=True)
+                    if chain is None:
+                        continue
+                    path, name = chain
+                    tgt_fn = self.program.functions.get(target)
+                    if tgt_fn is not None and tgt_fn.is_async:
+                        # awaited async callee: its own RV103 pass covers it
+                        continue
+                    reported.add(target)
+                    self._emit(
+                        fn,
+                        call_site.node,
+                        "RV103",
+                        f"async {fn.qualname} reaches blocking {name}() "
+                        "through sync chain " + " -> ".join(path)
+                        + "; the event loop stalls for its full duration",
+                    )
+
+    # -- RV104 -------------------------------------------------------------
+
+    def check_publish_outside_lock(self) -> None:
+        for cnode in self.program.classes.values():
+            owned = {
+                key
+                for key in self.kinds
+                if key.startswith(f"{cnode.name}.")
+                and self.kinds[key] in ("sync", "rlock")
+            }
+            if not owned:
+                continue
+            guarded: set[str] = set()
+            # pass 1: attributes assigned under the lock anywhere
+            for name, fq in cnode.methods.items():
+                fn = self.program.functions[fq]
+                for site in self.sites.get(fq, ()):
+                    if site.lock_id not in owned:
+                        continue
+                    for inner in ast.walk(site.node):
+                        guarded |= set(_self_attr_targets(inner))
+            if not guarded:
+                continue
+            # pass 2: same attributes assigned outside every lock body
+            for name, fq in cnode.methods.items():
+                if name == "__init__":
+                    continue
+                fn = self.program.functions[fq]
+                locked_nodes: set[int] = set()
+                for site in self.sites.get(fq, ()):
+                    if site.lock_id in owned:
+                        locked_nodes |= {
+                            id(n) for n in ast.walk(site.node)
+                        }
+                for node in ast.walk(fn.node):
+                    if id(node) in locked_nodes:
+                        continue
+                    for attr in _self_attr_targets(node):
+                        if attr in guarded:
+                            self._emit(
+                                fn,
+                                node,
+                                "RV104",
+                                f"self.{attr} is published under "
+                                f"{sorted(owned)[0]} elsewhere but assigned "
+                                f"without the lock in {fq}; concurrent "
+                                "writers can interleave and readers can "
+                                "observe a torn update",
+                            )
+
+    # -- RV105 -------------------------------------------------------------
+
+    def check_unfrozen_column_writes(self) -> None:
+        for mod in self.program.modules.values():
+            parts = mod.dotted.split(".")
+            if not (
+                len(parts) >= 2 and parts[1] in ("server", "shard")
+            ):
+                continue
+            has_freeze = any(tok in mod.source for tok in _FREEZE_TOKENS)
+            if has_freeze:
+                continue
+            for fn in self.program.functions.values():
+                if fn.module != mod.dotted:
+                    continue
+                bumps_epoch = any(
+                    attr in _EPOCH_NAMES
+                    for node in ast.walk(fn.node)
+                    for attr in _self_attr_targets(node)
+                )
+                for node in ast.walk(fn.node):
+                    target = _subscript_store_target(node)
+                    if target is None:
+                        continue
+                    name = terminal_name(target.value)
+                    if name in _COLUMN_NAMES and not bumps_epoch:
+                        self._emit(
+                            fn,
+                            node,
+                            "RV105",
+                            f"in-place write to column array {name!r} in "
+                            f"{fn.qualname} with no freeze discipline "
+                            "(setflags/freeze_arrays) and no version/epoch "
+                            "bump; concurrent readers can see a torn column",
+                        )
+
+    def run(self) -> list[Finding]:
+        self.check_lock_order()
+        self.check_blocking_under_lock()
+        self.check_blocking_in_async()
+        self.check_publish_outside_lock()
+        self.check_unfrozen_column_writes()
+        self.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+        return self.findings
+
+
+def _self_attr_targets(node: ast.AST) -> Iterator[str]:
+    """Attribute names assigned as ``self.X = ...`` / ``self.X += ...``."""
+    targets: list[ast.expr] = []
+    if isinstance(node, ast.Assign):
+        targets = list(node.targets)
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    for target in targets:
+        if (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            yield target.attr
+
+
+def _subscript_store_target(node: ast.AST) -> "ast.Subscript | None":
+    """The subscript target of ``X[...] = v`` / ``X[...] += v``, if any."""
+    if isinstance(node, ast.Assign):
+        for target in node.targets:
+            if isinstance(target, ast.Subscript):
+                return target
+    elif isinstance(node, ast.AugAssign) and isinstance(
+        node.target, ast.Subscript
+    ):
+        return node.target
+    return None
+
+
+def check_concurrency(program: Program, graph: CallGraph) -> list[Finding]:
+    """Run RV101–RV105 over the whole program; findings are unwaived."""
+    return _ConcurrencyChecker(program, graph).run()

@@ -1,0 +1,660 @@
+"""Exhaustive model check of the scatter/gather/quarantine protocol (RV301).
+
+A small explicit-state model of the router/worker plane — faithful to
+:mod:`repro.shard.router` and :mod:`repro.shard.worker` at the level of
+the properties that matter, with every source of nondeterminism explored
+exhaustively over bounded runs (2–3 shards, ≤2 writes, ≤2 reads, all
+single-failure schedules):
+
+* the router applies a write locally *before* the per-link write frames
+  go out, so a read stamped at the new epoch can reach a worker ahead of
+  the write that produces it (the parking race);
+* per-link delivery is FIFO (TCP), but cross-link order is arbitrary;
+* single failures: a worker crash at any point, a worker that silently
+  skips applying one write (divergence — the quarantine detector's
+  reason to exist), and a write frame lost before send (the parked-
+  batch stale timeout's reason to exist).
+
+Checked properties (violations become RV301 findings):
+
+* **P1 totality** — every issued read reaches a response (full or
+  degraded) and every write resolves; nothing hangs at quiescence.
+* **P2 epoch consistency** — a *full* (non-degraded) response merges
+  sub-results all computed at exactly the stamped epoch.
+* **P3 quarantine soundness** — a shard is quarantined iff it actually
+  diverged from the deterministic write contract.
+* **P4 replica uniformity** — at quiescence every live, non-quarantined
+  replica sits at the router's version (the uniform epoch vector).
+* **P5 no spurious degradation** — fault-free schedules never degrade.
+* **P6 worker reply totality** — no batch stays parked forever on a
+  live worker (the stale timeout drains it).
+
+``MUTANTS`` switches known-bad variants (skip parking, skip the epoch
+stamp, skip quarantine, skip the stale timeout) used by the test suite
+to prove each property actually fires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Iterator
+
+__all__ = [
+    "MUTANTS",
+    "ModelConfig",
+    "Violation",
+    "check_model",
+    "explore",
+    "single_failure_configs",
+]
+
+MUTANTS = (
+    "no_park",
+    "no_epoch_stamp",
+    "no_quarantine",
+    "no_stale_timeout",
+)
+
+
+@dataclass(frozen=True)
+class ModelConfig:
+    """One bounded exploration: topology, workload, fault, mutant."""
+
+    shards: int = 2
+    writes: int = 2
+    reads: int = 2
+    #: shard that may crash at any point (None = no crash schedule).
+    crash: "int | None" = None
+    #: (shard, seq): that worker silently skips applying that write.
+    skip_write: "tuple[int, int] | None" = None
+    #: (shard, seq): the write frame to that shard is lost before send.
+    lose_send: "tuple[int, int] | None" = None
+    mutant: "str | None" = None
+
+    @property
+    def faulty(self) -> bool:
+        return (
+            self.crash is not None
+            or self.skip_write is not None
+            or self.lose_send is not None
+        )
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One property violation with the event schedule that reaches it."""
+
+    prop: str
+    detail: str
+    schedule: tuple[str, ...]
+    config: ModelConfig
+
+
+# ---------------------------------------------------------------------------
+# state — plain tuples so states hash for memoization
+#
+# scatter record:  (bid, epoch, pending_frozenset, replies_tuple, status)
+#   reply entry:   (shard, claimed_epoch, data_version, ok)
+#   status:        "pending" | "ok" | "degraded"
+# write record:    (seq, pending_sends_frozenset, awaiting_frozenset,
+#                   acks_tuple)   — at most one in flight (writes serialize)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _State:
+    router_version: int
+    writes_issued: int
+    reads_issued: int
+    inbox: tuple  # per shard: tuple of frames
+    outbox: tuple  # per shard: tuple of replies
+    worker_version: tuple
+    parked: tuple  # per shard: tuple of (bid, epoch)
+    alive: tuple
+    quarantined: tuple
+    in_flight_write: "tuple | None"
+    scatters: tuple
+    diverged: tuple  # per shard: observed divergence from ack check
+
+
+def _initial(cfg: ModelConfig) -> _State:
+    k = cfg.shards
+    return _State(
+        router_version=0,
+        writes_issued=0,
+        reads_issued=0,
+        inbox=((),) * k,
+        outbox=((),) * k,
+        worker_version=(0,) * k,
+        parked=((),) * k,
+        alive=(True,) * k,
+        quarantined=(False,) * k,
+        in_flight_write=None,
+        scatters=(),
+        diverged=(False,) * k,
+    )
+
+
+def _tset(t: tuple, i: int, v: Any) -> tuple:
+    return t[:i] + (v,) + t[i + 1 :]
+
+
+def _finalize_scatter(sc: tuple, cfg: ModelConfig) -> tuple:
+    bid, epoch, pending, replies, _ = sc
+    if any(not ok for (_, _, _, ok) in replies):
+        return (bid, epoch, pending, replies, "degraded")
+    if cfg.mutant != "no_epoch_stamp":
+        for (_, claimed, _, _) in replies:
+            if claimed != epoch:
+                return (bid, epoch, pending, replies, "degraded")
+    return (bid, epoch, pending, replies, "ok")
+
+
+def _mark_dead(state: _State, k: int, *, quarantine: bool) -> _State:
+    """Link death: fail pending futures, clear channels (router view)."""
+    scatters = []
+    for sc in state.scatters:
+        bid, epoch, pending, replies, status = sc
+        if status == "pending" and k in pending:
+            # the shard's future raises -> frames[k] is None -> degraded
+            scatters.append((bid, epoch, frozenset(), replies, "degraded"))
+        else:
+            scatters.append(sc)
+    ifw = state.in_flight_write
+    if ifw is not None:
+        seq, pending_sends, awaiting, acks = ifw
+        pending_sends = pending_sends - {k}
+        awaiting = awaiting - {k}
+        ifw = (seq, pending_sends, awaiting, acks)
+        if not pending_sends and not awaiting:
+            ifw = None
+    return replace(
+        state,
+        alive=_tset(state.alive, k, False),
+        quarantined=_tset(state.quarantined, k, True)
+        if quarantine
+        else state.quarantined,
+        inbox=_tset(state.inbox, k, ()),
+        outbox=_tset(state.outbox, k, ()),
+        parked=_tset(state.parked, k, ()),
+        scatters=tuple(scatters),
+        in_flight_write=ifw,
+    )
+
+
+def _successors(
+    state: _State, cfg: ModelConfig
+) -> Iterator[tuple[str, _State]]:
+    k_range = range(cfg.shards)
+
+    # -- router: apply a write locally (serialized: one in flight) ---------
+    if state.writes_issued < cfg.writes and state.in_flight_write is None:
+        seq = state.writes_issued + 1
+        targets = frozenset(k for k in k_range if state.alive[k])
+        yield (
+            f"apply_write_local({seq})",
+            replace(
+                state,
+                writes_issued=seq,
+                router_version=state.router_version + 1,
+                in_flight_write=(seq, targets, frozenset(), ()),
+            ),
+        )
+
+    # -- router: push the write frame to one shard -------------------------
+    if state.in_flight_write is not None:
+        seq, pending_sends, awaiting, acks = state.in_flight_write
+        for k in sorted(pending_sends):
+            if cfg.lose_send == (k, seq):
+                # frame lost: never delivered, never acked
+                new = (seq, pending_sends - {k}, awaiting, acks)
+                if not new[1] and not new[2]:
+                    new = None  # type: ignore[assignment]
+                yield (
+                    f"lose_write_send({k},{seq})",
+                    replace(state, in_flight_write=new),
+                )
+            else:
+                yield (
+                    f"send_write({k},{seq})",
+                    replace(
+                        state,
+                        inbox=_tset(
+                            state.inbox, k, state.inbox[k] + (("write", seq),)
+                        ),
+                        in_flight_write=(
+                            seq,
+                            pending_sends - {k},
+                            awaiting | {k},
+                            acks,
+                        ),
+                    ),
+                )
+
+    # -- router: scatter a read --------------------------------------------
+    if state.reads_issued < cfg.reads:
+        bid = state.reads_issued + 1
+        epoch = state.router_version
+        if any(not state.alive[k] for k in k_range):
+            # real router: partial results withheld — degraded pre-send
+            yield (
+                f"issue_read_degraded({bid})",
+                replace(
+                    state,
+                    reads_issued=bid,
+                    scatters=state.scatters
+                    + ((bid, epoch, frozenset(), (), "degraded"),),
+                ),
+            )
+        else:
+            inbox = state.inbox
+            for k in k_range:
+                inbox = _tset(inbox, k, inbox[k] + (("batch", bid, epoch),))
+            yield (
+                f"issue_read({bid},e{epoch})",
+                replace(
+                    state,
+                    reads_issued=bid,
+                    inbox=inbox,
+                    scatters=state.scatters
+                    + ((bid, epoch, frozenset(k_range), (), "pending"),),
+                ),
+            )
+
+    # -- worker: process one inbound frame ---------------------------------
+    for k in k_range:
+        if not state.alive[k] or not state.inbox[k]:
+            continue
+        frame = state.inbox[k][0]
+        rest = state.inbox[k][1:]
+        if frame[0] == "write":
+            seq = frame[1]
+            if cfg.skip_write == (k, seq):
+                version = state.worker_version[k]  # silently not applied
+            else:
+                version = state.worker_version[k] + 1
+            new = replace(
+                state,
+                inbox=_tset(state.inbox, k, rest),
+                worker_version=_tset(state.worker_version, k, version),
+                outbox=_tset(
+                    state.outbox,
+                    k,
+                    state.outbox[k] + (("write_r", seq, version),),
+                ),
+            )
+            # drain parked batches that became runnable
+            runnable = [
+                (bid, ep) for (bid, ep) in new.parked[k] if ep <= version
+            ]
+            still = tuple(
+                (bid, ep) for (bid, ep) in new.parked[k] if ep > version
+            )
+            out = new.outbox[k]
+            for bid, ep in runnable:
+                out = out + (("batch_r", bid, ep, ep, True),)
+            new = replace(
+                new,
+                parked=_tset(new.parked, k, still),
+                outbox=_tset(new.outbox, k, out),
+            )
+            yield (f"worker_write({k},{seq})", new)
+        else:
+            _, bid, epoch = frame
+            version = state.worker_version[k]
+            if cfg.mutant == "no_epoch_stamp" or epoch <= version:
+                used = version if cfg.mutant == "no_epoch_stamp" else epoch
+                yield (
+                    f"worker_batch({k},{bid})",
+                    replace(
+                        state,
+                        inbox=_tset(state.inbox, k, rest),
+                        outbox=_tset(
+                            state.outbox,
+                            k,
+                            state.outbox[k]
+                            + (("batch_r", bid, used, used, True),),
+                        ),
+                    ),
+                )
+            elif cfg.mutant == "no_park":
+                # executes against its current (older) snapshot
+                yield (
+                    f"worker_batch_no_park({k},{bid})",
+                    replace(
+                        state,
+                        inbox=_tset(state.inbox, k, rest),
+                        outbox=_tset(
+                            state.outbox,
+                            k,
+                            state.outbox[k]
+                            + (("batch_r", bid, version, version, True),),
+                        ),
+                    ),
+                )
+            else:
+                yield (
+                    f"worker_park({k},{bid})",
+                    replace(
+                        state,
+                        inbox=_tset(state.inbox, k, rest),
+                        parked=_tset(
+                            state.parked, k, state.parked[k] + ((bid, epoch),)
+                        ),
+                    ),
+                )
+
+    # -- worker: stale-timeout a parked batch ------------------------------
+    # The real timeout (5 s) dwarfs delivery latency, so the model only
+    # fires it when no write still in the system can lift the parked
+    # epoch — i.e. the write genuinely never arrives (a lost send).
+    if cfg.mutant != "no_stale_timeout":
+        for k in k_range:
+            if state.alive[k] and state.parked[k]:
+                bid, epoch = state.parked[k][0]
+                if epoch <= _max_future_version(state, cfg, k):
+                    continue
+                yield (
+                    f"stale_timeout({k},{bid})",
+                    replace(
+                        state,
+                        parked=_tset(state.parked, k, state.parked[k][1:]),
+                        outbox=_tset(
+                            state.outbox,
+                            k,
+                            state.outbox[k]
+                            + (
+                                (
+                                    "batch_r",
+                                    bid,
+                                    state.worker_version[k],
+                                    state.worker_version[k],
+                                    False,
+                                ),
+                            ),
+                        ),
+                    ),
+                )
+
+    # -- router: receive one reply -----------------------------------------
+    for k in k_range:
+        if not state.alive[k] or not state.outbox[k]:
+            continue
+        reply = state.outbox[k][0]
+        rest = state.outbox[k][1:]
+        if reply[0] == "batch_r":
+            _, bid, claimed, data, ok = reply
+            scatters = []
+            for sc in state.scatters:
+                sbid, epoch, pending, replies, status = sc
+                if sbid == bid and status == "pending":
+                    replies = replies + ((k, claimed, data, ok),)
+                    pending = pending - {k}
+                    sc = (sbid, epoch, pending, replies, status)
+                    if not pending:
+                        sc = _finalize_scatter(sc, cfg)
+                scatters.append(sc)
+            yield (
+                f"router_recv_batch({k},{bid})",
+                replace(
+                    state,
+                    outbox=_tset(state.outbox, k, rest),
+                    scatters=tuple(scatters),
+                ),
+            )
+        else:
+            _, seq, version = reply
+            new = replace(state, outbox=_tset(state.outbox, k, rest))
+            ifw = new.in_flight_write
+            if ifw is not None and ifw[0] == seq:
+                _, pending_sends, awaiting, acks = ifw
+                awaiting = awaiting - {k}
+                acks = acks + ((k, version),)
+                ifw2: "tuple | None" = (seq, pending_sends, awaiting, acks)
+                if not pending_sends and not awaiting:
+                    ifw2 = None
+                new = replace(new, in_flight_write=ifw2)
+            diverged = version != seq  # deterministic contract: v == seq
+            if diverged:
+                new = replace(new, diverged=_tset(new.diverged, k, True))
+                if cfg.mutant != "no_quarantine":
+                    new = _mark_dead(new, k, quarantine=True)
+            yield (f"router_recv_write_r({k},{seq})", new)
+
+    # -- router: write timeout (only when the ack can never arrive) --------
+    if state.in_flight_write is not None:
+        seq, pending_sends, awaiting, acks = state.in_flight_write
+        stuck = {
+            k
+            for k in awaiting
+            if not state.alive[k]
+        }
+        lost = {
+            k
+            for k in pending_sends
+            if cfg.lose_send == (k, seq)
+        }
+        # a lost send leaves k forever unacked once every other shard acked
+        if not pending_sends and stuck == awaiting and awaiting:
+            new = state
+            for k in sorted(stuck):
+                new = _mark_dead(new, k, quarantine=False)
+            if new.in_flight_write is not None:
+                new = replace(new, in_flight_write=None)
+            yield ("write_timeout", new)
+        elif pending_sends and pending_sends == lost and not awaiting:
+            yield (
+                "write_timeout_lost",
+                replace(state, in_flight_write=None),
+            )
+
+    # -- router: scatter timeout (only for permanently-stuck shards) -------
+    for sc in state.scatters:
+        bid, epoch, pending, replies, status = sc
+        if status != "pending":
+            continue
+        stuck = all(
+            _shard_cannot_reply(state, cfg, k, bid, epoch)
+            for k in pending
+        )
+        if pending and stuck:
+            scatters = tuple(
+                (bid, epoch, frozenset(), replies, "degraded")
+                if s[0] == bid
+                else s
+                for s in state.scatters
+            )
+            yield (
+                f"scatter_timeout({bid})",
+                replace(state, scatters=scatters),
+            )
+
+    # -- environment: single crash -----------------------------------------
+    if cfg.crash is not None and state.alive[cfg.crash]:
+        yield (
+            f"crash({cfg.crash})",
+            _mark_dead(state, cfg.crash, quarantine=False),
+        )
+
+
+def _max_future_version(state: _State, cfg: ModelConfig, k: int) -> int:
+    """Highest version shard k can still reach from writes in the system."""
+    max_future = state.worker_version[k] + sum(
+        1 for f in state.inbox[k] if f[0] == "write"
+    )
+    if state.in_flight_write is not None:
+        seq, pending_sends, _, _ = state.in_flight_write
+        if k in pending_sends and cfg.lose_send != (k, seq):
+            max_future += 1
+    max_future += cfg.writes - state.writes_issued
+    return max_future
+
+
+def _shard_cannot_reply(
+    state: _State, cfg: ModelConfig, k: int, bid: int, epoch: int
+) -> bool:
+    """True when shard k can never answer batch ``bid`` by itself."""
+    if not state.alive[k]:
+        return True
+    in_parked = any(b == bid for (b, _) in state.parked[k])
+    in_inbox = any(
+        f[0] == "batch" and f[1] == bid for f in state.inbox[k]
+    )
+    in_outbox = any(
+        f[0] == "batch_r" and f[1] == bid for f in state.outbox[k]
+    )
+    if in_outbox or in_inbox:
+        return False
+    if not in_parked:
+        return True  # reply already consumed or shard reset
+    if cfg.mutant != "no_stale_timeout":
+        return False  # the stale timeout will answer it
+    return epoch > _max_future_version(state, cfg, k)
+
+
+def _check_quiescent(
+    state: _State, cfg: ModelConfig, schedule: tuple[str, ...]
+) -> Iterator[Violation]:
+    for sc in state.scatters:
+        _, epoch, _, replies, status = sc
+        if status == "pending":
+            yield Violation(
+                "P1",
+                f"read bid={sc[0]} never reached a response "
+                f"(pending on shards {sorted(sc[2])})",
+                schedule,
+                cfg,
+            )
+        elif status == "ok":
+            for (k, claimed, data, ok) in replies:
+                if claimed != epoch or data != epoch:
+                    yield Violation(
+                        "P2",
+                        f"full response bid={sc[0]} stamped epoch {epoch} "
+                        f"merged shard {k} data computed at version {data} "
+                        f"(claimed {claimed})",
+                        schedule,
+                        cfg,
+                    )
+            if cfg.faulty is False and len(replies) != cfg.shards:
+                yield Violation(
+                    "P2",
+                    f"full response bid={sc[0]} merged only "
+                    f"{len(replies)}/{cfg.shards} shards",
+                    schedule,
+                    cfg,
+                )
+    if state.in_flight_write is not None:
+        yield Violation(
+            "P1",
+            f"write seq={state.in_flight_write[0]} never resolved",
+            schedule,
+            cfg,
+        )
+    for k in range(cfg.shards):
+        if state.quarantined[k] and not state.diverged[k]:
+            yield Violation(
+                "P3",
+                f"shard {k} quarantined without observed divergence",
+                schedule,
+                cfg,
+            )
+        if state.diverged[k] and not state.quarantined[k]:
+            yield Violation(
+                "P3",
+                f"shard {k} diverged from the deterministic write contract "
+                "but was not quarantined",
+                schedule,
+                cfg,
+            )
+        if state.alive[k] and state.parked[k]:
+            yield Violation(
+                "P6",
+                f"batch(es) {[b for b, _ in state.parked[k]]} parked "
+                f"forever on live shard {k}",
+                schedule,
+                cfg,
+            )
+        if (
+            not cfg.faulty
+            and state.alive[k]
+            and not state.quarantined[k]
+            and state.worker_version[k] != state.router_version
+        ):
+            yield Violation(
+                "P4",
+                f"replica {k} at version {state.worker_version[k]} but "
+                f"router at {state.router_version} in a fault-free run",
+                schedule,
+                cfg,
+            )
+    if not cfg.faulty:
+        for sc in state.scatters:
+            if sc[4] == "degraded":
+                yield Violation(
+                    "P5",
+                    f"read bid={sc[0]} degraded in a fault-free schedule",
+                    schedule,
+                    cfg,
+                )
+
+
+def explore(cfg: ModelConfig, *, max_states: int = 400_000) -> list[Violation]:
+    """Exhaustively explore every interleaving of one configuration.
+
+    Returns the violations found (deduplicated by property + detail);
+    raises RuntimeError if the state bound is hit, so a config that
+    explodes is a loud failure rather than silent partial coverage.
+    """
+    start = _initial(cfg)
+    seen: set[_State] = {start}
+    stack: list[tuple[_State, tuple[str, ...]]] = [(start, ())]
+    violations: dict[tuple[str, str], Violation] = {}
+    while stack:
+        state, schedule = stack.pop()
+        successors = list(_successors(state, cfg))
+        if not successors:
+            for violation in _check_quiescent(state, cfg, schedule):
+                violations.setdefault(
+                    (violation.prop, violation.detail), violation
+                )
+            continue
+        for name, nxt in successors:
+            if nxt in seen:
+                continue
+            seen.add(nxt)
+            if len(seen) > max_states:
+                raise RuntimeError(
+                    f"model exploration exceeded {max_states} states "
+                    f"for {cfg}"
+                )
+            stack.append((nxt, schedule + (name,)))
+    return sorted(violations.values(), key=lambda v: (v.prop, v.detail))
+
+
+def single_failure_configs(
+    shards: int, writes: int, reads: int, *, mutant: "str | None" = None
+) -> Iterator[ModelConfig]:
+    """The fault-free run plus every single-failure schedule."""
+    base = ModelConfig(
+        shards=shards, writes=writes, reads=reads, mutant=mutant
+    )
+    yield base
+    for k in range(shards):
+        yield replace(base, crash=k)
+        for seq in range(1, writes + 1):
+            yield replace(base, skip_write=(k, seq))
+            yield replace(base, lose_send=(k, seq))
+
+
+def check_model(
+    *, mutant: "str | None" = None, thorough: bool = True
+) -> list[Violation]:
+    """Model-check the protocol over 2 and (optionally) 3 shards."""
+    violations: list[Violation] = []
+    for cfg in single_failure_configs(2, 2, 2, mutant=mutant):
+        violations.extend(explore(cfg))
+    if thorough:
+        for cfg in single_failure_configs(3, 1, 1, mutant=mutant):
+            violations.extend(explore(cfg))
+    return violations

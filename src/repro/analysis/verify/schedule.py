@@ -1,0 +1,436 @@
+"""Deterministic interleaving explorer (RV401).
+
+Promotes the probabilistic "hammer" concurrency tests into *exhaustive*
+small-schedule proofs, for the two places where serving correctness
+rides on an interleaving argument:
+
+* **Snapshot publish/read** — a reader is one atomic ``store.current``
+  load, so its every possible interleaving against a writer is captured
+  by probing reader-visible state at each writer yield point
+  (:meth:`~repro.server.snapshot.SnapshotStore._yield_point`).  The
+  explorer scripts a write sequence, probes at *every* yield point, and
+  checks that whatever snapshot is visible is exactly one committed
+  version's state (against a brute-force oracle).  That is an
+  exhaustive proof over the bounded schedule space, not a sampling.
+
+* **Write replication** — the worker's frame processor
+  (:class:`~repro.shard.worker._WorkerLoop`) is pure and synchronous,
+  so the explorer drives K real replicas through *all* per-link FIFO
+  interleavings of write and batch frames and checks the deterministic
+  replication contract: identical ack-version sequences, batch replies
+  cut at exactly the stamped epoch (parking), identical results across
+  replicas, equal to the oracle, and no batch parked forever.
+
+``TornPublishStore`` and ``EagerWorkerLoop`` are seeded known-bad
+mutants proving each detector fires; they exist for the verify test
+corpus and must never be imported by serving code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from math import factorial
+from typing import Any, Callable, Iterator, Sequence
+
+import numpy as np
+
+from repro.datasets.dataset import RectDataset
+from repro.geometry.mbr import Rect
+from repro.core.two_layer import TwoLayerGrid
+from repro.server.snapshot import Snapshot, SnapshotStore
+from repro.shard.worker import _STALE_AFTER_S, _WorkerLoop
+
+__all__ = [
+    "EagerWorkerLoop",
+    "ExplorationReport",
+    "TornPublishStore",
+    "all_interleavings",
+    "explore_replication",
+    "explore_snapshot_store",
+    "interleaving_count",
+    "make_scripted_store",
+    "replication_frames",
+]
+
+
+def all_interleavings(*seqs: Sequence[Any]) -> Iterator[tuple[Any, ...]]:
+    """Every merge of the sequences that preserves each one's order."""
+    seqs = tuple(tuple(s) for s in seqs)
+
+    def rec(positions: tuple[int, ...]) -> Iterator[tuple[Any, ...]]:
+        if all(p == len(s) for p, s in zip(positions, seqs)):
+            yield ()
+            return
+        for i, (p, s) in enumerate(zip(positions, seqs)):
+            if p < len(s):
+                nxt = positions[:i] + (p + 1,) + positions[i + 1 :]
+                for rest in rec(nxt):
+                    yield (s[p],) + rest
+
+    yield from rec((0,) * len(seqs))
+
+
+def interleaving_count(*lengths: int) -> int:
+    """Multinomial count of order-preserving merges (exhaustiveness check)."""
+    total = factorial(sum(lengths))
+    for n in lengths:
+        total //= factorial(n)
+    return total
+
+
+@dataclass
+class ExplorationReport:
+    """Outcome of one exhaustive exploration."""
+
+    schedules: int = 0
+    probes: int = 0
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+# ---------------------------------------------------------------------------
+# snapshot publish/read
+# ---------------------------------------------------------------------------
+
+#: (verb, payload): ("insert", Rect) or ("delete", object id)
+WriteOp = tuple[str, Any]
+
+
+def make_scripted_store(
+    n: int = 24, partitions_per_dim: int = 4
+) -> tuple[SnapshotStore, list[Rect]]:
+    """A small deterministic store plus its initial rectangles."""
+    rng = np.random.default_rng(7)
+    xl = rng.uniform(0.0, 0.9, n)
+    yl = rng.uniform(0.0, 0.9, n)
+    xu = xl + rng.uniform(0.01, 0.1, n)
+    yu = yl + rng.uniform(0.01, 0.1, n)
+    data = RectDataset(xl, yl, xu, yu)
+    index = TwoLayerGrid.build(data, partitions_per_dim=partitions_per_dim)
+    rects = [Rect(*t) for t in zip(xl, yl, xu, yu)]
+    return SnapshotStore(index, data), rects
+
+
+def _intersects(rect: Rect, probe: Rect) -> bool:
+    return not (
+        rect.xu < probe.xl
+        or rect.xl > probe.xu
+        or rect.yu < probe.yl
+        or rect.yl > probe.yu
+    )
+
+
+class _Oracle:
+    """Brute-force replay of the write script: version -> live rects."""
+
+    def __init__(self, rects: list[Rect]):
+        self.rows: list[Rect] = list(rects)
+        self.live: set[int] = set(range(len(rects)))
+        self.by_version: dict[int, set[int]] = {0: set(self.live)}
+        self.version = 0
+
+    def apply(self, op: WriteOp) -> None:
+        verb, payload = op
+        if verb == "insert":
+            obj_id = len(self.rows)
+            self.rows.append(payload)
+            self.live.add(obj_id)
+            self.version += 1
+        elif verb == "delete":
+            if payload not in self.live:
+                return  # miss: version does not advance
+            self.live.discard(payload)
+            self.version += 1
+        else:
+            raise ValueError(f"unknown write op {verb!r}")
+        self.by_version[self.version] = set(self.live)
+
+    def expected(self, version: int, probe: Rect) -> "set[int] | None":
+        live = self.by_version.get(version)
+        if live is None:
+            return None
+        return {
+            i for i in live if _intersects(self.rows[i], probe)
+        }
+
+
+def explore_snapshot_store(
+    store: SnapshotStore,
+    rects: list[Rect],
+    ops: Sequence[WriteOp],
+    probes: "Sequence[Rect] | None" = None,
+) -> ExplorationReport:
+    """Probe reader-visible state at every writer yield point.
+
+    The store's write path announces each internal step through
+    ``_yield_point``; at each one the probe performs what any concurrent
+    reader would (one atomic ``current`` load, then queries against that
+    pinned snapshot) and checks the result against the brute-force
+    oracle for the snapshot's version.  Readers never see a version
+    that is not exactly one committed state — the torn-update freedom
+    the COW design promises — and this covers *all* reader/writer
+    interleavings of the bounded schedule, because ``current`` can only
+    change at yield-point boundaries.
+    """
+    if probes is None:
+        probes = [
+            Rect(0.0, 0.0, 1.1, 1.1),
+            Rect(0.2, 0.2, 0.6, 0.6),
+            Rect(0.5, 0.1, 0.9, 0.5),
+        ]
+    oracle = _Oracle(rects)
+    report = ExplorationReport()
+
+    def probe_now(tag: str) -> None:
+        snap: Snapshot = store.current
+        pinned_version = snap.version
+        for probe in probes:
+            got = set(snap.index.window_query(probe).tolist())
+            want = oracle.expected(pinned_version, probe)
+            report.probes += 1
+            if want is None:
+                report.violations.append(
+                    f"at {tag}: visible snapshot version {pinned_version} "
+                    "was never committed"
+                )
+            elif got != want:
+                report.violations.append(
+                    f"at {tag}: snapshot v{pinned_version} returned "
+                    f"{sorted(got)} for {probe}, oracle says {sorted(want)}"
+                    " — torn or inconsistent publication"
+                )
+        # a second load within the same probe must be just as consistent
+        again = store.current
+        if again.version < pinned_version:
+            report.violations.append(
+                f"at {tag}: version went backwards "
+                f"({pinned_version} -> {again.version})"
+            )
+
+    store._yield_point = probe_now  # type: ignore[method-assign]
+    try:
+        probe_now("initial")
+        for op in ops:
+            verb, payload = op
+            # the oracle learns the op first: once the store publishes,
+            # the new version must already be a committed oracle state
+            oracle.apply(op)
+            if verb == "insert":
+                store.insert(payload)
+            else:
+                store.delete(payload)
+            probe_now(f"after.{verb}")
+            report.schedules += 1
+    finally:
+        del store.__dict__["_yield_point"]
+    return report
+
+
+class TornPublishStore(SnapshotStore):
+    """Known-bad mutant: publishes version before the index is swapped.
+
+    A reader landing between the two publications sees version ``v+1``
+    carrying version ``v``'s index — exactly the torn update the atomic
+    single-swap discipline rules out.  Test corpus only.
+    """
+
+    def insert(self, rect: Rect) -> tuple[int, int]:
+        with self._write_lock:
+            snap = self._current
+            torn = Snapshot(snap.index, snap.data, snap.version + 1)
+            self._current = torn  # first half of the torn publish
+            self._yield_point("insert.pre_publish")
+            obj_id = snap.index._n_objects
+        self._current = snap  # restore, then do the real insert
+        real_id, version = super().insert(rect)
+        return real_id, version
+
+
+# ---------------------------------------------------------------------------
+# write replication
+# ---------------------------------------------------------------------------
+
+
+def replication_frames(
+    rects: list[Rect], writes: int = 2, reads: int = 2
+) -> tuple[list[dict], list[dict]]:
+    """A deterministic (write frames, batch frames) script.
+
+    Batches are stamped at the *final* epoch, so any schedule that
+    delivers a batch before the writes exercises the parking path.
+    """
+    write_frames = [
+        {
+            "t": "write",
+            "seq": seq,
+            "verb": "insert",
+            "args": {
+                "xl": 0.1 + 0.02 * seq,
+                "yl": 0.1 + 0.02 * seq,
+                "xu": 0.3 + 0.02 * seq,
+                "yu": 0.3 + 0.02 * seq,
+            },
+        }
+        for seq in range(1, writes + 1)
+    ]
+    batch_frames = [
+        {
+            "t": "batch",
+            "bid": bid,
+            "epoch": writes,  # stamped at the post-write epoch
+            "reqs": [
+                {
+                    "id": bid * 10,
+                    "verb": "window",
+                    "args": {
+                        "xl": 0.0,
+                        "yl": 0.0,
+                        "xu": 1.2,
+                        "yu": 1.2,
+                        "predicate": "intersects",
+                    },
+                }
+            ],
+        }
+        for bid in range(1, reads + 1)
+    ]
+    return write_frames, batch_frames
+
+
+def _drive_schedule(
+    loop: _WorkerLoop, schedule: Sequence[dict]
+) -> tuple[list[dict], list[tuple[int, int]]]:
+    """Deliver frames in order; returns (batch replies, write acks)."""
+    now = 0.0
+    batch_replies: list[dict] = []
+    acks: list[tuple[int, int]] = []
+    for frame in schedule:
+        now += 0.001
+        if frame["t"] == "write":
+            reply = loop.apply_write(frame)
+            acks.append((reply["seq"], reply["version"]))
+            batch_replies.extend(loop.drain_parked(now))
+        else:
+            reply = loop.try_batch(frame)
+            if reply is None:
+                loop.park(frame, now)
+            else:
+                batch_replies.append(reply)
+    # final drain far past the stale deadline: parked batches whose
+    # write never arrived must fail structurally, never hang
+    batch_replies.extend(loop.drain_parked(now + _STALE_AFTER_S + 1.0))
+    return batch_replies, acks
+
+
+def explore_replication(
+    make_loop: Callable[[], _WorkerLoop],
+    replicas: int = 2,
+    writes: int = 2,
+    reads: int = 2,
+) -> ExplorationReport:
+    """Drive K real worker loops through all per-link frame interleavings.
+
+    Per-link delivery is FIFO (TCP), so a replica's possible schedules
+    are exactly the order-preserving merges of its write stream and its
+    batch stream; replicas are independent, so the full space is the
+    product.  Each replica must produce the identical ack-version
+    sequence (deterministic replication — the quarantine detector's
+    foundation), and every batch reply must be cut at exactly the
+    stamped epoch with oracle-identical results.
+    """
+    probe_store, rects = make_scripted_store()
+    write_frames, batch_frames = replication_frames(rects, writes, reads)
+    oracle = _Oracle(rects)
+    for frame in write_frames:
+        a = frame["args"]
+        oracle.apply(("insert", Rect(a["xl"], a["yl"], a["xu"], a["yu"])))
+    final_epoch = writes
+    probe = Rect(0.0, 0.0, 1.2, 1.2)
+    expected_ids = oracle.expected(final_epoch, probe)
+    assert expected_ids is not None
+
+    report = ExplorationReport()
+    schedules = [
+        list(s) for s in all_interleavings(write_frames, batch_frames)
+    ]
+    expected_count = interleaving_count(len(write_frames), len(batch_frames))
+    if len(schedules) != expected_count:
+        report.violations.append(
+            f"interleaving generator produced {len(schedules)} schedules, "
+            f"multinomial count says {expected_count}"
+        )
+    # replicas are independent: checking every replica against the same
+    # per-link schedule set and asserting schedule-invariant outcomes
+    # covers the full product space without enumerating it.
+    reference_acks: "list[tuple[int, int]] | None" = None
+    for schedule in schedules:
+        for replica in range(replicas):
+            loop = make_loop()
+            replies, acks = _drive_schedule(loop, schedule)
+            report.schedules += 1
+            if reference_acks is None:
+                reference_acks = acks
+            elif acks != reference_acks:
+                report.violations.append(
+                    f"replica {replica} acked {acks}, expected "
+                    f"{reference_acks}: replication is not deterministic"
+                )
+            if loop.parked:
+                report.violations.append(
+                    f"replica {replica} left {len(loop.parked)} batch(es) "
+                    "parked after the stale deadline"
+                )
+            seen_bids = set()
+            for reply in replies:
+                report.probes += 1
+                seen_bids.add(reply["bid"])
+                if reply["epoch"] != final_epoch:
+                    report.violations.append(
+                        f"batch {reply['bid']} answered at epoch "
+                        f"{reply['epoch']}, stamped {final_epoch} "
+                        f"(schedule {[f['t'] for f in schedule]})"
+                    )
+                    continue
+                for res in reply["results"]:
+                    if not res.get("ok"):
+                        report.violations.append(
+                            f"batch {reply['bid']} failed: {res}"
+                        )
+                    elif set(res["result"]["ids"]) != expected_ids:
+                        report.violations.append(
+                            f"batch {reply['bid']} returned "
+                            f"{sorted(res['result']['ids'])}, oracle says "
+                            f"{sorted(expected_ids)}"
+                        )
+            if seen_bids != {f["bid"] for f in batch_frames}:
+                report.violations.append(
+                    f"replica {replica} never answered batches "
+                    f"{sorted({f['bid'] for f in batch_frames} - seen_bids)}"
+                )
+    return report
+
+
+class EagerWorkerLoop(_WorkerLoop):
+    """Known-bad mutant: runs ahead-of-replica batches immediately.
+
+    Skipping the park executes a future-stamped batch against an older
+    snapshot — the reply's epoch differs from the stamp, which the
+    explorer (and the router's merge check) must catch.  Test corpus
+    only.
+    """
+
+    def try_batch(self, frame: dict) -> "dict | None":
+        epoch = frame["epoch"]
+        snap = self._snapshot_at(epoch)
+        if snap is None:
+            snap = self.store.current  # wrong: not the stamped version
+        return self._run_batch(snap, frame)
+
+
+def default_worker_loop() -> _WorkerLoop:
+    """A fresh replica over the deterministic scripted state."""
+    store, _ = make_scripted_store()
+    return _WorkerLoop(store.current.index, store.current.data)

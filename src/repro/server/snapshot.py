@@ -114,6 +114,17 @@ class SnapshotStore:
         """The latest published snapshot (atomic reference read)."""
         return self._current
 
+    #: Deterministic-scheduling hook: the write path announces named
+    #: points (``insert.locked`` … ``insert.published``) so the
+    #: interleaving explorer (:mod:`repro.analysis.verify.schedule`) can
+    #: probe reader-visible state at every step.  A reader is one atomic
+    #: ``current`` load, so probing at every yield point covers every
+    #: reader/writer interleaving.  No-op in production; overridden per
+    #: *instance* only (never at class/module scope).
+    @staticmethod
+    def _yield_point(tag: str) -> None:
+        return None
+
     # -- writes -----------------------------------------------------------
 
     def insert(self, rect: Rect) -> tuple[int, int]:
@@ -124,6 +135,7 @@ class SnapshotStore:
         mirroring :meth:`SpatialCollection.insert`'s requirement.
         """
         with self._write_lock:
+            self._yield_point("insert.locked")
             snap = self._current
             if snap.data.geometries is not None:
                 raise InvalidQueryError(
@@ -134,6 +146,7 @@ class SnapshotStore:
             obj_id = index._n_objects
             fork = _shallow_fork(index)
             fork._n_objects = obj_id + 1
+            self._yield_point("insert.forked")
             ix0, ix1, iy0, iy1 = _tile_range(index.grid, rect)
             for iy in range(iy0, iy1 + 1):
                 base = iy * index.grid.nx
@@ -164,6 +177,7 @@ class SnapshotStore:
                             np.append(ids, np.int64(obj_id)),
                         )
                     fork._tiles[base + ix] = tables
+            self._yield_point("insert.indexed")
             data = snap.data
             new_data = RectDataset(
                 np.append(data.xl, rect.xl),
@@ -178,7 +192,9 @@ class SnapshotStore:
             if _sanitize.enabled():
                 _sanitize.check_snapshot(fork, "SnapshotStore.insert")
             version = snap.version + 1
+            self._yield_point("insert.pre_publish")
             self._current = Snapshot(fork, new_data, version)
+            self._yield_point("insert.published")
             return obj_id, version
 
     def delete(self, obj_id: int) -> tuple[bool, int]:
@@ -189,12 +205,14 @@ class SnapshotStore:
         when something was actually removed.
         """
         with self._write_lock:
+            self._yield_point("delete.locked")
             snap = self._current
             if not 0 <= obj_id < len(snap.data):
                 return False, snap.version
             rect = snap.data.rect(obj_id)
             index = snap.index
             fork = _shallow_fork(index)
+            self._yield_point("delete.forked")
             ix0, ix1, iy0, iy1 = _tile_range(index.grid, rect)
             removed = 0
             base_store = fork._store
@@ -238,12 +256,15 @@ class SnapshotStore:
                         del fork._tiles[base + ix]
                     else:
                         fork._tiles[base + ix] = tables
+            self._yield_point("delete.indexed")
             if removed == 0:
                 return False, snap.version
             if _sanitize.enabled():
                 _sanitize.check_snapshot(fork, "SnapshotStore.delete")
             version = snap.version + 1
+            self._yield_point("delete.pre_publish")
             self._current = Snapshot(fork, snap.data, version)
+            self._yield_point("delete.published")
             return True, version
 
     def __repr__(self) -> str:

@@ -1,0 +1,18 @@
+# module: repro.server.fixture
+import threading
+import time
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}
+
+    def refresh(self):
+        with self._lock:
+            time.sleep(0.1)
+            return self._reload()
+
+    def _reload(self):
+        with open("rows.json") as fh:
+            return fh.read()

@@ -1,0 +1,17 @@
+# module: repro.server.fixture
+import threading
+
+
+class Cache:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._rows = {}
+
+    def refresh(self):
+        rows = self._load()
+        with self._lock:
+            self._rows = rows
+
+    def _load(self):
+        with open("rows.json") as fh:
+            return fh.read()

@@ -1,0 +1,11 @@
+# module: repro.server.fixture
+import time
+
+
+async def poll(store):
+    return _drain(store)
+
+
+def _drain(store):
+    time.sleep(0.5)
+    return store

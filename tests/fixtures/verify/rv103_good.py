@@ -1,0 +1,11 @@
+# module: repro.server.fixture
+import asyncio
+
+
+async def poll(store):
+    await asyncio.sleep(0.5)
+    return _tally(store)
+
+
+def _tally(store):
+    return sum(range(4))

@@ -1,0 +1,15 @@
+# module: repro.server.fixture
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._current = None
+
+    def publish(self, snap):
+        with self._lock:
+            self._current = snap
+
+    def sneak(self, snap):
+        self._current = snap

@@ -1,0 +1,8 @@
+# module: repro.server.fixture
+class Columns:
+    def __init__(self, xl):
+        self.xl = xl
+        self.version = 0
+
+    def clamp(self, lo):
+        self.xl[self.xl < lo] = lo

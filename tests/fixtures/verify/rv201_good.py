@@ -1,0 +1,23 @@
+# module: repro.shard.wire
+"""Fixture frame table.
+
+==========  ========  ================
+``ping``    r -> w    ``token``
+``pong``    w -> r    ``token``
+==========  ========  ================
+"""
+
+
+# module: repro.shard.node
+def send(sock):
+    first = {"t": "ping", "token": "abc"}
+    second = {"t": "pong", "token": "xyz"}
+    return first, second
+
+
+def handle(frame):
+    if frame["t"] == "ping":
+        return frame["token"]
+    if frame["t"] == "pong":
+        return frame["token"]
+    return None

@@ -1,0 +1,21 @@
+# module: repro.shard.wire
+"""Fixture frame table.
+
+==========  ========  ================
+``ping``    r -> w    ``token``
+``pong``    w -> r    ``token``
+==========  ========  ================
+"""
+
+
+# module: repro.shard.node
+def send(sock):
+    return {"t": "ping", "token": "abc"}
+
+
+def handle(frame):
+    if frame["t"] == "ping":
+        return frame["token"]
+    if frame["t"] == "pong":
+        return frame["token"]
+    return None

@@ -1,0 +1,23 @@
+# module: repro.shard.wire
+"""Fixture frame table.
+
+==========  ========  ==========================
+``batch``   r -> w    ``bid`` ``epoch``
+``reply``   w -> r    ``bid`` ``result | error``
+==========  ========  ==========================
+"""
+
+
+# module: repro.shard.node
+def send(sock):
+    first = {"t": "batch", "bid": 1}
+    second = {"t": "reply", "bid": 1}
+    return first, second
+
+
+def handle(frame):
+    if frame["t"] == "batch":
+        return frame["bid"]
+    if frame["t"] == "reply":
+        return frame["bid"]
+    return None

@@ -1,0 +1,11 @@
+# module: repro.server.protocol
+VERBS = {"window": "read", "insert": "write", "stats": "read"}
+
+
+# module: repro.server.service
+def dispatch(req):
+    if req.verb == "window":
+        return "query"
+    if req.verb == "knn":
+        return "neighbours"
+    return None

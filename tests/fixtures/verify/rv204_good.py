@@ -1,0 +1,11 @@
+# module: repro.server.protocol
+VERBS = {"window": "read", "insert": "write"}
+
+
+# module: repro.server.service
+def dispatch(req):
+    if req.verb == "window":
+        return "query"
+    if req.verb == "insert":
+        return "write"
+    return None

@@ -1,0 +1,11 @@
+# module: repro.server.service
+def encode_error(req_id, code, message, trace=None):
+    return b""
+
+
+def reject(req, conn):
+    conn.send(encode_error(req.id, "overloaded", "queue full", trace=req.trace))
+
+
+def bad_line(conn):
+    conn.send(encode_error(None, "bad_request", "unparseable line"))

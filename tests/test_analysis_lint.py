@@ -16,6 +16,8 @@ import pytest
 from repro.analysis.lint import (
     Finding,
     default_rules,
+    fix_unused_imports,
+    github_annotation,
     lint_paths,
     lint_source,
     main,
@@ -181,7 +183,115 @@ class TestCli:
             main(["--select", "REP999", str(FIXTURES)])
 
 
+class TestFix:
+    PATH = "src/repro/util/fixture.py"
+
+    def fix(self, source: str) -> tuple[str, int]:
+        return fix_unused_imports(self.PATH, source)
+
+    def test_removes_whole_unused_statement(self):
+        fixed, removed = self.fix("import os\n\nx = 1\n")
+        assert removed == 1
+        assert fixed == "\nx = 1\n"
+
+    def test_keeps_surviving_aliases(self):
+        fixed, removed = self.fix(
+            "import sys, json\n\nprint(json.dumps(1))\n"
+        )
+        assert removed == 1
+        assert fixed == "import json\n\nprint(json.dumps(1))\n"
+
+    def test_collapses_multiline_from_import(self):
+        source = (
+            "from typing import (\n"
+            "    Any,\n"
+            "    Iterator,\n"
+            ")\n"
+            "\n"
+            "def f() -> Any:\n"
+            "    return 1\n"
+        )
+        fixed, removed = self.fix(source)
+        assert removed == 1
+        assert fixed.startswith("from typing import Any\n")
+        assert "Iterator" not in fixed
+
+    def test_preserves_asname_and_indent(self):
+        source = (
+            "def f():\n"
+            "    import numpy as np, json as j\n"
+            "    return np.zeros(1)\n"
+        )
+        fixed, removed = self.fix(source)
+        assert removed == 1
+        assert "    import numpy as np\n" in fixed
+
+    def test_respects_line_waiver(self):
+        source = "import os  # repro-lint: disable=REP104\n\nx = 1\n"
+        assert self.fix(source) == (source, 0)
+
+    def test_respects_file_waiver(self):
+        source = "# repro-lint: disable-file=REP104\nimport os\n\nx = 1\n"
+        assert self.fix(source) == (source, 0)
+
+    def test_skips_init_modules(self):
+        source = "import os\n"
+        assert fix_unused_imports("src/repro/util/__init__.py", source) == (
+            source,
+            0,
+        )
+
+    def test_idempotent(self):
+        source = "import os\nimport sys, json\n\nprint(json.dumps(1))\n"
+        fixed, removed = self.fix(source)
+        assert removed == 2
+        again, more = self.fix(fixed)
+        assert more == 0 and again == fixed
+
+    def test_fix_output_lints_clean(self):
+        source = "import os\nimport sys, json\n\nprint(json.dumps(1))\n"
+        fixed, _ = self.fix(source)
+        assert run_rule("REP104", fixed, path=self.PATH) == []
+
+    def test_cli_fix_rewrites_file(self, tmp_path, capsys):
+        target = tmp_path / "mod.py"
+        target.write_text("import os\nimport json\n\nprint(json.dumps(1))\n")
+        rc = main(["--fix", "--select", "REP104", str(target)])
+        assert rc == 0
+        assert target.read_text() == "import json\n\nprint(json.dumps(1))\n"
+        assert "removed 1 unused import" in capsys.readouterr().out
+
+
+class TestGithubAnnotations:
+    def test_format_and_escaping(self):
+        finding = Finding("a.py", 3, 2, "REP104", "bad\nnews % 50")
+        assert github_annotation(finding) == (
+            "::error file=a.py,line=3,col=2,title=REP104"
+            "::bad%0Anews %25 50"
+        )
+
+    def test_cli_github_flag_emits_annotations(self, capsys):
+        rc = main(
+            ["--github", "--select", "REP104",
+             str(FIXTURES / "rep104_bad.py")]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "::error file=" in out and "title=REP104" in out
+
+
 def test_repo_source_tree_lints_clean():
     """The acceptance gate: the shipped tree has zero findings."""
     findings = lint_paths([str(REPO_SRC)])
     assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_repo_source_tree_has_nothing_to_fix(tmp_path):
+    """--fix over the shipped tree is a no-op (no unused imports)."""
+    from repro.analysis.lint import iter_python_files
+
+    for path in iter_python_files([str(REPO_SRC)]):
+        source = path.read_text(encoding="utf-8")
+        assert fix_unused_imports(path.as_posix(), source) == (source, 0), (
+            path.as_posix()
+        )

@@ -145,6 +145,35 @@ class TestPublishedColumnsFrozen:
 
 
 class TestIsolationUnderConcurrency:
+    def test_exhaustive_interleaving_exploration(self):
+        """Deterministic twin of the thread-hammer test below: probe
+        reader-visible state at *every* writer yield point against a
+        brute-force oracle.  A reader is one atomic ``current`` load, so
+        this covers every reader/writer interleaving of the bounded
+        write script — exhaustively, not probabilistically."""
+        from repro.analysis.verify.schedule import (
+            explore_snapshot_store,
+            make_scripted_store,
+        )
+
+        store, rects = make_scripted_store(n=32)
+        ops = [
+            ("insert", Rect(0.45, 0.45, 0.5, 0.5)),
+            ("insert", Rect(0.47, 0.47, 0.52, 0.52)),
+            ("delete", 3),
+            ("delete", 3),  # tombstone miss: version must not advance
+            ("insert", Rect(0.1, 0.1, 0.15, 0.15)),
+            ("delete", 999),  # out-of-range miss
+        ]
+        report = explore_snapshot_store(
+            store, rects, ops, probes=[Rect(0.0, 0.0, 1.1, 1.1),
+                                       Rect(0.44, 0.44, 0.53, 0.53)]
+        )
+        assert report.ok, report.violations[0]
+        assert report.schedules == len(ops)
+        # 10 writer yield points per committed write + before/after probes
+        assert report.probes >= 2 * (len(ops) + 1)
+
     def test_batched_reads_never_see_torn_updates(self):
         """Interleave inserts/deletes with in-flight batched reads; every
         batch must match exactly one published version's expected set."""

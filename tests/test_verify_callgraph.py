@@ -1,0 +1,161 @@
+"""Call-graph substrate: resolution through imports, self, attr types,
+the bounded name-match fallback, and the traversal helpers."""
+
+from __future__ import annotations
+
+from repro.analysis.verify.callgraph import (
+    CallGraph,
+    Program,
+    dotted_name,
+    terminal_name,
+)
+
+import ast
+
+
+def build(**modules: str) -> tuple[Program, CallGraph]:
+    program = Program.from_sources(
+        {
+            dotted: (f"src/{dotted.replace('.', '/')}.py", source)
+            for dotted, source in modules.items()
+        }
+    )
+    return program, CallGraph(program)
+
+
+def targets_of(graph: CallGraph, caller: str) -> set[str]:
+    out: set[str] = set()
+    for site in graph.calls.get(caller, ()):
+        out |= set(site.targets)
+    return out
+
+
+class TestNameHelpers:
+    def test_dotted_name(self):
+        node = ast.parse("a.b.c(1)").body[0].value.func
+        assert dotted_name(node) == "a.b.c"
+        assert dotted_name(ast.parse("f()").body[0].value.func) == "f"
+        assert dotted_name(ast.parse("x[0]()").body[0].value.func) is None
+
+    def test_terminal_name_unwraps_subscripts(self):
+        node = ast.parse("self.tiles[0]").body[0].value
+        assert terminal_name(node) == "tiles"
+
+
+class TestResolution:
+    def test_cross_module_import(self):
+        _, graph = build(
+            **{
+                "repro.a": "def helper():\n    return 1\n",
+                "repro.b": (
+                    "from repro.a import helper\n"
+                    "def run():\n    return helper()\n"
+                ),
+            }
+        )
+        assert targets_of(graph, "repro.b.run") == {"repro.a.helper"}
+
+    def test_relative_import_anchoring(self):
+        _, graph = build(
+            **{
+                "repro.pkg.a": "def helper():\n    return 1\n",
+                "repro.pkg.b": (
+                    "from .a import helper\n"
+                    "def run():\n    return helper()\n"
+                ),
+            }
+        )
+        assert targets_of(graph, "repro.pkg.b.run") == {"repro.pkg.a.helper"}
+
+    def test_self_method_through_mro(self):
+        _, graph = build(
+            **{
+                "repro.m": (
+                    "class Base:\n"
+                    "    def step(self):\n        return 1\n"
+                    "class Child(Base):\n"
+                    "    def run(self):\n        return self.step()\n"
+                ),
+            }
+        )
+        assert targets_of(graph, "repro.m.Child.run") == {"repro.m.Base.step"}
+
+    def test_self_attr_type_chain(self):
+        _, graph = build(
+            **{
+                "repro.m": (
+                    "class Store:\n"
+                    "    def insert(self):\n        return 1\n"
+                    "class Owner:\n"
+                    "    def __init__(self):\n"
+                    "        self.store = Store()\n"
+                    "    def run(self):\n        return self.store.insert()\n"
+                ),
+            }
+        )
+        assert targets_of(graph, "repro.m.Owner.run") == {
+            "repro.m.Store.insert"
+        }
+
+    def test_class_call_resolves_to_init(self):
+        _, graph = build(
+            **{
+                "repro.m": (
+                    "class Store:\n"
+                    "    def __init__(self):\n        self.rows = []\n"
+                    "def make():\n    return Store()\n"
+                ),
+            }
+        )
+        assert targets_of(graph, "repro.m.make") == {
+            "repro.m.Store.__init__"
+        }
+
+    def test_fallback_is_marked_ambiguous_and_capped(self):
+        program, graph = build(
+            **{
+                "repro.m": (
+                    "class A:\n    def flush(self):\n        return 1\n"
+                    "class B:\n    def flush(self):\n        return 2\n"
+                    "def run(x):\n    return x.flush()\n"
+                ),
+            }
+        )
+        sites = [
+            s
+            for s in graph.calls["repro.m.run"]
+            if s.raw and s.raw.endswith("flush")
+        ]
+        assert len(sites) == 1 and sites[0].ambiguous
+        assert set(sites[0].targets) == {
+            "repro.m.A.flush",
+            "repro.m.B.flush",
+        }
+
+
+class TestTraversal:
+    MODULES = {
+        "repro.m": (
+            "def a():\n    return b()\n"
+            "def b():\n    return c()\n"
+            "def c():\n    return 1\n"
+            "def island():\n    return 2\n"
+        ),
+    }
+
+    def test_reachable(self):
+        _, graph = build(**self.MODULES)
+        assert graph.reachable(["repro.m.a"]) == {
+            "repro.m.a",
+            "repro.m.b",
+            "repro.m.c",
+        }
+
+    def test_find_path_returns_chain(self):
+        _, graph = build(**self.MODULES)
+        path = graph.find_path("repro.m.a", lambda q: q.endswith(".c"))
+        assert path == ["repro.m.a", "repro.m.b", "repro.m.c"]
+        assert (
+            graph.find_path("repro.m.island", lambda q: q.endswith(".c"))
+            is None
+        )

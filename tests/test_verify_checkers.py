@@ -1,0 +1,170 @@
+"""repro-verify static rules: every RV1xx/RV2xx fires on its bad
+fixture, stays silent on the good twin, and the shipped tree is clean.
+
+Fixtures live in ``tests/fixtures/verify`` and may contain several
+modules (``# module: <dotted>`` section markers) because the protocol
+rules anchor on real module names — see the fixtures README.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.verify.base import collect_waivers
+from repro.analysis.verify.callgraph import CallGraph, Program
+from repro.analysis.verify.cli import RULES, main, verify_program
+from repro.analysis.verify.concurrency import check_concurrency
+from repro.analysis.verify.protocol_check import check_protocol
+
+FIXTURES = Path(__file__).parent / "fixtures" / "verify"
+REPO_SRC = Path(__file__).resolve().parents[1] / "src"
+
+_MODULE_MARK = re.compile(r"#\s*module:\s*([\w.]+)\s*$")
+
+#: static rules with a fixture pair (RV301/RV401 mutants live in code).
+STATIC_CODES = sorted(c for c in RULES if c[2] in "12")
+
+#: finding count the bad fixture must produce, all under its own code.
+BAD_EXPECT = {
+    "RV101": 2,  # opposite-order pair + transitive self-deadlock
+    "RV102": 2,  # lexical time.sleep + transitive open() via _reload
+    "RV103": 1,  # async -> sync _drain -> time.sleep
+    "RV104": 1,  # _current assigned without the lock in sneak()
+    "RV105": 1,  # xl written in place, no freeze, no version bump
+    "RV201": 1,  # ping sent, never dispatched
+    "RV202": 2,  # dead pong branch + documented-but-unsent pong
+    "RV203": 2,  # batch omits epoch + reply satisfies no alternation
+    "RV204": 3,  # insert/stats unhandled + dead knn branch
+    "RV205": 1,  # encode_error with a real id and no trace=
+}
+
+
+def load_fixture(name: str) -> Program:
+    """Split ``# module:`` sections into one in-memory Program."""
+    sources: dict[str, list[str]] = {}
+    current: "str | None" = None
+    for line in (FIXTURES / name).read_text().splitlines():
+        match = _MODULE_MARK.match(line.strip())
+        if match:
+            current = match.group(1)
+            sources[current] = []
+        elif current is not None:
+            sources[current].append(line)
+    assert sources, f"{name} has no '# module:' marker"
+    return Program.from_sources(
+        {
+            dotted: (f"src/{dotted.replace('.', '/')}.py", "\n".join(body))
+            for dotted, body in sources.items()
+        }
+    )
+
+
+def run_static(program: Program):
+    graph = CallGraph(program)
+    return check_concurrency(program, graph) + check_protocol(program, graph)
+
+
+@pytest.mark.parametrize("code", STATIC_CODES)
+def test_rule_fires_on_bad_fixture(code):
+    findings = run_static(load_fixture(f"{code.lower()}_bad.py"))
+    assert sorted(f.code for f in findings) == [code] * BAD_EXPECT[code], (
+        "\n".join(f.render() for f in findings)
+    )
+    assert all(f.line >= 1 and f.col >= 1 for f in findings)
+
+
+@pytest.mark.parametrize("code", STATIC_CODES)
+def test_rule_silent_on_good_fixture(code):
+    findings = run_static(load_fixture(f"{code.lower()}_good.py"))
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+class TestWaivers:
+    SOURCE = (
+        "def encode_error(req_id, code, message, trace=None):\n"
+        "    return b''\n"
+        "\n"
+        "\n"
+        "def reject(req, conn):\n"
+        "    conn.send(encode_error(req.id, 'overloaded', 'full'))"
+        "{comment}\n"
+    )
+
+    def verify_tree(self, tmp_path: Path, comment: str = "") -> list:
+        pkg = tmp_path / "repro" / "server"
+        pkg.mkdir(parents=True)
+        (pkg / "service.py").write_text(self.SOURCE.format(comment=comment))
+        return verify_program(
+            tmp_path, run_model=False, run_explorer=False
+        )
+
+    def test_unwaived_finding_survives(self, tmp_path):
+        findings = self.verify_tree(tmp_path)
+        assert [f.code for f in findings] == ["RV205"]
+
+    def test_line_waiver_suppresses(self, tmp_path):
+        comment = "  # repro-verify: disable=RV205"
+        assert self.verify_tree(tmp_path, comment) == []
+
+    def test_wrong_code_does_not_suppress(self, tmp_path):
+        comment = "  # repro-verify: disable=RV101"
+        findings = self.verify_tree(tmp_path, comment)
+        assert [f.code for f in findings] == ["RV205"]
+
+    def test_file_waiver_suppresses(self, tmp_path):
+        findings = self.verify_tree(
+            tmp_path, "\n# repro-verify: disable-file=RV205"
+        )
+        assert findings == []
+
+    def test_collect_waivers_parses_both_forms(self):
+        waivers = collect_waivers(
+            "x = 1  # repro-verify: disable=RV101, RV102\n"
+            "# repro-verify: disable-file=RV205\n"
+        )
+        assert waivers.suppressed("RV101", 1)
+        assert waivers.suppressed("RV102", 1)
+        assert not waivers.suppressed("RV103", 1)
+        assert waivers.suppressed("RV205", 99)
+
+
+class TestCli:
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+    def test_select_unknown_code_errors(self):
+        with pytest.raises(SystemExit):
+            main(["--select", "RV999"])
+
+    def test_github_annotations_on_findings(self, tmp_path, capsys):
+        pkg = tmp_path / "repro" / "server"
+        pkg.mkdir(parents=True)
+        (pkg / "service.py").write_text(
+            "def encode_error(req_id, code, message, trace=None):\n"
+            "    return b''\n"
+            "\n"
+            "\n"
+            "def reject(req, conn):\n"
+            "    conn.send(encode_error(req.id, 'overloaded', 'full'))\n"
+        )
+        rc = main(
+            [str(tmp_path), "--github", "--skip-model", "--skip-explorer"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "::error file=" in out
+        assert "title=RV205" in out
+
+
+def test_repo_static_checks_clean():
+    """The acceptance gate CI runs: zero unwaived RV1xx/RV2xx findings."""
+    findings = verify_program(
+        REPO_SRC, run_model=False, run_explorer=False
+    )
+    assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,63 @@
+"""Protocol model checker: the real scatter/gather/quarantine semantics
+pass every bounded schedule; each seeded mutant is caught by the
+property that guards against exactly its defect."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.verify.model import (
+    MUTANTS,
+    ModelConfig,
+    check_model,
+    explore,
+    single_failure_configs,
+)
+
+#: mutant -> the property that must convict it.
+CONVICTING_PROPERTY = {
+    "no_park": "P5",
+    "no_epoch_stamp": "P2",
+    "no_quarantine": "P3",
+    "no_stale_timeout": "P6",
+}
+
+
+def test_correct_model_has_no_violations():
+    assert check_model(thorough=False) == []
+
+
+@pytest.mark.parametrize("mutant", MUTANTS)
+def test_each_mutant_is_convicted(mutant):
+    violations = check_model(mutant=mutant, thorough=False)
+    assert violations, f"mutant {mutant!r} survived the model check"
+    props = {v.prop for v in violations}
+    assert CONVICTING_PROPERTY[mutant] in props, (
+        f"{mutant!r} convicted by {props}, expected "
+        f"{CONVICTING_PROPERTY[mutant]}"
+    )
+
+
+def test_mutant_catalogue_is_total():
+    assert set(MUTANTS) == set(CONVICTING_PROPERTY)
+
+
+def test_single_failure_configs_cover_every_schedule_class():
+    configs = list(single_failure_configs(shards=2, writes=2, reads=2))
+    base = [c for c in configs if not c.faulty]
+    crashes = {c.crash for c in configs if c.crash is not None}
+    skips = {c.skip_write for c in configs if c.skip_write is not None}
+    losses = {c.lose_send for c in configs if c.lose_send is not None}
+    assert len(base) == 1
+    assert crashes == {0, 1}
+    assert skips == {(0, 1), (0, 2), (1, 1), (1, 2)}
+    assert losses == {(0, 1), (0, 2), (1, 1), (1, 2)}
+
+
+def test_explore_reports_schedule_on_violation():
+    cfg = ModelConfig(shards=2, writes=1, reads=1, mutant="no_epoch_stamp")
+    violations = explore(cfg)
+    assert violations
+    head = violations[0]
+    assert head.schedule, "violation must carry its witness schedule"
+    assert head.config is cfg
